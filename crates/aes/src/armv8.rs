@@ -1,0 +1,235 @@
+//! Simulation of the ARMv8 Cryptographic Extension AES instructions.
+//!
+//! The paper's victim workload is the `AES-Intrinsics` implementation, which
+//! drives the hardware through `AESE`/`AESMC` (encrypt) and `AESD`/`AESIMC`
+//! (decrypt). We model the instructions at the architectural level:
+//!
+//! * `AESE  state, key` = `ShiftRows(SubBytes(state ⊕ key))`
+//! * `AESMC state`      = `MixColumns(state)`
+//! * `AESD  state, key` = `InvSubBytes(InvShiftRows(state ⊕ key))`
+//! * `AESIMC state`     = `InvMixColumns(state)`
+//!
+//! Note the ARM ordering differs from the FIPS round structure (the XOR
+//! happens *first*), so the round-key sequencing in
+//! [`Armv8Aes::encrypt_block`] is shifted by one relative to
+//! [`crate::cipher::Aes`]; the two must (and do — see tests) agree on every
+//! ciphertext.
+
+use crate::key_schedule::{InvalidKeyLength, KeySchedule};
+use crate::state::{
+    inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns, shift_rows, sub_bytes, State,
+};
+
+/// `AESE Vd, Vn`: AddRoundKey, then SubBytes, then ShiftRows.
+#[inline]
+#[must_use]
+pub fn aese(mut state: State, round_key: &State) -> State {
+    for (b, k) in state.iter_mut().zip(round_key.iter()) {
+        *b ^= k;
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    state
+}
+
+/// `AESMC Vd, Vn`: MixColumns.
+#[inline]
+#[must_use]
+pub fn aesmc(mut state: State) -> State {
+    mix_columns(&mut state);
+    state
+}
+
+/// `AESD Vd, Vn`: AddRoundKey, then InvShiftRows, then InvSubBytes.
+#[inline]
+#[must_use]
+pub fn aesd(mut state: State, round_key: &State) -> State {
+    for (b, k) in state.iter_mut().zip(round_key.iter()) {
+        *b ^= k;
+    }
+    inv_shift_rows(&mut state);
+    inv_sub_bytes(&mut state);
+    state
+}
+
+/// `AESIMC Vd, Vn`: InvMixColumns.
+#[inline]
+#[must_use]
+pub fn aesimc(mut state: State) -> State {
+    inv_mix_columns(&mut state);
+    state
+}
+
+/// An AES implementation sequenced exactly like the AES-Intrinsics ARMv8
+/// code path the paper attacks.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::{Aes, armv8::Armv8Aes};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let key = [7u8; 16];
+/// let pt = [3u8; 16];
+/// let hw = Armv8Aes::new(&key)?;
+/// let sw = Aes::new(&key)?;
+/// assert_eq!(hw.encrypt_block(&pt), sw.encrypt_block(&pt));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Armv8Aes {
+    schedule: KeySchedule,
+}
+
+impl Armv8Aes {
+    /// Build from a 16/24/32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] for other key lengths.
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        Ok(Self { schedule: KeySchedule::new(key)? })
+    }
+
+    /// The expanded key schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &KeySchedule {
+        &self.schedule
+    }
+
+    /// Encrypt one block using the AESE/AESMC instruction pattern.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &State) -> State {
+        let nr = self.schedule.rounds();
+        let mut s = *plaintext;
+        // Rounds 0..nr-2: AESE with round key r, then AESMC.
+        for r in 0..nr - 1 {
+            s = aese(s, self.schedule.round_key(r));
+            s = aesmc(s);
+        }
+        // Penultimate: AESE without MixColumns; final whitening XOR.
+        s = aese(s, self.schedule.round_key(nr - 1));
+        for (b, k) in s.iter_mut().zip(self.schedule.round_key(nr).iter()) {
+            *b ^= k;
+        }
+        s
+    }
+
+    /// Decrypt one block using the AESD/AESIMC instruction pattern
+    /// (equivalent inverse cipher).
+    ///
+    /// As on real ARMv8 hardware, the middle round keys must be passed
+    /// through `AESIMC` because `AESD` XORs the key *before* the inverse
+    /// MixColumns that `AESIMC` later applies.
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &State) -> State {
+        let nr = self.schedule.rounds();
+        let mut s = aesd(*ciphertext, self.schedule.round_key(nr));
+        for r in (1..nr).rev() {
+            s = aesimc(s);
+            let mut transformed_key = *self.schedule.round_key(r);
+            inv_mix_columns(&mut transformed_key);
+            s = aesd(s, &transformed_key);
+        }
+        for (b, k) in s.iter_mut().zip(self.schedule.round_key(0).iter()) {
+            *b ^= k;
+        }
+        s
+    }
+
+    /// Repeatedly encrypt the same block `count` times, as the paper's
+    /// constant-cycle victim loop does to span one SMC update window.
+    /// Returns the (identical each iteration) ciphertext.
+    #[must_use]
+    pub fn encrypt_repeated(&self, plaintext: &State, count: usize) -> State {
+        let mut ct = *plaintext;
+        for _ in 0..count.max(1) {
+            ct = self.encrypt_block(plaintext);
+        }
+        ct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::Aes;
+
+    #[test]
+    fn aese_is_xor_sub_shift() {
+        let state = [0x00u8; 16];
+        let key = [0x00u8; 16];
+        // All zeros: XOR→0, SubBytes→0x63 everywhere, ShiftRows no-op on
+        // uniform state.
+        assert_eq!(aese(state, &key), [0x63u8; 16]);
+    }
+
+    #[test]
+    fn aesd_inverts_aese() {
+        let key: State = core::array::from_fn(|i| (i * 31 + 5) as u8);
+        let state: State = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let forward = aese(state, &key);
+        // aesd(x, 0) = InvSubBytes(InvShiftRows(x)); then XOR key restores.
+        let mut back = aesd(forward, &[0u8; 16]);
+        for (b, k) in back.iter_mut().zip(key.iter()) {
+            *b ^= k;
+        }
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn aesmc_aesimc_roundtrip() {
+        let state: State = core::array::from_fn(|i| (i * 13 + 7) as u8);
+        assert_eq!(aesimc(aesmc(state)), state);
+    }
+
+    #[test]
+    fn matches_reference_aes128_fips_vector() {
+        let key: Vec<u8> = (0u8..16).collect();
+        let pt: State = core::array::from_fn(|i| (i as u8) * 0x11);
+        let hw = Armv8Aes::new(&key).unwrap();
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(hw.encrypt_block(&pt), expected);
+    }
+
+    #[test]
+    fn matches_reference_implementation_all_key_sizes() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 11 + 1) as u8).collect();
+            let hw = Armv8Aes::new(&key).unwrap();
+            let sw = Aes::new(&key).unwrap();
+            for s in 0u8..32 {
+                let pt: State = core::array::from_fn(|i| (i as u8).wrapping_mul(s).wrapping_add(97));
+                assert_eq!(
+                    hw.encrypt_block(&pt),
+                    sw.encrypt_block(&pt),
+                    "key_len={key_len} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_all_key_sizes() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 5 + 2) as u8).collect();
+            let hw = Armv8Aes::new(&key).unwrap();
+            for s in 0u8..16 {
+                let pt: State = core::array::from_fn(|i| (i as u8) ^ s.wrapping_mul(19));
+                assert_eq!(hw.decrypt_block(&hw.encrypt_block(&pt)), pt, "key_len={key_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_encryption_is_stable() {
+        let hw = Armv8Aes::new(&[9u8; 16]).unwrap();
+        let pt = [1u8; 16];
+        let once = hw.encrypt_block(&pt);
+        assert_eq!(hw.encrypt_repeated(&pt, 1000), once);
+        assert_eq!(hw.encrypt_repeated(&pt, 0), once, "count 0 clamps to 1");
+    }
+}

@@ -1,0 +1,325 @@
+//! The AES block cipher with optional round-state tracing.
+//!
+//! [`Aes`] provides plain encrypt/decrypt; [`Aes::encrypt_traced`]
+//! additionally records every intermediate state, which the leakage model
+//! ([`crate::leakage`]) converts into data-dependent switching activity and
+//! the CPA hypothesis models in `psc-sca` consume as ground truth.
+
+use crate::key_schedule::{InvalidKeyLength, KeySchedule};
+use crate::state::{
+    add_round_key, inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns, shift_rows,
+    sub_bytes, State,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which transformation produced a recorded state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AesOp {
+    /// State after an AddRoundKey.
+    AddRoundKey,
+    /// State after SubBytes.
+    SubBytes,
+    /// State after ShiftRows.
+    ShiftRows,
+    /// State after MixColumns.
+    MixColumns,
+}
+
+/// One recorded intermediate state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundState {
+    /// Round number: 0 for the initial AddRoundKey, 1..=Nr for cipher rounds.
+    pub round: u8,
+    /// The transformation that produced this state.
+    pub op: AesOp,
+    /// The 16-byte state after the transformation.
+    pub state: State,
+}
+
+/// A fully-traced single-block encryption: plaintext, ciphertext and every
+/// intermediate state in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptionTrace {
+    /// The input block.
+    pub plaintext: State,
+    /// The output block.
+    pub ciphertext: State,
+    /// Intermediate states in execution order, starting with the round-0
+    /// AddRoundKey output and ending with the final AddRoundKey output
+    /// (= ciphertext).
+    pub states: Vec<RoundState>,
+}
+
+impl EncryptionTrace {
+    /// The state recorded for (`round`, `op`), if present.
+    #[must_use]
+    pub fn state(&self, round: u8, op: AesOp) -> Option<&State> {
+        self.states.iter().find(|s| s.round == round && s.op == op).map(|s| &s.state)
+    }
+
+    /// The state after the initial (round 0) AddRoundKey — the target of the
+    /// paper's `Rd0-HW` power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (cannot happen for traces produced by
+    /// [`Aes::encrypt_traced`]).
+    #[must_use]
+    pub fn round0_addkey(&self) -> &State {
+        self.state(0, AesOp::AddRoundKey).expect("trace always records round-0 AddRoundKey")
+    }
+
+    /// The state entering the final round's SubBytes (i.e. the output of the
+    /// penultimate round) — the target of the paper's `Rd10-HW` model.
+    #[must_use]
+    pub fn last_round_input(&self) -> &State {
+        let last = self.states.last().expect("non-empty trace").round;
+        self.state(last - 1, AesOp::AddRoundKey).expect("penultimate round output recorded")
+    }
+}
+
+/// An AES cipher instance (any key size) with tracing support.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::Aes;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let aes = Aes::new(&[0u8; 16])?;
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes {
+    schedule: KeySchedule,
+}
+
+impl Aes {
+    /// Build a cipher from a 16/24/32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] for other key lengths.
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        Ok(Self { schedule: KeySchedule::new(key)? })
+    }
+
+    /// The expanded key schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &KeySchedule {
+        &self.schedule
+    }
+
+    /// Encrypt one 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &State) -> State {
+        let nr = self.schedule.rounds();
+        let mut s = *plaintext;
+        add_round_key(&mut s, self.schedule.round_key(0));
+        for r in 1..nr {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, self.schedule.round_key(r));
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, self.schedule.round_key(nr));
+        s
+    }
+
+    /// Decrypt one 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &State) -> State {
+        let nr = self.schedule.rounds();
+        let mut s = *ciphertext;
+        add_round_key(&mut s, self.schedule.round_key(nr));
+        for r in (1..nr).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+            add_round_key(&mut s, self.schedule.round_key(r));
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+        add_round_key(&mut s, self.schedule.round_key(0));
+        s
+    }
+
+    /// Encrypt one block while recording every intermediate state.
+    #[must_use]
+    pub fn encrypt_traced(&self, plaintext: &State) -> EncryptionTrace {
+        let nr = self.schedule.rounds();
+        let mut states = Vec::with_capacity(4 * nr + 1);
+        let mut s = *plaintext;
+
+        add_round_key(&mut s, self.schedule.round_key(0));
+        states.push(RoundState { round: 0, op: AesOp::AddRoundKey, state: s });
+
+        for r in 1..nr {
+            let r8 = r as u8;
+            sub_bytes(&mut s);
+            states.push(RoundState { round: r8, op: AesOp::SubBytes, state: s });
+            shift_rows(&mut s);
+            states.push(RoundState { round: r8, op: AesOp::ShiftRows, state: s });
+            mix_columns(&mut s);
+            states.push(RoundState { round: r8, op: AesOp::MixColumns, state: s });
+            add_round_key(&mut s, self.schedule.round_key(r));
+            states.push(RoundState { round: r8, op: AesOp::AddRoundKey, state: s });
+        }
+
+        let nr8 = nr as u8;
+        sub_bytes(&mut s);
+        states.push(RoundState { round: nr8, op: AesOp::SubBytes, state: s });
+        shift_rows(&mut s);
+        states.push(RoundState { round: nr8, op: AesOp::ShiftRows, state: s });
+        add_round_key(&mut s, self.schedule.round_key(nr));
+        states.push(RoundState { round: nr8, op: AesOp::AddRoundKey, state: s });
+
+        EncryptionTrace { plaintext: *plaintext, ciphertext: s, states }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B: full worked AES-128 example.
+    #[test]
+    fn aes128_fips_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes::new(&key).unwrap();
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.1 known-answer test (AES-128).
+    #[test]
+    fn aes128_fips_appendix_c1() {
+        let key: Vec<u8> = (0u8..16).collect();
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes::new(&key).unwrap();
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.2 known-answer test (AES-192).
+    #[test]
+    fn aes192_fips_appendix_c2() {
+        let key: Vec<u8> = (0u8..24).collect();
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expected = [
+            0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+            0x71, 0x91,
+        ];
+        let aes = Aes::new(&key).unwrap();
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.3 known-answer test (AES-256).
+    #[test]
+    fn aes256_fips_appendix_c3() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expected = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        let aes = Aes::new(&key).unwrap();
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn traced_matches_untraced_ciphertext() {
+        let aes = Aes::new(&[0x42u8; 16]).unwrap();
+        for seed in 0u8..8 {
+            let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed));
+            let trace = aes.encrypt_traced(&pt);
+            assert_eq!(trace.ciphertext, aes.encrypt_block(&pt));
+            assert_eq!(trace.plaintext, pt);
+        }
+    }
+
+    #[test]
+    fn trace_has_expected_state_count_aes128() {
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let trace = aes.encrypt_traced(&[0u8; 16]);
+        // 1 (rd0) + 9 rounds × 4 ops + final round × 3 ops = 40.
+        assert_eq!(trace.states.len(), 1 + 9 * 4 + 3);
+    }
+
+    #[test]
+    fn trace_round0_is_pt_xor_key() {
+        let key = [0x0Fu8; 16];
+        let pt = [0xF0u8; 16];
+        let aes = Aes::new(&key).unwrap();
+        let trace = aes.encrypt_traced(&pt);
+        assert_eq!(trace.round0_addkey(), &[0xFFu8; 16]);
+    }
+
+    #[test]
+    fn trace_last_round_input_consistency() {
+        // last_round_input must equal InvShiftRows(InvSubBytes(ct ^ k10)).
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes::new(&key).unwrap();
+        let pt = [0x5Au8; 16];
+        let trace = aes.encrypt_traced(&pt);
+        let mut s = trace.ciphertext;
+        crate::state::add_round_key(&mut s, aes.schedule().round_key(10));
+        crate::state::inv_shift_rows(&mut s);
+        crate::state::inv_sub_bytes(&mut s);
+        assert_eq!(&s, trace.last_round_input());
+    }
+
+    #[test]
+    fn trace_final_state_is_ciphertext() {
+        let aes = Aes::new(&[7u8; 16]).unwrap();
+        let trace = aes.encrypt_traced(&[9u8; 16]);
+        assert_eq!(trace.states.last().unwrap().state, trace.ciphertext);
+        assert_eq!(trace.states.last().unwrap().op, AesOp::AddRoundKey);
+        assert_eq!(trace.states.last().unwrap().round, 10);
+    }
+
+    #[test]
+    fn state_lookup_missing_returns_none() {
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let trace = aes.encrypt_traced(&[0u8; 16]);
+        // Final round has no MixColumns.
+        assert!(trace.state(10, AesOp::MixColumns).is_none());
+        assert!(trace.state(0, AesOp::SubBytes).is_none());
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many_sizes() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 7 + 3) as u8).collect();
+            let aes = Aes::new(&key).unwrap();
+            for s in 0u8..16 {
+                let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_add(s).wrapping_mul(31));
+                assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! GF(2⁸) arithmetic for AES (Rijndael field, reduction polynomial
+//! x⁸ + x⁴ + x³ + x + 1 = `0x11B`).
+//!
+//! MixColumns and the S-box construction are defined over this field; we
+//! implement multiplication from first principles so the whole cipher is
+//! self-contained and auditable.
+
+/// Multiply a field element by `x` (i.e. by `{02}`), reducing modulo `0x11B`.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::gf::xtime;
+/// assert_eq!(xtime(0x57), 0xAE);
+/// assert_eq!(xtime(0xAE), 0x47); // wraps through the reduction polynomial
+/// ```
+#[inline]
+#[must_use]
+pub fn xtime(a: u8) -> u8 {
+    let shifted = a << 1;
+    if a & 0x80 != 0 {
+        shifted ^ 0x1B
+    } else {
+        shifted
+    }
+}
+
+/// General GF(2⁸) multiplication (Russian-peasant style, branch on data is
+/// irrelevant here: this code only runs inside the simulator, never on a
+/// secret-processing production path).
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::gf::gmul;
+/// // FIPS-197 §4.2 worked example: {57} · {13} = {FE}
+/// assert_eq!(gmul(0x57, 0x13), 0xFE);
+/// ```
+#[inline]
+#[must_use]
+pub fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁸); `inv(0)` is defined as `0` per the AES
+/// S-box convention.
+///
+/// Computed via exponentiation: the multiplicative group has order 255, so
+/// `a⁻¹ = a²⁵⁴`.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::gf::{gmul, inv};
+/// assert_eq!(inv(0), 0);
+/// for a in 1..=255u8 {
+///     assert_eq!(gmul(a, inv(a)), 1);
+/// }
+/// ```
+#[must_use]
+pub fn inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 by square-and-multiply over the fixed exponent 0b1111_1110.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gmul(result, base);
+        }
+        base = gmul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_fips_example_chain() {
+        // FIPS-197 §4.2.1: {57}·{02}={ae}, ·{04}={47}, ·{08}={8e}, ·{10}={07}
+        assert_eq!(xtime(0x57), 0xAE);
+        assert_eq!(xtime(0xAE), 0x47);
+        assert_eq!(xtime(0x47), 0x8E);
+        assert_eq!(xtime(0x8E), 0x07);
+    }
+
+    #[test]
+    fn gmul_identity_and_zero() {
+        for a in 0u16..=255 {
+            let a = a as u8;
+            assert_eq!(gmul(a, 1), a);
+            assert_eq!(gmul(1, a), a);
+            assert_eq!(gmul(a, 0), 0);
+            assert_eq!(gmul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn gmul_commutative_sampled() {
+        for a in (0u16..=255).step_by(5) {
+            for b in (0u16..=255).step_by(9) {
+                assert_eq!(gmul(a as u8, b as u8), gmul(b as u8, a as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn gmul_distributes_over_xor_sampled() {
+        for a in (0u16..=255).step_by(17) {
+            for b in (0u16..=255).step_by(13) {
+                for c in (0u16..=255).step_by(29) {
+                    let (a, b, c) = (a as u8, b as u8, c as u8);
+                    assert_eq!(gmul(a, b ^ c), gmul(a, b) ^ gmul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided_for_all_nonzero() {
+        for a in 1u16..=255 {
+            let a = a as u8;
+            let ia = inv(a);
+            assert_eq!(gmul(a, ia), 1, "a={a:#04x}");
+            assert_eq!(gmul(ia, a), 1, "a={a:#04x}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        for a in 0u16..=255 {
+            let a = a as u8;
+            assert_eq!(inv(inv(a)), a);
+        }
+    }
+
+    #[test]
+    fn gmul_associative_sampled() {
+        for a in (1u16..=255).step_by(37) {
+            for b in (1u16..=255).step_by(41) {
+                for c in (1u16..=255).step_by(43) {
+                    let (a, b, c) = (a as u8, b as u8, c as u8);
+                    assert_eq!(gmul(gmul(a, b), c), gmul(a, gmul(b, c)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Hamming weight and Hamming distance helpers.
+//!
+//! Classical CMOS power models assume the dynamic power of a bus or register
+//! update is proportional to the number of bits set (Hamming weight, for
+//! precharged buses) or the number of bits toggled (Hamming distance, for
+//! registers). Both the leakage simulation ([`crate::leakage`]) and the CPA
+//! hypothesis models in `psc-sca` are built on these helpers.
+
+/// Hamming weight (population count) of a single byte.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::hamming::hw_u8;
+/// assert_eq!(hw_u8(0x00), 0);
+/// assert_eq!(hw_u8(0xFF), 8);
+/// assert_eq!(hw_u8(0b1010_0001), 3);
+/// ```
+#[inline]
+#[must_use]
+pub fn hw_u8(x: u8) -> u32 {
+    x.count_ones()
+}
+
+/// Hamming distance between two bytes (bits that differ).
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::hamming::hd_u8;
+/// assert_eq!(hd_u8(0x00, 0xFF), 8);
+/// assert_eq!(hd_u8(0xA5, 0xA5), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn hd_u8(a: u8, b: u8) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Hamming weight of a byte slice (sum of per-byte weights).
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::hamming::hw_bytes;
+/// assert_eq!(hw_bytes(&[0xFF, 0x0F]), 12);
+/// ```
+#[inline]
+#[must_use]
+pub fn hw_bytes(xs: &[u8]) -> u32 {
+    xs.iter().map(|&x| x.count_ones()).sum()
+}
+
+/// Hamming distance between two equal-length byte slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use psc_aes::hamming::hd_bytes;
+/// assert_eq!(hd_bytes(&[0x00, 0xFF], &[0xFF, 0xFF]), 8);
+/// ```
+#[inline]
+#[must_use]
+pub fn hd_bytes(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+/// Hamming weight of a 16-byte AES state.
+#[inline]
+#[must_use]
+pub fn hw_state(state: &[u8; 16]) -> u32 {
+    hw_bytes(state)
+}
+
+/// Hamming distance between two 16-byte AES states.
+#[inline]
+#[must_use]
+pub fn hd_state(a: &[u8; 16], b: &[u8; 16]) -> u32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_u8_exhaustive_matches_naive() {
+        for x in 0u16..=255 {
+            let x = x as u8;
+            let naive = (0..8).filter(|i| x >> i & 1 == 1).count() as u32;
+            assert_eq!(hw_u8(x), naive, "x={x:#04x}");
+        }
+    }
+
+    #[test]
+    fn hd_is_hw_of_xor() {
+        for a in (0u16..=255).step_by(7) {
+            for b in (0u16..=255).step_by(11) {
+                let (a, b) = (a as u8, b as u8);
+                assert_eq!(hd_u8(a, b), hw_u8(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn hd_symmetric() {
+        assert_eq!(hd_u8(0x3C, 0xC3), hd_u8(0xC3, 0x3C));
+        assert_eq!(hd_bytes(&[1, 2, 3], &[3, 2, 1]), hd_bytes(&[3, 2, 1], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn hd_identity_is_zero() {
+        let s = [0xABu8; 16];
+        assert_eq!(hd_state(&s, &s), 0);
+    }
+
+    #[test]
+    fn hw_state_bounds() {
+        assert_eq!(hw_state(&[0u8; 16]), 0);
+        assert_eq!(hw_state(&[0xFF; 16]), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hd_bytes_length_mismatch_panics() {
+        let _ = hd_bytes(&[0u8; 3], &[0u8; 4]);
+    }
+
+    #[test]
+    fn hw_bytes_is_sum_of_parts() {
+        let xs = [0x01u8, 0x03, 0x07, 0x0F];
+        assert_eq!(hw_bytes(&xs), 1 + 2 + 3 + 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! AES key expansion for 128/192/256-bit keys (FIPS-197 §5.2).
+
+use crate::sbox::sub_byte;
+
+/// Round constants `rcon[i] = x^(i-1)` in GF(2⁸); enough for AES-256's 7 uses
+/// and AES-128's 10.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+
+/// Supported AES key sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// Key length in bytes.
+    #[must_use]
+    pub fn key_len(self) -> usize {
+        match self {
+            KeySize::Aes128 => 16,
+            KeySize::Aes192 => 24,
+            KeySize::Aes256 => 32,
+        }
+    }
+
+    /// Number of cipher rounds (`Nr`).
+    #[must_use]
+    pub fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    /// Number of 32-bit words in the key (`Nk`).
+    #[must_use]
+    pub fn nk(self) -> usize {
+        self.key_len() / 4
+    }
+
+    /// Infer the key size from a byte length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] for lengths other than 16, 24 or 32.
+    pub fn from_key_len(len: usize) -> Result<Self, InvalidKeyLength> {
+        match len {
+            16 => Ok(KeySize::Aes128),
+            24 => Ok(KeySize::Aes192),
+            32 => Ok(KeySize::Aes256),
+            other => Err(InvalidKeyLength(other)),
+        }
+    }
+}
+
+/// Error returned when a key slice has a length other than 16/24/32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLength(pub usize);
+
+impl core::fmt::Display for InvalidKeyLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid AES key length {} (expected 16, 24 or 32)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidKeyLength {}
+
+/// An expanded AES key schedule: `rounds + 1` round keys of 16 bytes each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    size: KeySize,
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl KeySchedule {
+    /// Expand `key` into the full round-key schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] if `key` is not 16, 24 or 32 bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psc_aes::key_schedule::KeySchedule;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let ks = KeySchedule::new(&[0u8; 16])?;
+    /// assert_eq!(ks.round_keys().len(), 11);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        let size = KeySize::from_key_len(key.len())?;
+        let nk = size.nk();
+        let nr = size.rounds();
+        let total_words = 4 * (nr + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sub_byte(*b);
+                }
+            }
+            let prev = w[i - nk];
+            w.push([temp[0] ^ prev[0], temp[1] ^ prev[1], temp[2] ^ prev[2], temp[3] ^ prev[3]]);
+        }
+
+        let round_keys = (0..=nr)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+
+        Ok(Self { size, round_keys })
+    }
+
+    /// The key size this schedule was expanded from.
+    #[must_use]
+    pub fn size(&self) -> KeySize {
+        self.size
+    }
+
+    /// All round keys (`rounds + 1` entries of 16 bytes).
+    #[must_use]
+    pub fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
+    }
+
+    /// The round key for round `r` (0 = initial AddRoundKey).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > rounds`.
+    #[must_use]
+    pub fn round_key(&self, r: usize) -> &[u8; 16] {
+        &self.round_keys[r]
+    }
+
+    /// Number of cipher rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.size.rounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes128_fips_appendix_a1_first_and_last_words() {
+        // FIPS-197 Appendix A.1 key expansion for
+        // 2b7e151628aed2a6abf7158809cf4f3c.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ks = KeySchedule::new(&key).unwrap();
+        assert_eq!(ks.round_keys().len(), 11);
+        assert_eq!(ks.round_key(0), &key);
+        // w[4..7] from the appendix: a0fafe17 88542cb1 23a33939 2a6c7605
+        assert_eq!(
+            ks.round_key(1),
+            &[
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
+                0x6c, 0x76, 0x05
+            ]
+        );
+        // w[40..43]: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(
+            ks.round_key(10),
+            &[
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
+                0x63, 0x0c, 0xa6
+            ]
+        );
+    }
+
+    #[test]
+    fn aes192_schedule_shape_and_spot_value() {
+        // FIPS-197 Appendix A.2 key.
+        let key = [
+            0x8e, 0x73, 0xb0, 0xf7, 0xda, 0x0e, 0x64, 0x52, 0xc8, 0x10, 0xf3, 0x2b, 0x80, 0x90,
+            0x79, 0xe5, 0x62, 0xf8, 0xea, 0xd2, 0x52, 0x2c, 0x6b, 0x7b,
+        ];
+        let ks = KeySchedule::new(&key).unwrap();
+        assert_eq!(ks.round_keys().len(), 13);
+        // w[6] = fe0c91f7, w[7] = 2402f5a5 (first derived words).
+        assert_eq!(&ks.round_key(1)[8..12], &[0xfe, 0x0c, 0x91, 0xf7]);
+        assert_eq!(&ks.round_key(1)[12..16], &[0x24, 0x02, 0xf5, 0xa5]);
+    }
+
+    #[test]
+    fn aes256_schedule_shape_and_spot_value() {
+        // FIPS-197 Appendix A.3 key.
+        let key = [
+            0x60, 0x3d, 0xeb, 0x10, 0x15, 0xca, 0x71, 0xbe, 0x2b, 0x73, 0xae, 0xf0, 0x85, 0x7d,
+            0x77, 0x81, 0x1f, 0x35, 0x2c, 0x07, 0x3b, 0x61, 0x08, 0xd7, 0x2d, 0x98, 0x10, 0xa3,
+            0x09, 0x14, 0xdf, 0xf4,
+        ];
+        let ks = KeySchedule::new(&key).unwrap();
+        assert_eq!(ks.round_keys().len(), 15);
+        // w[8] = 9ba35411 (first derived word).
+        assert_eq!(&ks.round_key(2)[0..4], &[0x9b, 0xa3, 0x54, 0x11]);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        for len in [0usize, 1, 15, 17, 23, 25, 31, 33, 64] {
+            let key = vec![0u8; len];
+            assert_eq!(KeySchedule::new(&key), Err(InvalidKeyLength(len)));
+        }
+    }
+
+    #[test]
+    fn key_size_accessors() {
+        assert_eq!(KeySize::Aes128.rounds(), 10);
+        assert_eq!(KeySize::Aes192.rounds(), 12);
+        assert_eq!(KeySize::Aes256.rounds(), 14);
+        assert_eq!(KeySize::Aes128.nk(), 4);
+        assert_eq!(KeySize::Aes192.nk(), 6);
+        assert_eq!(KeySize::Aes256.nk(), 8);
+    }
+
+    #[test]
+    fn error_display_mentions_length() {
+        let err = InvalidKeyLength(7);
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn different_keys_give_different_schedules() {
+        let a = KeySchedule::new(&[0u8; 16]).unwrap();
+        let b = KeySchedule::new(&[1u8; 16]).unwrap();
+        assert_ne!(a, b);
+    }
+}

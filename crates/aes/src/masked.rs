@@ -1,0 +1,285 @@
+//! First-order boolean-masked AES.
+//!
+//! The classic software countermeasure against first-order power analysis:
+//! every intermediate value is XOR-shared with a random per-encryption
+//! mask, so the Hamming weight of any single *processed* value is
+//! statistically independent of the secret. We implement the textbook
+//! uniform-byte-mask scheme:
+//!
+//! * the state is masked with byte `m` at each round input;
+//! * SubBytes uses a per-encryption recomputed table
+//!   `S'(x) = S(x ⊕ m) ⊕ m'` (input masked `m` → output masked `m'`);
+//! * ShiftRows permutes bytes (mask-uniform → unchanged);
+//! * MixColumns preserves a uniform byte mask because its row coefficients
+//!   XOR to `{02}⊕{03}⊕{01}⊕{01} = {01}`;
+//! * a re-mask (`⊕ m ⊕ m'`) returns the state to mask `m` for the next
+//!   round, and the final whitening unmasks.
+//!
+//! For the *power-meter* channel of the paper this countermeasure is
+//! devastating even beyond first order: the victim repeats an encryption
+//! for a whole SMC window with *fresh masks per block*, and
+//! `E_m[HW(x ⊕ m)] = 4` per byte regardless of `x` — the window-averaged
+//! power is data-independent by expectation, and mask variance averages
+//! down as 1/√reps. See `MaskedLeakage` and the masked-victim tests.
+
+use crate::cipher::Aes;
+use crate::key_schedule::{InvalidKeyLength, KeySchedule};
+use crate::sbox::SBOX;
+use crate::state::{add_round_key, mix_columns, shift_rows, State};
+
+/// A first-order masked AES-128 encryptor.
+#[derive(Debug, Clone)]
+pub struct MaskedAes {
+    schedule: KeySchedule,
+    reference: Aes,
+}
+
+/// The intermediate *processed* (i.e. masked) states of one masked
+/// encryption — what a power probe actually sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedTrace {
+    /// Plaintext.
+    pub plaintext: State,
+    /// Final (unmasked) ciphertext.
+    pub ciphertext: State,
+    /// The masks used: (state mask `m`, S-box output mask `m'`).
+    pub masks: (u8, u8),
+    /// Masked states in execution order (round inputs and outputs as the
+    /// hardware registers hold them).
+    pub states: Vec<State>,
+}
+
+impl MaskedAes {
+    /// Build from a 16-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] for non-16-byte keys (masking is
+    /// implemented for AES-128, the paper's target).
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        if key.len() != 16 {
+            return Err(InvalidKeyLength(key.len()));
+        }
+        Ok(Self { schedule: KeySchedule::new(key)?, reference: Aes::new(key)? })
+    }
+
+    /// Encrypt with explicit masks, recording every masked state.
+    ///
+    /// The output ciphertext is mask-free and always equals the reference
+    /// implementation's.
+    #[must_use]
+    pub fn encrypt_traced(&self, plaintext: &State, mask: u8, out_mask: u8) -> MaskedTrace {
+        let nr = self.schedule.rounds();
+        // Per-encryption recomputed masked S-box.
+        let mut masked_sbox = [0u8; 256];
+        for (x, slot) in masked_sbox.iter_mut().enumerate() {
+            *slot = SBOX[x ^ mask as usize] ^ out_mask;
+        }
+
+        let mut states = Vec::with_capacity(3 * nr + 2);
+        // Mask the plaintext, then the initial AddRoundKey.
+        let mut s: State = core::array::from_fn(|i| plaintext[i] ^ mask);
+        states.push(s);
+        add_round_key(&mut s, self.schedule.round_key(0));
+        states.push(s); // = pt ⊕ k0 ⊕ m
+
+        for r in 1..nr {
+            // SubBytes via the masked table: mask m → m'.
+            for b in s.iter_mut() {
+                *b = masked_sbox[*b as usize];
+            }
+            states.push(s);
+            shift_rows(&mut s);
+            // Uniform byte mask survives MixColumns ({02}⊕{03}⊕{01}⊕{01}={01}).
+            mix_columns(&mut s);
+            add_round_key(&mut s, self.schedule.round_key(r));
+            states.push(s); // masked with m'
+            // Re-mask back to m for the next round's table.
+            for b in s.iter_mut() {
+                *b ^= mask ^ out_mask;
+            }
+            states.push(s);
+        }
+
+        // Final round: SubBytes, ShiftRows, AddRoundKey, unmask.
+        for b in s.iter_mut() {
+            *b = masked_sbox[*b as usize];
+        }
+        states.push(s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, self.schedule.round_key(nr));
+        states.push(s); // = ct ⊕ m'
+        for b in s.iter_mut() {
+            *b ^= out_mask;
+        }
+
+        debug_assert_eq!(s, self.reference.encrypt_block(plaintext), "masking must be sound");
+        MaskedTrace { plaintext: *plaintext, ciphertext: s, masks: (mask, out_mask), states }
+    }
+
+    /// Encrypt with masks drawn from `rng`.
+    #[must_use]
+    pub fn encrypt_random_masks(
+        &self,
+        plaintext: &State,
+        rng: &mut dyn rand_core_shim::RngCoreShim,
+    ) -> MaskedTrace {
+        let mask = rng.next_byte();
+        let out_mask = rng.next_byte();
+        self.encrypt_traced(plaintext, mask, out_mask)
+    }
+}
+
+/// Minimal RNG shim so this crate stays free of a `rand` dependency while
+/// callers can still plug any byte source in.
+pub mod rand_core_shim {
+    /// A source of random bytes.
+    pub trait RngCoreShim {
+        /// Next random byte.
+        fn next_byte(&mut self) -> u8;
+    }
+
+    impl<F: FnMut() -> u8> RngCoreShim for F {
+        fn next_byte(&mut self) -> u8 {
+            self()
+        }
+    }
+}
+
+/// Deterministic leakage of one *masked* encryption under the same
+/// weighted-HW model as [`crate::leakage::LeakageModel`]: the weighted sum
+/// of Hamming weights over the masked round states.
+#[must_use]
+pub fn masked_activity(trace: &MaskedTrace, weight_per_state: f64) -> f64 {
+    trace
+        .states
+        .iter()
+        .map(|s| f64::from(crate::hamming::hw_state(s)) * weight_per_state)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked() -> MaskedAes {
+        MaskedAes::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ciphertext_matches_reference_for_all_probe_masks() {
+        let m = masked();
+        let reference = Aes::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
+        .unwrap();
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = reference.encrypt_block(&pt);
+        for mask in [0x00u8, 0x01, 0x5A, 0xA5, 0xFF, 0x80] {
+            for out_mask in [0x00u8, 0x3C, 0xC3, 0xFF] {
+                assert_eq!(
+                    m.encrypt_traced(&pt, mask, out_mask).ciphertext,
+                    expected,
+                    "m={mask:#04x} m'={out_mask:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_masks_reduce_to_plain_aes_states() {
+        // With m = m' = 0, the masked state right after the initial
+        // AddRoundKey equals the unmasked round-0 state.
+        let m = masked();
+        let pt = [0xA5u8; 16];
+        let trace = m.encrypt_traced(&pt, 0, 0);
+        let reference_trace = Aes::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
+        .unwrap()
+        .encrypt_traced(&pt);
+        assert_eq!(&trace.states[1], reference_trace.round0_addkey());
+    }
+
+    #[test]
+    fn round0_state_is_mask_shared() {
+        // The processed round-0 value is pt ⊕ k0 ⊕ m — never the paper's
+        // CPA target pt ⊕ k0 itself.
+        let m = masked();
+        let pt = [0x11u8; 16];
+        let t1 = m.encrypt_traced(&pt, 0x00, 0x42);
+        let t2 = m.encrypt_traced(&pt, 0x5A, 0x42);
+        let expected: State = core::array::from_fn(|i| t1.states[1][i] ^ 0x5A);
+        assert_eq!(t2.states[1], expected);
+    }
+
+    #[test]
+    fn expected_hw_is_data_independent_over_masks() {
+        // E_m[HW(x ⊕ m)] = 4 per byte for any x: average the round-0 masked
+        // state's HW over all 256 masks for two very different plaintexts.
+        let m = masked();
+        let mean_hw = |pt: &State| -> f64 {
+            let mut total = 0.0;
+            for mask in 0..=255u8 {
+                let t = m.encrypt_traced(pt, mask, mask.wrapping_add(101));
+                total += f64::from(crate::hamming::hw_state(&t.states[1]));
+            }
+            total / 256.0
+        };
+        let a = mean_hw(&[0x00u8; 16]);
+        let b = mean_hw(&[0xFFu8; 16]);
+        assert!((a - 64.0).abs() < 1e-9, "mean HW {a}");
+        assert!((b - 64.0).abs() < 1e-9, "mean HW {b}");
+    }
+
+    #[test]
+    fn masked_activity_averages_to_constant() {
+        // The full weighted activity, averaged over masks, is the same for
+        // different plaintexts (this is why window-averaged SMC readings
+        // of a masked victim carry no signal).
+        let m = masked();
+        let mean_activity = |pt: &State| -> f64 {
+            (0..=255u8)
+                .map(|mask| {
+                    masked_activity(&m.encrypt_traced(pt, mask, mask.wrapping_mul(7)), 1.0)
+                })
+                .sum::<f64>()
+                / 256.0
+        };
+        let a = mean_activity(&[0x00u8; 16]);
+        let b = mean_activity(&[0xFFu8; 16]);
+        let c = mean_activity(&[0x5Au8; 16]);
+        // Not exactly equal (later-round masked states mix plaintext and
+        // mask nonlinearly), but the spread collapses to ≪ the unmasked
+        // contrast (which is ≈128 HW units for these plaintext pairs).
+        let spread = (a - b).abs().max((a - c).abs()).max((b - c).abs());
+        assert!(spread < 8.0, "masked spread {spread} (a={a} b={b} c={c})");
+    }
+
+    #[test]
+    fn rejects_non_aes128_keys() {
+        assert!(MaskedAes::new(&[0u8; 24]).is_err());
+        assert!(MaskedAes::new(&[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn random_mask_wrapper_uses_rng() {
+        let m = masked();
+        let mut counter = 0u8;
+        let mut rng = move || {
+            counter = counter.wrapping_add(0x33);
+            counter
+        };
+        let t = m.encrypt_random_masks(&[1u8; 16], &mut rng);
+        assert_eq!(t.masks, (0x33, 0x66));
+    }
+}

@@ -1,0 +1,182 @@
+//! The 4×4 AES state and the four round transformations.
+//!
+//! FIPS-197 lays the 16 input bytes into the state column-major:
+//! `state[row][col] = input[row + 4*col]`. We keep the state as a flat
+//! `[u8; 16]` in that same input order, so `byte r + 4c` is row `r`,
+//! column `c`. All four transformations and their inverses are provided.
+
+use crate::gf::{gmul, xtime};
+use crate::sbox::{inv_sub_byte, sub_byte};
+
+/// A 16-byte AES state in FIPS-197 input order (column-major 4×4).
+pub type State = [u8; 16];
+
+/// Apply the forward S-box to every state byte.
+#[inline]
+pub fn sub_bytes(state: &mut State) {
+    for b in state.iter_mut() {
+        *b = sub_byte(*b);
+    }
+}
+
+/// Apply the inverse S-box to every state byte.
+#[inline]
+pub fn inv_sub_bytes(state: &mut State) {
+    for b in state.iter_mut() {
+        *b = inv_sub_byte(*b);
+    }
+}
+
+/// Cyclically shift row `r` left by `r` positions (FIPS-197 §5.1.2).
+///
+/// Row `r` of the state is bytes `r, r+4, r+8, r+12`.
+pub fn shift_rows(state: &mut State) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// Inverse of [`shift_rows`]: shift row `r` right by `r`.
+pub fn inv_shift_rows(state: &mut State) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + 4 - r) % 4)];
+        }
+    }
+}
+
+/// Mix one column `[a0,a1,a2,a3]` by the fixed polynomial {03}x³+{01}x²+{01}x+{02}.
+#[inline]
+fn mix_single_column(col: &mut [u8]) {
+    debug_assert_eq!(col.len(), 4);
+    let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+    // {02}·a ^ {03}·b == xtime(a) ^ xtime(b) ^ b
+    col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+    col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+    col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+    col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+}
+
+/// MixColumns (FIPS-197 §5.1.3).
+pub fn mix_columns(state: &mut State) {
+    for c in 0..4 {
+        mix_single_column(&mut state[4 * c..4 * c + 4]);
+    }
+}
+
+/// Inverse MixColumns (FIPS-197 §5.3.3): multiply each column by
+/// {0b}x³+{0d}x²+{09}x+{0e}.
+pub fn inv_mix_columns(state: &mut State) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+        col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+        col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+        col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+    }
+}
+
+/// XOR a 16-byte round key into the state.
+#[inline]
+pub fn add_round_key(state: &mut State, round_key: &[u8; 16]) {
+    for (b, k) in state.iter_mut().zip(round_key.iter()) {
+        *b ^= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_rows_matches_fips_example() {
+        // FIPS-197 Appendix B round 1: after SubBytes -> after ShiftRows.
+        let mut s: State = [
+            0xd4, 0x27, 0x11, 0xae, 0xe0, 0xbf, 0x98, 0xf1, 0xb8, 0xb4, 0x5d, 0xe5, 0x1e, 0x41,
+            0x52, 0x30,
+        ];
+        shift_rows(&mut s);
+        let expected: State = [
+            0xd4, 0xbf, 0x5d, 0x30, 0xe0, 0xb4, 0x52, 0xae, 0xb8, 0x41, 0x11, 0xf1, 0x1e, 0x27,
+            0x98, 0xe5,
+        ];
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn mix_columns_matches_fips_example() {
+        // FIPS-197 Appendix B round 1: after ShiftRows -> after MixColumns.
+        let mut s: State = [
+            0xd4, 0xbf, 0x5d, 0x30, 0xe0, 0xb4, 0x52, 0xae, 0xb8, 0x41, 0x11, 0xf1, 0x1e, 0x27,
+            0x98, 0xe5,
+        ];
+        mix_columns(&mut s);
+        let expected: State = [
+            0x04, 0x66, 0x81, 0xe5, 0xe0, 0xcb, 0x19, 0x9a, 0x48, 0xf8, 0xd3, 0x7a, 0x28, 0x06,
+            0x26, 0x4c,
+        ];
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn mix_columns_single_column_fips_worked_example() {
+        // FIPS-197 §5.1.3 example column.
+        let mut col = [0xd4u8, 0xbf, 0x5d, 0x30];
+        mix_single_column(&mut col);
+        assert_eq!(col, [0x04, 0x66, 0x81, 0xe5]);
+    }
+
+    #[test]
+    fn shift_rows_roundtrip() {
+        let mut s: State = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_roundtrip() {
+        let mut s: State = core::array::from_fn(|i| (i as u8).wrapping_mul(17).wrapping_add(3));
+        let orig = s;
+        mix_columns(&mut s);
+        assert_ne!(s, orig);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn sub_bytes_roundtrip() {
+        let mut s: State = core::array::from_fn(|i| (i * 13) as u8);
+        let orig = s;
+        sub_bytes(&mut s);
+        inv_sub_bytes(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn add_round_key_is_involution() {
+        let mut s: State = [0x55; 16];
+        let key = [0xA3u8; 16];
+        let orig = s;
+        add_round_key(&mut s, &key);
+        assert_ne!(s, orig);
+        add_round_key(&mut s, &key);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn shift_rows_preserves_row_zero() {
+        let mut s: State = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut s);
+        for c in 0..4 {
+            assert_eq!(s[4 * c], (4 * c) as u8);
+        }
+    }
+}

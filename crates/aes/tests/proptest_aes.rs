@@ -1,0 +1,110 @@
+//! Property-based tests for the AES substrate.
+
+use proptest::prelude::*;
+use psc_aes::armv8::Armv8Aes;
+use psc_aes::hamming::{hd_bytes, hd_u8, hw_bytes, hw_u8};
+use psc_aes::leakage::{LeakageModel, LeakageWeights};
+use psc_aes::{Aes, KeySchedule};
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 16),
+        proptest::collection::vec(any::<u8>(), 24),
+        proptest::collection::vec(any::<u8>(), 32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encrypt_then_decrypt_is_identity(key in key_strategy(), pt in any::<[u8; 16]>()) {
+        let aes = Aes::new(&key).unwrap();
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+    }
+
+    #[test]
+    fn armv8_path_matches_reference(key in key_strategy(), pt in any::<[u8; 16]>()) {
+        let hw = Armv8Aes::new(&key).unwrap();
+        let sw = Aes::new(&key).unwrap();
+        prop_assert_eq!(hw.encrypt_block(&pt), sw.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn armv8_decrypt_inverts(key in key_strategy(), pt in any::<[u8; 16]>()) {
+        let hw = Armv8Aes::new(&key).unwrap();
+        prop_assert_eq!(hw.decrypt_block(&hw.encrypt_block(&pt)), pt);
+    }
+
+    #[test]
+    fn encryption_is_injective_in_plaintext(
+        key in proptest::collection::vec(any::<u8>(), 16),
+        a in any::<[u8; 16]>(),
+        b in any::<[u8; 16]>(),
+    ) {
+        let aes = Aes::new(&key).unwrap();
+        if a != b {
+            prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+        }
+    }
+
+    #[test]
+    fn key_schedule_size_invariants(key in key_strategy()) {
+        let ks = KeySchedule::new(&key).unwrap();
+        prop_assert_eq!(ks.round_keys().len(), ks.rounds() + 1);
+        prop_assert_eq!(&ks.round_key(0)[..], &key[..16]);
+    }
+
+    #[test]
+    fn hw_bounds(x in any::<u8>()) {
+        prop_assert!(hw_u8(x) <= 8);
+    }
+
+    #[test]
+    fn hd_triangle_inequality(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert!(hd_u8(a, c) <= hd_u8(a, b) + hd_u8(b, c));
+    }
+
+    #[test]
+    fn hd_zero_iff_equal(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(hd_u8(a, b) == 0, a == b);
+    }
+
+    #[test]
+    fn hw_of_slice_bounds(xs in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert!(hw_bytes(&xs) <= 8 * xs.len() as u32);
+    }
+
+    #[test]
+    fn hd_slice_symmetric(xs in any::<[u8; 16]>(), ys in any::<[u8; 16]>()) {
+        prop_assert_eq!(hd_bytes(&xs, &ys), hd_bytes(&ys, &xs));
+    }
+
+    #[test]
+    fn traced_encryption_consistent(key in proptest::collection::vec(any::<u8>(), 16), pt in any::<[u8; 16]>()) {
+        let aes = Aes::new(&key).unwrap();
+        let trace = aes.encrypt_traced(&pt);
+        prop_assert_eq!(trace.ciphertext, aes.encrypt_block(&pt));
+        // Round-0 AddRoundKey output is pt ^ key for AES-128.
+        let expected: [u8; 16] = core::array::from_fn(|i| pt[i] ^ key[i]);
+        prop_assert_eq!(trace.round0_addkey(), &expected);
+    }
+
+    #[test]
+    fn leakage_activity_bounded(key in proptest::collection::vec(any::<u8>(), 16), pt in any::<[u8; 16]>()) {
+        let model = LeakageModel::new(&key).unwrap();
+        let activity = model.activity(&pt);
+        prop_assert!(activity >= 0.0);
+        prop_assert!(activity <= model.max_activity());
+    }
+
+    #[test]
+    fn leakage_monotone_in_uniform_weight(
+        key in proptest::collection::vec(any::<u8>(), 16),
+        pt in any::<[u8; 16]>(),
+    ) {
+        let small = LeakageModel::with_weights(&key, LeakageWeights::uniform(0.5)).unwrap();
+        let large = LeakageModel::with_weights(&key, LeakageWeights::uniform(1.0)).unwrap();
+        prop_assert!(large.activity(&pt) >= small.activity(&pt));
+        // Uniform weights scale linearly.
+        prop_assert!((large.activity(&pt) - 2.0 * small.activity(&pt)).abs() < 1e-9);
+    }
+}

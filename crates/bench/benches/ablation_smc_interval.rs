@@ -1,0 +1,54 @@
+//! Ablation: SMC update-interval stretching (§5 mitigation knob).
+//!
+//! At a fixed attacker wall-clock budget, multiplying the update interval
+//! by k divides the trace count by k. The bench prints the CPA guessing
+//! entropy at each multiplier.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psc_core::campaign::collect_known_plaintext_parallel_with;
+use psc_core::experiments::cpa::rd0_ranks;
+use psc_core::{Device, VictimKind};
+use psc_sca::rank::guessing_entropy;
+use psc_smc::key::key;
+use psc_smc::MitigationConfig;
+
+const KEY: [u8; 16] = [
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
+    0x7C,
+];
+
+fn run_with_multiplier(multiplier: f64, wall_clock_windows: usize) -> f64 {
+    let traces = (wall_clock_windows as f64 / multiplier) as usize;
+    let sets = collect_known_plaintext_parallel_with(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        KEY,
+        51,
+        &[key("PHPC")],
+        traces,
+        2,
+        MitigationConfig::slow_updates(multiplier),
+    );
+    guessing_entropy(&rd0_ranks(&sets[&key("PHPC")], &KEY))
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let budget = 6_000;
+    let mut group = c.benchmark_group("ablation_smc_interval");
+    group.sample_size(10);
+    for multiplier in [1.0f64, 2.0, 4.0] {
+        let ge = run_with_multiplier(multiplier, budget);
+        eprintln!(
+            "[ablation_smc_interval] interval ×{multiplier}: GE = {ge:.1} bits \
+             ({} traces in a {budget}-window budget)",
+            (budget as f64 / multiplier) as usize
+        );
+        group.bench_function(format!("interval_x{multiplier}"), |b| {
+            b.iter(|| black_box(run_with_multiplier(multiplier, 1_200)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Kernel benches: the simulation substrate (SoC window evaluation, SMC
+//! publish pipeline, IOKit read path, fuzzer dump).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psc_core::{Device, Rig, VictimKind};
+use psc_smc::fuzzer::dump_keys;
+use psc_smc::key::key;
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("substrate/soc_run_window", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        b.iter(|| black_box(rig.soc.run_window(1.0)));
+    });
+
+    c.bench_function("substrate/soc_step", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        b.iter(|| black_box(rig.soc.step(0.05)));
+    });
+
+    c.bench_function("substrate/smc_observe_window", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        let report = rig.soc.run_window(1.0);
+        b.iter(|| black_box(rig.smc.write().observe_window(black_box(&report))));
+    });
+
+    c.bench_function("substrate/iokit_read_key", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        let report = rig.soc.run_window(1.0);
+        rig.smc.write().observe_window(&report);
+        let phpc = key("PHPC");
+        b.iter(|| black_box(rig.client.read_key(black_box(phpc)).expect("readable")));
+    });
+
+    c.bench_function("substrate/fuzzer_dump_p_keys", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        let report = rig.soc.run_window(1.0);
+        rig.smc.write().observe_window(&report);
+        b.iter(|| black_box(dump_keys(&rig.client, Some('P')).expect("enumeration")));
+    });
+
+    c.bench_function("substrate/end_to_end_observation", |b| {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 9);
+        let keys = [key("PHPC"), key("PDTR"), key("PMVC"), key("PSTR")];
+        b.iter(|| {
+            let pt = rig.random_plaintext();
+            black_box(rig.observe_window(pt, &keys))
+        });
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

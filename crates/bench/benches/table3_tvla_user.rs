@@ -1,0 +1,20 @@
+//! End-to-end bench: Table 3 (TVLA campaign against the user-space victim)
+//! at a reduced trace count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psc_bench::bench_config;
+use psc_core::experiments::tvla::run_table3;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut cfg = bench_config();
+    cfg.tvla_traces_per_class = 150;
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("tvla_user_150_per_class", |b| {
+        b.iter(|| black_box(run_table3(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

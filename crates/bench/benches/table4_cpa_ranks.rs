@@ -1,0 +1,31 @@
+//! End-to-end bench: Table 4 (trace collection + Rd0-HW CPA ranking) at a
+//! reduced trace count, split into its two phases.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psc_bench::bench_config;
+use psc_core::experiments::cpa::{collect_m2_user_traces, rd0_ranks, run_table4};
+use psc_smc::key::key;
+
+fn bench_table4(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+
+    group.bench_function("collect_m2_user_traces", |b| {
+        b.iter(|| black_box(collect_m2_user_traces(&cfg)));
+    });
+
+    let traces = collect_m2_user_traces(&cfg);
+    let phpc = &traces[&key("PHPC")];
+    group.bench_function("rd0_cpa_ranks_phpc", |b| {
+        b.iter(|| black_box(rd0_ranks(phpc, &cfg.secret_key)));
+    });
+
+    group.bench_function("full_table4", |b| {
+        b.iter(|| black_box(run_table4(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

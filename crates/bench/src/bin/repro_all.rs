@@ -1,0 +1,57 @@
+//! Run every reproduction target in sequence and write a single
+//! consolidated report (REPORT.md in the working directory, also echoed
+//! to stdout) — the one-command regeneration of the whole paper.
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::countermeasure::run_countermeasures;
+use psc_core::experiments::cpa::run_table4;
+use psc_core::experiments::fig1::{run_fig1a, run_fig1b};
+use psc_core::experiments::screening::{run_table1, run_table2};
+use psc_core::experiments::success_rate::run_success_rate;
+use psc_core::experiments::table6::run_table6;
+use psc_core::experiments::throttling::run_throttling_study;
+use psc_core::experiments::tvla::{run_table3, run_table5};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let cfg = repro_config();
+    let started = Instant::now();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# apple-power-sca — consolidated reproduction report\n\n\
+         Configuration: seed {}, CPA traces {} (M2) / {} (M1), TVLA {} per\n\
+         class per pass, {} shards.\n",
+        cfg.seed, cfg.cpa_traces_m2, cfg.cpa_traces_m1, cfg.tvla_traces_per_class, cfg.shards
+    );
+
+    let mut section = |title: &str, body: String| {
+        println!("{}", banner(title));
+        println!("{body}");
+        let _ = writeln!(report, "## {title}\n\n```text\n{body}\n```\n");
+    };
+
+    section("Table 1", run_table1().render());
+    section("Table 2", run_table2(&cfg).render());
+    section("Table 3", run_table3(&cfg).render());
+    section("Table 4", run_table4(&cfg).render());
+    section("Table 5", run_table5(&cfg).render());
+    section("Table 6", run_table6(&cfg).render());
+    section("Fig 1(a)", run_fig1a(&cfg).render());
+    section("Fig 1(b)", run_fig1b(&cfg).render());
+    section("Section 4 (throttling)", run_throttling_study(&cfg).render());
+    section("Section 5 (countermeasures)", run_countermeasures(&cfg).render());
+    let max = cfg.cpa_traces_m2;
+    section(
+        "Extension (success rate)",
+        run_success_rate(&cfg, &[max / 4, max / 2, max, max * 2], 5).render(),
+    );
+
+    let elapsed = started.elapsed();
+    let _ = writeln!(report, "---\nTotal wall-clock: {:.1} s", elapsed.as_secs_f64());
+    match std::fs::write("REPORT.md", &report) {
+        Ok(()) => println!("\nwrote REPORT.md ({:.1} s total)", elapsed.as_secs_f64()),
+        Err(e) => eprintln!("could not write REPORT.md: {e}"),
+    }
+}

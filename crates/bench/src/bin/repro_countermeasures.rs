@@ -1,0 +1,11 @@
+//! Regenerate the §5 countermeasure evaluation (quantified extension):
+//! access restriction, noise blending and slower updates vs the PHPC CPA.
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::countermeasure::run_countermeasures;
+
+fn main() {
+    println!("{}", banner("Section 5 — countermeasure efficacy"));
+    let study = run_countermeasures(&repro_config());
+    println!("{}", study.render());
+}

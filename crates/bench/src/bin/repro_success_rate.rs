@@ -1,0 +1,15 @@
+//! Extension: success rate of the PHPC CPA attack vs trace budget, over
+//! independent collection sessions (quantifies the paper's remark that
+//! more traces improve the likelihood of full key recovery).
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::success_rate::run_success_rate;
+
+fn main() {
+    println!("{}", banner("Extension — success rate vs trace budget"));
+    let cfg = repro_config();
+    let max = cfg.cpa_traces_m2;
+    let counts = [max / 8, max / 4, max / 2, max, max * 2];
+    let study = run_success_rate(&cfg, &counts, 6);
+    println!("{}", study.render());
+}

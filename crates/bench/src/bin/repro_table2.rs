@@ -1,0 +1,16 @@
+//! Regenerate Table 2: workload-dependent SMC keys (idle vs stress-ng
+//! screening via the smc-fuzzer equivalent).
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::screening::run_table2;
+
+fn main() {
+    println!("{}", banner("Table 2 — workload-dependent SMC keys"));
+    let table = run_table2(&repro_config());
+    println!("{}", table.render());
+    println!(
+        "Paper's Table 2:\n\
+         Mac Mini M1 : PDTR, PHPC, PHPS, PMVR, PPMR, PSTR\n\
+         Mac Air M2  : PDTR, PHPC, PHPS, PMVC, PSTR"
+    );
+}

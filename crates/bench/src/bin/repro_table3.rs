@@ -1,0 +1,15 @@
+//! Regenerate Table 3: TVLA t-scores for the selected SMC keys with the
+//! user-space AES victim on the MacBook Air M2.
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::tvla::run_table3;
+
+fn main() {
+    println!("{}", banner("Table 3 — TVLA, user-space AES victim (M2)"));
+    let table = run_table3(&repro_config());
+    println!("{}", table.render());
+    println!(
+        "Paper's qualitative result: PHPC all true-positive/negative;\n\
+         PDTR/PMVC/PSTR mixed with several false outcomes; PHPS no leakage."
+    );
+}

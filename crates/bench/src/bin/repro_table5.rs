@@ -1,0 +1,15 @@
+//! Regenerate Table 5: TVLA t-scores with the AES kernel-module victim on
+//! the MacBook Air M2.
+
+use psc_bench::{banner, repro_config};
+use psc_core::experiments::tvla::run_table5;
+
+fn main() {
+    println!("{}", banner("Table 5 — TVLA, AES kernel-module victim (M2)"));
+    let table = run_table5(&repro_config());
+    println!("{}", table.render());
+    println!(
+        "Paper: data-dependency pattern consistent with the user-space victim\n\
+         (PHPC strongest; PDTR/PMVC/PSTR dependent; PHPS least correlated)."
+    );
+}

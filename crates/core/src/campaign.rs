@@ -1,0 +1,276 @@
+//! Trace-collection campaigns: the attacker's measurement loops.
+
+use crate::rig::{Device, Rig};
+use crate::victim::VictimKind;
+use psc_sca::trace::{Trace, TraceSet};
+use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
+use psc_smc::SmcKey;
+use std::collections::BTreeMap;
+
+/// The six datasets of one TVLA campaign for one channel: each of the
+/// three plaintext classes collected twice (unprimed pass, then primed
+/// pass — the temporal separation is what exposes drifting channels like
+/// `PSTR` as false positives).
+#[derive(Debug, Clone, Default)]
+pub struct TvlaDatasets {
+    /// First-pass datasets, indexed like [`PlaintextClass::ALL`].
+    pub first: [Vec<f64>; 3],
+    /// Second-pass (primed) datasets.
+    pub second: [Vec<f64>; 3],
+}
+
+impl TvlaDatasets {
+    /// Compute the 3×3 t-score matrix.
+    #[must_use]
+    pub fn matrix(&self, label: impl Into<String>) -> TvlaMatrix {
+        TvlaMatrix::compute(label, &self.first, &self.second)
+    }
+}
+
+/// Result of a multi-channel TVLA collection run.
+#[derive(Debug, Clone, Default)]
+pub struct TvlaCampaign {
+    /// Per-SMC-key datasets.
+    pub per_key: BTreeMap<SmcKey, TvlaDatasets>,
+    /// IOReport `PCPU` channel datasets (for Table 6).
+    pub pcpu: TvlaDatasets,
+}
+
+/// Collect TVLA datasets: for each pass and each plaintext class, run
+/// `traces_per_class` windows with the class plaintext loaded into the
+/// victim, logging every requested SMC key and the `PCPU` channel.
+pub fn run_tvla_campaign(
+    rig: &mut Rig,
+    keys: &[SmcKey],
+    traces_per_class: usize,
+) -> TvlaCampaign {
+    let mut campaign = TvlaCampaign::default();
+    for key in keys {
+        campaign.per_key.insert(*key, TvlaDatasets::default());
+    }
+    for pass in 0..2 {
+        for (class_idx, class) in PlaintextClass::ALL.iter().enumerate() {
+            for _ in 0..traces_per_class {
+                let pt = class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
+                let obs = rig.observe_window(pt, keys);
+                for (key, value) in &obs.smc {
+                    if let Some(v) = value {
+                        let sets = campaign.per_key.get_mut(key).expect("key registered");
+                        let target = if pass == 0 { &mut sets.first } else { &mut sets.second };
+                        target[class_idx].push(*v);
+                    }
+                }
+                let target =
+                    if pass == 0 { &mut campaign.pcpu.first } else { &mut campaign.pcpu.second };
+                target[class_idx].push(obs.pcpu_delta_mj);
+            }
+        }
+    }
+    campaign
+}
+
+/// Collect known-plaintext CPA traces: `n` windows with fresh random
+/// plaintexts, logging every requested key (§3.4's collection loop).
+pub fn collect_known_plaintext(
+    rig: &mut Rig,
+    keys: &[SmcKey],
+    n: usize,
+) -> BTreeMap<SmcKey, TraceSet> {
+    let mut sets: BTreeMap<SmcKey, TraceSet> = keys
+        .iter()
+        .map(|&k| (k, TraceSet::with_capacity(k.to_string(), n)))
+        .collect();
+    for _ in 0..n {
+        let pt = rig.random_plaintext();
+        let obs = rig.observe_window(pt, keys);
+        for (key, value) in &obs.smc {
+            if let Some(v) = value {
+                sets.get_mut(key).expect("key registered").push(Trace {
+                    value: *v,
+                    plaintext: obs.plaintext,
+                    ciphertext: obs.ciphertext,
+                });
+            }
+        }
+    }
+    sets
+}
+
+/// Parallel known-plaintext collection: shards the campaign across
+/// independent rigs (seeded `seed + shard`) on OS threads and concatenates
+/// the per-key trace sets in shard order.
+///
+/// Physically this corresponds to pooling traces from repeated collection
+/// sessions, which is how a real attacker amortizes a 1M-trace campaign.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+pub fn collect_known_plaintext_parallel(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    n: usize,
+    shards: usize,
+) -> BTreeMap<SmcKey, TraceSet> {
+    collect_known_plaintext_parallel_with(
+        device,
+        kind,
+        secret_key,
+        seed,
+        keys,
+        n,
+        shards,
+        psc_smc::MitigationConfig::none(),
+    )
+}
+
+/// As [`collect_known_plaintext_parallel`], with a countermeasure
+/// configuration installed on every shard's SMC stack before collection
+/// (the §5 evaluation path).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn collect_known_plaintext_parallel_with(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    n: usize,
+    shards: usize,
+    mitigation: psc_smc::MitigationConfig,
+) -> BTreeMap<SmcKey, TraceSet> {
+    assert!(shards > 0, "need at least one shard");
+    let per_shard = n / shards;
+    let remainder = n % shards;
+    let mut shard_results: Vec<BTreeMap<SmcKey, TraceSet>> = Vec::with_capacity(shards);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|i| {
+                let keys = keys.to_vec();
+                scope.spawn(move |_| {
+                    let count = per_shard + usize::from(i < remainder);
+                    let mut rig =
+                        Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
+                    rig.set_mitigation(mitigation);
+                    collect_known_plaintext(&mut rig, &keys, count)
+                })
+            })
+            .collect();
+        for h in handles {
+            shard_results.push(h.join().expect("collection shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut merged: BTreeMap<SmcKey, TraceSet> = keys
+        .iter()
+        .map(|&k| (k, TraceSet::with_capacity(k.to_string(), n)))
+        .collect();
+    for shard in shard_results {
+        for (key, set) in shard {
+            merged.get_mut(&key).expect("key registered").extend(set.traces().iter().copied());
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_smc::key::key;
+
+    fn rig() -> Rig {
+        Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [0x3Cu8; 16], 21)
+    }
+
+    #[test]
+    fn tvla_campaign_shapes() {
+        let mut rig = rig();
+        let keys = [key("PHPC"), key("PHPS")];
+        let campaign = run_tvla_campaign(&mut rig, &keys, 40);
+        assert_eq!(campaign.per_key.len(), 2);
+        for sets in campaign.per_key.values() {
+            for class in 0..3 {
+                assert_eq!(sets.first[class].len(), 40);
+                assert_eq!(sets.second[class].len(), 40);
+            }
+        }
+        assert_eq!(campaign.pcpu.first[0].len(), 40);
+        let matrix = campaign.per_key[&key("PHPC")].matrix("PHPC");
+        assert_eq!(matrix.cells.len(), 9);
+    }
+
+    #[test]
+    fn known_plaintext_collection_records_pairs() {
+        let mut rig = rig();
+        let keys = [key("PHPC")];
+        let sets = collect_known_plaintext(&mut rig, &keys, 25);
+        let set = &sets[&key("PHPC")];
+        assert_eq!(set.len(), 25);
+        let aes = psc_aes::Aes::new(&[0x3Cu8; 16]).unwrap();
+        for t in set.iter() {
+            assert_eq!(t.ciphertext, aes.encrypt_block(&t.plaintext), "service consistency");
+            assert!(t.value > 0.0);
+        }
+        // Plaintexts are fresh random per trace.
+        let first_pt = set.traces()[0].plaintext;
+        assert!(set.iter().any(|t| t.plaintext != first_pt));
+    }
+
+    #[test]
+    fn parallel_collection_matches_requested_count() {
+        let keys = [key("PHPC"), key("PDTR")];
+        let sets = collect_known_plaintext_parallel(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3Cu8; 16],
+            5,
+            &keys,
+            53,
+            4,
+        );
+        assert_eq!(sets[&key("PHPC")].len(), 53);
+        assert_eq!(sets[&key("PDTR")].len(), 53);
+    }
+
+    #[test]
+    fn parallel_single_shard_equals_serial() {
+        let keys = [key("PHPC")];
+        let serial = {
+            let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 77);
+            collect_known_plaintext(&mut rig, &keys, 10)
+        };
+        let parallel = collect_known_plaintext_parallel(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [1u8; 16],
+            77,
+            &keys,
+            10,
+            1,
+        );
+        assert_eq!(serial[&key("PHPC")], parallel[&key("PHPC")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = collect_known_plaintext_parallel(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [1u8; 16],
+            1,
+            &[key("PHPC")],
+            10,
+            0,
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! One runner per table/figure of the paper, plus shared configuration.
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Table 1 (device specs) | [`screening::run_table1`] |
+//! | Table 2 (workload-dependent keys) | [`screening::run_table2`] |
+//! | Table 3 (TVLA, user victim) | [`tvla::run_table3`] |
+//! | Table 4 (CPA ranks + GE) | [`cpa::run_table4`] |
+//! | Table 5 (TVLA, kernel victim) | [`tvla::run_table5`] |
+//! | Table 6 (PCPU + timing nulls) | [`table6::run_table6`] |
+//! | Fig. 1(a) (GE curves, user) | [`fig1::run_fig1a`] |
+//! | Fig. 1(b) (GE curves, kernel) | [`fig1::run_fig1b`] |
+//! | §4 narrative (throttling) | [`throttling::run_throttling_study`] |
+//! | §5 countermeasures | [`countermeasure::run_countermeasures`] |
+
+pub mod config;
+pub mod countermeasure;
+pub mod cpa;
+pub mod fig1;
+pub mod screening;
+pub mod success_rate;
+pub mod table6;
+pub mod throttling;
+pub mod tvla;
+
+pub use config::ExperimentConfig;

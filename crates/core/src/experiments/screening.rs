@@ -1,0 +1,220 @@
+//! Table 1 (device specs) and Table 2 (workload-dependent SMC keys).
+//!
+//! Table 2 methodology (§3.2): enumerate all `P…` keys with the fuzzer,
+//! dump them while idle and while a `stress-ng`-style matrix workload runs
+//! on every core, and flag the keys whose values moved.
+
+use crate::experiments::config::ExperimentConfig;
+use crate::rig::Device;
+use psc_smc::fuzzer::{diff_dumps, dump_keys};
+use psc_smc::iokit::{share, SmcUserClient};
+use psc_smc::{Smc, SmcKey};
+use psc_soc::sched::SchedAttrs;
+use psc_soc::workload::MatrixStressor;
+use psc_soc::Soc;
+use std::sync::Arc;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Device name.
+    pub device: String,
+    /// P-core count.
+    pub p_count: usize,
+    /// P-core max frequency, GHz.
+    pub p_max_ghz: f64,
+    /// E-core count.
+    pub e_count: usize,
+    /// E-core max frequency, GHz.
+    pub e_max_ghz: f64,
+    /// OS version.
+    pub os_version: String,
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Rows in the paper's order (M1 first).
+    pub rows: Vec<Table1Row>,
+}
+
+/// Regenerate Table 1 from the device presets.
+#[must_use]
+pub fn run_table1() -> Table1 {
+    let rows = Device::ALL
+        .iter()
+        .map(|d| {
+            let spec = d.soc_spec();
+            Table1Row {
+                device: spec.name.clone(),
+                p_count: spec.p_cluster.core_count,
+                p_max_ghz: spec.p_cluster.max_freq_ghz(),
+                e_count: spec.e_cluster.core_count,
+                e_max_ghz: spec.e_cluster.max_freq_ghz(),
+                os_version: spec.os_version.clone(),
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Paper-format rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 1: Specifications of the tested devices\n\
+             Device         P-cores      (max freq)  E-cores      (max freq)  OS version\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:<12} {:<11} {:<12} {:<11} {}\n",
+                r.device,
+                r.p_count,
+                format!("{:.3} GHz", r.p_max_ghz),
+                r.e_count,
+                format!("{:.3} GHz", r.e_max_ghz),
+                r.os_version
+            ));
+        }
+        out
+    }
+}
+
+/// Table 2 result for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Device name.
+    pub device: String,
+    /// The keys flagged as workload-dependent, sorted.
+    pub varying_keys: Vec<SmcKey>,
+    /// Idle/busy values per flagged key (for the report).
+    pub details: Vec<(SmcKey, f64, f64)>,
+}
+
+/// The reproduced Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// One row per device.
+    pub rows: Vec<Table2Row>,
+}
+
+/// The idle-vs-busy variation threshold (watts) used by the screening.
+pub const SCREENING_THRESHOLD_W: f64 = 0.1;
+
+/// Run the Table 2 screening on one device.
+#[must_use]
+pub fn screen_device(device: Device, cfg: &ExperimentConfig) -> Table2Row {
+    let mut soc = Soc::new(device.soc_spec(), cfg.seed);
+    let smc = share(Smc::new(device.sensor_set(), cfg.seed.wrapping_add(100)));
+    let client = SmcUserClient::new(Arc::clone(&smc));
+
+    let settle = |soc: &mut Soc, smc: &psc_smc::iokit::SharedSmc, windows: usize| {
+        for _ in 0..windows {
+            let report = soc.run_window(1.0);
+            smc.write().observe_window(&report);
+        }
+    };
+
+    // Idle dump.
+    settle(&mut soc, &smc, 5);
+    let idle = dump_keys(&client, Some('P')).expect("enumeration");
+
+    // stress-ng matrix workload on every core (§3.2: "matrix operations on
+    // all available cores").
+    let spec = device.soc_spec();
+    for i in 0..spec.p_cluster.core_count {
+        soc.spawn(format!("stress-p{i}"), SchedAttrs::realtime_p_core(), Box::new(MatrixStressor::default()));
+    }
+    for i in 0..spec.e_cluster.core_count {
+        soc.spawn(format!("stress-e{i}"), SchedAttrs::background_e_core(), Box::new(MatrixStressor::default()));
+    }
+    settle(&mut soc, &smc, 5);
+    let busy = dump_keys(&client, Some('P')).expect("enumeration");
+
+    let mut varying = diff_dumps(&idle, &busy, SCREENING_THRESHOLD_W);
+    varying.sort_by_key(|v| v.key);
+    Table2Row {
+        device: device.label().to_owned(),
+        varying_keys: varying.iter().map(|v| v.key).collect(),
+        details: varying.iter().map(|v| (v.key, v.idle, v.busy)).collect(),
+    }
+}
+
+/// Run the Table 2 screening on both devices.
+#[must_use]
+pub fn run_table2(cfg: &ExperimentConfig) -> Table2 {
+    Table2 { rows: Device::ALL.iter().map(|d| screen_device(*d, cfg)).collect() }
+}
+
+impl Table2 {
+    /// Paper-format rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 2: Workload-dependent SMC keys\n");
+        for row in &self.rows {
+            let names: Vec<String> = row.varying_keys.iter().map(SmcKey::to_string).collect();
+            out.push_str(&format!("{:<14} {}\n", row.device, names.join(", ")));
+        }
+        out.push_str("\nIdle vs busy values (W):\n");
+        for row in &self.rows {
+            for (k, idle, busy) in &row.details {
+                out.push_str(&format!(
+                    "  {:<14} {k}: idle {idle:>8.3}  busy {busy:>8.3}\n",
+                    row.device
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_smc::key::key;
+
+    #[test]
+    fn table1_matches_presets() {
+        let t = run_table1();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].device, "Mac Mini M1");
+        assert_eq!(t.rows[0].p_count, 4);
+        assert!((t.rows[0].p_max_ghz - 3.204).abs() < 1e-9);
+        assert_eq!(t.rows[1].os_version, "macOS 13.0");
+        let text = t.render();
+        assert!(text.contains("Mac Air M2"));
+        assert!(text.contains("3.504 GHz"));
+    }
+
+    #[test]
+    fn table2_m2_finds_exactly_the_paper_keys() {
+        let row = screen_device(Device::MacbookAirM2, &ExperimentConfig::quick());
+        let expected: Vec<SmcKey> =
+            vec![key("PDTR"), key("PHPC"), key("PHPS"), key("PMVC"), key("PSTR")];
+        assert_eq!(row.varying_keys, expected, "details: {:?}", row.details);
+    }
+
+    #[test]
+    fn table2_m1_finds_exactly_the_paper_keys() {
+        let row = screen_device(Device::MacMiniM1, &ExperimentConfig::quick());
+        let expected: Vec<SmcKey> = vec![
+            key("PDTR"),
+            key("PHPC"),
+            key("PHPS"),
+            key("PMVR"),
+            key("PPMR"),
+            key("PSTR"),
+        ];
+        assert_eq!(row.varying_keys, expected, "details: {:?}", row.details);
+    }
+
+    #[test]
+    fn table2_render_mentions_both_devices() {
+        let t = run_table2(&ExperimentConfig::quick());
+        let text = t.render();
+        assert!(text.contains("Mac Mini M1"));
+        assert!(text.contains("Mac Air M2"));
+        assert!(text.contains("PHPC"));
+    }
+}

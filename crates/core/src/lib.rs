@@ -1,0 +1,42 @@
+//! # psc-core — end-to-end software power side-channel attacks
+//!
+//! The paper's attacks, wired end to end over the simulation substrates:
+//!
+//! * [`victim`] — the user-space and kernel-module AES victims (§3.1's
+//!   threat model: the attacker may call the encryption service but never
+//!   read the key);
+//! * [`rig`] — one simulated device with SMC, IOKit client, IOReport and a
+//!   victim installed;
+//! * [`campaign`] — the attacker's trace-collection loops (TVLA datasets,
+//!   known-plaintext CPA traces, parallel sharded collection);
+//! * [`experiments`] — a runner per table/figure of the paper, with
+//!   paper-format rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psc_core::experiments::{screening, ExperimentConfig};
+//!
+//! // Table 1 is pure configuration:
+//! let table1 = screening::run_table1();
+//! assert_eq!(table1.rows.len(), 2);
+//!
+//! // Table 2 runs the idle-vs-busy fuzzer screening:
+//! let cfg = ExperimentConfig::quick();
+//! let table2 = screening::run_table2(&cfg);
+//! assert!(table2.rows[1].varying_keys.iter().any(|k| k.to_string() == "PHPC"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod experiments;
+pub mod pmset;
+pub mod rig;
+pub mod victim;
+
+pub use campaign::{collect_known_plaintext, run_tvla_campaign, TvlaCampaign, TvlaDatasets};
+pub use experiments::ExperimentConfig;
+pub use rig::{Device, Observation, Rig};
+pub use victim::{AesVictim, VictimKind};

@@ -1,0 +1,152 @@
+//! A `pmset`-style power-management settings interface.
+//!
+//! §4 of the paper discovers the reactive power limit through macOS's
+//! `pmset` utility: "a tunable binary setting named lowpowermode.
+//! Activating lowpowermode by setting it to 1…". This module reproduces
+//! that administrative surface over the simulated SoC so experiment code
+//! reads like the paper's methodology.
+
+use psc_soc::{PowerMode, Soc};
+
+/// Settings `pmset` understands in this simulation.
+pub const KNOWN_SETTINGS: [&str; 2] = ["lowpowermode", "powermode"];
+
+/// Error from [`Pmset::set`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmsetError {
+    /// The setting name is not recognized.
+    UnknownSetting(String),
+    /// The value is invalid for the setting.
+    InvalidValue {
+        /// The setting.
+        setting: String,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl core::fmt::Display for PmsetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PmsetError::UnknownSetting(s) => write!(f, "pmset: unrecognized setting {s:?}"),
+            PmsetError::InvalidValue { setting, value } => {
+                write!(f, "pmset: invalid value {value} for {setting:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmsetError {}
+
+/// The settings utility, operating on a borrowed SoC.
+#[derive(Debug)]
+pub struct Pmset<'a> {
+    soc: &'a mut Soc,
+}
+
+impl<'a> Pmset<'a> {
+    /// Attach to a SoC.
+    #[must_use]
+    pub fn new(soc: &'a mut Soc) -> Self {
+        Self { soc }
+    }
+
+    /// `pmset -a <setting> <value>`.
+    ///
+    /// Supported: `lowpowermode {0,1}` and the macOS-13 style
+    /// `powermode {0: automatic, 1: low, 2: high}` (high behaves like
+    /// automatic on these machines).
+    ///
+    /// # Errors
+    ///
+    /// [`PmsetError::UnknownSetting`] / [`PmsetError::InvalidValue`].
+    pub fn set(&mut self, setting: &str, value: i64) -> Result<(), PmsetError> {
+        match setting {
+            "lowpowermode" => match value {
+                0 => {
+                    self.soc.set_power_mode(PowerMode::Normal);
+                    Ok(())
+                }
+                1 => {
+                    self.soc.set_power_mode(PowerMode::LowPower);
+                    Ok(())
+                }
+                v => Err(PmsetError::InvalidValue { setting: setting.to_owned(), value: v }),
+            },
+            "powermode" => match value {
+                0 | 2 => {
+                    self.soc.set_power_mode(PowerMode::Normal);
+                    Ok(())
+                }
+                1 => {
+                    self.soc.set_power_mode(PowerMode::LowPower);
+                    Ok(())
+                }
+                v => Err(PmsetError::InvalidValue { setting: setting.to_owned(), value: v }),
+            },
+            other => Err(PmsetError::UnknownSetting(other.to_owned())),
+        }
+    }
+
+    /// `pmset -g`: report current settings.
+    #[must_use]
+    pub fn get(&self) -> Vec<(String, i64)> {
+        let lp = i64::from(self.soc.power_mode() == PowerMode::LowPower);
+        vec![("lowpowermode".to_owned(), lp), ("powermode".to_owned(), lp)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_soc::SocSpec;
+
+    fn soc() -> Soc {
+        Soc::new(SocSpec::macbook_air_m2(), 1)
+    }
+
+    #[test]
+    fn lowpowermode_toggles_soc_mode() {
+        let mut soc = soc();
+        Pmset::new(&mut soc).set("lowpowermode", 1).unwrap();
+        assert_eq!(soc.power_mode(), PowerMode::LowPower);
+        assert!((soc.p_freq_ghz() - 1.968).abs() < 1e-9, "frequency cap applied");
+        Pmset::new(&mut soc).set("lowpowermode", 0).unwrap();
+        assert_eq!(soc.power_mode(), PowerMode::Normal);
+    }
+
+    #[test]
+    fn powermode_synonym() {
+        let mut soc = soc();
+        Pmset::new(&mut soc).set("powermode", 1).unwrap();
+        assert_eq!(soc.power_mode(), PowerMode::LowPower);
+        Pmset::new(&mut soc).set("powermode", 2).unwrap();
+        assert_eq!(soc.power_mode(), PowerMode::Normal);
+    }
+
+    #[test]
+    fn unknown_setting_rejected() {
+        let mut soc = soc();
+        let err = Pmset::new(&mut soc).set("hibernatemode", 3).unwrap_err();
+        assert!(matches!(err, PmsetError::UnknownSetting(_)));
+        assert!(err.to_string().contains("hibernatemode"));
+    }
+
+    #[test]
+    fn invalid_value_rejected() {
+        let mut soc = soc();
+        let err = Pmset::new(&mut soc).set("lowpowermode", 7).unwrap_err();
+        assert_eq!(
+            err,
+            PmsetError::InvalidValue { setting: "lowpowermode".to_owned(), value: 7 }
+        );
+    }
+
+    #[test]
+    fn get_reports_current_state() {
+        let mut soc = soc();
+        assert_eq!(Pmset::new(&mut soc).get()[0], ("lowpowermode".to_owned(), 0));
+        Pmset::new(&mut soc).set("lowpowermode", 1).unwrap();
+        assert_eq!(Pmset::new(&mut soc).get()[0], ("lowpowermode".to_owned(), 1));
+    }
+}

@@ -1,0 +1,245 @@
+//! The "Energy Model" group and CPU statistics.
+//!
+//! §3.6 of the paper: the `PCPU` channel of the "Energy Model" group
+//! reports P-core energy, and TVLA shows **no** data dependence. The paper
+//! attributes this to (a) millijoule resolution, much coarser than the µW
+//! SMC keys, and (b) the suspicion that the group publishes an *estimated*
+//! energy model computed from core utilization rather than a sensor
+//! reading. Both properties hold here by construction: the accumulator
+//! integrates the SoC's data-blind power **estimator** and quantizes to mJ.
+
+use crate::channel::{ChannelId, ChannelUnit, IoReport, Snapshot};
+use psc_soc::WindowReport;
+
+/// Millijoule quantization of the energy channels.
+pub const ENERGY_QUANTUM_MJ: f64 = 1.0;
+
+/// Integrates SoC activity into IOReport channels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyModelReporter {
+    report: IoReport,
+    // Unquantized running energies, mJ.
+    pcpu_mj: f64,
+    ecpu_mj: f64,
+    dram_mj: f64,
+    p_busy_ns: f64,
+    e_busy_ns: f64,
+    p_core_busy_ns: [f64; 4],
+    e_core_busy_ns: [f64; 4],
+}
+
+impl EnergyModelReporter {
+    /// New reporter with the standard channel layout.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut report = IoReport::new();
+        report.register(Self::pcpu(), ChannelUnit::Millijoules);
+        report.register(Self::ecpu(), ChannelUnit::Millijoules);
+        report.register(Self::dram(), ChannelUnit::Millijoules);
+        report.register(Self::p_residency(), ChannelUnit::Nanoseconds);
+        report.register(Self::e_residency(), ChannelUnit::Nanoseconds);
+        for core in 0..4 {
+            report.register(Self::p_core_residency(core), ChannelUnit::Nanoseconds);
+            report.register(Self::e_core_residency(core), ChannelUnit::Nanoseconds);
+        }
+        Self { report, ..Default::default() }
+    }
+
+    /// `CPU Stats/P-Core N busy residency` (per-core view, as shown by
+    /// `socpowerbud`).
+    #[must_use]
+    pub fn p_core_residency(core: usize) -> ChannelId {
+        ChannelId::new("CPU Stats", format!("P-Core {core} busy residency"))
+    }
+
+    /// `CPU Stats/E-Core N busy residency`.
+    #[must_use]
+    pub fn e_core_residency(core: usize) -> ChannelId {
+        ChannelId::new("CPU Stats", format!("E-Core {core} busy residency"))
+    }
+
+    /// `Energy Model/PCPU` — the channel the paper probes.
+    #[must_use]
+    pub fn pcpu() -> ChannelId {
+        ChannelId::new("Energy Model", "PCPU")
+    }
+
+    /// `Energy Model/ECPU`.
+    #[must_use]
+    pub fn ecpu() -> ChannelId {
+        ChannelId::new("Energy Model", "ECPU")
+    }
+
+    /// `Energy Model/DRAM`.
+    #[must_use]
+    pub fn dram() -> ChannelId {
+        ChannelId::new("Energy Model", "DRAM")
+    }
+
+    /// `CPU Stats/P-Cluster busy residency`.
+    #[must_use]
+    pub fn p_residency() -> ChannelId {
+        ChannelId::new("CPU Stats", "P-Cluster busy residency")
+    }
+
+    /// `CPU Stats/E-Cluster busy residency`.
+    #[must_use]
+    pub fn e_residency() -> ChannelId {
+        ChannelId::new("CPU Stats", "E-Cluster busy residency")
+    }
+
+    /// Integrate one SoC window. Energies come from the *estimator* fields
+    /// of the report (data-independent), never from the sensed rails.
+    pub fn observe_window(&mut self, window: &WindowReport) {
+        let dt = window.duration_s;
+        self.pcpu_mj += window.estimated_p_cluster_w * dt * 1.0e3;
+        self.ecpu_mj += window.estimated_e_cluster_w * dt * 1.0e3;
+        // DRAM energy estimate: a fixed fraction of CPU activity (the real
+        // energy model uses counters; the rail is NOT consulted).
+        self.dram_mj += 0.15 * window.estimated_cpu_power_w * dt * 1.0e3;
+        self.p_busy_ns += dt * 1.0e9;
+        self.e_busy_ns += dt * 1.0e9;
+        for core in 0..4 {
+            self.p_core_busy_ns[core] += window.p_core_util[core] * dt * 1.0e9;
+            self.e_core_busy_ns[core] += window.e_core_util[core] * dt * 1.0e9;
+        }
+
+        self.sync();
+        self.report.advance_time(dt);
+    }
+
+    fn sync(&mut self) {
+        // Publish quantized cumulative values (mJ resolution).
+        let set = |report: &mut IoReport, id: &ChannelId, target: f64| {
+            let current = report.snapshot().get(id).map_or(0.0, |v| v.value);
+            let quantized = (target / ENERGY_QUANTUM_MJ).floor() * ENERGY_QUANTUM_MJ;
+            report.accumulate(id, quantized - current);
+        };
+        set(&mut self.report, &Self::pcpu(), self.pcpu_mj);
+        set(&mut self.report, &Self::ecpu(), self.ecpu_mj);
+        set(&mut self.report, &Self::dram(), self.dram_mj);
+        let set_ns = |report: &mut IoReport, id: &ChannelId, target: f64| {
+            let current = report.snapshot().get(id).map_or(0.0, |v| v.value);
+            report.accumulate(id, target - current);
+        };
+        set_ns(&mut self.report, &Self::p_residency(), self.p_busy_ns);
+        set_ns(&mut self.report, &Self::e_residency(), self.e_busy_ns);
+        for core in 0..4 {
+            set_ns(&mut self.report, &Self::p_core_residency(core), self.p_core_busy_ns[core]);
+            set_ns(&mut self.report, &Self::e_core_residency(core), self.e_core_busy_ns[core]);
+        }
+    }
+
+    /// Take a snapshot (the `socpowerbud` read pattern).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.report.snapshot()
+    }
+
+    /// The underlying registry (group/channel enumeration).
+    #[must_use]
+    pub fn registry(&self) -> &IoReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_soc::PowerRails;
+
+    fn window(p_rail: f64, est_p: f64) -> WindowReport {
+        WindowReport {
+            duration_s: 1.0,
+            rails: PowerRails::assemble(p_rail, 0.3, 0.4, 0.5, 0.88, 1.5),
+            estimated_cpu_power_w: est_p + 0.3,
+            estimated_p_cluster_w: est_p,
+            estimated_e_cluster_w: 0.3,
+            p_freq_ghz: 3.5,
+            e_freq_ghz: 2.4,
+            temperature_c: 40.0,
+            p_core_reps: 1.0e7,
+            ..WindowReport::default()
+        }
+    }
+
+    #[test]
+    fn pcpu_integrates_estimator_energy() {
+        let mut rep = EnergyModelReporter::new();
+        for _ in 0..10 {
+            rep.observe_window(&window(2.5, 2.0));
+        }
+        let snap = rep.snapshot();
+        let pcpu = snap.get(&EnergyModelReporter::pcpu()).unwrap().value;
+        // 2.0 W × 10 s = 20 J = 20_000 mJ.
+        assert!((pcpu - 20_000.0).abs() <= 2.0, "pcpu {pcpu} mJ");
+    }
+
+    #[test]
+    fn pcpu_ignores_sensed_rail() {
+        // Same estimator value, wildly different rails → identical energy.
+        let run = |p_rail: f64| {
+            let mut rep = EnergyModelReporter::new();
+            for _ in 0..5 {
+                rep.observe_window(&window(p_rail, 2.0));
+            }
+            rep.snapshot().get(&EnergyModelReporter::pcpu()).unwrap().value
+        };
+        assert_eq!(run(1.0), run(9.0), "PCPU must be blind to the rail");
+    }
+
+    #[test]
+    fn energy_is_mj_quantized() {
+        let mut rep = EnergyModelReporter::new();
+        rep.observe_window(&WindowReport { duration_s: 0.0107, ..window(2.5, 2.0) });
+        let pcpu = rep.snapshot().get(&EnergyModelReporter::pcpu()).unwrap().value;
+        assert_eq!(pcpu.fract(), 0.0, "mJ quantization leaves integers");
+    }
+
+    #[test]
+    fn snapshot_delta_gives_window_energy() {
+        let mut rep = EnergyModelReporter::new();
+        rep.observe_window(&window(2.5, 2.0));
+        let first = rep.snapshot();
+        rep.observe_window(&window(2.5, 2.0));
+        let delta = rep.snapshot().delta(&first);
+        let pcpu = delta.get(&EnergyModelReporter::pcpu()).unwrap().value;
+        assert!((pcpu - 2000.0).abs() <= 2.0, "≈2 J per 1 s window, got {pcpu} mJ");
+    }
+
+    #[test]
+    fn channels_enumerate_like_socpowerbud() {
+        let rep = EnergyModelReporter::new();
+        let groups = rep.registry().groups();
+        assert!(groups.contains(&"Energy Model".to_owned()));
+        assert!(groups.contains(&"CPU Stats".to_owned()));
+        // 3 energy + 2 cluster residency + 8 per-core residency channels.
+        assert_eq!(rep.registry().channel_ids().len(), 13);
+    }
+
+    #[test]
+    fn per_core_residency_follows_utilization() {
+        let mut rep = EnergyModelReporter::new();
+        let mut w = window(2.5, 2.0);
+        w.p_core_util = [1.0, 1.0, 0.5, 0.0];
+        w.e_core_util = [0.0; 4];
+        for _ in 0..4 {
+            rep.observe_window(&w);
+        }
+        let snap = rep.snapshot();
+        let res = |id| snap.get(&id).unwrap().value;
+        assert!((res(EnergyModelReporter::p_core_residency(0)) - 4.0e9).abs() < 1.0);
+        assert!((res(EnergyModelReporter::p_core_residency(2)) - 2.0e9).abs() < 1.0);
+        assert_eq!(res(EnergyModelReporter::p_core_residency(3)), 0.0);
+        assert_eq!(res(EnergyModelReporter::e_core_residency(1)), 0.0);
+    }
+
+    #[test]
+    fn residency_accumulates_nanoseconds() {
+        let mut rep = EnergyModelReporter::new();
+        rep.observe_window(&window(2.5, 2.0));
+        let res = rep.snapshot().get(&EnergyModelReporter::p_residency()).unwrap();
+        assert_eq!(res.unit, ChannelUnit::Nanoseconds);
+        assert!((res.value - 1.0e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the IOReport substrate.
+
+use proptest::prelude::*;
+use psc_ioreport::channel::{ChannelId, ChannelUnit, IoReport};
+use psc_ioreport::energy_model::EnergyModelReporter;
+use psc_soc::{PowerRails, WindowReport};
+
+fn window(est_p: f64, dt: f64) -> WindowReport {
+    WindowReport {
+        duration_s: dt,
+        rails: PowerRails::assemble(est_p * 1.1, 0.3, 0.4, 0.5, 0.88, 1.5),
+        estimated_cpu_power_w: est_p + 0.3,
+        estimated_p_cluster_w: est_p,
+        estimated_e_cluster_w: 0.3,
+        p_freq_ghz: 3.5,
+        e_freq_ghz: 2.4,
+        temperature_c: 40.0,
+        p_core_reps: 1.0e7,
+        ..WindowReport::default()
+    }
+}
+
+proptest! {
+    /// Cumulative counters never decrease, regardless of the window stream.
+    #[test]
+    fn counters_monotone(
+        powers in proptest::collection::vec(0.0f64..15.0, 1..40),
+        dt in 0.1f64..3.0,
+    ) {
+        let mut rep = EnergyModelReporter::new();
+        let mut prev = rep.snapshot();
+        for p in powers {
+            rep.observe_window(&window(p, dt));
+            let now = rep.snapshot();
+            for (id, v) in &now.channels {
+                let before = prev.get(id).map_or(0.0, |x| x.value);
+                prop_assert!(v.value + 1e-9 >= before, "{id} decreased");
+            }
+            prev = now;
+        }
+    }
+
+    /// Delta of consecutive snapshots equals per-window consumption within
+    /// quantization error.
+    #[test]
+    fn delta_accounts_energy(p in 0.1f64..10.0, windows in 1usize..20) {
+        let mut rep = EnergyModelReporter::new();
+        let before = rep.snapshot();
+        for _ in 0..windows {
+            rep.observe_window(&window(p, 1.0));
+        }
+        let delta = rep.snapshot().delta(&before);
+        let pcpu = delta.get(&EnergyModelReporter::pcpu()).expect("channel").value;
+        let expected_mj = p * windows as f64 * 1.0e3;
+        prop_assert!(
+            (pcpu - expected_mj).abs() <= windows as f64 + 1.0,
+            "pcpu {pcpu} vs expected {expected_mj}"
+        );
+    }
+
+    /// Snapshot delta is anti-symmetric in time for monotone counters.
+    #[test]
+    fn delta_nonnegative_forward(p in 0.0f64..10.0, n1 in 1usize..10, n2 in 1usize..10) {
+        let mut rep = EnergyModelReporter::new();
+        for _ in 0..n1 {
+            rep.observe_window(&window(p, 1.0));
+        }
+        let early = rep.snapshot();
+        for _ in 0..n2 {
+            rep.observe_window(&window(p, 1.0));
+        }
+        let late = rep.snapshot();
+        for v in late.delta(&early).channels.values() {
+            prop_assert!(v.value >= -1e-9);
+        }
+    }
+
+    /// The registry never panics on arbitrary (registered) accumulation.
+    #[test]
+    fn registry_accumulation_total(amounts in proptest::collection::vec(-1.0e6f64..1.0e6, 0..50)) {
+        let mut reg = IoReport::new();
+        let id = ChannelId::new("g", "c");
+        reg.register(id.clone(), ChannelUnit::Count);
+        let mut sum = 0.0;
+        for a in amounts {
+            reg.accumulate(&id, a);
+            sum += a;
+        }
+        let got = reg.snapshot().get(&id).expect("registered").value;
+        prop_assert!((got - sum).abs() < 1e-6 * sum.abs().max(1.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Compact binary persistence for trace sets.
+//!
+//! Million-trace campaigns are expensive to collect; attackers (and
+//! evaluators) store them and re-analyze offline. This is a small,
+//! versioned, dependency-light binary format:
+//!
+//! ```text
+//! magic "PSCT" | version u16 | label len u16 | label bytes
+//! | trace count u64 | per trace: value f64 | pt [16] | ct [16]
+//! ```
+//!
+//! All integers little-endian. Readers reject bad magic, unknown versions
+//! and truncated payloads.
+
+use crate::trace::{Trace, TraceSet};
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"PSCT";
+const VERSION: u16 = 1;
+
+/// Errors from [`read_trace_set`].
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// The payload ended early or contained invalid lengths.
+    Truncated,
+    /// Label bytes were not UTF-8.
+    BadLabel,
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic => write!(f, "not a PSCT trace file"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace format version {v}"),
+            CodecError::Truncated => write!(f, "truncated trace payload"),
+            CodecError::BadLabel => write!(f, "label is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Serialize a trace set to a writer (pass `&mut file` for files).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace_set<W: Write>(set: &TraceSet, mut writer: W) -> Result<(), CodecError> {
+    let label = set.label.as_bytes();
+    let mut header = BytesMut::with_capacity(4 + 2 + 2 + label.len() + 8);
+    header.put_slice(MAGIC);
+    header.put_u16_le(VERSION);
+    header.put_u16_le(label.len().min(u16::MAX as usize) as u16);
+    header.put_slice(&label[..label.len().min(u16::MAX as usize)]);
+    header.put_u64_le(set.len() as u64);
+    writer.write_all(&header)?;
+
+    let mut buf = BytesMut::with_capacity(40 * 1024);
+    for t in set.iter() {
+        buf.put_f64_le(t.value);
+        buf.put_slice(&t.plaintext);
+        buf.put_slice(&t.ciphertext);
+        if buf.len() >= 32 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a trace set from a reader.
+///
+/// # Errors
+///
+/// See [`CodecError`] for the failure modes.
+pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let label_len = buf.get_u16_le() as usize;
+    if buf.remaining() < label_len + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let label = core::str::from_utf8(&buf[..label_len])
+        .map_err(|_| CodecError::BadLabel)?
+        .to_owned();
+    buf.advance(label_len);
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() != count * 40 {
+        return Err(CodecError::Truncated);
+    }
+
+    let mut set = TraceSet::with_capacity(label, count);
+    for _ in 0..count {
+        let value = buf.get_f64_le();
+        let mut plaintext = [0u8; 16];
+        buf.copy_to_slice(&mut plaintext);
+        let mut ciphertext = [0u8; 16];
+        buf.copy_to_slice(&mut ciphertext);
+        set.push(Trace { value, plaintext, ciphertext });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set(n: usize) -> TraceSet {
+        let mut set = TraceSet::new("PHPC");
+        for i in 0..n {
+            set.push(Trace {
+                value: i as f64 * 0.125 - 3.0,
+                plaintext: core::array::from_fn(|b| (i + b) as u8),
+                ciphertext: core::array::from_fn(|b| (i * 7 + b) as u8),
+            });
+        }
+        set
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let set = sample_set(257);
+        let mut bytes = Vec::new();
+        write_trace_set(&set, &mut bytes).unwrap();
+        let back = read_trace_set(&bytes[..]).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.label, "PHPC");
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let set = TraceSet::new("empty");
+        let mut bytes = Vec::new();
+        write_trace_set(&set, &mut bytes).unwrap();
+        let back = read_trace_set(&bytes[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.label, "empty");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = Vec::new();
+        write_trace_set(&sample_set(3), &mut bytes).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(read_trace_set(&bytes[..]), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = Vec::new();
+        write_trace_set(&sample_set(3), &mut bytes).unwrap();
+        bytes[4] = 99;
+        assert!(matches!(read_trace_set(&bytes[..]), Err(CodecError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let mut bytes = Vec::new();
+        write_trace_set(&sample_set(5), &mut bytes).unwrap();
+        for cut in [1usize, 7, 9, bytes.len() - 1] {
+            let r = read_trace_set(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(CodecError::Truncated) | Err(CodecError::BadMagic)),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = Vec::new();
+        write_trace_set(&sample_set(2), &mut bytes).unwrap();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(read_trace_set(&bytes[..]), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("psc_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.psct");
+        let set = sample_set(100);
+        write_trace_set(&set, std::fs::File::create(&path).unwrap()).unwrap();
+        let back = read_trace_set(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::BadMagic.to_string().contains("PSCT"));
+        assert!(CodecError::UnsupportedVersion(7).to_string().contains('7'));
+    }
+}

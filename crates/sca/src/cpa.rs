@@ -1,0 +1,334 @@
+//! Correlation Power Analysis over single-value traces.
+//!
+//! §3.4 of the paper: for each of the 16 key bytes, correlate the observed
+//! SMC key values against the hypothesis model for all 256 guesses, rank
+//! guesses by (absolute) correlation, and read off the rank of the true
+//! byte.
+//!
+//! ## Implementation note — class binning
+//!
+//! All of the paper's models depend on attacker data only through one byte
+//! ([`PowerModel::input_byte`]). The accumulator therefore keeps, per key
+//! byte, 256 bins of `(count, Σ value)` keyed by that input byte — adding a
+//! trace is O(16), not O(16 × 256) — and reconstructs every guess's Pearson
+//! correlation exactly from the bins:
+//!
+//! ```text
+//! Σh   = Σ_v count(v)·H(v,g)        Σh²  = Σ_v count(v)·H(v,g)²
+//! Σh·t = Σ_v sum_t(v)·H(v,g)
+//! ```
+
+use crate::model::PowerModel;
+use crate::trace::{Trace, TraceSet};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bin {
+    count: u64,
+    sum_t: f64,
+}
+
+/// Streaming CPA accumulator for one channel and one power model.
+#[derive(Debug)]
+pub struct Cpa {
+    model: Box<dyn PowerModel>,
+    /// `hyp[v][g]`: hypothesis for input byte `v` under guess `g`.
+    hyp: Vec<[f64; 256]>,
+    /// Per key byte, per input-byte value.
+    bins: Vec<[Bin; 256]>,
+    n: u64,
+    sum_t: f64,
+    sum_tt: f64,
+}
+
+impl Cpa {
+    /// New accumulator for `model`.
+    #[must_use]
+    pub fn new(model: Box<dyn PowerModel>) -> Self {
+        let mut hyp = vec![[0.0f64; 256]; 256];
+        for (v, row) in hyp.iter_mut().enumerate() {
+            for (g, cell) in row.iter_mut().enumerate() {
+                *cell = model.hypothesis_value(v as u8, g as u8);
+            }
+        }
+        Self { model, hyp, bins: vec![[Bin::default(); 256]; 16], n: 0, sum_t: 0.0, sum_tt: 0.0 }
+    }
+
+    /// The model in use.
+    #[must_use]
+    pub fn model(&self) -> &dyn PowerModel {
+        self.model.as_ref()
+    }
+
+    /// Number of traces accumulated.
+    #[must_use]
+    pub fn trace_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Add one trace.
+    pub fn add_trace(&mut self, trace: &Trace) {
+        self.n += 1;
+        self.sum_t += trace.value;
+        self.sum_tt += trace.value * trace.value;
+        for (byte_index, bins) in self.bins.iter_mut().enumerate() {
+            let v = self.model.input_byte(&trace.plaintext, &trace.ciphertext, byte_index);
+            let bin = &mut bins[v as usize];
+            bin.count += 1;
+            bin.sum_t += trace.value;
+        }
+    }
+
+    /// Add a whole set.
+    pub fn add_set(&mut self, set: &TraceSet) {
+        for t in set.iter() {
+            self.add_trace(t);
+        }
+    }
+
+    /// Pearson correlation for (`byte_index`, `guess`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_index >= 16`.
+    #[must_use]
+    pub fn correlation(&self, byte_index: usize, guess: u8) -> f64 {
+        self.correlations(byte_index)[guess as usize]
+    }
+
+    /// Correlations for all 256 guesses of one key byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_index >= 16`.
+    #[must_use]
+    pub fn correlations(&self, byte_index: usize) -> [f64; 256] {
+        let bins = &self.bins[byte_index];
+        let n = self.n as f64;
+        let mut out = [0.0f64; 256];
+        if self.n < 2 {
+            return out;
+        }
+        let var_t = self.sum_tt - self.sum_t * self.sum_t / n;
+        if var_t <= 0.0 {
+            return out;
+        }
+        for (g, r) in out.iter_mut().enumerate() {
+            let mut sum_h = 0.0;
+            let mut sum_hh = 0.0;
+            let mut sum_ht = 0.0;
+            for (v, bin) in bins.iter().enumerate() {
+                if bin.count == 0 {
+                    continue;
+                }
+                let h = self.hyp[v][g];
+                sum_h += bin.count as f64 * h;
+                sum_hh += bin.count as f64 * h * h;
+                sum_ht += bin.sum_t * h;
+            }
+            let cov = sum_ht - sum_h * self.sum_t / n;
+            let var_h = sum_hh - sum_h * sum_h / n;
+            *r = if var_h <= 0.0 { 0.0 } else { (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0) };
+        }
+        out
+    }
+
+    /// Guesses of one byte ranked by descending (signed) correlation — the
+    /// paper's ranking rule. Signed ranking matters: under an HW model the
+    /// complement guess correlates at exactly −r, so ranking by |r| would
+    /// create a permanent tie at the top.
+    #[must_use]
+    pub fn ranked_guesses(&self, byte_index: usize) -> Vec<u8> {
+        let corr = self.correlations(byte_index);
+        let mut order: Vec<u8> = (0..=255).collect();
+        order.sort_by(|&a, &b| {
+            corr[b as usize].total_cmp(&corr[a as usize]).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// 1-based rank of `true_byte` among all guesses for `byte_index`.
+    #[must_use]
+    pub fn rank_of(&self, byte_index: usize, true_byte: u8) -> usize {
+        self.ranked_guesses(byte_index)
+            .iter()
+            .position(|&g| g == true_byte)
+            .expect("every byte value appears exactly once")
+            + 1
+    }
+
+    /// Ranks of all 16 bytes of `true_round_key` (the round key matching
+    /// [`PowerModel::recovered_round`]).
+    #[must_use]
+    pub fn ranks(&self, true_round_key: &[u8; 16]) -> [usize; 16] {
+        core::array::from_fn(|b| self.rank_of(b, true_round_key[b]))
+    }
+
+    /// The best guess and its correlation for one byte.
+    #[must_use]
+    pub fn best_guess(&self, byte_index: usize) -> (u8, f64) {
+        let corr = self.correlations(byte_index);
+        let g = self.ranked_guesses(byte_index)[0];
+        (g, corr[g as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PowerModel, Rd0Hw, Rd10Hw};
+    use psc_aes::Aes;
+
+    /// A noiseless synthetic channel: value = HW(pt ⊕ key) summed over all
+    /// 16 bytes. Rd0-HW CPA must recover every byte at rank 1.
+    fn synthetic_rd0_traces(key: &[u8; 16], n: usize) -> TraceSet {
+        let aes = Aes::new(key).unwrap();
+        let mut set = TraceSet::new("synthetic");
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..n {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                // xorshift64 PRNG, dependency-free.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = (state >> 32) as u8;
+            }
+            let trace = aes.encrypt_traced(&pt);
+            let value: u32 =
+                trace.round0_addkey().iter().map(|&x| x.count_ones()).sum();
+            set.push(Trace {
+                value: f64::from(value),
+                plaintext: pt,
+                ciphertext: trace.ciphertext,
+            });
+        }
+        set
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn noiseless_rd0_recovers_whole_key() {
+        let key: [u8; 16] = core::array::from_fn(|i| (i * 19 + 41) as u8);
+        let set = synthetic_rd0_traces(&key, 4000);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let ranks = cpa.ranks(&key);
+        assert_eq!(ranks, [1usize; 16], "ranks {ranks:?}");
+        for b in 0..16 {
+            let (guess, r) = cpa.best_guess(b);
+            assert_eq!(guess, key[b]);
+            assert!(r > 0.2, "byte {b} correlation {r}");
+        }
+    }
+
+    #[test]
+    fn rd10_model_recovers_round10_key_from_its_own_leakage() {
+        // Channel leaks HW of the last-round input: Rd10-HW must find k10.
+        let key: [u8; 16] = core::array::from_fn(|i| (i * 7 + 99) as u8);
+        let aes = Aes::new(&key).unwrap();
+        let k10 = *aes.schedule().round_key(10);
+        let mut set = TraceSet::new("synthetic-rd10");
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..4000 {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = (state >> 24) as u8;
+            }
+            let trace = aes.encrypt_traced(&pt);
+            let value: u32 =
+                trace.last_round_input().iter().map(|&x| x.count_ones()).sum();
+            set.push(Trace { value: f64::from(value), plaintext: pt, ciphertext: trace.ciphertext });
+        }
+        let mut cpa = Cpa::new(Box::new(Rd10Hw));
+        cpa.add_set(&set);
+        let ranks = cpa.ranks(&k10);
+        assert_eq!(ranks, [1usize; 16], "ranks {ranks:?}");
+    }
+
+    #[test]
+    fn pure_noise_gives_random_ranks() {
+        let key = [0x42u8; 16];
+        let aes = Aes::new(&key).unwrap();
+        let mut set = TraceSet::new("noise");
+        let mut state = 0x0BAD_5EED_0BAD_5EEDu64;
+        for i in 0..4000 {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = (state >> 16) as u8;
+            }
+            let ct = aes.encrypt_block(&pt);
+            // Value unrelated to the data.
+            set.push(Trace { value: f64::from(i % 97), plaintext: pt, ciphertext: ct });
+        }
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let ranks = cpa.ranks(&key);
+        let mean_rank = ranks.iter().sum::<usize>() as f64 / 16.0;
+        // Uniform ranks average ≈128.5; allow a very wide band.
+        assert!(mean_rank > 40.0, "noise should not recover the key: {ranks:?}");
+    }
+
+    #[test]
+    fn binned_correlation_matches_direct_pearson() {
+        let key = [7u8; 16];
+        let set = synthetic_rd0_traces(&key, 500);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        // Direct computation for a few (byte, guess) pairs.
+        for &(b, g) in &[(0usize, 0u8), (3, 0x42), (15, 0xFF), (7, key[7])] {
+            let hyp: Vec<f64> = set
+                .iter()
+                .map(|t| Rd0Hw.hypothesis(&t.plaintext, &t.ciphertext, b, g))
+                .collect();
+            let vals: Vec<f64> = set.iter().map(|t| t.value).collect();
+            let direct = crate::stats::pearson(&hyp, &vals);
+            let binned = cpa.correlation(b, g);
+            assert!((direct - binned).abs() < 1e-9, "b={b} g={g}: {direct} vs {binned}");
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_is_neutral() {
+        let cpa = Cpa::new(Box::new(Rd0Hw));
+        assert_eq!(cpa.trace_count(), 0);
+        assert_eq!(cpa.correlation(0, 0), 0.0);
+        let ranked = cpa.ranked_guesses(0);
+        assert_eq!(ranked.len(), 256);
+        // Deterministic tie-break: ascending guess order.
+        assert_eq!(ranked[0], 0);
+        assert_eq!(ranked[255], 255);
+    }
+
+    #[test]
+    fn ranks_are_one_based_permutation_positions() {
+        let key = [1u8; 16];
+        let set = synthetic_rd0_traces(&key, 300);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        for b in 0..16 {
+            for probe in [0u8, 17, 255] {
+                let rank = cpa.rank_of(b, probe);
+                assert!((1..=256).contains(&rank));
+            }
+        }
+    }
+
+    #[test]
+    fn correlations_all_bounded() {
+        let key = [9u8; 16];
+        let set = synthetic_rd0_traces(&key, 200);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        for b in 0..16 {
+            for r in cpa.correlations(b) {
+                assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded full-key enumeration from per-byte CPA rankings.
+//!
+//! Table 4 shows the practical endgame the paper implies: once CPA ranks
+//! every correct byte *near* the top (rank ≤ 10), the attacker does not
+//! need rank 1 everywhere — they enumerate full-key candidates in order of
+//! plausibility and verify each against one known plaintext/ciphertext
+//! pair from the victim's service. This module implements that step with a
+//! best-first search over the per-byte rank lattice: candidates are
+//! produced in non-decreasing order of the *sum of per-byte rank indices*
+//! (a standard, monotone plausibility proxy).
+
+use crate::cpa::Cpa;
+use psc_aes::Aes;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A bounded enumerator over full-key candidates.
+#[derive(Debug, Clone)]
+pub struct KeyEnumerator {
+    /// Per byte, guesses in descending plausibility (rank order).
+    ranked: Vec<Vec<u8>>,
+}
+
+impl KeyEnumerator {
+    /// Build from explicit per-byte rankings.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly 16 rankings of 256 distinct guesses are given.
+    #[must_use]
+    pub fn new(ranked: Vec<Vec<u8>>) -> Self {
+        assert_eq!(ranked.len(), 16, "one ranking per key byte");
+        for r in &ranked {
+            assert_eq!(r.len(), 256, "each ranking must cover all guesses");
+        }
+        Self { ranked }
+    }
+
+    /// Build from a populated CPA accumulator.
+    #[must_use]
+    pub fn from_cpa(cpa: &Cpa) -> Self {
+        Self::new((0..16).map(|b| cpa.ranked_guesses(b)).collect())
+    }
+
+    /// The most plausible candidate (all bytes at rank 1).
+    #[must_use]
+    pub fn top_candidate(&self) -> [u8; 16] {
+        core::array::from_fn(|b| self.ranked[b][0])
+    }
+
+    /// Enumerate up to `budget` candidates in non-decreasing rank-sum
+    /// order, returning the first for which `verify` is true.
+    pub fn search<F>(&self, budget: usize, mut verify: F) -> Option<([u8; 16], usize)>
+    where
+        F: FnMut(&[u8; 16]) -> bool,
+    {
+        // Best-first search over index vectors; cost = Σ indices.
+        let mut heap: BinaryHeap<Reverse<(u32, [u8; 16])>> = BinaryHeap::new();
+        let mut seen: HashSet<[u8; 16]> = HashSet::new();
+        let start = [0u8; 16];
+        heap.push(Reverse((0, start)));
+        seen.insert(start);
+        let mut tried = 0usize;
+
+        while let Some(Reverse((cost, indices))) = heap.pop() {
+            let candidate: [u8; 16] =
+                core::array::from_fn(|b| self.ranked[b][indices[b] as usize]);
+            tried += 1;
+            if verify(&candidate) {
+                return Some((candidate, tried));
+            }
+            if tried >= budget {
+                return None;
+            }
+            for b in 0..16 {
+                if indices[b] < 255 {
+                    let mut next = indices;
+                    next[b] += 1;
+                    if u32::from(next[b]) + cost <= 64 && seen.insert(next) {
+                        heap.push(Reverse((cost + 1, next)));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Verify a key candidate against one known plaintext/ciphertext pair from
+/// the victim's encryption service.
+#[must_use]
+pub fn verify_with_pair(candidate: &[u8; 16], plaintext: &[u8; 16], ciphertext: &[u8; 16]) -> bool {
+    Aes::new(candidate)
+        .map(|aes| aes.encrypt_block(plaintext) == *ciphertext)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ranking where the true byte sits at a chosen rank per byte.
+    fn ranking_with_true_at(true_key: &[u8; 16], ranks: &[usize; 16]) -> KeyEnumerator {
+        let ranked = (0..16)
+            .map(|b| {
+                let mut order: Vec<u8> = (0..=255).filter(|&g| g != true_key[b]).collect();
+                order.insert(ranks[b] - 1, true_key[b]);
+                order
+            })
+            .collect();
+        KeyEnumerator::new(ranked)
+    }
+
+    #[test]
+    fn all_rank_one_found_immediately() {
+        let key = [0x42u8; 16];
+        let e = ranking_with_true_at(&key, &[1; 16]);
+        assert_eq!(e.top_candidate(), key);
+        let pt = [7u8; 16];
+        let ct = Aes::new(&key).unwrap().encrypt_block(&pt);
+        let (found, tried) = e.search(10, |c| verify_with_pair(c, &pt, &ct)).unwrap();
+        assert_eq!(found, key);
+        assert_eq!(tried, 1);
+    }
+
+    #[test]
+    fn near_recovery_found_within_budget() {
+        // Paper-like shape: some bytes at rank 1, others nearly recovered.
+        let key: [u8; 16] = core::array::from_fn(|i| (i * 11 + 3) as u8);
+        let ranks = [1, 1, 2, 1, 3, 1, 1, 2, 1, 1, 1, 1, 2, 1, 1, 1];
+        let e = ranking_with_true_at(&key, &ranks);
+        let pt = [0xA0u8; 16];
+        let ct = Aes::new(&key).unwrap().encrypt_block(&pt);
+        let (found, tried) =
+            e.search(100_000, |c| verify_with_pair(c, &pt, &ct)).expect("within budget");
+        assert_eq!(found, key);
+        // Rank-sum of the true key is 5 extra steps; the search must find
+        // it long before exhausting the budget.
+        assert!(tried < 50_000, "tried {tried}");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let key = [9u8; 16];
+        let ranks = [200usize; 16]; // hopeless ranking
+        let e = ranking_with_true_at(&key, &ranks);
+        let pt = [1u8; 16];
+        let ct = Aes::new(&key).unwrap().encrypt_block(&pt);
+        assert!(e.search(1_000, |c| verify_with_pair(c, &pt, &ct)).is_none());
+    }
+
+    #[test]
+    fn candidates_enumerate_in_nondecreasing_cost() {
+        let key = [0u8; 16];
+        let e = ranking_with_true_at(&key, &[1; 16]);
+        let mut costs = Vec::new();
+        let _ = e.search(200, |c| {
+            // Recover the implied cost: sum over bytes of the index where
+            // this candidate's byte sits in the ranking.
+            let cost: usize = (0..16)
+                .map(|b| e.ranked[b].iter().position(|&g| g == c[b]).expect("present"))
+                .sum();
+            costs.push(cost);
+            false
+        });
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1], "costs not monotone: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let key = [5u8; 16];
+        let pt = [3u8; 16];
+        let ct = Aes::new(&key).unwrap().encrypt_block(&pt);
+        assert!(verify_with_pair(&key, &pt, &ct));
+        let mut wrong = key;
+        wrong[0] ^= 1;
+        assert!(!verify_with_pair(&wrong, &pt, &ct));
+    }
+
+    #[test]
+    #[should_panic(expected = "one ranking per key byte")]
+    fn wrong_shape_panics() {
+        let _ = KeyEnumerator::new(vec![vec![0u8; 256]; 15]);
+    }
+}

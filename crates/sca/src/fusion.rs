@@ -1,0 +1,227 @@
+//! Multi-channel trace fusion.
+//!
+//! The paper's attacker logs *all* the selected SMC keys on every window
+//! (§3.3: "Values of all the selected SMC keys are measured and logged"),
+//! but analyzes each channel independently. Since every power key carries
+//! the same underlying signal with independent measurement noise, fusing
+//! them improves SNR: z-score each channel (so different gains and noise
+//! floors become comparable) and average. With `k` channels of comparable
+//! quality the fused correlation improves by up to √k.
+
+use crate::stats::RunningMoments;
+use crate::trace::{Trace, TraceSet};
+
+/// Errors from [`fuse_z`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// No input channels given.
+    Empty,
+    /// Channels have different trace counts.
+    LengthMismatch,
+    /// Channels disagree on the plaintext/ciphertext at some index — they
+    /// were not collected in the same campaign.
+    RecordMismatch {
+        /// The first disagreeing trace index.
+        index: usize,
+    },
+    /// A channel has zero variance (cannot be z-scored).
+    DegenerateChannel {
+        /// The offending channel's label.
+        label: String,
+    },
+}
+
+impl core::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FusionError::Empty => write!(f, "no channels to fuse"),
+            FusionError::LengthMismatch => write!(f, "channels have different trace counts"),
+            FusionError::RecordMismatch { index } => {
+                write!(f, "channels disagree on plaintext/ciphertext at trace {index}")
+            }
+            FusionError::DegenerateChannel { label } => {
+                write!(f, "channel {label} has zero variance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Fuse channels by per-channel z-scoring and averaging. All channels must
+/// come from the same campaign (same plaintext/ciphertext sequence).
+///
+/// # Errors
+///
+/// See [`FusionError`].
+pub fn fuse_z(channels: &[&TraceSet]) -> Result<TraceSet, FusionError> {
+    let first = channels.first().ok_or(FusionError::Empty)?;
+    let n = first.len();
+    for set in channels {
+        if set.len() != n {
+            return Err(FusionError::LengthMismatch);
+        }
+    }
+    for i in 0..n {
+        let reference = &first.traces()[i];
+        for set in &channels[1..] {
+            let t = &set.traces()[i];
+            if t.plaintext != reference.plaintext || t.ciphertext != reference.ciphertext {
+                return Err(FusionError::RecordMismatch { index: i });
+            }
+        }
+    }
+
+    // Per-channel standardization parameters.
+    let mut params = Vec::with_capacity(channels.len());
+    for set in channels {
+        let mut m = RunningMoments::new();
+        m.extend(set.iter().map(|t| t.value));
+        let sd = m.std_dev();
+        if sd <= 0.0 {
+            return Err(FusionError::DegenerateChannel { label: set.label.clone() });
+        }
+        params.push((m.mean(), sd));
+    }
+
+    let label = {
+        let names: Vec<&str> = channels.iter().map(|s| s.label.as_str()).collect();
+        format!("fused({})", names.join("+"))
+    };
+    let mut out = TraceSet::with_capacity(label, n);
+    let k = channels.len() as f64;
+    for i in 0..n {
+        let reference = &first.traces()[i];
+        let fused = channels
+            .iter()
+            .zip(&params)
+            .map(|(set, (mean, sd))| (set.traces()[i].value - mean) / sd)
+            .sum::<f64>()
+            / k;
+        out.push(Trace {
+            value: fused,
+            plaintext: reference.plaintext,
+            ciphertext: reference.ciphertext,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel(label: &str, gain: f64, offset: f64, noise_seed: u64, n: usize) -> TraceSet {
+        // Shared signal + per-channel pseudo-noise.
+        let mut state = noise_seed | 1;
+        let mut noise = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 33) as f64 / f64::from(1u32 << 30)) - 4.0
+        };
+        let mut set = TraceSet::new(label);
+        for i in 0..n {
+            let signal = f64::from((i % 17) as u32); // shared across channels
+            set.push(Trace {
+                value: offset + gain * signal + noise(),
+                plaintext: [(i % 251) as u8; 16],
+                ciphertext: [(i % 241) as u8; 16],
+            });
+        }
+        set
+    }
+
+    #[test]
+    fn fusion_improves_correlation_for_comparable_channels() {
+        // Equal-weight z-fusion is the right tool when channels have
+        // comparable SNR (as the paper's power keys roughly do): with k
+        // independent-noise channels the correlation improves toward √k.
+        let n = 5000;
+        let a = channel("A", 0.4, 10.0, 11, n);
+        let b = channel("B", 0.4, -5.0, 22, n);
+        let c = channel("C", 0.4, 0.0, 33, n);
+        let fused = fuse_z(&[&a, &b, &c]).unwrap();
+        assert_eq!(fused.len(), n);
+        assert_eq!(fused.label, "fused(A+B+C)");
+
+        let signal: Vec<f64> = (0..n).map(|i| f64::from((i % 17) as u32)).collect();
+        let corr = |set: &TraceSet| crate::stats::pearson(&set.values(), &signal).abs();
+        let fused_r = corr(&fused);
+        for set in [&a, &b, &c] {
+            assert!(
+                fused_r > corr(set),
+                "fused {fused_r} must beat {} ({})",
+                set.label,
+                corr(set)
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_of_unequal_channels_tracks_the_average() {
+        // With one strong and two weak channels, equal-weight fusion sits
+        // between the best and worst inputs — documented behaviour (use
+        // weights for the general case).
+        let n = 5000;
+        let strong = channel("S", 2.0, 0.0, 44, n);
+        let weak1 = channel("w1", 0.2, 0.0, 55, n);
+        let weak2 = channel("w2", 0.2, 0.0, 66, n);
+        let fused = fuse_z(&[&strong, &weak1, &weak2]).unwrap();
+        let signal: Vec<f64> = (0..n).map(|i| f64::from((i % 17) as u32)).collect();
+        let corr = |set: &TraceSet| crate::stats::pearson(&set.values(), &signal).abs();
+        assert!(corr(&fused) > corr(&weak1));
+        assert!(corr(&fused) < corr(&strong));
+    }
+
+    #[test]
+    fn fused_values_are_standardized() {
+        let a = channel("A", 1.0, 100.0, 1, 2000);
+        let fused = fuse_z(&[&a]).unwrap();
+        let mut m = RunningMoments::new();
+        m.extend(fused.iter().map(|t| t.value));
+        assert!(m.mean().abs() < 1e-9);
+        assert!((m.std_dev() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = channel("A", 1.0, 0.0, 1, 100);
+        let b = channel("B", 1.0, 0.0, 2, 99);
+        assert_eq!(fuse_z(&[&a, &b]), Err(FusionError::LengthMismatch));
+    }
+
+    #[test]
+    fn mismatched_records_rejected() {
+        let a = channel("A", 1.0, 0.0, 1, 50);
+        let mut b = channel("B", 1.0, 0.0, 2, 50);
+        // Corrupt one plaintext.
+        let mut traces: Vec<Trace> = b.traces().to_vec();
+        traces[7].plaintext[0] ^= 1;
+        b = traces.into_iter().collect();
+        assert_eq!(fuse_z(&[&a, &b]), Err(FusionError::RecordMismatch { index: 7 }));
+    }
+
+    #[test]
+    fn degenerate_channel_rejected() {
+        let a = channel("A", 1.0, 0.0, 1, 50);
+        let flat: TraceSet = (0..50)
+            .map(|i| Trace {
+                value: 3.0,
+                plaintext: [(i % 251) as u8; 16],
+                ciphertext: [(i % 241) as u8; 16],
+            })
+            .collect();
+        let mut flat = flat;
+        flat.label = "flat".to_owned();
+        assert_eq!(
+            fuse_z(&[&a, &flat]),
+            Err(FusionError::DegenerateChannel { label: "flat".to_owned() })
+        );
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(fuse_z(&[]), Err(FusionError::Empty));
+    }
+}

@@ -1,0 +1,61 @@
+//! # psc-sca — side-channel analysis toolkit
+//!
+//! The attacker-side mathematics of the paper, independent of where the
+//! traces came from (simulated SMC keys here; real hardware in the paper):
+//!
+//! * [`stats`] — streaming Welford moments, Welch's t, Pearson correlation;
+//! * [`trace`] — known-plaintext trace records and sets;
+//! * [`tvla`] — Test Vector Leakage Assessment: the fixed-plaintext 3×3
+//!   t-score matrices of Tables 3/5/6 with TP/TN/FP/FN classification;
+//! * [`model`] — the CPA hypothesis models `Rd0-HW`, `Rd10-HW`, `Rd10-HD`;
+//! * [`cpa`] — streaming Correlation Power Analysis with class binning;
+//! * [`rank`] — key-byte ranks, Guessing Entropy (Σ log₂ rank), and the
+//!   GE-vs-traces curves of Figure 1.
+//!
+//! ## Example: CPA on a synthetic leaky channel
+//!
+//! ```
+//! use psc_sca::cpa::Cpa;
+//! use psc_sca::model::Rd0Hw;
+//! use psc_sca::trace::{Trace, TraceSet};
+//! use psc_aes::Aes;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let key = [0x2Bu8; 16];
+//! let aes = Aes::new(&key)?;
+//! let mut traces = TraceSet::new("demo");
+//! for i in 0u32..2000 {
+//!     let pt: [u8; 16] = core::array::from_fn(|b| (i as u8).wrapping_mul(37).wrapping_add((b as u8).wrapping_mul(29)));
+//!     let t = aes.encrypt_traced(&pt);
+//!     let hw: u32 = t.round0_addkey().iter().map(|&x| x.count_ones()).sum();
+//!     traces.push(Trace { value: hw as f64, plaintext: pt, ciphertext: t.ciphertext });
+//! }
+//! let mut cpa = Cpa::new(Box::new(Rd0Hw));
+//! cpa.add_set(&traces);
+//! let ranks = cpa.ranks(&key);
+//! assert!(ranks.iter().all(|&r| r <= 256));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod cpa;
+pub mod enumerate;
+pub mod filter;
+pub mod fusion;
+pub mod model;
+pub mod rank;
+pub mod stats;
+pub mod trace;
+pub mod tvla;
+
+pub use cpa::Cpa;
+pub use enumerate::{verify_with_pair, KeyEnumerator};
+pub use model::{paper_models, PowerModel, RecoveredRound, Rd0Hw, Rd10Hd, Rd10Hw};
+pub use rank::{ge_curve, guessing_entropy, GeCurve, GePoint};
+pub use stats::{pearson, welch_t, Correlation, RunningMoments};
+pub use trace::{Trace, TraceSet};
+pub use tvla::{PlaintextClass, TvlaCell, TvlaMatrix, TvlaOutcome, TVLA_THRESHOLD};

@@ -1,0 +1,453 @@
+//! Numerically stable streaming statistics.
+//!
+//! Everything downstream (TVLA's Welch t-test, CPA's Pearson correlation)
+//! runs over up to millions of traces, so all estimators here are one-pass
+//! with Welford-style updates.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford running mean/variance accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Add many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 until two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge two accumulators (parallel collection).
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        if self.n == 0 {
+            return other;
+        }
+        if other.n == 0 {
+            return self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Self { n, mean, m2 }
+    }
+}
+
+/// Welch's two-sample t statistic between accumulated samples `a` and `b`.
+///
+/// This is the statistic TVLA thresholds at |t| ≥ 4.5. Returns 0 when
+/// either sample has fewer than 2 observations or both variances vanish.
+///
+/// # Examples
+///
+/// ```
+/// use psc_sca::stats::{RunningMoments, welch_t};
+/// let mut a = RunningMoments::new();
+/// let mut b = RunningMoments::new();
+/// a.extend([1.0, 2.0, 3.0]);
+/// b.extend([1.0, 2.0, 3.0]);
+/// assert_eq!(welch_t(&a, &b), 0.0);
+/// ```
+#[must_use]
+pub fn welch_t(a: &RunningMoments, b: &RunningMoments) -> f64 {
+    if a.count() < 2 || b.count() < 2 {
+        return 0.0;
+    }
+    let se2 = a.variance() / a.count() as f64 + b.variance() / b.count() as f64;
+    if se2 <= 0.0 {
+        return 0.0;
+    }
+    (a.mean() - b.mean()) / se2.sqrt()
+}
+
+/// Welch–Satterthwaite degrees of freedom (reported alongside t-scores for
+/// completeness; TVLA's 4.5 threshold assumes large samples).
+#[must_use]
+pub fn welch_df(a: &RunningMoments, b: &RunningMoments) -> f64 {
+    if a.count() < 2 || b.count() < 2 {
+        return 0.0;
+    }
+    let va = a.variance() / a.count() as f64;
+    let vb = b.variance() / b.count() as f64;
+    let denom = va * va / (a.count() - 1) as f64 + vb * vb / (b.count() - 1) as f64;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (va + vb).powi(2) / denom
+}
+
+/// One-pass Pearson correlation accumulator between a hypothesis stream
+/// `h` and a trace stream `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Correlation {
+    n: u64,
+    sum_h: f64,
+    sum_t: f64,
+    sum_hh: f64,
+    sum_tt: f64,
+    sum_ht: f64,
+}
+
+impl Correlation {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one (hypothesis, trace) pair.
+    pub fn push(&mut self, h: f64, t: f64) {
+        self.n += 1;
+        self.sum_h += h;
+        self.sum_t += t;
+        self.sum_hh += h * h;
+        self.sum_tt += t * t;
+        self.sum_ht += h * t;
+    }
+
+    /// Number of pairs.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Pearson r (0 when undefined: fewer than 2 pairs or zero variance).
+    #[must_use]
+    pub fn r(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let cov = self.sum_ht - self.sum_h * self.sum_t / n;
+        let var_h = self.sum_hh - self.sum_h * self.sum_h / n;
+        let var_t = self.sum_tt - self.sum_t * self.sum_t / n;
+        if var_h <= 0.0 || var_t <= 0.0 {
+            return 0.0;
+        }
+        (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0)
+    }
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+#[must_use]
+fn erfc(x: f64) -> f64 {
+    let sign_positive = x >= 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let result = poly * (-x * x).exp();
+    if sign_positive {
+        result
+    } else {
+        2.0 - result
+    }
+}
+
+/// Two-sided p-value of a t-score under the large-sample normal
+/// approximation (TVLA's regime: thousands of traces, so Student-t ≈ N).
+/// The 4.5 threshold corresponds to p ≈ 6.8×10⁻⁶ per test — the basis of
+/// TVLA's "99.999% confidence" claim the paper quotes.
+///
+/// # Examples
+///
+/// ```
+/// use psc_sca::stats::p_value_two_sided;
+/// assert!(p_value_two_sided(0.0) > 0.99);
+/// let p_at_threshold = p_value_two_sided(4.5);
+/// assert!(p_at_threshold < 1.0e-5 && p_at_threshold > 1.0e-7);
+/// ```
+#[must_use]
+pub fn p_value_two_sided(t_score: f64) -> f64 {
+    erfc(t_score.abs() / core::f64::consts::SQRT_2)
+}
+
+/// Fisher-z confidence interval for a Pearson correlation estimated from
+/// `n` pairs: `tanh(atanh(r) ± z/√(n−3))`. Attackers use this to decide
+/// whether a top-ranked guess is significantly separated from the runner-up
+/// before spending enumeration effort.
+///
+/// Returns `(low, high)`; degenerate inputs (`n ≤ 3`, `|r| = 1`) return the
+/// widest/narrowest sensible interval.
+///
+/// # Examples
+///
+/// ```
+/// use psc_sca::stats::fisher_interval;
+/// let (lo, hi) = fisher_interval(0.5, 100, 1.96);
+/// assert!(lo < 0.5 && 0.5 < hi);
+/// assert!(lo > 0.3 && hi < 0.65);
+/// ```
+#[must_use]
+pub fn fisher_interval(r: f64, n: u64, z: f64) -> (f64, f64) {
+    if n <= 3 {
+        return (-1.0, 1.0);
+    }
+    let r = r.clamp(-0.999_999, 0.999_999);
+    let fz = r.atanh();
+    let se = 1.0 / ((n - 3) as f64).sqrt();
+    ((fz - z * se).tanh(), (fz + z * se).tanh())
+}
+
+/// Batch Pearson correlation of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn pearson(h: &[f64], t: &[f64]) -> f64 {
+    assert_eq!(h.len(), t.len(), "pearson requires equal lengths");
+    let mut acc = Correlation::new();
+    for (&x, &y) in h.iter().zip(t) {
+        acc.push(x, y);
+    }
+    acc.r()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_textbook() {
+        let mut m = RunningMoments::new();
+        m.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        let m = RunningMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        let mut one = RunningMoments::new();
+        one.push(3.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn merged_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningMoments::new();
+        whole.extend(data.iter().copied());
+        let mut left = RunningMoments::new();
+        left.extend(data[..37].iter().copied());
+        let mut right = RunningMoments::new();
+        right.extend(data[37..].iter().copied());
+        let merged = left.merged(right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_with_empty_is_identity() {
+        let mut m = RunningMoments::new();
+        m.extend([1.0, 2.0, 3.0]);
+        assert_eq!(m.merged(RunningMoments::new()), m);
+        assert_eq!(RunningMoments::new().merged(m), m);
+    }
+
+    #[test]
+    fn welch_t_zero_for_identical() {
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        a.extend([1.0, 2.0, 3.0, 4.0]);
+        b.extend([4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(welch_t(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn welch_t_antisymmetric() {
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        a.extend([1.0, 2.0, 3.0, 4.0, 5.0]);
+        b.extend([2.0, 3.0, 4.0, 5.0, 7.0]);
+        assert!((welch_t(&a, &b) + welch_t(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_t_known_value() {
+        // Two samples with known statistics: a = N(0) samples, b shifted.
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        a.extend([0.0, 1.0, -1.0, 0.5, -0.5]); // mean 0, var 0.625
+        b.extend([2.0, 3.0, 1.0, 2.5, 1.5]); // mean 2, var 0.625
+        let t = welch_t(&a, &b);
+        let expected = (0.0 - 2.0) / (0.625f64 / 5.0 + 0.625 / 5.0).sqrt();
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_t_translation_invariant() {
+        let xs = [1.0, 2.0, 3.5, 0.7, 2.2];
+        let ys = [0.5, 3.0, 2.5, 1.7, 2.9];
+        let t_of = |shift: f64| {
+            let mut a = RunningMoments::new();
+            let mut b = RunningMoments::new();
+            a.extend(xs.iter().map(|x| x + shift));
+            b.extend(ys.iter().map(|y| y + shift));
+            welch_t(&a, &b)
+        };
+        assert!((t_of(0.0) - t_of(1234.5)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn welch_df_reasonable() {
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        a.extend((0..50).map(f64::from));
+        b.extend((0..50).map(|i| f64::from(i) * 1.1));
+        let df = welch_df(&a, &b);
+        assert!(df > 40.0 && df < 100.0, "df={df}");
+    }
+
+    #[test]
+    fn correlation_perfect_positive_negative() {
+        let xs: Vec<f64> = (0..64).map(f64::from).collect();
+        let pos: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let neg: Vec<f64> = xs.iter().map(|x| -0.5 * x + 7.0).collect();
+        assert!((pearson(&xs, &pos) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_zero_variance_is_zero() {
+        let xs = [1.0, 1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn correlation_incremental_matches_batch() {
+        let h: Vec<f64> = (0..200).map(|i| ((i * 37) % 17) as f64).collect();
+        let t: Vec<f64> = (0..200).map(|i| ((i * 53) % 23) as f64 + 0.25).collect();
+        let mut acc = Correlation::new();
+        for (&x, &y) in h.iter().zip(&t) {
+            acc.push(x, y);
+        }
+        assert!((acc.r() - pearson(&h, &t)).abs() < 1e-12);
+        assert_eq!(acc.count(), 200);
+    }
+
+    #[test]
+    fn correlation_bounded() {
+        let h: Vec<f64> = (0..500).map(|i| ((i * 7919) % 104_729) as f64).collect();
+        let t: Vec<f64> = (0..500).map(|i| ((i * 104_729) % 7919) as f64).collect();
+        let r = pearson(&h, &t);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn p_values_match_known_quantiles() {
+        // Standard normal two-sided quantiles.
+        assert!((p_value_two_sided(1.959_964) - 0.05).abs() < 1e-4);
+        assert!((p_value_two_sided(2.575_829) - 0.01).abs() < 1e-4);
+        assert!((p_value_two_sided(-1.959_964) - 0.05).abs() < 1e-4, "symmetric in sign");
+        // The A&S 7.1.26 approximation carries ~1.5e-7 absolute error.
+        assert!((p_value_two_sided(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_value_monotone_decreasing() {
+        let mut prev = 1.1;
+        for i in 0..100 {
+            let p = p_value_two_sided(f64::from(i) * 0.1);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn tvla_threshold_is_the_papers_confidence() {
+        // |t| ≥ 4.5 ⇒ distinguishable with 99.999% confidence (§3.3).
+        let p = p_value_two_sided(4.5);
+        assert!(p < 1.0e-5, "p at threshold {p}");
+    }
+
+    #[test]
+    fn fisher_interval_contains_r_and_shrinks_with_n() {
+        let (lo_small, hi_small) = fisher_interval(0.3, 20, 1.96);
+        let (lo_large, hi_large) = fisher_interval(0.3, 2000, 1.96);
+        assert!(lo_small < 0.3 && 0.3 < hi_small);
+        assert!(lo_large < 0.3 && 0.3 < hi_large);
+        assert!(hi_large - lo_large < hi_small - lo_small, "more data → tighter");
+    }
+
+    #[test]
+    fn fisher_interval_degenerate_inputs() {
+        assert_eq!(fisher_interval(0.5, 2, 1.96), (-1.0, 1.0));
+        let (lo, hi) = fisher_interval(1.0, 100, 1.96);
+        assert!(lo > 0.99 && hi <= 1.0);
+        let (lo, hi) = fisher_interval(-1.0, 100, 1.96);
+        assert!(hi < -0.99 && lo >= -1.0);
+    }
+
+    #[test]
+    fn fisher_interval_symmetric_in_sign() {
+        let (lo_p, hi_p) = fisher_interval(0.4, 50, 1.96);
+        let (lo_n, hi_n) = fisher_interval(-0.4, 50, 1.96);
+        assert!((lo_p + hi_n).abs() < 1e-12);
+        assert!((hi_p + lo_n).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the analysis toolkit.
+
+use proptest::prelude::*;
+use psc_sca::cpa::Cpa;
+use psc_sca::model::{paper_models, Rd0Hw};
+use psc_sca::rank::{guessing_entropy, log_checkpoints};
+use psc_sca::stats::{pearson, welch_t, Correlation, RunningMoments};
+use psc_sca::trace::{Trace, TraceSet};
+use psc_sca::tvla::{TvlaMatrix, TvlaOutcome};
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1.0e6f64..1.0e6, 2..200)) {
+        let mut m = RunningMoments::new();
+        m.extend(xs.iter().copied());
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((m.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((m.variance() - var).abs() < 1e-5 * var.max(1.0));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        b in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        c in proptest::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let m = |xs: &Vec<f64>| {
+            let mut m = RunningMoments::new();
+            m.extend(xs.iter().copied());
+            m
+        };
+        let left = m(&a).merged(m(&b)).merged(m(&c));
+        let right = m(&a).merged(m(&b).merged(m(&c)));
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn welch_t_scale_invariant(
+        xs in proptest::collection::vec(-10.0f64..10.0, 4..60),
+        ys in proptest::collection::vec(-10.0f64..10.0, 4..60),
+        scale in 0.001f64..1000.0,
+    ) {
+        let t_of = |s: f64| {
+            let mut a = RunningMoments::new();
+            let mut b = RunningMoments::new();
+            a.extend(xs.iter().map(|x| x * s));
+            b.extend(ys.iter().map(|y| y * s));
+            welch_t(&a, &b)
+        };
+        let t1 = t_of(1.0);
+        let t2 = t_of(scale);
+        prop_assert!((t1 - t2).abs() < 1e-6 * t1.abs().max(1.0), "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..100),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((pearson(&ys, &xs) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_affine_invariance(
+        pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..60),
+        a in 0.1f64..10.0,
+        b in -5.0f64..5.0,
+    ) {
+        let mut base = Correlation::new();
+        let mut scaled = Correlation::new();
+        for (h, t) in &pairs {
+            base.push(*h, *t);
+            scaled.push(*h, a * t + b);
+        }
+        prop_assert!((base.r() - scaled.r()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypotheses_depend_only_on_input_byte(
+        pt in any::<[u8; 16]>(),
+        ct in any::<[u8; 16]>(),
+        byte_index in 0usize..16,
+        guess in any::<u8>(),
+    ) {
+        for model in paper_models() {
+            let direct = model.hypothesis(&pt, &ct, byte_index, guess);
+            let via_input =
+                model.hypothesis_value(model.input_byte(&pt, &ct, byte_index), guess);
+            prop_assert_eq!(direct, via_input, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn cpa_ranks_always_valid(
+        traces in proptest::collection::vec((any::<[u8; 16]>(), any::<[u8; 16]>(), -5.0f64..5.0), 2..80),
+        key in any::<[u8; 16]>(),
+    ) {
+        let set: TraceSet = traces
+            .iter()
+            .map(|(pt, ct, v)| Trace { value: *v, plaintext: *pt, ciphertext: *ct })
+            .collect();
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let ranks = cpa.ranks(&key);
+        for r in ranks {
+            prop_assert!((1..=256).contains(&r));
+        }
+        let ge = guessing_entropy(&ranks);
+        prop_assert!((0.0..=128.0).contains(&ge));
+    }
+
+    #[test]
+    fn ranked_guesses_is_permutation(
+        traces in proptest::collection::vec((any::<[u8; 16]>(), -5.0f64..5.0), 2..40),
+    ) {
+        let set: TraceSet = traces
+            .iter()
+            .map(|(pt, v)| Trace { value: *v, plaintext: *pt, ciphertext: [0; 16] })
+            .collect();
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let mut guesses = cpa.ranked_guesses(0);
+        guesses.sort_unstable();
+        let expected: Vec<u8> = (0..=255).collect();
+        prop_assert_eq!(guesses, expected);
+    }
+
+    #[test]
+    fn tvla_same_distribution_rarely_distinguishable(
+        seed in any::<u32>(),
+    ) {
+        // Deterministic LCG samples from ONE distribution for all six sets.
+        let mut state = u64::from(seed) | 1;
+        let mut sample = |n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    ((state >> 33) as f64 / f64::from(1u32 << 30)) - 4.0
+                })
+                .collect()
+        };
+        let first = [sample(800), sample(800), sample(800)];
+        let second = [sample(800), sample(800), sample(800)];
+        let m = TvlaMatrix::compute("null", &first, &second);
+        // With no real effect, true positives are impossible by construction
+        // of the ground truth, and false positives should be rare. Allow a
+        // couple to avoid flakiness, but the diagonal of a same-distribution
+        // channel must never produce 9/9 distinguishable cells.
+        let counts = m.outcome_counts();
+        prop_assert!(counts.false_positive + counts.true_positive < 9);
+        prop_assert_eq!(counts.true_positive + counts.false_negative, 6, "6 off-diagonal cells");
+    }
+
+    #[test]
+    fn tvla_outcome_classification_consistent(t in -50.0f64..50.0, diff in any::<bool>()) {
+        let outcome = TvlaOutcome::classify(t, diff);
+        let distinguishable = t.abs() >= 4.5;
+        prop_assert_eq!(
+            matches!(outcome, TvlaOutcome::TruePositive | TvlaOutcome::FalsePositive),
+            distinguishable
+        );
+        prop_assert_eq!(
+            matches!(outcome, TvlaOutcome::TruePositive | TvlaOutcome::FalseNegative),
+            diff
+        );
+    }
+
+    #[test]
+    fn log_checkpoints_strictly_increasing(
+        min in 1usize..1000,
+        span in 2usize..1000,
+        per_decade in 1usize..10,
+    ) {
+        let cps = log_checkpoints(min, min + span, per_decade);
+        for w in cps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert_eq!(*cps.first().unwrap(), min);
+        prop_assert_eq!(*cps.last().unwrap(), min + span);
+    }
+
+    #[test]
+    fn trace_set_prefix_is_prefix(
+        values in proptest::collection::vec(-10.0f64..10.0, 0..50),
+        n in 0usize..60,
+    ) {
+        let set: TraceSet = values
+            .iter()
+            .map(|&v| Trace { value: v, plaintext: [0; 16], ciphertext: [0; 16] })
+            .collect();
+        let p = set.prefix(n);
+        prop_assert_eq!(p.len(), n.min(set.len()));
+        let p_values = p.values();
+        let set_values = set.values();
+        prop_assert_eq!(&p_values[..], &set_values[..p.len()]);
+    }
+}

@@ -1,0 +1,513 @@
+//! The SMC co-processor firmware: samples rails, applies each key's sensor
+//! pipeline, and publishes key/value pairs at its update interval
+//! (≈ 1 s on the real systems, per §3.3: "SMC key values are updated
+//! approximately every one second").
+
+use crate::key::SmcKey;
+use crate::mitigation::MitigationConfig;
+use crate::sensors::SensorSet;
+use crate::types::{SmcDataType, SmcValue};
+use psc_soc::noise::{gaussian, RandomWalk};
+use psc_soc::{SocTick, WindowReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeMap;
+
+/// Default update interval in seconds.
+pub const DEFAULT_UPDATE_INTERVAL_S: f64 = 1.0;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Accumulator {
+    time_s: f64,
+    p_core_util_sum: [f64; 4],
+    e_core_util_sum: [f64; 4],
+    rails_sum: psc_soc::PowerRails,
+    est_cpu_sum: f64,
+    est_p_sum: f64,
+    est_e_sum: f64,
+    p_freq_sum: f64,
+    e_freq_sum: f64,
+    temp_last: f64,
+    reps_sum: f64,
+}
+
+impl Accumulator {
+    fn add(&mut self, report: &WindowReport) {
+        let dt = report.duration_s;
+        self.time_s += dt;
+        self.rails_sum.accumulate(&report.rails.scaled(dt));
+        self.est_cpu_sum += report.estimated_cpu_power_w * dt;
+        self.est_p_sum += report.estimated_p_cluster_w * dt;
+        self.est_e_sum += report.estimated_e_cluster_w * dt;
+        self.p_freq_sum += report.p_freq_ghz * dt;
+        self.e_freq_sum += report.e_freq_ghz * dt;
+        self.temp_last = report.temperature_c;
+        self.reps_sum += report.p_core_reps;
+        for i in 0..4 {
+            self.p_core_util_sum[i] += report.p_core_util[i] * dt;
+            self.e_core_util_sum[i] += report.e_core_util[i] * dt;
+        }
+    }
+
+    fn mean_report(&self) -> WindowReport {
+        let t = self.time_s.max(1e-12);
+        WindowReport {
+            duration_s: self.time_s,
+            rails: self.rails_sum.scaled(1.0 / t),
+            estimated_cpu_power_w: self.est_cpu_sum / t,
+            estimated_p_cluster_w: self.est_p_sum / t,
+            estimated_e_cluster_w: self.est_e_sum / t,
+            p_freq_ghz: self.p_freq_sum / t,
+            e_freq_ghz: self.e_freq_sum / t,
+            temperature_c: self.temp_last,
+            p_core_reps: self.reps_sum,
+            p_core_util: core::array::from_fn(|i| self.p_core_util_sum[i] / t),
+            e_core_util: core::array::from_fn(|i| self.e_core_util_sum[i] / t),
+        }
+    }
+}
+
+/// Error returned by [`Smc::write_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKeyError {
+    /// The key does not exist.
+    KeyNotFound(SmcKey),
+    /// The key exists but is read-only.
+    NotWritable(SmcKey),
+}
+
+impl core::fmt::Display for WriteKeyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WriteKeyError::KeyNotFound(k) => write!(f, "SMC key {k} not found"),
+            WriteKeyError::NotWritable(k) => write!(f, "SMC key {k} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for WriteKeyError {}
+
+/// The simulated SMC.
+#[derive(Debug)]
+pub struct Smc {
+    sensors: SensorSet,
+    base_interval_s: f64,
+    /// Fractional jitter on the publish interval (the paper: values update
+    /// "approximately every one second"). 0 = exact cadence (default, and
+    /// what the trace-collection loop assumes since it polls publishes).
+    interval_jitter: f64,
+    /// The current window's jittered target interval.
+    current_target_s: f64,
+    mitigation: MitigationConfig,
+    rng: ChaCha12Rng,
+    drift: BTreeMap<SmcKey, RandomWalk>,
+    published: BTreeMap<SmcKey, SmcValue>,
+    /// User-written overrides of writable keys.
+    overrides: BTreeMap<SmcKey, f64>,
+    acc: Accumulator,
+    update_count: u64,
+}
+
+impl Smc {
+    /// New firmware instance over a sensor population.
+    #[must_use]
+    pub fn new(sensors: SensorSet, seed: u64) -> Self {
+        let drift = sensors
+            .sensors()
+            .iter()
+            .filter(|s| s.drift_step_sigma > 0.0)
+            .map(|s| (s.key, RandomWalk::new(s.drift_step_sigma, s.drift_reversion)))
+            .collect();
+        let mut smc = Self {
+            sensors,
+            base_interval_s: DEFAULT_UPDATE_INTERVAL_S,
+            interval_jitter: 0.0,
+            current_target_s: DEFAULT_UPDATE_INTERVAL_S,
+            mitigation: MitigationConfig::none(),
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x5AC5_AC5A),
+            drift,
+            published: BTreeMap::new(),
+            overrides: BTreeMap::new(),
+            acc: Accumulator::default(),
+            update_count: 0,
+        };
+        // Publish an initial idle snapshot so reads before the first window
+        // return something, as the real SMC does.
+        smc.publish(&WindowReport {
+            duration_s: DEFAULT_UPDATE_INTERVAL_S,
+            ..WindowReport::default()
+        });
+        smc.update_count = 0;
+        smc
+    }
+
+    /// Override the base update interval (default 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s` is not positive.
+    pub fn set_update_interval(&mut self, interval_s: f64) {
+        assert!(interval_s > 0.0, "interval must be positive");
+        self.base_interval_s = interval_s;
+        self.current_target_s = self.update_interval_s();
+    }
+
+    /// Set a fractional jitter on the publish cadence (e.g. 0.05 for the
+    /// "approximately every one second" behaviour of real firmware). Each
+    /// publish draws the next interval uniformly in
+    /// `interval · [1−j, 1+j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ jitter < 1`.
+    pub fn set_interval_jitter(&mut self, jitter: f64) {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.interval_jitter = jitter;
+    }
+
+    /// The effective update interval (base × mitigation multiplier).
+    #[must_use]
+    pub fn update_interval_s(&self) -> f64 {
+        self.base_interval_s * self.mitigation.update_interval_multiplier
+    }
+
+    /// Install a mitigation configuration (§5 countermeasures).
+    pub fn set_mitigation(&mut self, mitigation: MitigationConfig) {
+        self.mitigation = mitigation;
+    }
+
+    /// The active mitigation configuration.
+    #[must_use]
+    pub fn mitigation(&self) -> MitigationConfig {
+        self.mitigation
+    }
+
+    /// The sensor population.
+    #[must_use]
+    pub fn sensors(&self) -> &SensorSet {
+        &self.sensors
+    }
+
+    /// Number of publishes so far.
+    #[must_use]
+    pub fn update_count(&self) -> u64 {
+        self.update_count
+    }
+
+    /// Feed one aggregated window; publishes if the accumulated time has
+    /// reached the update interval. Returns `true` if a publish happened.
+    pub fn observe_window(&mut self, report: &WindowReport) -> bool {
+        self.acc.add(report);
+        // The target respects mitigation changes made since the last
+        // publish, plus any configured cadence jitter.
+        let base_target = self.update_interval_s();
+        let target = if self.interval_jitter > 0.0 {
+            self.current_target_s.clamp(
+                base_target * (1.0 - self.interval_jitter),
+                base_target * (1.0 + self.interval_jitter),
+            )
+        } else {
+            base_target
+        };
+        if self.acc.time_s + 1e-9 >= target {
+            let mean = self.acc.mean_report();
+            self.publish(&mean);
+            self.acc = Accumulator::default();
+            // Draw the next jittered interval.
+            if self.interval_jitter > 0.0 {
+                let u: f64 = rand::Rng::gen_range(&mut self.rng, -1.0..1.0);
+                self.current_target_s = base_target * (1.0 + self.interval_jitter * u);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Feed one simulation tick (throttling-study path).
+    pub fn observe_tick(&mut self, tick: &SocTick, dt_s: f64) -> bool {
+        let report = WindowReport {
+            duration_s: dt_s,
+            rails: tick.rails,
+            estimated_cpu_power_w: tick.estimated_cpu_power_w,
+            estimated_p_cluster_w: tick.rails.p_cluster_w,
+            estimated_e_cluster_w: tick.rails.e_cluster_w,
+            p_freq_ghz: tick.p_freq_ghz,
+            e_freq_ghz: tick.e_freq_ghz,
+            temperature_c: tick.temperature_c,
+            p_core_reps: 0.0,
+            ..WindowReport::default()
+        };
+        self.observe_window(&report)
+    }
+
+    fn publish(&mut self, mean: &WindowReport) {
+        for def in self.sensors.sensors().to_vec() {
+            let source_value =
+                self.overrides.get(&def.key).copied().unwrap_or_else(|| def.source.sample(mean));
+            let raw = def.gain * source_value;
+            let drift = self.drift.get_mut(&def.key).map_or(0.0, |w| w.step(&mut self.rng));
+            let extra = if def.power_related { self.mitigation.extra_noise_sigma_w } else { 0.0 };
+            let sigma = (def.noise_sigma * def.noise_sigma + extra * extra).sqrt();
+            let noisy = gaussian(&mut self.rng, raw + drift, sigma);
+            let quantized = if def.quant_step > 0.0 {
+                (noisy / def.quant_step).round() * def.quant_step
+            } else {
+                noisy
+            };
+            self.published.insert(def.key, SmcValue::new(def.data_type, quantized));
+        }
+        self.update_count += 1;
+    }
+
+    /// Firmware-level read (no privilege checks — those live in the IOKit
+    /// client layer).
+    #[must_use]
+    pub fn read(&self, k: SmcKey) -> Option<SmcValue> {
+        self.published.get(&k).copied()
+    }
+
+    /// All keys in deterministic (lexicographic) order.
+    #[must_use]
+    pub fn keys(&self) -> Vec<SmcKey> {
+        self.published.keys().copied().collect()
+    }
+
+    /// Type/size info for a key.
+    #[must_use]
+    pub fn key_info(&self, k: SmcKey) -> Option<(SmcDataType, usize)> {
+        self.sensors.get(k).map(|d| (d.data_type, d.data_type.size()))
+    }
+
+    /// Whether reads of this key are denied to unprivileged clients under
+    /// the active mitigation.
+    #[must_use]
+    pub fn is_restricted(&self, k: SmcKey) -> bool {
+        self.mitigation.restrict_power_keys
+            && self.sensors.get(k).is_some_and(|d| d.power_related)
+    }
+
+    /// Whether user space may write this key.
+    #[must_use]
+    pub fn is_writable(&self, k: SmcKey) -> bool {
+        self.sensors.get(k).is_some_and(|d| d.writable)
+    }
+
+    /// Write a key's value. The new value takes effect at the next publish
+    /// (and immediately in the published view, matching how fan-target
+    /// writes read back on real hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`WriteKeyError::KeyNotFound`] for unknown keys,
+    /// [`WriteKeyError::NotWritable`] for read-only keys — which is every
+    /// power/limit-related key, reproducing §4's negative probe.
+    pub fn write_key(&mut self, k: SmcKey, value: f64) -> Result<(), WriteKeyError> {
+        let def = self.sensors.get(k).ok_or(WriteKeyError::KeyNotFound(k))?;
+        if !def.writable {
+            return Err(WriteKeyError::NotWritable(k));
+        }
+        let data_type = def.data_type;
+        self.overrides.insert(k, value);
+        self.published.insert(k, SmcValue::new(data_type, value));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::key;
+    use crate::sensors::SensorSet;
+    use psc_soc::PowerRails;
+
+    fn report(p_cluster_w: f64, est: f64) -> WindowReport {
+        WindowReport {
+            duration_s: 1.0,
+            rails: PowerRails::assemble(p_cluster_w, 0.3, 0.4, 0.5, 0.88, 1.5),
+            estimated_cpu_power_w: est,
+            estimated_p_cluster_w: est * 0.8,
+            estimated_e_cluster_w: est * 0.2,
+            p_freq_ghz: 3.5,
+            e_freq_ghz: 2.4,
+            temperature_c: 42.0,
+            p_core_reps: 1.0e7,
+            ..WindowReport::default()
+        }
+    }
+
+    fn smc() -> Smc {
+        Smc::new(SensorSet::macbook_air_m2(), 99)
+    }
+
+    #[test]
+    fn publishes_once_per_interval() {
+        let mut s = smc();
+        assert_eq!(s.update_count(), 0);
+        assert!(s.observe_window(&report(2.0, 2.5)));
+        assert_eq!(s.update_count(), 1);
+    }
+
+    #[test]
+    fn sub_interval_windows_accumulate() {
+        let mut s = smc();
+        let mut r = report(2.0, 2.5);
+        r.duration_s = 0.4;
+        assert!(!s.observe_window(&r));
+        assert!(!s.observe_window(&r));
+        assert!(s.observe_window(&r), "third 0.4 s window crosses 1 s");
+        assert_eq!(s.update_count(), 1);
+    }
+
+    #[test]
+    fn phpc_tracks_p_cluster_rail() {
+        let mut s = smc();
+        s.observe_window(&report(2.0, 2.5));
+        let low = s.read(key("PHPC")).unwrap().value;
+        s.observe_window(&report(8.0, 2.5));
+        let high = s.read(key("PHPC")).unwrap().value;
+        assert!(high > low + 4.0, "PHPC {low} -> {high}");
+    }
+
+    #[test]
+    fn phps_tracks_estimator_only() {
+        let mut s = smc();
+        s.observe_window(&report(2.0, 3.0));
+        let a = s.read(key("PHPS")).unwrap().value;
+        s.observe_window(&report(9.0, 3.0));
+        let b = s.read(key("PHPS")).unwrap().value;
+        assert!((a - b).abs() < 0.02, "PHPS must not follow rails: {a} vs {b}");
+    }
+
+    #[test]
+    fn unknown_key_reads_none() {
+        let s = smc();
+        assert!(s.read(key("ZZZZ")).is_none());
+        assert!(s.key_info(key("ZZZZ")).is_none());
+    }
+
+    #[test]
+    fn noise_blending_mitigation_increases_variance() {
+        let variance_of = |mitigation: MitigationConfig| {
+            let mut s = Smc::new(SensorSet::macbook_air_m2(), 7);
+            s.set_mitigation(mitigation);
+            let vals: Vec<f64> = (0..400)
+                .map(|_| {
+                    s.observe_window(&report(2.0, 2.5));
+                    s.read(key("PHPC")).unwrap().value
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64
+        };
+        let base = variance_of(MitigationConfig::none());
+        let blended = variance_of(MitigationConfig::noise_blend(0.05));
+        assert!(blended > base * 10.0, "blend {blended} vs base {base}");
+    }
+
+    #[test]
+    fn interval_mitigation_slows_updates() {
+        let mut s = smc();
+        s.set_mitigation(MitigationConfig::slow_updates(3.0));
+        let r = report(2.0, 2.5);
+        assert!(!s.observe_window(&r));
+        assert!(!s.observe_window(&r));
+        assert!(s.observe_window(&r));
+    }
+
+    #[test]
+    fn restriction_marks_only_power_keys() {
+        let mut s = smc();
+        s.set_mitigation(MitigationConfig::restrict_access());
+        assert!(s.is_restricted(key("PHPC")));
+        assert!(s.is_restricted(key("PSTR")));
+        assert!(!s.is_restricted(key("TC0P")));
+        assert!(!s.is_restricted(key("B0FC")));
+    }
+
+    #[test]
+    fn no_restriction_by_default() {
+        let s = smc();
+        assert!(!s.is_restricted(key("PHPC")));
+    }
+
+    #[test]
+    fn pstr_drifts_between_epochs() {
+        let mut s = smc();
+        let epoch = |s: &mut Smc| {
+            let n = 200;
+            (0..n)
+                .map(|_| {
+                    s.observe_window(&report(2.0, 2.5));
+                    s.read(key("PSTR")).unwrap().value
+                })
+                .sum::<f64>()
+                / f64::from(n)
+        };
+        let means: Vec<f64> = (0..6).map(|_| epoch(&mut s)).collect();
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.005, "PSTR epoch means must drift apart, spread {spread}");
+    }
+
+    #[test]
+    fn interval_jitter_varies_publish_cadence() {
+        let mut s = smc();
+        s.set_interval_jitter(0.2);
+        let mut windows_per_publish = Vec::new();
+        let mut count = 0u32;
+        let mut small = report(2.0, 2.5);
+        small.duration_s = 0.1;
+        for _ in 0..400 {
+            count += 1;
+            if s.observe_window(&small) {
+                windows_per_publish.push(count);
+                count = 0;
+            }
+        }
+        let min = *windows_per_publish.iter().min().unwrap();
+        let max = *windows_per_publish.iter().max().unwrap();
+        assert!(min < max, "jitter must vary the cadence: {windows_per_publish:?}");
+        // Bounded by ±20% around 10 windows of 0.1 s.
+        assert!((8..=13).contains(&min) && (8..=13).contains(&max));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in")]
+    fn invalid_jitter_rejected() {
+        let mut s = smc();
+        s.set_interval_jitter(1.5);
+    }
+
+    #[test]
+    fn keys_sorted_and_complete() {
+        let s = smc();
+        let keys = s.keys();
+        assert_eq!(keys.len(), s.sensors().len());
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn tick_path_publishes_after_interval() {
+        let mut s = smc();
+        let tick = psc_soc::SocTick {
+            time_s: 0.0,
+            rails: PowerRails::assemble(2.0, 0.3, 0.4, 0.5, 0.88, 1.5),
+            estimated_cpu_power_w: 2.3,
+            p_freq_ghz: 3.5,
+            e_freq_ghz: 2.4,
+            temperature_c: 42.0,
+            throttled: false,
+            throttle_action: None,
+        };
+        let mut published = 0;
+        for _ in 0..25 {
+            if s.observe_tick(&tick, 0.05) {
+                published += 1;
+            }
+        }
+        assert_eq!(published, 1, "25 × 0.05 s = 1.25 s → one publish");
+    }
+}

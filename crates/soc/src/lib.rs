@@ -1,0 +1,51 @@
+//! # psc-soc — a discrete-time Apple-silicon-style SoC simulator
+//!
+//! Substrate for reproducing software-based power side-channel attacks
+//! without Apple hardware. It models the parts of an M1/M2 system the
+//! attacks in the paper observe or manipulate:
+//!
+//! * [`config`] — device presets matching the paper's Table 1
+//!   ([`SocSpec::mac_mini_m1`], [`SocSpec::macbook_air_m2`]);
+//! * [`dvfs`] — per-cluster operating-point ladders;
+//! * [`power`] — rail-level CMOS power accounting (`P ∝ α·u·f·V²`);
+//! * [`thermal`] — lumped-RC package temperature;
+//! * [`limits`] — reactive power limits, `lowpowermode`, and the
+//!   model-based power estimator that drives throttling (and the `PHPS` /
+//!   IOReport channels — the root cause of the paper's null results);
+//! * [`sched`] — priority/policy-driven P/E-core placement;
+//! * [`workload`] — AES victims and stressors;
+//! * [`soc`] — the machine itself, with an analytic window path for trace
+//!   collection and a stepped path for throttling dynamics.
+//!
+//! ## Example
+//!
+//! ```
+//! use psc_soc::{Soc, SocSpec};
+//! use psc_soc::sched::SchedAttrs;
+//! use psc_soc::workload::MatrixStressor;
+//!
+//! let mut soc = Soc::new(SocSpec::macbook_air_m2(), 42);
+//! soc.spawn("stress", SchedAttrs::realtime_p_core(), Box::new(MatrixStressor::default()));
+//! let tick = soc.step(0.1);
+//! assert!(tick.rails.package_w > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dvfs;
+pub mod limits;
+pub mod noise;
+pub mod power;
+pub mod residency;
+pub mod sched;
+pub mod soc;
+pub mod thermal;
+pub mod workload;
+
+pub use config::{ClusterKind, ClusterSpec, SocSpec};
+pub use limits::{PowerMode, ThrottleReason};
+pub use power::PowerRails;
+pub use sched::{SchedAttrs, ThreadId};
+pub use soc::{GovernorFeed, Soc, SocTick, WindowReport};

@@ -1,0 +1,57 @@
+//! Quickstart: observe data-dependent SMC power readings.
+//!
+//! Builds a simulated MacBook Air M2 with a user-space AES victim, then —
+//! acting as the unprivileged attacker — enumerates SMC keys through the
+//! IOKit-style interface, reads power values while the victim encrypts
+//! chosen plaintexts, and shows that `PHPC` moves with the data while
+//! `PHPS` does not.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::smc::key::key;
+use apple_power_sca::smc::SmcKey;
+
+fn mean_reading(rig: &mut Rig, plaintext: [u8; 16], smc_key: SmcKey, windows: usize) -> f64 {
+    let mut sum = 0.0;
+    for _ in 0..windows {
+        let obs = rig.observe_window(plaintext, &[smc_key]);
+        sum += obs.smc[0].1.expect("key readable without mitigation");
+    }
+    sum / windows as f64
+}
+
+fn main() {
+    // The victim's secret key: unknown to the attacker in the threat
+    // model; we hold it here only because we also play the victim. (This
+    // key's Hamming weight is well above 64, which makes the all-0s vs
+    // all-1s first-round power contrast easy to see at few windows.)
+    let secret_key = [
+        0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD,
+        0xD9, 0x7C,
+    ];
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, secret_key, 2024);
+
+    println!("== SMC key enumeration through the IOKit-style user client ==");
+    let keys = rig.client.all_keys().expect("enumeration");
+    let power_keys: Vec<String> =
+        keys.iter().filter(|k| k.is_power_key()).map(SmcKey::to_string).collect();
+    println!("{} keys total; P-prefixed candidates: {}", keys.len(), power_keys.join(" "));
+
+    println!("\n== Data-dependent power reporting (200 windows per plaintext) ==");
+    let windows = 200;
+    for smc_key in [key("PHPC"), key("PHPS")] {
+        let zeros = mean_reading(&mut rig, [0x00; 16], smc_key, windows);
+        let ones = mean_reading(&mut rig, [0xFF; 16], smc_key, windows);
+        println!(
+            "{smc_key}: mean over all-0s plaintexts = {zeros:.6} W, all-1s = {ones:.6} W, \
+             |Δ| = {:.3} mW",
+            (zeros - ones).abs() * 1e3
+        );
+    }
+    println!(
+        "\nPHPC (a real P-cluster power sensor) separates the plaintexts;\n\
+         PHPS (the model-based power estimator) does not — exactly the\n\
+         pattern behind the paper's Table 3."
+    );
+}

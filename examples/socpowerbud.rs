@@ -1,0 +1,55 @@
+//! A `socpowerbud`-style IOReport dump tool (§3.6's measurement vehicle):
+//! subscribes to the "Energy Model" and "CPU Stats" groups and prints
+//! per-interval deltas while a workload runs — demonstrating why the
+//! `PCPU` channel looked promising (it tracks load) yet leaks nothing
+//! (it is an estimator at mJ resolution).
+//!
+//! Run with: `cargo run --release --example socpowerbud`
+
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::ioreport::EnergyModelReporter;
+
+fn main() {
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [0x5Au8; 16], 77);
+
+    println!("groups: {:?}", rig.ioreport.registry().groups());
+    println!("channels:");
+    for id in rig.ioreport.registry().channel_ids() {
+        println!("  {id}");
+    }
+
+    println!("\nsampling 10 × 1 s intervals while the AES victim runs:");
+    println!("{:>4} {:>12} {:>12} {:>12}", "t(s)", "PCPU (mJ)", "ECPU (mJ)", "DRAM (mJ)");
+    let mut prev = rig.ioreport.snapshot();
+    for i in 0..10 {
+        // Alternate extreme plaintexts — the PCPU deltas will NOT move.
+        let pt = if i % 2 == 0 { [0x00u8; 16] } else { [0xFFu8; 16] };
+        let _ = rig.observe_window(pt, &[]);
+        let now = rig.ioreport.snapshot();
+        let delta = now.delta(&prev);
+        let read = |id| delta.get(&id).map_or(0.0, |v| v.value);
+        println!(
+            "{:>4} {:>12.0} {:>12.0} {:>12.0}",
+            i + 1,
+            read(EnergyModelReporter::pcpu()),
+            read(EnergyModelReporter::ecpu()),
+            read(EnergyModelReporter::dram()),
+        );
+        prev = now;
+    }
+    println!(
+        "\nthe PCPU series is flat across alternating all-0s/all-1s plaintexts:\n\
+         the Energy Model integrates a utilization-based estimate at mJ\n\
+         resolution — no data dependence (the paper's Table 6, left column)."
+    );
+
+    // Per-core residency view (the victim's three threads own three
+    // P-cores; everything else is idle).
+    println!("\nper-core busy residency over the sampled 10 s:");
+    let snap = rig.ioreport.snapshot();
+    for core in 0..4 {
+        let p = snap.get(&EnergyModelReporter::p_core_residency(core)).map_or(0.0, |v| v.value);
+        let e = snap.get(&EnergyModelReporter::e_core_residency(core)).map_or(0.0, |v| v.value);
+        println!("  P-Core {core}: {:>5.1} s   E-Core {core}: {:>5.1} s", p / 1e9, e / 1e9);
+    }
+}

@@ -1,0 +1,213 @@
+//! `psc` — the unified command-line front end.
+//!
+//! Subcommands map onto the paper's workflow:
+//!
+//! ```text
+//! psc fuzz                         # §3.2 screening (Table 2)
+//! psc tvla [--kernel]              # §3.3/§3.5 TVLA (Tables 3/5)
+//! psc cpa [--traces N]             # §3.4 CPA ranks + GE (Table 4 style)
+//! psc throttle                     # §4 throttling study
+//! psc success [--traces N]         # success-rate extension
+//! psc collect --out FILE [--traces N] [--key HEX32]
+//!                                  # record a PHPC campaign to disk
+//! psc analyze FILE [--key HEX32]   # offline CPA over a recorded campaign
+//! ```
+
+use apple_power_sca::core::campaign::collect_known_plaintext_parallel;
+use apple_power_sca::core::experiments::countermeasure::run_countermeasures;
+use apple_power_sca::core::experiments::screening::{run_table1, run_table2};
+use apple_power_sca::core::experiments::success_rate::run_success_rate;
+use apple_power_sca::core::experiments::throttling::run_throttling_study;
+use apple_power_sca::core::experiments::tvla::{run_table3, run_table5};
+use apple_power_sca::core::{Device, ExperimentConfig, VictimKind};
+use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
+use apple_power_sca::sca::cpa::Cpa;
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
+use apple_power_sca::sca::stats::fisher_interval;
+use apple_power_sca::smc::key::key;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+psc — software power side-channel reproduction toolkit
+
+USAGE:
+    psc <command> [options]
+
+COMMANDS:
+    fuzz                      Table 1/2: device specs + idle-vs-busy screening
+    tvla [--kernel]           Table 3/5: TVLA t-score matrices
+    cpa [--traces N]          Table 4 style: CPA ranks + guessing entropy
+    throttle                  Section 4: throttling study
+    countermeasures           Section 5: mitigation efficacy
+    success [--traces N]      Extension: success rate vs trace budget
+    collect --out FILE [--traces N] [--key HEX32]
+                              Record a PHPC campaign to FILE (.psct)
+    analyze FILE [--key HEX32] [--detrend W]
+                              Offline CPA over a recorded campaign
+
+Scaling env vars: PSC_TRACES, PSC_TVLA_TRACES, PSC_SHARDS, PSC_SEED.";
+
+fn parse_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_key_hex(hex: &str) -> Result<[u8; 16], String> {
+    let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+    if hex.len() != 32 {
+        return Err(format!("key must be 32 hex chars, got {}", hex.len()));
+    }
+    let mut out = [0u8; 16];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+            .map_err(|e| format!("bad hex at byte {i}: {e}"))?;
+    }
+    Ok(out)
+}
+
+fn cmd_cpa(cfg: &ExperimentConfig, args: &[String]) {
+    let traces = parse_opt(args, "--traces")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.cpa_traces_m2);
+    let kind = if parse_flag(args, "--kernel") {
+        VictimKind::KernelModule
+    } else {
+        VictimKind::UserSpace
+    };
+    println!("collecting {traces} PHPC traces ({kind:?} victim)...");
+    let sets = collect_known_plaintext_parallel(
+        Device::MacbookAirM2,
+        kind,
+        cfg.secret_key,
+        cfg.seed,
+        &[key("PHPC")],
+        traces,
+        cfg.shards,
+    );
+    report_cpa(&sets[&key("PHPC")], Some(cfg.secret_key));
+}
+
+fn report_cpa(set: &apple_power_sca::sca::trace::TraceSet, secret: Option<[u8; 16]>) {
+    let mut cpa = Cpa::new(Box::new(Rd0Hw));
+    cpa.add_set(set);
+    let n = cpa.trace_count();
+    println!("\n#byte  best-guess     corr        95% CI");
+    for b in 0..16 {
+        let (guess, corr) = cpa.best_guess(b);
+        let (lo, hi) = fisher_interval(corr, n, 1.96);
+        println!("{b:>5}     0x{guess:02X}     {corr:>8.4}   [{lo:>7.4}, {hi:>7.4}]");
+    }
+    if let Some(secret) = secret {
+        let ranks = cpa.ranks(&secret);
+        let (recovered, near) = recovery_tally(&ranks);
+        println!(
+            "\nevaluation vs true key: GE {:.1} bits, {recovered}/16 recovered, {near}/16 nearly",
+            guessing_entropy(&ranks)
+        );
+    }
+}
+
+fn cmd_collect(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let out = parse_opt(args, "--out").ok_or("--out FILE is required")?;
+    let traces = parse_opt(args, "--traces")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.cpa_traces_m2);
+    let secret = match parse_opt(args, "--key") {
+        Some(hex) => parse_key_hex(&hex)?,
+        None => cfg.secret_key,
+    };
+    println!("collecting {traces} PHPC traces to {out} ...");
+    let sets = collect_known_plaintext_parallel(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        secret,
+        cfg.seed,
+        &[key("PHPC")],
+        traces,
+        cfg.shards,
+    );
+    let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+    write_trace_set(&sets[&key("PHPC")], file).map_err(|e| e.to_string())?;
+    println!("wrote {} traces.", traces);
+    Ok(())
+}
+
+fn cmd_analyze(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze needs a FILE argument")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let mut set = read_trace_set(file).map_err(|e| e.to_string())?;
+    println!("loaded {} traces labelled {:?} from {path}", set.len(), set.label);
+    if let Some(w) = parse_opt(args, "--detrend").and_then(|s| s.parse::<usize>().ok()) {
+        // High-pass the series to strip slow drift (useful on PSTR-class
+        // channels); see tests/pstr_detrending.rs.
+        set = apple_power_sca::sca::filter::detrend_trace_set(&set, w.max(1));
+        println!("applied moving-average detrend, window {w}");
+    }
+    let secret = match parse_opt(args, "--key") {
+        Some(hex) => Some(parse_key_hex(&hex)?),
+        None => Some(cfg.secret_key),
+    };
+    report_cpa(&set, secret);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_env();
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result: Result<(), String> = match command.as_str() {
+        "fuzz" => {
+            println!("{}", run_table1().render());
+            println!("{}", run_table2(&cfg).render());
+            Ok(())
+        }
+        "tvla" => {
+            let table =
+                if parse_flag(rest, "--kernel") { run_table5(&cfg) } else { run_table3(&cfg) };
+            println!("{}", table.render());
+            Ok(())
+        }
+        "cpa" => {
+            cmd_cpa(&cfg, rest);
+            Ok(())
+        }
+        "throttle" => {
+            println!("{}", run_throttling_study(&cfg).render());
+            Ok(())
+        }
+        "countermeasures" => {
+            println!("{}", run_countermeasures(&cfg).render());
+            Ok(())
+        }
+        "success" => {
+            let max = parse_opt(rest, "--traces")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(cfg.cpa_traces_m2);
+            let counts = [max / 8, max / 4, max / 2, max];
+            println!("{}", run_success_rate(&cfg, &counts, 5).render());
+            Ok(())
+        }
+        "collect" => cmd_collect(&cfg, rest),
+        "analyze" => cmd_analyze(&cfg, rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

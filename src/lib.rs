@@ -1,0 +1,53 @@
+//! # apple-power-sca
+//!
+//! A Rust reproduction of **“Uncovering Software-Based Power Side-Channel
+//! Attacks on Apple M1/M2 Systems”** (DAC 2024) over a fully simulated
+//! Apple-silicon substrate — no Apple hardware required.
+//!
+//! The paper shows that the SMC on M1/M2 exposes power meters to
+//! unprivileged user space through IOKit, that several SMC keys report
+//! *data-dependent* power, and that this suffices for CPA key extraction
+//! from both user-space and kernel AES victims. It also establishes two
+//! null results: the IOReport `PCPU` energy channel and the
+//! `lowpowermode`-throttling timing channel do **not** leak.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`aes`] — AES with round-state tracing and the CMOS leakage model;
+//! * [`soc`] — the SoC simulator (clusters, DVFS, thermal, power limits,
+//!   scheduler, workloads);
+//! * [`smc`] — the SMC firmware, key/value sensors, IOKit-style client,
+//!   fuzzer and countermeasures;
+//! * [`ioreport`] — IOReport groups/channels and the Energy Model;
+//! * [`sca`] — TVLA, CPA, power models, key rank / guessing entropy;
+//! * [`core`] — victims, collection campaigns and the per-table/figure
+//!   experiment runners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apple_power_sca::core::{Device, Rig, VictimKind};
+//! use apple_power_sca::smc::key::key;
+//!
+//! // A MacBook Air M2 with a user-space AES victim holding a secret key.
+//! let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [0x2B; 16], 42);
+//!
+//! // The unprivileged attacker submits a plaintext to the victim's
+//! // service and reads the P-cluster power key right after the window.
+//! let pt = rig.random_plaintext();
+//! let obs = rig.observe_window(pt, &[key("PHPC")]);
+//! assert!(obs.smc[0].1.is_some());
+//! ```
+//!
+//! See `examples/` for complete attack walk-throughs and `crates/bench`
+//! for the binaries regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use psc_aes as aes;
+pub use psc_core as core;
+pub use psc_ioreport as ioreport;
+pub use psc_sca as sca;
+pub use psc_smc as smc;
+pub use psc_soc as soc;

@@ -1,0 +1,59 @@
+//! Cross-crate integration: the record-then-analyze-offline workflow — a
+//! real attacker collects once (slow, on-target) and analyzes many times
+//! (fast, off-target). The persisted campaign must yield bit-identical
+//! analysis results.
+
+use apple_power_sca::core::campaign::collect_known_plaintext;
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
+use apple_power_sca::sca::cpa::Cpa;
+use apple_power_sca::sca::enumerate::{verify_with_pair, KeyEnumerator};
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::smc::key::key;
+
+const SECRET: [u8; 16] = [
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
+    0x7C,
+];
+
+#[test]
+fn persisted_campaign_analyzes_identically() {
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0x0FF1);
+    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 4_000);
+    let original = &sets[&key("PHPC")];
+
+    // Round-trip through the on-disk format.
+    let mut bytes = Vec::new();
+    write_trace_set(original, &mut bytes).expect("serialize");
+    let restored = read_trace_set(&bytes[..]).expect("deserialize");
+    assert_eq!(&restored, original);
+
+    // Analysis over the restored set matches analysis over the original,
+    // bit for bit.
+    let ranks_of = |set: &apple_power_sca::sca::trace::TraceSet| {
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(set);
+        (cpa.ranks(&SECRET), cpa.correlations(0).map(f64::to_bits))
+    };
+    assert_eq!(ranks_of(original), ranks_of(&restored));
+}
+
+#[test]
+fn full_offline_attack_with_enumeration_endgame() {
+    // Enough traces that every byte ranks near the top, then the
+    // enumeration endgame confirms the exact key from the recording alone.
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0x0FF2);
+    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 25_000);
+    let mut bytes = Vec::new();
+    write_trace_set(&sets[&key("PHPC")], &mut bytes).expect("serialize");
+
+    // "Another machine": only the recording is available.
+    let recording = read_trace_set(&bytes[..]).expect("deserialize");
+    let mut cpa = Cpa::new(Box::new(Rd0Hw));
+    cpa.add_set(&recording);
+    let pair = recording.traces()[0];
+    let found = KeyEnumerator::from_cpa(&cpa)
+        .search(200_000, |c| verify_with_pair(c, &pair.plaintext, &pair.ciphertext));
+    let (recovered_key, _tried) = found.expect("key recoverable at this trace count");
+    assert_eq!(recovered_key, SECRET, "offline attack recovers the exact key");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate invariants of the simulation substrate that the attack
+//! results rely on (the "physics" the experiments assume).
+
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::ioreport::EnergyModelReporter;
+use apple_power_sca::smc::key::key;
+use apple_power_sca::soc::sched::SchedAttrs;
+use apple_power_sca::soc::workload::FmulStressor;
+use apple_power_sca::soc::{ClusterKind, PowerMode, Soc, SocSpec};
+
+#[test]
+fn rails_conservation_and_ordering() {
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 5);
+    for _ in 0..50 {
+        let report = rig.soc.run_window(1.0);
+        let r = report.rails;
+        assert!(r.is_physical());
+        let sum = r.p_cluster_w + r.e_cluster_w + r.dram_w + r.uncore_w;
+        assert!((r.package_w - sum).abs() < 1e-9, "package must be the rail sum");
+        assert!(r.dc_in_w > r.package_w, "VR losses + platform base");
+        assert!(r.system_w > r.dc_in_w);
+    }
+}
+
+#[test]
+fn smc_window_average_matches_rails() {
+    // PHPC averages the P-cluster rail over the update window: over many
+    // windows its mean must track the rail mean within noise.
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 6);
+    let n = 400;
+    let mut rail_sum = 0.0;
+    let mut smc_sum = 0.0;
+    for _ in 0..n {
+        let report = rig.soc.run_window(1.0);
+        rig.smc.write().observe_window(&report);
+        rail_sum += report.rails.p_cluster_w;
+        smc_sum += rig.client.read_key(key("PHPC")).expect("readable").value;
+    }
+    let diff = (rail_sum - smc_sum).abs() / n as f64;
+    assert!(diff < 2.0e-3, "mean |PHPC − rail| = {diff} W");
+}
+
+#[test]
+fn pcpu_energy_equals_estimator_integral() {
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 7);
+    let before = rig.ioreport.snapshot();
+    let mut est_joules = 0.0;
+    for _ in 0..20 {
+        let report = rig.soc.run_window(1.0);
+        est_joules += report.estimated_p_cluster_w * report.duration_s;
+        rig.ioreport.observe_window(&report);
+    }
+    let delta = rig.ioreport.snapshot().delta(&before);
+    let pcpu_mj = delta.get(&EnergyModelReporter::pcpu()).expect("channel").value;
+    assert!(
+        (pcpu_mj - est_joules * 1e3).abs() <= 21.0,
+        "PCPU {pcpu_mj} mJ vs estimator {est_joules} J (mJ quantization allows ≤1 mJ/window)"
+    );
+}
+
+#[test]
+fn lowpowermode_cap_is_honoured_in_steady_state() {
+    let mut soc = Soc::new(SocSpec::macbook_air_m2(), 8);
+    soc.set_power_mode(PowerMode::LowPower);
+    for i in 0..8 {
+        let attrs = if i < 4 {
+            SchedAttrs::realtime_p_core()
+        } else {
+            SchedAttrs::background_e_core()
+        };
+        soc.spawn(format!("fmul{i}"), attrs, Box::new(FmulStressor));
+    }
+    // After settling, the estimator must hover at/below the 4 W cap plus
+    // one OPP step of overshoot.
+    let mut last = soc.step(0.05);
+    for _ in 0..2000 {
+        last = soc.step(0.05);
+    }
+    assert!(
+        last.estimated_cpu_power_w < 4.6,
+        "estimated {} W far above the 4 W cap",
+        last.estimated_cpu_power_w
+    );
+    assert!(last.throttled, "this load must be throttling");
+    assert_eq!(soc.power_mode(), PowerMode::LowPower);
+}
+
+#[test]
+fn victim_threads_always_win_p_cores_over_background_load() {
+    let mut soc = Soc::new(SocSpec::macbook_air_m2(), 9);
+    // Saturate with background stressors first.
+    for i in 0..8 {
+        soc.spawn(format!("bg{i}"), SchedAttrs::background_e_core(), Box::new(FmulStressor));
+    }
+    let victim = apple_power_sca::core::AesVictim::install(
+        &mut soc,
+        VictimKind::UserSpace,
+        [2u8; 16],
+        apple_power_sca::soc::workload::AesSignal::default(),
+    );
+    for &id in victim.thread_ids() {
+        assert_eq!(soc.cluster_of(id), Some(ClusterKind::Performance));
+    }
+}
+
+#[test]
+fn reproducibility_across_identical_rigs() {
+    let run = || {
+        let mut rig = Rig::new(Device::MacMiniM1, VictimKind::UserSpace, [3u8; 16], 1234);
+        let pt = rig.random_plaintext();
+        let obs = rig.observe_window(pt, &[key("PHPC"), key("PSTR")]);
+        (obs.plaintext, obs.ciphertext, obs.smc[0].1, obs.smc[1].1, obs.pcpu_delta_mj.to_bits())
+    };
+    assert_eq!(run(), run(), "identical seeds must reproduce bit-for-bit");
+}
