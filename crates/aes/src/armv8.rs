@@ -202,12 +202,9 @@ mod tests {
             let hw = Armv8Aes::new(&key).unwrap();
             let sw = Aes::new(&key).unwrap();
             for s in 0u8..32 {
-                let pt: State = core::array::from_fn(|i| (i as u8).wrapping_mul(s).wrapping_add(97));
-                assert_eq!(
-                    hw.encrypt_block(&pt),
-                    sw.encrypt_block(&pt),
-                    "key_len={key_len} s={s}"
-                );
+                let pt: State =
+                    core::array::from_fn(|i| (i as u8).wrapping_mul(s).wrapping_add(97));
+                assert_eq!(hw.encrypt_block(&pt), sw.encrypt_block(&pt), "key_len={key_len} s={s}");
             }
         }
     }

@@ -252,7 +252,8 @@ mod tests {
     fn traced_matches_untraced_ciphertext() {
         let aes = Aes::new(&[0x42u8; 16]).unwrap();
         for seed in 0u8..8 {
-            let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed));
+            let pt: [u8; 16] =
+                core::array::from_fn(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed));
             let trace = aes.encrypt_traced(&pt);
             assert_eq!(trace.ciphertext, aes.encrypt_block(&pt));
             assert_eq!(trace.plaintext, pt);
@@ -317,7 +318,8 @@ mod tests {
             let key: Vec<u8> = (0..key_len).map(|i| (i * 7 + 3) as u8).collect();
             let aes = Aes::new(&key).unwrap();
             for s in 0u8..16 {
-                let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_add(s).wrapping_mul(31));
+                let pt: [u8; 16] =
+                    core::array::from_fn(|i| (i as u8).wrapping_add(s).wrapping_mul(31));
                 assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
             }
         }

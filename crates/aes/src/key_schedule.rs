@@ -183,16 +183,16 @@ mod tests {
         assert_eq!(
             ks.round_key(1),
             &[
-                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
-                0x6c, 0x76, 0x05
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c,
+                0x76, 0x05
             ]
         );
         // w[40..43]: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
         assert_eq!(
             ks.round_key(10),
             &[
-                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
-                0x63, 0x0c, 0xa6
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+                0x0c, 0xa6
             ]
         );
     }

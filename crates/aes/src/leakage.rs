@@ -275,7 +275,8 @@ mod tests {
     fn max_activity_formula_aes128() {
         let m = model();
         let w = LeakageWeights::default();
-        let expected = 128.0 * (w.round0_addkey + w.round_output * 9.0 + w.last_round_input + w.ciphertext);
+        let expected =
+            128.0 * (w.round0_addkey + w.round_output * 9.0 + w.last_round_input + w.ciphertext);
         assert_eq!(m.max_activity(), expected);
     }
 }

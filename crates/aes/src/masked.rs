@@ -94,7 +94,7 @@ impl MaskedAes {
             mix_columns(&mut s);
             add_round_key(&mut s, self.schedule.round_key(r));
             states.push(s); // masked with m'
-            // Re-mask back to m for the next round's table.
+                            // Re-mask back to m for the next round's table.
             for b in s.iter_mut() {
                 *b ^= mask ^ out_mask;
             }
@@ -151,11 +151,7 @@ pub mod rand_core_shim {
 /// of Hamming weights over the masked round states.
 #[must_use]
 pub fn masked_activity(trace: &MaskedTrace, weight_per_state: f64) -> f64 {
-    trace
-        .states
-        .iter()
-        .map(|s| f64::from(crate::hamming::hw_state(s)) * weight_per_state)
-        .sum()
+    trace.states.iter().map(|s| f64::from(crate::hamming::hw_state(s)) * weight_per_state).sum()
 }
 
 #[cfg(test)]
@@ -249,9 +245,7 @@ mod tests {
         let m = masked();
         let mean_activity = |pt: &State| -> f64 {
             (0..=255u8)
-                .map(|mask| {
-                    masked_activity(&m.encrypt_traced(pt, mask, mask.wrapping_mul(7)), 1.0)
-                })
+                .map(|mask| masked_activity(&m.encrypt_traced(pt, mask, mask.wrapping_mul(7)), 1.0))
                 .sum::<f64>()
                 / 256.0
         };

@@ -22,8 +22,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 const KEY: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 fn synthetic_channel(weights: LeakageWeights, n: usize, noise_sigma: f64) -> TraceSet {
@@ -62,7 +61,10 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, weights) in profiles {
         let set = synthetic_channel(weights, n, noise);
-        eprintln!("[ablation_leakage_weights] {name}: Rd0-HW GE = {:.1} bits at {n} traces", ge_of(&set));
+        eprintln!(
+            "[ablation_leakage_weights] {name}: Rd0-HW GE = {:.1} bits at {n} traces",
+            ge_of(&set)
+        );
         group.bench_function(name, |b| {
             b.iter(|| black_box(ge_of(&set)));
         });

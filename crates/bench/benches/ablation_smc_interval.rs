@@ -13,8 +13,7 @@ use psc_smc::key::key;
 use psc_smc::MitigationConfig;
 
 const KEY: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 fn run_with_multiplier(multiplier: f64, wall_clock_windows: usize) -> f64 {

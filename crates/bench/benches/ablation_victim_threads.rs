@@ -19,8 +19,7 @@ use psc_soc::Soc;
 use std::sync::Arc;
 
 const KEY: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 /// Collect PHPC traces with an explicit victim thread count (the `Rig`
@@ -69,8 +68,7 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 
     // Keep collect_known_plaintext linked for API parity checks.
-    let _ = collect_known_plaintext
-        as fn(&mut psc_core::Rig, &[psc_smc::SmcKey], usize) -> _;
+    let _ = collect_known_plaintext as fn(&mut psc_core::Rig, &[psc_smc::SmcKey], usize) -> _;
 }
 
 criterion_group!(benches, bench_threads);

@@ -4,6 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use psc_bench::bench_config;
 use psc_core::experiments::tvla::run_table3;
+use psc_core::streaming::stream_tvla_campaign;
+use psc_core::{Device, VictimKind};
 
 fn bench_table3(c: &mut Criterion) {
     let mut cfg = bench_config();
@@ -12,6 +14,22 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tvla_user_150_per_class", |b| {
         b.iter(|| black_box(run_table3(&cfg)));
+    });
+    // Sharded streaming variant of the same campaign (PHPC-grade keys,
+    // merged online accumulators instead of retained datasets).
+    let keys = Device::MacbookAirM2.table2_keys();
+    group.bench_function("tvla_user_150_per_class_streaming_x4", |b| {
+        b.iter(|| {
+            black_box(stream_tvla_campaign(
+                Device::MacbookAirM2,
+                VictimKind::UserSpace,
+                cfg.secret_key,
+                cfg.seed,
+                &keys,
+                cfg.tvla_traces_per_class,
+                4,
+            ))
+        });
     });
     group.finish();
 }

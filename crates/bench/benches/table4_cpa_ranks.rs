@@ -24,6 +24,24 @@ fn bench_table4(c: &mut Criterion) {
     group.bench_function("full_table4", |b| {
         b.iter(|| black_box(run_table4(&cfg)));
     });
+
+    // Sharded streaming variant: collection and incremental CPA fused in
+    // one pipeline, no trace vectors retained.
+    group.bench_function("m2_user_cpa_streaming_x4", |b| {
+        b.iter(|| {
+            let report = psc_core::streaming::stream_known_plaintext(
+                psc_core::Device::MacbookAirM2,
+                psc_core::VictimKind::UserSpace,
+                cfg.secret_key,
+                cfg.seed,
+                &[key("PHPC")],
+                cfg.cpa_traces_m2,
+                4,
+                || Box::new(psc_sca::model::Rd0Hw),
+            );
+            black_box(report.ranks(key("PHPC"), &cfg.secret_key))
+        });
+    });
     group.finish();
 }
 

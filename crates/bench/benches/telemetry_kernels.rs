@@ -1,0 +1,202 @@
+//! Telemetry-subsystem kernels: event-bus throughput, online accumulator
+//! updates, and the headline comparison — single-threaded batch collection
+//! vs the sharded streaming pipeline at 10k+ traces.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psc_core::campaign::collect_known_plaintext;
+use psc_core::rig::{Device, Rig};
+use psc_core::streaming::{stream_known_plaintext, stream_tvla_campaign};
+use psc_core::victim::VictimKind;
+use psc_sca::model::Rd0Hw;
+use psc_sca::trace::Trace;
+use psc_sca::tvla::PlaintextClass;
+use psc_smc::key::key;
+use psc_telemetry::event::{ChannelId, Event, SampleEvent, WindowEvent};
+use psc_telemetry::processor::Processor;
+use psc_telemetry::processors::{StreamingCpa, StreamingTvla};
+use psc_telemetry::ring::{channel, OverflowPolicy, RingBuffer};
+
+const SECRET: [u8; 16] = [0x2B; 16];
+
+fn bench_bus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_bus");
+    group.sample_size(10);
+
+    group.bench_function("ring_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut ring = RingBuffer::new(256, OverflowPolicy::DropOldest);
+            for i in 0..1000u64 {
+                ring.push(black_box(i));
+            }
+            let mut sum = 0u64;
+            while let Some(v) = ring.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("channel_throughput_10k_events", |b| {
+        b.iter(|| {
+            let (tx, rx) = channel(1024, OverflowPolicy::Block);
+            let producer = std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.send(Event::Sample(SampleEvent {
+                        time_s: i as f64,
+                        channel: ChannelId::Pcpu,
+                        value: i as f64,
+                    }))
+                    .expect("receiver alive");
+                }
+            });
+            let mut count = 0u64;
+            while rx.recv().is_some() {
+                count += 1;
+            }
+            producer.join().expect("producer");
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+fn bench_online_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_accumulators");
+    group.sample_size(10);
+
+    // Pre-build a deterministic event tape once.
+    let mut tape = Vec::with_capacity(20_000);
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for i in 0..10_000u64 {
+        let mut pt = [0u8; 16];
+        for byte in pt.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *byte = (state >> 32) as u8;
+        }
+        let class = PlaintextClass::ALL[(i % 3) as usize];
+        tape.push(Event::Window(WindowEvent {
+            seq: i,
+            time_s: i as f64,
+            pass: (i % 2) as u8,
+            class: Some(class),
+            plaintext: pt,
+            ciphertext: pt,
+        }));
+        tape.push(Event::Sample(SampleEvent {
+            time_s: i as f64,
+            channel: ChannelId::Pcpu,
+            value: (state >> 40) as f64,
+        }));
+    }
+
+    group.bench_function("streaming_tvla_10k_samples", |b| {
+        b.iter(|| {
+            let mut tvla = StreamingTvla::new();
+            for event in &tape {
+                tvla.on_event(event);
+            }
+            black_box(tvla.matrix(ChannelId::Pcpu, "PCPU"))
+        });
+    });
+
+    group.bench_function("streaming_cpa_10k_traces", |b| {
+        b.iter(|| {
+            let mut cpa = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+            for event in &tape {
+                cpa.on_event(event);
+            }
+            black_box(cpa.cpa(ChannelId::Pcpu).expect("registered").ranks(&SECRET))
+        });
+    });
+
+    group.bench_function("cpa_add_trace_single", |b| {
+        let mut cpa = psc_sca::cpa::Cpa::new(Box::new(Rd0Hw));
+        let trace = Trace { value: 1.5, plaintext: [7; 16], ciphertext: [9; 16] };
+        b.iter(|| cpa.add_trace(black_box(&trace)));
+    });
+    group.finish();
+}
+
+/// The acceptance-criteria comparison: one synchronous batch loop vs the
+/// sharded streaming pipeline collecting the same 10k-trace campaign.
+fn bench_batch_vs_sharded(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "collection_10k: {cores} core(s) available — the sharded streaming \
+         variants need >1 core to beat the batch loop on wall-clock"
+    );
+    let mut group = c.benchmark_group("collection_10k");
+    group.sample_size(10);
+    let keys = [key("PHPC")];
+    let n = 10_000;
+
+    group.bench_function("batch_single_thread", |b| {
+        b.iter(|| {
+            let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42);
+            let sets = collect_known_plaintext(&mut rig, &keys, n);
+            let mut cpa = psc_sca::cpa::Cpa::new(Box::new(Rd0Hw));
+            cpa.add_set(&sets[&keys[0]]);
+            black_box(cpa.ranks(&SECRET))
+        });
+    });
+
+    for shards in [2usize, 4, 8] {
+        group.bench_function(format!("streaming_sharded_x{shards}"), |b| {
+            b.iter(|| {
+                let report = stream_known_plaintext(
+                    Device::MacbookAirM2,
+                    VictimKind::UserSpace,
+                    SECRET,
+                    42,
+                    &keys,
+                    n,
+                    shards,
+                    || Box::new(Rd0Hw),
+                );
+                black_box(report.ranks(keys[0], &SECRET))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_tvla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tvla_collection_1k_per_class");
+    group.sample_size(10);
+    let keys = [key("PHPC")];
+
+    group.bench_function("batch_single_thread", |b| {
+        b.iter(|| {
+            let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42);
+            let campaign = psc_core::campaign::run_tvla_campaign(&mut rig, &keys, 1_000);
+            black_box(campaign.per_key[&keys[0]].matrix("PHPC"))
+        });
+    });
+
+    group.bench_function("streaming_sharded_x4", |b| {
+        b.iter(|| {
+            let report = stream_tvla_campaign(
+                Device::MacbookAirM2,
+                VictimKind::UserSpace,
+                SECRET,
+                42,
+                &keys,
+                1_000,
+                4,
+            );
+            black_box(report.matrix(keys[0]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bus,
+    bench_online_accumulators,
+    bench_batch_vs_sharded,
+    bench_sharded_tvla
+);
+criterion_main!(benches);

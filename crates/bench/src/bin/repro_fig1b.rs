@@ -18,8 +18,7 @@ fn main() {
     // the user-space victim at the same trace count.
     let user = run_fig1a(&cfg);
     let user_ge = user.curve("PHPC (M2 user)", "Rd0-HW").map_or(f64::NAN, GeCurve::final_ge);
-    let kernel_ge =
-        fig.curve("PHPC (M2 kernel)", "Rd0-HW").map_or(f64::NAN, GeCurve::final_ge);
+    let kernel_ge = fig.curve("PHPC (M2 kernel)", "Rd0-HW").map_or(f64::NAN, GeCurve::final_ge);
     println!(
         "final Rd0-HW GE at the same budget: user {user_ge:.1} bits vs kernel {kernel_ge:.1} bits\n\
          (paper: kernel convergence ≈2× slower — syscall noise + one victim thread)"

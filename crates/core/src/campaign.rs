@@ -1,10 +1,20 @@
 //! Trace-collection campaigns: the attacker's measurement loops.
+//!
+//! Since the telemetry refactor these batch APIs are thin adapters over
+//! the `psc-telemetry` event pipeline: the rig loop *emits* window /
+//! sample / sched events and retaining collector processors rebuild the
+//! historical data structures. The streaming, sharded, O(1)-memory
+//! drivers live in [`crate::streaming`]; use those for large campaigns.
 
 use crate::rig::{Device, Rig};
+use crate::streaming::emit_observation;
 use crate::victim::VictimKind;
-use psc_sca::trace::{Trace, TraceSet};
+use psc_sca::trace::TraceSet;
 use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
 use psc_smc::SmcKey;
+use psc_telemetry::event::ChannelId;
+use psc_telemetry::processor::Pump;
+use psc_telemetry::processors::{DatasetCollector, TraceCollector};
 use std::collections::BTreeMap;
 
 /// The six datasets of one TVLA campaign for one channel: each of the
@@ -34,66 +44,103 @@ pub struct TvlaCampaign {
     pub per_key: BTreeMap<SmcKey, TvlaDatasets>,
     /// IOReport `PCPU` channel datasets (for Table 6).
     pub pcpu: TvlaDatasets,
+    /// Samples observed on channels that were not part of the request
+    /// (skipped, never a panic) plus SMC reads denied by access control.
+    pub dropped_samples: u64,
 }
 
 /// Collect TVLA datasets: for each pass and each plaintext class, run
 /// `traces_per_class` windows with the class plaintext loaded into the
 /// victim, logging every requested SMC key and the `PCPU` channel.
-pub fn run_tvla_campaign(
-    rig: &mut Rig,
-    keys: &[SmcKey],
-    traces_per_class: usize,
-) -> TvlaCampaign {
-    let mut campaign = TvlaCampaign::default();
-    for key in keys {
-        campaign.per_key.insert(*key, TvlaDatasets::default());
-    }
-    for pass in 0..2 {
-        for (class_idx, class) in PlaintextClass::ALL.iter().enumerate() {
-            for _ in 0..traces_per_class {
-                let pt = class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
-                let obs = rig.observe_window(pt, keys);
-                for (key, value) in &obs.smc {
-                    if let Some(v) = value {
-                        let sets = campaign.per_key.get_mut(key).expect("key registered");
-                        let target = if pass == 0 { &mut sets.first } else { &mut sets.second };
-                        target[class_idx].push(*v);
-                    }
+///
+/// Thin wrapper over the telemetry pipeline: events are dispatched
+/// inline to a retaining [`DatasetCollector`], so the returned vectors
+/// are identical to the historical batch implementation.
+pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize) -> TvlaCampaign {
+    let mut collector = DatasetCollector::new();
+    let mut denied_total: u64 = 0;
+    {
+        let mut pump = Pump::new();
+        pump.attach(&mut collector);
+        let mut seq = 0u64;
+        for pass in 0..2u8 {
+            for class in PlaintextClass::ALL {
+                for _ in 0..traces_per_class {
+                    let pt = class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
+                    let before_s = rig.soc.time_s();
+                    let obs = rig.observe_window(pt, keys);
+                    let denied = emit_observation(
+                        &mut |event| pump.dispatch(&event),
+                        seq,
+                        pass,
+                        Some(class),
+                        &obs,
+                        before_s,
+                        rig.soc.time_s(),
+                        rig.window_s(),
+                    );
+                    denied_total += u64::from(denied);
+                    seq += 1;
                 }
-                let target =
-                    if pass == 0 { &mut campaign.pcpu.first } else { &mut campaign.pcpu.second };
-                target[class_idx].push(obs.pcpu_delta_mj);
             }
         }
+        pump.finish();
     }
+
+    let mut campaign = TvlaCampaign::default();
+    for key in keys {
+        let datasets = collector
+            .take(ChannelId::Smc(*key))
+            .map_or_else(TvlaDatasets::default, |[first, second]| TvlaDatasets { first, second });
+        campaign.per_key.insert(*key, datasets);
+    }
+    if let Some([first, second]) = collector.take(ChannelId::Pcpu) {
+        campaign.pcpu = TvlaDatasets { first, second };
+    }
+    campaign.dropped_samples =
+        denied_total + collector.orphan_samples() + collector.residual_samples();
     campaign
 }
 
 /// Collect known-plaintext CPA traces: `n` windows with fresh random
 /// plaintexts, logging every requested key (§3.4's collection loop).
+///
+/// Thin wrapper over the telemetry pipeline via a retaining
+/// [`TraceCollector`]; denied reads and unrequested channels are skipped,
+/// never panicked on.
 pub fn collect_known_plaintext(
     rig: &mut Rig,
     keys: &[SmcKey],
     n: usize,
 ) -> BTreeMap<SmcKey, TraceSet> {
-    let mut sets: BTreeMap<SmcKey, TraceSet> = keys
-        .iter()
-        .map(|&k| (k, TraceSet::with_capacity(k.to_string(), n)))
-        .collect();
-    for _ in 0..n {
-        let pt = rig.random_plaintext();
-        let obs = rig.observe_window(pt, keys);
-        for (key, value) in &obs.smc {
-            if let Some(v) = value {
-                sets.get_mut(key).expect("key registered").push(Trace {
-                    value: *v,
-                    plaintext: obs.plaintext,
-                    ciphertext: obs.ciphertext,
-                });
-            }
+    let mut collector = TraceCollector::with_capacity_hint(n);
+    {
+        let mut pump = Pump::new();
+        pump.attach(&mut collector);
+        for seq in 0..n as u64 {
+            let pt = rig.random_plaintext();
+            let before_s = rig.soc.time_s();
+            let obs = rig.observe_window(pt, keys);
+            emit_observation(
+                &mut |event| pump.dispatch(&event),
+                seq,
+                0,
+                None,
+                &obs,
+                before_s,
+                rig.soc.time_s(),
+                rig.window_s(),
+            );
         }
+        pump.finish();
     }
-    sets
+    keys.iter()
+        .map(|&k| {
+            let set =
+                collector.take(ChannelId::Smc(k)).unwrap_or_else(|| TraceSet::new(k.to_string()));
+            (k, set)
+        })
+        .collect()
 }
 
 /// Parallel known-plaintext collection: shards the campaign across
@@ -147,36 +194,20 @@ pub fn collect_known_plaintext_parallel_with(
     shards: usize,
     mitigation: psc_smc::MitigationConfig,
 ) -> BTreeMap<SmcKey, TraceSet> {
-    assert!(shards > 0, "need at least one shard");
-    let per_shard = n / shards;
-    let remainder = n % shards;
-    let mut shard_results: Vec<BTreeMap<SmcKey, TraceSet>> = Vec::with_capacity(shards);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|i| {
-                let keys = keys.to_vec();
-                scope.spawn(move |_| {
-                    let count = per_shard + usize::from(i < remainder);
-                    let mut rig =
-                        Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
-                    rig.set_mitigation(mitigation);
-                    collect_known_plaintext(&mut rig, &keys, count)
-                })
-            })
-            .collect();
-        for h in handles {
-            shard_results.push(h.join().expect("collection shard panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+    let counts = psc_telemetry::split_counts(n, shards);
+    let shard_results = psc_telemetry::run_sharded(shards, |i| {
+        let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
+        rig.set_mitigation(mitigation);
+        collect_known_plaintext(&mut rig, keys, counts[i])
+    });
 
-    let mut merged: BTreeMap<SmcKey, TraceSet> = keys
-        .iter()
-        .map(|&k| (k, TraceSet::with_capacity(k.to_string(), n)))
-        .collect();
+    let mut merged: BTreeMap<SmcKey, TraceSet> =
+        keys.iter().map(|&k| (k, TraceSet::with_capacity(k.to_string(), n))).collect();
     for shard in shard_results {
         for (key, set) in shard {
-            merged.get_mut(&key).expect("key registered").extend(set.traces().iter().copied());
+            if let Some(target) = merged.get_mut(&key) {
+                target.extend(set.traces().iter().copied());
+            }
         }
     }
     merged
@@ -206,6 +237,7 @@ mod tests {
         assert_eq!(campaign.pcpu.first[0].len(), 40);
         let matrix = campaign.per_key[&key("PHPC")].matrix("PHPC");
         assert_eq!(matrix.cells.len(), 9);
+        assert_eq!(campaign.dropped_samples, 0, "all requested keys readable");
     }
 
     #[test]
@@ -223,6 +255,19 @@ mod tests {
         // Plaintexts are fresh random per trace.
         let first_pt = set.traces()[0].plaintext;
         assert!(set.iter().any(|t| t.plaintext != first_pt));
+    }
+
+    #[test]
+    fn denied_reads_are_counted_not_panicked() {
+        let mut rig = rig();
+        rig.set_mitigation(psc_smc::MitigationConfig::restrict_access());
+        let keys = [key("PHPC")];
+        let campaign = run_tvla_campaign(&mut rig, &keys, 5);
+        // Every read denied: datasets stay empty, drops are accounted.
+        assert_eq!(campaign.per_key[&key("PHPC")].first[0].len(), 0);
+        assert_eq!(campaign.dropped_samples, 30, "2 passes x 3 classes x 5 traces");
+        // PCPU is unaffected by SMC access control.
+        assert_eq!(campaign.pcpu.first[0].len(), 5);
     }
 
     #[test]

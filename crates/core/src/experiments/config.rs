@@ -13,8 +13,7 @@
 /// a healthy first-round power contrast at the scaled trace counts. CPA
 /// difficulty is unaffected (it works per byte on random plaintexts).
 pub const DEFAULT_SECRET_KEY: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 /// Tunable knobs shared by all experiment runners.

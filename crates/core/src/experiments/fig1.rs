@@ -9,7 +9,9 @@
 //! the kernel victim converges ≈2× slower than the user-space victim.
 
 use crate::experiments::config::ExperimentConfig;
-use crate::experiments::cpa::{collect_m1_phpc_traces, collect_m2_kernel_traces, collect_m2_user_traces};
+use crate::experiments::cpa::{
+    collect_m1_phpc_traces, collect_m2_kernel_traces, collect_m2_user_traces,
+};
 use psc_aes::Aes;
 use psc_sca::cpa::Cpa;
 use psc_sca::model::{paper_models, RecoveredRound};

@@ -124,10 +124,18 @@ pub fn screen_device(device: Device, cfg: &ExperimentConfig) -> Table2Row {
     // all available cores").
     let spec = device.soc_spec();
     for i in 0..spec.p_cluster.core_count {
-        soc.spawn(format!("stress-p{i}"), SchedAttrs::realtime_p_core(), Box::new(MatrixStressor::default()));
+        soc.spawn(
+            format!("stress-p{i}"),
+            SchedAttrs::realtime_p_core(),
+            Box::new(MatrixStressor::default()),
+        );
     }
     for i in 0..spec.e_cluster.core_count {
-        soc.spawn(format!("stress-e{i}"), SchedAttrs::background_e_core(), Box::new(MatrixStressor::default()));
+        soc.spawn(
+            format!("stress-e{i}"),
+            SchedAttrs::background_e_core(),
+            Box::new(MatrixStressor::default()),
+        );
     }
     settle(&mut soc, &smc, 5);
     let busy = dump_keys(&client, Some('P')).expect("enumeration");
@@ -198,14 +206,8 @@ mod tests {
     #[test]
     fn table2_m1_finds_exactly_the_paper_keys() {
         let row = screen_device(Device::MacMiniM1, &ExperimentConfig::quick());
-        let expected: Vec<SmcKey> = vec![
-            key("PDTR"),
-            key("PHPC"),
-            key("PHPS"),
-            key("PMVR"),
-            key("PPMR"),
-            key("PSTR"),
-        ];
+        let expected: Vec<SmcKey> =
+            vec![key("PDTR"), key("PHPC"), key("PHPS"), key("PMVR"), key("PPMR"), key("PSTR")];
         assert_eq!(row.varying_keys, expected, "details: {:?}", row.details);
     }
 

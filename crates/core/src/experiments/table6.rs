@@ -27,7 +27,8 @@ pub struct Table6 {
 #[must_use]
 pub fn run_table6(cfg: &ExperimentConfig) -> Table6 {
     // Left column: PCPU channel while the user-space victim encrypts.
-    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, cfg.secret_key, cfg.seed ^ 0x6666);
+    let mut rig =
+        Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, cfg.secret_key, cfg.seed ^ 0x6666);
     let campaign = run_tvla_campaign(&mut rig, &[], cfg.tvla_traces_per_class);
     let pcpu = campaign.pcpu.matrix("PCPU (IOReport)");
 

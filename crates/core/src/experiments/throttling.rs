@@ -20,7 +20,9 @@ use psc_aes::leakage::LeakageModel;
 use psc_sca::tvla::PlaintextClass;
 use psc_soc::noise::gaussian;
 use psc_soc::sched::SchedAttrs;
-use psc_soc::workload::{shared_plaintext, AesWorkload, FmulStressor, MatrixStressor, SharedPlaintext};
+use psc_soc::workload::{
+    shared_plaintext, AesWorkload, FmulStressor, MatrixStressor, SharedPlaintext,
+};
 use psc_soc::{PowerMode, Soc, ThrottleReason};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -67,11 +69,7 @@ pub struct ThrottlingStudy {
     pub e_residency: Vec<(f64, f64)>,
 }
 
-fn spawn_aes_threads(
-    soc: &mut Soc,
-    secret_key: &[u8; 16],
-    count: usize,
-) -> SharedPlaintext {
+fn spawn_aes_threads(soc: &mut Soc, secret_key: &[u8; 16], count: usize) -> SharedPlaintext {
     spawn_aes_threads_boosted(soc, secret_key, count, 1.0)
 }
 
@@ -85,8 +83,7 @@ fn spawn_aes_threads_boosted(
     let model = Arc::new(LeakageModel::new(secret_key).expect("valid key"));
     let plaintext = shared_plaintext([0u8; 16]);
     let base = AesSignal::default();
-    let signal =
-        AesSignal { w_per_unit: base.w_per_unit * signal_boost, ..base };
+    let signal = AesSignal { w_per_unit: base.w_per_unit * signal_boost, ..base };
     for i in 0..count {
         let w = AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), signal);
         soc.spawn(format!("aes-{i}"), SchedAttrs::realtime_p_core(), Box::new(w));
@@ -109,10 +106,18 @@ pub fn run_throttling_study(cfg: &ExperimentConfig) -> ThrottlingStudy {
     let mut soc = Soc::new(Device::MacbookAirM2.soc_spec(), cfg.seed);
     let spec = soc.spec().clone();
     for i in 0..spec.p_cluster.core_count {
-        soc.spawn(format!("mx-p{i}"), SchedAttrs::realtime_p_core(), Box::new(MatrixStressor::default()));
+        soc.spawn(
+            format!("mx-p{i}"),
+            SchedAttrs::realtime_p_core(),
+            Box::new(MatrixStressor::default()),
+        );
     }
     for i in 0..spec.e_cluster.core_count {
-        soc.spawn(format!("mx-e{i}"), SchedAttrs::background_e_core(), Box::new(MatrixStressor::default()));
+        soc.spawn(
+            format!("mx-e{i}"),
+            SchedAttrs::background_e_core(),
+            Box::new(MatrixStressor::default()),
+        );
     }
     let mut normal_mode_first_throttle = None;
     for _ in 0..60_000 {
@@ -142,7 +147,8 @@ pub fn run_throttling_study(cfg: &ExperimentConfig) -> ThrottlingStudy {
     }
     // 4 AES threads + fmul stressors on the E-cores.
     for e_stressors in 1..=4usize {
-        let mut soc = Soc::new(Device::MacbookAirM2.soc_spec(), cfg.seed + 100 + e_stressors as u64);
+        let mut soc =
+            Soc::new(Device::MacbookAirM2.soc_spec(), cfg.seed + 100 + e_stressors as u64);
         soc.set_power_mode(PowerMode::LowPower);
         let _pt = spawn_aes_threads(&mut soc, &cfg.secret_key, 4);
         for i in 0..e_stressors {
@@ -222,8 +228,13 @@ impl ThrottlingStudy {
         for r in &self.sweep {
             out.push_str(&format!(
                 "  {:>6} {:>7} {:>9.2} W {:>6.3} GHz {:>6.3} GHz {:>9} {:>5.1}°C\n",
-                r.aes_threads, r.e_stressors, r.cpu_power_w, r.p_freq_ghz, r.e_freq_ghz,
-                r.throttled, r.temperature_c
+                r.aes_threads,
+                r.e_stressors,
+                r.cpu_power_w,
+                r.p_freq_ghz,
+                r.e_freq_ghz,
+                r.throttled,
+                r.temperature_c
             ));
         }
         out.push_str(&format!(
@@ -275,8 +286,7 @@ pub fn timing_tvla_with_feed(
     let mut soc = Soc::new(Device::MacbookAirM2.soc_spec(), cfg.seed ^ 0x7180_771E);
     soc.set_power_mode(PowerMode::LowPower);
     soc.set_governor_feed(feed);
-    let plaintext =
-        spawn_aes_threads_boosted(&mut soc, &cfg.secret_key, 4, signal_boost);
+    let plaintext = spawn_aes_threads_boosted(&mut soc, &cfg.secret_key, 4, signal_boost);
     for i in 0..4 {
         soc.spawn(format!("fmul-{i}"), SchedAttrs::background_e_core(), Box::new(FmulStressor));
     }
@@ -434,8 +444,7 @@ mod tests {
         }
         // The regime oscillates between the cap point and throttled points;
         // a meaningful share of time is spent throttled.
-        let below_cap: f64 =
-            s.p_residency.iter().filter(|(f, _)| *f < 1.9).map(|(_, fr)| fr).sum();
+        let below_cap: f64 = s.p_residency.iter().filter(|(f, _)| *f < 1.9).map(|(_, fr)| fr).sum();
         assert!(below_cap > 0.2, "residency {:?}", s.p_residency);
     }
 

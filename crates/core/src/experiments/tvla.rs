@@ -38,10 +38,7 @@ fn run_tvla_table(cfg: &ExperimentConfig, victim: VictimKind) -> TvlaTable {
     let keys = table3_key_order();
     let mut rig = Rig::new(Device::MacbookAirM2, victim, cfg.secret_key, cfg.seed);
     let campaign = run_tvla_campaign(&mut rig, &keys, cfg.tvla_traces_per_class);
-    let matrices = keys
-        .iter()
-        .map(|k| campaign.per_key[k].matrix(k.to_string()))
-        .collect();
+    let matrices = keys.iter().map(|k| campaign.per_key[k].matrix(k.to_string())).collect();
     let second_order = keys
         .iter()
         .map(|k| {

@@ -7,8 +7,12 @@
 //!   read the key);
 //! * [`rig`] — one simulated device with SMC, IOKit client, IOReport and a
 //!   victim installed;
-//! * [`campaign`] — the attacker's trace-collection loops (TVLA datasets,
-//!   known-plaintext CPA traces, parallel sharded collection);
+//! * [`campaign`] — the attacker's batch trace-collection loops (TVLA
+//!   datasets, known-plaintext CPA traces, parallel sharded collection),
+//!   now thin adapters over the `psc-telemetry` event pipeline;
+//! * [`streaming`] — sharded streaming campaigns: bounded event buses,
+//!   online Welford TVLA / incremental CPA accumulators, O(1) memory in
+//!   trace count, merged across worker threads;
 //! * [`experiments`] — a runner per table/figure of the paper, with
 //!   paper-format rendering.
 //!
@@ -34,9 +38,13 @@ pub mod campaign;
 pub mod experiments;
 pub mod pmset;
 pub mod rig;
+pub mod streaming;
 pub mod victim;
 
 pub use campaign::{collect_known_plaintext, run_tvla_campaign, TvlaCampaign, TvlaDatasets};
 pub use experiments::ExperimentConfig;
 pub use rig::{Device, Observation, Rig};
+pub use streaming::{
+    stream_known_plaintext, stream_tvla_campaign, StreamingCpaReport, StreamingTvlaReport,
+};
 pub use victim::{AesVictim, VictimKind};

@@ -136,10 +136,7 @@ mod tests {
     fn invalid_value_rejected() {
         let mut soc = soc();
         let err = Pmset::new(&mut soc).set("lowpowermode", 7).unwrap_err();
-        assert_eq!(
-            err,
-            PmsetError::InvalidValue { setting: "lowpowermode".to_owned(), value: 7 }
-        );
+        assert_eq!(err, PmsetError::InvalidValue { setting: "lowpowermode".to_owned(), value: 7 });
     }
 
     #[test]

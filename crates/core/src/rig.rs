@@ -175,10 +175,8 @@ impl Rig {
             .delta(&before)
             .get(&EnergyModelReporter::pcpu())
             .map_or(0.0, |v| v.value);
-        let smc = keys
-            .iter()
-            .map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value)))
-            .collect();
+        let smc =
+            keys.iter().map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value))).collect();
         Observation { plaintext, ciphertext, smc, pcpu_delta_mj }
     }
 }

@@ -1,0 +1,443 @@
+//! Sharded streaming campaigns: collection as a telemetry pipeline.
+//!
+//! The batch loops in [`crate::campaign`] retain every trace in memory
+//! and keep one core busy. The drivers here run the same attacks as a
+//! streaming system instead: N workers (one independently seeded
+//! [`Rig`] each) produce window/sample/sched events into bounded
+//! ring-buffer channels; a consumer thread per shard pumps them through
+//! **online** processors (Welford TVLA, incremental CPA, cadence
+//! monitor), and the shard accumulators are sum-merged at the end.
+//! Memory per channel is O(1) in trace count — no trace `Vec` exists
+//! anywhere on this path — and the shard results match the batch
+//! implementations to floating-point tolerance (see
+//! `tests/streaming_equivalence.rs`).
+
+use crate::rig::{Device, Observation, Rig};
+use crate::victim::VictimKind;
+use psc_sca::model::PowerModel;
+use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
+use psc_smc::{MitigationConfig, SmcKey};
+use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+use psc_telemetry::processor::Pump;
+use psc_telemetry::processors::{StreamingCpa, StreamingTvla, ThrottleMonitor};
+use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy};
+use psc_telemetry::{run_sharded, split_counts};
+
+/// Bounded capacity of each shard's event bus. With `Block` overflow this
+/// is pure backpressure: a slow consumer throttles its producer instead
+/// of growing a queue.
+pub const BUS_CAPACITY: usize = 4096;
+
+/// Cadence-monitor poll interval (simulated seconds).
+const MONITOR_INTERVAL_S: f64 = 64.0;
+/// Cadence-monitor retention (checkpoints).
+const MONITOR_DEPTH: usize = 64;
+
+/// Emit one observation as telemetry events: the window marker (with the
+/// known-plaintext record), one sample per *readable* SMC key, the PCPU
+/// sample, and the scheduler/cadence record. Returns the number of SMC
+/// reads that were denied (skipped with accounting — never a panic).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_observation(
+    sink: &mut dyn FnMut(Event),
+    seq: u64,
+    pass: u8,
+    class: Option<PlaintextClass>,
+    obs: &Observation,
+    before_s: f64,
+    after_s: f64,
+    window_s: f64,
+) -> u32 {
+    sink(Event::Window(WindowEvent {
+        seq,
+        time_s: after_s,
+        pass,
+        class,
+        plaintext: obs.plaintext,
+        ciphertext: obs.ciphertext,
+    }));
+    let mut denied: u32 = 0;
+    for (key, value) in &obs.smc {
+        match value {
+            Some(v) => sink(Event::Sample(SampleEvent {
+                time_s: after_s,
+                channel: ChannelId::Smc(*key),
+                value: *v,
+            })),
+            None => denied += 1,
+        }
+    }
+    sink(Event::Sample(SampleEvent {
+        time_s: after_s,
+        channel: ChannelId::Pcpu,
+        value: obs.pcpu_delta_mj,
+    }));
+    let windows_consumed = (((after_s - before_s) / window_s).round()).max(1.0) as u32;
+    sink(Event::Sched(SchedEvent {
+        time_s: after_s,
+        windows_consumed,
+        window_s,
+        denied_reads: denied,
+    }));
+    denied
+}
+
+fn add_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
+    ChannelStats {
+        accepted: a.accepted + b.accepted,
+        dropped: a.dropped + b.dropped,
+        delivered: a.delivered + b.delivered,
+    }
+}
+
+/// Merged result of a sharded streaming TVLA campaign.
+#[derive(Debug)]
+pub struct StreamingTvlaReport {
+    /// Merged online accumulators (one [`psc_sca::tvla::TvlaAccumulator`]
+    /// per channel).
+    pub tvla: StreamingTvla,
+    /// Merged cadence totals (per-shard checkpoints are not merged —
+    /// shard timelines are independent).
+    pub monitor: ThrottleMonitor,
+    /// Event-bus counters summed over shards.
+    pub bus: ChannelStats,
+    /// The requested SMC keys, in request order.
+    pub keys: Vec<SmcKey>,
+    /// Worker count the campaign ran with.
+    pub shards: usize,
+}
+
+impl StreamingTvlaReport {
+    /// The 3×3 matrix for one requested SMC key (`None` if every read on
+    /// it was denied).
+    #[must_use]
+    pub fn matrix(&self, key: SmcKey) -> Option<TvlaMatrix> {
+        self.tvla.matrix(ChannelId::Smc(key), key.to_string())
+    }
+
+    /// The 3×3 matrix for the IOReport `PCPU` channel.
+    #[must_use]
+    pub fn pcpu_matrix(&self) -> Option<TvlaMatrix> {
+        self.tvla.matrix(ChannelId::Pcpu, "PCPU")
+    }
+}
+
+/// Run a TVLA campaign as a sharded streaming pipeline: `shards` workers,
+/// each with an independently seeded rig (`seed + shard`, the layout of
+/// [`crate::campaign::collect_known_plaintext_parallel`]) collecting its
+/// slice of `traces_per_class`, online-accumulated and merged.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+pub fn stream_tvla_campaign(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    traces_per_class: usize,
+    shards: usize,
+) -> StreamingTvlaReport {
+    stream_tvla_campaign_with(
+        device,
+        kind,
+        secret_key,
+        seed,
+        keys,
+        traces_per_class,
+        shards,
+        MitigationConfig::none(),
+    )
+}
+
+/// As [`stream_tvla_campaign`], with a countermeasure installed on every
+/// shard's SMC stack.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn stream_tvla_campaign_with(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    traces_per_class: usize,
+    shards: usize,
+    mitigation: MitigationConfig,
+) -> StreamingTvlaReport {
+    let counts = split_counts(traces_per_class, shards);
+    let results = run_sharded(shards, |i| {
+        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+        let per_class = counts[i];
+        let keys = keys.to_vec();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
+                rig.set_mitigation(mitigation);
+                let mut seq = 0u64;
+                for pass in 0..2u8 {
+                    for class in PlaintextClass::ALL {
+                        for _ in 0..per_class {
+                            let pt =
+                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
+                            let before_s = rig.soc.time_s();
+                            let obs = rig.observe_window(pt, &keys);
+                            emit_observation(
+                                &mut |event| {
+                                    tx.send(event).expect("consumer alive");
+                                },
+                                seq,
+                                pass,
+                                Some(class),
+                                &obs,
+                                before_s,
+                                rig.soc.time_s(),
+                                rig.window_s(),
+                            );
+                            seq += 1;
+                        }
+                    }
+                }
+            });
+            let mut tvla = StreamingTvla::new();
+            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+            let mut pump = Pump::new();
+            pump.attach(&mut tvla);
+            pump.attach(&mut monitor);
+            pump.run(&rx);
+            let stats = rx.stats();
+            producer.join().expect("producer shard panicked");
+            (tvla, monitor, stats)
+        })
+    });
+
+    let mut merged_tvla = StreamingTvla::new();
+    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+    let mut bus = ChannelStats::default();
+    for (tvla, monitor, stats) in results {
+        merged_tvla = merged_tvla.merged(tvla);
+        merged_monitor = merged_monitor.merged_totals(&monitor);
+        bus = add_stats(bus, stats);
+    }
+    StreamingTvlaReport {
+        tvla: merged_tvla,
+        monitor: merged_monitor,
+        bus,
+        keys: keys.to_vec(),
+        shards,
+    }
+}
+
+/// Merged result of a sharded streaming known-plaintext CPA campaign.
+#[derive(Debug)]
+pub struct StreamingCpaReport {
+    /// Merged incremental CPA accumulators, one per requested SMC key.
+    pub cpa: StreamingCpa,
+    /// Merged cadence totals.
+    pub monitor: ThrottleMonitor,
+    /// Event-bus counters summed over shards.
+    pub bus: ChannelStats,
+    /// The requested SMC keys, in request order.
+    pub keys: Vec<SmcKey>,
+    /// Worker count the campaign ran with.
+    pub shards: usize,
+}
+
+impl StreamingCpaReport {
+    /// Key-byte ranks for `key`'s channel against `true_round_key`.
+    #[must_use]
+    pub fn ranks(&self, key: SmcKey, true_round_key: &[u8; 16]) -> Option<[usize; 16]> {
+        self.cpa.cpa(ChannelId::Smc(key)).map(|c| c.ranks(true_round_key))
+    }
+}
+
+/// Run a known-plaintext CPA campaign as a sharded streaming pipeline.
+/// Each worker correlates its shard of `n` traces into incremental
+/// accumulators under a model from `model_factory`; shard accumulators
+/// are sum-merged. Seed layout matches
+/// [`crate::campaign::collect_known_plaintext_parallel`], so the merged
+/// result reproduces the batch analysis on the identical trace multiset
+/// to floating-point tolerance.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or if `model_factory` yields inconsistent
+/// models across calls.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn stream_known_plaintext(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    n: usize,
+    shards: usize,
+    model_factory: impl Fn() -> Box<dyn PowerModel> + Send + Sync,
+) -> StreamingCpaReport {
+    stream_known_plaintext_with(
+        device,
+        kind,
+        secret_key,
+        seed,
+        keys,
+        n,
+        shards,
+        MitigationConfig::none(),
+        model_factory,
+    )
+}
+
+/// As [`stream_known_plaintext`], with a countermeasure installed on
+/// every shard's SMC stack.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn stream_known_plaintext_with(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    n: usize,
+    shards: usize,
+    mitigation: MitigationConfig,
+    model_factory: impl Fn() -> Box<dyn PowerModel> + Send + Sync,
+) -> StreamingCpaReport {
+    let counts = split_counts(n, shards);
+    let model_factory = &model_factory;
+    let results = run_sharded(shards, |i| {
+        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+        let count = counts[i];
+        let keys = keys.to_vec();
+        let consumer_keys = keys.clone();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
+                rig.set_mitigation(mitigation);
+                for seq in 0..count as u64 {
+                    let pt = rig.random_plaintext();
+                    let before_s = rig.soc.time_s();
+                    let obs = rig.observe_window(pt, &keys);
+                    emit_observation(
+                        &mut |event| {
+                            tx.send(event).expect("consumer alive");
+                        },
+                        seq,
+                        0,
+                        None,
+                        &obs,
+                        before_s,
+                        rig.soc.time_s(),
+                        rig.window_s(),
+                    );
+                }
+            });
+            let mut cpa =
+                StreamingCpa::new(consumer_keys.iter().map(|&k| ChannelId::Smc(k)), model_factory);
+            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+            let mut pump = Pump::new();
+            pump.attach(&mut cpa);
+            pump.attach(&mut monitor);
+            pump.run(&rx);
+            let stats = rx.stats();
+            producer.join().expect("producer shard panicked");
+            (cpa, monitor, stats)
+        })
+    });
+
+    let mut merged_cpa: Option<StreamingCpa> = None;
+    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+    let mut bus = ChannelStats::default();
+    for (cpa, monitor, stats) in results {
+        merged_cpa = Some(match merged_cpa.take() {
+            None => cpa,
+            Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
+        });
+        merged_monitor = merged_monitor.merged_totals(&monitor);
+        bus = add_stats(bus, stats);
+    }
+    StreamingCpaReport {
+        cpa: merged_cpa.expect("at least one shard"),
+        monitor: merged_monitor,
+        bus,
+        keys: keys.to_vec(),
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_sca::model::Rd0Hw;
+    use psc_smc::key::key;
+
+    #[test]
+    fn sharded_tvla_report_has_full_counts() {
+        let report = stream_tvla_campaign(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3C; 16],
+            21,
+            &[key("PHPC")],
+            40,
+            4,
+        );
+        let acc = report.tvla.accumulator(ChannelId::Smc(key("PHPC"))).expect("collected");
+        for pass in 0..2 {
+            for class in PlaintextClass::ALL {
+                assert_eq!(acc.count(pass, class), 40, "split shards must sum to the request");
+            }
+        }
+        assert!(report.matrix(key("PHPC")).is_some());
+        assert_eq!(report.pcpu_matrix().expect("pcpu collected").cells.len(), 9);
+        assert_eq!(report.bus.dropped, 0, "Block policy never sheds");
+        assert_eq!(report.monitor.observations(), 240);
+        assert_eq!(report.shards, 4);
+    }
+
+    #[test]
+    fn sharded_cpa_report_counts_and_ranks_shape() {
+        let report = stream_known_plaintext(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3C; 16],
+            5,
+            &[key("PHPC")],
+            120,
+            4,
+            || Box::new(Rd0Hw),
+        );
+        let cpa = report.cpa.cpa(ChannelId::Smc(key("PHPC"))).expect("registered");
+        assert_eq!(cpa.trace_count(), 120);
+        let ranks = report.ranks(key("PHPC"), &[0x3C; 16]).expect("registered");
+        for r in ranks {
+            assert!((1..=256).contains(&r));
+        }
+    }
+
+    #[test]
+    fn mitigated_streaming_campaign_counts_denials() {
+        let report = stream_tvla_campaign_with(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3C; 16],
+            7,
+            &[key("PHPC")],
+            6,
+            2,
+            MitigationConfig::restrict_access(),
+        );
+        assert!(report.tvla.accumulator(ChannelId::Smc(key("PHPC"))).is_none());
+        assert_eq!(report.monitor.denied_reads(), 36, "2 passes x 3 classes x 6 traces");
+        assert!(report.pcpu_matrix().is_some(), "PCPU unaffected by SMC access control");
+    }
+}

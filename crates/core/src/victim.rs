@@ -98,11 +98,8 @@ impl AesVictim {
         };
         let thread_ids = (0..threads)
             .map(|i| {
-                let workload = AesWorkload::with_signal(
-                    Arc::clone(&model),
-                    Arc::clone(&plaintext),
-                    effective,
-                );
+                let workload =
+                    AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), effective);
                 let name = match kind {
                     VictimKind::UserSpace => format!("victim-user-{i}"),
                     VictimKind::KernelModule => format!("victim-kext-{i}"),
@@ -208,7 +205,8 @@ mod tests {
     #[test]
     fn service_updates_the_running_plaintext() {
         let mut soc = soc();
-        let victim = AesVictim::install(&mut soc, VictimKind::UserSpace, [7u8; 16], AesSignal::default());
+        let victim =
+            AesVictim::install(&mut soc, VictimKind::UserSpace, [7u8; 16], AesSignal::default());
         victim.request_encrypt([0xABu8; 16]);
         // The victim threads' power now reflects the submitted plaintext;
         // observable through data-dependent window rails.
@@ -247,7 +245,8 @@ mod tests {
     #[test]
     fn uninstall_removes_threads() {
         let mut soc = soc();
-        let victim = AesVictim::install(&mut soc, VictimKind::UserSpace, [1u8; 16], AesSignal::default());
+        let victim =
+            AesVictim::install(&mut soc, VictimKind::UserSpace, [1u8; 16], AesSignal::default());
         assert_eq!(soc.threads().len(), 3);
         victim.uninstall(&mut soc);
         assert_eq!(soc.threads().len(), 0);

@@ -68,15 +68,15 @@ impl Snapshot {
     /// snapshot are omitted.
     #[must_use]
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
-        let channels = self
-            .channels
-            .iter()
-            .filter_map(|(id, v)| {
-                earlier.channels.get(id).map(|e| {
-                    (id.clone(), ChannelValue { value: v.value - e.value, unit: v.unit })
+        let channels =
+            self.channels
+                .iter()
+                .filter_map(|(id, v)| {
+                    earlier.channels.get(id).map(|e| {
+                        (id.clone(), ChannelValue { value: v.value - e.value, unit: v.unit })
+                    })
                 })
-            })
-            .collect();
+                .collect();
         Snapshot { time_s: self.time_s - earlier.time_s, channels }
     }
 
@@ -112,10 +112,7 @@ impl IoReport {
     ///
     /// Panics if the channel was never registered (an integration bug).
     pub fn accumulate(&mut self, id: &ChannelId, amount: f64) {
-        let v = self
-            .channels
-            .get_mut(id)
-            .unwrap_or_else(|| panic!("channel {id} not registered"));
+        let v = self.channels.get_mut(id).unwrap_or_else(|| panic!("channel {id} not registered"));
         v.value += amount;
     }
 
@@ -133,8 +130,7 @@ impl IoReport {
     /// Group names, sorted and deduplicated.
     #[must_use]
     pub fn groups(&self) -> Vec<String> {
-        let mut groups: Vec<String> =
-            self.channels.keys().map(|id| id.group.clone()).collect();
+        let mut groups: Vec<String> = self.channels.keys().map(|id| id.group.clone()).collect();
         groups.sort();
         groups.dedup();
         groups

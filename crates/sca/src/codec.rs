@@ -116,9 +116,8 @@ pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
     if buf.remaining() < label_len + 8 {
         return Err(CodecError::Truncated);
     }
-    let label = core::str::from_utf8(&buf[..label_len])
-        .map_err(|_| CodecError::BadLabel)?
-        .to_owned();
+    let label =
+        core::str::from_utf8(&buf[..label_len]).map_err(|_| CodecError::BadLabel)?.to_owned();
     buf.advance(label_len);
     let count = buf.get_u64_le() as usize;
     if buf.remaining() != count * 40 {

@@ -27,6 +27,23 @@ struct Bin {
     sum_t: f64,
 }
 
+/// Attempted to merge CPA accumulators built for different power models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpaMergeError {
+    /// Model of the accumulator being merged into.
+    pub ours: &'static str,
+    /// Model of the accumulator being merged from.
+    pub theirs: &'static str,
+}
+
+impl core::fmt::Display for CpaMergeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cannot merge CPA accumulators: model {} vs {}", self.ours, self.theirs)
+    }
+}
+
+impl std::error::Error for CpaMergeError {}
+
 /// Streaming CPA accumulator for one channel and one power model.
 #[derive(Debug)]
 pub struct Cpa {
@@ -85,6 +102,31 @@ impl Cpa {
         }
     }
 
+    /// Merge another accumulator collected under the *same* power model
+    /// (parallel collection shards). Exact up to floating-point
+    /// reassociation: bin counts and moment sums simply add.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaMergeError`] when the two accumulators were built for
+    /// different power models; merging their bins would correlate against
+    /// the wrong hypothesis table.
+    pub fn merge(&mut self, other: &Self) -> Result<(), CpaMergeError> {
+        if self.model.name() != other.model.name() {
+            return Err(CpaMergeError { ours: self.model.name(), theirs: other.model.name() });
+        }
+        self.n += other.n;
+        self.sum_t += other.sum_t;
+        self.sum_tt += other.sum_tt;
+        for (bins, other_bins) in self.bins.iter_mut().zip(&other.bins) {
+            for (bin, other_bin) in bins.iter_mut().zip(other_bins.iter()) {
+                bin.count += other_bin.count;
+                bin.sum_t += other_bin.sum_t;
+            }
+        }
+        Ok(())
+    }
+
     /// Pearson correlation for (`byte_index`, `guess`).
     ///
     /// # Panics
@@ -140,9 +182,7 @@ impl Cpa {
     pub fn ranked_guesses(&self, byte_index: usize) -> Vec<u8> {
         let corr = self.correlations(byte_index);
         let mut order: Vec<u8> = (0..=255).collect();
-        order.sort_by(|&a, &b| {
-            corr[b as usize].total_cmp(&corr[a as usize]).then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| corr[b as usize].total_cmp(&corr[a as usize]).then(a.cmp(&b)));
         order
     }
 
@@ -194,8 +234,7 @@ mod tests {
                 *b = (state >> 32) as u8;
             }
             let trace = aes.encrypt_traced(&pt);
-            let value: u32 =
-                trace.round0_addkey().iter().map(|&x| x.count_ones()).sum();
+            let value: u32 = trace.round0_addkey().iter().map(|&x| x.count_ones()).sum();
             set.push(Trace {
                 value: f64::from(value),
                 plaintext: pt,
@@ -238,9 +277,12 @@ mod tests {
                 *b = (state >> 24) as u8;
             }
             let trace = aes.encrypt_traced(&pt);
-            let value: u32 =
-                trace.last_round_input().iter().map(|&x| x.count_ones()).sum();
-            set.push(Trace { value: f64::from(value), plaintext: pt, ciphertext: trace.ciphertext });
+            let value: u32 = trace.last_round_input().iter().map(|&x| x.count_ones()).sum();
+            set.push(Trace {
+                value: f64::from(value),
+                plaintext: pt,
+                ciphertext: trace.ciphertext,
+            });
         }
         let mut cpa = Cpa::new(Box::new(Rd10Hw));
         cpa.add_set(&set);
@@ -282,10 +324,8 @@ mod tests {
         cpa.add_set(&set);
         // Direct computation for a few (byte, guess) pairs.
         for &(b, g) in &[(0usize, 0u8), (3, 0x42), (15, 0xFF), (7, key[7])] {
-            let hyp: Vec<f64> = set
-                .iter()
-                .map(|t| Rd0Hw.hypothesis(&t.plaintext, &t.ciphertext, b, g))
-                .collect();
+            let hyp: Vec<f64> =
+                set.iter().map(|t| Rd0Hw.hypothesis(&t.plaintext, &t.ciphertext, b, g)).collect();
             let vals: Vec<f64> = set.iter().map(|t| t.value).collect();
             let direct = crate::stats::pearson(&hyp, &vals);
             let binned = cpa.correlation(b, g);

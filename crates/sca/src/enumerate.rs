@@ -63,8 +63,7 @@ impl KeyEnumerator {
         let mut tried = 0usize;
 
         while let Some(Reverse((cost, indices))) = heap.pop() {
-            let candidate: [u8; 16] =
-                core::array::from_fn(|b| self.ranked[b][indices[b] as usize]);
+            let candidate: [u8; 16] = core::array::from_fn(|b| self.ranked[b][indices[b] as usize]);
             tried += 1;
             if verify(&candidate) {
                 return Some((candidate, tried));
@@ -90,9 +89,7 @@ impl KeyEnumerator {
 /// the victim's encryption service.
 #[must_use]
 pub fn verify_with_pair(candidate: &[u8; 16], plaintext: &[u8; 16], ciphertext: &[u8; 16]) -> bool {
-    Aes::new(candidate)
-        .map(|aes| aes.encrypt_block(plaintext) == *ciphertext)
-        .unwrap_or(false)
+    Aes::new(candidate).map(|aes| aes.encrypt_block(plaintext) == *ciphertext).unwrap_or(false)
 }
 
 #[cfg(test)]

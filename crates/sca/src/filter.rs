@@ -88,9 +88,8 @@ mod tests {
     #[test]
     fn detrend_preserves_high_frequency_signal() {
         // Alternating ±1 plus slow drift: detrending keeps the alternation.
-        let xs: Vec<f64> = (0..300)
-            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 } + 0.01 * f64::from(i))
-            .collect();
+        let xs: Vec<f64> =
+            (0..300).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 } + 0.01 * f64::from(i)).collect();
         let detrended = detrend(&xs, 31);
         for (i, &v) in detrended.iter().enumerate().skip(16).take(260) {
             let expected = if i % 2 == 0 { 1.0 } else { -1.0 };
@@ -134,8 +133,7 @@ mod tests {
             assert_eq!(orig.ciphertext, filt.ciphertext);
         }
         // The drift component is largely gone in the middle.
-        let mid: f64 =
-            filtered.values()[10..40].iter().sum::<f64>() / 30.0;
+        let mid: f64 = filtered.values()[10..40].iter().sum::<f64>() / 30.0;
         assert!(mid.abs() < 0.1, "mean after detrend {mid}");
     }
 }

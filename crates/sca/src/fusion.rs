@@ -149,12 +149,7 @@ mod tests {
         let corr = |set: &TraceSet| crate::stats::pearson(&set.values(), &signal).abs();
         let fused_r = corr(&fused);
         for set in [&a, &b, &c] {
-            assert!(
-                fused_r > corr(set),
-                "fused {fused_r} must beat {} ({})",
-                set.label,
-                corr(set)
-            );
+            assert!(fused_r > corr(set), "fused {fused_r} must beat {} ({})", set.label, corr(set));
         }
     }
 

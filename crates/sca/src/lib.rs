@@ -52,10 +52,12 @@ pub mod stats;
 pub mod trace;
 pub mod tvla;
 
-pub use cpa::Cpa;
+pub use cpa::{Cpa, CpaMergeError};
 pub use enumerate::{verify_with_pair, KeyEnumerator};
-pub use model::{paper_models, PowerModel, RecoveredRound, Rd0Hw, Rd10Hd, Rd10Hw};
+pub use model::{paper_models, PowerModel, Rd0Hw, Rd10Hd, Rd10Hw, RecoveredRound};
 pub use rank::{ge_curve, guessing_entropy, GeCurve, GePoint};
 pub use stats::{pearson, welch_t, Correlation, RunningMoments};
 pub use trace::{Trace, TraceSet};
-pub use tvla::{PlaintextClass, TvlaCell, TvlaMatrix, TvlaOutcome, TVLA_THRESHOLD};
+pub use tvla::{
+    PlaintextClass, TvlaAccumulator, TvlaCell, TvlaMatrix, TvlaOutcome, TVLA_THRESHOLD,
+};

@@ -281,7 +281,11 @@ mod tests {
             }
             let trace = aes.encrypt_traced(&pt);
             let value: u32 = trace.round0_addkey().iter().map(|&x| x.count_ones()).sum();
-            set.push(Trace { value: f64::from(value), plaintext: pt, ciphertext: trace.ciphertext });
+            set.push(Trace {
+                value: f64::from(value),
+                plaintext: pt,
+                ciphertext: trace.ciphertext,
+            });
         }
         let curve = ge_curve(Cpa::new(Box::new(Rd0Hw)), &set, &key, &[100, 500, 1000, 3000]);
         assert_eq!(curve.model, "Rd0-HW");

@@ -76,9 +76,7 @@ impl RunningMoments {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         Self { n, mean, m2 }
     }
 }
@@ -161,6 +159,21 @@ impl Correlation {
         self.n
     }
 
+    /// Merge two accumulators (parallel collection shards). Exact: the
+    /// moment sums simply add, so `merge(a, b)` equals accumulating both
+    /// streams into one accumulator up to floating-point reassociation.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            n: self.n + other.n,
+            sum_h: self.sum_h + other.sum_h,
+            sum_t: self.sum_t + other.sum_t,
+            sum_hh: self.sum_hh + other.sum_hh,
+            sum_tt: self.sum_tt + other.sum_tt,
+            sum_ht: self.sum_ht + other.sum_ht,
+        }
+    }
+
     /// Pearson r (0 when undefined: fewer than 2 pairs or zero variance).
     #[must_use]
     pub fn r(&self) -> f64 {
@@ -186,7 +199,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x * x).exp();
     if sign_positive {
         result

@@ -78,7 +78,10 @@ impl TraceSet {
     /// for GE-vs-trace-count curves).
     #[must_use]
     pub fn prefix(&self, n: usize) -> TraceSet {
-        TraceSet { label: self.label.clone(), traces: self.traces[..n.min(self.traces.len())].to_vec() }
+        TraceSet {
+            label: self.label.clone(),
+            traces: self.traces[..n.min(self.traces.len())].to_vec(),
+        }
     }
 }
 

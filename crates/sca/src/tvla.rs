@@ -124,7 +124,11 @@ impl TvlaMatrix {
     ///
     /// Panics if fewer than 3 datasets are supplied on either side.
     #[must_use]
-    pub fn compute(label: impl Into<String>, first: &[Vec<f64>; 3], second: &[Vec<f64>; 3]) -> Self {
+    pub fn compute(
+        label: impl Into<String>,
+        first: &[Vec<f64>; 3],
+        second: &[Vec<f64>; 3],
+    ) -> Self {
         let moments = |xs: &Vec<f64>| {
             let mut m = RunningMoments::new();
             m.extend(xs.iter().copied());
@@ -302,6 +306,87 @@ impl TvlaTracker {
     }
 }
 
+/// Online accumulator for a full 3×3 TVLA campaign: six Welford moment
+/// accumulators (three plaintext classes, collected twice), O(1) in trace
+/// count. This is the streaming backbone of `psc-telemetry`'s TVLA
+/// processor — shards accumulate independently and [`merged`] combines
+/// them exactly (up to floating-point reassociation), so a sharded
+/// campaign reproduces the batch [`TvlaMatrix`] without ever retaining
+/// per-trace vectors.
+///
+/// [`merged`]: TvlaAccumulator::merged
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TvlaAccumulator {
+    /// `moments[pass][class]`, indexed like [`PlaintextClass::ALL`].
+    moments: [[RunningMoments; 3]; 2],
+}
+
+impl TvlaAccumulator {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation for (`pass`, `class`). `pass` 0 is the unprimed
+    /// first collection, `pass` 1 the primed second collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass > 1`.
+    pub fn push(&mut self, pass: usize, class: PlaintextClass, value: f64) {
+        let class_idx =
+            PlaintextClass::ALL.iter().position(|c| *c == class).expect("ALL contains every class");
+        self.moments[pass][class_idx].push(value);
+    }
+
+    /// Observations accumulated for (`pass`, `class`).
+    #[must_use]
+    pub fn count(&self, pass: usize, class: PlaintextClass) -> u64 {
+        let class_idx =
+            PlaintextClass::ALL.iter().position(|c| *c == class).expect("ALL contains every class");
+        self.moments[pass][class_idx].count()
+    }
+
+    /// Total observations across all six datasets.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.moments.iter().flatten().map(RunningMoments::count).sum()
+    }
+
+    /// Merge two accumulators (parallel collection shards).
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        let mut out = self;
+        for (pass, other_pass) in out.moments.iter_mut().zip(other.moments) {
+            for (m, o) in pass.iter_mut().zip(other_pass) {
+                *m = m.merged(o);
+            }
+        }
+        out
+    }
+
+    /// The 3×3 t-score matrix, identical in structure and classification
+    /// to [`TvlaMatrix::compute`] over the same data.
+    #[must_use]
+    pub fn matrix(&self, label: impl Into<String>) -> TvlaMatrix {
+        let mut cells = Vec::with_capacity(9);
+        for (ri, row) in PlaintextClass::ALL.iter().enumerate() {
+            for (ci, column) in PlaintextClass::ALL.iter().enumerate() {
+                let t_score = welch_t(&self.moments[1][ri], &self.moments[0][ci]);
+                let truly_different = row != column;
+                cells.push(TvlaCell {
+                    row: *row,
+                    column: *column,
+                    t_score,
+                    outcome: TvlaOutcome::classify(t_score, truly_different),
+                });
+            }
+        }
+        TvlaMatrix { label: label.into(), cells }
+    }
+}
+
 /// Outcome tallies of one matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TvlaCounts {
@@ -366,7 +451,11 @@ mod tests {
         assert_eq!(TvlaOutcome::classify(1.0, false), TvlaOutcome::TrueNegative);
         assert_eq!(TvlaOutcome::classify(-9.0, false), TvlaOutcome::FalsePositive);
         assert_eq!(TvlaOutcome::classify(0.4, true), TvlaOutcome::FalseNegative);
-        assert_eq!(TvlaOutcome::classify(4.5, true), TvlaOutcome::TruePositive, "threshold inclusive");
+        assert_eq!(
+            TvlaOutcome::classify(4.5, true),
+            TvlaOutcome::TruePositive,
+            "threshold inclusive"
+        );
     }
 
     #[test]

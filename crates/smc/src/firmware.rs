@@ -283,8 +283,7 @@ impl Smc {
     /// the active mitigation.
     #[must_use]
     pub fn is_restricted(&self, k: SmcKey) -> bool {
-        self.mitigation.restrict_power_keys
-            && self.sensors.get(k).is_some_and(|d| d.power_related)
+        self.mitigation.restrict_power_keys && self.sensors.get(k).is_some_and(|d| d.power_related)
     }
 
     /// Whether user space may write this key.

@@ -238,13 +238,7 @@ mod write_probe_tests {
     fn read_only_key_write_rejected() {
         let smc = Smc::new(SensorSet::macbook_air_m2(), 3);
         let client = SmcUserClient::new(share(smc));
-        assert_eq!(
-            client.write_key(key("PMAX"), 1.0),
-            Err(IoKitError::NotWritable(key("PMAX")))
-        );
-        assert_eq!(
-            client.write_key(key("ZZZZ"), 1.0),
-            Err(IoKitError::KeyNotFound(key("ZZZZ")))
-        );
+        assert_eq!(client.write_key(key("PMAX"), 1.0), Err(IoKitError::NotWritable(key("PMAX"))));
+        assert_eq!(client.write_key(key("ZZZZ"), 1.0), Err(IoKitError::KeyNotFound(key("ZZZZ"))));
     }
 }

@@ -131,17 +131,14 @@ impl SmcUserClient {
                 let mut buf = input;
                 let index = buf.get_u32();
                 let keys = self.smc.read().keys();
-                let k = keys
-                    .get(index as usize)
-                    .copied()
-                    .ok_or(IoKitError::IndexOutOfRange(index))?;
+                let k =
+                    keys.get(index as usize).copied().ok_or(IoKitError::IndexOutOfRange(index))?;
                 Ok(Bytes::copy_from_slice(k.as_bytes()))
             }
             SELECTOR_KEY_INFO => {
                 let k = parse_key(input)?;
                 let smc = self.smc.read();
-                let (dtype, size) =
-                    smc.key_info(k).ok_or(IoKitError::KeyNotFound(k))?;
+                let (dtype, size) = smc.key_info(k).ok_or(IoKitError::KeyNotFound(k))?;
                 let mut out = BytesMut::with_capacity(8);
                 out.put_u32(size as u32);
                 out.put_slice(dtype.code().as_bytes());
@@ -360,11 +357,11 @@ mod tests {
     #[test]
     fn bad_input_rejected() {
         let client = SmcUserClient::new(shared_smc());
-        assert_eq!(client.call_struct_method(SELECTOR_READ_KEY, &[1, 2]), Err(IoKitError::BadInput));
         assert_eq!(
-            client.call_struct_method(SELECTOR_KEY_COUNT, &[9]),
+            client.call_struct_method(SELECTOR_READ_KEY, &[1, 2]),
             Err(IoKitError::BadInput)
         );
+        assert_eq!(client.call_struct_method(SELECTOR_KEY_COUNT, &[9]), Err(IoKitError::BadInput));
     }
 
     #[test]
@@ -396,10 +393,7 @@ mod tests {
         assert_eq!(phpc, KEY_ATTR_READABLE, "readable, not writable, not restricted");
         let fan = client.key_attributes(key("F0Tg")).unwrap();
         assert_eq!(fan, KEY_ATTR_READABLE | KEY_ATTR_WRITABLE);
-        assert_eq!(
-            client.key_attributes(key("ZZZZ")),
-            Err(IoKitError::KeyNotFound(key("ZZZZ")))
-        );
+        assert_eq!(client.key_attributes(key("ZZZZ")), Err(IoKitError::KeyNotFound(key("ZZZZ"))));
         // Under the restriction mitigation, power keys gain the privileged
         // flag — visible to the attacker before they even try to read.
         shared.write().set_mitigation(MitigationConfig::restrict_access());

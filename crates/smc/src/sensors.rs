@@ -141,7 +141,12 @@ impl SensorDef {
         }
     }
 
-    fn environmental(key_name: &str, description: &str, source: SensorSource, data_type: SmcDataType) -> Self {
+    fn environmental(
+        key_name: &str,
+        description: &str,
+        source: SensorSource,
+        data_type: SmcDataType,
+    ) -> Self {
         Self {
             key: key(key_name),
             description: description.to_owned(),
@@ -214,11 +219,36 @@ impl SensorSet {
     /// static `P…` configuration keys that do *not* vary with workload.
     fn common() -> Vec<SensorDef> {
         vec![
-            SensorDef::environmental("TC0P", "CPU proximity temperature", SensorSource::Temperature, SmcDataType::Sp78),
-            SensorDef::environmental("TC1P", "CPU die temperature", SensorSource::Temperature, SmcDataType::Sp78),
-            SensorDef::environmental("TG0P", "GPU proximity temperature", SensorSource::Temperature, SmcDataType::Sp78),
-            SensorDef::environmental("F0Ac", "Fan 0 actual speed", SensorSource::FanRpm, SmcDataType::Fpe2),
-            SensorDef::constant("B0FC", "Battery full charge capacity (mAh)", 4382.0, SmcDataType::Ui16),
+            SensorDef::environmental(
+                "TC0P",
+                "CPU proximity temperature",
+                SensorSource::Temperature,
+                SmcDataType::Sp78,
+            ),
+            SensorDef::environmental(
+                "TC1P",
+                "CPU die temperature",
+                SensorSource::Temperature,
+                SmcDataType::Sp78,
+            ),
+            SensorDef::environmental(
+                "TG0P",
+                "GPU proximity temperature",
+                SensorSource::Temperature,
+                SmcDataType::Sp78,
+            ),
+            SensorDef::environmental(
+                "F0Ac",
+                "Fan 0 actual speed",
+                SensorSource::FanRpm,
+                SmcDataType::Fpe2,
+            ),
+            SensorDef::constant(
+                "B0FC",
+                "Battery full charge capacity (mAh)",
+                4382.0,
+                SmcDataType::Ui16,
+            ),
             SensorDef::constant("BCLM", "Battery charge level max (%)", 100.0, SmcDataType::Ui8),
             SensorDef::constant("BNCB", "Battery connected flag", 1.0, SmcDataType::Flag),
             // Static power-configuration keys: start with `P` so they enter
@@ -252,7 +282,13 @@ impl SensorSet {
             // M1 telemetry is a little coarser/noisier than M2's, which is
             // why Table 4 recovers fewer bytes on the Mini at 350 k traces.
             SensorDef::power("PHPC", "P-cluster power", SensorSource::PClusterPower, 0.92, 6.0e-3),
-            SensorDef::power("PDTR", "DC-in total rail power", SensorSource::DcInPower, 1.0, 9.0e-3),
+            SensorDef::power(
+                "PDTR",
+                "DC-in total rail power",
+                SensorSource::DcInPower,
+                1.0,
+                9.0e-3,
+            ),
             SensorDef::power(
                 "PMVR",
                 "Memory/voltage-regulator rail power",
@@ -260,9 +296,21 @@ impl SensorSet {
                 1.0,
                 5.0e-3,
             ),
-            SensorDef::power("PPMR", "Package main rail power", SensorSource::PackagePower, 1.0, 1.1e-2),
+            SensorDef::power(
+                "PPMR",
+                "Package main rail power",
+                SensorSource::PackagePower,
+                1.0,
+                1.1e-2,
+            ),
             {
-                let mut pstr = SensorDef::power("PSTR", "System total power", SensorSource::SystemPower, 1.0, 6.0e-3);
+                let mut pstr = SensorDef::power(
+                    "PSTR",
+                    "System total power",
+                    SensorSource::SystemPower,
+                    1.0,
+                    6.0e-3,
+                );
                 pstr.drift_step_sigma = 9.0e-3;
                 pstr.drift_reversion = 0.02;
                 pstr
@@ -291,7 +339,13 @@ impl SensorSet {
         let mut sensors = Self::common();
         sensors.extend([
             SensorDef::power("PHPC", "P-cluster power", SensorSource::PClusterPower, 1.0, 4.0e-3),
-            SensorDef::power("PDTR", "DC-in total rail power", SensorSource::DcInPower, 1.0, 8.0e-3),
+            SensorDef::power(
+                "PDTR",
+                "DC-in total rail power",
+                SensorSource::DcInPower,
+                1.0,
+                8.0e-3,
+            ),
             SensorDef::power(
                 "PMVC",
                 "Memory/voltage-converter rail power",
@@ -300,7 +354,13 @@ impl SensorSet {
                 4.5e-3,
             ),
             {
-                let mut pstr = SensorDef::power("PSTR", "System total power", SensorSource::SystemPower, 1.0, 5.0e-3);
+                let mut pstr = SensorDef::power(
+                    "PSTR",
+                    "System total power",
+                    SensorSource::SystemPower,
+                    1.0,
+                    5.0e-3,
+                );
                 pstr.drift_step_sigma = 8.0e-3;
                 pstr.drift_reversion = 0.02;
                 pstr

@@ -209,7 +209,10 @@ mod tests {
     fn integer_types_clamp() {
         assert_eq!(SmcDataType::Ui8.decode(&SmcDataType::Ui8.encode(300.0)).unwrap(), 255.0);
         assert_eq!(SmcDataType::Ui8.decode(&SmcDataType::Ui8.encode(-5.0)).unwrap(), 0.0);
-        assert_eq!(SmcDataType::Ui16.decode(&SmcDataType::Ui16.encode(70_000.0)).unwrap(), 65_535.0);
+        assert_eq!(
+            SmcDataType::Ui16.decode(&SmcDataType::Ui16.encode(70_000.0)).unwrap(),
+            65_535.0
+        );
     }
 
     #[test]

@@ -106,7 +106,7 @@ proptest! {
 
 mod iokit_protocol_fuzz {
     use super::*;
-    
+
     use psc_smc::iokit::{share, SmcUserClient};
 
     fn any_client() -> SmcUserClient {

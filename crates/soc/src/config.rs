@@ -133,7 +133,11 @@ impl SocSpec {
             p_cluster: ClusterSpec {
                 kind: ClusterKind::Performance,
                 core_count: 4,
-                opp: ladder(&[0.600, 0.972, 1.332, 1.704, 1.968, 2.064, 2.424, 2.772, 3.096, 3.204], 0.781, 1.050),
+                opp: ladder(
+                    &[0.600, 0.972, 1.332, 1.704, 1.968, 2.064, 2.424, 2.772, 3.096, 3.204],
+                    0.781,
+                    1.050,
+                ),
                 static_power_w: 0.18,
                 dyn_coeff_w: 0.62,
             },
@@ -168,7 +172,11 @@ impl SocSpec {
             p_cluster: ClusterSpec {
                 kind: ClusterKind::Performance,
                 core_count: 4,
-                opp: ladder(&[0.660, 1.020, 1.332, 1.704, 1.968, 2.208, 2.448, 2.676, 2.904, 3.204, 3.504], 0.790, 1.070),
+                opp: ladder(
+                    &[0.660, 1.020, 1.332, 1.704, 1.968, 2.208, 2.448, 2.676, 2.904, 3.204, 3.504],
+                    0.790,
+                    1.070,
+                ),
                 static_power_w: 0.20,
                 dyn_coeff_w: 0.58,
             },

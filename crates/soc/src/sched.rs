@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn overflow_from_p_to_e() {
-        let threads: Vec<_> =
-            (0..6).map(|i| (tid(i), SchedAttrs::realtime_p_core())).collect();
+        let threads: Vec<_> = (0..6).map(|i| (tid(i), SchedAttrs::realtime_p_core())).collect();
         let placements = place(&threads, 4, 4);
         let p = placements.iter().filter(|p| p.cluster == ClusterKind::Performance).count();
         let e = placements.iter().filter(|p| p.cluster == ClusterKind::Efficiency).count();
@@ -224,10 +223,8 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break_by_id() {
-        let threads = vec![
-            (tid(9), SchedAttrs::realtime_p_core()),
-            (tid(1), SchedAttrs::realtime_p_core()),
-        ];
+        let threads =
+            vec![(tid(9), SchedAttrs::realtime_p_core()), (tid(1), SchedAttrs::realtime_p_core())];
         let placements = place(&threads, 1, 0);
         assert_eq!(placements[0].thread, tid(1), "lower id wins ties");
     }

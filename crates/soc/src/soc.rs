@@ -281,8 +281,10 @@ impl Soc {
     /// Mean (data-independent) power of both clusters at current operating
     /// points: `(p_cluster_w, e_cluster_w, utilization_sum)`.
     fn mean_cluster_power(&self) -> (f64, f64, f64) {
-        let (pf, pv) = (self.governor.p_freq_ghz(&self.spec), self.governor.p_voltage_v(&self.spec));
-        let (ef, ev) = (self.governor.e_freq_ghz(&self.spec), self.governor.e_voltage_v(&self.spec));
+        let (pf, pv) =
+            (self.governor.p_freq_ghz(&self.spec), self.governor.p_voltage_v(&self.spec));
+        let (ef, ev) =
+            (self.governor.e_freq_ghz(&self.spec), self.governor.e_voltage_v(&self.spec));
         let mut p_w = self.spec.p_cluster.static_power_w;
         let mut e_w = self.spec.e_cluster.static_power_w;
         let mut util_sum = 0.0;
@@ -394,8 +396,7 @@ impl Soc {
         };
         let est = self.estimator.update(feed_w);
         let action = self.governor.evaluate(&self.spec, est, self.thermal.temperature_c());
-        let rails =
-            self.assemble_rails((p_w + p_sig).max(0.0), (e_w + e_sig).max(0.0), util_sum);
+        let rails = self.assemble_rails((p_w + p_sig).max(0.0), (e_w + e_sig).max(0.0), util_sum);
         self.thermal.step(rails.package_w, dt_s);
         self.time_s += dt_s;
         SocTick {
@@ -441,7 +442,8 @@ impl Soc {
         let est = self.estimator.update(feed_w);
         let _ = self.governor.evaluate(&self.spec, est, self.thermal.temperature_c());
 
-        let rails = self.assemble_rails((p_mean + p_sig).max(0.0), (e_mean + e_sig).max(0.0), util_sum);
+        let rails =
+            self.assemble_rails((p_mean + p_sig).max(0.0), (e_mean + e_sig).max(0.0), util_sum);
         self.thermal.step(rails.package_w, duration_s);
         self.time_s += duration_s;
 
@@ -526,11 +528,7 @@ mod tests {
         soc.set_power_mode(PowerMode::LowPower);
         let _pt = spawn_aes_threads(&mut soc, 4);
         for i in 0..4 {
-            soc.spawn(
-                format!("fmul{i}"),
-                SchedAttrs::background_e_core(),
-                Box::new(FmulStressor),
-            );
+            soc.spawn(format!("fmul{i}"), SchedAttrs::background_e_core(), Box::new(FmulStressor));
         }
         let mut throttled = false;
         let mut last = None;

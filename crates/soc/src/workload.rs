@@ -166,7 +166,10 @@ impl AesWorkload {
         let w = model.weights();
         let rounds = model.cipher().schedule().rounds() as f64;
         let center_activity = 64.0
-            * (w.round0_addkey + w.round_output * (rounds - 1.0) + w.last_round_input + w.ciphertext);
+            * (w.round0_addkey
+                + w.round_output * (rounds - 1.0)
+                + w.last_round_input
+                + w.ciphertext);
         Self { model, plaintext, signal, center_activity }
     }
 

@@ -1,0 +1,73 @@
+//! Sharded campaign scaffolding.
+//!
+//! A campaign fans N independent workers (each owning its own seeded
+//! simulation rig) across OS threads; every worker runs its own bounded
+//! event bus and streaming processors, and the driver merges the O(1)
+//! accumulator states afterwards. This module holds the generic pieces —
+//! work splitting and the scoped fan-out — so `psc_core::campaign` only
+//! wires rigs and processors together.
+
+/// Split `total` work items over `shards` workers: the first
+/// `total % shards` workers get one extra item, matching the legacy
+/// parallel collector's layout so seeds line up shard-for-shard.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+pub fn split_counts(total: usize, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "need at least one shard");
+    let per_shard = total / shards;
+    let remainder = total % shards;
+    (0..shards).map(|i| per_shard + usize::from(i < remainder)).collect()
+}
+
+/// Run `worker(shard_index)` on one OS thread per shard and collect the
+/// results in shard order. Worker panics propagate.
+pub fn run_sharded<T, W>(shards: usize, worker: W) -> Vec<T>
+where
+    T: Send,
+    W: Fn(usize) -> T + Sync,
+{
+    assert!(shards > 0, "need at least one shard");
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards).map(|i| scope.spawn(move || worker(i))).collect();
+        handles.into_iter().map(|h| h.join().expect("campaign shard panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_legacy_layout() {
+        assert_eq!(split_counts(53, 4), vec![14, 13, 13, 13]);
+        assert_eq!(split_counts(12, 4), vec![3, 3, 3, 3]);
+        assert_eq!(split_counts(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(split_counts(0, 2), vec![0, 0]);
+        assert_eq!(split_counts(10, 1), vec![10]);
+    }
+
+    #[test]
+    fn split_conserves_total() {
+        for total in [0usize, 1, 7, 100, 1023] {
+            for shards in 1..=8 {
+                assert_eq!(split_counts(total, shards).iter().sum::<usize>(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_workers_run_in_parallel_and_order() {
+        let results = run_sharded(6, |i| i * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = run_sharded(0, |i| i);
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed telemetry events.
+//!
+//! The attacker's measurement loop is event-shaped: every observation
+//! window opens with the submitted plaintext / returned ciphertext
+//! (§3.4's known-plaintext record), then yields one scalar sample per
+//! polled channel, plus scheduler metadata (how many SoC windows the SMC
+//! consumed before publishing — >1 under the interval-stretching
+//! mitigation). Producers push these events into bounded
+//! [`ring`](crate::ring) channels; [`Processor`](crate::processor::Processor)s
+//! consume them.
+
+use psc_sca::tvla::PlaintextClass;
+use psc_smc::SmcKey;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one telemetry channel (one time series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ChannelId {
+    /// An SMC key read through the unprivileged IOKit client.
+    Smc(SmcKey),
+    /// The IOReport `PCPU` energy delta (mJ per window).
+    Pcpu,
+    /// Wall-clock timing of the observation window (seconds).
+    Timing,
+}
+
+impl core::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelId::Smc(key) => write!(f, "{key}"),
+            ChannelId::Pcpu => f.write_str("PCPU"),
+            ChannelId::Timing => f.write_str("TIME"),
+        }
+    }
+}
+
+/// Start-of-window marker carrying the attacker's known-plaintext record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowEvent {
+    /// Monotone per-shard window sequence number.
+    pub seq: u64,
+    /// Simulated time at the end of the window, seconds.
+    pub time_s: f64,
+    /// TVLA pass (0 = unprimed first collection, 1 = primed second);
+    /// always 0 for known-plaintext CPA collection.
+    pub pass: u8,
+    /// TVLA plaintext class; `None` for known-plaintext CPA windows.
+    pub class: Option<PlaintextClass>,
+    /// Plaintext the attacker submitted.
+    pub plaintext: [u8; 16],
+    /// Ciphertext the victim returned.
+    pub ciphertext: [u8; 16],
+}
+
+/// One scalar reading on one channel, inside the current window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleEvent {
+    /// Simulated time of the reading, seconds.
+    pub time_s: f64,
+    /// Which channel produced the value.
+    pub channel: ChannelId,
+    /// The reading (watts for SMC power keys, mJ for PCPU, s for timing).
+    pub value: f64,
+}
+
+/// Scheduler/cadence metadata for one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// Simulated time at the end of the observation, seconds.
+    pub time_s: f64,
+    /// SoC windows consumed before the SMC published (>1 under the
+    /// interval-stretching mitigation).
+    pub windows_consumed: u32,
+    /// Nominal window length, seconds.
+    pub window_s: f64,
+    /// SMC key reads denied by access control during this window.
+    pub denied_reads: u32,
+}
+
+/// The telemetry event union flowing over the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Start-of-window marker (precedes its samples on the bus).
+    Window(WindowEvent),
+    /// One channel reading.
+    Sample(SampleEvent),
+    /// Scheduler/cadence metadata (closes the window's event group).
+    Sched(SchedEvent),
+}
+
+impl Event {
+    /// Simulated timestamp of the event, seconds.
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        match self {
+            Event::Window(w) => w.time_s,
+            Event::Sample(s) => s.time_s,
+            Event::Sched(s) => s.time_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_smc::key::key;
+
+    #[test]
+    fn channel_ids_order_and_display() {
+        let a = ChannelId::Smc(key("PHPC"));
+        let b = ChannelId::Smc(key("PSTR"));
+        assert!(a < b, "SMC keys order lexically");
+        assert_eq!(a.to_string(), "PHPC");
+        assert_eq!(ChannelId::Pcpu.to_string(), "PCPU");
+        assert_eq!(ChannelId::Timing.to_string(), "TIME");
+    }
+
+    #[test]
+    fn event_time_passthrough() {
+        let e = Event::Sample(SampleEvent { time_s: 2.5, channel: ChannelId::Pcpu, value: 1.0 });
+        assert!((e.time_s() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! # psc-telemetry — streaming event-bus telemetry
+//!
+//! The paper's attacks (§3.4) are fundamentally *streaming*: an
+//! unprivileged process polls SMC / IOReport channels in a loop and
+//! accumulates statistics over tens of thousands of measurement windows.
+//! This crate turns trace collection from "fill `Vec`s, analyze later"
+//! into a publish/subscribe pipeline:
+//!
+//! * [`event`] — the typed events: [`WindowEvent`](event::WindowEvent)
+//!   (plaintext/ciphertext window markers), [`SampleEvent`](event::SampleEvent)
+//!   (one scalar per channel per window), [`SchedEvent`](event::SchedEvent)
+//!   (cadence metadata: windows consumed, denied reads);
+//! * [`ring`] — bounded ring buffers and the blocking MPSC channel built
+//!   on them, with explicit [`OverflowPolicy`](ring::OverflowPolicy) and
+//!   exact drop accounting;
+//! * [`processor`] — the [`Processor`](processor::Processor) trait
+//!   (event-driven or fixed-interval polling against simulated time) and
+//!   the [`Pump`](processor::Pump) that dispatches a bus to processors;
+//! * [`processors`] — streaming consumers with **O(1) memory in trace
+//!   count**: online TVLA (Welford accumulators →
+//!   the same 3×3 `TvlaMatrix` as the batch path), incremental CPA
+//!   (running per-guess/byte sums), a shard-persisting trace recorder
+//!   over `psc_sca::codec`, and a throttling/cadence monitor — plus
+//!   retaining batch-compat collectors for the legacy APIs;
+//! * [`campaign`] — work splitting and the scoped thread fan-out that
+//!   `psc_core::campaign` uses to shard collection across workers and
+//!   sum-merge the accumulator shards.
+//!
+//! ## Example
+//!
+//! ```
+//! use psc_telemetry::event::{ChannelId, Event, SampleEvent, WindowEvent};
+//! use psc_telemetry::processor::Pump;
+//! use psc_telemetry::processors::StreamingTvla;
+//! use psc_telemetry::ring::{channel, OverflowPolicy};
+//! use psc_sca::tvla::PlaintextClass;
+//!
+//! let (tx, rx) = channel(256, OverflowPolicy::Block);
+//! let producer = std::thread::spawn(move || {
+//!     for pass in 0..2u8 {
+//!         for class in PlaintextClass::ALL {
+//!             for i in 0..100u64 {
+//!                 tx.send(Event::Window(WindowEvent {
+//!                     seq: i, time_s: i as f64, pass, class: Some(class),
+//!                     plaintext: [0; 16], ciphertext: [0; 16],
+//!                 })).unwrap();
+//!                 tx.send(Event::Sample(SampleEvent {
+//!                     time_s: i as f64, channel: ChannelId::Pcpu,
+//!                     value: 1.0 + (i % 7) as f64 * 0.01,
+//!                 })).unwrap();
+//!             }
+//!         }
+//!     }
+//! });
+//! let mut tvla = StreamingTvla::new();
+//! let mut pump = Pump::new();
+//! pump.attach(&mut tvla);
+//! pump.run(&rx);
+//! producer.join().unwrap();
+//! let matrix = tvla.matrix(ChannelId::Pcpu, "PCPU").unwrap();
+//! assert_eq!(matrix.cells.len(), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod event;
+pub mod processor;
+pub mod processors;
+pub mod ring;
+
+pub use campaign::{run_sharded, split_counts};
+pub use event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+pub use processor::{PollMode, Processor, Pump};
+pub use processors::{
+    DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
+};
+pub use ring::{channel, ChannelStats, OverflowPolicy, Receiver, RingBuffer, Sender};

@@ -1,0 +1,201 @@
+//! Batch-compatibility collectors.
+//!
+//! These processors *retain* what they see (growing vectors / trace
+//! sets) — the opposite of the streaming accumulators. They exist so the
+//! legacy batch APIs in `psc_core::campaign` can run over the same event
+//! pipeline and return their historical data structures unchanged. New
+//! code should prefer [`StreamingTvla`](super::StreamingTvla) /
+//! [`StreamingCpa`](super::StreamingCpa), which are O(1) in trace count.
+
+use crate::event::{ChannelId, Event};
+use crate::processor::Processor;
+use psc_sca::trace::{Trace, TraceSet};
+use psc_sca::tvla::PlaintextClass;
+use std::collections::BTreeMap;
+
+/// Per-channel TVLA datasets: `values[pass][class]`, indexed like
+/// [`PlaintextClass::ALL`].
+pub type ClassDatasets = [[Vec<f64>; 3]; 2];
+
+/// Collects raw per-class value vectors per channel (the legacy
+/// `TvlaDatasets` shape).
+#[derive(Debug, Clone, Default)]
+pub struct DatasetCollector {
+    data: BTreeMap<ChannelId, ClassDatasets>,
+    current: Option<(u8, Option<PlaintextClass>)>,
+    orphan_samples: u64,
+}
+
+impl DatasetCollector {
+    /// Empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return the datasets for `channel`.
+    pub fn take(&mut self, channel: ChannelId) -> Option<ClassDatasets> {
+        self.data.remove(&channel)
+    }
+
+    /// Samples seen outside a classed window.
+    #[must_use]
+    pub fn orphan_samples(&self) -> u64 {
+        self.orphan_samples
+    }
+
+    /// Samples still held for channels nobody has [`take`]n — after the
+    /// requested channels are extracted, this is the count of samples
+    /// that arrived on *unrequested* channels (skipped, not panicked on).
+    ///
+    /// [`take`]: DatasetCollector::take
+    #[must_use]
+    pub fn residual_samples(&self) -> u64 {
+        self.data.values().flat_map(|passes| passes.iter().flatten()).map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Processor for DatasetCollector {
+    fn name(&self) -> &'static str {
+        "dataset-collector"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Window(w) => self.current = Some((w.pass, w.class)),
+            Event::Sample(s) => match self.current {
+                Some((pass, Some(class))) => {
+                    let class_idx = PlaintextClass::ALL
+                        .iter()
+                        .position(|c| *c == class)
+                        .expect("ALL contains every class");
+                    self.data.entry(s.channel).or_default()[usize::from(pass)][class_idx]
+                        .push(s.value);
+                }
+                _ => self.orphan_samples += 1,
+            },
+            Event::Sched(_) => {}
+        }
+    }
+}
+
+/// Collects full known-plaintext trace sets per channel (the legacy
+/// `collect_known_plaintext` shape).
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    sets: BTreeMap<ChannelId, TraceSet>,
+    current: Option<([u8; 16], [u8; 16])>,
+    orphan_samples: u64,
+    capacity_hint: usize,
+}
+
+impl TraceCollector {
+    /// Empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty collector that pre-allocates each channel's trace set for
+    /// `expected_traces` (one reallocation-free growth path for
+    /// campaigns whose size is known up front).
+    #[must_use]
+    pub fn with_capacity_hint(expected_traces: usize) -> Self {
+        Self { capacity_hint: expected_traces, ..Self::default() }
+    }
+
+    /// Remove and return the trace set for `channel`.
+    pub fn take(&mut self, channel: ChannelId) -> Option<TraceSet> {
+        self.sets.remove(&channel)
+    }
+
+    /// Samples seen before any window marker.
+    #[must_use]
+    pub fn orphan_samples(&self) -> u64 {
+        self.orphan_samples
+    }
+}
+
+impl Processor for TraceCollector {
+    fn name(&self) -> &'static str {
+        "trace-collector"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Window(w) => self.current = Some((w.plaintext, w.ciphertext)),
+            Event::Sample(s) => {
+                let Some((plaintext, ciphertext)) = self.current else {
+                    self.orphan_samples += 1;
+                    return;
+                };
+                let hint = self.capacity_hint;
+                self.sets
+                    .entry(s.channel)
+                    .or_insert_with(|| TraceSet::with_capacity(s.channel.to_string(), hint))
+                    .push(Trace { value: s.value, plaintext, ciphertext });
+            }
+            Event::Sched(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleEvent, WindowEvent};
+
+    #[test]
+    fn dataset_collector_shapes() {
+        let mut c = DatasetCollector::new();
+        for pass in 0..2u8 {
+            for class in PlaintextClass::ALL {
+                c.on_event(&Event::Window(WindowEvent {
+                    seq: 0,
+                    time_s: 0.0,
+                    pass,
+                    class: Some(class),
+                    plaintext: [0; 16],
+                    ciphertext: [0; 16],
+                }));
+                for i in 0..5 {
+                    c.on_event(&Event::Sample(SampleEvent {
+                        time_s: 0.0,
+                        channel: ChannelId::Pcpu,
+                        value: f64::from(i),
+                    }));
+                }
+            }
+        }
+        let data = c.take(ChannelId::Pcpu).expect("seen");
+        for pass in &data {
+            for class in pass {
+                assert_eq!(class.len(), 5);
+            }
+        }
+        assert!(c.take(ChannelId::Pcpu).is_none(), "take removes");
+    }
+
+    #[test]
+    fn trace_collector_keeps_pt_ct_pairs() {
+        let mut c = TraceCollector::new();
+        c.on_event(&Event::Window(WindowEvent {
+            seq: 0,
+            time_s: 0.0,
+            pass: 0,
+            class: None,
+            plaintext: [7; 16],
+            ciphertext: [9; 16],
+        }));
+        c.on_event(&Event::Sample(SampleEvent {
+            time_s: 0.0,
+            channel: ChannelId::Pcpu,
+            value: 2.5,
+        }));
+        let set = c.take(ChannelId::Pcpu).expect("seen");
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.traces()[0].plaintext, [7; 16]);
+        assert_eq!(set.traces()[0].ciphertext, [9; 16]);
+        assert_eq!(set.label, "PCPU");
+    }
+}

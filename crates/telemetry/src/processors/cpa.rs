@@ -1,0 +1,236 @@
+//! Incremental CPA processor: running per-guess/byte sums, O(1) memory.
+
+use crate::event::{ChannelId, Event};
+use crate::processor::Processor;
+use psc_sca::cpa::{Cpa, CpaMergeError};
+use psc_sca::model::PowerModel;
+use psc_sca::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Streaming CPA over a fixed set of channels. Each channel gets its own
+/// [`Cpa`] accumulator (256-bin running sums per key byte — memory is
+/// independent of trace count). Shards run independent instances;
+/// [`StreamingCpa::merged`] sum-merges them.
+#[derive(Debug)]
+pub struct StreamingCpa {
+    cpas: BTreeMap<ChannelId, Cpa>,
+    current: Option<([u8; 16], [u8; 16])>,
+    unregistered_samples: u64,
+    orphan_samples: u64,
+}
+
+impl StreamingCpa {
+    /// New processor correlating `channels`, each under a fresh model from
+    /// `model_factory`.
+    #[must_use]
+    pub fn new(
+        channels: impl IntoIterator<Item = ChannelId>,
+        model_factory: impl Fn() -> Box<dyn PowerModel>,
+    ) -> Self {
+        Self {
+            cpas: channels.into_iter().map(|c| (c, Cpa::new(model_factory()))).collect(),
+            current: None,
+            unregistered_samples: 0,
+            orphan_samples: 0,
+        }
+    }
+
+    /// The accumulator for `channel`.
+    #[must_use]
+    pub fn cpa(&self, channel: ChannelId) -> Option<&Cpa> {
+        self.cpas.get(&channel)
+    }
+
+    /// All per-channel accumulators.
+    #[must_use]
+    pub fn cpas(&self) -> &BTreeMap<ChannelId, Cpa> {
+        &self.cpas
+    }
+
+    /// Consume the processor, yielding the accumulators.
+    #[must_use]
+    pub fn into_cpas(self) -> BTreeMap<ChannelId, Cpa> {
+        self.cpas
+    }
+
+    /// Samples on channels this processor was not registered for.
+    #[must_use]
+    pub fn unregistered_samples(&self) -> u64 {
+        self.unregistered_samples
+    }
+
+    /// Samples that arrived before any window marker.
+    #[must_use]
+    pub fn orphan_samples(&self) -> u64 {
+        self.orphan_samples
+    }
+
+    /// Merge a shard's accumulators into this one. Channel sets must
+    /// match (both sides come from the same campaign configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaMergeError`] if any channel pair was built for
+    /// different power models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel sets differ.
+    pub fn merged(mut self, other: Self) -> Result<Self, CpaMergeError> {
+        assert_eq!(
+            self.cpas.keys().collect::<Vec<_>>(),
+            other.cpas.keys().collect::<Vec<_>>(),
+            "shards must correlate the same channels"
+        );
+        for (channel, theirs) in &other.cpas {
+            self.cpas.get_mut(channel).expect("checked above").merge(theirs)?;
+        }
+        self.unregistered_samples += other.unregistered_samples;
+        self.orphan_samples += other.orphan_samples;
+        Ok(self)
+    }
+}
+
+impl Processor for StreamingCpa {
+    fn name(&self) -> &'static str {
+        "cpa"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Window(w) => self.current = Some((w.plaintext, w.ciphertext)),
+            Event::Sample(s) => {
+                let Some((plaintext, ciphertext)) = self.current else {
+                    self.orphan_samples += 1;
+                    return;
+                };
+                if let Some(cpa) = self.cpas.get_mut(&s.channel) {
+                    cpa.add_trace(&Trace { value: s.value, plaintext, ciphertext });
+                } else {
+                    self.unregistered_samples += 1;
+                }
+            }
+            Event::Sched(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleEvent, WindowEvent};
+    use psc_aes::Aes;
+    use psc_sca::model::Rd0Hw;
+    use psc_sca::trace::TraceSet;
+
+    fn synthetic(key: &[u8; 16], n: usize, salt: u64) -> TraceSet {
+        let aes = Aes::new(key).unwrap();
+        let mut set = TraceSet::new("synthetic");
+        let mut state = salt | 1;
+        for _ in 0..n {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = (state >> 32) as u8;
+            }
+            let trace = aes.encrypt_traced(&pt);
+            let value: u32 = trace.round0_addkey().iter().map(|&x| x.count_ones()).sum();
+            set.push(Trace {
+                value: f64::from(value),
+                plaintext: pt,
+                ciphertext: trace.ciphertext,
+            });
+        }
+        set
+    }
+
+    fn feed(p: &mut StreamingCpa, set: &TraceSet) {
+        for (i, t) in set.iter().enumerate() {
+            p.on_event(&Event::Window(WindowEvent {
+                seq: i as u64,
+                time_s: i as f64,
+                pass: 0,
+                class: None,
+                plaintext: t.plaintext,
+                ciphertext: t.ciphertext,
+            }));
+            p.on_event(&Event::Sample(SampleEvent {
+                time_s: i as f64,
+                channel: ChannelId::Pcpu,
+                value: t.value,
+            }));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_ranks() {
+        let key = [0x5Au8; 16];
+        let set = synthetic(&key, 2000, 7);
+        let mut streaming = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        feed(&mut streaming, &set);
+        let mut batch = Cpa::new(Box::new(Rd0Hw));
+        batch.add_set(&set);
+        let s = streaming.cpa(ChannelId::Pcpu).expect("registered");
+        assert_eq!(s.ranks(&key), batch.ranks(&key));
+        for b in 0..16 {
+            for g in [0u8, 0x5A, 0xFF] {
+                assert!((s.correlation(b, g) - batch.correlation(b, g)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_whole() {
+        let key: [u8; 16] = core::array::from_fn(|i| (i * 11 + 3) as u8);
+        let a = synthetic(&key, 700, 1);
+        let b = synthetic(&key, 700, 2);
+        let mut whole = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        feed(&mut whole, &a);
+        feed(&mut whole, &b);
+        let mut sa = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        feed(&mut sa, &a);
+        let mut sb = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        feed(&mut sb, &b);
+        let merged = sa.merged(sb).expect("same models");
+        let w = whole.cpa(ChannelId::Pcpu).unwrap();
+        let m = merged.cpa(ChannelId::Pcpu).unwrap();
+        assert_eq!(w.trace_count(), m.trace_count());
+        for b_idx in 0..16 {
+            for g in 0..=255u8 {
+                assert!(
+                    (w.correlation(b_idx, g) - m.correlation(b_idx, g)).abs() < 1e-9,
+                    "byte {b_idx} guess {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let mut p = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        // Sample before any window: orphan.
+        p.on_event(&Event::Sample(SampleEvent {
+            time_s: 0.0,
+            channel: ChannelId::Pcpu,
+            value: 1.0,
+        }));
+        assert_eq!(p.orphan_samples(), 1);
+        // Sample on an unregistered channel: counted, not panicking.
+        p.on_event(&Event::Window(WindowEvent {
+            seq: 0,
+            time_s: 0.0,
+            pass: 0,
+            class: None,
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+        }));
+        p.on_event(&Event::Sample(SampleEvent {
+            time_s: 0.0,
+            channel: ChannelId::Timing,
+            value: 1.0,
+        }));
+        assert_eq!(p.unregistered_samples(), 1);
+    }
+}

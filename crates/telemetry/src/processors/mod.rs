@@ -1,0 +1,13 @@
+//! Streaming processors: the consumers on the telemetry bus.
+
+pub mod collect;
+pub mod cpa;
+pub mod monitor;
+pub mod recorder;
+pub mod tvla;
+
+pub use collect::{DatasetCollector, TraceCollector};
+pub use cpa::StreamingCpa;
+pub use monitor::{CadenceCheckpoint, ThrottleMonitor};
+pub use recorder::ShardRecorder;
+pub use tvla::StreamingTvla;

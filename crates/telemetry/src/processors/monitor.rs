@@ -1,0 +1,216 @@
+//! Fixed-interval throttling/cadence monitor.
+
+use crate::event::Event;
+use crate::processor::{PollMode, Processor};
+use std::collections::VecDeque;
+
+/// One cadence snapshot taken at a poll tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CadenceCheckpoint {
+    /// Simulated poll time, seconds.
+    pub time_s: f64,
+    /// Observations completed since the previous tick.
+    pub observations: u64,
+    /// SoC windows consumed since the previous tick.
+    pub windows: u64,
+    /// Windows per observation over the tick: 1.0 is the full publish
+    /// rate; larger values mean the interval-stretching mitigation is
+    /// starving the attacker's sampling loop.
+    pub stretch: f64,
+}
+
+/// Polling-mode processor that watches collection cadence: how many SoC
+/// windows each observation really costs (mitigation stretch), and how
+/// many SMC reads were denied. Keeps only a bounded window of
+/// checkpoints — it is a monitor, not a log.
+#[derive(Debug, Clone)]
+pub struct ThrottleMonitor {
+    interval_s: f64,
+    max_checkpoints: usize,
+    checkpoints: VecDeque<CadenceCheckpoint>,
+    observations: u64,
+    windows: u64,
+    denied_reads: u64,
+    tick_observations: u64,
+    tick_windows: u64,
+    last_time_s: f64,
+}
+
+impl ThrottleMonitor {
+    /// Monitor polling every `interval_s` simulated seconds, retaining at
+    /// most `max_checkpoints` snapshots (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0` or `max_checkpoints == 0`.
+    #[must_use]
+    pub fn new(interval_s: f64, max_checkpoints: usize) -> Self {
+        assert!(interval_s > 0.0, "poll interval must be positive");
+        assert!(max_checkpoints > 0, "need at least one checkpoint slot");
+        Self {
+            interval_s,
+            max_checkpoints,
+            checkpoints: VecDeque::with_capacity(max_checkpoints),
+            observations: 0,
+            windows: 0,
+            denied_reads: 0,
+            tick_observations: 0,
+            tick_windows: 0,
+            last_time_s: 0.0,
+        }
+    }
+
+    /// Retained checkpoints, oldest first.
+    pub fn checkpoints(&self) -> impl Iterator<Item = &CadenceCheckpoint> {
+        self.checkpoints.iter()
+    }
+
+    /// Total observations seen.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Total denied SMC reads seen.
+    #[must_use]
+    pub fn denied_reads(&self) -> u64 {
+        self.denied_reads
+    }
+
+    /// Overall windows-per-observation ratio (1.0 = no stretching).
+    #[must_use]
+    pub fn overall_stretch(&self) -> f64 {
+        if self.observations == 0 {
+            1.0
+        } else {
+            self.windows as f64 / self.observations as f64
+        }
+    }
+
+    /// Merge a shard's totals (checkpoints stay per-shard; only counters
+    /// combine meaningfully across independent timelines).
+    #[must_use]
+    pub fn merged_totals(mut self, other: &Self) -> Self {
+        self.observations += other.observations;
+        self.windows += other.windows;
+        self.denied_reads += other.denied_reads;
+        self
+    }
+
+    fn push_checkpoint(&mut self, time_s: f64) {
+        let stretch = if self.tick_observations == 0 {
+            1.0
+        } else {
+            self.tick_windows as f64 / self.tick_observations as f64
+        };
+        if self.checkpoints.len() == self.max_checkpoints {
+            self.checkpoints.pop_front();
+        }
+        self.checkpoints.push_back(CadenceCheckpoint {
+            time_s,
+            observations: self.tick_observations,
+            windows: self.tick_windows,
+            stretch,
+        });
+        self.tick_observations = 0;
+        self.tick_windows = 0;
+    }
+}
+
+impl Processor for ThrottleMonitor {
+    fn name(&self) -> &'static str {
+        "throttle-monitor"
+    }
+
+    fn mode(&self) -> PollMode {
+        PollMode::FixedInterval { interval_s: self.interval_s }
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Event::Sched(s) = event {
+            self.observations += 1;
+            self.windows += u64::from(s.windows_consumed);
+            self.denied_reads += u64::from(s.denied_reads);
+            self.tick_observations += 1;
+            self.tick_windows += u64::from(s.windows_consumed);
+            self.last_time_s = s.time_s;
+        }
+    }
+
+    fn on_poll(&mut self, time_s: f64) {
+        self.push_checkpoint(time_s);
+    }
+
+    fn on_finish(&mut self) {
+        // Flush the trailing partial tick so short campaigns (shorter
+        // than one poll interval) still report their cadence.
+        if self.tick_observations > 0 || self.tick_windows > 0 {
+            let time_s = self.last_time_s;
+            self.push_checkpoint(time_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchedEvent;
+    use crate::processor::Pump;
+
+    fn sched(t: f64, windows: u32) -> Event {
+        Event::Sched(SchedEvent {
+            time_s: t,
+            windows_consumed: windows,
+            window_s: 1.0,
+            denied_reads: 0,
+        })
+    }
+
+    #[test]
+    fn stretch_reflects_mitigation() {
+        let mut m = ThrottleMonitor::new(10.0, 8);
+        let mut pump = Pump::new();
+        pump.attach(&mut m);
+        for i in 0..30 {
+            // Three windows consumed per observation: slow_updates(3.0).
+            pump.dispatch(&sched(f64::from(i) * 3.0, 3));
+        }
+        pump.finish();
+        assert_eq!(m.observations(), 30);
+        assert!((m.overall_stretch() - 3.0).abs() < 1e-12);
+        assert!(m.checkpoints().count() >= 2);
+        for c in m.checkpoints() {
+            assert!((c.stretch - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn short_campaign_flushes_partial_tick_on_finish() {
+        // Campaign much shorter than one poll interval: without the
+        // finish flush there would be zero checkpoints.
+        let mut m = ThrottleMonitor::new(1000.0, 8);
+        let mut pump = Pump::new();
+        pump.attach(&mut m);
+        for i in 0..5 {
+            pump.dispatch(&sched(f64::from(i) * 3.0, 3));
+        }
+        pump.finish();
+        let checkpoints: Vec<_> = m.checkpoints().copied().collect();
+        assert_eq!(checkpoints.len(), 1);
+        assert_eq!(checkpoints[0].observations, 5);
+        assert!((checkpoints[0].stretch - 3.0).abs() < 1e-12);
+        assert!((checkpoints[0].time_s - 12.0).abs() < 1e-12, "stamped at the last event");
+    }
+
+    #[test]
+    fn checkpoint_window_is_bounded() {
+        let mut m = ThrottleMonitor::new(1.0, 4);
+        let mut pump = Pump::new();
+        pump.attach(&mut m);
+        for i in 0..100 {
+            pump.dispatch(&sched(f64::from(i), 1));
+        }
+        pump.finish();
+        assert_eq!(m.checkpoints().count(), 4, "bounded retention");
+    }
+}

@@ -1,0 +1,224 @@
+//! Shard-persisting trace recorder.
+
+use crate::event::{ChannelId, Event};
+use crate::processor::Processor;
+use psc_sca::codec;
+use psc_sca::trace::{Trace, TraceSet};
+use std::path::PathBuf;
+
+/// Persists one channel's traces to disk in bounded batches via
+/// [`psc_sca::codec`]. Memory stays O(`shard_capacity`): whenever the
+/// in-flight buffer fills, it is written out as one `.psct` shard file and
+/// cleared. Offline analysis re-reads the shards with
+/// [`codec::read_trace_set`] in any order.
+#[derive(Debug)]
+pub struct ShardRecorder {
+    dir: PathBuf,
+    label: String,
+    channel: ChannelId,
+    shard: usize,
+    capacity: usize,
+    buffer: Vec<Trace>,
+    current: Option<([u8; 16], [u8; 16])>,
+    files: Vec<PathBuf>,
+    traces_recorded: u64,
+    io_errors: u64,
+    last_error: Option<String>,
+}
+
+impl ShardRecorder {
+    /// Recorder for `channel`, writing files named
+    /// `{label}-s{shard:03}-{index:04}.psct` under `dir`, holding at most
+    /// `shard_capacity` traces in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_capacity == 0`.
+    #[must_use]
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        label: impl Into<String>,
+        channel: ChannelId,
+        shard: usize,
+        shard_capacity: usize,
+    ) -> Self {
+        assert!(shard_capacity > 0, "recorder shard capacity must be >= 1");
+        Self {
+            dir: dir.into(),
+            label: label.into(),
+            channel,
+            shard,
+            capacity: shard_capacity,
+            buffer: Vec::with_capacity(shard_capacity),
+            current: None,
+            files: Vec::new(),
+            traces_recorded: 0,
+            io_errors: 0,
+            last_error: None,
+        }
+    }
+
+    /// Shard files written so far.
+    #[must_use]
+    pub fn files(&self) -> &[PathBuf] {
+        &self.files
+    }
+
+    /// Total traces recorded (buffered + written).
+    #[must_use]
+    pub fn traces_recorded(&self) -> u64 {
+        self.traces_recorded
+    }
+
+    /// Write failures (each also drops that batch; see [`last_error`]).
+    ///
+    /// [`last_error`]: ShardRecorder::last_error
+    #[must_use]
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Most recent write failure message.
+    #[must_use]
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let path = self.dir.join(format!(
+            "{}-s{:03}-{:04}.psct",
+            self.label,
+            self.shard,
+            self.files.len()
+        ));
+        let mut set = TraceSet::with_capacity(self.label.clone(), self.buffer.len());
+        set.extend(self.buffer.drain(..));
+        match std::fs::File::create(&path)
+            .map_err(codec::CodecError::Io)
+            .and_then(|f| codec::write_trace_set(&set, f))
+        {
+            Ok(()) => self.files.push(path),
+            Err(e) => {
+                self.io_errors += 1;
+                self.last_error = Some(format!("{}: {e}", path.display()));
+            }
+        }
+    }
+
+    /// Read every written shard back, concatenated in write order (test
+    /// and offline-analysis convenience).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first codec/IO failure.
+    pub fn read_back(files: &[PathBuf]) -> Result<TraceSet, codec::CodecError> {
+        let mut merged = TraceSet::default();
+        for path in files {
+            let set = codec::read_trace_set(std::fs::File::open(path)?)?;
+            if merged.is_empty() {
+                merged = set;
+            } else {
+                merged.extend(set.iter().copied());
+            }
+        }
+        Ok(merged)
+    }
+}
+
+impl Processor for ShardRecorder {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Window(w) => self.current = Some((w.plaintext, w.ciphertext)),
+            Event::Sample(s) if s.channel == self.channel => {
+                if let Some((plaintext, ciphertext)) = self.current {
+                    self.buffer.push(Trace { value: s.value, plaintext, ciphertext });
+                    self.traces_recorded += 1;
+                    if self.buffer.len() >= self.capacity {
+                        self.flush();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleEvent, WindowEvent};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("psc_recorder_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn feed(rec: &mut ShardRecorder, n: usize) {
+        for i in 0..n {
+            let pt = core::array::from_fn(|b| (i + b) as u8);
+            let ct = core::array::from_fn(|b| (i * 3 + b) as u8);
+            rec.on_event(&Event::Window(WindowEvent {
+                seq: i as u64,
+                time_s: i as f64,
+                pass: 0,
+                class: None,
+                plaintext: pt,
+                ciphertext: ct,
+            }));
+            rec.on_event(&Event::Sample(SampleEvent {
+                time_s: i as f64,
+                channel: ChannelId::Pcpu,
+                value: i as f64 * 0.5,
+            }));
+        }
+        rec.on_finish();
+    }
+
+    #[test]
+    fn shards_bound_memory_and_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 0, 40);
+        feed(&mut rec, 100);
+        assert_eq!(rec.traces_recorded(), 100);
+        assert_eq!(rec.io_errors(), 0);
+        // 100 traces at capacity 40 → shards of 40/40/20.
+        assert_eq!(rec.files().len(), 3);
+        let back = ShardRecorder::read_back(rec.files()).unwrap();
+        assert_eq!(back.len(), 100);
+        assert!((back.traces()[99].value - 49.5).abs() < 1e-12);
+        for f in rec.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn other_channels_ignored() {
+        let dir = temp_dir("filter");
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Timing, 0, 10);
+        feed(&mut rec, 20);
+        assert_eq!(rec.traces_recorded(), 0, "PCPU samples must not be recorded");
+        assert!(rec.files().is_empty());
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn io_failure_counted_not_panicking() {
+        let mut rec = ShardRecorder::new("/nonexistent_psc_dir/xyz", "PHPC", ChannelId::Pcpu, 0, 5);
+        feed(&mut rec, 5);
+        assert_eq!(rec.io_errors(), 1);
+        assert!(rec.last_error().is_some());
+    }
+}

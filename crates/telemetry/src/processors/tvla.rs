@@ -1,0 +1,165 @@
+//! Online TVLA processor: O(1) memory per channel.
+
+use crate::event::{ChannelId, Event};
+use crate::processor::Processor;
+use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaMatrix};
+use std::collections::BTreeMap;
+
+/// Streaming TVLA over every channel it sees: six Welford accumulators
+/// per channel instead of six growing `Vec`s. Shards run independent
+/// instances; [`StreamingTvla::merged`] combines them exactly.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingTvla {
+    accs: BTreeMap<ChannelId, TvlaAccumulator>,
+    current: Option<(u8, Option<PlaintextClass>)>,
+    orphan_samples: u64,
+}
+
+impl StreamingTvla {
+    /// Empty processor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-channel accumulators.
+    #[must_use]
+    pub fn accumulators(&self) -> &BTreeMap<ChannelId, TvlaAccumulator> {
+        &self.accs
+    }
+
+    /// The accumulator for `channel`, if any samples arrived on it.
+    #[must_use]
+    pub fn accumulator(&self, channel: ChannelId) -> Option<&TvlaAccumulator> {
+        self.accs.get(&channel)
+    }
+
+    /// The 3×3 matrix for `channel` (None if the channel was never seen).
+    #[must_use]
+    pub fn matrix(&self, channel: ChannelId, label: impl Into<String>) -> Option<TvlaMatrix> {
+        self.accs.get(&channel).map(|a| a.matrix(label))
+    }
+
+    /// Samples that arrived outside any window or in a window without a
+    /// TVLA class (e.g. known-plaintext CPA windows).
+    #[must_use]
+    pub fn orphan_samples(&self) -> u64 {
+        self.orphan_samples
+    }
+
+    /// Merge a shard's accumulators into this one.
+    #[must_use]
+    pub fn merged(mut self, other: Self) -> Self {
+        for (channel, acc) in other.accs {
+            let entry = self.accs.entry(channel).or_default();
+            *entry = entry.merged(acc);
+        }
+        self.orphan_samples += other.orphan_samples;
+        self
+    }
+}
+
+impl Processor for StreamingTvla {
+    fn name(&self) -> &'static str {
+        "tvla"
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Window(w) => self.current = Some((w.pass, w.class)),
+            Event::Sample(s) => match self.current {
+                Some((pass, Some(class))) => {
+                    self.accs.entry(s.channel).or_default().push(usize::from(pass), class, s.value);
+                }
+                _ => self.orphan_samples += 1,
+            },
+            Event::Sched(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleEvent, WindowEvent};
+
+    fn window(pass: u8, class: PlaintextClass) -> Event {
+        Event::Window(WindowEvent {
+            seq: 0,
+            time_s: 0.0,
+            pass,
+            class: Some(class),
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+        })
+    }
+
+    fn sample(value: f64) -> Event {
+        Event::Sample(SampleEvent { time_s: 0.0, channel: ChannelId::Pcpu, value })
+    }
+
+    #[test]
+    fn accumulates_per_pass_and_class() {
+        let mut p = StreamingTvla::new();
+        for pass in 0..2u8 {
+            for (ci, class) in PlaintextClass::ALL.iter().enumerate() {
+                p.on_event(&window(pass, *class));
+                for i in 0..10 {
+                    p.on_event(&sample(f64::from(i) + f64::from(ci as u32) * 100.0));
+                }
+            }
+        }
+        let acc = p.accumulator(ChannelId::Pcpu).expect("seen");
+        for pass in 0..2 {
+            for class in PlaintextClass::ALL {
+                assert_eq!(acc.count(pass, class), 10);
+            }
+        }
+        assert_eq!(p.orphan_samples(), 0);
+    }
+
+    #[test]
+    fn classless_windows_count_as_orphans() {
+        let mut p = StreamingTvla::new();
+        p.on_event(&Event::Window(WindowEvent {
+            seq: 0,
+            time_s: 0.0,
+            pass: 0,
+            class: None,
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+        }));
+        p.on_event(&sample(1.0));
+        assert_eq!(p.orphan_samples(), 1);
+        assert!(p.accumulator(ChannelId::Pcpu).is_none());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let feed = |p: &mut StreamingTvla, salt: u64| {
+            for pass in 0..2u8 {
+                for class in PlaintextClass::ALL {
+                    p.on_event(&window(pass, class));
+                    for i in 0..50u64 {
+                        let x = ((i.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(salt))
+                            >> 33) as f64;
+                        p.on_event(&sample(x));
+                    }
+                }
+            }
+        };
+        let mut whole = StreamingTvla::new();
+        feed(&mut whole, 1);
+        feed(&mut whole, 2);
+        let mut a = StreamingTvla::new();
+        feed(&mut a, 1);
+        let mut b = StreamingTvla::new();
+        feed(&mut b, 2);
+        let merged = a.merged(b);
+        let whole_m = whole.matrix(ChannelId::Pcpu, "x").expect("seen");
+        let merged_m = merged.matrix(ChannelId::Pcpu, "x").expect("seen");
+        for (w, m) in whole_m.cells.iter().zip(&merged_m.cells) {
+            assert!((w.t_score - m.t_score).abs() < 1e-9, "{} vs {}", w.t_score, m.t_score);
+        }
+    }
+}

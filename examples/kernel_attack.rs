@@ -16,13 +16,10 @@ use apple_power_sca::sca::rank::{ge_curve, guessing_entropy, log_checkpoints};
 use apple_power_sca::smc::key::key;
 
 fn main() {
-    let traces: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000);
+    let traces: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40_000);
     let secret_key: [u8; 16] = [
-        0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD,
-        0xD9, 0x7C,
+        0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
+        0x7C,
     ];
     let shards = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
 

@@ -19,8 +19,7 @@ use psc_aes::masked::MaskedAes;
 use std::sync::Arc;
 
 const SECRET: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 fn main() {
@@ -70,8 +69,14 @@ fn main() {
     let m1 = mean_masked([0xFF; 16]);
 
     println!("PHPC window means over {windows} windows per plaintext:");
-    println!("  unmasked victim: all-0s {u0:.6} W, all-1s {u1:.6} W  → |Δ| = {:.3} mW", (u0 - u1).abs() * 1e3);
-    println!("  masked victim:   all-0s {m0:.6} W, all-1s {m1:.6} W  → |Δ| = {:.3} mW", (m0 - m1).abs() * 1e3);
+    println!(
+        "  unmasked victim: all-0s {u0:.6} W, all-1s {u1:.6} W  → |Δ| = {:.3} mW",
+        (u0 - u1).abs() * 1e3
+    );
+    println!(
+        "  masked victim:   all-0s {m0:.6} W, all-1s {m1:.6} W  → |Δ| = {:.3} mW",
+        (m0 - m1).abs() * 1e3
+    );
     println!(
         "\nmasking collapses the separation by ~{:.0}× — combined with the SMC's\n\
          1-second averaging it defeats this attack class outright\n\

@@ -27,8 +27,8 @@ fn main() {
     // key's Hamming weight is well above 64, which makes the all-0s vs
     // all-1s first-round power contrast easy to see at few windows.)
     let secret_key = [
-        0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD,
-        0xD9, 0x7C,
+        0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
+        0x7C,
     ];
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, secret_key, 2024);
 

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example smc_fuzzer`
 
-use apple_power_sca::core::experiments::screening::{screen_device, run_table1};
+use apple_power_sca::core::experiments::screening::{run_table1, screen_device};
 use apple_power_sca::core::{Device, ExperimentConfig};
 
 fn main() {

@@ -1,0 +1,139 @@
+//! End-to-end *streaming* attack: the paper's §3.3/§3.4 campaigns run as
+//! a sharded telemetry pipeline instead of batch loops.
+//!
+//! Four worker shards (each an independently seeded simulated M2 rig)
+//! produce window/sample/sched events into bounded ring-buffer channels;
+//! per-shard consumers accumulate **online** statistics (Welford TVLA,
+//! incremental CPA — O(1) memory in trace count), a recorder persists a
+//! trace shard to disk through `psc_sca::codec`, and the shard
+//! accumulators are sum-merged into the final verdicts.
+//!
+//! Run with: `cargo run --release --example streaming_attack`
+
+use apple_power_sca::core::streaming::{stream_known_plaintext, stream_tvla_campaign};
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::sca::tvla::TVLA_THRESHOLD;
+use apple_power_sca::smc::key::key;
+use apple_power_sca::telemetry::event::{ChannelId, Event, SampleEvent, WindowEvent};
+use apple_power_sca::telemetry::processor::Pump;
+use apple_power_sca::telemetry::processors::ShardRecorder;
+
+fn main() {
+    let secret = [0x2Bu8; 16];
+    let seed = 2024;
+    let shards = 4;
+
+    // ── Stage 1: sharded streaming TVLA (§3.3) ─────────────────────────
+    println!("── streaming TVLA: 4 shards x 500 traces/class ──");
+    let keys = [key("PHPC"), key("PHPS"), key("PSTR")];
+    let tvla = stream_tvla_campaign(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        secret,
+        seed,
+        &keys,
+        2_000,
+        shards,
+    );
+    for k in keys {
+        let matrix = tvla.matrix(k).expect("channel collected");
+        let verdict = if matrix.is_data_dependent() {
+            "DATA-DEPENDENT  → CPA candidate"
+        } else if matrix.shows_no_leakage() {
+            "no leakage"
+        } else {
+            "drifting / inconclusive"
+        };
+        println!("{}\n   verdict: {verdict}", matrix.render());
+    }
+    println!(
+        "bus: {} events accepted, {} dropped (Block policy = lossless backpressure)",
+        tvla.bus.accepted, tvla.bus.dropped
+    );
+    println!(
+        "cadence: {} observations, stretch x{:.2}, {} denied reads\n",
+        tvla.monitor.observations(),
+        tvla.monitor.overall_stretch(),
+        tvla.monitor.denied_reads()
+    );
+
+    // ── Stage 2: sharded streaming CPA (§3.4) ──────────────────────────
+    println!("── streaming CPA: 4 shards x 2500 known-plaintext traces ──");
+    let cpa_key = key("PHPC");
+    let report = stream_known_plaintext(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        secret,
+        seed,
+        &[cpa_key],
+        10_000,
+        shards,
+        || Box::new(Rd0Hw),
+    );
+    let ranks = report.ranks(cpa_key, &secret).expect("registered channel");
+    let recovered = ranks.iter().filter(|&&r| r == 1).count();
+    println!("per-byte ranks of the true key: {ranks:?}");
+    println!("bytes at rank 1: {recovered}/16 (paper: 1M traces recover the full key)");
+    println!(
+        "accumulator memory is O(1): {} traces correlated, nothing retained\n",
+        report.cpa.cpa(ChannelId::Smc(cpa_key)).expect("registered").trace_count()
+    );
+
+    // ── Stage 3: shard-persisting recorder (offline re-analysis) ───────
+    println!("── trace recorder: bounded shards via psc_sca::codec ──");
+    let dir = std::env::temp_dir().join("psc_streaming_attack");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut recorder = ShardRecorder::new(&dir, "PHPC", ChannelId::Smc(cpa_key), 0, 256);
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed);
+    {
+        let mut pump = Pump::new();
+        pump.attach(&mut recorder);
+        for seq in 0..600u64 {
+            let pt = rig.random_plaintext();
+            let obs = rig.observe_window(pt, &[cpa_key]);
+            pump.dispatch(&Event::Window(WindowEvent {
+                seq,
+                time_s: rig.soc.time_s(),
+                pass: 0,
+                class: None,
+                plaintext: obs.plaintext,
+                ciphertext: obs.ciphertext,
+            }));
+            if let Some(v) = obs.smc[0].1 {
+                pump.dispatch(&Event::Sample(SampleEvent {
+                    time_s: rig.soc.time_s(),
+                    channel: ChannelId::Smc(cpa_key),
+                    value: v,
+                }));
+            }
+        }
+        pump.finish();
+    }
+    println!(
+        "recorded {} traces into {} shard files under {}",
+        recorder.traces_recorded(),
+        recorder.files().len(),
+        dir.display()
+    );
+    let back = ShardRecorder::read_back(recorder.files()).expect("readable shards");
+    println!("offline read-back: {} traces — ready for `psc analyze`", back.len());
+    for f in recorder.files() {
+        std::fs::remove_file(f).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+
+    if tvla
+        .matrix(key("PHPC"))
+        .expect("collected")
+        .cell(
+            apple_power_sca::sca::tvla::PlaintextClass::AllZeros,
+            apple_power_sca::sca::tvla::PlaintextClass::AllOnes,
+        )
+        .t_score
+        .abs()
+        >= TVLA_THRESHOLD
+    {
+        println!("\nPHPC distinguishes fixed classes: the power meter leaks, as the paper found.");
+    }
+}

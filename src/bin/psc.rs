@@ -70,14 +70,10 @@ fn parse_key_hex(hex: &str) -> Result<[u8; 16], String> {
 }
 
 fn cmd_cpa(cfg: &ExperimentConfig, args: &[String]) {
-    let traces = parse_opt(args, "--traces")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(cfg.cpa_traces_m2);
-    let kind = if parse_flag(args, "--kernel") {
-        VictimKind::KernelModule
-    } else {
-        VictimKind::UserSpace
-    };
+    let traces =
+        parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(cfg.cpa_traces_m2);
+    let kind =
+        if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
     println!("collecting {traces} PHPC traces ({kind:?} victim)...");
     let sets = collect_known_plaintext_parallel(
         Device::MacbookAirM2,
@@ -113,9 +109,8 @@ fn report_cpa(set: &apple_power_sca::sca::trace::TraceSet, secret: Option<[u8; 1
 
 fn cmd_collect(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     let out = parse_opt(args, "--out").ok_or("--out FILE is required")?;
-    let traces = parse_opt(args, "--traces")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(cfg.cpa_traces_m2);
+    let traces =
+        parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(cfg.cpa_traces_m2);
     let secret = match parse_opt(args, "--key") {
         Some(hex) => parse_key_hex(&hex)?,
         None => cfg.secret_key,

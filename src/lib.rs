@@ -20,8 +20,12 @@
 //!   fuzzer and countermeasures;
 //! * [`ioreport`] — IOReport groups/channels and the Energy Model;
 //! * [`sca`] — TVLA, CPA, power models, key rank / guessing entropy;
-//! * [`core`] — victims, collection campaigns and the per-table/figure
-//!   experiment runners.
+//! * [`telemetry`] — the streaming event bus: bounded ring-buffer
+//!   channels with drop accounting, event-driven/polling processors,
+//!   online (O(1)-memory) TVLA and CPA accumulators, shard-persisting
+//!   trace recorder and cadence monitor;
+//! * [`core`] — victims, collection campaigns (batch *and* sharded
+//!   streaming) and the per-table/figure experiment runners.
 //!
 //! ## Quickstart
 //!
@@ -39,8 +43,30 @@
 //! assert!(obs.smc[0].1.is_some());
 //! ```
 //!
-//! See `examples/` for complete attack walk-throughs and `crates/bench`
-//! for the binaries regenerating every table and figure of the paper.
+//! ## Streaming campaigns
+//!
+//! Large campaigns should not buffer traces: the sharded streaming
+//! drivers fan independently seeded rigs across worker threads, push
+//! window/sample/sched events through bounded channels, and merge online
+//! accumulators — memory stays O(1) in trace count:
+//!
+//! ```
+//! use apple_power_sca::core::streaming::stream_tvla_campaign;
+//! use apple_power_sca::core::{Device, VictimKind};
+//! use apple_power_sca::smc::key::key;
+//!
+//! let report = stream_tvla_campaign(
+//!     Device::MacbookAirM2, VictimKind::UserSpace, [0x2B; 16], 42,
+//!     &[key("PHPC")], 50, 4,  // 50 traces/class across 4 worker shards
+//! );
+//! let matrix = report.matrix(key("PHPC")).unwrap();
+//! assert_eq!(matrix.cells.len(), 9);
+//! ```
+//!
+//! The full walk-through lives in `examples/streaming_attack.rs`
+//! (`cargo run --release --example streaming_attack`); see the other
+//! `examples/` for batch attack walk-throughs and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,3 +77,4 @@ pub use psc_ioreport as ioreport;
 pub use psc_sca as sca;
 pub use psc_smc as smc;
 pub use psc_soc as soc;
+pub use psc_telemetry as telemetry;

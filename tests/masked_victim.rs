@@ -26,8 +26,7 @@ use rand_chacha::ChaCha12Rng;
 use std::sync::Arc;
 
 const SECRET: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 struct MaskedRig {

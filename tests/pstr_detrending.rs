@@ -14,8 +14,7 @@ use apple_power_sca::sca::rank::guessing_entropy;
 use apple_power_sca::smc::key::key;
 
 const SECRET: [u8; 16] = [
-    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9,
-    0x7C,
+    0xB7, 0x6F, 0xEB, 0x3E, 0xD5, 0x9D, 0x77, 0xFA, 0xCE, 0xBB, 0x67, 0xF3, 0x5E, 0xAD, 0xD9, 0x7C,
 ];
 
 fn ge_of(set: &apple_power_sca::sca::trace::TraceSet) -> f64 {

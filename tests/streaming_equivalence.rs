@@ -1,0 +1,172 @@
+//! Streaming-vs-batch equivalence: the telemetry pipeline must reproduce
+//! the batch analyses on identical seeded trace sets — single-shard and
+//! sharded-then-merged — within 1e-9.
+
+use apple_power_sca::core::campaign::{collect_known_plaintext_parallel, run_tvla_campaign};
+use apple_power_sca::core::streaming::{stream_known_plaintext, stream_tvla_campaign};
+use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::sca::cpa::Cpa;
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::sca::tvla::TvlaMatrix;
+use apple_power_sca::smc::key::key;
+use apple_power_sca::telemetry::split_counts;
+
+const SECRET: [u8; 16] = [0x2B; 16];
+const SEED: u64 = 1234;
+
+fn assert_matrices_close(batch: &TvlaMatrix, streaming: &TvlaMatrix, tol: f64) {
+    assert_eq!(batch.cells.len(), streaming.cells.len());
+    for (b, s) in batch.cells.iter().zip(&streaming.cells) {
+        assert_eq!(b.row, s.row);
+        assert_eq!(b.column, s.column);
+        assert!(
+            (b.t_score - s.t_score).abs() < tol,
+            "cell ({:?}, {:?}): batch {} vs streaming {}",
+            b.row,
+            b.column,
+            b.t_score,
+            s.t_score
+        );
+        assert_eq!(b.outcome, s.outcome);
+    }
+}
+
+#[test]
+fn single_shard_tvla_matches_batch_exactly() {
+    let keys = [key("PHPC"), key("PSTR")];
+    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED);
+    let batch = run_tvla_campaign(&mut rig, &keys, 120);
+    let streaming = stream_tvla_campaign(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        120,
+        1,
+    );
+    for k in keys {
+        let batch_m = batch.per_key[&k].matrix(k.to_string());
+        let stream_m = streaming.matrix(k).expect("channel collected");
+        // One shard, same seed, same event order: identical Welford stream.
+        assert_matrices_close(&batch_m, &stream_m, 1e-9);
+    }
+    assert_matrices_close(
+        &batch.pcpu.matrix("PCPU"),
+        &streaming.pcpu_matrix().expect("pcpu collected"),
+        1e-9,
+    );
+}
+
+#[test]
+fn sharded_tvla_matches_concatenated_batch_shards() {
+    let keys = [key("PHPC")];
+    let shards = 4;
+    let traces_per_class = 100;
+    let counts = split_counts(traces_per_class, shards);
+
+    // Batch comparator: run the legacy per-shard campaigns with the same
+    // seed layout, concatenate the raw datasets, compute the matrix.
+    let mut first: [Vec<f64>; 3] = Default::default();
+    let mut second: [Vec<f64>; 3] = Default::default();
+    for (shard, &count) in counts.iter().enumerate() {
+        let mut rig = Rig::new(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            SECRET,
+            SEED.wrapping_add(shard as u64),
+        );
+        let campaign = run_tvla_campaign(&mut rig, &keys, count);
+        let sets = &campaign.per_key[&keys[0]];
+        for class in 0..3 {
+            first[class].extend_from_slice(&sets.first[class]);
+            second[class].extend_from_slice(&sets.second[class]);
+        }
+    }
+    let batch_matrix = TvlaMatrix::compute("PHPC", &first, &second);
+
+    let streaming = stream_tvla_campaign(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        traces_per_class,
+        shards,
+    );
+    let stream_matrix = streaming.matrix(keys[0]).expect("collected");
+    assert_matrices_close(&batch_matrix, &stream_matrix, 1e-9);
+    assert_eq!(streaming.bus.dropped, 0, "Block policy is lossless");
+}
+
+#[test]
+fn sharded_cpa_matches_batch_on_identical_traces() {
+    let keys = [key("PHPC")];
+    let shards = 4;
+    let n = 1200;
+
+    let batch_sets = collect_known_plaintext_parallel(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        n,
+        shards,
+    );
+    let mut batch = Cpa::new(Box::new(Rd0Hw));
+    batch.add_set(&batch_sets[&keys[0]]);
+
+    let streaming = stream_known_plaintext(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        n,
+        shards,
+        || Box::new(Rd0Hw),
+    );
+    let stream_cpa =
+        streaming.cpa.cpa(apple_power_sca::telemetry::ChannelId::Smc(keys[0])).expect("registered");
+
+    assert_eq!(stream_cpa.trace_count(), batch.trace_count());
+    assert_eq!(stream_cpa.ranks(&SECRET), batch.ranks(&SECRET), "identical key ranks");
+    for byte in 0..16 {
+        let batch_corr = batch.correlations(byte);
+        let stream_corr = stream_cpa.correlations(byte);
+        for guess in 0..256 {
+            assert!(
+                (batch_corr[guess] - stream_corr[guess]).abs() < 1e-9,
+                "byte {byte} guess {guess}: {} vs {}",
+                batch_corr[guess],
+                stream_corr[guess]
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_campaign_is_deterministic_per_seed() {
+    let keys = [key("PHPC")];
+    let run = |seed: u64| {
+        let report = stream_known_plaintext(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            SECRET,
+            seed,
+            &keys,
+            200,
+            3,
+            || Box::new(Rd0Hw),
+        );
+        let cpa = report
+            .cpa
+            .cpa(apple_power_sca::telemetry::ChannelId::Smc(keys[0]))
+            .expect("registered");
+        (cpa.trace_count(), cpa.correlations(0))
+    };
+    assert_eq!(run(9).0, run(9).0);
+    assert_eq!(run(9).1, run(9).1, "same seed, same merged accumulator");
+    assert_ne!(run(9).1, run(10).1, "seed changes the stream");
+}

@@ -63,11 +63,8 @@ fn lowpowermode_cap_is_honoured_in_steady_state() {
     let mut soc = Soc::new(SocSpec::macbook_air_m2(), 8);
     soc.set_power_mode(PowerMode::LowPower);
     for i in 0..8 {
-        let attrs = if i < 4 {
-            SchedAttrs::realtime_p_core()
-        } else {
-            SchedAttrs::background_e_core()
-        };
+        let attrs =
+            if i < 4 { SchedAttrs::realtime_p_core() } else { SchedAttrs::background_e_core() };
         soc.spawn(format!("fmul{i}"), attrs, Box::new(FmulStressor));
     }
     // After settling, the estimator must hover at/below the 4 W cap plus

@@ -1,0 +1,75 @@
+//! Offline stand-in for the slice of `crossbeam` the repo uses:
+//! `crossbeam::thread::scope` with crossbeam's closure signature
+//! (`scope.spawn(|scope| ...)`), implemented over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Result of a joined scoped thread, as in `crossbeam::thread`.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope handle; spawned closures receive a fresh reference to it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure is
+        /// handed a scope reference so it could spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    /// All threads are joined before this returns. Crossbeam reports
+    /// unjoined-panic errors through the outer `Result`; with std scoped
+    /// threads such a panic propagates as a panic instead, so the `Ok` arm
+    /// is the only one ever constructed here.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (kept for crossbeam API compatibility).
+    pub fn scope<'env, F, R>(f: F) -> std::result::Result<R, Box<dyn std::any::Any + Send>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|scope| {
+            let h = scope.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope");
+        assert_eq!(sum, 6);
+    }
+}

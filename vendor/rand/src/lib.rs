@@ -1,0 +1,348 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Mirrors the trait geometry of `rand` 0.8 for the slice of API this
+//! workspace uses: `RngCore` (object-safe, blanket-implemented for `&mut R`),
+//! the `Rng` extension trait (`gen`, `gen_range`, `gen_bool`, `fill`),
+//! `SeedableRng` with the SplitMix64-based `seed_from_u64`, and
+//! `rngs::mock::StepRng`. Distribution quality matches the real crate's
+//! conventions (floats uniform in `[0, 1)` from 53/24 random bits); the
+//! exact output streams are deterministic per seed but are not bit-compatible
+//! with crates.io `rand`, which is irrelevant here because every consumer of
+//! randomness lives inside this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Types samplable uniformly over their whole domain (rand's `Standard`).
+pub trait SampleValue: Sized {
+    /// Draw one value from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleValue for u8 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl SampleValue for u16 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+
+impl SampleValue for u32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleValue for u64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleValue for usize {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleValue for bool {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl SampleValue for f32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random bits → uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl SampleValue for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<const N: usize> SampleValue for [u8; N] {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::sample_from(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let u = f32::sample_from(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Rejection sampling over the widest zone that divides
+                // evenly, so the draw is exactly uniform.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Buffers fillable by [`Rng::fill`].
+pub trait Fill {
+    /// Fill `self` from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Convenience extension over [`RngCore`], as in rand 0.8.
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` over its standard distribution
+    /// (floats: uniform in `[0, 1)`).
+    fn gen<T: SampleValue>(&mut self) -> T {
+        T::sample_from(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_from(self) < p
+    }
+
+    /// Fill `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` by expanding it through SplitMix64 — the
+    /// same scheme rand 0.8 uses, so distinct small seeds land far apart.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Mock generators for tests and benches.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// Arithmetic-sequence generator: yields `initial`, then keeps
+        /// adding `increment` (wrapping), as in `rand::rngs::mock::StepRng`.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            state: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// New generator starting at `initial`.
+            #[must_use]
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self { state: initial, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let out = self.state;
+                self.state = self.state.wrapping_add(self.increment);
+                out
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::*;
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(5, 3);
+        assert_eq!(r.next_u64(), 5);
+        assert_eq!(r.next_u64(), 8);
+    }
+
+    #[test]
+    fn float_ranges_respected() {
+        let mut r = StepRng::new(0x0123_4567_89AB_CDEF, 0x9E37_79B9_7F4A_7C15);
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respected() {
+        let mut r = StepRng::new(1, 0x9E37_79B9_7F4A_7C15);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = r.gen_range(0u32..=65_535);
+            assert!(y <= 65_535);
+        }
+    }
+
+    #[test]
+    fn fill_covers_arrays_and_slices() {
+        let mut r = StepRng::new(0xFFFF_FFFF_FFFF_FFFF, 0);
+        let mut a = [0u8; 16];
+        r.fill(&mut a);
+        assert_eq!(a, [0xFF; 16]);
+        let mut v = vec![0u8; 5];
+        r.fill(v.as_mut_slice());
+        assert_eq!(v, vec![0xFF; 5]);
+    }
+
+    #[test]
+    fn dyn_rng_core_usable_through_rng_methods() {
+        let mut r = StepRng::new(9, 7);
+        let dynr: &mut dyn RngCore = &mut r;
+        let x: f64 = dynr.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds air-gapped; this shim supplies the `Serialize` /
+//! `Deserialize` names the sources import. The traits are empty markers and
+//! the derives (re-exported from the sibling `serde_derive` shim) expand to
+//! nothing — no code in the repo drives a serde serializer; on-disk trace
+//! persistence uses `psc_sca::codec` instead.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in an air-gapped environment, so the real crates.io
+//! dependency is replaced by this shim. Nothing in the repo ever invokes a
+//! serde `Serializer`/`Deserializer` (persistence goes through the custom
+//! binary codec in `psc-sca`), so the derives only need to be accepted, not
+//! expanded: both emit an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
