@@ -6,11 +6,42 @@
 //! the CPA hypothesis models in `psc-sca` consume as ground truth.
 
 use crate::key_schedule::{InvalidKeyLength, KeySchedule};
+use crate::sbox::SBOX;
 use crate::state::{
     add_round_key, inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns, shift_rows,
     sub_bytes, State,
 };
 use serde::{Deserialize, Serialize};
+
+/// `xtime` (multiplication by 2 in GF(2⁸)) for const table construction.
+const fn mul2(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1B)
+}
+
+/// Fused SubBytes+ShiftRows+MixColumns lookup tables (classic T-tables):
+/// `T0[x]` packs the MixColumns column `(2·S[x], S[x], S[x], 3·S[x])`
+/// big-endian; `T1..T3` are its byte rotations. 4 KB total, const-built
+/// from [`SBOX`], used only by the HW-profile fast path — the reference
+/// byte-oriented round functions in [`crate::state`] stay the ground truth.
+const fn t_table(shift: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let word = ((mul2(s) as u32) << 24)
+            | ((s as u32) << 16)
+            | ((s as u32) << 8)
+            | (mul2(s) ^ s) as u32;
+        t[i] = word.rotate_right(shift * 8);
+        i += 1;
+    }
+    t
+}
+
+static T0: [u32; 256] = t_table(0);
+static T1: [u32; 256] = t_table(1);
+static T2: [u32; 256] = t_table(2);
+static T3: [u32; 256] = t_table(3);
 
 /// Which transformation produced a recorded state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -23,6 +54,34 @@ pub enum AesOp {
     ShiftRows,
     /// State after MixColumns.
     MixColumns,
+}
+
+/// Observer invoked with every intermediate state of one encryption, in
+/// execution order — the same recording points, in the same order, as
+/// [`Aes::encrypt_traced`].
+///
+/// This is the allocation-free alternative to collecting an
+/// [`EncryptionTrace`]: instead of materializing a `Vec<RoundState>` and
+/// scanning it afterwards, a fused consumer (e.g. the leakage model's
+/// activity kernel) folds each state into its running result as the round
+/// functions produce it. `encrypt_traced` itself is implemented as an
+/// observer that records, so both paths share one definition of what gets
+/// observed and when.
+pub trait RoundObserver {
+    /// Called once per recorded state, immediately after the transformation
+    /// `op` of round `round` produced `state`.
+    fn observe(&mut self, round: u8, op: AesOp, state: &State);
+}
+
+/// Per-round Hamming weights of one encryption's AddRoundKey outputs (see
+/// [`Aes::round_hw_profile`]). `hw[r]` is meaningful for `r <= rounds`;
+/// the array is sized for AES-256's 14 rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundHwProfile {
+    /// `hw[r]` = Hamming weight of the round-`r` AddRoundKey output.
+    pub hw: [u32; 15],
+    /// Number of cipher rounds (`Nr`): 10/12/14.
+    pub rounds: usize,
 }
 
 /// One recorded intermediate state.
@@ -50,10 +109,51 @@ pub struct EncryptionTrace {
     pub states: Vec<RoundState>,
 }
 
+/// Index of (`round`, `op`) in the canonical state layout produced by
+/// [`Aes::encrypt_traced`]: round-0 AddRoundKey first, then four states per
+/// full round, then the three final-round states (no MixColumns).
+fn canonical_index(round: u8, op: AesOp, nr: u8) -> Option<usize> {
+    if round == 0 {
+        return (op == AesOp::AddRoundKey).then_some(0);
+    }
+    if round > nr {
+        return None;
+    }
+    let base = 1 + 4 * (usize::from(round) - 1);
+    let offset = if round < nr {
+        match op {
+            AesOp::SubBytes => 0,
+            AesOp::ShiftRows => 1,
+            AesOp::MixColumns => 2,
+            AesOp::AddRoundKey => 3,
+        }
+    } else {
+        match op {
+            AesOp::SubBytes => 0,
+            AesOp::ShiftRows => 1,
+            AesOp::AddRoundKey => 2,
+            AesOp::MixColumns => return None,
+        }
+    };
+    Some(base + offset)
+}
+
 impl EncryptionTrace {
     /// The state recorded for (`round`, `op`), if present.
+    ///
+    /// Traces produced by [`Aes::encrypt_traced`] have a fixed layout, so
+    /// the lookup is O(1) by computed index (verified against the entry, so
+    /// hand-built or truncated traces still resolve correctly via a scan).
     #[must_use]
     pub fn state(&self, round: u8, op: AesOp) -> Option<&State> {
+        let nr = self.states.last()?.round;
+        if let Some(idx) = canonical_index(round, op, nr) {
+            if let Some(rs) = self.states.get(idx) {
+                if rs.round == round && rs.op == op {
+                    return Some(&rs.state);
+                }
+            }
+        }
         self.states.iter().find(|s| s.round == round && s.op == op).map(|s| &s.state)
     }
 
@@ -148,37 +248,115 @@ impl Aes {
         s
     }
 
-    /// Encrypt one block while recording every intermediate state.
-    #[must_use]
-    pub fn encrypt_traced(&self, plaintext: &State) -> EncryptionTrace {
+    /// Encrypt one block, reporting every intermediate state to `observer`
+    /// as it is produced. Performs no heap allocation itself; the returned
+    /// state is the ciphertext.
+    pub fn encrypt_observed<O: RoundObserver>(&self, plaintext: &State, observer: &mut O) -> State {
         let nr = self.schedule.rounds();
-        let mut states = Vec::with_capacity(4 * nr + 1);
         let mut s = *plaintext;
 
         add_round_key(&mut s, self.schedule.round_key(0));
-        states.push(RoundState { round: 0, op: AesOp::AddRoundKey, state: s });
+        observer.observe(0, AesOp::AddRoundKey, &s);
 
         for r in 1..nr {
             let r8 = r as u8;
             sub_bytes(&mut s);
-            states.push(RoundState { round: r8, op: AesOp::SubBytes, state: s });
+            observer.observe(r8, AesOp::SubBytes, &s);
             shift_rows(&mut s);
-            states.push(RoundState { round: r8, op: AesOp::ShiftRows, state: s });
+            observer.observe(r8, AesOp::ShiftRows, &s);
             mix_columns(&mut s);
-            states.push(RoundState { round: r8, op: AesOp::MixColumns, state: s });
+            observer.observe(r8, AesOp::MixColumns, &s);
             add_round_key(&mut s, self.schedule.round_key(r));
-            states.push(RoundState { round: r8, op: AesOp::AddRoundKey, state: s });
+            observer.observe(r8, AesOp::AddRoundKey, &s);
         }
 
         let nr8 = nr as u8;
         sub_bytes(&mut s);
-        states.push(RoundState { round: nr8, op: AesOp::SubBytes, state: s });
+        observer.observe(nr8, AesOp::SubBytes, &s);
         shift_rows(&mut s);
-        states.push(RoundState { round: nr8, op: AesOp::ShiftRows, state: s });
+        observer.observe(nr8, AesOp::ShiftRows, &s);
         add_round_key(&mut s, self.schedule.round_key(nr));
-        states.push(RoundState { round: nr8, op: AesOp::AddRoundKey, state: s });
+        observer.observe(nr8, AesOp::AddRoundKey, &s);
+        s
+    }
 
-        EncryptionTrace { plaintext: *plaintext, ciphertext: s, states }
+    /// Hamming weights of every AddRoundKey output (rounds `0..=Nr`) of one
+    /// encryption — the only states the default (HW-only) leakage model
+    /// needs — computed with a fused, table-driven round function that
+    /// never materializes the SubBytes/ShiftRows/MixColumns intermediates
+    /// and performs no heap allocation.
+    ///
+    /// The AddRoundKey output states are computed exactly (T-tables are a
+    /// pure refactoring of the round algebra), so the profile equals the
+    /// per-round `hw_state` of [`Self::encrypt_traced`]'s AddRoundKey
+    /// entries; a test pins this for every key size.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // `r` indexes both `hw` and the key schedule
+    pub fn round_hw_profile(&self, plaintext: &State) -> RoundHwProfile {
+        #[inline]
+        fn col(bytes: &[u8; 16], c: usize) -> u32 {
+            u32::from_be_bytes([bytes[4 * c], bytes[4 * c + 1], bytes[4 * c + 2], bytes[4 * c + 3]])
+        }
+        #[inline]
+        fn hw4(c: &[u32; 4]) -> u32 {
+            c[0].count_ones() + c[1].count_ones() + c[2].count_ones() + c[3].count_ones()
+        }
+        #[inline]
+        fn b(w: u32, byte: u32) -> usize {
+            ((w >> (24 - 8 * byte)) & 0xFF) as usize
+        }
+
+        let nr = self.schedule.rounds();
+        let mut hw = [0u32; 15];
+
+        let k0 = self.schedule.round_key(0);
+        let mut c = [
+            col(plaintext, 0) ^ col(k0, 0),
+            col(plaintext, 1) ^ col(k0, 1),
+            col(plaintext, 2) ^ col(k0, 2),
+            col(plaintext, 3) ^ col(k0, 3),
+        ];
+        hw[0] = hw4(&c);
+
+        for r in 1..nr {
+            let k = self.schedule.round_key(r);
+            c = [
+                T0[b(c[0], 0)] ^ T1[b(c[1], 1)] ^ T2[b(c[2], 2)] ^ T3[b(c[3], 3)] ^ col(k, 0),
+                T0[b(c[1], 0)] ^ T1[b(c[2], 1)] ^ T2[b(c[3], 2)] ^ T3[b(c[0], 3)] ^ col(k, 1),
+                T0[b(c[2], 0)] ^ T1[b(c[3], 1)] ^ T2[b(c[0], 2)] ^ T3[b(c[1], 3)] ^ col(k, 2),
+                T0[b(c[3], 0)] ^ T1[b(c[0], 1)] ^ T2[b(c[1], 2)] ^ T3[b(c[2], 3)] ^ col(k, 3),
+            ];
+            hw[r] = hw4(&c);
+        }
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let s = |w: u32, byte: u32| u32::from(SBOX[b(w, byte)]);
+        let k = self.schedule.round_key(nr);
+        c = [
+            ((s(c[0], 0) << 24) | (s(c[1], 1) << 16) | (s(c[2], 2) << 8) | s(c[3], 3)) ^ col(k, 0),
+            ((s(c[1], 0) << 24) | (s(c[2], 1) << 16) | (s(c[3], 2) << 8) | s(c[0], 3)) ^ col(k, 1),
+            ((s(c[2], 0) << 24) | (s(c[3], 1) << 16) | (s(c[0], 2) << 8) | s(c[1], 3)) ^ col(k, 2),
+            ((s(c[3], 0) << 24) | (s(c[0], 1) << 16) | (s(c[1], 2) << 8) | s(c[2], 3)) ^ col(k, 3),
+        ];
+        hw[nr] = hw4(&c);
+
+        RoundHwProfile { hw, rounds: nr }
+    }
+
+    /// Encrypt one block while recording every intermediate state.
+    #[must_use]
+    pub fn encrypt_traced(&self, plaintext: &State) -> EncryptionTrace {
+        struct Recorder {
+            states: Vec<RoundState>,
+        }
+        impl RoundObserver for Recorder {
+            fn observe(&mut self, round: u8, op: AesOp, state: &State) {
+                self.states.push(RoundState { round, op, state: *state });
+            }
+        }
+        let mut recorder = Recorder { states: Vec::with_capacity(4 * self.schedule.rounds() + 1) };
+        let ciphertext = self.encrypt_observed(plaintext, &mut recorder);
+        EncryptionTrace { plaintext: *plaintext, ciphertext, states: recorder.states }
     }
 }
 
@@ -310,6 +488,68 @@ mod tests {
         // Final round has no MixColumns.
         assert!(trace.state(10, AesOp::MixColumns).is_none());
         assert!(trace.state(0, AesOp::SubBytes).is_none());
+    }
+
+    #[test]
+    fn observer_sees_exactly_the_traced_states() {
+        struct Collector(Vec<RoundState>);
+        impl RoundObserver for Collector {
+            fn observe(&mut self, round: u8, op: AesOp, state: &State) {
+                self.0.push(RoundState { round, op, state: *state });
+            }
+        }
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 13 + 1) as u8).collect();
+            let aes = Aes::new(&key).unwrap();
+            let pt = [0xC3u8; 16];
+            let mut collector = Collector(Vec::new());
+            let ct = aes.encrypt_observed(&pt, &mut collector);
+            let trace = aes.encrypt_traced(&pt);
+            assert_eq!(ct, trace.ciphertext);
+            assert_eq!(collector.0, trace.states);
+        }
+    }
+
+    #[test]
+    fn round_hw_profile_matches_traced_states() {
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 29 + 17) as u8).collect();
+            let aes = Aes::new(&key).unwrap();
+            for seed in 0u8..8 {
+                let pt: [u8; 16] =
+                    core::array::from_fn(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed ^ 3));
+                let profile = aes.round_hw_profile(&pt);
+                let trace = aes.encrypt_traced(&pt);
+                assert_eq!(profile.rounds, aes.schedule().rounds());
+                for r in 0..=profile.rounds {
+                    let state = trace.state(r as u8, AesOp::AddRoundKey).unwrap();
+                    let expected: u32 = state.iter().map(|&x| x.count_ones()).sum();
+                    assert_eq!(profile.hw[r], expected, "key_len {key_len} seed {seed} round {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_lookup_canonical_matches_scan() {
+        let aes = Aes::new(&[0x42u8; 16]).unwrap();
+        let trace = aes.encrypt_traced(&[0x5Au8; 16]);
+        for rs in &trace.states {
+            assert_eq!(trace.state(rs.round, rs.op), Some(&rs.state));
+        }
+    }
+
+    #[test]
+    fn state_lookup_survives_non_canonical_layout() {
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let mut trace = aes.encrypt_traced(&[1u8; 16]);
+        // A hand-mangled trace (e.g. filtered or reordered by a consumer)
+        // must still resolve via the fallback scan.
+        trace.states.retain(|s| s.op == AesOp::AddRoundKey);
+        for r in 0..=10u8 {
+            assert!(trace.state(r, AesOp::AddRoundKey).is_some(), "round {r}");
+        }
+        assert!(trace.state(5, AesOp::SubBytes).is_none());
     }
 
     #[test]

@@ -19,10 +19,31 @@
 //!
 //! Noise is *not* added here: the SoC/SMC layers own noise, quantization
 //! and averaging, mirroring where those effects live physically.
+//!
+//! ## Traced vs fused evaluation
+//!
+//! [`LeakageModel::activity`] — the hot path every simulated trace goes
+//! through — runs a **fused** kernel with zero heap allocation: under the
+//! default HW-only weights it evaluates [`Aes::round_hw_profile`] (a
+//! table-driven round function producing only the AddRoundKey-output
+//! Hamming weights); with an HD term enabled, an accumulator rides along
+//! [`Aes::encrypt_observed`] and folds every intermediate state inline.
+//! The **traced** path ([`LeakageModel::activity_traced`] /
+//! [`LeakageModel::activity_of_trace`]) materializes the full
+//! [`EncryptionTrace`] first and remains the ground truth the fused kernel
+//! is validated against.
+//!
+//! The contract between the paths is *bit-identical equality*. Every path
+//! accumulates the Hamming weights/distances into exact integer sums (one
+//! per weight component), then combines them with the f64 weights in one
+//! fixed-order expression — so `activity(pt)` ==
+//! `activity_of_trace(&encrypt_traced(pt))` to the last bit for every key,
+//! plaintext and weight profile. `tests/proptest_aes.rs` pins this.
 
-use crate::cipher::{Aes, AesOp, EncryptionTrace};
+use crate::cipher::{Aes, AesOp, EncryptionTrace, RoundObserver};
 use crate::hamming::{hd_state, hw_state};
 use crate::key_schedule::InvalidKeyLength;
+use crate::state::State;
 use serde::{Deserialize, Serialize};
 
 /// Weights of the deterministic leakage components.
@@ -83,6 +104,97 @@ impl LeakageWeights {
     }
 }
 
+/// The fused activity kernel: a [`RoundObserver`] that folds Hamming terms
+/// into exact integer sums as an encryption progresses, combining them
+/// into the weighted f64 activity only once, in [`Self::finish`].
+///
+/// Because integer addition is exact, every evaluation path that feeds the
+/// same Hamming weights — the fused table-driven profile, the observed
+/// encryption, and a replay of a recorded trace — reaches identical sums,
+/// and `finish()`'s single fixed-order weighted combination makes the
+/// final f64 bit-identical across all of them. Holding its state entirely
+/// on the stack, it makes [`LeakageModel::activity`] allocation-free.
+#[derive(Debug)]
+struct ActivityAccumulator<'w> {
+    weights: &'w LeakageWeights,
+    /// Number of cipher rounds (`Nr`) — decides which weight a given
+    /// AddRoundKey output receives.
+    nr: u8,
+    hw_round0: u32,
+    /// Σ HW over rounds `1..Nr` (the penultimate round also lands in
+    /// `hw_last_in`; weights stack, mirroring [`LeakageWeights`]).
+    hw_rounds: u32,
+    hw_last_in: u32,
+    hw_ciphertext: u32,
+    hd_sum: u32,
+    prev: State,
+    has_prev: bool,
+}
+
+impl<'w> ActivityAccumulator<'w> {
+    fn new(weights: &'w LeakageWeights, nr: u8) -> Self {
+        Self {
+            weights,
+            nr,
+            hw_round0: 0,
+            hw_rounds: 0,
+            hw_last_in: 0,
+            hw_ciphertext: 0,
+            hd_sum: 0,
+            prev: [0u8; 16],
+            has_prev: false,
+        }
+    }
+
+    /// Credit the Hamming weight of round `round`'s AddRoundKey output.
+    fn add_round_hw(&mut self, round: u8, hw: u32) {
+        if round == 0 {
+            self.hw_round0 += hw;
+        } else if round == self.nr {
+            self.hw_ciphertext += hw;
+        } else {
+            self.hw_rounds += hw;
+            if round == self.nr.wrapping_sub(1) {
+                self.hw_last_in += hw;
+            }
+        }
+    }
+
+    fn step(&mut self, round: u8, op: AesOp, state: &State) {
+        if self.weights.hd_consecutive != 0.0 {
+            if self.has_prev {
+                self.hd_sum += hd_state(&self.prev, state);
+            }
+            self.prev = *state;
+            self.has_prev = true;
+        }
+        if op == AesOp::AddRoundKey {
+            self.add_round_hw(round, hw_state(state));
+        }
+    }
+
+    /// The canonical weighted combination — the only place integer Hamming
+    /// sums meet f64 weights, so its operation order defines the activity
+    /// value for every evaluation path.
+    fn finish(&self) -> f64 {
+        let w = self.weights;
+        let mut acc = w.round0_addkey * f64::from(self.hw_round0);
+        acc += w.round_output * f64::from(self.hw_rounds);
+        acc += w.last_round_input * f64::from(self.hw_last_in);
+        acc += w.ciphertext * f64::from(self.hw_ciphertext);
+        if w.hd_consecutive != 0.0 {
+            acc += w.hd_consecutive * f64::from(self.hd_sum);
+        }
+        acc
+    }
+}
+
+impl RoundObserver for ActivityAccumulator<'_> {
+    fn observe(&mut self, round: u8, op: AesOp, state: &State) {
+        self.step(round, op, state);
+    }
+}
+
 /// Deterministic data-dependent activity model for AES encryptions.
 ///
 /// # Examples
@@ -136,7 +248,9 @@ impl LeakageModel {
     }
 
     /// Deterministic switching activity (arbitrary units) of encrypting
-    /// `plaintext` once, together with the trace it was derived from.
+    /// `plaintext` once, together with the trace it was derived from. This
+    /// is the ground-truth (traced) path; prefer [`Self::activity`] when
+    /// the trace itself is not needed.
     #[must_use]
     pub fn activity_traced(&self, plaintext: &[u8; 16]) -> (f64, EncryptionTrace) {
         let trace = self.aes.encrypt_traced(plaintext);
@@ -144,42 +258,40 @@ impl LeakageModel {
     }
 
     /// Deterministic switching activity of encrypting `plaintext` once.
+    ///
+    /// Runs the fused kernel with zero heap allocation. Under the default
+    /// HW-only weights (`hd_consecutive == 0`), the table-driven
+    /// [`Aes::round_hw_profile`] computes only the AddRoundKey-output
+    /// Hamming weights the model consumes; with an HD term, the full
+    /// observed encryption ([`Aes::encrypt_observed`]) feeds every
+    /// intermediate state through the same accumulator. Either way the
+    /// result equals the traced computation bit for bit (module docs
+    /// explain the contract).
     #[must_use]
     pub fn activity(&self, plaintext: &[u8; 16]) -> f64 {
-        self.activity_traced(plaintext).0
+        let nr = self.aes.schedule().rounds() as u8;
+        let mut acc = ActivityAccumulator::new(&self.weights, nr);
+        if self.weights.hd_consecutive == 0.0 {
+            let profile = self.aes.round_hw_profile(plaintext);
+            for (r, &hw) in profile.hw.iter().enumerate().take(profile.rounds + 1) {
+                acc.add_round_hw(r as u8, hw);
+            }
+        } else {
+            self.aes.encrypt_observed(plaintext, &mut acc);
+        }
+        acc.finish()
     }
 
-    /// Activity of an already-recorded trace.
+    /// Activity of an already-recorded trace (the ground-truth computation
+    /// the fused kernel is pinned against).
     #[must_use]
     pub fn activity_of_trace(&self, trace: &EncryptionTrace) -> f64 {
         let nr = trace.states.last().map_or(0, |s| s.round);
-        let mut activity = 0.0;
-
+        let mut acc = ActivityAccumulator::new(&self.weights, nr);
         for rs in &trace.states {
-            if rs.op != AesOp::AddRoundKey {
-                continue;
-            }
-            let hw = f64::from(hw_state(&rs.state));
-            if rs.round == 0 {
-                activity += self.weights.round0_addkey * hw;
-            } else if rs.round == nr {
-                activity += self.weights.ciphertext * hw;
-            } else {
-                activity += self.weights.round_output * hw;
-                if rs.round == nr - 1 {
-                    activity += self.weights.last_round_input * hw;
-                }
-            }
+            acc.step(rs.round, rs.op, &rs.state);
         }
-
-        if self.weights.hd_consecutive != 0.0 {
-            for pair in trace.states.windows(2) {
-                activity += self.weights.hd_consecutive
-                    * f64::from(hd_state(&pair[0].state, &pair[1].state));
-            }
-        }
-
-        activity
+        acc.finish()
     }
 
     /// The maximum possible activity under these weights (all tracked states
@@ -269,6 +381,24 @@ mod tests {
         assert_eq!(a, m.activity_of_trace(&trace));
         assert_eq!(trace.plaintext, pt);
         assert_eq!(trace.ciphertext, m.cipher().encrypt_block(&pt));
+    }
+
+    #[test]
+    fn fused_equals_traced_bit_for_bit() {
+        for hd in [0.0, 0.2] {
+            let weights = LeakageWeights::default().with_hd(hd);
+            for key_len in [16usize, 24, 32] {
+                let key: Vec<u8> = (0..key_len).map(|i| (i * 11 + 5) as u8).collect();
+                let m = LeakageModel::with_weights(&key, weights).unwrap();
+                for s in 0u8..8 {
+                    let pt: [u8; 16] =
+                        core::array::from_fn(|i| (i as u8).wrapping_mul(s).wrapping_add(7));
+                    let (traced, trace) = m.activity_traced(&pt);
+                    assert_eq!(m.activity(&pt).to_bits(), traced.to_bits(), "hd={hd} s={s}");
+                    assert_eq!(m.activity_of_trace(&trace).to_bits(), traced.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Pins the zero-allocation guarantee of the fused leakage kernel.
+//!
+//! `LeakageModel::activity` is the per-trace hot path of every simulated
+//! campaign; this test swaps in a counting global allocator and asserts
+//! that, after warm-up, fused activity evaluation performs **zero** heap
+//! allocations per call — while the traced path demonstrably allocates.
+//! The counter is thread-local so the harness running other tests (or its
+//! own machinery) in parallel threads cannot perturb a measurement.
+
+use psc_aes::leakage::{LeakageModel, LeakageWeights};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // `const` initialization keeps the TLS access itself allocation-free,
+    // so touching it from inside `alloc` cannot recurse.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation unchanged to the system allocator; the
+// counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations made by *this thread* while `f` runs.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn fused_activity_is_allocation_free() {
+    for weights in [LeakageWeights::default(), LeakageWeights::default().with_hd(0.2)] {
+        let model = LeakageModel::with_weights(&[0x2Bu8; 16], weights).unwrap();
+        let pt = [0xA5u8; 16];
+        // Warm-up outside the measured section.
+        let expected = model.activity(&pt);
+        let mut last = 0.0;
+        let count = allocations_during(|| {
+            for _ in 0..64 {
+                last = model.activity(&pt);
+            }
+        });
+        assert_eq!(count, 0, "fused activity must not touch the heap");
+        assert_eq!(last.to_bits(), expected.to_bits());
+    }
+}
+
+#[test]
+fn traced_activity_allocates_its_trace() {
+    let model = LeakageModel::new(&[0x2Bu8; 16]).unwrap();
+    let pt = [0xA5u8; 16];
+    let count = allocations_during(|| {
+        let _ = model.activity_traced(&pt);
+    });
+    assert!(count >= 1, "the traced path materializes a Vec<RoundState>");
+}

@@ -97,6 +97,31 @@ proptest! {
     }
 
     #[test]
+    fn fused_activity_matches_traced_bit_for_bit(
+        key in key_strategy(),
+        pt in any::<[u8; 16]>(),
+        round0 in 0.0f64..4.0,
+        round_out in 0.0f64..4.0,
+        last_in in 0.0f64..4.0,
+        ct in 0.0f64..4.0,
+        hd in prop_oneof![(0.0f64..2.0).prop_map(|_| 0.0), 1e-3f64..2.0],
+    ) {
+        let weights = LeakageWeights {
+            round0_addkey: round0,
+            round_output: round_out,
+            last_round_input: last_in,
+            ciphertext: ct,
+            hd_consecutive: hd,
+        };
+        let model = LeakageModel::with_weights(&key, weights).unwrap();
+        let (traced, trace) = model.activity_traced(&pt);
+        // The fused kernel and the trace replay share one summation order,
+        // so equality is exact — not within an epsilon.
+        prop_assert_eq!(model.activity(&pt).to_bits(), traced.to_bits());
+        prop_assert_eq!(model.activity_of_trace(&trace).to_bits(), traced.to_bits());
+    }
+
+    #[test]
     fn leakage_monotone_in_uniform_weight(
         key in proptest::collection::vec(any::<u8>(), 16),
         pt in any::<[u8; 16]>(),

@@ -84,9 +84,10 @@ fn spawn_aes_threads_boosted(
     let plaintext = shared_plaintext([0u8; 16]);
     let base = AesSignal::default();
     let signal = AesSignal { w_per_unit: base.w_per_unit * signal_boost, ..base };
+    // One workload cloned per thread: replicas share the activity memo.
+    let workload = AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), signal);
     for i in 0..count {
-        let w = AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), signal);
-        soc.spawn(format!("aes-{i}"), SchedAttrs::realtime_p_core(), Box::new(w));
+        soc.spawn(format!("aes-{i}"), SchedAttrs::realtime_p_core(), Box::new(workload.clone()));
     }
     plaintext
 }

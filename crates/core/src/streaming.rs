@@ -14,6 +14,7 @@
 
 use crate::rig::{Device, Observation, Rig};
 use crate::victim::VictimKind;
+use psc_sca::cpa::HypTable;
 use psc_sca::model::PowerModel;
 use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
 use psc_smc::{MitigationConfig, SmcKey};
@@ -314,6 +315,10 @@ pub fn stream_known_plaintext_with(
 ) -> StreamingCpaReport {
     let counts = split_counts(n, shards);
     let model_factory = &model_factory;
+    // One guess-major hypothesis table for the whole campaign: shards (and
+    // channels within a shard) clone the Arc instead of recomputing the
+    // 512 KB table per accumulator.
+    let hyp_table = std::sync::Arc::new(HypTable::for_model(model_factory().as_ref()));
     let results = run_sharded(shards, |i| {
         let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
         let count = counts[i];
@@ -341,8 +346,11 @@ pub fn stream_known_plaintext_with(
                     );
                 }
             });
-            let mut cpa =
-                StreamingCpa::new(consumer_keys.iter().map(|&k| ChannelId::Smc(k)), model_factory);
+            let mut cpa = StreamingCpa::with_table(
+                consumer_keys.iter().map(|&k| ChannelId::Smc(k)),
+                model_factory,
+                std::sync::Arc::clone(&hyp_table),
+            );
             let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
             let mut pump = Pump::new();
             pump.attach(&mut cpa);

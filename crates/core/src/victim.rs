@@ -96,15 +96,18 @@ impl AesVictim {
                 + kind.syscall_noise_sigma_w().powi(2))
             .sqrt(),
         };
+        // Replicas are clones of one workload, so all victim threads share
+        // the per-plaintext activity memo: the fused leakage kernel runs
+        // once per window input, not once per thread.
+        let workload =
+            AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), effective);
         let thread_ids = (0..threads)
             .map(|i| {
-                let workload =
-                    AesWorkload::with_signal(Arc::clone(&model), Arc::clone(&plaintext), effective);
                 let name = match kind {
                     VictimKind::UserSpace => format!("victim-user-{i}"),
                     VictimKind::KernelModule => format!("victim-kext-{i}"),
                 };
-                soc.spawn(name, SchedAttrs::realtime_p_core(), Box::new(workload))
+                soc.spawn(name, SchedAttrs::realtime_p_core(), Box::new(workload.clone()))
             })
             .collect();
         Self { kind, aes, secret_key: key, plaintext, thread_ids }

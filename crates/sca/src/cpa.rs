@@ -20,11 +20,61 @@
 
 use crate::model::PowerModel;
 use crate::trace::{Trace, TraceSet};
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Bin {
     count: u64,
     sum_t: f64,
+}
+
+/// Precomputed hypothesis table for one power model, in **guess-major**
+/// layout: `row(g)[v]` is the hypothetical leakage of input byte `v` under
+/// guess `g`.
+///
+/// The table is 256 × 256 f64 (512 KB) — expensive to rebuild and identical
+/// for every [`Cpa`] instance of the same model, so build it once per model
+/// ([`HypTable::for_model`]) and share it via `Arc` across channels and
+/// shards ([`Cpa::with_table`]). Guess-major rows also make
+/// [`Cpa::correlations`] walk memory with unit stride (the inner loop runs
+/// over `v` for a fixed `g`), instead of the 2 KB strides a value-major
+/// `hyp[v][g]` layout forces.
+pub struct HypTable {
+    model_name: &'static str,
+    /// `rows[g][v]`.
+    rows: Vec<[f64; 256]>,
+}
+
+impl HypTable {
+    /// Build the table for `model`.
+    #[must_use]
+    pub fn for_model(model: &dyn PowerModel) -> Self {
+        let mut rows = vec![[0.0f64; 256]; 256];
+        for (g, row) in rows.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
+                *cell = model.hypothesis_value(v as u8, g as u8);
+            }
+        }
+        Self { model_name: model.name(), rows }
+    }
+
+    /// Name of the model this table was built for.
+    #[must_use]
+    pub fn model_name(&self) -> &'static str {
+        self.model_name
+    }
+
+    /// The 256 hypothesis values of `guess`, indexed by input byte.
+    #[must_use]
+    pub fn row(&self, guess: u8) -> &[f64; 256] {
+        &self.rows[guess as usize]
+    }
+}
+
+impl core::fmt::Debug for HypTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HypTable").field("model_name", &self.model_name).finish_non_exhaustive()
+    }
 }
 
 /// Attempted to merge CPA accumulators built for different power models.
@@ -48,8 +98,8 @@ impl std::error::Error for CpaMergeError {}
 #[derive(Debug)]
 pub struct Cpa {
     model: Box<dyn PowerModel>,
-    /// `hyp[v][g]`: hypothesis for input byte `v` under guess `g`.
-    hyp: Vec<[f64; 256]>,
+    /// Shared guess-major hypothesis table (see [`HypTable`]).
+    table: Arc<HypTable>,
     /// Per key byte, per input-byte value.
     bins: Vec<[Bin; 256]>,
     n: u64,
@@ -58,16 +108,37 @@ pub struct Cpa {
 }
 
 impl Cpa {
-    /// New accumulator for `model`.
+    /// New accumulator for `model`, building a private hypothesis table.
+    /// When many accumulators share one model (per-channel, per-shard),
+    /// prefer [`Self::with_table`] with one [`HypTable`] built up front.
     #[must_use]
     pub fn new(model: Box<dyn PowerModel>) -> Self {
-        let mut hyp = vec![[0.0f64; 256]; 256];
-        for (v, row) in hyp.iter_mut().enumerate() {
-            for (g, cell) in row.iter_mut().enumerate() {
-                *cell = model.hypothesis_value(v as u8, g as u8);
-            }
-        }
-        Self { model, hyp, bins: vec![[Bin::default(); 256]; 16], n: 0, sum_t: 0.0, sum_tt: 0.0 }
+        let table = Arc::new(HypTable::for_model(model.as_ref()));
+        Self::with_table(model, table)
+    }
+
+    /// New accumulator reusing a prebuilt hypothesis table, skipping the
+    /// 512 KB table construction of [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different model than `model` —
+    /// correlating against a foreign table would silently produce garbage.
+    #[must_use]
+    pub fn with_table(model: Box<dyn PowerModel>, table: Arc<HypTable>) -> Self {
+        assert_eq!(
+            model.name(),
+            table.model_name(),
+            "hypothesis table model mismatch: accumulator model vs table model"
+        );
+        Self { model, table, bins: vec![[Bin::default(); 256]; 16], n: 0, sum_t: 0.0, sum_tt: 0.0 }
+    }
+
+    /// The hypothesis table, shareable with further accumulators of the
+    /// same model (clone the `Arc`, not the table).
+    #[must_use]
+    pub fn shared_table(&self) -> &Arc<HypTable> {
+        &self.table
     }
 
     /// The model in use.
@@ -155,14 +226,16 @@ impl Cpa {
             return out;
         }
         for (g, r) in out.iter_mut().enumerate() {
+            // Guess-major row: the inner loop reads `row[v]` with unit
+            // stride alongside the bin array.
+            let row = self.table.row(g as u8);
             let mut sum_h = 0.0;
             let mut sum_hh = 0.0;
             let mut sum_ht = 0.0;
-            for (v, bin) in bins.iter().enumerate() {
+            for (bin, &h) in bins.iter().zip(row.iter()) {
                 if bin.count == 0 {
                     continue;
                 }
-                let h = self.hyp[v][g];
                 sum_h += bin.count as f64 * h;
                 sum_hh += bin.count as f64 * h * h;
                 sum_ht += bin.sum_t * h;
@@ -187,13 +260,23 @@ impl Cpa {
     }
 
     /// 1-based rank of `true_byte` among all guesses for `byte_index`.
+    ///
+    /// Counts the guesses ordered strictly ahead of `true_byte` under the
+    /// [`Self::ranked_guesses`] ordering (descending signed correlation,
+    /// ties broken by ascending guess) — no 256-entry sort or allocation.
     #[must_use]
     pub fn rank_of(&self, byte_index: usize, true_byte: u8) -> usize {
-        self.ranked_guesses(byte_index)
-            .iter()
-            .position(|&g| g == true_byte)
-            .expect("every byte value appears exactly once")
-            + 1
+        let corr = self.correlations(byte_index);
+        let target = corr[true_byte as usize];
+        let mut rank = 1;
+        for (g, c) in corr.iter().enumerate() {
+            match c.total_cmp(&target) {
+                core::cmp::Ordering::Greater => rank += 1,
+                core::cmp::Ordering::Equal if (g as u8) < true_byte => rank += 1,
+                _ => {}
+            }
+        }
+        rank
     }
 
     /// Ranks of all 16 bytes of `true_round_key` (the round key matching
@@ -203,12 +286,19 @@ impl Cpa {
         core::array::from_fn(|b| self.rank_of(b, true_round_key[b]))
     }
 
-    /// The best guess and its correlation for one byte.
+    /// The best guess and its correlation for one byte. Single
+    /// [`Self::correlations`] evaluation, scanned with the
+    /// [`Self::ranked_guesses`] ordering (first on ties).
     #[must_use]
     pub fn best_guess(&self, byte_index: usize) -> (u8, f64) {
         let corr = self.correlations(byte_index);
-        let g = self.ranked_guesses(byte_index)[0];
-        (g, corr[g as usize])
+        let mut best = 0usize;
+        for (g, c) in corr.iter().enumerate().skip(1) {
+            if c.total_cmp(&corr[best]) == core::cmp::Ordering::Greater {
+                best = g;
+            }
+        }
+        (best as u8, corr[best])
     }
 }
 
@@ -357,6 +447,66 @@ mod tests {
                 assert!((1..=256).contains(&rank));
             }
         }
+    }
+
+    #[test]
+    fn shared_table_matches_private_table_exactly() {
+        let key = [0x6Bu8; 16];
+        let set = synthetic_rd0_traces(&key, 600);
+        let mut private = Cpa::new(Box::new(Rd0Hw));
+        private.add_set(&set);
+        let table = std::sync::Arc::clone(private.shared_table());
+        let mut shared = Cpa::with_table(Box::new(Rd0Hw), table);
+        shared.add_set(&set);
+        for b in 0..16 {
+            let pc = private.correlations(b);
+            let sc = shared.correlations(b);
+            for g in 0..256 {
+                assert_eq!(pc[g].to_bits(), sc[g].to_bits(), "byte {b} guess {g}");
+            }
+        }
+        assert_eq!(private.ranks(&key), shared.ranks(&key));
+    }
+
+    #[test]
+    #[should_panic(expected = "hypothesis table model mismatch")]
+    fn foreign_table_is_rejected() {
+        let table = std::sync::Arc::new(HypTable::for_model(&Rd0Hw));
+        let _ = Cpa::with_table(Box::new(Rd10Hw), table);
+    }
+
+    #[test]
+    fn rank_of_matches_sorted_position() {
+        let key = [0x21u8; 16];
+        let set = synthetic_rd0_traces(&key, 400);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        for b in [0usize, 5, 15] {
+            let order = cpa.ranked_guesses(b);
+            for probe in [0u8, 0x21, 0x80, 255] {
+                let sorted_rank = order.iter().position(|&g| g == probe).unwrap() + 1;
+                assert_eq!(cpa.rank_of(b, probe), sorted_rank, "byte {b} probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_guess_matches_top_ranked() {
+        let key = [0x99u8; 16];
+        let set = synthetic_rd0_traces(&key, 400);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        for b in 0..16 {
+            let (g, r) = cpa.best_guess(b);
+            assert_eq!(g, cpa.ranked_guesses(b)[0]);
+            assert_eq!(r, cpa.correlation(b, g));
+        }
+        // Tie behaviour (empty accumulator → all-zero correlations): the
+        // lowest guess wins, matching ranked_guesses' tie-break.
+        let empty = Cpa::new(Box::new(Rd0Hw));
+        assert_eq!(empty.best_guess(3).0, 0);
+        assert_eq!(empty.rank_of(3, 0), 1);
+        assert_eq!(empty.rank_of(3, 255), 256);
     }
 
     #[test]

@@ -31,6 +31,17 @@ impl PlaintextClass {
     pub const ALL: [PlaintextClass; 3] =
         [PlaintextClass::AllZeros, PlaintextClass::AllOnes, PlaintextClass::Random];
 
+    /// Position of this class in [`Self::ALL`] — constant-time, for direct
+    /// indexing of per-class accumulator arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            PlaintextClass::AllZeros => 0,
+            PlaintextClass::AllOnes => 1,
+            PlaintextClass::Random => 2,
+        }
+    }
+
     /// The label used in the paper's tables.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -335,17 +346,13 @@ impl TvlaAccumulator {
     ///
     /// Panics if `pass > 1`.
     pub fn push(&mut self, pass: usize, class: PlaintextClass, value: f64) {
-        let class_idx =
-            PlaintextClass::ALL.iter().position(|c| *c == class).expect("ALL contains every class");
-        self.moments[pass][class_idx].push(value);
+        self.moments[pass][class.index()].push(value);
     }
 
     /// Observations accumulated for (`pass`, `class`).
     #[must_use]
     pub fn count(&self, pass: usize, class: PlaintextClass) -> u64 {
-        let class_idx =
-            PlaintextClass::ALL.iter().position(|c| *c == class).expect("ALL contains every class");
-        self.moments[pass][class_idx].count()
+        self.moments[pass][class.index()].count()
     }
 
     /// Total observations across all six datasets.
@@ -500,6 +507,13 @@ mod tests {
         assert!(text.contains("All 0s"));
         assert!(text.contains("Random"));
         assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, class) in PlaintextClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
     }
 
     #[test]

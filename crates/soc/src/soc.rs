@@ -485,9 +485,9 @@ mod tests {
     fn spawn_aes_threads(soc: &mut Soc, n: usize) -> crate::workload::SharedPlaintext {
         let model = Arc::new(LeakageModel::new(&[0x11u8; 16]).unwrap());
         let pt = shared_plaintext([0u8; 16]);
+        let w = AesWorkload::new(Arc::clone(&model), Arc::clone(&pt));
         for i in 0..n {
-            let w = AesWorkload::new(Arc::clone(&model), Arc::clone(&pt));
-            soc.spawn(format!("aes{i}"), SchedAttrs::realtime_p_core(), Box::new(w));
+            soc.spawn(format!("aes{i}"), SchedAttrs::realtime_p_core(), Box::new(w.clone()));
         }
         pt
     }

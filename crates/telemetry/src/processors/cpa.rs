@@ -2,10 +2,11 @@
 
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
-use psc_sca::cpa::{Cpa, CpaMergeError};
+use psc_sca::cpa::{Cpa, CpaMergeError, HypTable};
 use psc_sca::model::PowerModel;
 use psc_sca::trace::Trace;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Streaming CPA over a fixed set of channels. Each channel gets its own
 /// [`Cpa`] accumulator (256-bin running sums per key byte — memory is
@@ -21,14 +22,36 @@ pub struct StreamingCpa {
 
 impl StreamingCpa {
     /// New processor correlating `channels`, each under a fresh model from
-    /// `model_factory`.
+    /// `model_factory`. The 512 KB hypothesis table is built **once** and
+    /// shared across all channels; sharded drivers that already hold a
+    /// table should use [`Self::with_table`] to share it across shards too.
     #[must_use]
     pub fn new(
         channels: impl IntoIterator<Item = ChannelId>,
         model_factory: impl Fn() -> Box<dyn PowerModel>,
     ) -> Self {
+        let table = Arc::new(HypTable::for_model(model_factory().as_ref()));
+        Self::with_table(channels, model_factory, table)
+    }
+
+    /// As [`Self::new`], reusing a prebuilt hypothesis table instead of
+    /// recomputing it per processor (and hence per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was built for a different model than the ones
+    /// `model_factory` yields (see [`Cpa::with_table`]).
+    #[must_use]
+    pub fn with_table(
+        channels: impl IntoIterator<Item = ChannelId>,
+        model_factory: impl Fn() -> Box<dyn PowerModel>,
+        table: Arc<HypTable>,
+    ) -> Self {
         Self {
-            cpas: channels.into_iter().map(|c| (c, Cpa::new(model_factory()))).collect(),
+            cpas: channels
+                .into_iter()
+                .map(|c| (c, Cpa::with_table(model_factory(), Arc::clone(&table))))
+                .collect(),
             current: None,
             unregistered_samples: 0,
             orphan_samples: 0,
@@ -203,6 +226,39 @@ mod tests {
                     (w.correlation(b_idx, g) - m.correlation(b_idx, g)).abs() < 1e-9,
                     "byte {b_idx} guess {g}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn channels_share_one_hypothesis_table() {
+        let p = StreamingCpa::new([ChannelId::Pcpu, ChannelId::Timing], || Box::new(Rd0Hw));
+        let a = p.cpa(ChannelId::Pcpu).unwrap().shared_table();
+        let b = p.cpa(ChannelId::Timing).unwrap().shared_table();
+        assert!(std::sync::Arc::ptr_eq(a, b), "one table per processor, not per channel");
+    }
+
+    #[test]
+    fn with_table_matches_new_exactly() {
+        let key = [0x44u8; 16];
+        let set = synthetic(&key, 500, 9);
+        let table = std::sync::Arc::new(psc_sca::cpa::HypTable::for_model(&Rd0Hw));
+        let mut shared = StreamingCpa::with_table(
+            [ChannelId::Pcpu],
+            || Box::new(Rd0Hw),
+            std::sync::Arc::clone(&table),
+        );
+        let mut fresh = StreamingCpa::new([ChannelId::Pcpu], || Box::new(Rd0Hw));
+        feed(&mut shared, &set);
+        feed(&mut fresh, &set);
+        let s = shared.cpa(ChannelId::Pcpu).unwrap();
+        let f = fresh.cpa(ChannelId::Pcpu).unwrap();
+        assert!(std::sync::Arc::ptr_eq(s.shared_table(), &table));
+        for b in 0..16 {
+            let sc = s.correlations(b);
+            let fc = f.correlations(b);
+            for g in 0..256 {
+                assert_eq!(sc[g].to_bits(), fc[g].to_bits(), "byte {b} guess {g}");
             }
         }
     }
