@@ -15,49 +15,14 @@
 
 use criterion::black_box;
 use psc_aes::leakage::LeakageModel;
+use psc_bench::measure::{json_field, json_header, measure_ns, write_artifact};
 use psc_sca::cpa::{Cpa, HypTable};
 use psc_sca::model::Rd0Hw;
 use psc_sca::trace::Trace;
 use psc_soc::workload::{shared_plaintext, AesWorkload};
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-const SAMPLES: usize = 9;
-
-fn budget() -> Duration {
-    let ms = std::env::var("PSC_BENCH_BUDGET_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(300);
-    Duration::from_millis(ms.max(1))
-}
-
-/// Median ns/iter over [`SAMPLES`] samples whose iteration counts fit the
-/// per-kernel time budget (one estimation pass picks the count).
-fn measure_ns(name: &str, mut f: impl FnMut()) -> f64 {
-    let start = Instant::now();
-    f();
-    let est = start.elapsed().max(Duration::from_nanos(1));
-    let per_sample = budget().as_nanos() / SAMPLES as u128;
-    let iters = (per_sample / est.as_nanos()).clamp(1, 4_000_000) as u64;
-
-    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    per_iter.sort_by(f64::total_cmp);
-    let median = per_iter[SAMPLES / 2];
-    println!("leakage_kernels/{name:<42} median: {median:>12.1} ns/iter  ({iters} iters)");
-    median
-}
-
-fn json_field(out: &mut String, key: &str, value: f64) {
-    out.push_str(&format!("  \"{key}\": {value:.3},\n"));
-}
+const BENCH: &str = "leakage_kernels";
 
 fn main() {
     let key = [0x2Bu8; 16];
@@ -65,24 +30,24 @@ fn main() {
     let pt = [0xA5u8; 16];
 
     // --- Activity kernels -------------------------------------------------
-    let traced = measure_ns("activity/traced", || {
+    let traced = measure_ns(BENCH, "activity/traced", || {
         black_box(model.activity_traced(black_box(&pt)).0);
     });
-    let fused = measure_ns("activity/fused", || {
+    let fused = measure_ns(BENCH, "activity/fused", || {
         black_box(model.activity(black_box(&pt)));
     });
     let shared_pt = shared_plaintext(pt);
     let workload = AesWorkload::new(Arc::new(model), Arc::clone(&shared_pt));
-    let memoized = measure_ns("activity/memoized_workload", || {
+    let memoized = measure_ns(BENCH, "activity/memoized_workload", || {
         black_box(workload.deterministic_signal_w());
     });
 
     // --- CPA table construction ------------------------------------------
-    let table_rebuild = measure_ns("cpa/accumulator_rebuilt_table", || {
+    let table_rebuild = measure_ns(BENCH, "cpa/accumulator_rebuilt_table", || {
         black_box(Cpa::new(Box::new(Rd0Hw)));
     });
     let table = Arc::new(HypTable::for_model(&Rd0Hw));
-    let table_shared = measure_ns("cpa/accumulator_shared_table", || {
+    let table_shared = measure_ns(BENCH, "cpa/accumulator_shared_table", || {
         black_box(Cpa::with_table(Box::new(Rd0Hw), Arc::clone(&table)));
     });
 
@@ -100,7 +65,7 @@ fn main() {
         let value = f64::from(trace_pt.iter().map(|&x| x.count_ones()).sum::<u32>());
         cpa.add_trace(&Trace { value, plaintext: trace_pt, ciphertext: trace_pt });
     }
-    let correlations = measure_ns("cpa/correlations_one_byte", || {
+    let correlations = measure_ns(BENCH, "cpa/correlations_one_byte", || {
         black_box(cpa.correlations(black_box(0)));
     });
 
@@ -113,15 +78,7 @@ fn main() {
     println!("shared vs rebuilt CPA table:     {table_speedup:.2}x");
 
     // --- BENCH_leakage.json ----------------------------------------------
-    let out_path = std::env::var("PSC_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_leakage.json", env!("CARGO_MANIFEST_DIR")));
-    let epoch_s = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
-    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"leakage_kernels\",\n");
-    json.push_str(&format!("  \"unix_time_s\": {epoch_s},\n"));
-    json.push_str(&format!("  \"cpus\": {cpus},\n"));
-    json.push_str(&format!("  \"budget_ms\": {},\n", budget().as_millis()));
+    let mut json = json_header(BENCH);
     json_field(&mut json, "traced_activity_ns", traced);
     json_field(&mut json, "fused_activity_ns", fused);
     json_field(&mut json, "memoized_workload_signal_ns", memoized);
@@ -131,9 +88,7 @@ fn main() {
     json_field(&mut json, "cpa_accumulator_shared_table_ns", table_shared);
     json_field(&mut json, "shared_table_speedup", table_speedup);
     json_field(&mut json, "cpa_correlations_one_byte_ns", correlations);
-    // Trim the trailing comma to stay valid JSON.
-    json.truncate(json.len() - 2);
-    json.push_str("\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_leakage.json");
-    println!("\nwrote {out_path}");
+    let out =
+        write_artifact(json, &format!("{}/../../BENCH_leakage.json", env!("CARGO_MANIFEST_DIR")));
+    println!("\nwrote {out}");
 }

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod measure;
+
 use psc_core::experiments::ExperimentConfig;
 
 /// The configuration repro binaries run with: environment-scaled defaults.

@@ -7,7 +7,7 @@
 //! drivers live in [`crate::streaming`]; use those for large campaigns.
 
 use crate::rig::{Device, Rig};
-use crate::streaming::emit_observation;
+use crate::streaming::{emit_observation, OBS_CHUNK};
 use crate::victim::VictimKind;
 use psc_sca::trace::TraceSet;
 use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
@@ -53,9 +53,11 @@ pub struct TvlaCampaign {
 /// `traces_per_class` windows with the class plaintext loaded into the
 /// victim, logging every requested SMC key and the `PCPU` channel.
 ///
-/// Thin wrapper over the telemetry pipeline: events are dispatched
-/// inline to a retaining [`DatasetCollector`], so the returned vectors
-/// are identical to the historical batch implementation.
+/// Thin wrapper over the telemetry pipeline: plaintexts go through the
+/// batched [`Rig::observe_windows`] path in [`OBS_CHUNK`]-sized slices
+/// and events are dispatched inline to a retaining [`DatasetCollector`],
+/// so the returned vectors are identical to the historical per-window
+/// batch implementation.
 pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize) -> TvlaCampaign {
     let mut collector = DatasetCollector::new();
     let mut denied_total: u64 = 0;
@@ -63,24 +65,29 @@ pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize
         let mut pump = Pump::new();
         pump.attach(&mut collector);
         let mut seq = 0u64;
+        let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
         for pass in 0..2u8 {
             for class in PlaintextClass::ALL {
-                for _ in 0..traces_per_class {
-                    let pt = class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
-                    let before_s = rig.soc.time_s();
-                    let obs = rig.observe_window(pt, keys);
-                    let denied = emit_observation(
-                        &mut |event| pump.dispatch(&event),
-                        seq,
-                        pass,
-                        Some(class),
-                        &obs,
-                        before_s,
-                        rig.soc.time_s(),
-                        rig.window_s(),
-                    );
-                    denied_total += u64::from(denied);
-                    seq += 1;
+                let mut remaining = traces_per_class;
+                while remaining > 0 {
+                    let take = remaining.min(OBS_CHUNK);
+                    pts.clear();
+                    pts.extend((0..take).map(|_| {
+                        class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
+                    }));
+                    for obs in rig.observe_windows(&pts, keys) {
+                        let denied = emit_observation(
+                            &mut |event| pump.dispatch(&event),
+                            seq,
+                            pass,
+                            Some(class),
+                            &obs,
+                            rig.window_s(),
+                        );
+                        denied_total += u64::from(denied);
+                        seq += 1;
+                    }
+                    remaining -= take;
                 }
             }
         }
@@ -106,8 +113,9 @@ pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize
 /// plaintexts, logging every requested key (§3.4's collection loop).
 ///
 /// Thin wrapper over the telemetry pipeline via a retaining
-/// [`TraceCollector`]; denied reads and unrequested channels are skipped,
-/// never panicked on.
+/// [`TraceCollector`], fed by the batched [`Rig::observe_windows`] path
+/// in [`OBS_CHUNK`]-sized slices; denied reads and unrequested channels
+/// are skipped, never panicked on.
 pub fn collect_known_plaintext(
     rig: &mut Rig,
     keys: &[SmcKey],
@@ -117,20 +125,25 @@ pub fn collect_known_plaintext(
     {
         let mut pump = Pump::new();
         pump.attach(&mut collector);
-        for seq in 0..n as u64 {
-            let pt = rig.random_plaintext();
-            let before_s = rig.soc.time_s();
-            let obs = rig.observe_window(pt, keys);
-            emit_observation(
-                &mut |event| pump.dispatch(&event),
-                seq,
-                0,
-                None,
-                &obs,
-                before_s,
-                rig.soc.time_s(),
-                rig.window_s(),
-            );
+        let mut seq = 0u64;
+        let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(OBS_CHUNK);
+            pts.clear();
+            pts.extend((0..take).map(|_| rig.random_plaintext()));
+            for obs in rig.observe_windows(&pts, keys) {
+                emit_observation(
+                    &mut |event| pump.dispatch(&event),
+                    seq,
+                    0,
+                    None,
+                    &obs,
+                    rig.window_s(),
+                );
+                seq += 1;
+            }
+            remaining -= take;
         }
         pump.finish();
     }

@@ -7,7 +7,7 @@ use psc_smc::iokit::{share, SharedSmc, SmcUserClient};
 use psc_smc::key::key;
 use psc_smc::{MitigationConfig, SensorSet, Smc, SmcKey};
 use psc_soc::workload::AesSignal;
-use psc_soc::{Soc, SocSpec};
+use psc_soc::{Soc, SocSpec, WindowBatch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::sync::Arc;
@@ -96,6 +96,11 @@ pub struct Observation {
     pub smc: Vec<(SmcKey, Option<f64>)>,
     /// IOReport `PCPU` energy delta over the window, mJ.
     pub pcpu_delta_mj: f64,
+    /// Simulated time at the end of the observation's final window, s.
+    pub time_s: f64,
+    /// SoC windows consumed before the SMC published (>1 under the
+    /// interval-stretching mitigation).
+    pub windows: u32,
 }
 
 /// A fully wired experiment rig.
@@ -114,6 +119,10 @@ pub struct Rig {
     /// Attacker-side RNG (plaintext choices).
     pub attacker_rng: ChaCha12Rng,
     window_s: f64,
+    /// Reusable window batch: the steady-state collection loop runs the
+    /// whole SoC→IOReport→SMC pipeline through these columns without
+    /// allocating.
+    batch: WindowBatch,
 }
 
 impl Rig {
@@ -133,6 +142,7 @@ impl Rig {
             victim,
             attacker_rng: ChaCha12Rng::seed_from_u64(seed ^ 0xA77A_CCE5),
             window_s: 1.0,
+            batch: WindowBatch::new(),
         }
     }
 
@@ -156,16 +166,54 @@ impl Rig {
 
     /// Run one measurement window with `plaintext` loaded into the victim,
     /// reading `keys` through the unprivileged client afterwards — the
-    /// paper's per-trace collection loop.
+    /// paper's per-trace collection loop. A single-plaintext view over the
+    /// batched pipeline of [`Rig::observe_windows`].
     pub fn observe_window(&mut self, plaintext: [u8; 16], keys: &[SmcKey]) -> Observation {
+        let mut batch = std::mem::take(&mut self.batch);
+        let obs = self.observe_one(plaintext, keys, &mut batch);
+        self.batch = batch;
+        obs
+    }
+
+    /// Run one observation per plaintext, amortizing the whole layer stack:
+    /// each plaintext's windows run as **one** [`Soc::run_windows_into`]
+    /// batch sized by [`psc_smc::Smc::windows_until_publish`] (so the SMC
+    /// publishes exactly at the batch's last window, interval-stretching
+    /// mitigation included), IOReport and SMC integrate the batch in one
+    /// columnar pass each, and the batch buffers are reused across
+    /// plaintexts. Observations are **bit-identical** to calling
+    /// [`Rig::observe_window`] once per plaintext.
+    pub fn observe_windows(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+        keys: &[SmcKey],
+    ) -> Vec<Observation> {
+        let mut batch = std::mem::take(&mut self.batch);
+        let out = plaintexts.iter().map(|&pt| self.observe_one(pt, keys, &mut batch)).collect();
+        self.batch = batch;
+        out
+    }
+
+    fn observe_one(
+        &mut self,
+        plaintext: [u8; 16],
+        keys: &[SmcKey],
+        batch: &mut WindowBatch,
+    ) -> Observation {
         let ciphertext = self.victim.request_encrypt(plaintext);
         let before = self.ioreport.snapshot();
+        let mut windows = 0u32;
         // The SMC may need several windows per publish under the
-        // interval-stretching mitigation; loop until it publishes.
+        // interval-stretching mitigation; `windows_until_publish` sizes
+        // the batch so its last window publishes (the loop is a safety
+        // net — one iteration in practice).
         loop {
-            let report = self.soc.run_window(self.window_s);
-            self.ioreport.observe_window(&report);
-            if self.smc.write().observe_window(&report) {
+            let n = self.smc.read().windows_until_publish(self.window_s);
+            self.soc.run_windows_into(n, self.window_s, batch);
+            self.ioreport.observe_windows(batch);
+            let published = self.smc.write().observe_windows(batch);
+            windows += u32::try_from(n).unwrap_or(u32::MAX);
+            if !published.is_empty() {
                 break;
             }
         }
@@ -177,7 +225,14 @@ impl Rig {
             .map_or(0.0, |v| v.value);
         let smc =
             keys.iter().map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value))).collect();
-        Observation { plaintext, ciphertext, smc, pcpu_delta_mj }
+        Observation {
+            plaintext,
+            ciphertext,
+            smc,
+            pcpu_delta_mj,
+            time_s: self.soc.time_s(),
+            windows,
+        }
     }
 }
 
@@ -236,6 +291,30 @@ mod tests {
         assert!(obs.smc[0].1.is_some(), "observe_window loops until a publish");
         // Attacker wall-clock: 3 windows consumed for one sample.
         assert!((rig.soc.time_s() - 3.0).abs() < 1e-9);
+        assert_eq!(obs.windows, 3);
+        assert_eq!(obs.time_s, rig.soc.time_s());
+    }
+
+    #[test]
+    fn batched_observations_match_sequential_bitwise() {
+        let keys = [key("PHPC"), key("PSTR")];
+        let mut seq = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [9u8; 16], 3);
+        let mut bat = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [9u8; 16], 3);
+        let pts: Vec<[u8; 16]> = (0..6).map(|_| seq.random_plaintext()).collect();
+        let batched = bat.observe_windows(&pts, &keys);
+        assert_eq!(batched.len(), pts.len());
+        for (pt, b) in pts.iter().zip(&batched) {
+            let s = seq.observe_window(*pt, &keys);
+            assert_eq!(s.plaintext, b.plaintext);
+            assert_eq!(s.ciphertext, b.ciphertext);
+            assert_eq!(s.windows, b.windows);
+            assert_eq!(s.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(s.pcpu_delta_mj.to_bits(), b.pcpu_delta_mj.to_bits());
+            for ((ka, va), (kb, vb)) in s.smc.iter().zip(&b.smc) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.map(f64::to_bits), vb.map(f64::to_bits));
+            }
+        }
     }
 
     #[test]

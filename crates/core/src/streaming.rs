@@ -19,15 +19,22 @@ use psc_sca::model::PowerModel;
 use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
 use psc_smc::{MitigationConfig, SmcKey};
 use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
-use psc_telemetry::processor::Pump;
+use psc_telemetry::processor::{Processor, Pump};
 use psc_telemetry::processors::{StreamingCpa, StreamingTvla, ThrottleMonitor};
 use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy};
 use psc_telemetry::{run_sharded, split_counts};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Bounded capacity of each shard's event bus. With `Block` overflow this
 /// is pure backpressure: a slow consumer throttles its producer instead
 /// of growing a queue.
 pub const BUS_CAPACITY: usize = 4096;
+
+/// Plaintexts per [`Rig::observe_windows`] call in the collection loops:
+/// large enough to amortize the batched pipeline, small enough that
+/// producers keep streaming into the bus at a fine grain.
+pub const OBS_CHUNK: usize = 32;
 
 /// Cadence-monitor poll interval (simulated seconds).
 const MONITOR_INTERVAL_S: f64 = 64.0;
@@ -36,22 +43,21 @@ const MONITOR_DEPTH: usize = 64;
 
 /// Emit one observation as telemetry events: the window marker (with the
 /// known-plaintext record), one sample per *readable* SMC key, the PCPU
-/// sample, and the scheduler/cadence record. Returns the number of SMC
-/// reads that were denied (skipped with accounting — never a panic).
-#[allow(clippy::too_many_arguments)]
+/// sample, and the scheduler/cadence record (cadence comes straight from
+/// [`Observation::windows`]/[`Observation::time_s`]). Returns the number
+/// of SMC reads that were denied (skipped with accounting — never a
+/// panic).
 pub(crate) fn emit_observation(
     sink: &mut dyn FnMut(Event),
     seq: u64,
     pass: u8,
     class: Option<PlaintextClass>,
     obs: &Observation,
-    before_s: f64,
-    after_s: f64,
     window_s: f64,
 ) -> u32 {
     sink(Event::Window(WindowEvent {
         seq,
-        time_s: after_s,
+        time_s: obs.time_s,
         pass,
         class,
         plaintext: obs.plaintext,
@@ -61,7 +67,7 @@ pub(crate) fn emit_observation(
     for (key, value) in &obs.smc {
         match value {
             Some(v) => sink(Event::Sample(SampleEvent {
-                time_s: after_s,
+                time_s: obs.time_s,
                 channel: ChannelId::Smc(*key),
                 value: *v,
             })),
@@ -69,14 +75,13 @@ pub(crate) fn emit_observation(
         }
     }
     sink(Event::Sample(SampleEvent {
-        time_s: after_s,
+        time_s: obs.time_s,
         channel: ChannelId::Pcpu,
         value: obs.pcpu_delta_mj,
     }));
-    let windows_consumed = (((after_s - before_s) / window_s).round()).max(1.0) as u32;
     sink(Event::Sched(SchedEvent {
-        time_s: after_s,
-        windows_consumed,
+        time_s: obs.time_s,
+        windows_consumed: obs.windows.max(1),
         window_s,
         denied_reads: denied,
     }));
@@ -181,26 +186,30 @@ pub fn stream_tvla_campaign_with(
                 let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
                 rig.set_mitigation(mitigation);
                 let mut seq = 0u64;
+                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
                 for pass in 0..2u8 {
                     for class in PlaintextClass::ALL {
-                        for _ in 0..per_class {
-                            let pt =
-                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext());
-                            let before_s = rig.soc.time_s();
-                            let obs = rig.observe_window(pt, &keys);
-                            emit_observation(
-                                &mut |event| {
-                                    tx.send(event).expect("consumer alive");
-                                },
-                                seq,
-                                pass,
-                                Some(class),
-                                &obs,
-                                before_s,
-                                rig.soc.time_s(),
-                                rig.window_s(),
-                            );
-                            seq += 1;
+                        let mut remaining = per_class;
+                        while remaining > 0 {
+                            let take = remaining.min(OBS_CHUNK);
+                            pts.clear();
+                            pts.extend((0..take).map(|_| {
+                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
+                            }));
+                            for obs in rig.observe_windows(&pts, &keys) {
+                                emit_observation(
+                                    &mut |event| {
+                                        tx.send(event).expect("consumer alive");
+                                    },
+                                    seq,
+                                    pass,
+                                    Some(class),
+                                    &obs,
+                                    rig.window_s(),
+                                );
+                                seq += 1;
+                            }
+                            remaining -= take;
                         }
                     }
                 }
@@ -231,6 +240,146 @@ pub fn stream_tvla_campaign_with(
         bus,
         keys: keys.to_vec(),
         shards,
+    }
+}
+
+/// Minimum samples per fixed class (per shard) before the adaptive
+/// early-stop check may fire — guards against a spurious low-count
+/// threshold crossing ending a campaign after a handful of traces.
+pub const ADAPTIVE_MIN_TRACES: u64 = 24;
+
+/// Result of an adaptive (early-stopping) streaming TVLA campaign.
+#[derive(Debug)]
+pub struct AdaptiveTvlaReport {
+    /// The merged campaign report (same layout as
+    /// [`stream_tvla_campaign`]'s).
+    pub report: StreamingTvlaReport,
+    /// Whether a shard crossed the TVLA threshold and stopped the fleet
+    /// before the trace budget ran out.
+    pub stopped_early: bool,
+    /// Trace rounds actually collected, summed over shards. One round is
+    /// one trace per plaintext class per pass, so this is the effective
+    /// `traces_per_class` of the merged report.
+    pub rounds_collected: usize,
+}
+
+/// Run a TVLA campaign that **stops at the threshold crossing**: shards
+/// stream trace-major rounds (one trace per class per pass, interleaved so
+/// fixed-vs-fixed evidence accrues from the first round) while each
+/// shard's consumer wires [`psc_sca::tvla::TvlaTracker::leakage_detected`]
+/// — via [`StreamingTvla::watch`] on `watch_key` — into a shared stop
+/// flag. Producers poll the flag between rounds, so the whole fleet halts
+/// within one round of any shard detecting leakage; `max_traces_per_class`
+/// bounds the campaign on channels that never leak.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn stream_tvla_adaptive(
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+    keys: &[SmcKey],
+    watch_key: SmcKey,
+    max_traces_per_class: usize,
+    shards: usize,
+    mitigation: MitigationConfig,
+) -> AdaptiveTvlaReport {
+    let counts = split_counts(max_traces_per_class, shards);
+    let stop = Arc::new(AtomicBool::new(false));
+    let results = run_sharded(shards, |i| {
+        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+        let per_shard_max = counts[i];
+        let keys = keys.to_vec();
+        let producer_stop = Arc::clone(&stop);
+        let consumer_stop = Arc::clone(&stop);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
+                rig.set_mitigation(mitigation);
+                let mut seq = 0u64;
+                let mut rounds = 0usize;
+                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(6);
+                let mut labels: Vec<(u8, PlaintextClass)> = Vec::with_capacity(6);
+                for _ in 0..per_shard_max {
+                    if producer_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    pts.clear();
+                    labels.clear();
+                    for pass in 0..2u8 {
+                        for class in PlaintextClass::ALL {
+                            pts.push(
+                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext()),
+                            );
+                            labels.push((pass, class));
+                        }
+                    }
+                    let observations = rig.observe_windows(&pts, &keys);
+                    for (obs, &(pass, class)) in observations.iter().zip(&labels) {
+                        emit_observation(
+                            &mut |event| {
+                                tx.send(event).expect("consumer alive");
+                            },
+                            seq,
+                            pass,
+                            Some(class),
+                            obs,
+                            rig.window_s(),
+                        );
+                        seq += 1;
+                    }
+                    rounds += 1;
+                }
+                rounds
+            });
+            let mut tvla = StreamingTvla::new();
+            tvla.watch(ChannelId::Smc(watch_key), ADAPTIVE_MIN_TRACES);
+            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+            // A manual pump loop: the consumer must keep draining (Block
+            // backpressure) while checking the early-stop signal at every
+            // observation boundary.
+            while let Some(event) = rx.recv() {
+                tvla.on_event(&event);
+                monitor.on_event(&event);
+                if matches!(event, Event::Sched(_))
+                    && !consumer_stop.load(Ordering::Relaxed)
+                    && tvla.leakage_detected()
+                {
+                    consumer_stop.store(true, Ordering::Relaxed);
+                }
+            }
+            tvla.on_finish();
+            monitor.on_finish();
+            let stats = rx.stats();
+            let rounds = producer.join().expect("producer shard panicked");
+            (tvla, monitor, stats, rounds)
+        })
+    });
+
+    let mut merged_tvla = StreamingTvla::new();
+    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+    let mut bus = ChannelStats::default();
+    let mut rounds_collected = 0usize;
+    for (tvla, monitor, stats, rounds) in results {
+        merged_tvla = merged_tvla.merged(tvla);
+        merged_monitor = merged_monitor.merged_totals(&monitor);
+        bus = add_stats(bus, stats);
+        rounds_collected += rounds;
+    }
+    AdaptiveTvlaReport {
+        report: StreamingTvlaReport {
+            tvla: merged_tvla,
+            monitor: merged_monitor,
+            bus,
+            keys: keys.to_vec(),
+            shards,
+        },
+        stopped_early: stop.load(Ordering::Relaxed),
+        rounds_collected,
     }
 }
 
@@ -328,22 +477,27 @@ pub fn stream_known_plaintext_with(
             let producer = scope.spawn(move || {
                 let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
                 rig.set_mitigation(mitigation);
-                for seq in 0..count as u64 {
-                    let pt = rig.random_plaintext();
-                    let before_s = rig.soc.time_s();
-                    let obs = rig.observe_window(pt, &keys);
-                    emit_observation(
-                        &mut |event| {
-                            tx.send(event).expect("consumer alive");
-                        },
-                        seq,
-                        0,
-                        None,
-                        &obs,
-                        before_s,
-                        rig.soc.time_s(),
-                        rig.window_s(),
-                    );
+                let mut seq = 0u64;
+                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+                let mut remaining = count;
+                while remaining > 0 {
+                    let take = remaining.min(OBS_CHUNK);
+                    pts.clear();
+                    pts.extend((0..take).map(|_| rig.random_plaintext()));
+                    for obs in rig.observe_windows(&pts, &keys) {
+                        emit_observation(
+                            &mut |event| {
+                                tx.send(event).expect("consumer alive");
+                            },
+                            seq,
+                            0,
+                            None,
+                            &obs,
+                            rig.window_s(),
+                        );
+                        seq += 1;
+                    }
+                    remaining -= take;
                 }
             });
             let mut cpa = StreamingCpa::with_table(
@@ -430,6 +584,49 @@ mod tests {
         for r in ranks {
             assert!((1..=256).contains(&r));
         }
+    }
+
+    #[test]
+    fn adaptive_campaign_stops_early_on_leaky_channel() {
+        let out = stream_tvla_adaptive(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3C; 16],
+            9,
+            &[key("PHPC")],
+            key("PHPC"),
+            400,
+            2,
+            MitigationConfig::none(),
+        );
+        assert!(out.stopped_early, "PHPC leaks — the tracker must cross 4.5");
+        assert!(
+            out.rounds_collected < 400,
+            "collection must halt before the budget: {} rounds",
+            out.rounds_collected
+        );
+        assert!(out.rounds_collected >= ADAPTIVE_MIN_TRACES as usize / 2, "not spuriously early");
+        let matrix = out.report.matrix(key("PHPC")).expect("collected");
+        assert_eq!(matrix.cells.len(), 9);
+        assert_eq!(out.report.bus.dropped, 0);
+    }
+
+    #[test]
+    fn adaptive_campaign_exhausts_budget_on_flat_channel() {
+        // PHPS publishes the data-blind estimator: never distinguishable.
+        let out = stream_tvla_adaptive(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            [0x3C; 16],
+            11,
+            &[key("PHPS")],
+            key("PHPS"),
+            30,
+            2,
+            MitigationConfig::none(),
+        );
+        assert!(!out.stopped_early, "estimator channel must not trip the tracker");
+        assert_eq!(out.rounds_collected, 30, "budget fully consumed");
     }
 
     #[test]

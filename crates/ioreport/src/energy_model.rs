@@ -9,7 +9,7 @@
 //! integrates the SoC's data-blind power **estimator** and quantizes to mJ.
 
 use crate::channel::{ChannelId, ChannelUnit, IoReport, Snapshot};
-use psc_soc::WindowReport;
+use psc_soc::{WindowBatch, WindowReport};
 
 /// Millijoule quantization of the energy channels.
 pub const ENERGY_QUANTUM_MJ: f64 = 1.0;
@@ -106,6 +106,50 @@ impl EnergyModelReporter {
 
         self.sync();
         self.report.advance_time(dt);
+    }
+
+    /// Integrate a whole [`WindowBatch`] in one pass: the unquantized
+    /// running energies/residencies accumulate by the same per-window
+    /// additions the sequential path applies (as unit-stride column
+    /// sweeps), and the quantized channels are synced once at the end of
+    /// the batch. Published energy values are bit-identical to feeding
+    /// every report through [`EnergyModelReporter::observe_window`] —
+    /// energy quantization floors the same running total either way.
+    /// (Residency channels, which publish unquantized cumulative sums, may
+    /// differ from the sequential path by sub-nanosecond rounding residue;
+    /// snapshots taken *between* observe calls see identical integrals.)
+    pub fn observe_windows(&mut self, batch: &WindowBatch) {
+        let dt = batch.duration_s();
+        for v in batch.estimated_p_cluster_w() {
+            self.pcpu_mj += v * dt * 1.0e3;
+        }
+        for v in batch.estimated_e_cluster_w() {
+            self.ecpu_mj += v * dt * 1.0e3;
+        }
+        for v in batch.estimated_cpu_power_w() {
+            self.dram_mj += 0.15 * v * dt * 1.0e3;
+        }
+        for _ in 0..batch.len() {
+            self.p_busy_ns += dt * 1.0e9;
+            self.e_busy_ns += dt * 1.0e9;
+        }
+        for util in batch.p_core_util() {
+            for (busy, u) in self.p_core_busy_ns.iter_mut().zip(util) {
+                *busy += u * dt * 1.0e9;
+            }
+        }
+        for util in batch.e_core_util() {
+            for (busy, u) in self.e_core_busy_ns.iter_mut().zip(util) {
+                *busy += u * dt * 1.0e9;
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.sync();
+        for _ in 0..batch.len() {
+            self.report.advance_time(dt);
+        }
     }
 
     fn sync(&mut self) {
@@ -232,6 +276,54 @@ mod tests {
         assert!((res(EnergyModelReporter::p_core_residency(2)) - 2.0e9).abs() < 1.0);
         assert_eq!(res(EnergyModelReporter::p_core_residency(3)), 0.0);
         assert_eq!(res(EnergyModelReporter::e_core_residency(1)), 0.0);
+    }
+
+    #[test]
+    fn batch_integration_matches_sequential_energy_bitwise() {
+        let reports: Vec<WindowReport> = (0..7)
+            .map(|i| {
+                let mut w = window(2.5 + f64::from(i) * 0.4, 2.0 + f64::from(i) * 0.17);
+                w.p_core_util = [1.0, 0.75, 0.0, 0.0];
+                w
+            })
+            .collect();
+        let batch = psc_soc::WindowBatch::from_reports(&reports);
+
+        let mut seq = EnergyModelReporter::new();
+        for r in &reports {
+            seq.observe_window(r);
+        }
+        let mut batched = EnergyModelReporter::new();
+        batched.observe_windows(&batch);
+
+        let s = seq.snapshot();
+        let b = batched.snapshot();
+        assert_eq!(s.time_s.to_bits(), b.time_s.to_bits());
+        for id in
+            [EnergyModelReporter::pcpu(), EnergyModelReporter::ecpu(), EnergyModelReporter::dram()]
+        {
+            let sv = s.get(&id).unwrap().value;
+            let bv = b.get(&id).unwrap().value;
+            assert_eq!(sv.to_bits(), bv.to_bits(), "{id}: {sv} vs {bv}");
+        }
+        // Residencies publish unquantized sums; batch sync is allowed
+        // sub-nanosecond rounding slack.
+        for core in 0..4 {
+            let id = EnergyModelReporter::p_core_residency(core);
+            let sv = s.get(&id).unwrap().value;
+            let bv = b.get(&id).unwrap().value;
+            assert!((sv - bv).abs() < 1e-3, "{id}: {sv} vs {bv}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut rep = EnergyModelReporter::new();
+        let before = rep.snapshot();
+        let mut batch = psc_soc::WindowBatch::new();
+        batch.clear(1.0);
+        rep.observe_windows(&batch);
+        assert_eq!(rep.snapshot(), before);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::mitigation::MitigationConfig;
 use crate::sensors::SensorSet;
 use crate::types::{SmcDataType, SmcValue};
 use psc_soc::noise::{gaussian, RandomWalk};
-use psc_soc::{SocTick, WindowReport};
+use psc_soc::{SocTick, WindowBatch, WindowReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::BTreeMap;
@@ -32,6 +32,72 @@ struct Accumulator {
 }
 
 impl Accumulator {
+    /// Accumulate rows `start..end` of a batch in one columnar pass.
+    ///
+    /// Performs the exact floating-point operations (in the exact order)
+    /// that per-row [`Accumulator::add`] calls would, but as unit-stride
+    /// sweeps over the batch columns — so batched and sequential SMC
+    /// integration publish bit-identical values.
+    fn add_columns(&mut self, batch: &WindowBatch, start: usize, end: usize) {
+        let dt = batch.duration_s();
+        for _ in start..end {
+            self.time_s += dt;
+        }
+        let rails = batch.rails();
+        for v in &rails.p_cluster_w[start..end] {
+            self.rails_sum.p_cluster_w += v * dt;
+        }
+        for v in &rails.e_cluster_w[start..end] {
+            self.rails_sum.e_cluster_w += v * dt;
+        }
+        for v in &rails.dram_w[start..end] {
+            self.rails_sum.dram_w += v * dt;
+        }
+        for v in &rails.uncore_w[start..end] {
+            self.rails_sum.uncore_w += v * dt;
+        }
+        for v in &rails.package_w[start..end] {
+            self.rails_sum.package_w += v * dt;
+        }
+        for v in &rails.dc_in_w[start..end] {
+            self.rails_sum.dc_in_w += v * dt;
+        }
+        for v in &rails.system_w[start..end] {
+            self.rails_sum.system_w += v * dt;
+        }
+        for v in &batch.estimated_cpu_power_w()[start..end] {
+            self.est_cpu_sum += v * dt;
+        }
+        for v in &batch.estimated_p_cluster_w()[start..end] {
+            self.est_p_sum += v * dt;
+        }
+        for v in &batch.estimated_e_cluster_w()[start..end] {
+            self.est_e_sum += v * dt;
+        }
+        for v in &batch.p_freq_ghz()[start..end] {
+            self.p_freq_sum += v * dt;
+        }
+        for v in &batch.e_freq_ghz()[start..end] {
+            self.e_freq_sum += v * dt;
+        }
+        if end > start {
+            self.temp_last = batch.temperature_c()[end - 1];
+        }
+        for v in &batch.p_core_reps()[start..end] {
+            self.reps_sum += v;
+        }
+        for util in &batch.p_core_util()[start..end] {
+            for (sum, u) in self.p_core_util_sum.iter_mut().zip(util) {
+                *sum += u * dt;
+            }
+        }
+        for util in &batch.e_core_util()[start..end] {
+            for (sum, u) in self.e_core_util_sum.iter_mut().zip(util) {
+                *sum += u * dt;
+            }
+        }
+    }
+
     fn add(&mut self, report: &WindowReport) {
         let dt = report.duration_s;
         self.time_s += dt;
@@ -194,34 +260,104 @@ impl Smc {
         self.update_count
     }
 
-    /// Feed one aggregated window; publishes if the accumulated time has
-    /// reached the update interval. Returns `true` if a publish happened.
-    pub fn observe_window(&mut self, report: &WindowReport) -> bool {
-        self.acc.add(report);
-        // The target respects mitigation changes made since the last
-        // publish, plus any configured cadence jitter.
+    /// The accumulated-time threshold the next publish requires. Respects
+    /// mitigation changes made since the last publish, plus any configured
+    /// cadence jitter.
+    fn publish_target_s(&self) -> f64 {
         let base_target = self.update_interval_s();
-        let target = if self.interval_jitter > 0.0 {
+        if self.interval_jitter > 0.0 {
             self.current_target_s.clamp(
                 base_target * (1.0 - self.interval_jitter),
                 base_target * (1.0 + self.interval_jitter),
             )
         } else {
             base_target
-        };
-        if self.acc.time_s + 1e-9 >= target {
+        }
+    }
+
+    /// Post-publish bookkeeping: reset the accumulator and draw the next
+    /// jittered interval.
+    fn finish_publish(&mut self) {
+        self.acc = Accumulator::default();
+        if self.interval_jitter > 0.0 {
+            let u: f64 = rand::Rng::gen_range(&mut self.rng, -1.0..1.0);
+            self.current_target_s = self.update_interval_s() * (1.0 + self.interval_jitter * u);
+        }
+    }
+
+    /// Feed one aggregated window; publishes if the accumulated time has
+    /// reached the update interval. Returns `true` if a publish happened.
+    pub fn observe_window(&mut self, report: &WindowReport) -> bool {
+        self.acc.add(report);
+        if self.acc.time_s + 1e-9 >= self.publish_target_s() {
             let mean = self.acc.mean_report();
             self.publish(&mean);
-            self.acc = Accumulator::default();
-            // Draw the next jittered interval.
-            if self.interval_jitter > 0.0 {
-                let u: f64 = rand::Rng::gen_range(&mut self.rng, -1.0..1.0);
-                self.current_target_s = base_target * (1.0 + self.interval_jitter * u);
-            }
+            self.finish_publish();
             true
         } else {
             false
         }
+    }
+
+    /// Feed a whole [`WindowBatch`] in one pass, publishing at every
+    /// update-interval crossing (the interval-stretching mitigation and
+    /// cadence jitter are honoured mid-batch exactly as the per-window
+    /// path honours them). Returns the batch indices of the windows whose
+    /// integration triggered a publish.
+    ///
+    /// Bit-identical to feeding the batch's reports through
+    /// [`Smc::observe_window`] one at a time — the accumulation runs as
+    /// columnar segment sweeps but performs the same floating-point
+    /// operations in the same order.
+    pub fn observe_windows(&mut self, batch: &WindowBatch) -> Vec<usize> {
+        let dt = batch.duration_s();
+        let mut published = Vec::new();
+        let mut seg_start = 0usize;
+        // Probe time evolves by the same `+= dt` sequence the accumulator
+        // applies, so the publish boundaries match the sequential path
+        // exactly despite the deferred column sums.
+        let mut probe = self.acc.time_s;
+        for i in 0..batch.len() {
+            probe += dt;
+            if probe + 1e-9 >= self.publish_target_s() {
+                self.acc.add_columns(batch, seg_start, i + 1);
+                let mean = self.acc.mean_report();
+                self.publish(&mean);
+                self.finish_publish();
+                published.push(i);
+                seg_start = i + 1;
+                probe = 0.0;
+            }
+        }
+        if seg_start < batch.len() {
+            self.acc.add_columns(batch, seg_start, batch.len());
+        }
+        published
+    }
+
+    /// How many more windows of `window_s` seconds the firmware needs
+    /// before its next publish, given the currently accumulated time, the
+    /// active mitigation's interval multiplier and the current jittered
+    /// target. Lets callers size a [`WindowBatch`] so that its last window
+    /// is exactly the publishing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive, or is so small relative to
+    /// the update interval that accumulated time cannot reach it.
+    #[must_use]
+    pub fn windows_until_publish(&self, window_s: f64) -> usize {
+        assert!(window_s > 0.0, "window must be positive, got {window_s}");
+        let target = self.publish_target_s();
+        let mut probe = self.acc.time_s;
+        let mut n = 0usize;
+        while probe + 1e-9 < target {
+            let next = probe + window_s;
+            assert!(next > probe, "window {window_s} s too small to reach the publish interval");
+            probe = next;
+            n += 1;
+        }
+        n.max(1)
     }
 
     /// Feed one simulation tick (throttling-study path).
@@ -486,6 +622,85 @@ mod tests {
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn batch_matches_sequential_publishes_bitwise() {
+        let reports: Vec<WindowReport> =
+            (0..10).map(|i| report(2.0 + f64::from(i) * 0.3, 2.5)).collect();
+        let mut small = Vec::new();
+        for r in &reports {
+            let mut r = *r;
+            r.duration_s = 0.4;
+            small.push(r);
+        }
+        let batch = psc_soc::WindowBatch::from_reports(&small);
+
+        let mut seq = Smc::new(SensorSet::macbook_air_m2(), 7);
+        seq.set_mitigation(MitigationConfig::slow_updates(2.0));
+        let mut seq_published = Vec::new();
+        for (i, r) in small.iter().enumerate() {
+            if seq.observe_window(r) {
+                seq_published.push(i);
+            }
+        }
+
+        let mut batched = Smc::new(SensorSet::macbook_air_m2(), 7);
+        batched.set_mitigation(MitigationConfig::slow_updates(2.0));
+        let published = batched.observe_windows(&batch);
+
+        assert_eq!(published, seq_published);
+        assert_eq!(batched.update_count(), seq.update_count());
+        for k in seq.keys() {
+            let a = seq.read(k).unwrap().value;
+            let b = batched.read(k).unwrap().value;
+            assert_eq!(a.to_bits(), b.to_bits(), "key {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_publish_indices_follow_interval() {
+        let mut s = smc();
+        let batch = psc_soc::WindowBatch::from_reports(&vec![report(2.0, 2.5); 3]);
+        assert_eq!(s.observe_windows(&batch), vec![0, 1, 2], "1 s windows publish every window");
+        s.set_mitigation(MitigationConfig::slow_updates(3.0));
+        assert_eq!(s.observe_windows(&batch), vec![2], "3x stretching: one publish per 3 windows");
+    }
+
+    #[test]
+    fn windows_until_publish_predicts_the_boundary() {
+        let mut s = smc();
+        assert_eq!(s.windows_until_publish(1.0), 1);
+        assert_eq!(s.windows_until_publish(0.4), 3);
+        s.set_mitigation(MitigationConfig::slow_updates(3.0));
+        assert_eq!(s.windows_until_publish(1.0), 3);
+        // Partial accumulation shortens the remainder.
+        let mut r = report(2.0, 2.5);
+        r.duration_s = 1.0;
+        assert!(!s.observe_window(&r));
+        assert_eq!(s.windows_until_publish(1.0), 2);
+        // The prediction matches the actual publish across jitter too.
+        let mut s = smc();
+        s.set_interval_jitter(0.2);
+        let mut small = report(2.0, 2.5);
+        small.duration_s = 0.1;
+        for _ in 0..50 {
+            let predicted = s.windows_until_publish(0.1);
+            let mut consumed = 0usize;
+            loop {
+                consumed += 1;
+                if s.observe_window(&small) {
+                    break;
+                }
+            }
+            assert_eq!(consumed, predicted);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn windows_until_publish_rejects_zero_window() {
+        let _ = smc().windows_until_publish(0.0);
     }
 
     #[test]

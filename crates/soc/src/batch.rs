@@ -1,0 +1,367 @@
+//! Columnar (struct-of-arrays) storage for batched window evaluation.
+//!
+//! [`WindowBatch`] holds the output of [`crate::Soc::run_windows`]: one
+//! column per [`WindowReport`] field, all windows of the batch sharing one
+//! duration. Consumers that aggregate whole campaigns (the SMC firmware's
+//! accumulator, the IOReport energy integrator) sweep the columns with
+//! unit stride instead of touching one heap-boxed report at a time, and
+//! the buffers are reusable across batches so the steady-state hot loop
+//! allocates nothing.
+
+use crate::power::PowerRails;
+use crate::soc::WindowReport;
+
+/// One [`PowerRails`] field per column, window index as the row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RailColumns {
+    /// P-cluster rail, watts.
+    pub p_cluster_w: Vec<f64>,
+    /// E-cluster rail, watts.
+    pub e_cluster_w: Vec<f64>,
+    /// DRAM rail, watts.
+    pub dram_w: Vec<f64>,
+    /// Fabric/uncore power, watts.
+    pub uncore_w: Vec<f64>,
+    /// Package power, watts.
+    pub package_w: Vec<f64>,
+    /// DC-in rail, watts.
+    pub dc_in_w: Vec<f64>,
+    /// Total system rail, watts.
+    pub system_w: Vec<f64>,
+}
+
+impl RailColumns {
+    fn clear(&mut self) {
+        self.p_cluster_w.clear();
+        self.e_cluster_w.clear();
+        self.dram_w.clear();
+        self.uncore_w.clear();
+        self.package_w.clear();
+        self.dc_in_w.clear();
+        self.system_w.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.p_cluster_w.reserve(additional);
+        self.e_cluster_w.reserve(additional);
+        self.dram_w.reserve(additional);
+        self.uncore_w.reserve(additional);
+        self.package_w.reserve(additional);
+        self.dc_in_w.reserve(additional);
+        self.system_w.reserve(additional);
+    }
+
+    fn push(&mut self, rails: &PowerRails) {
+        self.p_cluster_w.push(rails.p_cluster_w);
+        self.e_cluster_w.push(rails.e_cluster_w);
+        self.dram_w.push(rails.dram_w);
+        self.uncore_w.push(rails.uncore_w);
+        self.package_w.push(rails.package_w);
+        self.dc_in_w.push(rails.dc_in_w);
+        self.system_w.push(rails.system_w);
+    }
+
+    /// Materialize row `i` back into a [`PowerRails`].
+    #[must_use]
+    pub fn row(&self, i: usize) -> PowerRails {
+        PowerRails {
+            p_cluster_w: self.p_cluster_w[i],
+            e_cluster_w: self.e_cluster_w[i],
+            dram_w: self.dram_w[i],
+            uncore_w: self.uncore_w[i],
+            package_w: self.package_w[i],
+            dc_in_w: self.dc_in_w[i],
+            system_w: self.system_w[i],
+        }
+    }
+}
+
+/// Struct-of-arrays batch of measurement windows, all of one duration.
+///
+/// Produced by [`crate::Soc::run_windows`] /
+/// [`crate::Soc::run_windows_into`]; row `i` materializes back into the
+/// exact [`WindowReport`] the sequential [`crate::Soc::run_window`] path
+/// would have returned for that window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowBatch {
+    duration_s: f64,
+    rails: RailColumns,
+    estimated_cpu_power_w: Vec<f64>,
+    estimated_p_cluster_w: Vec<f64>,
+    estimated_e_cluster_w: Vec<f64>,
+    p_freq_ghz: Vec<f64>,
+    e_freq_ghz: Vec<f64>,
+    temperature_c: Vec<f64>,
+    p_core_reps: Vec<f64>,
+    p_core_util: Vec<[f64; 4]>,
+    e_core_util: Vec<[f64; 4]>,
+}
+
+impl WindowBatch {
+    /// An empty batch (buffers allocate lazily on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all rows and set the per-window duration for the next fill.
+    /// Buffer capacity is retained, so reusing one batch across calls
+    /// makes the steady-state loop allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive and finite.
+    pub fn clear(&mut self, duration_s: f64) {
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "window duration must be positive, got {duration_s}"
+        );
+        self.duration_s = duration_s;
+        self.rails.clear();
+        self.estimated_cpu_power_w.clear();
+        self.estimated_p_cluster_w.clear();
+        self.estimated_e_cluster_w.clear();
+        self.p_freq_ghz.clear();
+        self.e_freq_ghz.clear();
+        self.temperature_c.clear();
+        self.p_core_reps.clear();
+        self.p_core_util.clear();
+        self.e_core_util.clear();
+    }
+
+    /// Pre-size every column for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rails.reserve(additional);
+        self.estimated_cpu_power_w.reserve(additional);
+        self.estimated_p_cluster_w.reserve(additional);
+        self.estimated_e_cluster_w.reserve(additional);
+        self.p_freq_ghz.reserve(additional);
+        self.e_freq_ghz.reserve(additional);
+        self.temperature_c.reserve(additional);
+        self.p_core_reps.reserve(additional);
+        self.p_core_util.reserve(additional);
+        self.e_core_util.reserve(additional);
+    }
+
+    /// Append one window's report as a new row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report's duration differs from the batch duration
+    /// (every window of a batch shares one duration) — call
+    /// [`WindowBatch::clear`] first when starting a batch of a different
+    /// cadence.
+    pub fn push(&mut self, report: &WindowReport) {
+        assert!(
+            report.duration_s == self.duration_s,
+            "batch windows share one duration: batch {} s, report {} s",
+            self.duration_s,
+            report.duration_s
+        );
+        self.rails.push(&report.rails);
+        self.estimated_cpu_power_w.push(report.estimated_cpu_power_w);
+        self.estimated_p_cluster_w.push(report.estimated_p_cluster_w);
+        self.estimated_e_cluster_w.push(report.estimated_e_cluster_w);
+        self.p_freq_ghz.push(report.p_freq_ghz);
+        self.e_freq_ghz.push(report.e_freq_ghz);
+        self.temperature_c.push(report.temperature_c);
+        self.p_core_reps.push(report.p_core_reps);
+        self.p_core_util.push(report.p_core_util);
+        self.e_core_util.push(report.e_core_util);
+    }
+
+    /// Build a batch from a slice of equal-duration reports (test helper /
+    /// offline replay path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or the durations differ.
+    #[must_use]
+    pub fn from_reports(reports: &[WindowReport]) -> Self {
+        let first = reports.first().expect("at least one report");
+        let mut batch = Self::new();
+        batch.clear(first.duration_s);
+        batch.reserve(reports.len());
+        for report in reports {
+            batch.push(report);
+        }
+        batch
+    }
+
+    /// Number of windows in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.p_freq_ghz.len()
+    }
+
+    /// Whether the batch holds no windows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.p_freq_ghz.is_empty()
+    }
+
+    /// Per-window duration in seconds (0 until the first
+    /// [`WindowBatch::clear`]).
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// The rail columns.
+    #[must_use]
+    pub fn rails(&self) -> &RailColumns {
+        &self.rails
+    }
+
+    /// Estimator CPU power column (data-independent), watts.
+    #[must_use]
+    pub fn estimated_cpu_power_w(&self) -> &[f64] {
+        &self.estimated_cpu_power_w
+    }
+
+    /// Estimator P-cluster power column, watts.
+    #[must_use]
+    pub fn estimated_p_cluster_w(&self) -> &[f64] {
+        &self.estimated_p_cluster_w
+    }
+
+    /// Estimator E-cluster power column, watts.
+    #[must_use]
+    pub fn estimated_e_cluster_w(&self) -> &[f64] {
+        &self.estimated_e_cluster_w
+    }
+
+    /// P-cluster frequency column, GHz.
+    #[must_use]
+    pub fn p_freq_ghz(&self) -> &[f64] {
+        &self.p_freq_ghz
+    }
+
+    /// E-cluster frequency column, GHz.
+    #[must_use]
+    pub fn e_freq_ghz(&self) -> &[f64] {
+        &self.e_freq_ghz
+    }
+
+    /// End-of-window junction temperature column, °C.
+    #[must_use]
+    pub fn temperature_c(&self) -> &[f64] {
+        &self.temperature_c
+    }
+
+    /// Per-window P-core AES repetition column.
+    #[must_use]
+    pub fn p_core_reps(&self) -> &[f64] {
+        &self.p_core_reps
+    }
+
+    /// Per-core P-cluster utilization rows.
+    #[must_use]
+    pub fn p_core_util(&self) -> &[[f64; 4]] {
+        &self.p_core_util
+    }
+
+    /// Per-core E-cluster utilization rows.
+    #[must_use]
+    pub fn e_core_util(&self) -> &[[f64; 4]] {
+        &self.e_core_util
+    }
+
+    /// Materialize row `i` as the [`WindowReport`] the sequential path
+    /// would have returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn report(&self, i: usize) -> WindowReport {
+        WindowReport {
+            duration_s: self.duration_s,
+            rails: self.rails.row(i),
+            estimated_cpu_power_w: self.estimated_cpu_power_w[i],
+            estimated_p_cluster_w: self.estimated_p_cluster_w[i],
+            estimated_e_cluster_w: self.estimated_e_cluster_w[i],
+            p_freq_ghz: self.p_freq_ghz[i],
+            e_freq_ghz: self.e_freq_ghz[i],
+            temperature_c: self.temperature_c[i],
+            p_core_reps: self.p_core_reps[i],
+            p_core_util: self.p_core_util[i],
+            e_core_util: self.e_core_util[i],
+        }
+    }
+
+    /// Iterate the batch as materialized [`WindowReport`]s.
+    pub fn reports(&self) -> impl Iterator<Item = WindowReport> + '_ {
+        (0..self.len()).map(|i| self.report(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p: f64, dt: f64) -> WindowReport {
+        WindowReport {
+            duration_s: dt,
+            rails: PowerRails::assemble(p, 0.3, 0.4, 0.5, 0.88, 1.5),
+            estimated_cpu_power_w: 2.0,
+            estimated_p_cluster_w: 1.6,
+            estimated_e_cluster_w: 0.4,
+            p_freq_ghz: 3.5,
+            e_freq_ghz: 2.4,
+            temperature_c: 40.0,
+            p_core_reps: 1.0e7,
+            p_core_util: [1.0, 0.5, 0.0, 0.0],
+            e_core_util: [0.0; 4],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_reports() {
+        let rows = vec![report(2.0, 1.0), report(3.0, 1.0), report(4.0, 1.0)];
+        let batch = WindowBatch::from_reports(&rows);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&batch.report(i), row);
+        }
+        let collected: Vec<WindowReport> = batch.reports().collect();
+        assert_eq!(collected, rows);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_rows() {
+        let mut batch = WindowBatch::from_reports(&[report(2.0, 1.0); 8]);
+        let cap = batch.rails.p_cluster_w.capacity();
+        batch.clear(0.5);
+        assert!(batch.is_empty());
+        assert_eq!(batch.duration_s(), 0.5);
+        assert!(batch.rails.p_cluster_w.capacity() >= cap, "capacity survives clear");
+        batch.push(&report(1.0, 0.5));
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one duration")]
+    fn mixed_durations_rejected() {
+        let mut batch = WindowBatch::new();
+        batch.clear(1.0);
+        batch.push(&report(2.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let mut batch = WindowBatch::new();
+        batch.clear(0.0);
+    }
+
+    #[test]
+    fn columns_expose_rows_in_order() {
+        let batch = WindowBatch::from_reports(&[report(2.0, 1.0), report(5.0, 1.0)]);
+        assert_eq!(batch.rails().p_cluster_w.len(), 2);
+        assert!(batch.rails().p_cluster_w[1] > batch.rails().p_cluster_w[0]);
+        assert_eq!(batch.p_freq_ghz(), &[3.5, 3.5]);
+        assert_eq!(batch.p_core_util()[0], [1.0, 0.5, 0.0, 0.0]);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`sched`] — priority/policy-driven P/E-core placement;
 //! * [`workload`] — AES victims and stressors;
 //! * [`soc`] — the machine itself, with an analytic window path for trace
-//!   collection and a stepped path for throttling dynamics.
+//!   collection and a stepped path for throttling dynamics;
+//! * [`batch`] — the columnar [`WindowBatch`] produced by
+//!   [`Soc::run_windows`], the batched (bit-identical, allocation-free in
+//!   steady state) form of the window path that campaign drivers consume.
 //!
 //! ## Example
 //!
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod dvfs;
 pub mod limits;
@@ -44,6 +48,7 @@ pub mod soc;
 pub mod thermal;
 pub mod workload;
 
+pub use batch::{RailColumns, WindowBatch};
 pub use config::{ClusterKind, ClusterSpec, SocSpec};
 pub use limits::{PowerMode, ThrottleReason};
 pub use power::PowerRails;

@@ -2,23 +2,27 @@
 //!
 //! Two execution paths serve the two kinds of experiments:
 //!
-//! * [`Soc::run_window`] — the *fast analytic path* used for side-channel
-//!   trace collection: it aggregates one SMC-update-sized window in one
-//!   call (the victim repeats the same input for the whole window, so the
-//!   window average is computable in closed form plus sampled noise);
+//! * [`Soc::run_windows`] — the *fast analytic path* used for side-channel
+//!   trace collection: it aggregates whole batches of SMC-update-sized
+//!   windows into a columnar [`WindowBatch`] (the victim repeats the same
+//!   input for each window, so window averages are computable in closed
+//!   form plus sampled noise). [`Soc::run_window`] is the single-window
+//!   view over the same engine, bit-identical per window;
 //! * [`Soc::step`] — the *time-stepped path* used for the §4 throttling
-//!   study, where governor/thermal feedback dynamics matter.
+//!   study, where governor/thermal feedback dynamics matter. It shares
+//!   the mean-power / governor-feed primitives with the window engine.
 //!
 //! The power **estimator** fed to the governor (and exported to `PHPS` /
 //! IOReport `PCPU`) deliberately excludes the data-dependent window signal;
 //! see [`crate::limits`] for why that reproduces the paper's null results.
 
+use crate::batch::WindowBatch;
 use crate::config::{ClusterKind, SocSpec};
 use crate::limits::{LimitGovernor, PowerEstimator, PowerMode, ThrottleReason};
 use crate::power::{core_dynamic_power_w, PowerRails};
 use crate::sched::{place, Placement, SchedAttrs, ThreadId};
 use crate::thermal::ThermalModel;
-use crate::workload::Workload;
+use crate::workload::{SignalPlan, Workload};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -134,6 +138,27 @@ impl Default for WindowReport {
     }
 }
 
+/// Per-batch snapshot of everything that stays constant while the
+/// operating point and the placements do not change: mean cluster powers,
+/// per-core utilization, the window repetition count, and one
+/// [`SignalPlan`] per placement. Rebuilt only when the governor moves the
+/// frequency mid-batch, so a steady-state batch pays the placement walk
+/// and the workload locks once instead of once per window.
+#[derive(Debug, Default)]
+struct BatchSegment {
+    p_mean_w: f64,
+    e_mean_w: f64,
+    util_sum: f64,
+    reps: f64,
+    p_freq_ghz: f64,
+    e_freq_ghz: f64,
+    p_core_util: [f64; 4],
+    e_core_util: [f64; 4],
+    /// `(cluster, plan)` per placement, in placement order. `None` falls
+    /// back to the thread's scalar `window_signal_w` each window.
+    plans: Vec<(ClusterKind, Option<SignalPlan>)>,
+}
+
 /// The simulated system.
 #[derive(Debug)]
 pub struct Soc {
@@ -141,12 +166,20 @@ pub struct Soc {
     rng: ChaCha12Rng,
     threads: Vec<Thread>,
     placements: Vec<Placement>,
+    /// `placement_threads[k]` is the index into `threads` of
+    /// `placements[k].thread`, resolved at (re)schedule time so the hot
+    /// paths never pay the linear thread lookup per placement.
+    placement_threads: Vec<usize>,
     governor: LimitGovernor,
     estimator: PowerEstimator,
     governor_feed: GovernorFeed,
     thermal: ThermalModel,
     time_s: f64,
     next_tid: u64,
+    /// Reusable segment scratch for the window engine.
+    segment: BatchSegment,
+    /// Reusable single-window batch backing [`Soc::run_window`].
+    scratch: WindowBatch,
 }
 
 impl Soc {
@@ -160,12 +193,15 @@ impl Soc {
             rng: ChaCha12Rng::seed_from_u64(seed),
             threads: Vec::new(),
             placements: Vec::new(),
+            placement_threads: Vec::new(),
             governor,
             estimator: PowerEstimator::default(),
             governor_feed: GovernorFeed::default(),
             thermal,
             time_s: 0.0,
             next_tid: 1,
+            segment: BatchSegment::default(),
+            scratch: WindowBatch::new(),
         }
     }
 
@@ -251,6 +287,7 @@ impl Soc {
     pub fn kill_all(&mut self) {
         self.threads.clear();
         self.placements.clear();
+        self.placement_threads.clear();
     }
 
     /// Threads currently alive.
@@ -276,6 +313,18 @@ impl Soc {
             self.threads.iter().map(|t| (t.id, t.attrs)).collect();
         self.placements =
             place(&attrs, self.spec.p_cluster.core_count, self.spec.e_cluster.core_count);
+        // Resolve the placement→thread mapping once here so no per-window
+        // path ever needs the O(threads) lookup again.
+        self.placement_threads = self
+            .placements
+            .iter()
+            .map(|pl| {
+                self.threads
+                    .iter()
+                    .position(|t| t.id == pl.thread)
+                    .expect("placement references live thread")
+            })
+            .collect();
     }
 
     /// Mean (data-independent) power of both clusters at current operating
@@ -288,13 +337,8 @@ impl Soc {
         let mut p_w = self.spec.p_cluster.static_power_w;
         let mut e_w = self.spec.e_cluster.static_power_w;
         let mut util_sum = 0.0;
-        for pl in &self.placements {
-            let thread = self
-                .threads
-                .iter()
-                .find(|t| t.id == pl.thread)
-                .expect("placement references live thread");
-            let w = &thread.workload;
+        for (pl, &ti) in self.placements.iter().zip(&self.placement_threads) {
+            let w = &self.threads[ti].workload;
             util_sum += w.utilization();
             match pl.cluster {
                 ClusterKind::Performance => {
@@ -343,13 +387,8 @@ impl Soc {
     fn per_core_utilization(&self) -> ([f64; 4], [f64; 4]) {
         let mut p = [0.0f64; 4];
         let mut e = [0.0f64; 4];
-        for pl in &self.placements {
-            let thread = self
-                .threads
-                .iter()
-                .find(|t| t.id == pl.thread)
-                .expect("placement references live thread");
-            let util = thread.workload.utilization();
+        for (pl, &ti) in self.placements.iter().zip(&self.placement_threads) {
+            let util = self.threads[ti].workload.utilization();
             match pl.cluster {
                 ClusterKind::Performance => {
                     if pl.core_index < 4 {
@@ -371,13 +410,8 @@ impl Soc {
     fn deterministic_signals(&self) -> (f64, f64) {
         let mut p_sig = 0.0;
         let mut e_sig = 0.0;
-        for pl in &self.placements {
-            let thread = self
-                .threads
-                .iter()
-                .find(|t| t.id == pl.thread)
-                .expect("placement references live thread");
-            let sig = thread.workload.deterministic_signal_w();
+        for (pl, &ti) in self.placements.iter().zip(&self.placement_threads) {
+            let sig = self.threads[ti].workload.deterministic_signal_w();
             match pl.cluster {
                 ClusterKind::Performance => p_sig += sig,
                 ClusterKind::Efficiency => e_sig += sig,
@@ -386,16 +420,30 @@ impl Soc {
         (p_sig, e_sig)
     }
 
+    /// The governor-feed step shared by [`Soc::step`] and the window
+    /// engine: select the telemetry feed, smooth it through the estimator
+    /// and let the governor react. Returns `(estimate_w, action)`.
+    fn feed_and_evaluate(
+        &mut self,
+        p_mean_w: f64,
+        e_mean_w: f64,
+        p_sig: f64,
+        e_sig: f64,
+    ) -> (f64, Option<ThrottleReason>) {
+        let feed_w = match self.governor_feed {
+            GovernorFeed::Estimator => p_mean_w + e_mean_w,
+            GovernorFeed::SensedPower => p_mean_w + e_mean_w + p_sig + e_sig,
+        };
+        let est = self.estimator.update(feed_w);
+        let action = self.governor.evaluate(&self.spec, est, self.thermal.temperature_c());
+        (est, action)
+    }
+
     /// Advance one time step (throttling-study path).
     pub fn step(&mut self, dt_s: f64) -> SocTick {
         let (p_w, e_w, util_sum) = self.mean_cluster_power();
         let (p_sig, e_sig) = self.deterministic_signals();
-        let feed_w = match self.governor_feed {
-            GovernorFeed::Estimator => p_w + e_w,
-            GovernorFeed::SensedPower => p_w + e_w + p_sig + e_sig,
-        };
-        let est = self.estimator.update(feed_w);
-        let action = self.governor.evaluate(&self.spec, est, self.thermal.temperature_c());
+        let (est, action) = self.feed_and_evaluate(p_w, e_w, p_sig, e_sig);
         let rails = self.assemble_rails((p_w + p_sig).max(0.0), (e_w + e_sig).max(0.0), util_sum);
         self.thermal.step(rails.package_w, dt_s);
         self.time_s += dt_s;
@@ -411,56 +459,129 @@ impl Soc {
         }
     }
 
-    /// Aggregate one measurement window analytically (trace-collection path).
-    ///
-    /// The data-dependent window signals of all placed threads are sampled
-    /// and added to their cluster rail; the estimator sees only the mean.
-    pub fn run_window(&mut self, duration_s: f64) -> WindowReport {
+    /// Rebuild the batch segment from the current operating point: mean
+    /// cluster powers, per-core utilization, repetition count and one
+    /// signal plan per placement.
+    fn refresh_segment(&mut self, duration_s: f64, seg: &mut BatchSegment) {
         let (p_mean, e_mean, util_sum) = self.mean_cluster_power();
-        let reps = self.p_core_reps(duration_s);
+        let (p_core_util, e_core_util) = self.per_core_utilization();
+        seg.p_mean_w = p_mean;
+        seg.e_mean_w = e_mean;
+        seg.util_sum = util_sum;
+        seg.reps = self.p_core_reps(duration_s);
+        seg.p_freq_ghz = self.governor.p_freq_ghz(&self.spec);
+        seg.e_freq_ghz = self.governor.e_freq_ghz(&self.spec);
+        seg.p_core_util = p_core_util;
+        seg.e_core_util = e_core_util;
+        seg.plans.clear();
+        for k in 0..self.placements.len() {
+            let cluster = self.placements[k].cluster;
+            let ti = self.placement_threads[k];
+            let plan = self.threads[ti].workload.signal_plan(seg.reps);
+            seg.plans.push((cluster, plan));
+        }
+    }
 
-        // Data-dependent / stochastic deviations per placed thread.
-        let mut p_sig = 0.0;
-        let mut e_sig = 0.0;
-        for pl in &self.placements {
-            let thread = self
-                .threads
-                .iter_mut()
-                .find(|t| t.id == pl.thread)
-                .expect("placement references live thread");
-            let sig = thread.workload.window_signal_w(reps, &mut self.rng);
-            match pl.cluster {
-                ClusterKind::Performance => p_sig += sig,
-                ClusterKind::Efficiency => e_sig += sig,
+    /// Aggregate one measurement window analytically (trace-collection
+    /// path). A thin single-window view over the batch engine: exactly
+    /// [`Soc::run_windows`] with `n = 1`, reusing an internal scratch
+    /// batch so the call allocates nothing in steady state.
+    pub fn run_window(&mut self, duration_s: f64) -> WindowReport {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.run_windows_into(1, duration_s, &mut scratch);
+        let report = scratch.report(0);
+        self.scratch = scratch;
+        report
+    }
+
+    /// Run `n` measurement windows of `duration_s` each and collect them
+    /// into a fresh [`WindowBatch`]. See [`Soc::run_windows_into`].
+    #[must_use]
+    pub fn run_windows(&mut self, n: usize, duration_s: f64) -> WindowBatch {
+        let mut batch = WindowBatch::new();
+        self.run_windows_into(n, duration_s, &mut batch);
+        batch
+    }
+
+    /// Run `n` measurement windows of `duration_s` each into a reusable
+    /// [`WindowBatch`] (cleared first; reusing one batch across calls
+    /// makes the steady-state campaign loop allocation-free).
+    ///
+    /// **Bit-identical to the sequential path**: the batch holds exactly
+    /// the reports `n` consecutive [`Soc::run_window`] calls would have
+    /// returned, consuming the simulation RNG in the same order. The
+    /// speedup comes from hoisting everything that is constant while the
+    /// operating point does not move — the placement walk, the workload
+    /// virtual calls and their plaintext/memo locks, per-core utilization
+    /// and the repetition count — out of the per-window loop into a
+    /// [`BatchSegment`] that is only rebuilt when the governor changes
+    /// frequency mid-batch.
+    ///
+    /// Within one batch the victim plaintext (and any other workload data
+    /// input) is treated as constant, which holds by construction for the
+    /// single-threaded rigs: attacker interactions happen between batches.
+    pub fn run_windows_into(&mut self, n: usize, duration_s: f64, batch: &mut WindowBatch) {
+        batch.clear(duration_s);
+        batch.reserve(n);
+        if n == 0 {
+            return;
+        }
+        let mut seg = std::mem::take(&mut self.segment);
+        self.refresh_segment(duration_s, &mut seg);
+        for _ in 0..n {
+            // Data-dependent / stochastic deviations per placed thread, in
+            // placement order (fixing the RNG stream).
+            let mut p_sig = 0.0;
+            let mut e_sig = 0.0;
+            for k in 0..seg.plans.len() {
+                let (cluster, plan) = seg.plans[k];
+                let sig = match plan {
+                    Some(plan) => plan.sample(&mut self.rng),
+                    None => {
+                        let ti = self.placement_threads[k];
+                        self.threads[ti].workload.window_signal_w(seg.reps, &mut self.rng)
+                    }
+                };
+                match cluster {
+                    ClusterKind::Performance => p_sig += sig,
+                    ClusterKind::Efficiency => e_sig += sig,
+                }
+            }
+
+            let (est, _action) = self.feed_and_evaluate(seg.p_mean_w, seg.e_mean_w, p_sig, e_sig);
+            let rails = self.assemble_rails(
+                (seg.p_mean_w + p_sig).max(0.0),
+                (seg.e_mean_w + e_sig).max(0.0),
+                seg.util_sum,
+            );
+            self.thermal.step(rails.package_w, duration_s);
+            self.time_s += duration_s;
+
+            let p_freq_ghz = self.governor.p_freq_ghz(&self.spec);
+            let e_freq_ghz = self.governor.e_freq_ghz(&self.spec);
+            batch.push(&WindowReport {
+                duration_s,
+                rails,
+                estimated_cpu_power_w: est,
+                estimated_p_cluster_w: seg.p_mean_w,
+                estimated_e_cluster_w: seg.e_mean_w,
+                p_freq_ghz,
+                e_freq_ghz,
+                temperature_c: self.thermal.temperature_c(),
+                p_core_reps: seg.reps,
+                p_core_util: seg.p_core_util,
+                e_core_util: seg.e_core_util,
+            });
+
+            // The governor may have moved the operating point (power or
+            // thermal limit, or recovery): everything derived from the
+            // frequency is stale, so rebuild the segment before the next
+            // window.
+            if p_freq_ghz != seg.p_freq_ghz || e_freq_ghz != seg.e_freq_ghz {
+                self.refresh_segment(duration_s, &mut seg);
             }
         }
-
-        let feed_w = match self.governor_feed {
-            GovernorFeed::Estimator => p_mean + e_mean,
-            GovernorFeed::SensedPower => p_mean + e_mean + p_sig + e_sig,
-        };
-        let est = self.estimator.update(feed_w);
-        let _ = self.governor.evaluate(&self.spec, est, self.thermal.temperature_c());
-
-        let rails =
-            self.assemble_rails((p_mean + p_sig).max(0.0), (e_mean + e_sig).max(0.0), util_sum);
-        self.thermal.step(rails.package_w, duration_s);
-        self.time_s += duration_s;
-
-        let (p_core_util, e_core_util) = self.per_core_utilization();
-        WindowReport {
-            duration_s,
-            rails,
-            estimated_cpu_power_w: est,
-            estimated_p_cluster_w: p_mean,
-            estimated_e_cluster_w: e_mean,
-            p_freq_ghz: self.governor.p_freq_ghz(&self.spec),
-            e_freq_ghz: self.governor.e_freq_ghz(&self.spec),
-            temperature_c: self.thermal.temperature_c(),
-            p_core_reps: reps,
-            p_core_util,
-            e_core_util,
-        }
+        self.segment = seg;
     }
 
     /// Borrow the simulation RNG (for callers that must stay on the same

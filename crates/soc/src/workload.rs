@@ -18,6 +18,49 @@ use psc_aes::leakage::LeakageModel;
 use rand::Rng;
 use std::sync::{Arc, Mutex};
 
+/// Per-batch evaluation plan of one thread's window signal.
+///
+/// Over a batch of windows in which the operating point (and therefore
+/// `reps`) and the workload's data input stay constant, every built-in
+/// workload's window signal is `deterministic_w + N(0, sigma_w²)` with an
+/// independent Gaussian draw per window. Capturing the two scalars once
+/// per batch lets [`crate::Soc::run_windows`] replace the per-window
+/// virtual `window_signal_w` calls (each locking the shared plaintext and
+/// activity memo) with a tight loop of batched Gaussian draws — while
+/// consuming the simulation RNG in exactly the same order, so batched and
+/// sequential evaluation stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalPlan {
+    /// Data-dependent (noise-free) part of the signal, watts.
+    pub deterministic_w: f64,
+    /// Per-window Gaussian noise σ, watts. Zero draws nothing from the RNG
+    /// (matching `window_signal_w` of noiseless workloads).
+    pub sigma_w: f64,
+}
+
+impl SignalPlan {
+    /// A plan with no signal at all (idle / constant-power workloads).
+    #[must_use]
+    pub fn silent() -> Self {
+        Self { deterministic_w: 0.0, sigma_w: 0.0 }
+    }
+
+    /// Draw one window's signal. Bit-identical to the planned workload's
+    /// `window_signal_w` at the `reps` the plan was built for.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.deterministic_w + gaussian(rng, 0.0, self.sigma_w)
+    }
+
+    /// Fill `out` with one signal per window, drawing noise in window
+    /// order (slot 0 first).
+    pub fn fill(&self, out: &mut [f64], rng: &mut dyn rand::RngCore) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
 /// Behaviour of one simulated thread's computation.
 pub trait Workload: Send + std::fmt::Debug {
     /// Human-readable name for logs and debugging.
@@ -34,6 +77,35 @@ pub trait Workload: Send + std::fmt::Debug {
     /// Zero-mean power deviation (watts) of this thread over one window in
     /// which the workload body executed `reps` times.
     fn window_signal_w(&mut self, reps: f64, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// The batch evaluation plan at `reps` repetitions per window, if this
+    /// workload's signal decomposes as `deterministic + N(0, σ²)` per
+    /// window (true for every built-in workload). `None` makes the window
+    /// engine fall back to per-window [`Workload::window_signal_w`] calls.
+    ///
+    /// Implementations must guarantee that, while the plan's inputs stay
+    /// unchanged, `plan.sample(rng)` is **bit-identical** to
+    /// `window_signal_w(reps, rng)` including RNG consumption.
+    fn signal_plan(&mut self, reps: f64) -> Option<SignalPlan> {
+        let _ = reps;
+        None
+    }
+
+    /// Fill `out` with one window signal per slot — the vectorized form of
+    /// [`Workload::window_signal_w`]. The default batches the Gaussian
+    /// draws through [`Workload::signal_plan`] when one exists and
+    /// otherwise loops the scalar path; either way the RNG is consumed
+    /// exactly as `out.len()` sequential `window_signal_w` calls would.
+    fn fill_window_signals(&mut self, reps: f64, out: &mut [f64], rng: &mut dyn rand::RngCore) {
+        match self.signal_plan(reps) {
+            Some(plan) => plan.fill(out, rng),
+            None => {
+                for slot in out {
+                    *slot = self.window_signal_w(reps, rng);
+                }
+            }
+        }
+    }
 
     /// The deterministic (noise-free) part of the current data-dependent
     /// power deviation, watts. Zero for data-independent workloads. Used by
@@ -64,6 +136,10 @@ impl Workload for Idle {
     fn window_signal_w(&mut self, _reps: f64, _rng: &mut dyn rand::RngCore) -> f64 {
         0.0
     }
+
+    fn signal_plan(&mut self, _reps: f64) -> Option<SignalPlan> {
+        Some(SignalPlan::silent())
+    }
 }
 
 /// `stress-ng --matrix`-style stressor: dense FP/SIMD matrix products, high
@@ -93,6 +169,10 @@ impl Workload for MatrixStressor {
     fn window_signal_w(&mut self, _reps: f64, rng: &mut dyn rand::RngCore) -> f64 {
         gaussian(rng, 0.0, self.jitter_w)
     }
+
+    fn signal_plan(&mut self, _reps: f64) -> Option<SignalPlan> {
+        Some(SignalPlan { deterministic_w: 0.0, sigma_w: self.jitter_w })
+    }
 }
 
 /// The paper's §4 stressor: floating-point multiplies between two *constant*
@@ -113,6 +193,10 @@ impl Workload for FmulStressor {
 
     fn window_signal_w(&mut self, _reps: f64, _rng: &mut dyn rand::RngCore) -> f64 {
         0.0
+    }
+
+    fn signal_plan(&mut self, _reps: f64) -> Option<SignalPlan> {
+        Some(SignalPlan::silent())
     }
 }
 
@@ -226,14 +310,19 @@ impl Workload for AesWorkload {
     }
 
     fn window_signal_w(&mut self, reps: f64, rng: &mut dyn rand::RngCore) -> f64 {
-        let deterministic = self.deterministic_signal_w();
+        self.signal_plan(reps).expect("AES workload always plans").sample(rng)
+    }
+
+    fn signal_plan(&mut self, reps: f64) -> Option<SignalPlan> {
         // Per-encryption electrical noise averages down over the window's
         // repetitions; `residual_sigma_w` is already the window-level value
         // for the nominal repetition count, so only mild extra averaging is
         // applied for longer windows.
         let averaging = (reps.max(1.0) / 1.0e7).sqrt().max(0.25);
-        let sigma = self.signal.residual_sigma_w / averaging;
-        deterministic + gaussian(rng, 0.0, sigma)
+        Some(SignalPlan {
+            deterministic_w: self.deterministic_signal_w(),
+            sigma_w: self.signal.residual_sigma_w / averaging,
+        })
     }
 
     fn deterministic_signal_w(&self) -> f64 {
@@ -275,11 +364,18 @@ impl Workload for MaskedAesWorkload {
     }
 
     fn window_signal_w(&mut self, reps: f64, rng: &mut dyn rand::RngCore) -> f64 {
+        self.signal_plan(reps).expect("masked AES workload always plans").sample(rng)
+    }
+
+    fn signal_plan(&mut self, reps: f64) -> Option<SignalPlan> {
         let averaging = (reps.max(1.0) / 1.0e7).sqrt().max(0.25);
         // Mask-sampling variance joins the residual noise; both average
-        // down over the window's repetitions.
-        let sigma = 1.4 * self.signal.residual_sigma_w / averaging;
-        gaussian(rng, 0.0, sigma)
+        // down over the window's repetitions. No deterministic part at
+        // all: masking scrubs the data dependence.
+        Some(SignalPlan {
+            deterministic_w: 0.0,
+            sigma_w: 1.4 * self.signal.residual_sigma_w / averaging,
+        })
     }
 }
 

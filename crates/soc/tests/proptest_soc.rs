@@ -1,14 +1,40 @@
 //! Property-based tests for the SoC substrate.
 
 use proptest::prelude::*;
+use psc_aes::leakage::LeakageModel;
 use psc_soc::config::SocSpec;
 use psc_soc::dvfs::ladder;
 use psc_soc::limits::{LimitGovernor, PowerEstimator, PowerMode};
 use psc_soc::power::{core_dynamic_power_w, PowerRails};
 use psc_soc::sched::{place, SchedAttrs, SchedPolicy, ThreadId};
 use psc_soc::thermal::ThermalModel;
-use psc_soc::workload::MatrixStressor;
+use psc_soc::workload::{
+    shared_plaintext, AesSignal, AesWorkload, MaskedAesWorkload, MatrixStressor, Workload,
+};
 use psc_soc::Soc;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The batched fill of `workload` must consume the RNG exactly as `n`
+/// sequential scalar calls would and yield bit-identical signals.
+fn assert_fill_matches_scalar(workload: &mut impl Workload, reps: f64, n: usize, seed: u64) {
+    let mut scalar_rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut batch_rng = ChaCha8Rng::seed_from_u64(seed);
+    let scalar: Vec<f64> =
+        (0..n).map(|_| workload.window_signal_w(reps, &mut scalar_rng)).collect();
+    let mut filled = vec![0.0f64; n];
+    workload.fill_window_signals(reps, &mut filled, &mut batch_rng);
+    for (i, (s, f)) in scalar.iter().zip(&filled).enumerate() {
+        assert_eq!(s.to_bits(), f.to_bits(), "slot {i}: {s} vs {f}");
+    }
+    // Both streams must end at the same point.
+    assert_eq!(
+        rand::Rng::gen::<u64>(&mut scalar_rng),
+        rand::Rng::gen::<u64>(&mut batch_rng),
+        "RNG streams diverged after the fill"
+    );
+}
 
 proptest! {
     #[test]
@@ -113,6 +139,75 @@ proptest! {
         for p in table.points() {
             prop_assert!(p.voltage_v >= v_min - 1e-12);
             prop_assert!(p.voltage_v <= v_min + dv + 1e-12);
+        }
+    }
+
+    #[test]
+    fn aes_workload_fill_matches_scalar(
+        seed in any::<u64>(),
+        pt_byte in any::<u8>(),
+        reps in 1.0e3f64..1.0e9,
+        n in 1usize..40,
+        w_per_unit in 1.0e-6f64..1.0e-3,
+        residual in 0.0f64..1.0e-2,
+    ) {
+        let model = Arc::new(LeakageModel::new(&[0x42u8; 16]).unwrap());
+        let pt = shared_plaintext([pt_byte; 16]);
+        let signal = AesSignal { w_per_unit, residual_sigma_w: residual };
+        let mut workload = AesWorkload::with_signal(model, pt, signal);
+        assert_fill_matches_scalar(&mut workload, reps, n, seed);
+    }
+
+    #[test]
+    fn masked_workload_fill_matches_scalar(
+        seed in any::<u64>(),
+        reps in 1.0e3f64..1.0e9,
+        n in 1usize..40,
+        residual in 0.0f64..1.0e-2,
+    ) {
+        let signal = AesSignal { w_per_unit: 5.0e-5, residual_sigma_w: residual };
+        let mut workload = MaskedAesWorkload::new(signal);
+        assert_fill_matches_scalar(&mut workload, reps, n, seed);
+    }
+
+    #[test]
+    fn stressor_fill_matches_scalar(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        jitter in 0.0f64..0.1,
+    ) {
+        let mut workload = MatrixStressor { jitter_w: jitter };
+        assert_fill_matches_scalar(&mut workload, 1.0e7, n, seed);
+    }
+
+    #[test]
+    fn batched_windows_match_sequential_for_any_seed(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        threads in 1usize..4,
+    ) {
+        let build = |seed: u64, threads: usize| {
+            let mut soc = Soc::new(SocSpec::macbook_air_m2(), seed);
+            let model = Arc::new(LeakageModel::new(&[0x42u8; 16]).unwrap());
+            let pt = shared_plaintext([0x5Au8; 16]);
+            let w = AesWorkload::new(model, pt);
+            for i in 0..threads {
+                soc.spawn(format!("aes{i}"), SchedAttrs::realtime_p_core(), Box::new(w.clone()));
+            }
+            soc
+        };
+        let mut batched = build(seed, threads);
+        let mut sequential = build(seed, threads);
+        let batch = batched.run_windows(n, 1.0);
+        for i in 0..n {
+            let expected = sequential.run_window(1.0);
+            let got = batch.report(i);
+            prop_assert_eq!(got.rails.p_cluster_w.to_bits(), expected.rails.p_cluster_w.to_bits());
+            prop_assert_eq!(
+                got.estimated_cpu_power_w.to_bits(),
+                expected.estimated_cpu_power_w.to_bits()
+            );
+            prop_assert_eq!(got.temperature_c.to_bits(), expected.temperature_c.to_bits());
         }
     }
 

@@ -2,17 +2,32 @@
 
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
-use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaMatrix};
+use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaMatrix, TvlaTracker};
 use std::collections::BTreeMap;
+
+/// Early-stop watch on one channel: a two-dataset [`TvlaTracker`] over the
+/// fixed plaintext classes (All-0s vs All-1s — the pair whose separation
+/// is the leakage signal), armed once both sides hold enough samples.
+#[derive(Debug, Clone)]
+struct WatchState {
+    min_per_side: u64,
+    tracker: TvlaTracker,
+}
 
 /// Streaming TVLA over every channel it sees: six Welford accumulators
 /// per channel instead of six growing `Vec`s. Shards run independent
 /// instances; [`StreamingTvla::merged`] combines them exactly.
+///
+/// Channels registered through [`StreamingTvla::watch`] additionally feed
+/// an online [`TvlaTracker`], giving adaptive campaigns a cheap
+/// [`StreamingTvla::leakage_detected`] signal to stop collection at the
+/// threshold crossing.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingTvla {
     accs: BTreeMap<ChannelId, TvlaAccumulator>,
     current: Option<(u8, Option<PlaintextClass>)>,
     orphan_samples: u64,
+    watched: BTreeMap<ChannelId, WatchState>,
 }
 
 impl StreamingTvla {
@@ -47,12 +62,45 @@ impl StreamingTvla {
         self.orphan_samples
     }
 
+    /// Watch `channel` for adaptive early stopping: every All-0s sample
+    /// feeds side A of an online [`TvlaTracker`], every All-1s sample side
+    /// B, and [`StreamingTvla::leakage_detected`] fires once both sides
+    /// hold at least `min_per_side` samples and |t| crosses the TVLA
+    /// threshold.
+    pub fn watch(&mut self, channel: ChannelId, min_per_side: u64) {
+        self.watched.insert(channel, WatchState { min_per_side, tracker: TvlaTracker::new() });
+    }
+
+    /// The early-stop tracker of a watched channel.
+    #[must_use]
+    pub fn tracker(&self, channel: ChannelId) -> Option<&TvlaTracker> {
+        self.watched.get(&channel).map(|w| &w.tracker)
+    }
+
+    /// Whether any watched channel has armed (reached its minimum sample
+    /// count on both fixed classes) and crossed the TVLA threshold.
+    #[must_use]
+    pub fn leakage_detected(&self) -> bool {
+        self.watched.values().any(|w| {
+            let (a, b) = w.tracker.counts();
+            a >= w.min_per_side && b >= w.min_per_side && w.tracker.leakage_detected()
+        })
+    }
+
     /// Merge a shard's accumulators into this one.
     #[must_use]
     pub fn merged(mut self, other: Self) -> Self {
         for (channel, acc) in other.accs {
             let entry = self.accs.entry(channel).or_default();
             *entry = entry.merged(acc);
+        }
+        for (channel, w) in other.watched {
+            match self.watched.get_mut(&channel) {
+                Some(mine) => mine.tracker = mine.tracker.merged(w.tracker),
+                None => {
+                    self.watched.insert(channel, w);
+                }
+            }
         }
         self.orphan_samples += other.orphan_samples;
         self
@@ -70,6 +118,13 @@ impl Processor for StreamingTvla {
             Event::Sample(s) => match self.current {
                 Some((pass, Some(class))) => {
                     self.accs.entry(s.channel).or_default().push(usize::from(pass), class, s.value);
+                    if let Some(w) = self.watched.get_mut(&s.channel) {
+                        match class {
+                            PlaintextClass::AllZeros => w.tracker.push_a(s.value),
+                            PlaintextClass::AllOnes => w.tracker.push_b(s.value),
+                            PlaintextClass::Random => {}
+                        }
+                    }
                 }
                 _ => self.orphan_samples += 1,
             },
@@ -132,6 +187,76 @@ mod tests {
         p.on_event(&sample(1.0));
         assert_eq!(p.orphan_samples(), 1);
         assert!(p.accumulator(ChannelId::Pcpu).is_none());
+    }
+
+    #[test]
+    fn watched_channel_detects_fixed_class_separation() {
+        let mut p = StreamingTvla::new();
+        p.watch(ChannelId::Pcpu, 20);
+        for i in 0..40 {
+            let jitter = f64::from(i % 5) * 0.01;
+            p.on_event(&window(0, PlaintextClass::AllZeros));
+            p.on_event(&sample(1.0 + jitter));
+            p.on_event(&window(0, PlaintextClass::AllOnes));
+            p.on_event(&sample(1.5 + jitter));
+            // Random-class samples must not feed the tracker.
+            p.on_event(&window(0, PlaintextClass::Random));
+            p.on_event(&sample(100.0));
+        }
+        assert!(p.leakage_detected());
+        assert_eq!(p.tracker(ChannelId::Pcpu).unwrap().counts(), (40, 40));
+    }
+
+    #[test]
+    fn watch_needs_minimum_samples_before_arming() {
+        let mut p = StreamingTvla::new();
+        p.watch(ChannelId::Pcpu, 50);
+        for _ in 0..10 {
+            p.on_event(&window(0, PlaintextClass::AllZeros));
+            p.on_event(&sample(1.0));
+            p.on_event(&window(0, PlaintextClass::AllOnes));
+            p.on_event(&sample(9.0));
+        }
+        assert!(
+            !p.leakage_detected(),
+            "clear separation but below the minimum count must stay silent"
+        );
+    }
+
+    #[test]
+    fn unwatched_flat_channel_never_detects() {
+        let mut p = StreamingTvla::new();
+        p.watch(ChannelId::Pcpu, 10);
+        for _ in 0..100 {
+            p.on_event(&window(0, PlaintextClass::AllZeros));
+            p.on_event(&sample(1.0));
+            p.on_event(&window(0, PlaintextClass::AllOnes));
+            p.on_event(&sample(1.0));
+        }
+        assert!(!p.leakage_detected(), "identical class means must not trip the tracker");
+    }
+
+    #[test]
+    fn merge_combines_watch_trackers() {
+        let feed = |p: &mut StreamingTvla| {
+            for i in 0..30 {
+                let jitter = f64::from(i % 3) * 0.01;
+                p.on_event(&window(0, PlaintextClass::AllZeros));
+                p.on_event(&sample(1.0 + jitter));
+                p.on_event(&window(0, PlaintextClass::AllOnes));
+                p.on_event(&sample(1.4 + jitter));
+            }
+        };
+        let mut a = StreamingTvla::new();
+        a.watch(ChannelId::Pcpu, 40);
+        let mut b = StreamingTvla::new();
+        b.watch(ChannelId::Pcpu, 40);
+        feed(&mut a);
+        assert!(!a.leakage_detected(), "one shard alone is below the minimum");
+        feed(&mut b);
+        let merged = a.merged(b);
+        assert_eq!(merged.tracker(ChannelId::Pcpu).unwrap().counts(), (60, 60));
+        assert!(merged.leakage_detected(), "merged shards cross the minimum");
     }
 
     #[test]

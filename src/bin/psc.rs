@@ -8,6 +8,7 @@
 //! psc cpa [--traces N]             # §3.4 CPA ranks + GE (Table 4 style)
 //! psc throttle                     # §4 throttling study
 //! psc success [--traces N]         # success-rate extension
+//! psc stream [--cpa|--adaptive]    # sharded streaming drivers
 //! psc collect --out FILE [--traces N] [--key HEX32]
 //!                                  # record a PHPC campaign to disk
 //! psc analyze FILE [--key HEX32]   # offline CPA over a recorded campaign
@@ -19,6 +20,9 @@ use apple_power_sca::core::experiments::screening::{run_table1, run_table2};
 use apple_power_sca::core::experiments::success_rate::run_success_rate;
 use apple_power_sca::core::experiments::throttling::run_throttling_study;
 use apple_power_sca::core::experiments::tvla::{run_table3, run_table5};
+use apple_power_sca::core::streaming::{
+    stream_known_plaintext_with, stream_tvla_adaptive, stream_tvla_campaign_with,
+};
 use apple_power_sca::core::{Device, ExperimentConfig, VictimKind};
 use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
 use apple_power_sca::sca::cpa::Cpa;
@@ -26,6 +30,7 @@ use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
 use apple_power_sca::sca::stats::fisher_interval;
 use apple_power_sca::smc::key::key;
+use apple_power_sca::smc::MitigationConfig;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -41,6 +46,11 @@ COMMANDS:
     throttle                  Section 4: throttling study
     countermeasures           Section 5: mitigation efficacy
     success [--traces N]      Extension: success rate vs trace budget
+    stream [--cpa|--adaptive] [--traces N] [--shards N] [--device m1|m2]
+           [--kernel] [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
+                              Sharded streaming drivers (O(1)-memory online
+                              TVLA / CPA; --adaptive stops at the TVLA
+                              threshold crossing)
     collect --out FILE [--traces N] [--key HEX32]
                               Record a PHPC campaign to FILE (.psct)
     analyze FILE [--key HEX32] [--detrend W]
@@ -105,6 +115,158 @@ fn report_cpa(set: &apple_power_sca::sca::trace::TraceSet, secret: Option<[u8; 1
             guessing_entropy(&ranks)
         );
     }
+}
+
+fn parse_device(args: &[String]) -> Result<Device, String> {
+    match parse_opt(args, "--device").as_deref() {
+        None | Some("m2") => Ok(Device::MacbookAirM2),
+        Some("m1") => Ok(Device::MacMiniM1),
+        Some(other) => Err(format!("unknown device {other:?} (expected m1 or m2)")),
+    }
+}
+
+fn parse_mitigation(args: &[String]) -> Result<MitigationConfig, String> {
+    let Some(spec) = parse_opt(args, "--mitigation") else {
+        return Ok(MitigationConfig::none());
+    };
+    let (name, value) = match spec.split_once('=') {
+        Some((n, v)) => (n, Some(v)),
+        None => (spec.as_str(), None),
+    };
+    let parse_value = |default: f64| -> Result<f64, String> {
+        value.map_or(Ok(default), |v| {
+            v.parse::<f64>().map_err(|e| format!("bad --mitigation value {v:?}: {e}"))
+        })
+    };
+    match name {
+        "none" => Ok(MitigationConfig::none()),
+        "restrict" => Ok(MitigationConfig::restrict_access()),
+        "noise" => Ok(MitigationConfig::noise_blend(parse_value(0.05)?)),
+        "slow" => Ok(MitigationConfig::slow_updates(parse_value(3.0)?)),
+        other => Err(format!("unknown mitigation {other:?} (none|restrict|noise|slow)")),
+    }
+}
+
+fn cmd_stream(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let device = parse_device(args)?;
+    let mitigation = parse_mitigation(args)?;
+    let shards = parse_opt(args, "--shards")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(cfg.shards)
+        .max(1);
+    let kind =
+        if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
+    let keys = device.table2_keys();
+
+    if parse_flag(args, "--cpa") {
+        // Per-device default budgets, mirroring the paper's 1M-vs-350k
+        // campaign sizes (scaled down in ExperimentConfig).
+        let default_traces = match device {
+            Device::MacbookAirM2 => cfg.cpa_traces_m2,
+            Device::MacMiniM1 => cfg.cpa_traces_m1,
+        };
+        let traces =
+            parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
+        let cpa_keys = device.cpa_keys();
+        println!(
+            "streaming {traces} known-plaintext traces over {shards} shard(s) on {} ...",
+            device.label()
+        );
+        let report = stream_known_plaintext_with(
+            device,
+            kind,
+            cfg.secret_key,
+            cfg.seed,
+            &cpa_keys,
+            traces,
+            shards,
+            mitigation,
+            || Box::new(Rd0Hw),
+        );
+        for &k in &report.keys {
+            match report.ranks(k, &cfg.secret_key) {
+                Some(ranks) => {
+                    let (recovered, near) = recovery_tally(&ranks);
+                    println!(
+                        "{k}: GE {:.1} bits, {recovered}/16 recovered, {near}/16 nearly",
+                        guessing_entropy(&ranks)
+                    );
+                }
+                None => println!("{k}: no readable samples"),
+            }
+        }
+        println!(
+            "bus: {} accepted, {} dropped; denied reads: {}",
+            report.bus.accepted,
+            report.bus.dropped,
+            report.monitor.denied_reads()
+        );
+        return Ok(());
+    }
+
+    let traces = parse_opt(args, "--traces")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.tvla_traces_per_class);
+    if parse_flag(args, "--adaptive") {
+        let watch = key("PHPC");
+        println!(
+            "adaptive TVLA on {} ({} shard(s), watching {watch}, budget {traces}/class) ...",
+            device.label(),
+            shards
+        );
+        let out = stream_tvla_adaptive(
+            device,
+            kind,
+            cfg.secret_key,
+            cfg.seed,
+            &keys,
+            watch,
+            traces,
+            shards,
+            mitigation,
+        );
+        println!(
+            "{} after {} round(s) of the {traces}-round budget",
+            if out.stopped_early { "leakage detected" } else { "no crossing" },
+            out.rounds_collected
+        );
+        if let Some(matrix) = out.report.matrix(watch) {
+            println!("{}", matrix.render());
+        }
+        return Ok(());
+    }
+
+    println!(
+        "streaming TVLA on {} ({} shard(s), {traces} traces/class) ...",
+        device.label(),
+        shards
+    );
+    let report = stream_tvla_campaign_with(
+        device,
+        kind,
+        cfg.secret_key,
+        cfg.seed,
+        &keys,
+        traces,
+        shards,
+        mitigation,
+    );
+    for &k in &report.keys {
+        match report.matrix(k) {
+            Some(matrix) => println!("{}", matrix.render()),
+            None => println!("{k}: no readable samples\n"),
+        }
+    }
+    if let Some(pcpu) = report.pcpu_matrix() {
+        println!("{}", pcpu.render());
+    }
+    println!(
+        "bus: {} accepted, {} dropped; denied reads: {}",
+        report.bus.accepted,
+        report.bus.dropped,
+        report.monitor.denied_reads()
+    );
+    Ok(())
 }
 
 fn cmd_collect(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
@@ -190,6 +352,7 @@ fn main() -> ExitCode {
             println!("{}", run_success_rate(&cfg, &counts, 5).render());
             Ok(())
         }
+        "stream" => cmd_stream(&cfg, rest),
         "collect" => cmd_collect(&cfg, rest),
         "analyze" => cmd_analyze(&cfg, rest),
         "help" | "--help" | "-h" => {
