@@ -6,7 +6,6 @@
 //! against each, printing the resulting guessing entropy.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use psc_core::campaign::collect_known_plaintext;
 use psc_core::experiments::cpa::rd0_ranks;
 use psc_core::rig::Device;
 use psc_core::victim::{AesVictim, VictimKind};
@@ -66,9 +65,6 @@ fn bench_threads(c: &mut Criterion) {
         });
     }
     group.finish();
-
-    // Keep collect_known_plaintext linked for API parity checks.
-    let _ = collect_known_plaintext as fn(&mut psc_core::Rig, &[psc_smc::SmcKey], usize) -> _;
 }
 
 criterion_group!(benches, bench_threads);

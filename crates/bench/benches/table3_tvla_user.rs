@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use psc_bench::bench_config;
 use psc_core::experiments::tvla::run_table3;
-use psc_core::streaming::stream_tvla_campaign;
+use psc_core::Campaign;
 use psc_core::{Device, VictimKind};
 
 fn bench_table3(c: &mut Criterion) {
@@ -20,15 +20,19 @@ fn bench_table3(c: &mut Criterion) {
     let keys = Device::MacbookAirM2.table2_keys();
     group.bench_function("tvla_user_150_per_class_streaming_x4", |b| {
         b.iter(|| {
-            black_box(stream_tvla_campaign(
-                Device::MacbookAirM2,
-                VictimKind::UserSpace,
-                cfg.secret_key,
-                cfg.seed,
-                &keys,
-                cfg.tvla_traces_per_class,
-                4,
-            ))
+            black_box(
+                Campaign::live(
+                    Device::MacbookAirM2,
+                    VictimKind::UserSpace,
+                    cfg.secret_key,
+                    cfg.seed,
+                )
+                .keys(&keys)
+                .traces(cfg.tvla_traces_per_class)
+                .shards(4)
+                .session()
+                .tvla(),
+            )
         });
     });
     group.finish();

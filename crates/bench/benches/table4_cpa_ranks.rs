@@ -29,16 +29,17 @@ fn bench_table4(c: &mut Criterion) {
     // one pipeline, no trace vectors retained.
     group.bench_function("m2_user_cpa_streaming_x4", |b| {
         b.iter(|| {
-            let report = psc_core::streaming::stream_known_plaintext(
+            let report = psc_core::Campaign::live(
                 psc_core::Device::MacbookAirM2,
                 psc_core::VictimKind::UserSpace,
                 cfg.secret_key,
                 cfg.seed,
-                &[key("PHPC")],
-                cfg.cpa_traces_m2,
-                4,
-                || Box::new(psc_sca::model::Rd0Hw),
-            );
+            )
+            .keys(&[key("PHPC")])
+            .traces(cfg.cpa_traces_m2)
+            .shards(4)
+            .session()
+            .cpa(|| Box::new(psc_sca::model::Rd0Hw));
             black_box(report.ranks(key("PHPC"), &cfg.secret_key))
         });
     });

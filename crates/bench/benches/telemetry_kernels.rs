@@ -3,10 +3,9 @@
 //! vs the sharded streaming pipeline at 10k+ traces.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use psc_core::campaign::collect_known_plaintext;
 use psc_core::rig::{Device, Rig};
-use psc_core::streaming::{stream_known_plaintext, stream_tvla_campaign};
 use psc_core::victim::VictimKind;
+use psc_core::Campaign;
 use psc_sca::model::Rd0Hw;
 use psc_sca::trace::Trace;
 use psc_sca::tvla::PlaintextClass;
@@ -135,7 +134,7 @@ fn bench_batch_vs_sharded(c: &mut Criterion) {
     group.bench_function("batch_single_thread", |b| {
         b.iter(|| {
             let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42);
-            let sets = collect_known_plaintext(&mut rig, &keys, n);
+            let sets = Campaign::over_rig(&mut rig).keys(&keys).traces(n).session().collect();
             let mut cpa = psc_sca::cpa::Cpa::new(Box::new(Rd0Hw));
             cpa.add_set(&sets[&keys[0]]);
             black_box(cpa.ranks(&SECRET))
@@ -145,16 +144,13 @@ fn bench_batch_vs_sharded(c: &mut Criterion) {
     for shards in [2usize, 4, 8] {
         group.bench_function(format!("streaming_sharded_x{shards}"), |b| {
             b.iter(|| {
-                let report = stream_known_plaintext(
-                    Device::MacbookAirM2,
-                    VictimKind::UserSpace,
-                    SECRET,
-                    42,
-                    &keys,
-                    n,
-                    shards,
-                    || Box::new(Rd0Hw),
-                );
+                let report =
+                    Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42)
+                        .keys(&keys)
+                        .traces(n)
+                        .shards(shards)
+                        .session()
+                        .cpa(|| Box::new(Rd0Hw));
                 black_box(report.ranks(keys[0], &SECRET))
             });
         });
@@ -170,22 +166,20 @@ fn bench_sharded_tvla(c: &mut Criterion) {
     group.bench_function("batch_single_thread", |b| {
         b.iter(|| {
             let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42);
-            let campaign = psc_core::campaign::run_tvla_campaign(&mut rig, &keys, 1_000);
+            let campaign =
+                Campaign::over_rig(&mut rig).keys(&keys).traces(1_000).session().tvla_datasets();
             black_box(campaign.per_key[&keys[0]].matrix("PHPC"))
         });
     });
 
     group.bench_function("streaming_sharded_x4", |b| {
         b.iter(|| {
-            let report = stream_tvla_campaign(
-                Device::MacbookAirM2,
-                VictimKind::UserSpace,
-                SECRET,
-                42,
-                &keys,
-                1_000,
-                4,
-            );
+            let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 42)
+                .keys(&keys)
+                .traces(1_000)
+                .shards(4)
+                .session()
+                .tvla();
             black_box(report.matrix(keys[0]))
         });
     });

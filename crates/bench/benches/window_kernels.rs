@@ -9,11 +9,14 @@
 //! numbers measure pure engine overhead.
 //!
 //! Expected shape on the 1-CPU dev container: the engine-level sweep wins
-//! clearly (segment setup amortized over the batch), while the rig-level
-//! per-observation numbers are nearly flat — one observation is dominated
-//! by the SMC *publish* (per-sensor gain/noise/quantization pipeline),
-//! which batching neither adds to nor removes. That headroom is the next
-//! optimisation target, recorded here as an honest baseline.
+//! clearly (segment setup amortized over the batch). The rig-level
+//! per-observation number is dominated by the SMC *publish* — originally a
+//! per-sensor `BTreeMap` walk that cloned every sensor definition per
+//! publish (~19 µs/observation, recorded as
+//! [`RIG_OBS_NS_BEFORE_SMC_FLATTEN`]); the dense index-keyed sensor
+//! runtime resolved once at `Smc::new` is what the current number
+//! measures, and the JSON artifact keeps both so the before/after stays
+//! visible.
 //!
 //! Besides the printed lines, the run records its numbers in
 //! `BENCH_windows.json` at the workspace root (override with
@@ -33,6 +36,10 @@ use std::sync::Arc;
 
 const BENCH: &str = "window_kernels";
 const BATCH_SIZES: [usize; 3] = [8, 64, 256];
+/// Rig-level per-observation cost measured on this 1-CPU container before
+/// the SMC publish pipeline was flattened (BTreeMap-walking publish, PR 3's
+/// closing number) — kept as the comparison baseline for the artifact.
+const RIG_OBS_NS_BEFORE_SMC_FLATTEN: f64 = 18_543.0;
 
 fn victim_soc() -> Soc {
     let mut soc = Soc::new(SocSpec::macbook_air_m2(), 42);
@@ -85,9 +92,14 @@ fn main() {
 
     let engine_speedup = scalar / best_batched;
     let rig_speedup = rig_scalar / rig_batched;
+    let smc_flatten_speedup = RIG_OBS_NS_BEFORE_SMC_FLATTEN / rig_batched;
     println!();
     println!("batched engine vs scalar loop:   {engine_speedup:.2}x");
     println!("batched rig vs per-observation:  {rig_speedup:.2}x");
+    println!(
+        "rig obs vs pre-flatten SMC publish ({:.0} ns): {smc_flatten_speedup:.2}x",
+        RIG_OBS_NS_BEFORE_SMC_FLATTEN
+    );
 
     // --- BENCH_windows.json ----------------------------------------------
     let mut json = json_header(BENCH);
@@ -99,6 +111,8 @@ fn main() {
     json_field(&mut json, "rig_observe_window_ns", rig_scalar);
     json_field(&mut json, "rig_observe_windows32_per_obs_ns", rig_batched);
     json_field(&mut json, "rig_batched_speedup", rig_speedup);
+    json_field(&mut json, "rig_obs_ns_before_smc_flatten", RIG_OBS_NS_BEFORE_SMC_FLATTEN);
+    json_field(&mut json, "smc_flatten_speedup", smc_flatten_speedup);
     let out =
         write_artifact(json, &format!("{}/../../BENCH_windows.json", env!("CARGO_MANIFEST_DIR")));
     println!("\nwrote {out}");

@@ -1,20 +1,21 @@
-//! Trace-collection campaigns: the attacker's measurement loops.
+//! Legacy batch trace-collection API — thin shims over the [`Campaign`]
+//! builder — plus the retained-dataset shapes they return.
 //!
-//! Since the telemetry refactor these batch APIs are thin adapters over
-//! the `psc-telemetry` event pipeline: the rig loop *emits* window /
-//! sample / sched events and retaining collector processors rebuild the
-//! historical data structures. The streaming, sharded, O(1)-memory
-//! drivers live in [`crate::streaming`]; use those for large campaigns.
+//! The free functions here were the attacker's original measurement
+//! loops. The [`crate::session`] redesign folded them into one builder
+//! (`Campaign::over_rig(rig)` for the borrowed-rig shapes,
+//! `Campaign::live(…)` for the parallel collectors); every function
+//! below is a deprecated one-line shim kept for one release, returning
+//! bit-identical results (pinned by `tests/campaign_builder.rs`). The
+//! streaming, sharded, O(1)-memory analyses live on
+//! [`crate::session::Session`] directly.
 
 use crate::rig::{Device, Rig};
-use crate::streaming::{emit_observation, OBS_CHUNK};
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::trace::TraceSet;
-use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
+use psc_sca::tvla::TvlaMatrix;
 use psc_smc::SmcKey;
-use psc_telemetry::event::ChannelId;
-use psc_telemetry::processor::Pump;
-use psc_telemetry::processors::{DatasetCollector, TraceCollector};
 use std::collections::BTreeMap;
 
 /// The six datasets of one TVLA campaign for one channel: each of the
@@ -23,7 +24,8 @@ use std::collections::BTreeMap;
 /// `PSTR` as false positives).
 #[derive(Debug, Clone, Default)]
 pub struct TvlaDatasets {
-    /// First-pass datasets, indexed like [`PlaintextClass::ALL`].
+    /// First-pass datasets, indexed like
+    /// [`psc_sca::tvla::PlaintextClass::ALL`].
     pub first: [Vec<f64>; 3],
     /// Second-pass (primed) datasets.
     pub second: [Vec<f64>; 3],
@@ -49,123 +51,35 @@ pub struct TvlaCampaign {
     pub dropped_samples: u64,
 }
 
-/// Collect TVLA datasets: for each pass and each plaintext class, run
-/// `traces_per_class` windows with the class plaintext loaded into the
-/// victim, logging every requested SMC key and the `PCPU` channel.
-///
-/// Thin wrapper over the telemetry pipeline: plaintexts go through the
-/// batched [`Rig::observe_windows`] path in [`OBS_CHUNK`]-sized slices
-/// and events are dispatched inline to a retaining [`DatasetCollector`],
-/// so the returned vectors are identical to the historical per-window
-/// batch implementation.
+/// Collect TVLA datasets over a caller-owned rig: for each pass and each
+/// plaintext class, run `traces_per_class` windows with the class
+/// plaintext loaded into the victim, logging every requested SMC key and
+/// the `PCPU` channel.
+#[deprecated(note = "use Campaign::over_rig(rig).keys(…).traces(…).session().tvla_datasets()")]
 pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize) -> TvlaCampaign {
-    let mut collector = DatasetCollector::new();
-    let mut denied_total: u64 = 0;
-    {
-        let mut pump = Pump::new();
-        pump.attach(&mut collector);
-        let mut seq = 0u64;
-        let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
-        for pass in 0..2u8 {
-            for class in PlaintextClass::ALL {
-                let mut remaining = traces_per_class;
-                while remaining > 0 {
-                    let take = remaining.min(OBS_CHUNK);
-                    pts.clear();
-                    pts.extend((0..take).map(|_| {
-                        class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
-                    }));
-                    for obs in rig.observe_windows(&pts, keys) {
-                        let denied = emit_observation(
-                            &mut |event| pump.dispatch(&event),
-                            seq,
-                            pass,
-                            Some(class),
-                            &obs,
-                            rig.window_s(),
-                        );
-                        denied_total += u64::from(denied);
-                        seq += 1;
-                    }
-                    remaining -= take;
-                }
-            }
-        }
-        pump.finish();
-    }
-
-    let mut campaign = TvlaCampaign::default();
-    for key in keys {
-        let datasets = collector
-            .take(ChannelId::Smc(*key))
-            .map_or_else(TvlaDatasets::default, |[first, second]| TvlaDatasets { first, second });
-        campaign.per_key.insert(*key, datasets);
-    }
-    if let Some([first, second]) = collector.take(ChannelId::Pcpu) {
-        campaign.pcpu = TvlaDatasets { first, second };
-    }
-    campaign.dropped_samples =
-        denied_total + collector.orphan_samples() + collector.residual_samples();
-    campaign
+    Campaign::over_rig(rig).keys(keys).traces(traces_per_class).session().tvla_datasets()
 }
 
-/// Collect known-plaintext CPA traces: `n` windows with fresh random
-/// plaintexts, logging every requested key (§3.4's collection loop).
-///
-/// Thin wrapper over the telemetry pipeline via a retaining
-/// [`TraceCollector`], fed by the batched [`Rig::observe_windows`] path
-/// in [`OBS_CHUNK`]-sized slices; denied reads and unrequested channels
-/// are skipped, never panicked on.
+/// Collect known-plaintext CPA traces over a caller-owned rig: `n`
+/// windows with fresh random plaintexts, logging every requested key
+/// (§3.4's collection loop).
+#[deprecated(note = "use Campaign::over_rig(rig).keys(…).traces(…).session().collect()")]
 pub fn collect_known_plaintext(
     rig: &mut Rig,
     keys: &[SmcKey],
     n: usize,
 ) -> BTreeMap<SmcKey, TraceSet> {
-    let mut collector = TraceCollector::with_capacity_hint(n);
-    {
-        let mut pump = Pump::new();
-        pump.attach(&mut collector);
-        let mut seq = 0u64;
-        let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
-        let mut remaining = n;
-        while remaining > 0 {
-            let take = remaining.min(OBS_CHUNK);
-            pts.clear();
-            pts.extend((0..take).map(|_| rig.random_plaintext()));
-            for obs in rig.observe_windows(&pts, keys) {
-                emit_observation(
-                    &mut |event| pump.dispatch(&event),
-                    seq,
-                    0,
-                    None,
-                    &obs,
-                    rig.window_s(),
-                );
-                seq += 1;
-            }
-            remaining -= take;
-        }
-        pump.finish();
-    }
-    keys.iter()
-        .map(|&k| {
-            let set =
-                collector.take(ChannelId::Smc(k)).unwrap_or_else(|| TraceSet::new(k.to_string()));
-            (k, set)
-        })
-        .collect()
+    Campaign::over_rig(rig).keys(keys).traces(n).session().collect()
 }
 
 /// Parallel known-plaintext collection: shards the campaign across
-/// independent rigs (seeded `seed + shard`) on OS threads and concatenates
-/// the per-key trace sets in shard order.
-///
-/// Physically this corresponds to pooling traces from repeated collection
-/// sessions, which is how a real attacker amortizes a 1M-trace campaign.
+/// independent rigs (seeded `seed + shard`) on OS threads and
+/// concatenates the per-key trace sets in shard order.
 ///
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).keys(…).traces(…).shards(…).session().collect()")]
 #[must_use]
 pub fn collect_known_plaintext_parallel(
     device: Device,
@@ -176,16 +90,12 @@ pub fn collect_known_plaintext_parallel(
     n: usize,
     shards: usize,
 ) -> BTreeMap<SmcKey, TraceSet> {
-    collect_known_plaintext_parallel_with(
-        device,
-        kind,
-        secret_key,
-        seed,
-        keys,
-        n,
-        shards,
-        psc_smc::MitigationConfig::none(),
-    )
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(n)
+        .shards(shards)
+        .session()
+        .collect()
 }
 
 /// As [`collect_known_plaintext_parallel`], with a countermeasure
@@ -195,6 +105,7 @@ pub fn collect_known_plaintext_parallel(
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).mitigation(…).session().collect()")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn collect_known_plaintext_parallel_with(
@@ -207,26 +118,17 @@ pub fn collect_known_plaintext_parallel_with(
     shards: usize,
     mitigation: psc_smc::MitigationConfig,
 ) -> BTreeMap<SmcKey, TraceSet> {
-    let counts = psc_telemetry::split_counts(n, shards);
-    let shard_results = psc_telemetry::run_sharded(shards, |i| {
-        let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
-        rig.set_mitigation(mitigation);
-        collect_known_plaintext(&mut rig, keys, counts[i])
-    });
-
-    let mut merged: BTreeMap<SmcKey, TraceSet> =
-        keys.iter().map(|&k| (k, TraceSet::with_capacity(k.to_string(), n))).collect();
-    for shard in shard_results {
-        for (key, set) in shard {
-            if let Some(target) = merged.get_mut(&key) {
-                target.extend(set.traces().iter().copied());
-            }
-        }
-    }
-    merged
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(n)
+        .shards(shards)
+        .mitigation(mitigation)
+        .session()
+        .collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use psc_smc::key::key;

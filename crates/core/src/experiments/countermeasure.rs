@@ -10,10 +10,10 @@
 //!   attacker's trace rate; at a fixed wall-clock budget the trace count
 //!   (and hence recovery) drops.
 
-use crate::campaign::collect_known_plaintext_parallel_with;
 use crate::experiments::config::ExperimentConfig;
 use crate::experiments::cpa::rd0_ranks;
 use crate::rig::Device;
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::rank::{guessing_entropy, recovery_tally};
 use psc_smc::key::key;
@@ -49,16 +49,18 @@ fn scenario(
 ) -> CountermeasureRow {
     // The interval multiplier divides the trace rate at fixed wall clock.
     let traces = (wall_clock_windows as f64 / mitigation.update_interval_multiplier) as usize;
-    let sets = collect_known_plaintext_parallel_with(
+    let sets = Campaign::live(
         Device::MacbookAirM2,
         VictimKind::UserSpace,
         cfg.secret_key,
         cfg.seed ^ 0xC0DE,
-        &[key("PHPC")],
-        traces,
-        cfg.shards,
-        mitigation,
-    );
+    )
+    .keys(&[key("PHPC")])
+    .traces(traces)
+    .shards(cfg.shards)
+    .mitigation(mitigation)
+    .session()
+    .collect();
     let set = &sets[&key("PHPC")];
     if set.is_empty() {
         return CountermeasureRow {

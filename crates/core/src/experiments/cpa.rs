@@ -1,9 +1,9 @@
 //! Table 4: CPA key-byte ranks and Guessing Entropy with the Rd0-HW model,
 //! and the shared trace-collection entry points reused by Figure 1.
 
-use crate::campaign::collect_known_plaintext_parallel;
 use crate::experiments::config::ExperimentConfig;
 use crate::rig::Device;
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::cpa::Cpa;
 use psc_sca::model::Rd0Hw;
@@ -49,44 +49,45 @@ pub struct Table4 {
 /// Collect the M2 user-space CPA trace sets (also reused by Fig. 1a).
 #[must_use]
 pub fn collect_m2_user_traces(cfg: &ExperimentConfig) -> BTreeMap<SmcKey, TraceSet> {
-    collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        cfg.secret_key,
-        cfg.seed,
-        &Device::MacbookAirM2.cpa_keys(),
-        cfg.cpa_traces_m2,
-        cfg.shards,
-    )
+    Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, cfg.secret_key, cfg.seed)
+        .keys(&Device::MacbookAirM2.cpa_keys())
+        .traces(cfg.cpa_traces_m2)
+        .shards(cfg.shards)
+        .session()
+        .collect()
 }
 
 /// Collect the M1 user-space `PHPC` trace set.
 #[must_use]
 pub fn collect_m1_phpc_traces(cfg: &ExperimentConfig) -> TraceSet {
-    let mut sets = collect_known_plaintext_parallel(
+    let mut sets = Campaign::live(
         Device::MacMiniM1,
         VictimKind::UserSpace,
         cfg.secret_key,
         cfg.seed.wrapping_add(7_000),
-        &[key("PHPC")],
-        cfg.cpa_traces_m1,
-        cfg.shards,
-    );
+    )
+    .keys(&[key("PHPC")])
+    .traces(cfg.cpa_traces_m1)
+    .shards(cfg.shards)
+    .session()
+    .collect();
     sets.remove(&key("PHPC")).expect("PHPC collected")
 }
 
 /// Collect the M2 kernel-module trace sets (used by Fig. 1b).
 #[must_use]
 pub fn collect_m2_kernel_traces(cfg: &ExperimentConfig) -> BTreeMap<SmcKey, TraceSet> {
-    collect_known_plaintext_parallel(
+    Campaign::live(
         Device::MacbookAirM2,
         VictimKind::KernelModule,
         cfg.secret_key,
         cfg.seed.wrapping_add(14_000),
-        &Device::MacbookAirM2.cpa_keys(),
-        cfg.cpa_traces_kernel,
-        cfg.shards,
     )
+    .keys(&Device::MacbookAirM2.cpa_keys())
+    .traces(cfg.cpa_traces_kernel)
+    .shards(cfg.shards)
+    .session()
+    .collect()
 }
 
 /// Run Rd0-HW CPA over one trace set and rank against the secret key.

@@ -5,9 +5,9 @@
 //! observation that "accumulating more traces improves the likelihood of
 //! recovering all key bytes".
 
-use crate::campaign::collect_known_plaintext;
 use crate::experiments::config::ExperimentConfig;
 use crate::rig::{Device, Rig};
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::cpa::Cpa;
 use psc_sca::model::Rd0Hw;
@@ -54,7 +54,11 @@ pub fn run_success_rate(
     for rep in 0..repetitions {
         let seed = cfg.seed.wrapping_add(90_000 + 131 * rep as u64);
         let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, cfg.secret_key, seed);
-        let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], max_traces);
+        let sets = Campaign::over_rig(&mut rig)
+            .keys(&[key("PHPC")])
+            .traces(max_traces)
+            .session()
+            .collect();
         let set = &sets[&key("PHPC")];
         let mut cpa = Cpa::new(Box::new(Rd0Hw));
         let mut next = 0usize;

@@ -7,10 +7,10 @@
 //!   throttling — no data correlation (the governor follows the data-blind
 //!   `PHPS` estimator).
 
-use crate::campaign::run_tvla_campaign;
 use crate::experiments::config::ExperimentConfig;
 use crate::experiments::throttling::timing_tvla_datasets;
 use crate::rig::{Device, Rig};
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::tvla::TvlaMatrix;
 
@@ -29,7 +29,8 @@ pub fn run_table6(cfg: &ExperimentConfig) -> Table6 {
     // Left column: PCPU channel while the user-space victim encrypts.
     let mut rig =
         Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, cfg.secret_key, cfg.seed ^ 0x6666);
-    let campaign = run_tvla_campaign(&mut rig, &[], cfg.tvla_traces_per_class);
+    let campaign =
+        Campaign::over_rig(&mut rig).traces(cfg.tvla_traces_per_class).session().tvla_datasets();
     let pcpu = campaign.pcpu.matrix("PCPU (IOReport)");
 
     // Right column: timing under lowpowermode throttling.

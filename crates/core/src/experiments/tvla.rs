@@ -2,9 +2,9 @@
 //! against the user-space victim (Table 3) and the kernel-module victim
 //! (Table 5), both on the MacBook Air M2.
 
-use crate::campaign::run_tvla_campaign;
 use crate::experiments::config::ExperimentConfig;
 use crate::rig::{Device, Rig};
+use crate::session::Campaign;
 use crate::victim::VictimKind;
 use psc_sca::tvla::TvlaMatrix;
 use psc_smc::key::key;
@@ -37,7 +37,11 @@ pub fn table3_key_order() -> Vec<SmcKey> {
 fn run_tvla_table(cfg: &ExperimentConfig, victim: VictimKind) -> TvlaTable {
     let keys = table3_key_order();
     let mut rig = Rig::new(Device::MacbookAirM2, victim, cfg.secret_key, cfg.seed);
-    let campaign = run_tvla_campaign(&mut rig, &keys, cfg.tvla_traces_per_class);
+    let campaign = Campaign::over_rig(&mut rig)
+        .keys(&keys)
+        .traces(cfg.tvla_traces_per_class)
+        .session()
+        .tvla_datasets();
     let matrices = keys.iter().map(|k| campaign.per_key[k].matrix(k.to_string())).collect();
     let second_order = keys
         .iter()
@@ -69,7 +73,11 @@ pub fn run_m1_phpc_tvla(cfg: &ExperimentConfig) -> TvlaMatrix {
     let keys = vec![key("PHPC")];
     let mut rig =
         Rig::new(Device::MacMiniM1, VictimKind::UserSpace, cfg.secret_key, cfg.seed ^ 0x0117);
-    let campaign = run_tvla_campaign(&mut rig, &keys, cfg.tvla_traces_per_class);
+    let campaign = Campaign::over_rig(&mut rig)
+        .keys(&keys)
+        .traces(cfg.tvla_traces_per_class)
+        .session()
+        .tvla_datasets();
     campaign.per_key[&key("PHPC")].matrix("PHPC (M1)")
 }
 

@@ -7,12 +7,15 @@
 //!   read the key);
 //! * [`rig`] — one simulated device with SMC, IOKit client, IOReport and a
 //!   victim installed;
-//! * [`campaign`] — the attacker's batch trace-collection loops (TVLA
-//!   datasets, known-plaintext CPA traces, parallel sharded collection),
-//!   now thin adapters over the `psc-telemetry` event pipeline;
-//! * [`streaming`] — sharded streaming campaigns: bounded event buses,
-//!   online Welford TVLA / incremental CPA accumulators, O(1) memory in
-//!   trace count, merged across worker threads;
+//! * [`session`] — the unified campaign driver: a [`Campaign`] builder
+//!   describing {TVLA, CPA, adaptive TVLA} × {keys, budget, shards,
+//!   mitigation, recording}, executed by a [`Session`] over any
+//!   [`source::TraceSource`];
+//! * [`source`] — the pluggable trace sources: live rigs, a borrowed
+//!   rig, recorded-shard replay ([`ShardReplay`]) and heterogeneous
+//!   device fleets ([`Fleet`]);
+//! * [`campaign`] / [`streaming`] — the legacy free-function API, now
+//!   deprecated one-line shims over the builder (kept for one release);
 //! * [`experiments`] — a runner per table/figure of the paper, with
 //!   paper-format rendering.
 //!
@@ -30,6 +33,29 @@
 //! let table2 = screening::run_table2(&cfg);
 //! assert!(table2.rows[1].varying_keys.iter().any(|k| k.to_string() == "PHPC"));
 //! ```
+//!
+//! ## Migrating from the legacy driver functions
+//!
+//! Every legacy free function is a deprecated shim over the builder and
+//! produces identical results. The mapping:
+//!
+//! | Legacy call | Builder equivalent |
+//! |---|---|
+//! | `run_tvla_campaign(&mut rig, keys, n)` | `Campaign::over_rig(&mut rig).keys(keys).traces(n).session().tvla_datasets()` |
+//! | `collect_known_plaintext(&mut rig, keys, n)` | `Campaign::over_rig(&mut rig).keys(keys).traces(n).session().collect()` |
+//! | `collect_known_plaintext_parallel(dev, kind, key, seed, keys, n, s)` | `Campaign::live(dev, kind, key, seed).keys(keys).traces(n).shards(s).session().collect()` |
+//! | `collect_known_plaintext_parallel_with(…, m)` | `Campaign::live(…).mitigation(m)….session().collect()` |
+//! | `stream_tvla_campaign(dev, kind, key, seed, keys, n, s)` | `Campaign::live(dev, kind, key, seed).keys(keys).traces(n).shards(s).session().tvla()` |
+//! | `stream_tvla_campaign_with(…, m)` | `Campaign::live(…).mitigation(m)….session().tvla()` |
+//! | `stream_tvla_adaptive(…, watch, max, s, m)` | `Campaign::live(…).traces(max).shards(s).mitigation(m).early_stop(watch).session().adaptive_tvla()` |
+//! | `stream_known_plaintext(…, factory)` | `Campaign::live(…)….session().cpa(factory)` |
+//! | `stream_known_plaintext_with(…, m, factory)` | `Campaign::live(…).mitigation(m)….session().cpa(factory)` |
+//!
+//! What the legacy matrix could **not** express now composes for free:
+//! swap `Campaign::live(…)` for [`Campaign::replay`] (offline re-analysis
+//! of recorded shards) or [`Campaign::fleet`] (multi-device campaigns),
+//! add `.record_to(dir)` to persist any streaming campaign, and
+//! `.early_stop(watch)` works with every source.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,13 +64,21 @@ pub mod campaign;
 pub mod experiments;
 pub mod pmset;
 pub mod rig;
+pub mod session;
+pub mod source;
 pub mod streaming;
 pub mod victim;
 
-pub use campaign::{collect_known_plaintext, run_tvla_campaign, TvlaCampaign, TvlaDatasets};
+#[allow(deprecated)]
+pub use campaign::{collect_known_plaintext, run_tvla_campaign};
+pub use campaign::{TvlaCampaign, TvlaDatasets};
 pub use experiments::ExperimentConfig;
 pub use rig::{Device, Observation, Rig};
-pub use streaming::{
-    stream_known_plaintext, stream_tvla_campaign, StreamingCpaReport, StreamingTvlaReport,
+pub use session::{
+    AdaptiveTvlaReport, Campaign, CampaignSpec, EarlyStop, Session, StreamingCpaReport,
+    StreamingTvlaReport,
 };
+pub use source::{Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardReplay, TraceSource};
+#[allow(deprecated)]
+pub use streaming::{stream_known_plaintext, stream_tvla_campaign};
 pub use victim::{AesVictim, VictimKind};

@@ -201,7 +201,7 @@ impl Rig {
         batch: &mut WindowBatch,
     ) -> Observation {
         let ciphertext = self.victim.request_encrypt(plaintext);
-        let before = self.ioreport.snapshot();
+        let before_pcpu_mj = self.ioreport.pcpu_total_mj();
         let mut windows = 0u32;
         // The SMC may need several windows per publish under the
         // interval-stretching mitigation; `windows_until_publish` sizes
@@ -217,12 +217,7 @@ impl Rig {
                 break;
             }
         }
-        let pcpu_delta_mj = self
-            .ioreport
-            .snapshot()
-            .delta(&before)
-            .get(&EnergyModelReporter::pcpu())
-            .map_or(0.0, |v| v.value);
+        let pcpu_delta_mj = self.ioreport.pcpu_total_mj() - before_pcpu_mj;
         let smc =
             keys.iter().map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value))).collect();
         Observation {

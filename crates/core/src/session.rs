@@ -1,0 +1,667 @@
+//! The unified campaign driver: one builder, every analysis × source.
+//!
+//! The paper's evaluation is a matrix of campaigns — {TVLA,
+//! known-plaintext CPA, adaptive TVLA} × {devices, victims, mitigations,
+//! shard counts} — and this module is its single entry point. A
+//! [`Campaign`] describes *what* to run (keys, trace budget, shard count,
+//! mitigation, early-stop policy, optional recording) over a pluggable
+//! [`TraceSource`] (*where* observations come from: live rigs, a borrowed
+//! rig, recorded shards, a device fleet); [`Campaign::session`] freezes
+//! the description into a [`Session`] whose typed run methods execute it:
+//!
+//! ```
+//! use psc_core::session::Campaign;
+//! use psc_core::{Device, VictimKind};
+//! use psc_smc::key::key;
+//!
+//! let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 7)
+//!     .keys(&[key("PHPC")])
+//!     .traces(16)
+//!     .shards(2)
+//!     .session()
+//!     .tvla();
+//! assert!(report.matrix(key("PHPC")).is_some());
+//! ```
+//!
+//! Every shard runs as producer thread (the source) + consumer thread
+//! (online processors over a bounded event bus with `Block`
+//! backpressure), and shard accumulators are sum-merged — O(1) memory in
+//! trace count on the streaming paths, with results that match the
+//! historical free functions bit-for-bit on same-seed live paths (see
+//! `tests/campaign_builder.rs`).
+
+use crate::campaign::{TvlaCampaign, TvlaDatasets};
+use crate::rig::{Device, Rig};
+use crate::source::{Fleet, LiveRig, RigSource, Schedule, ShardPlan, ShardReplay, TraceSource};
+use crate::victim::VictimKind;
+use psc_sca::cpa::HypTable;
+use psc_sca::model::PowerModel;
+use psc_sca::trace::TraceSet;
+use psc_sca::tvla::TvlaMatrix;
+use psc_smc::{MitigationConfig, SmcKey};
+use psc_telemetry::event::{ChannelId, Event};
+use psc_telemetry::processor::{Processor, Pump};
+use psc_telemetry::processors::{
+    DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
+};
+use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy, Receiver};
+use psc_telemetry::{run_sharded, split_counts};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Bounded capacity of each shard's event bus. With `Block` overflow this
+/// is pure backpressure: a slow consumer throttles its producer instead
+/// of growing a queue.
+pub const BUS_CAPACITY: usize = 4096;
+
+/// Minimum samples per fixed class (per shard) before the adaptive
+/// early-stop check may fire — guards against a spurious low-count
+/// threshold crossing ending a campaign after a handful of traces.
+pub const ADAPTIVE_MIN_TRACES: u64 = 24;
+
+/// Traces buffered per recorder shard file when
+/// [`Campaign::record_to`] is active.
+pub const RECORD_SHARD_CAPACITY: usize = 4096;
+
+/// Cadence-monitor poll interval (simulated seconds).
+const MONITOR_INTERVAL_S: f64 = 64.0;
+/// Cadence-monitor retention (checkpoints).
+const MONITOR_DEPTH: usize = 64;
+
+/// Adaptive early-stop policy: watch one channel's fixed-class separation
+/// and halt the fleet at the TVLA threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyStop {
+    /// The SMC key whose online tracker arms the stop flag.
+    pub watch: SmcKey,
+    /// Minimum samples per fixed class before the check may fire.
+    pub min_per_side: u64,
+}
+
+/// The declarative description of one campaign (what [`Campaign`]
+/// accumulates and [`Session`] executes).
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// SMC keys to read per observation, in request order.
+    pub keys: Vec<SmcKey>,
+    /// Trace budget: per class per shard-sum for TVLA analyses, total
+    /// known-plaintext traces for CPA/collection.
+    pub traces: usize,
+    /// Requested worker count (sources with inherent structure override
+    /// it — a fleet runs one shard per member, a replay one per recorded
+    /// shard group).
+    pub shards: usize,
+    /// Countermeasure to install on every shard's SMC stack. `None`
+    /// leaves each source's existing state alone (live sources default to
+    /// no mitigation; a borrowed rig keeps whatever the caller
+    /// installed). [`ShardReplay`] cannot honor it — replay reproduces
+    /// the recorded condition.
+    pub mitigation: Option<MitigationConfig>,
+    /// Early-stop policy for [`Session::adaptive_tvla`].
+    pub early_stop: Option<EarlyStop>,
+    /// When set, every streaming analysis also records each channel's
+    /// traces (with TVLA labels) as `.psct` shards under this directory,
+    /// ready for [`ShardReplay`].
+    pub record_dir: Option<PathBuf>,
+    /// Traces per recorder shard file.
+    pub record_shard_capacity: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            traces: 0,
+            shards: 1,
+            mitigation: None,
+            early_stop: None,
+            record_dir: None,
+            record_shard_capacity: RECORD_SHARD_CAPACITY,
+        }
+    }
+}
+
+/// Builder for a campaign over a pluggable [`TraceSource`].
+///
+/// Construct with one of [`Campaign::live`], [`Campaign::over_rig`],
+/// [`Campaign::replay`], [`Campaign::fleet`] or [`Campaign::from_source`],
+/// chain the spec methods, then [`Campaign::session`] to run.
+pub struct Campaign<'s> {
+    spec: CampaignSpec,
+    source: Box<dyn TraceSource + 's>,
+}
+
+impl Campaign<'static> {
+    /// A campaign over fresh live rigs: shard `i` simulates `device` with
+    /// a victim of `kind` holding `secret_key`, seeded `seed + i`.
+    #[must_use]
+    pub fn live(device: Device, kind: VictimKind, secret_key: [u8; 16], seed: u64) -> Self {
+        Self::from_source(LiveRig::new(device, kind, secret_key, seed))
+    }
+
+    /// A campaign replaying recorded `.psct` shards (one worker per
+    /// recorded shard group; trace budget and mitigation are ignored —
+    /// replay reproduces what was recorded).
+    #[must_use]
+    pub fn replay(replay: ShardReplay) -> Self {
+        Self::from_source(replay)
+    }
+
+    /// A campaign fanned across a heterogeneous device fleet (one shard
+    /// per member; the trace budget splits across members and per-device
+    /// reports are sum-merged).
+    #[must_use]
+    pub fn fleet(fleet: Fleet) -> Self {
+        Self::from_source(fleet)
+    }
+}
+
+impl<'s> Campaign<'s> {
+    /// A campaign over any custom source.
+    #[must_use]
+    pub fn from_source(source: impl TraceSource + 's) -> Campaign<'s> {
+        Campaign { spec: CampaignSpec::default(), source: Box::new(source) }
+    }
+
+    /// A single-shard campaign over a borrowed caller-owned rig,
+    /// continuing its RNG and mitigation state (the legacy
+    /// `run_tvla_campaign(&mut rig, …)` shape).
+    #[must_use]
+    pub fn over_rig(rig: &'s mut Rig) -> Campaign<'s> {
+        Campaign::from_source(RigSource::new(rig))
+    }
+
+    /// SMC keys to read per observation.
+    #[must_use]
+    pub fn keys(mut self, keys: &[SmcKey]) -> Self {
+        self.spec.keys = keys.to_vec();
+        self
+    }
+
+    /// Trace budget (per class for TVLA analyses, total for CPA).
+    #[must_use]
+    pub fn traces(mut self, traces: usize) -> Self {
+        self.spec.traces = traces;
+        self
+    }
+
+    /// Requested worker count (sources with inherent shard structure
+    /// override it).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
+        self
+    }
+
+    /// Install a countermeasure on every shard's SMC stack. Honored by
+    /// every rig-backed source, including a borrowed
+    /// [`Campaign::over_rig`] rig (which otherwise keeps the caller's
+    /// state); [`ShardReplay`] cannot honor it — replay reproduces the
+    /// recorded condition.
+    #[must_use]
+    pub fn mitigation(mut self, mitigation: MitigationConfig) -> Self {
+        self.spec.mitigation = Some(mitigation);
+        self
+    }
+
+    /// Arm adaptive early stopping on `watch` with the default
+    /// [`ADAPTIVE_MIN_TRACES`] minimum.
+    #[must_use]
+    pub fn early_stop(self, watch: SmcKey) -> Self {
+        self.early_stop_min(watch, ADAPTIVE_MIN_TRACES)
+    }
+
+    /// Arm adaptive early stopping on `watch`, requiring `min_per_side`
+    /// samples per fixed class before the tracker may fire.
+    #[must_use]
+    pub fn early_stop_min(mut self, watch: SmcKey, min_per_side: u64) -> Self {
+        self.spec.early_stop = Some(EarlyStop { watch, min_per_side });
+        self
+    }
+
+    /// Record every channel's traces (with TVLA labels) as `.psct` shards
+    /// under `dir` while the streaming analyses run.
+    #[must_use]
+    pub fn record_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.record_dir = Some(dir.into());
+        self
+    }
+
+    /// Freeze the description into a runnable [`Session`].
+    #[must_use]
+    pub fn session(self) -> Session<'s> {
+        let shards = self.source.shard_count(self.spec.shards);
+        Session { spec: self.spec, source: self.source, shards }
+    }
+}
+
+/// A frozen, runnable campaign. Each `run` method consumes the session
+/// and executes the full producer/consumer fan-out for one analysis.
+pub struct Session<'s> {
+    spec: CampaignSpec,
+    source: Box<dyn TraceSource + 's>,
+    shards: usize,
+}
+
+/// Merged result of a sharded streaming TVLA campaign.
+#[derive(Debug)]
+pub struct StreamingTvlaReport {
+    /// Merged online accumulators (one [`psc_sca::tvla::TvlaAccumulator`]
+    /// per channel).
+    pub tvla: StreamingTvla,
+    /// Merged cadence totals (per-shard checkpoints are not merged —
+    /// shard timelines are independent).
+    pub monitor: ThrottleMonitor,
+    /// Event-bus counters summed over shards.
+    pub bus: ChannelStats,
+    /// The requested SMC keys, in request order.
+    pub keys: Vec<SmcKey>,
+    /// Worker count the campaign ran with.
+    pub shards: usize,
+}
+
+impl StreamingTvlaReport {
+    /// The 3×3 matrix for one requested SMC key (`None` if every read on
+    /// it was denied).
+    #[must_use]
+    pub fn matrix(&self, key: SmcKey) -> Option<TvlaMatrix> {
+        self.tvla.matrix(ChannelId::Smc(key), key.to_string())
+    }
+
+    /// The 3×3 matrix for the IOReport `PCPU` channel.
+    #[must_use]
+    pub fn pcpu_matrix(&self) -> Option<TvlaMatrix> {
+        self.tvla.matrix(ChannelId::Pcpu, "PCPU")
+    }
+}
+
+/// Result of an adaptive (early-stopping) streaming TVLA campaign.
+#[derive(Debug)]
+pub struct AdaptiveTvlaReport {
+    /// The merged campaign report (same layout as [`Session::tvla`]'s).
+    pub report: StreamingTvlaReport,
+    /// Whether a shard crossed the TVLA threshold and stopped the fleet
+    /// before the trace budget ran out.
+    pub stopped_early: bool,
+    /// Trace rounds actually collected, summed over shards. One round is
+    /// one trace per plaintext class per pass, so this is the effective
+    /// `traces_per_class` of the merged report.
+    pub rounds_collected: usize,
+}
+
+/// Merged result of a sharded streaming known-plaintext CPA campaign.
+#[derive(Debug)]
+pub struct StreamingCpaReport {
+    /// Merged incremental CPA accumulators, one per requested SMC key.
+    pub cpa: StreamingCpa,
+    /// Merged cadence totals.
+    pub monitor: ThrottleMonitor,
+    /// Event-bus counters summed over shards.
+    pub bus: ChannelStats,
+    /// The requested SMC keys, in request order.
+    pub keys: Vec<SmcKey>,
+    /// Worker count the campaign ran with.
+    pub shards: usize,
+}
+
+impl StreamingCpaReport {
+    /// Key-byte ranks for `key`'s channel against `true_round_key`.
+    #[must_use]
+    pub fn ranks(&self, key: SmcKey, true_round_key: &[u8; 16]) -> Option<[usize; 16]> {
+        self.cpa.cpa(ChannelId::Smc(key)).map(|c| c.ranks(true_round_key))
+    }
+}
+
+fn add_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
+    ChannelStats {
+        accepted: a.accepted + b.accepted,
+        dropped: a.dropped + b.dropped,
+        delivered: a.delivered + b.delivered,
+    }
+}
+
+impl Session<'_> {
+    /// The frozen campaign description.
+    #[must_use]
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The resolved worker count (after the source's say).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-shard recorders for the requested channels plus PCPU (empty
+    /// unless [`Campaign::record_to`] was set).
+    fn recorders(&self, shard: usize) -> Vec<ShardRecorder> {
+        let Some(dir) = &self.spec.record_dir else { return Vec::new() };
+        self.spec
+            .keys
+            .iter()
+            .map(|&k| ChannelId::Smc(k))
+            .chain([ChannelId::Pcpu])
+            .map(|c| {
+                ShardRecorder::new(dir, c.to_string(), c, shard, self.spec.record_shard_capacity)
+            })
+            .collect()
+    }
+
+    /// The generic producer/consumer fan-out: one bounded bus per shard,
+    /// the source producing on a scoped thread, `consume` draining on the
+    /// shard's worker thread. Returns per-shard `(consumer state, bus
+    /// stats, schedule units produced)` in shard order.
+    fn fan_out<T, FS, FC>(
+        &self,
+        stop: &AtomicBool,
+        schedule_for: FS,
+        consume: FC,
+    ) -> Vec<(T, ChannelStats, usize)>
+    where
+        T: Send,
+        FS: Fn(usize) -> Schedule + Sync,
+        FC: Fn(usize, &Receiver<Event>) -> T + Sync,
+    {
+        let source = self.source.as_ref();
+        let spec = &self.spec;
+        run_sharded(self.shards, |i| {
+            let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+            let schedule = schedule_for(i);
+            std::thread::scope(|scope| {
+                let producer = scope.spawn(move || {
+                    let plan = ShardPlan {
+                        shard: i,
+                        keys: &spec.keys,
+                        mitigation: spec.mitigation,
+                        schedule,
+                    };
+                    source.run_shard(
+                        &plan,
+                        &mut |event| {
+                            tx.send(event).expect("consumer alive");
+                        },
+                        stop,
+                    )
+                });
+                let out = consume(i, &rx);
+                let stats = rx.stats();
+                let produced = producer.join().expect("producer shard panicked");
+                (out, stats, produced)
+            })
+        })
+    }
+
+    fn merge_tvla(
+        &self,
+        results: Vec<((StreamingTvla, ThrottleMonitor), ChannelStats, usize)>,
+    ) -> (StreamingTvlaReport, usize) {
+        let mut merged_tvla = StreamingTvla::new();
+        let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+        let mut bus = ChannelStats::default();
+        let mut produced_total = 0usize;
+        for ((tvla, monitor), stats, produced) in results {
+            merged_tvla = merged_tvla.merged(tvla);
+            merged_monitor = merged_monitor.merged_totals(&monitor);
+            bus = add_stats(bus, stats);
+            produced_total += produced;
+        }
+        (
+            StreamingTvlaReport {
+                tvla: merged_tvla,
+                monitor: merged_monitor,
+                bus,
+                keys: self.spec.keys.clone(),
+                shards: self.shards,
+            },
+            produced_total,
+        )
+    }
+
+    /// Run a streaming TVLA campaign: each shard collects its slice of
+    /// the per-class trace budget, online-accumulated (Welford) and
+    /// sum-merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved shard count is zero.
+    #[must_use]
+    pub fn tvla(self) -> StreamingTvlaReport {
+        let counts = split_counts(self.spec.traces, self.shards);
+        let stop = AtomicBool::new(false);
+        let results = self.fan_out(
+            &stop,
+            |i| Schedule::Tvla { traces_per_class: counts[i] },
+            |i, rx| {
+                let mut tvla = StreamingTvla::new();
+                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut recorders = self.recorders(i);
+                let mut pump = Pump::new();
+                pump.attach(&mut tvla);
+                pump.attach(&mut monitor);
+                for recorder in &mut recorders {
+                    pump.attach(recorder);
+                }
+                pump.run(rx);
+                (tvla, monitor)
+            },
+        );
+        self.merge_tvla(results).0
+    }
+
+    /// Run a TVLA campaign that **stops at the threshold crossing**:
+    /// shards stream trace-major rounds while each consumer wires the
+    /// early-stop tracker of the spec's [`EarlyStop`] channel into a
+    /// shared stop flag; producers poll the flag between rounds, so the
+    /// whole fleet halts within one round of any shard detecting leakage.
+    /// The trace budget bounds the campaign on channels that never leak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no early-stop policy was configured (see
+    /// [`Campaign::early_stop`]) or the resolved shard count is zero.
+    #[must_use]
+    pub fn adaptive_tvla(self) -> AdaptiveTvlaReport {
+        let early =
+            self.spec.early_stop.expect("adaptive campaigns need Campaign::early_stop(watch)");
+        let counts = split_counts(self.spec.traces, self.shards);
+        let stop = AtomicBool::new(false);
+        let results = self.fan_out(
+            &stop,
+            |i| Schedule::AdaptiveRounds { max_rounds: counts[i] },
+            |i, rx| {
+                let mut tvla = StreamingTvla::new();
+                tvla.watch(ChannelId::Smc(early.watch), early.min_per_side);
+                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut recorders = self.recorders(i);
+                // A manual pump loop: the consumer must keep draining
+                // (Block backpressure) while checking the early-stop
+                // signal at every observation boundary.
+                while let Some(event) = rx.recv() {
+                    tvla.on_event(&event);
+                    monitor.on_event(&event);
+                    for recorder in &mut recorders {
+                        recorder.on_event(&event);
+                    }
+                    if matches!(event, Event::Sched(_))
+                        && !stop.load(Ordering::Relaxed)
+                        && tvla.leakage_detected()
+                    {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                tvla.on_finish();
+                monitor.on_finish();
+                for recorder in &mut recorders {
+                    recorder.on_finish();
+                }
+                (tvla, monitor)
+            },
+        );
+        let stopped_early = stop.load(Ordering::Relaxed);
+        let (report, rounds_collected) = self.merge_tvla(results);
+        AdaptiveTvlaReport { report, stopped_early, rounds_collected }
+    }
+
+    /// Run a streaming known-plaintext CPA campaign: each shard
+    /// correlates its slice of the trace budget into incremental
+    /// accumulators under a model from `model_factory` (one shared
+    /// guess-major hypothesis table for the whole campaign), sum-merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved shard count is zero or `model_factory`
+    /// yields inconsistent models across calls.
+    #[must_use]
+    pub fn cpa(
+        self,
+        model_factory: impl Fn() -> Box<dyn PowerModel> + Send + Sync,
+    ) -> StreamingCpaReport {
+        let counts = split_counts(self.spec.traces, self.shards);
+        let model_factory = &model_factory;
+        // One guess-major hypothesis table for the whole campaign: shards
+        // (and channels within a shard) clone the Arc instead of
+        // recomputing the 512 KB table per accumulator.
+        let hyp_table = Arc::new(HypTable::for_model(model_factory().as_ref()));
+        let stop = AtomicBool::new(false);
+        let results = self.fan_out(
+            &stop,
+            |i| Schedule::KnownPlaintext { traces: counts[i] },
+            |i, rx| {
+                let mut cpa = StreamingCpa::with_table(
+                    self.spec.keys.iter().map(|&k| ChannelId::Smc(k)),
+                    model_factory,
+                    Arc::clone(&hyp_table),
+                );
+                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut recorders = self.recorders(i);
+                let mut pump = Pump::new();
+                pump.attach(&mut cpa);
+                pump.attach(&mut monitor);
+                for recorder in &mut recorders {
+                    pump.attach(recorder);
+                }
+                pump.run(rx);
+                (cpa, monitor)
+            },
+        );
+
+        let mut merged_cpa: Option<StreamingCpa> = None;
+        let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+        let mut bus = ChannelStats::default();
+        for ((cpa, monitor), stats, _) in results {
+            merged_cpa = Some(match merged_cpa.take() {
+                None => cpa,
+                Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
+            });
+            merged_monitor = merged_monitor.merged_totals(&monitor);
+            bus = add_stats(bus, stats);
+        }
+        StreamingCpaReport {
+            cpa: merged_cpa.expect("at least one shard"),
+            monitor: merged_monitor,
+            bus,
+            keys: self.spec.keys.clone(),
+            shards: self.shards,
+        }
+    }
+
+    /// Collect full known-plaintext trace sets per requested key (the
+    /// retaining batch shape of the legacy `collect_known_plaintext*`
+    /// family), concatenated in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved shard count is zero.
+    #[must_use]
+    pub fn collect(self) -> BTreeMap<SmcKey, TraceSet> {
+        let counts = split_counts(self.spec.traces, self.shards);
+        let stop = AtomicBool::new(false);
+        let results = self.fan_out(
+            &stop,
+            |i| Schedule::KnownPlaintext { traces: counts[i] },
+            |i, rx| {
+                let mut collector = TraceCollector::with_capacity_hint(counts[i]);
+                let mut pump = Pump::new();
+                pump.attach(&mut collector);
+                pump.run(rx);
+                collector
+            },
+        );
+
+        let mut merged: BTreeMap<SmcKey, TraceSet> = self
+            .spec
+            .keys
+            .iter()
+            .map(|&k| (k, TraceSet::with_capacity(k.to_string(), self.spec.traces)))
+            .collect();
+        for (mut collector, _stats, _) in results {
+            for &k in &self.spec.keys {
+                if let Some(set) = collector.take(ChannelId::Smc(k)) {
+                    if let Some(target) = merged.get_mut(&k) {
+                        target.extend(set.iter().copied());
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Collect retained TVLA datasets per requested key plus PCPU (the
+    /// legacy `run_tvla_campaign` shape), concatenated in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved shard count is zero.
+    #[must_use]
+    pub fn tvla_datasets(self) -> TvlaCampaign {
+        let counts = split_counts(self.spec.traces, self.shards);
+        let stop = AtomicBool::new(false);
+        let results = self.fan_out(
+            &stop,
+            |i| Schedule::Tvla { traces_per_class: counts[i] },
+            |_i, rx| {
+                let mut collector = DatasetCollector::new();
+                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut pump = Pump::new();
+                pump.attach(&mut collector);
+                pump.attach(&mut monitor);
+                pump.run(rx);
+                (collector, monitor)
+            },
+        );
+
+        let mut campaign = TvlaCampaign::default();
+        for &k in &self.spec.keys {
+            campaign.per_key.insert(k, TvlaDatasets::default());
+        }
+        let mut dropped = 0u64;
+        for ((mut collector, monitor), _stats, _) in results {
+            for &k in &self.spec.keys {
+                if let Some([first, second]) = collector.take(ChannelId::Smc(k)) {
+                    let target = campaign.per_key.get_mut(&k).expect("inserted above");
+                    for (acc, shard_values) in target.first.iter_mut().zip(first) {
+                        acc.extend(shard_values);
+                    }
+                    for (acc, shard_values) in target.second.iter_mut().zip(second) {
+                        acc.extend(shard_values);
+                    }
+                }
+            }
+            if let Some([first, second]) = collector.take(ChannelId::Pcpu) {
+                for (acc, shard_values) in campaign.pcpu.first.iter_mut().zip(first) {
+                    acc.extend(shard_values);
+                }
+                for (acc, shard_values) in campaign.pcpu.second.iter_mut().zip(second) {
+                    acc.extend(shard_values);
+                }
+            }
+            dropped +=
+                monitor.denied_reads() + collector.orphan_samples() + collector.residual_samples();
+        }
+        campaign.dropped_samples = dropped;
+        campaign
+    }
+}

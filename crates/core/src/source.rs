@@ -1,0 +1,502 @@
+//! Pluggable trace sources: where a campaign's observations come from.
+//!
+//! The [`Campaign`](crate::session::Campaign) driver is source-agnostic —
+//! it fans shards across worker threads and pumps each shard's event
+//! stream through online processors. What *produces* those events is a
+//! [`TraceSource`]:
+//!
+//! * [`LiveRig`] — one independently seeded simulated [`Rig`] per shard
+//!   (today's collection loops over the batched
+//!   [`Rig::observe_windows`] path);
+//! * [`RigSource`] — a borrowed caller-owned rig (single shard; the
+//!   legacy `run_tvla_campaign(&mut rig, …)` shape);
+//! * [`ShardReplay`] — recorded `.psct` shards fed back through the
+//!   telemetry pump as a synthetic event source (offline replay);
+//! * [`Fleet`] — heterogeneous devices, one shard per fleet member, with
+//!   per-device reports sum-merged by the session driver.
+//!
+//! Sources compose orthogonally with every analysis the session runs:
+//! streaming TVLA, adaptive early-stop TVLA, streaming CPA, and the
+//! retaining batch collectors.
+
+use crate::rig::{Device, Observation, Rig};
+use crate::victim::VictimKind;
+use psc_sca::codec;
+use psc_sca::tvla::PlaintextClass;
+use psc_smc::{MitigationConfig, SmcKey};
+use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+use psc_telemetry::replay::{channel_for_label, replay_recording};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Plaintexts per [`Rig::observe_windows`] call in the collection loops:
+/// large enough to amortize the batched pipeline, small enough that
+/// producers keep streaming into the bus at a fine grain.
+pub const OBS_CHUNK: usize = 32;
+
+/// What one shard of a campaign should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// TVLA collection: two passes × three plaintext classes ×
+    /// `traces_per_class` windows, class-major (the paper's §3.3 layout).
+    Tvla {
+        /// Windows per class per pass on this shard.
+        traces_per_class: usize,
+    },
+    /// Known-plaintext CPA collection: `traces` fresh random plaintexts.
+    KnownPlaintext {
+        /// Windows on this shard.
+        traces: usize,
+    },
+    /// Adaptive TVLA: trace-major rounds (one window per class per pass
+    /// each round, interleaved so fixed-vs-fixed evidence accrues from the
+    /// first round), polling the stop flag between rounds.
+    AdaptiveRounds {
+        /// Round budget on this shard.
+        max_rounds: usize,
+    },
+}
+
+/// Everything a source needs to produce one shard's slice of a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPlan<'a> {
+    /// Shard index (also the seed offset for sources that build rigs).
+    pub shard: usize,
+    /// SMC keys to read per observation, in request order.
+    pub keys: &'a [SmcKey],
+    /// Countermeasure to install, if the spec set one explicitly.
+    /// `None` leaves each source's existing state alone ([`RigSource`]
+    /// keeps whatever the borrowed rig already has); [`ShardReplay`]
+    /// reproduces the recorded condition either way.
+    pub mitigation: Option<MitigationConfig>,
+    /// The collection schedule.
+    pub schedule: Schedule,
+}
+
+/// A pluggable producer of campaign telemetry events.
+///
+/// Implementations run one shard at a time on a dedicated producer
+/// thread, emitting window/sample/sched events into `sink` exactly as the
+/// live rig loop would, and return the number of schedule units actually
+/// produced (trace rounds for [`Schedule::AdaptiveRounds`], traces or
+/// traces-per-class otherwise).
+pub trait TraceSource: Send + Sync {
+    /// How many shards this source will run given the spec's request.
+    /// Sources with inherent structure (fleet members, recorded shard
+    /// groups) override this; live sources take the request as-is.
+    fn shard_count(&self, requested: usize) -> usize {
+        requested
+    }
+
+    /// Produce shard `plan.shard`'s events into `sink`, honouring `stop`
+    /// at schedule boundaries where the schedule asks for it.
+    fn run_shard(
+        &self,
+        plan: &ShardPlan<'_>,
+        sink: &mut dyn FnMut(Event),
+        stop: &AtomicBool,
+    ) -> usize;
+}
+
+/// Emit one observation as telemetry events: the window marker (with the
+/// known-plaintext record), one sample per *readable* SMC key, the PCPU
+/// sample, and the scheduler/cadence record (cadence comes straight from
+/// [`Observation::windows`]/[`Observation::time_s`]). Returns the number
+/// of SMC reads that were denied (skipped with accounting — never a
+/// panic).
+pub(crate) fn emit_observation(
+    sink: &mut dyn FnMut(Event),
+    seq: u64,
+    pass: u8,
+    class: Option<PlaintextClass>,
+    obs: &Observation,
+    window_s: f64,
+) -> u32 {
+    sink(Event::Window(WindowEvent {
+        seq,
+        time_s: obs.time_s,
+        pass,
+        class,
+        plaintext: obs.plaintext,
+        ciphertext: obs.ciphertext,
+    }));
+    let mut denied: u32 = 0;
+    for (key, value) in &obs.smc {
+        match value {
+            Some(v) => sink(Event::Sample(SampleEvent {
+                time_s: obs.time_s,
+                channel: ChannelId::Smc(*key),
+                value: *v,
+            })),
+            None => denied += 1,
+        }
+    }
+    sink(Event::Sample(SampleEvent {
+        time_s: obs.time_s,
+        channel: ChannelId::Pcpu,
+        value: obs.pcpu_delta_mj,
+    }));
+    sink(Event::Sched(SchedEvent {
+        time_s: obs.time_s,
+        windows_consumed: obs.windows.max(1),
+        window_s,
+        denied_reads: denied,
+    }));
+    denied
+}
+
+/// Drive one rig through a schedule, emitting its observations. Shared by
+/// every rig-backed source so live, borrowed and fleet shards produce
+/// bit-identical event streams for the same rig state.
+fn drive_rig(
+    rig: &mut Rig,
+    plan: &ShardPlan<'_>,
+    sink: &mut dyn FnMut(Event),
+    stop: &AtomicBool,
+) -> usize {
+    let keys = plan.keys;
+    let mut seq = 0u64;
+    match plan.schedule {
+        Schedule::Tvla { traces_per_class } => {
+            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+            for pass in 0..2u8 {
+                for class in PlaintextClass::ALL {
+                    let mut remaining = traces_per_class;
+                    while remaining > 0 {
+                        let take = remaining.min(OBS_CHUNK);
+                        pts.clear();
+                        pts.extend((0..take).map(|_| {
+                            class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
+                        }));
+                        for obs in rig.observe_windows(&pts, keys) {
+                            emit_observation(sink, seq, pass, Some(class), &obs, rig.window_s());
+                            seq += 1;
+                        }
+                        remaining -= take;
+                    }
+                }
+            }
+            traces_per_class
+        }
+        Schedule::KnownPlaintext { traces } => {
+            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+            let mut remaining = traces;
+            while remaining > 0 {
+                let take = remaining.min(OBS_CHUNK);
+                pts.clear();
+                pts.extend((0..take).map(|_| rig.random_plaintext()));
+                for obs in rig.observe_windows(&pts, keys) {
+                    emit_observation(sink, seq, 0, None, &obs, rig.window_s());
+                    seq += 1;
+                }
+                remaining -= take;
+            }
+            traces
+        }
+        Schedule::AdaptiveRounds { max_rounds } => {
+            let mut rounds = 0usize;
+            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(6);
+            let mut labels: Vec<(u8, PlaintextClass)> = Vec::with_capacity(6);
+            for _ in 0..max_rounds {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                pts.clear();
+                labels.clear();
+                for pass in 0..2u8 {
+                    for class in PlaintextClass::ALL {
+                        pts.push(class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext()));
+                        labels.push((pass, class));
+                    }
+                }
+                let observations = rig.observe_windows(&pts, keys);
+                for (obs, &(pass, class)) in observations.iter().zip(&labels) {
+                    emit_observation(sink, seq, pass, Some(class), obs, rig.window_s());
+                    seq += 1;
+                }
+                rounds += 1;
+            }
+            rounds
+        }
+    }
+}
+
+/// The live source: one fresh, independently seeded rig per shard
+/// (`seed + shard`, the layout every legacy parallel driver used — shard
+/// results are reproducible per seed and merge-equivalent to the batch
+/// collectors).
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRig {
+    device: Device,
+    kind: VictimKind,
+    secret_key: [u8; 16],
+    seed: u64,
+}
+
+impl LiveRig {
+    /// A live source for `device` with a victim of `kind` holding
+    /// `secret_key`; shard `i` seeds its rig with `seed + i`.
+    #[must_use]
+    pub fn new(device: Device, kind: VictimKind, secret_key: [u8; 16], seed: u64) -> Self {
+        Self { device, kind, secret_key, seed }
+    }
+}
+
+impl TraceSource for LiveRig {
+    fn run_shard(
+        &self,
+        plan: &ShardPlan<'_>,
+        sink: &mut dyn FnMut(Event),
+        stop: &AtomicBool,
+    ) -> usize {
+        let mut rig = Rig::new(
+            self.device,
+            self.kind,
+            self.secret_key,
+            self.seed.wrapping_add(plan.shard as u64),
+        );
+        rig.set_mitigation(plan.mitigation.unwrap_or_else(MitigationConfig::none));
+        drive_rig(&mut rig, plan, sink, stop)
+    }
+}
+
+/// A borrowed caller-owned rig: single shard, existing RNG/mitigation
+/// state preserved (the legacy `run_tvla_campaign(&mut rig, …)` /
+/// `collect_known_plaintext(&mut rig, …)` shape — repeated campaigns over
+/// one rig continue its plaintext stream).
+#[derive(Debug)]
+pub struct RigSource<'a> {
+    rig: Mutex<&'a mut Rig>,
+}
+
+impl<'a> RigSource<'a> {
+    /// Wrap a caller-owned rig.
+    #[must_use]
+    pub fn new(rig: &'a mut Rig) -> Self {
+        Self { rig: Mutex::new(rig) }
+    }
+}
+
+impl TraceSource for RigSource<'_> {
+    fn shard_count(&self, _requested: usize) -> usize {
+        1
+    }
+
+    fn run_shard(
+        &self,
+        plan: &ShardPlan<'_>,
+        sink: &mut dyn FnMut(Event),
+        stop: &AtomicBool,
+    ) -> usize {
+        let mut rig = self.rig.lock().expect("rig lock poisoned");
+        // The caller's mitigation state stands unless the spec set one
+        // explicitly.
+        if let Some(mitigation) = plan.mitigation {
+            rig.set_mitigation(mitigation);
+        }
+        drive_rig(&mut rig, plan, sink, stop)
+    }
+}
+
+/// One device of a [`Fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetMember {
+    /// The simulated device.
+    pub device: Device,
+    /// Victim flavour installed on it.
+    pub kind: VictimKind,
+}
+
+/// A heterogeneous device fleet: shard `i` runs on member `i`'s device
+/// (seeded `seed + i`), and the session sum-merges the per-device
+/// reports — the multi-device campaign of the ROADMAP, built on the same
+/// allocation-free [`Rig::observe_windows`] inner loop as [`LiveRig`].
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    members: Vec<FleetMember>,
+    secret_key: [u8; 16],
+    seed: u64,
+}
+
+impl Fleet {
+    /// A fleet over `members` (one shard each), all attacking the same
+    /// victim `secret_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    #[must_use]
+    pub fn new(members: Vec<FleetMember>, secret_key: [u8; 16], seed: u64) -> Self {
+        assert!(!members.is_empty(), "a fleet needs at least one member");
+        Self { members, secret_key, seed }
+    }
+
+    /// The fleet members, in shard order.
+    #[must_use]
+    pub fn members(&self) -> &[FleetMember] {
+        &self.members
+    }
+}
+
+impl TraceSource for Fleet {
+    fn shard_count(&self, _requested: usize) -> usize {
+        self.members.len()
+    }
+
+    fn run_shard(
+        &self,
+        plan: &ShardPlan<'_>,
+        sink: &mut dyn FnMut(Event),
+        stop: &AtomicBool,
+    ) -> usize {
+        let member = self.members[plan.shard];
+        let mut rig = Rig::new(
+            member.device,
+            member.kind,
+            self.secret_key,
+            self.seed.wrapping_add(plan.shard as u64),
+        );
+        rig.set_mitigation(plan.mitigation.unwrap_or_else(MitigationConfig::none));
+        drive_rig(&mut rig, plan, sink, stop)
+    }
+}
+
+/// One recorded shard: the `.psct` files replayed (in order) as that
+/// shard's event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayShard {
+    /// Shard files in replay order.
+    pub files: Vec<PathBuf>,
+}
+
+/// The offline-replay source: recorded `.psct` shards pumped back through
+/// the telemetry pipeline as synthetic events. The recorded TVLA labels
+/// (codec version 2) survive, so a replayed campaign rebuilds the same
+/// TVLA/CPA matrices the live run produced.
+///
+/// Replay ignores the session's trace budget and mitigation — it replays
+/// exactly what was recorded. Unreadable or unmappable files are skipped
+/// with accounting (see [`ShardReplay::skipped_files`]), never panicked
+/// on; the stop flag is honoured between files.
+#[derive(Debug, Default)]
+pub struct ShardReplay {
+    shards: Vec<ReplayShard>,
+    skipped: AtomicU64,
+}
+
+impl ShardReplay {
+    /// A replay source over explicit shard file groups.
+    #[must_use]
+    pub fn new(shards: Vec<ReplayShard>) -> Self {
+        Self { shards, skipped: AtomicU64::new(0) }
+    }
+
+    /// Scan `dir` for `.psct` files and group them into shards by the
+    /// `-s{NNN}-` token of the recorder's naming scheme
+    /// (`{label}-s{shard:03}-{index:04}.psct`); files without the token
+    /// (e.g. a plain `psc collect` output) land in shard 0. Within a
+    /// shard, files replay in lexicographic name order — channel by
+    /// channel, each channel's slices in write order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory, or [`std::io::ErrorKind::NotFound`]
+    /// if no `.psct` file exists under `dir`.
+    pub fn from_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "psct"))
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no .psct shards under {}", dir.display()),
+            ));
+        }
+        let mut groups: std::collections::BTreeMap<usize, ReplayShard> = Default::default();
+        for path in names {
+            let shard = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(Self::shard_of_name)
+                .unwrap_or(0);
+            groups.entry(shard).or_default().files.push(path);
+        }
+        Ok(Self::new(groups.into_values().collect()))
+    }
+
+    fn shard_of_name(name: &str) -> Option<usize> {
+        let stem = name.strip_suffix(".psct")?;
+        let (rest, _index) = stem.rsplit_once('-')?;
+        let (_label, shard) = rest.rsplit_once("-s")?;
+        shard.parse().ok()
+    }
+
+    /// The shard file groups, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[ReplayShard] {
+        &self.shards
+    }
+
+    /// Files skipped so far because they could not be read, decoded, or
+    /// mapped to a telemetry channel.
+    #[must_use]
+    pub fn skipped_files(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSource for ShardReplay {
+    fn shard_count(&self, _requested: usize) -> usize {
+        self.shards.len()
+    }
+
+    fn run_shard(
+        &self,
+        plan: &ShardPlan<'_>,
+        sink: &mut dyn FnMut(Event),
+        stop: &AtomicBool,
+    ) -> usize {
+        let mut seq = 0u64;
+        // Windows replayed per channel: every channel re-walks the same
+        // observation sequence, so one channel's window count (not the
+        // summed event total) is the shard's schedule-unit basis.
+        let mut windows_per_channel: std::collections::BTreeMap<String, u64> = Default::default();
+        for path in &self.shards[plan.shard].files {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let recording = match std::fs::File::open(path)
+                .map_err(codec::CodecError::Io)
+                .and_then(codec::read_recording)
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    self.skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let Some(channel) = channel_for_label(&recording.label) else {
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            *windows_per_channel.entry(recording.label.clone()).or_default() +=
+                recording.traces.len() as u64;
+            seq = replay_recording(&recording, channel, seq, 1.0, sink);
+        }
+        let windows = windows_per_channel.values().copied().max().unwrap_or(0);
+        // Express the result in the schedule's units, matching the live
+        // sources' contract: TVLA budgets count per class per pass,
+        // adaptive budgets count trace-major rounds.
+        let windows_per_round = 2 * PlaintextClass::ALL.len() as u64;
+        let produced = match plan.schedule {
+            Schedule::KnownPlaintext { .. } => windows,
+            Schedule::Tvla { .. } | Schedule::AdaptiveRounds { .. } => windows / windows_per_round,
+        };
+        usize::try_from(produced).unwrap_or(usize::MAX)
+    }
+}

@@ -1,141 +1,32 @@
-//! Sharded streaming campaigns: collection as a telemetry pipeline.
+//! Legacy sharded streaming drivers — thin shims over the [`Campaign`]
+//! builder.
 //!
-//! The batch loops in [`crate::campaign`] retain every trace in memory
-//! and keep one core busy. The drivers here run the same attacks as a
-//! streaming system instead: N workers (one independently seeded
-//! [`Rig`] each) produce window/sample/sched events into bounded
-//! ring-buffer channels; a consumer thread per shard pumps them through
-//! **online** processors (Welford TVLA, incremental CPA, cadence
-//! monitor), and the shard accumulators are sum-merged at the end.
-//! Memory per channel is O(1) in trace count — no trace `Vec` exists
-//! anywhere on this path — and the shard results match the batch
-//! implementations to floating-point tolerance (see
-//! `tests/streaming_equivalence.rs`).
+//! These free functions were the original streaming API: one function per
+//! point of the {TVLA, CPA, adaptive} × {default, `_with` mitigation}
+//! matrix, each with its own growing parameter list. The
+//! [`crate::session`] redesign replaced them with one composable
+//! builder; every function here is a deprecated one-line shim kept for
+//! one release, and produces **bit-identical** results to its builder
+//! equivalent (pinned by `tests/campaign_builder.rs`). The report types
+//! re-exported below now live in [`crate::session`].
 
-use crate::rig::{Device, Observation, Rig};
+use crate::rig::Device;
+use crate::session::Campaign;
 use crate::victim::VictimKind;
-use psc_sca::cpa::HypTable;
 use psc_sca::model::PowerModel;
-use psc_sca::tvla::{PlaintextClass, TvlaMatrix};
 use psc_smc::{MitigationConfig, SmcKey};
-use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
-use psc_telemetry::processor::{Processor, Pump};
-use psc_telemetry::processors::{StreamingCpa, StreamingTvla, ThrottleMonitor};
-use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy};
-use psc_telemetry::{run_sharded, split_counts};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
-/// Bounded capacity of each shard's event bus. With `Block` overflow this
-/// is pure backpressure: a slow consumer throttles its producer instead
-/// of growing a queue.
-pub const BUS_CAPACITY: usize = 4096;
+pub use crate::session::{
+    AdaptiveTvlaReport, StreamingCpaReport, StreamingTvlaReport, ADAPTIVE_MIN_TRACES, BUS_CAPACITY,
+};
+pub use crate::source::OBS_CHUNK;
 
-/// Plaintexts per [`Rig::observe_windows`] call in the collection loops:
-/// large enough to amortize the batched pipeline, small enough that
-/// producers keep streaming into the bus at a fine grain.
-pub const OBS_CHUNK: usize = 32;
-
-/// Cadence-monitor poll interval (simulated seconds).
-const MONITOR_INTERVAL_S: f64 = 64.0;
-/// Cadence-monitor retention (checkpoints).
-const MONITOR_DEPTH: usize = 64;
-
-/// Emit one observation as telemetry events: the window marker (with the
-/// known-plaintext record), one sample per *readable* SMC key, the PCPU
-/// sample, and the scheduler/cadence record (cadence comes straight from
-/// [`Observation::windows`]/[`Observation::time_s`]). Returns the number
-/// of SMC reads that were denied (skipped with accounting — never a
-/// panic).
-pub(crate) fn emit_observation(
-    sink: &mut dyn FnMut(Event),
-    seq: u64,
-    pass: u8,
-    class: Option<PlaintextClass>,
-    obs: &Observation,
-    window_s: f64,
-) -> u32 {
-    sink(Event::Window(WindowEvent {
-        seq,
-        time_s: obs.time_s,
-        pass,
-        class,
-        plaintext: obs.plaintext,
-        ciphertext: obs.ciphertext,
-    }));
-    let mut denied: u32 = 0;
-    for (key, value) in &obs.smc {
-        match value {
-            Some(v) => sink(Event::Sample(SampleEvent {
-                time_s: obs.time_s,
-                channel: ChannelId::Smc(*key),
-                value: *v,
-            })),
-            None => denied += 1,
-        }
-    }
-    sink(Event::Sample(SampleEvent {
-        time_s: obs.time_s,
-        channel: ChannelId::Pcpu,
-        value: obs.pcpu_delta_mj,
-    }));
-    sink(Event::Sched(SchedEvent {
-        time_s: obs.time_s,
-        windows_consumed: obs.windows.max(1),
-        window_s,
-        denied_reads: denied,
-    }));
-    denied
-}
-
-fn add_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
-    ChannelStats {
-        accepted: a.accepted + b.accepted,
-        dropped: a.dropped + b.dropped,
-        delivered: a.delivered + b.delivered,
-    }
-}
-
-/// Merged result of a sharded streaming TVLA campaign.
-#[derive(Debug)]
-pub struct StreamingTvlaReport {
-    /// Merged online accumulators (one [`psc_sca::tvla::TvlaAccumulator`]
-    /// per channel).
-    pub tvla: StreamingTvla,
-    /// Merged cadence totals (per-shard checkpoints are not merged —
-    /// shard timelines are independent).
-    pub monitor: ThrottleMonitor,
-    /// Event-bus counters summed over shards.
-    pub bus: ChannelStats,
-    /// The requested SMC keys, in request order.
-    pub keys: Vec<SmcKey>,
-    /// Worker count the campaign ran with.
-    pub shards: usize,
-}
-
-impl StreamingTvlaReport {
-    /// The 3×3 matrix for one requested SMC key (`None` if every read on
-    /// it was denied).
-    #[must_use]
-    pub fn matrix(&self, key: SmcKey) -> Option<TvlaMatrix> {
-        self.tvla.matrix(ChannelId::Smc(key), key.to_string())
-    }
-
-    /// The 3×3 matrix for the IOReport `PCPU` channel.
-    #[must_use]
-    pub fn pcpu_matrix(&self) -> Option<TvlaMatrix> {
-        self.tvla.matrix(ChannelId::Pcpu, "PCPU")
-    }
-}
-
-/// Run a TVLA campaign as a sharded streaming pipeline: `shards` workers,
-/// each with an independently seeded rig (`seed + shard`, the layout of
-/// [`crate::campaign::collect_known_plaintext_parallel`]) collecting its
-/// slice of `traces_per_class`, online-accumulated and merged.
+/// Run a TVLA campaign as a sharded streaming pipeline.
 ///
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).keys(…).traces(…).shards(…).session().tvla()")]
 #[must_use]
 pub fn stream_tvla_campaign(
     device: Device,
@@ -146,16 +37,12 @@ pub fn stream_tvla_campaign(
     traces_per_class: usize,
     shards: usize,
 ) -> StreamingTvlaReport {
-    stream_tvla_campaign_with(
-        device,
-        kind,
-        secret_key,
-        seed,
-        keys,
-        traces_per_class,
-        shards,
-        MitigationConfig::none(),
-    )
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(traces_per_class)
+        .shards(shards)
+        .session()
+        .tvla()
 }
 
 /// As [`stream_tvla_campaign`], with a countermeasure installed on every
@@ -164,6 +51,7 @@ pub fn stream_tvla_campaign(
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).mitigation(…).session().tvla()")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn stream_tvla_campaign_with(
@@ -176,105 +64,22 @@ pub fn stream_tvla_campaign_with(
     shards: usize,
     mitigation: MitigationConfig,
 ) -> StreamingTvlaReport {
-    let counts = split_counts(traces_per_class, shards);
-    let results = run_sharded(shards, |i| {
-        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
-        let per_class = counts[i];
-        let keys = keys.to_vec();
-        std::thread::scope(|scope| {
-            let producer = scope.spawn(move || {
-                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
-                rig.set_mitigation(mitigation);
-                let mut seq = 0u64;
-                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
-                for pass in 0..2u8 {
-                    for class in PlaintextClass::ALL {
-                        let mut remaining = per_class;
-                        while remaining > 0 {
-                            let take = remaining.min(OBS_CHUNK);
-                            pts.clear();
-                            pts.extend((0..take).map(|_| {
-                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
-                            }));
-                            for obs in rig.observe_windows(&pts, &keys) {
-                                emit_observation(
-                                    &mut |event| {
-                                        tx.send(event).expect("consumer alive");
-                                    },
-                                    seq,
-                                    pass,
-                                    Some(class),
-                                    &obs,
-                                    rig.window_s(),
-                                );
-                                seq += 1;
-                            }
-                            remaining -= take;
-                        }
-                    }
-                }
-            });
-            let mut tvla = StreamingTvla::new();
-            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-            let mut pump = Pump::new();
-            pump.attach(&mut tvla);
-            pump.attach(&mut monitor);
-            pump.run(&rx);
-            let stats = rx.stats();
-            producer.join().expect("producer shard panicked");
-            (tvla, monitor, stats)
-        })
-    });
-
-    let mut merged_tvla = StreamingTvla::new();
-    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-    let mut bus = ChannelStats::default();
-    for (tvla, monitor, stats) in results {
-        merged_tvla = merged_tvla.merged(tvla);
-        merged_monitor = merged_monitor.merged_totals(&monitor);
-        bus = add_stats(bus, stats);
-    }
-    StreamingTvlaReport {
-        tvla: merged_tvla,
-        monitor: merged_monitor,
-        bus,
-        keys: keys.to_vec(),
-        shards,
-    }
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(traces_per_class)
+        .shards(shards)
+        .mitigation(mitigation)
+        .session()
+        .tvla()
 }
 
-/// Minimum samples per fixed class (per shard) before the adaptive
-/// early-stop check may fire — guards against a spurious low-count
-/// threshold crossing ending a campaign after a handful of traces.
-pub const ADAPTIVE_MIN_TRACES: u64 = 24;
-
-/// Result of an adaptive (early-stopping) streaming TVLA campaign.
-#[derive(Debug)]
-pub struct AdaptiveTvlaReport {
-    /// The merged campaign report (same layout as
-    /// [`stream_tvla_campaign`]'s).
-    pub report: StreamingTvlaReport,
-    /// Whether a shard crossed the TVLA threshold and stopped the fleet
-    /// before the trace budget ran out.
-    pub stopped_early: bool,
-    /// Trace rounds actually collected, summed over shards. One round is
-    /// one trace per plaintext class per pass, so this is the effective
-    /// `traces_per_class` of the merged report.
-    pub rounds_collected: usize,
-}
-
-/// Run a TVLA campaign that **stops at the threshold crossing**: shards
-/// stream trace-major rounds (one trace per class per pass, interleaved so
-/// fixed-vs-fixed evidence accrues from the first round) while each
-/// shard's consumer wires [`psc_sca::tvla::TvlaTracker::leakage_detected`]
-/// — via [`StreamingTvla::watch`] on `watch_key` — into a shared stop
-/// flag. Producers poll the flag between rounds, so the whole fleet halts
-/// within one round of any shard detecting leakage; `max_traces_per_class`
-/// bounds the campaign on channels that never leak.
+/// Run a TVLA campaign that stops at the threshold crossing on
+/// `watch_key`.
 ///
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).early_stop(watch).session().adaptive_tvla()")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn stream_tvla_adaptive(
@@ -288,136 +93,23 @@ pub fn stream_tvla_adaptive(
     shards: usize,
     mitigation: MitigationConfig,
 ) -> AdaptiveTvlaReport {
-    let counts = split_counts(max_traces_per_class, shards);
-    let stop = Arc::new(AtomicBool::new(false));
-    let results = run_sharded(shards, |i| {
-        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
-        let per_shard_max = counts[i];
-        let keys = keys.to_vec();
-        let producer_stop = Arc::clone(&stop);
-        let consumer_stop = Arc::clone(&stop);
-        std::thread::scope(|scope| {
-            let producer = scope.spawn(move || {
-                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
-                rig.set_mitigation(mitigation);
-                let mut seq = 0u64;
-                let mut rounds = 0usize;
-                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(6);
-                let mut labels: Vec<(u8, PlaintextClass)> = Vec::with_capacity(6);
-                for _ in 0..per_shard_max {
-                    if producer_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    pts.clear();
-                    labels.clear();
-                    for pass in 0..2u8 {
-                        for class in PlaintextClass::ALL {
-                            pts.push(
-                                class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext()),
-                            );
-                            labels.push((pass, class));
-                        }
-                    }
-                    let observations = rig.observe_windows(&pts, &keys);
-                    for (obs, &(pass, class)) in observations.iter().zip(&labels) {
-                        emit_observation(
-                            &mut |event| {
-                                tx.send(event).expect("consumer alive");
-                            },
-                            seq,
-                            pass,
-                            Some(class),
-                            obs,
-                            rig.window_s(),
-                        );
-                        seq += 1;
-                    }
-                    rounds += 1;
-                }
-                rounds
-            });
-            let mut tvla = StreamingTvla::new();
-            tvla.watch(ChannelId::Smc(watch_key), ADAPTIVE_MIN_TRACES);
-            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-            // A manual pump loop: the consumer must keep draining (Block
-            // backpressure) while checking the early-stop signal at every
-            // observation boundary.
-            while let Some(event) = rx.recv() {
-                tvla.on_event(&event);
-                monitor.on_event(&event);
-                if matches!(event, Event::Sched(_))
-                    && !consumer_stop.load(Ordering::Relaxed)
-                    && tvla.leakage_detected()
-                {
-                    consumer_stop.store(true, Ordering::Relaxed);
-                }
-            }
-            tvla.on_finish();
-            monitor.on_finish();
-            let stats = rx.stats();
-            let rounds = producer.join().expect("producer shard panicked");
-            (tvla, monitor, stats, rounds)
-        })
-    });
-
-    let mut merged_tvla = StreamingTvla::new();
-    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-    let mut bus = ChannelStats::default();
-    let mut rounds_collected = 0usize;
-    for (tvla, monitor, stats, rounds) in results {
-        merged_tvla = merged_tvla.merged(tvla);
-        merged_monitor = merged_monitor.merged_totals(&monitor);
-        bus = add_stats(bus, stats);
-        rounds_collected += rounds;
-    }
-    AdaptiveTvlaReport {
-        report: StreamingTvlaReport {
-            tvla: merged_tvla,
-            monitor: merged_monitor,
-            bus,
-            keys: keys.to_vec(),
-            shards,
-        },
-        stopped_early: stop.load(Ordering::Relaxed),
-        rounds_collected,
-    }
-}
-
-/// Merged result of a sharded streaming known-plaintext CPA campaign.
-#[derive(Debug)]
-pub struct StreamingCpaReport {
-    /// Merged incremental CPA accumulators, one per requested SMC key.
-    pub cpa: StreamingCpa,
-    /// Merged cadence totals.
-    pub monitor: ThrottleMonitor,
-    /// Event-bus counters summed over shards.
-    pub bus: ChannelStats,
-    /// The requested SMC keys, in request order.
-    pub keys: Vec<SmcKey>,
-    /// Worker count the campaign ran with.
-    pub shards: usize,
-}
-
-impl StreamingCpaReport {
-    /// Key-byte ranks for `key`'s channel against `true_round_key`.
-    #[must_use]
-    pub fn ranks(&self, key: SmcKey, true_round_key: &[u8; 16]) -> Option<[usize; 16]> {
-        self.cpa.cpa(ChannelId::Smc(key)).map(|c| c.ranks(true_round_key))
-    }
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(max_traces_per_class)
+        .shards(shards)
+        .mitigation(mitigation)
+        .early_stop(watch_key)
+        .session()
+        .adaptive_tvla()
 }
 
 /// Run a known-plaintext CPA campaign as a sharded streaming pipeline.
-/// Each worker correlates its shard of `n` traces into incremental
-/// accumulators under a model from `model_factory`; shard accumulators
-/// are sum-merged. Seed layout matches
-/// [`crate::campaign::collect_known_plaintext_parallel`], so the merged
-/// result reproduces the batch analysis on the identical trace multiset
-/// to floating-point tolerance.
 ///
 /// # Panics
 ///
 /// Panics if `shards == 0` or if `model_factory` yields inconsistent
 /// models across calls.
+#[deprecated(note = "use Campaign::live(…).session().cpa(model_factory)")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn stream_known_plaintext(
@@ -430,17 +122,12 @@ pub fn stream_known_plaintext(
     shards: usize,
     model_factory: impl Fn() -> Box<dyn PowerModel> + Send + Sync,
 ) -> StreamingCpaReport {
-    stream_known_plaintext_with(
-        device,
-        kind,
-        secret_key,
-        seed,
-        keys,
-        n,
-        shards,
-        MitigationConfig::none(),
-        model_factory,
-    )
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(n)
+        .shards(shards)
+        .session()
+        .cpa(model_factory)
 }
 
 /// As [`stream_known_plaintext`], with a countermeasure installed on
@@ -449,6 +136,7 @@ pub fn stream_known_plaintext(
 /// # Panics
 ///
 /// Panics if `shards == 0`.
+#[deprecated(note = "use Campaign::live(…).mitigation(…).session().cpa(model_factory)")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn stream_known_plaintext_with(
@@ -462,85 +150,23 @@ pub fn stream_known_plaintext_with(
     mitigation: MitigationConfig,
     model_factory: impl Fn() -> Box<dyn PowerModel> + Send + Sync,
 ) -> StreamingCpaReport {
-    let counts = split_counts(n, shards);
-    let model_factory = &model_factory;
-    // One guess-major hypothesis table for the whole campaign: shards (and
-    // channels within a shard) clone the Arc instead of recomputing the
-    // 512 KB table per accumulator.
-    let hyp_table = std::sync::Arc::new(HypTable::for_model(model_factory().as_ref()));
-    let results = run_sharded(shards, |i| {
-        let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
-        let count = counts[i];
-        let keys = keys.to_vec();
-        let consumer_keys = keys.clone();
-        std::thread::scope(|scope| {
-            let producer = scope.spawn(move || {
-                let mut rig = Rig::new(device, kind, secret_key, seed.wrapping_add(i as u64));
-                rig.set_mitigation(mitigation);
-                let mut seq = 0u64;
-                let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
-                let mut remaining = count;
-                while remaining > 0 {
-                    let take = remaining.min(OBS_CHUNK);
-                    pts.clear();
-                    pts.extend((0..take).map(|_| rig.random_plaintext()));
-                    for obs in rig.observe_windows(&pts, &keys) {
-                        emit_observation(
-                            &mut |event| {
-                                tx.send(event).expect("consumer alive");
-                            },
-                            seq,
-                            0,
-                            None,
-                            &obs,
-                            rig.window_s(),
-                        );
-                        seq += 1;
-                    }
-                    remaining -= take;
-                }
-            });
-            let mut cpa = StreamingCpa::with_table(
-                consumer_keys.iter().map(|&k| ChannelId::Smc(k)),
-                model_factory,
-                std::sync::Arc::clone(&hyp_table),
-            );
-            let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-            let mut pump = Pump::new();
-            pump.attach(&mut cpa);
-            pump.attach(&mut monitor);
-            pump.run(&rx);
-            let stats = rx.stats();
-            producer.join().expect("producer shard panicked");
-            (cpa, monitor, stats)
-        })
-    });
-
-    let mut merged_cpa: Option<StreamingCpa> = None;
-    let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
-    let mut bus = ChannelStats::default();
-    for (cpa, monitor, stats) in results {
-        merged_cpa = Some(match merged_cpa.take() {
-            None => cpa,
-            Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
-        });
-        merged_monitor = merged_monitor.merged_totals(&monitor);
-        bus = add_stats(bus, stats);
-    }
-    StreamingCpaReport {
-        cpa: merged_cpa.expect("at least one shard"),
-        monitor: merged_monitor,
-        bus,
-        keys: keys.to_vec(),
-        shards,
-    }
+    Campaign::live(device, kind, secret_key, seed)
+        .keys(keys)
+        .traces(n)
+        .shards(shards)
+        .mitigation(mitigation)
+        .session()
+        .cpa(model_factory)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use psc_sca::model::Rd0Hw;
+    use psc_sca::tvla::PlaintextClass;
     use psc_smc::key::key;
+    use psc_telemetry::event::ChannelId;
 
     #[test]
     fn sharded_tvla_report_has_full_counts() {

@@ -1,8 +1,8 @@
 //! Property-based tests for the attack-pipeline crate.
 
 use proptest::prelude::*;
-use psc_core::campaign::collect_known_plaintext;
 use psc_core::rig::{Device, Rig};
+use psc_core::session::Campaign;
 use psc_core::victim::{AesVictim, VictimKind};
 use psc_smc::key::key;
 use psc_soc::workload::AesSignal;
@@ -25,7 +25,11 @@ proptest! {
     #[test]
     fn collection_shape_invariants(seed in any::<u64>(), secret in any::<[u8; 16]>()) {
         let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed);
-        let sets = collect_known_plaintext(&mut rig, &[key("PHPC"), key("PSTR")], 12);
+        let sets = Campaign::over_rig(&mut rig)
+            .keys(&[key("PHPC"), key("PSTR")])
+            .traces(12)
+            .session()
+            .collect();
         let aes = psc_aes::Aes::new(&secret).unwrap();
         for k in [key("PHPC"), key("PSTR")] {
             let set = &sets[&k];

@@ -136,6 +136,13 @@ impl IoReport {
         groups
     }
 
+    /// Current cumulative value of one channel without snapshotting (the
+    /// allocation-free read the hot observation loop uses).
+    #[must_use]
+    pub fn get(&self, id: &ChannelId) -> Option<ChannelValue> {
+        self.channels.get(id).copied()
+    }
+
     /// Capture all channels.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {

@@ -14,10 +14,38 @@ use psc_soc::{WindowBatch, WindowReport};
 /// Millijoule quantization of the energy channels.
 pub const ENERGY_QUANTUM_MJ: f64 = 1.0;
 
+/// The reporter's channel ids, constructed once — the sync path runs per
+/// SMC-sized observation, so it must not rebuild `String`-keyed ids.
+#[derive(Debug, Clone, PartialEq)]
+struct ChannelIds {
+    pcpu: ChannelId,
+    ecpu: ChannelId,
+    dram: ChannelId,
+    p_residency: ChannelId,
+    e_residency: ChannelId,
+    p_cores: [ChannelId; 4],
+    e_cores: [ChannelId; 4],
+}
+
+impl Default for ChannelIds {
+    fn default() -> Self {
+        Self {
+            pcpu: EnergyModelReporter::pcpu(),
+            ecpu: EnergyModelReporter::ecpu(),
+            dram: EnergyModelReporter::dram(),
+            p_residency: EnergyModelReporter::p_residency(),
+            e_residency: EnergyModelReporter::e_residency(),
+            p_cores: core::array::from_fn(EnergyModelReporter::p_core_residency),
+            e_cores: core::array::from_fn(EnergyModelReporter::e_core_residency),
+        }
+    }
+}
+
 /// Integrates SoC activity into IOReport channels.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyModelReporter {
     report: IoReport,
+    ids: ChannelIds,
     // Unquantized running energies, mJ.
     pcpu_mj: f64,
     ecpu_mj: f64,
@@ -32,17 +60,18 @@ impl EnergyModelReporter {
     /// New reporter with the standard channel layout.
     #[must_use]
     pub fn new() -> Self {
+        let ids = ChannelIds::default();
         let mut report = IoReport::new();
-        report.register(Self::pcpu(), ChannelUnit::Millijoules);
-        report.register(Self::ecpu(), ChannelUnit::Millijoules);
-        report.register(Self::dram(), ChannelUnit::Millijoules);
-        report.register(Self::p_residency(), ChannelUnit::Nanoseconds);
-        report.register(Self::e_residency(), ChannelUnit::Nanoseconds);
+        report.register(ids.pcpu.clone(), ChannelUnit::Millijoules);
+        report.register(ids.ecpu.clone(), ChannelUnit::Millijoules);
+        report.register(ids.dram.clone(), ChannelUnit::Millijoules);
+        report.register(ids.p_residency.clone(), ChannelUnit::Nanoseconds);
+        report.register(ids.e_residency.clone(), ChannelUnit::Nanoseconds);
         for core in 0..4 {
-            report.register(Self::p_core_residency(core), ChannelUnit::Nanoseconds);
-            report.register(Self::e_core_residency(core), ChannelUnit::Nanoseconds);
+            report.register(ids.p_cores[core].clone(), ChannelUnit::Nanoseconds);
+            report.register(ids.e_cores[core].clone(), ChannelUnit::Nanoseconds);
         }
-        Self { report, ..Default::default() }
+        Self { report, ids, ..Default::default() }
     }
 
     /// `CPU Stats/P-Core N busy residency` (per-core view, as shown by
@@ -153,25 +182,36 @@ impl EnergyModelReporter {
     }
 
     fn sync(&mut self) {
-        // Publish quantized cumulative values (mJ resolution).
+        // Publish quantized cumulative values (mJ resolution). Current
+        // values read through the registry directly — no snapshot clone.
         let set = |report: &mut IoReport, id: &ChannelId, target: f64| {
-            let current = report.snapshot().get(id).map_or(0.0, |v| v.value);
+            let current = report.get(id).map_or(0.0, |v| v.value);
             let quantized = (target / ENERGY_QUANTUM_MJ).floor() * ENERGY_QUANTUM_MJ;
             report.accumulate(id, quantized - current);
         };
-        set(&mut self.report, &Self::pcpu(), self.pcpu_mj);
-        set(&mut self.report, &Self::ecpu(), self.ecpu_mj);
-        set(&mut self.report, &Self::dram(), self.dram_mj);
+        set(&mut self.report, &self.ids.pcpu, self.pcpu_mj);
+        set(&mut self.report, &self.ids.ecpu, self.ecpu_mj);
+        set(&mut self.report, &self.ids.dram, self.dram_mj);
         let set_ns = |report: &mut IoReport, id: &ChannelId, target: f64| {
-            let current = report.snapshot().get(id).map_or(0.0, |v| v.value);
+            let current = report.get(id).map_or(0.0, |v| v.value);
             report.accumulate(id, target - current);
         };
-        set_ns(&mut self.report, &Self::p_residency(), self.p_busy_ns);
-        set_ns(&mut self.report, &Self::e_residency(), self.e_busy_ns);
+        set_ns(&mut self.report, &self.ids.p_residency, self.p_busy_ns);
+        set_ns(&mut self.report, &self.ids.e_residency, self.e_busy_ns);
         for core in 0..4 {
-            set_ns(&mut self.report, &Self::p_core_residency(core), self.p_core_busy_ns[core]);
-            set_ns(&mut self.report, &Self::e_core_residency(core), self.e_core_busy_ns[core]);
+            set_ns(&mut self.report, &self.ids.p_cores[core], self.p_core_busy_ns[core]);
+            set_ns(&mut self.report, &self.ids.e_cores[core], self.e_core_busy_ns[core]);
         }
+    }
+
+    /// The published (quantized) cumulative `Energy Model/PCPU` total in
+    /// millijoules — the allocation-free read the per-observation loop
+    /// uses in place of a full snapshot/delta pair. Differences of this
+    /// total are bit-identical to [`Snapshot::delta`] on the `PCPU`
+    /// channel.
+    #[must_use]
+    pub fn pcpu_total_mj(&self) -> f64 {
+        self.report.get(&self.ids.pcpu).map_or(0.0, |v| v.value)
     }
 
     /// Take a snapshot (the `socpowerbud` read pattern).

@@ -9,15 +9,26 @@
 //! | trace count u64 | per trace: value f64 | pt [16] | ct [16]
 //! ```
 //!
-//! All integers little-endian. Readers reject bad magic, unknown versions
-//! and truncated payloads.
+//! Version 2 appends two label bytes per trace — the TVLA pass and the
+//! plaintext class (`0xFF` = unclassed, i.e. a known-plaintext CPA
+//! window) — so recorded campaigns replay with their full TVLA structure
+//! intact. All integers little-endian. Readers accept both versions
+//! ([`read_trace_set`] drops the labels, [`read_recording`] keeps them)
+//! and reject bad magic, unknown versions and truncated payloads.
 
 use crate::trace::{Trace, TraceSet};
+use crate::tvla::PlaintextClass;
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"PSCT";
 const VERSION: u16 = 1;
+const VERSION_LABELED: u16 = 2;
+/// Per-trace byte width of the two formats.
+const V1_TRACE_BYTES: usize = 40;
+const V2_TRACE_BYTES: usize = 42;
+/// Wire value of a `None` class byte.
+const CLASS_NONE: u8 = 0xFF;
 
 /// Errors from [`read_trace_set`].
 #[derive(Debug)]
@@ -32,6 +43,8 @@ pub enum CodecError {
     Truncated,
     /// Label bytes were not UTF-8.
     BadLabel,
+    /// A version-2 class byte was not a valid [`PlaintextClass`] code.
+    BadClass(u8),
 }
 
 impl core::fmt::Display for CodecError {
@@ -42,6 +55,7 @@ impl core::fmt::Display for CodecError {
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace format version {v}"),
             CodecError::Truncated => write!(f, "truncated trace payload"),
             CodecError::BadLabel => write!(f, "label is not valid UTF-8"),
+            CodecError::BadClass(c) => write!(f, "invalid plaintext-class byte {c:#04x}"),
         }
     }
 }
@@ -90,16 +104,79 @@ pub fn write_trace_set<W: Write>(set: &TraceSet, mut writer: W) -> Result<(), Co
     Ok(())
 }
 
-/// Deserialize a trace set from a reader.
+/// One recorded trace with its TVLA labels (version-2 payload unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledTrace {
+    /// The observation itself.
+    pub trace: Trace,
+    /// TVLA pass (0 = unprimed, 1 = primed; 0 for CPA collection).
+    pub pass: u8,
+    /// TVLA plaintext class; `None` for known-plaintext CPA windows.
+    pub class: Option<PlaintextClass>,
+}
+
+/// A labelled, fully replayable recording of one channel's campaign
+/// slice — what [`read_recording`] returns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Recording {
+    /// Channel label (e.g. the SMC key name, or `PCPU`).
+    pub label: String,
+    /// Traces in collection order, with their TVLA labels.
+    pub traces: Vec<LabeledTrace>,
+}
+
+impl Recording {
+    /// Drop the labels, keeping the plain trace set (offline CPA shape).
+    #[must_use]
+    pub fn into_trace_set(self) -> TraceSet {
+        let mut set = TraceSet::with_capacity(self.label, self.traces.len());
+        for t in self.traces {
+            set.push(t.trace);
+        }
+        set
+    }
+}
+
+/// Serialize a labeled recording (version-2 format: per-trace TVLA pass
+/// and plaintext class survive the round trip, so replayed campaigns
+/// rebuild identical TVLA matrices).
 ///
 /// # Errors
 ///
-/// See [`CodecError`] for the failure modes.
-pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
-    let mut raw = Vec::new();
-    reader.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
+/// Propagates I/O errors.
+pub fn write_recording<W: Write>(
+    label: &str,
+    traces: &[LabeledTrace],
+    mut writer: W,
+) -> Result<(), CodecError> {
+    let label = label.as_bytes();
+    let mut header = BytesMut::with_capacity(4 + 2 + 2 + label.len() + 8);
+    header.put_slice(MAGIC);
+    header.put_u16_le(VERSION_LABELED);
+    header.put_u16_le(label.len().min(u16::MAX as usize) as u16);
+    header.put_slice(&label[..label.len().min(u16::MAX as usize)]);
+    header.put_u64_le(traces.len() as u64);
+    writer.write_all(&header)?;
 
+    let mut buf = BytesMut::with_capacity(V2_TRACE_BYTES * 1024);
+    for t in traces {
+        buf.put_f64_le(t.trace.value);
+        buf.put_slice(&t.trace.plaintext);
+        buf.put_slice(&t.trace.ciphertext);
+        buf.put_u8(t.pass);
+        buf.put_u8(t.class.map_or(CLASS_NONE, |c| c.index() as u8));
+        if buf.len() >= 32 * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Parsed header: label plus trace count, with `buf` advanced to the
+/// first trace record.
+fn read_header(buf: &mut &[u8]) -> Result<(String, usize, u16), CodecError> {
     if buf.remaining() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -109,7 +186,7 @@ pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_LABELED {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let label_len = buf.get_u16_le() as usize;
@@ -120,20 +197,96 @@ pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
         core::str::from_utf8(&buf[..label_len]).map_err(|_| CodecError::BadLabel)?.to_owned();
     buf.advance(label_len);
     let count = buf.get_u64_le() as usize;
-    if buf.remaining() != count * 40 {
+    let trace_bytes = if version == VERSION { V1_TRACE_BYTES } else { V2_TRACE_BYTES };
+    if buf.remaining() != count * trace_bytes {
         return Err(CodecError::Truncated);
     }
+    Ok((label, count, version))
+}
 
+fn read_one(buf: &mut &[u8], version: u16) -> Result<LabeledTrace, CodecError> {
+    let value = buf.get_f64_le();
+    let mut plaintext = [0u8; 16];
+    buf.copy_to_slice(&mut plaintext);
+    let mut ciphertext = [0u8; 16];
+    buf.copy_to_slice(&mut ciphertext);
+    let (pass, class) = if version == VERSION_LABELED {
+        let pass = buf.get_u8();
+        let class = match buf.get_u8() {
+            CLASS_NONE => None,
+            idx => Some(*PlaintextClass::ALL.get(idx as usize).ok_or(CodecError::BadClass(idx))?),
+        };
+        (pass, class)
+    } else {
+        (0, None)
+    };
+    Ok(LabeledTrace { trace: Trace { value, plaintext, ciphertext }, pass, class })
+}
+
+/// Deserialize a trace set from a reader. Accepts both format versions;
+/// version-2 TVLA labels are dropped (use [`read_recording`] to keep
+/// them).
+///
+/// # Errors
+///
+/// See [`CodecError`] for the failure modes.
+pub fn read_trace_set<R: Read>(mut reader: R) -> Result<TraceSet, CodecError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let (label, count, version) = read_header(&mut buf)?;
     let mut set = TraceSet::with_capacity(label, count);
     for _ in 0..count {
-        let value = buf.get_f64_le();
-        let mut plaintext = [0u8; 16];
-        buf.copy_to_slice(&mut plaintext);
-        let mut ciphertext = [0u8; 16];
-        buf.copy_to_slice(&mut ciphertext);
-        set.push(Trace { value, plaintext, ciphertext });
+        set.push(read_one(&mut buf, version)?.trace);
     }
     Ok(set)
+}
+
+/// Read only the channel label from a trace-file header (the cheap probe
+/// replay front ends use to discover which channels a directory of
+/// recordings holds — no payload is read).
+///
+/// # Errors
+///
+/// See [`CodecError`] for the failure modes.
+pub fn read_label<R: Read>(mut reader: R) -> Result<String, CodecError> {
+    let eof_is_truncation = |e: std::io::Error| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e)
+        }
+    };
+    let mut head = [0u8; 8];
+    reader.read_exact(&mut head).map_err(eof_is_truncation)?;
+    if &head[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if version != VERSION && version != VERSION_LABELED {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let mut label = vec![0u8; u16::from_le_bytes([head[6], head[7]]) as usize];
+    reader.read_exact(&mut label).map_err(eof_is_truncation)?;
+    String::from_utf8(label).map_err(|_| CodecError::BadLabel)
+}
+
+/// Deserialize a recording, keeping the per-trace TVLA labels. Version-1
+/// files read back with `pass = 0`, `class = None`.
+///
+/// # Errors
+///
+/// See [`CodecError`] for the failure modes.
+pub fn read_recording<R: Read>(mut reader: R) -> Result<Recording, CodecError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let (label, count, version) = read_header(&mut buf)?;
+    let mut traces = Vec::with_capacity(count);
+    for _ in 0..count {
+        traces.push(read_one(&mut buf, version)?);
+    }
+    Ok(Recording { label, traces })
 }
 
 #[cfg(test)]
@@ -225,5 +378,89 @@ mod tests {
     fn error_display() {
         assert!(CodecError::BadMagic.to_string().contains("PSCT"));
         assert!(CodecError::UnsupportedVersion(7).to_string().contains('7'));
+        assert!(CodecError::BadClass(9).to_string().contains("0x09"));
+    }
+
+    fn sample_recording(n: usize) -> Vec<LabeledTrace> {
+        (0..n)
+            .map(|i| LabeledTrace {
+                trace: Trace {
+                    value: i as f64 * 0.5 - 1.0,
+                    plaintext: core::array::from_fn(|b| (i + b) as u8),
+                    ciphertext: core::array::from_fn(|b| (i * 5 + b) as u8),
+                },
+                pass: (i % 2) as u8,
+                class: match i % 4 {
+                    0 => Some(PlaintextClass::AllZeros),
+                    1 => Some(PlaintextClass::AllOnes),
+                    2 => Some(PlaintextClass::Random),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn labeled_roundtrip_preserves_labels() {
+        let traces = sample_recording(101);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+        let back = read_recording(&bytes[..]).unwrap();
+        assert_eq!(back.label, "PHPC");
+        assert_eq!(back.traces, traces);
+    }
+
+    #[test]
+    fn labeled_files_read_as_plain_trace_sets() {
+        let traces = sample_recording(9);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+        let set = read_trace_set(&bytes[..]).unwrap();
+        assert_eq!(set.len(), 9);
+        for (plain, labeled) in set.iter().zip(&traces) {
+            assert_eq!(*plain, labeled.trace);
+        }
+    }
+
+    #[test]
+    fn v1_files_read_as_unlabeled_recordings() {
+        let set = sample_set(7);
+        let mut bytes = Vec::new();
+        write_trace_set(&set, &mut bytes).unwrap();
+        let recording = read_recording(&bytes[..]).unwrap();
+        assert_eq!(recording.traces.len(), 7);
+        assert!(recording.traces.iter().all(|t| t.pass == 0 && t.class.is_none()));
+        assert_eq!(recording.into_trace_set(), set);
+    }
+
+    #[test]
+    fn labeled_rejects_bad_class_byte() {
+        let traces = sample_recording(1);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        assert!(matches!(read_recording(&bytes[..]), Err(CodecError::BadClass(7))));
+    }
+
+    #[test]
+    fn read_label_probes_header_only() {
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &sample_recording(3), &mut bytes).unwrap();
+        assert_eq!(read_label(&bytes[..]).unwrap(), "PHPC");
+        // v1 files probe the same way.
+        let mut v1 = Vec::new();
+        write_trace_set(&sample_set(2), &mut v1).unwrap();
+        assert_eq!(read_label(&v1[..]).unwrap(), "PHPC");
+        assert!(matches!(read_label(&bytes[..6]), Err(CodecError::Truncated)));
+        assert!(matches!(read_label(&b"XXXXXXXXXX"[..]), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn labeled_rejects_truncation() {
+        let traces = sample_recording(4);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+        assert!(matches!(read_recording(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated)));
     }
 }

@@ -5,13 +5,12 @@
 
 use crate::key::SmcKey;
 use crate::mitigation::MitigationConfig;
-use crate::sensors::SensorSet;
+use crate::sensors::{SensorSet, SensorSource};
 use crate::types::{SmcDataType, SmcValue};
 use psc_soc::noise::{gaussian, RandomWalk};
 use psc_soc::{SocTick, WindowBatch, WindowReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::BTreeMap;
 
 /// Default update interval in seconds.
 pub const DEFAULT_UPDATE_INTERVAL_S: f64 = 1.0;
@@ -153,6 +152,27 @@ impl core::fmt::Display for WriteKeyError {
 
 impl std::error::Error for WriteKeyError {}
 
+/// One sensor's publish pipeline, flattened out of [`SensorSet`] once at
+/// [`Smc::new`]: the per-publish sweep walks this dense vector instead of
+/// cloning definitions and chasing three `BTreeMap`s per key, and reads
+/// resolve through a sorted key index in O(log n) without allocating.
+#[derive(Debug, Clone)]
+struct SensorRuntime {
+    key: SmcKey,
+    source: SensorSource,
+    gain: f64,
+    quant_step: f64,
+    noise_sigma: f64,
+    power_related: bool,
+    writable: bool,
+    data_type: SmcDataType,
+    drift: Option<RandomWalk>,
+    /// User-written override of a writable key.
+    override_value: Option<f64>,
+    /// Last published value.
+    published: SmcValue,
+}
+
 /// The simulated SMC.
 #[derive(Debug)]
 pub struct Smc {
@@ -166,10 +186,12 @@ pub struct Smc {
     current_target_s: f64,
     mitigation: MitigationConfig,
     rng: ChaCha12Rng,
-    drift: BTreeMap<SmcKey, RandomWalk>,
-    published: BTreeMap<SmcKey, SmcValue>,
-    /// User-written overrides of writable keys.
-    overrides: BTreeMap<SmcKey, f64>,
+    /// Per-sensor pipelines in definition order (the publish sweep order).
+    runtime: Vec<SensorRuntime>,
+    /// Lexicographically sorted keys; parallel `index` maps each to its
+    /// `runtime` slot for binary-search lookup.
+    sorted_keys: Vec<SmcKey>,
+    index: Vec<usize>,
     acc: Accumulator,
     update_count: u64,
 }
@@ -178,12 +200,27 @@ impl Smc {
     /// New firmware instance over a sensor population.
     #[must_use]
     pub fn new(sensors: SensorSet, seed: u64) -> Self {
-        let drift = sensors
+        let runtime: Vec<SensorRuntime> = sensors
             .sensors()
             .iter()
-            .filter(|s| s.drift_step_sigma > 0.0)
-            .map(|s| (s.key, RandomWalk::new(s.drift_step_sigma, s.drift_reversion)))
+            .map(|s| SensorRuntime {
+                key: s.key,
+                source: s.source,
+                gain: s.gain,
+                quant_step: s.quant_step,
+                noise_sigma: s.noise_sigma,
+                power_related: s.power_related,
+                writable: s.writable,
+                data_type: s.data_type,
+                drift: (s.drift_step_sigma > 0.0)
+                    .then(|| RandomWalk::new(s.drift_step_sigma, s.drift_reversion)),
+                override_value: None,
+                published: SmcValue::new(s.data_type, 0.0),
+            })
             .collect();
+        let mut order: Vec<usize> = (0..runtime.len()).collect();
+        order.sort_by_key(|&i| runtime[i].key);
+        let sorted_keys = order.iter().map(|&i| runtime[i].key).collect();
         let mut smc = Self {
             sensors,
             base_interval_s: DEFAULT_UPDATE_INTERVAL_S,
@@ -191,9 +228,9 @@ impl Smc {
             current_target_s: DEFAULT_UPDATE_INTERVAL_S,
             mitigation: MitigationConfig::none(),
             rng: ChaCha12Rng::seed_from_u64(seed ^ 0x5AC5_AC5A),
-            drift,
-            published: BTreeMap::new(),
-            overrides: BTreeMap::new(),
+            runtime,
+            sorted_keys,
+            index: order,
             acc: Accumulator::default(),
             update_count: 0,
         };
@@ -205,6 +242,11 @@ impl Smc {
         });
         smc.update_count = 0;
         smc
+    }
+
+    /// The `runtime` slot for `k`, if the key exists.
+    fn lookup(&self, k: SmcKey) -> Option<usize> {
+        self.sorted_keys.binary_search(&k).ok().map(|i| self.index[i])
     }
 
     /// Override the base update interval (default 1 s).
@@ -378,20 +420,23 @@ impl Smc {
     }
 
     fn publish(&mut self, mean: &WindowReport) {
-        for def in self.sensors.sensors().to_vec() {
-            let source_value =
-                self.overrides.get(&def.key).copied().unwrap_or_else(|| def.source.sample(mean));
-            let raw = def.gain * source_value;
-            let drift = self.drift.get_mut(&def.key).map_or(0.0, |w| w.step(&mut self.rng));
-            let extra = if def.power_related { self.mitigation.extra_noise_sigma_w } else { 0.0 };
-            let sigma = (def.noise_sigma * def.noise_sigma + extra * extra).sqrt();
+        // One dense sweep: the exact floating-point pipeline (and RNG call
+        // order) of the historical per-key BTreeMap walk, minus the map
+        // lookups and the per-publish definition clone.
+        let extra_noise = self.mitigation.extra_noise_sigma_w;
+        for rt in &mut self.runtime {
+            let source_value = rt.override_value.unwrap_or_else(|| rt.source.sample(mean));
+            let raw = rt.gain * source_value;
+            let drift = rt.drift.as_mut().map_or(0.0, |w| w.step(&mut self.rng));
+            let extra = if rt.power_related { extra_noise } else { 0.0 };
+            let sigma = (rt.noise_sigma * rt.noise_sigma + extra * extra).sqrt();
             let noisy = gaussian(&mut self.rng, raw + drift, sigma);
-            let quantized = if def.quant_step > 0.0 {
-                (noisy / def.quant_step).round() * def.quant_step
+            let quantized = if rt.quant_step > 0.0 {
+                (noisy / rt.quant_step).round() * rt.quant_step
             } else {
                 noisy
             };
-            self.published.insert(def.key, SmcValue::new(def.data_type, quantized));
+            rt.published = SmcValue::new(rt.data_type, quantized);
         }
         self.update_count += 1;
     }
@@ -400,32 +445,38 @@ impl Smc {
     /// client layer).
     #[must_use]
     pub fn read(&self, k: SmcKey) -> Option<SmcValue> {
-        self.published.get(&k).copied()
+        self.lookup(k).map(|i| self.runtime[i].published)
     }
 
-    /// All keys in deterministic (lexicographic) order.
+    /// All keys in deterministic (lexicographic) order. The slice is
+    /// resolved once at construction — hot enumeration loops may call this
+    /// per round without allocating.
     #[must_use]
-    pub fn keys(&self) -> Vec<SmcKey> {
-        self.published.keys().copied().collect()
+    pub fn keys(&self) -> &[SmcKey] {
+        &self.sorted_keys
     }
 
     /// Type/size info for a key.
     #[must_use]
     pub fn key_info(&self, k: SmcKey) -> Option<(SmcDataType, usize)> {
-        self.sensors.get(k).map(|d| (d.data_type, d.data_type.size()))
+        self.lookup(k).map(|i| {
+            let dt = self.runtime[i].data_type;
+            (dt, dt.size())
+        })
     }
 
     /// Whether reads of this key are denied to unprivileged clients under
     /// the active mitigation.
     #[must_use]
     pub fn is_restricted(&self, k: SmcKey) -> bool {
-        self.mitigation.restrict_power_keys && self.sensors.get(k).is_some_and(|d| d.power_related)
+        self.mitigation.restrict_power_keys
+            && self.lookup(k).is_some_and(|i| self.runtime[i].power_related)
     }
 
     /// Whether user space may write this key.
     #[must_use]
     pub fn is_writable(&self, k: SmcKey) -> bool {
-        self.sensors.get(k).is_some_and(|d| d.writable)
+        self.lookup(k).is_some_and(|i| self.runtime[i].writable)
     }
 
     /// Write a key's value. The new value takes effect at the next publish
@@ -438,13 +489,13 @@ impl Smc {
     /// [`WriteKeyError::NotWritable`] for read-only keys — which is every
     /// power/limit-related key, reproducing §4's negative probe.
     pub fn write_key(&mut self, k: SmcKey, value: f64) -> Result<(), WriteKeyError> {
-        let def = self.sensors.get(k).ok_or(WriteKeyError::KeyNotFound(k))?;
-        if !def.writable {
+        let i = self.lookup(k).ok_or(WriteKeyError::KeyNotFound(k))?;
+        let rt = &mut self.runtime[i];
+        if !rt.writable {
             return Err(WriteKeyError::NotWritable(k));
         }
-        let data_type = def.data_type;
-        self.overrides.insert(k, value);
-        self.published.insert(k, SmcValue::new(data_type, value));
+        rt.override_value = Some(value);
+        rt.published = SmcValue::new(rt.data_type, value);
         Ok(())
     }
 }
@@ -651,7 +702,7 @@ mod tests {
 
         assert_eq!(published, seq_published);
         assert_eq!(batched.update_count(), seq.update_count());
-        for k in seq.keys() {
+        for &k in seq.keys() {
             let a = seq.read(k).unwrap().value;
             let b = batched.read(k).unwrap().value;
             assert_eq!(a.to_bits(), b.to_bits(), "key {k}: {a} vs {b}");

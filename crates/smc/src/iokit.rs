@@ -130,9 +130,12 @@ impl SmcUserClient {
                 }
                 let mut buf = input;
                 let index = buf.get_u32();
-                let keys = self.smc.read().keys();
-                let k =
-                    keys.get(index as usize).copied().ok_or(IoKitError::IndexOutOfRange(index))?;
+                let smc = self.smc.read();
+                let k = smc
+                    .keys()
+                    .get(index as usize)
+                    .copied()
+                    .ok_or(IoKitError::IndexOutOfRange(index))?;
                 Ok(Bytes::copy_from_slice(k.as_bytes()))
             }
             SELECTOR_KEY_INFO => {

@@ -514,7 +514,7 @@ impl Soc {
     /// operating point does not move — the placement walk, the workload
     /// virtual calls and their plaintext/memo locks, per-core utilization
     /// and the repetition count — out of the per-window loop into a
-    /// [`BatchSegment`] that is only rebuilt when the governor changes
+    /// `BatchSegment` that is only rebuilt when the governor changes
     /// frequency mid-batch.
     ///
     /// Within one batch the victim plaintext (and any other workload data

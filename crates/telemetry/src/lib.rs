@@ -6,22 +6,24 @@
 //! This crate turns trace collection from "fill `Vec`s, analyze later"
 //! into a publish/subscribe pipeline:
 //!
-//! * [`event`] — the typed events: [`WindowEvent`](event::WindowEvent)
-//!   (plaintext/ciphertext window markers), [`SampleEvent`](event::SampleEvent)
-//!   (one scalar per channel per window), [`SchedEvent`](event::SchedEvent)
+//! * [`event`] — the typed events: [`WindowEvent`]
+//!   (plaintext/ciphertext window markers), [`SampleEvent`]
+//!   (one scalar per channel per window), [`SchedEvent`]
 //!   (cadence metadata: windows consumed, denied reads);
 //! * [`ring`] — bounded ring buffers and the blocking MPSC channel built
-//!   on them, with explicit [`OverflowPolicy`](ring::OverflowPolicy) and
+//!   on them, with explicit [`OverflowPolicy`] and
 //!   exact drop accounting;
-//! * [`processor`] — the [`Processor`](processor::Processor) trait
+//! * [`processor`] — the [`Processor`] trait
 //!   (event-driven or fixed-interval polling against simulated time) and
-//!   the [`Pump`](processor::Pump) that dispatches a bus to processors;
+//!   the [`Pump`] that dispatches a bus to processors;
 //! * [`processors`] — streaming consumers with **O(1) memory in trace
 //!   count**: online TVLA (Welford accumulators →
 //!   the same 3×3 `TvlaMatrix` as the batch path), incremental CPA
 //!   (running per-guess/byte sums), a shard-persisting trace recorder
 //!   over `psc_sca::codec`, and a throttling/cadence monitor — plus
 //!   retaining batch-compat collectors for the legacy APIs;
+//! * [`replay`] — synthetic event sources: recorded `.psct` campaigns
+//!   pumped back through the same processors as offline replays;
 //! * [`campaign`] — work splitting and the scoped thread fan-out that
 //!   `psc_core::campaign` uses to shard collection across workers and
 //!   sum-merge the accumulator shards.
@@ -68,6 +70,7 @@ pub mod campaign;
 pub mod event;
 pub mod processor;
 pub mod processors;
+pub mod replay;
 pub mod ring;
 
 pub use campaign::{run_sharded, split_counts};
@@ -76,4 +79,5 @@ pub use processor::{PollMode, Processor, Pump};
 pub use processors::{
     DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
 };
+pub use replay::{channel_for_label, replay_recording};
 pub use ring::{channel, ChannelStats, OverflowPolicy, Receiver, RingBuffer, Sender};

@@ -2,15 +2,29 @@
 
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
-use psc_sca::codec;
+use psc_sca::codec::{self, LabeledTrace};
 use psc_sca::trace::{Trace, TraceSet};
+use psc_sca::tvla::PlaintextClass;
 use std::path::PathBuf;
+
+/// The window context a sample inherits: TVLA labels plus the
+/// known-plaintext record.
+#[derive(Debug, Clone, Copy)]
+struct WindowLabels {
+    pass: u8,
+    class: Option<PlaintextClass>,
+    plaintext: [u8; 16],
+    ciphertext: [u8; 16],
+}
 
 /// Persists one channel's traces to disk in bounded batches via
 /// [`psc_sca::codec`]. Memory stays O(`shard_capacity`): whenever the
 /// in-flight buffer fills, it is written out as one `.psct` shard file and
-/// cleared. Offline analysis re-reads the shards with
-/// [`codec::read_trace_set`] in any order.
+/// cleared. Shards are written in the labeled version-2 format (TVLA pass
+/// and plaintext class recorded per trace), so a recorded campaign can be
+/// replayed through the pump with its full TVLA structure intact. Offline
+/// analysis re-reads the shards with [`codec::read_trace_set`] (labels
+/// dropped) or [`codec::read_recording`] (labels kept) in any order.
 #[derive(Debug)]
 pub struct ShardRecorder {
     dir: PathBuf,
@@ -18,8 +32,8 @@ pub struct ShardRecorder {
     channel: ChannelId,
     shard: usize,
     capacity: usize,
-    buffer: Vec<Trace>,
-    current: Option<([u8; 16], [u8; 16])>,
+    buffer: Vec<LabeledTrace>,
+    current: Option<WindowLabels>,
     files: Vec<PathBuf>,
     traces_recorded: u64,
     io_errors: u64,
@@ -94,12 +108,11 @@ impl ShardRecorder {
             self.shard,
             self.files.len()
         ));
-        let mut set = TraceSet::with_capacity(self.label.clone(), self.buffer.len());
-        set.extend(self.buffer.drain(..));
-        match std::fs::File::create(&path)
+        let result = std::fs::File::create(&path)
             .map_err(codec::CodecError::Io)
-            .and_then(|f| codec::write_trace_set(&set, f))
-        {
+            .and_then(|f| codec::write_recording(&self.label, &self.buffer, f));
+        self.buffer.clear();
+        match result {
             Ok(()) => self.files.push(path),
             Err(e) => {
                 self.io_errors += 1;
@@ -135,10 +148,25 @@ impl Processor for ShardRecorder {
 
     fn on_event(&mut self, event: &Event) {
         match event {
-            Event::Window(w) => self.current = Some((w.plaintext, w.ciphertext)),
+            Event::Window(w) => {
+                self.current = Some(WindowLabels {
+                    pass: w.pass,
+                    class: w.class,
+                    plaintext: w.plaintext,
+                    ciphertext: w.ciphertext,
+                });
+            }
             Event::Sample(s) if s.channel == self.channel => {
-                if let Some((plaintext, ciphertext)) = self.current {
-                    self.buffer.push(Trace { value: s.value, plaintext, ciphertext });
+                if let Some(w) = self.current {
+                    self.buffer.push(LabeledTrace {
+                        trace: Trace {
+                            value: s.value,
+                            plaintext: w.plaintext,
+                            ciphertext: w.ciphertext,
+                        },
+                        pass: w.pass,
+                        class: w.class,
+                    });
                     self.traces_recorded += 1;
                     if self.buffer.len() >= self.capacity {
                         self.flush();
@@ -220,5 +248,40 @@ mod tests {
         feed(&mut rec, 5);
         assert_eq!(rec.io_errors(), 1);
         assert!(rec.last_error().is_some());
+    }
+
+    #[test]
+    fn tvla_labels_survive_the_recording() {
+        use psc_sca::tvla::PlaintextClass;
+        let dir = temp_dir("labels");
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 2, 8);
+        for (i, class) in PlaintextClass::ALL.iter().enumerate() {
+            rec.on_event(&Event::Window(WindowEvent {
+                seq: i as u64,
+                time_s: i as f64,
+                pass: 1,
+                class: Some(*class),
+                plaintext: [i as u8; 16],
+                ciphertext: [0; 16],
+            }));
+            rec.on_event(&Event::Sample(SampleEvent {
+                time_s: i as f64,
+                channel: ChannelId::Pcpu,
+                value: i as f64,
+            }));
+        }
+        rec.on_finish();
+        let recording =
+            psc_sca::codec::read_recording(std::fs::File::open(&rec.files()[0]).unwrap()).unwrap();
+        assert_eq!(recording.label, "PHPC");
+        assert_eq!(recording.traces.len(), 3);
+        for (t, class) in recording.traces.iter().zip(PlaintextClass::ALL) {
+            assert_eq!(t.pass, 1);
+            assert_eq!(t.class, Some(class));
+        }
+        for f in rec.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
     }
 }

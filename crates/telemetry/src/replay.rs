@@ -1,0 +1,138 @@
+//! Synthetic event sources: feed recorded campaigns back through the pump.
+//!
+//! A [`crate::processors::ShardRecorder`] persists one channel's slice of
+//! a campaign as labeled `.psct` shards; this module turns such a
+//! [`Recording`] back into the exact event
+//! stream a live rig would have produced — window marker (with the
+//! recorded TVLA pass/class and known-plaintext record), the channel
+//! sample, and a cadence record — so every streaming processor
+//! ([`StreamingTvla`](crate::processors::StreamingTvla),
+//! [`StreamingCpa`](crate::processors::StreamingCpa), monitors, even a
+//! re-recording recorder) runs unchanged over offline data.
+
+use crate::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+use psc_sca::codec::Recording;
+use psc_smc::SmcKey;
+
+/// Map a recording's channel label back to its [`ChannelId`]: `PCPU` and
+/// `TIME` are the IOReport/timing pseudo-channels, any other four-byte
+/// label is an SMC key. Returns `None` for labels that fit neither shape.
+#[must_use]
+pub fn channel_for_label(label: &str) -> Option<ChannelId> {
+    match label {
+        "PCPU" => Some(ChannelId::Pcpu),
+        "TIME" => Some(ChannelId::Timing),
+        other => {
+            let bytes: [u8; 4] = other.as_bytes().try_into().ok()?;
+            SmcKey::new(bytes).ok().map(ChannelId::Smc)
+        }
+    }
+}
+
+/// Pump one recording into `sink` as a synthetic event stream.
+///
+/// Each recorded trace becomes a `Window` event (carrying the recorded
+/// pass/class/plaintext/ciphertext), one `Sample` on `channel`, and a
+/// `Sched` record on a synthetic `window_s` timeline starting at
+/// `seq_start`. Returns the sequence number after the last emitted
+/// window, so multiple recordings (e.g. one per shard file) chain into
+/// one monotone stream.
+pub fn replay_recording(
+    recording: &Recording,
+    channel: ChannelId,
+    seq_start: u64,
+    window_s: f64,
+    sink: &mut dyn FnMut(Event),
+) -> u64 {
+    let mut seq = seq_start;
+    for t in &recording.traces {
+        let time_s = (seq + 1) as f64 * window_s;
+        sink(Event::Window(WindowEvent {
+            seq,
+            time_s,
+            pass: t.pass,
+            class: t.class,
+            plaintext: t.trace.plaintext,
+            ciphertext: t.trace.ciphertext,
+        }));
+        sink(Event::Sample(SampleEvent { time_s, channel, value: t.trace.value }));
+        sink(Event::Sched(SchedEvent { time_s, windows_consumed: 1, window_s, denied_reads: 0 }));
+        seq += 1;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processors::StreamingTvla;
+    use crate::Processor;
+    use psc_sca::codec::LabeledTrace;
+    use psc_sca::trace::Trace;
+    use psc_sca::tvla::PlaintextClass;
+    use psc_smc::key::key;
+
+    #[test]
+    fn labels_map_to_channels() {
+        assert_eq!(channel_for_label("PCPU"), Some(ChannelId::Pcpu));
+        assert_eq!(channel_for_label("TIME"), Some(ChannelId::Timing));
+        assert_eq!(channel_for_label("PHPC"), Some(ChannelId::Smc(key("PHPC"))));
+        assert_eq!(channel_for_label("toolong"), None);
+        assert_eq!(channel_for_label(""), None);
+    }
+
+    #[test]
+    fn replayed_recording_rebuilds_tvla_state() {
+        let mut traces = Vec::new();
+        for pass in 0..2u8 {
+            for class in PlaintextClass::ALL {
+                for i in 0..5 {
+                    traces.push(LabeledTrace {
+                        trace: Trace {
+                            value: f64::from(i) + f64::from(class.index() as u32),
+                            plaintext: class.fixed_plaintext().unwrap_or([i as u8; 16]),
+                            ciphertext: [0; 16],
+                        },
+                        pass,
+                        class: Some(class),
+                    });
+                }
+            }
+        }
+        let recording = Recording { label: "PHPC".into(), traces };
+        let channel = channel_for_label(&recording.label).unwrap();
+        let mut tvla = StreamingTvla::new();
+        let next = replay_recording(&recording, channel, 0, 1.0, &mut |e| tvla.on_event(&e));
+        assert_eq!(next, 30);
+        let acc = tvla.accumulator(channel).expect("replayed");
+        for pass in 0..2 {
+            for class in PlaintextClass::ALL {
+                assert_eq!(acc.count(pass, class), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_chains_across_recordings() {
+        let recording = Recording {
+            label: "PCPU".into(),
+            traces: vec![LabeledTrace {
+                trace: Trace { value: 1.0, plaintext: [0; 16], ciphertext: [0; 16] },
+                pass: 0,
+                class: None,
+            }],
+        };
+        let mut events = Vec::new();
+        let mid = replay_recording(&recording, ChannelId::Pcpu, 0, 1.0, &mut |e| events.push(e));
+        let end = replay_recording(&recording, ChannelId::Pcpu, mid, 1.0, &mut |e| events.push(e));
+        assert_eq!((mid, end), (1, 2));
+        let seqs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Window(w) => Some(w.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+}

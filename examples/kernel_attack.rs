@@ -8,8 +8,7 @@
 //!
 //! Run with: `cargo run --release --example kernel_attack -- [traces]`
 
-use apple_power_sca::core::campaign::collect_known_plaintext_parallel;
-use apple_power_sca::core::{Device, VictimKind};
+use apple_power_sca::core::{Campaign, Device, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::rank::{ge_curve, guessing_entropy, log_checkpoints};
@@ -26,15 +25,12 @@ fn main() {
     println!("attacking the kernel AES module with {traces} PHPC traces per victim...");
     let mut results = Vec::new();
     for kind in [VictimKind::UserSpace, VictimKind::KernelModule] {
-        let sets = collect_known_plaintext_parallel(
-            Device::MacbookAirM2,
-            kind,
-            secret_key,
-            0xBEEF,
-            &[key("PHPC")],
-            traces,
-            shards,
-        );
+        let sets = Campaign::live(Device::MacbookAirM2, kind, secret_key, 0xBEEF)
+            .keys(&[key("PHPC")])
+            .traces(traces)
+            .shards(shards)
+            .session()
+            .collect();
         let set = &sets[&key("PHPC")];
         let checkpoints = log_checkpoints((traces / 50).max(50), traces, 3);
         let curve = ge_curve(Cpa::new(Box::new(Rd0Hw)), set, &secret_key, &checkpoints);

@@ -8,8 +8,7 @@
 //! Run with: `cargo run --release --example key_extraction -- [traces]`
 //! (default 40000; more traces → lower guessing entropy).
 
-use apple_power_sca::core::campaign::collect_known_plaintext_parallel;
-use apple_power_sca::core::{Device, VictimKind};
+use apple_power_sca::core::{Campaign, Device, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::enumerate::{verify_with_pair, KeyEnumerator};
 use apple_power_sca::sca::model::Rd0Hw;
@@ -25,15 +24,12 @@ fn main() {
     let shards = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
 
     println!("collecting {traces} PHPC traces from the user-space victim (M2, {shards} shards)...");
-    let sets = collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        secret_key,
-        0xFEED,
-        &[key("PHPC")],
-        traces,
-        shards,
-    );
+    let sets = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret_key, 0xFEED)
+        .keys(&[key("PHPC")])
+        .traces(traces)
+        .shards(shards)
+        .session()
+        .collect();
 
     let mut cpa = Cpa::new(Box::new(Rd0Hw));
     cpa.add_set(&sets[&key("PHPC")]);

@@ -3,12 +3,12 @@
 //! Builds a simulated MacBook Air M2 with a user-space AES victim, then —
 //! acting as the unprivileged attacker — enumerates SMC keys through the
 //! IOKit-style interface, reads power values while the victim encrypts
-//! chosen plaintexts, and shows that `PHPC` moves with the data while
-//! `PHPS` does not.
+//! chosen plaintexts, and runs a small `Campaign`-builder TVLA session
+//! showing that `PHPC` moves with the data while `PHPS` does not.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::smc::key::key;
 use apple_power_sca::smc::SmcKey;
 
@@ -48,6 +48,21 @@ fn main() {
              |Δ| = {:.3} mW",
             (zeros - ones).abs() * 1e3
         );
+    }
+
+    println!("\n== The same contrast as a Campaign-builder TVLA session ==");
+    let tvla_keys = [key("PHPC"), key("PHPS")];
+    let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret_key, 2024)
+        .keys(&tvla_keys)
+        .traces(150) // per plaintext class
+        .shards(2)
+        .session()
+        .tvla();
+    for smc_key in tvla_keys {
+        let matrix = report.matrix(smc_key).expect("channel collected");
+        let verdict =
+            if matrix.is_data_dependent() { "DATA-DEPENDENT" } else { "no data dependence" };
+        println!("{smc_key}: {verdict}");
     }
     println!(
         "\nPHPC (a real P-cluster power sensor) separates the plaintexts;\n\

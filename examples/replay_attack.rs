@@ -1,0 +1,67 @@
+//! Record once, replay forever: the recorder-driven offline workflow.
+//!
+//! A real attacker pays for trace collection exactly once and re-analyzes
+//! offline. This walk-through runs a live TVLA campaign with recording
+//! enabled (every channel's traces persist as labeled `.psct` shards),
+//! then feeds the shards back through the identical streaming analysis
+//! via `Campaign::replay` — no rig, no simulation, same matrices — and
+//! finally re-ranks the recorded CPA traces under a different trace
+//! budget, the kind of what-if a live rig cannot rewind.
+//!
+//! Run with: `cargo run --release --example replay_attack`
+
+use apple_power_sca::core::{Campaign, Device, ShardReplay, VictimKind};
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::smc::key::key;
+
+fn main() {
+    let secret = [0x2Bu8; 16];
+    let seed = 77;
+    let keys = [key("PHPC"), key("PHPS")];
+    let dir = std::env::temp_dir().join(format!("psc_replay_attack_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // ── Live TVLA campaign, recorded ───────────────────────────────────
+    println!("── live TVLA: 2 shards x 300 traces/class, recording to disk ──");
+    let live = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed)
+        .keys(&keys)
+        .traces(300)
+        .shards(2)
+        .record_to(&dir)
+        .session()
+        .tvla();
+    for k in keys {
+        println!("{}", live.matrix(k).expect("collected").render());
+    }
+
+    // ── Offline replay: identical matrices without a rig ───────────────
+    println!("── offline replay of the recorded shards ──");
+    let replay = ShardReplay::from_dir(&dir).expect("shards recorded");
+    println!("found {} shard group(s) under {}", replay.shards().len(), dir.display());
+    let files: Vec<_> = replay.shards().iter().flat_map(|s| s.files.clone()).collect();
+    let replayed = Campaign::replay(replay).keys(&keys).session().tvla();
+    for k in keys {
+        let live_m = live.matrix(k).expect("live");
+        let replay_m = replayed.matrix(k).expect("replayed");
+        for (a, b) in live_m.cells.iter().zip(&replay_m.cells) {
+            assert_eq!(a.t_score.to_bits(), b.t_score.to_bits(), "replay must be bit-identical");
+        }
+        println!("{k}: replayed matrix bit-identical to the live run");
+    }
+
+    // ── Offline what-if: CPA over the same recorded traces ─────────────
+    println!("── offline CPA over the recorded PHPC traces ──");
+    let replay = ShardReplay::from_dir(&dir).expect("shards recorded");
+    let cpa = Campaign::replay(replay).keys(&[key("PHPC")]).session().cpa(|| Box::new(Rd0Hw));
+    let ranks = cpa.ranks(key("PHPC"), &secret).expect("replayed channel");
+    println!(
+        "TVLA-recording re-ranked under Rd0-HW: best byte rank {}",
+        ranks.iter().min().unwrap()
+    );
+
+    for f in &files {
+        std::fs::remove_file(f).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+    println!("\nrecorded shards replayed through TVLA and CPA without touching a rig.");
+}

@@ -1,23 +1,21 @@
 //! End-to-end *streaming* attack: the paper's §3.3/§3.4 campaigns run as
-//! a sharded telemetry pipeline instead of batch loops.
+//! a sharded telemetry pipeline through the `Campaign` builder.
 //!
 //! Four worker shards (each an independently seeded simulated M2 rig)
 //! produce window/sample/sched events into bounded ring-buffer channels;
 //! per-shard consumers accumulate **online** statistics (Welford TVLA,
-//! incremental CPA — O(1) memory in trace count), a recorder persists a
-//! trace shard to disk through `psc_sca::codec`, and the shard
-//! accumulators are sum-merged into the final verdicts.
+//! incremental CPA — O(1) memory in trace count), and the shard
+//! accumulators are sum-merged into the final verdicts. The same builder
+//! also records the CPA campaign as labeled `.psct` shards and replays
+//! them offline through the identical analysis.
 //!
 //! Run with: `cargo run --release --example streaming_attack`
 
-use apple_power_sca::core::streaming::{stream_known_plaintext, stream_tvla_campaign};
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, ShardReplay, VictimKind};
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::tvla::TVLA_THRESHOLD;
 use apple_power_sca::smc::key::key;
-use apple_power_sca::telemetry::event::{ChannelId, Event, SampleEvent, WindowEvent};
-use apple_power_sca::telemetry::processor::Pump;
-use apple_power_sca::telemetry::processors::ShardRecorder;
+use apple_power_sca::telemetry::event::ChannelId;
 
 fn main() {
     let secret = [0x2Bu8; 16];
@@ -27,15 +25,12 @@ fn main() {
     // ── Stage 1: sharded streaming TVLA (§3.3) ─────────────────────────
     println!("── streaming TVLA: 4 shards x 500 traces/class ──");
     let keys = [key("PHPC"), key("PHPS"), key("PSTR")];
-    let tvla = stream_tvla_campaign(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        secret,
-        seed,
-        &keys,
-        2_000,
-        shards,
-    );
+    let tvla = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed)
+        .keys(&keys)
+        .traces(2_000)
+        .shards(shards)
+        .session()
+        .tvla();
     for k in keys {
         let matrix = tvla.matrix(k).expect("channel collected");
         let verdict = if matrix.is_data_dependent() {
@@ -58,19 +53,18 @@ fn main() {
         tvla.monitor.denied_reads()
     );
 
-    // ── Stage 2: sharded streaming CPA (§3.4) ──────────────────────────
+    // ── Stage 2: sharded streaming CPA (§3.4), recorded to disk ────────
     println!("── streaming CPA: 4 shards x 2500 known-plaintext traces ──");
     let cpa_key = key("PHPC");
-    let report = stream_known_plaintext(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        secret,
-        seed,
-        &[cpa_key],
-        10_000,
-        shards,
-        || Box::new(Rd0Hw),
-    );
+    let dir = std::env::temp_dir().join(format!("psc_streaming_attack_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed)
+        .keys(&[cpa_key])
+        .traces(10_000)
+        .shards(shards)
+        .record_to(&dir)
+        .session()
+        .cpa(|| Box::new(Rd0Hw));
     let ranks = report.ranks(cpa_key, &secret).expect("registered channel");
     let recovered = ranks.iter().filter(|&&r| r == 1).count();
     println!("per-byte ranks of the true key: {ranks:?}");
@@ -80,45 +74,16 @@ fn main() {
         report.cpa.cpa(ChannelId::Smc(cpa_key)).expect("registered").trace_count()
     );
 
-    // ── Stage 3: shard-persisting recorder (offline re-analysis) ───────
-    println!("── trace recorder: bounded shards via psc_sca::codec ──");
-    let dir = std::env::temp_dir().join("psc_streaming_attack");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let mut recorder = ShardRecorder::new(&dir, "PHPC", ChannelId::Smc(cpa_key), 0, 256);
-    let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, secret, seed);
-    {
-        let mut pump = Pump::new();
-        pump.attach(&mut recorder);
-        for seq in 0..600u64 {
-            let pt = rig.random_plaintext();
-            let obs = rig.observe_window(pt, &[cpa_key]);
-            pump.dispatch(&Event::Window(WindowEvent {
-                seq,
-                time_s: rig.soc.time_s(),
-                pass: 0,
-                class: None,
-                plaintext: obs.plaintext,
-                ciphertext: obs.ciphertext,
-            }));
-            if let Some(v) = obs.smc[0].1 {
-                pump.dispatch(&Event::Sample(SampleEvent {
-                    time_s: rig.soc.time_s(),
-                    channel: ChannelId::Smc(cpa_key),
-                    value: v,
-                }));
-            }
-        }
-        pump.finish();
-    }
-    println!(
-        "recorded {} traces into {} shard files under {}",
-        recorder.traces_recorded(),
-        recorder.files().len(),
-        dir.display()
-    );
-    let back = ShardRecorder::read_back(recorder.files()).expect("readable shards");
-    println!("offline read-back: {} traces — ready for `psc analyze`", back.len());
-    for f in recorder.files() {
+    // ── Stage 3: offline replay of the recorded shards ─────────────────
+    println!("── offline replay: recorded shards → identical analysis ──");
+    let replay = ShardReplay::from_dir(&dir).expect("recorded shards present");
+    let groups = replay.shards().len();
+    let files: Vec<_> = replay.shards().iter().flat_map(|s| s.files.clone()).collect();
+    let replayed = Campaign::replay(replay).keys(&[cpa_key]).session().cpa(|| Box::new(Rd0Hw));
+    let replay_ranks = replayed.ranks(cpa_key, &secret).expect("replayed channel");
+    println!("replayed {groups} shard group(s), {} files — ranks {replay_ranks:?}", files.len());
+    assert_eq!(ranks, replay_ranks, "offline replay must reproduce the live analysis");
+    for f in &files {
         std::fs::remove_file(f).ok();
     }
     std::fs::remove_dir(&dir).ok();

@@ -8,22 +8,24 @@
 //! psc cpa [--traces N]             # §3.4 CPA ranks + GE (Table 4 style)
 //! psc throttle                     # §4 throttling study
 //! psc success [--traces N]         # success-rate extension
-//! psc stream [--cpa|--adaptive]    # sharded streaming drivers
+//! psc campaign [--cpa|--adaptive] [--fleet] [--record DIR]
+//!                                  # the Campaign-builder drivers
+//!                                  # (`psc stream` is an alias)
+//! psc replay DIR [--cpa]           # replay recorded .psct shards
 //! psc collect --out FILE [--traces N] [--key HEX32]
 //!                                  # record a PHPC campaign to disk
 //! psc analyze FILE [--key HEX32]   # offline CPA over a recorded campaign
 //! ```
 
-use apple_power_sca::core::campaign::collect_known_plaintext_parallel;
 use apple_power_sca::core::experiments::countermeasure::run_countermeasures;
 use apple_power_sca::core::experiments::screening::{run_table1, run_table2};
 use apple_power_sca::core::experiments::success_rate::run_success_rate;
 use apple_power_sca::core::experiments::throttling::run_throttling_study;
 use apple_power_sca::core::experiments::tvla::{run_table3, run_table5};
-use apple_power_sca::core::streaming::{
-    stream_known_plaintext_with, stream_tvla_adaptive, stream_tvla_campaign_with,
+use apple_power_sca::core::{
+    Campaign, Device, ExperimentConfig, Fleet, FleetMember, ShardReplay, StreamingCpaReport,
+    StreamingTvlaReport, VictimKind,
 };
-use apple_power_sca::core::{Device, ExperimentConfig, VictimKind};
 use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
@@ -46,11 +48,20 @@ COMMANDS:
     throttle                  Section 4: throttling study
     countermeasures           Section 5: mitigation efficacy
     success [--traces N]      Extension: success rate vs trace budget
-    stream [--cpa|--adaptive] [--traces N] [--shards N] [--device m1|m2]
-           [--kernel] [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
-                              Sharded streaming drivers (O(1)-memory online
-                              TVLA / CPA; --adaptive stops at the TVLA
-                              threshold crossing)
+    campaign [--cpa|--adaptive] [--traces N] [--shards N] [--device m1|m2]
+             [--fleet] [--record DIR] [--kernel]
+             [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
+                              The Campaign-builder drivers (O(1)-memory
+                              online TVLA / CPA; --adaptive stops at the
+                              TVLA threshold crossing; --fleet fans shards
+                              across the M2+M1 device fleet; --record
+                              persists labeled .psct shards for replay).
+                              `stream` is accepted as an alias.
+    replay DIR [--cpa] [--key HEX32]
+                              Replay recorded .psct shards through the
+                              streaming TVLA (default) or CPA analysis
+                              (--key: the recording's true key, as in
+                              analyze)
     collect --out FILE [--traces N] [--key HEX32]
                               Record a PHPC campaign to FILE (.psct)
     analyze FILE [--key HEX32] [--detrend W]
@@ -85,15 +96,12 @@ fn cmd_cpa(cfg: &ExperimentConfig, args: &[String]) {
     let kind =
         if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
     println!("collecting {traces} PHPC traces ({kind:?} victim)...");
-    let sets = collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        kind,
-        cfg.secret_key,
-        cfg.seed,
-        &[key("PHPC")],
-        traces,
-        cfg.shards,
-    );
+    let sets = Campaign::live(Device::MacbookAirM2, kind, cfg.secret_key, cfg.seed)
+        .keys(&[key("PHPC")])
+        .traces(traces)
+        .shards(cfg.shards)
+        .session()
+        .collect();
     report_cpa(&sets[&key("PHPC")], Some(cfg.secret_key));
 }
 
@@ -147,110 +155,7 @@ fn parse_mitigation(args: &[String]) -> Result<MitigationConfig, String> {
     }
 }
 
-fn cmd_stream(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
-    let device = parse_device(args)?;
-    let mitigation = parse_mitigation(args)?;
-    let shards = parse_opt(args, "--shards")
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(cfg.shards)
-        .max(1);
-    let kind =
-        if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
-    let keys = device.table2_keys();
-
-    if parse_flag(args, "--cpa") {
-        // Per-device default budgets, mirroring the paper's 1M-vs-350k
-        // campaign sizes (scaled down in ExperimentConfig).
-        let default_traces = match device {
-            Device::MacbookAirM2 => cfg.cpa_traces_m2,
-            Device::MacMiniM1 => cfg.cpa_traces_m1,
-        };
-        let traces =
-            parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
-        let cpa_keys = device.cpa_keys();
-        println!(
-            "streaming {traces} known-plaintext traces over {shards} shard(s) on {} ...",
-            device.label()
-        );
-        let report = stream_known_plaintext_with(
-            device,
-            kind,
-            cfg.secret_key,
-            cfg.seed,
-            &cpa_keys,
-            traces,
-            shards,
-            mitigation,
-            || Box::new(Rd0Hw),
-        );
-        for &k in &report.keys {
-            match report.ranks(k, &cfg.secret_key) {
-                Some(ranks) => {
-                    let (recovered, near) = recovery_tally(&ranks);
-                    println!(
-                        "{k}: GE {:.1} bits, {recovered}/16 recovered, {near}/16 nearly",
-                        guessing_entropy(&ranks)
-                    );
-                }
-                None => println!("{k}: no readable samples"),
-            }
-        }
-        println!(
-            "bus: {} accepted, {} dropped; denied reads: {}",
-            report.bus.accepted,
-            report.bus.dropped,
-            report.monitor.denied_reads()
-        );
-        return Ok(());
-    }
-
-    let traces = parse_opt(args, "--traces")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(cfg.tvla_traces_per_class);
-    if parse_flag(args, "--adaptive") {
-        let watch = key("PHPC");
-        println!(
-            "adaptive TVLA on {} ({} shard(s), watching {watch}, budget {traces}/class) ...",
-            device.label(),
-            shards
-        );
-        let out = stream_tvla_adaptive(
-            device,
-            kind,
-            cfg.secret_key,
-            cfg.seed,
-            &keys,
-            watch,
-            traces,
-            shards,
-            mitigation,
-        );
-        println!(
-            "{} after {} round(s) of the {traces}-round budget",
-            if out.stopped_early { "leakage detected" } else { "no crossing" },
-            out.rounds_collected
-        );
-        if let Some(matrix) = out.report.matrix(watch) {
-            println!("{}", matrix.render());
-        }
-        return Ok(());
-    }
-
-    println!(
-        "streaming TVLA on {} ({} shard(s), {traces} traces/class) ...",
-        device.label(),
-        shards
-    );
-    let report = stream_tvla_campaign_with(
-        device,
-        kind,
-        cfg.secret_key,
-        cfg.seed,
-        &keys,
-        traces,
-        shards,
-        mitigation,
-    );
+fn print_tvla_report(report: &StreamingTvlaReport) {
     for &k in &report.keys {
         match report.matrix(k) {
             Some(matrix) => println!("{}", matrix.render()),
@@ -266,6 +171,157 @@ fn cmd_stream(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         report.bus.dropped,
         report.monitor.denied_reads()
     );
+}
+
+fn print_cpa_report(report: &StreamingCpaReport, secret_key: &[u8; 16]) {
+    for &k in &report.keys {
+        match report.ranks(k, secret_key) {
+            Some(ranks) => {
+                let (recovered, near) = recovery_tally(&ranks);
+                println!(
+                    "{k}: GE {:.1} bits, {recovered}/16 recovered, {near}/16 nearly",
+                    guessing_entropy(&ranks)
+                );
+            }
+            None => println!("{k}: no readable samples"),
+        }
+    }
+    println!(
+        "bus: {} accepted, {} dropped; denied reads: {}",
+        report.bus.accepted,
+        report.bus.dropped,
+        report.monitor.denied_reads()
+    );
+}
+
+fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let device = parse_device(args)?;
+    let mitigation = parse_mitigation(args)?;
+    let shards = parse_opt(args, "--shards")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(cfg.shards)
+        .max(1);
+    let kind =
+        if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
+    let fleet = parse_flag(args, "--fleet");
+
+    // Fleet campaigns fan one shard per member across both Table 1
+    // devices and read the keys they share.
+    let members: Vec<FleetMember> = if fleet {
+        Device::ALL.iter().map(|&device| FleetMember { device, kind }).collect()
+    } else {
+        Vec::new()
+    };
+    let keys: Vec<_> = if fleet {
+        device
+            .table2_keys()
+            .into_iter()
+            .filter(|k| members.iter().all(|m| m.device.table2_keys().contains(k)))
+            .collect()
+    } else {
+        device.table2_keys()
+    };
+    let build = |keys: &[apple_power_sca::smc::SmcKey], traces: usize| {
+        let campaign = if fleet {
+            println!("fleet: one shard per member ({} members)", members.len());
+            Campaign::fleet(Fleet::new(members.clone(), cfg.secret_key, cfg.seed))
+        } else {
+            Campaign::live(device, kind, cfg.secret_key, cfg.seed)
+        };
+        let campaign = campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation);
+        match parse_opt(args, "--record") {
+            Some(dir) => campaign.record_to(dir),
+            None => campaign,
+        }
+    };
+
+    if parse_flag(args, "--cpa") {
+        // Per-device default budgets, mirroring the paper's 1M-vs-350k
+        // campaign sizes (scaled down in ExperimentConfig).
+        let default_traces = match device {
+            Device::MacbookAirM2 => cfg.cpa_traces_m2,
+            Device::MacMiniM1 => cfg.cpa_traces_m1,
+        };
+        let traces =
+            parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
+        let cpa_keys: Vec<_> = keys.iter().copied().filter(|&k| k != key("PHPS")).collect();
+        println!(
+            "streaming {traces} known-plaintext traces over {shards} shard(s) on {} ...",
+            if fleet { "the fleet" } else { device.label() }
+        );
+        let report = build(&cpa_keys, traces).session().cpa(|| Box::new(Rd0Hw));
+        print_cpa_report(&report, &cfg.secret_key);
+        return Ok(());
+    }
+
+    let traces = parse_opt(args, "--traces")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.tvla_traces_per_class);
+    if parse_flag(args, "--adaptive") {
+        let watch = key("PHPC");
+        println!(
+            "adaptive TVLA on {} ({} shard(s), watching {watch}, budget {traces}/class) ...",
+            if fleet { "the fleet" } else { device.label() },
+            shards
+        );
+        let out = build(&keys, traces).early_stop(watch).session().adaptive_tvla();
+        println!(
+            "{} after {} round(s) of the {traces}-round budget",
+            if out.stopped_early { "leakage detected" } else { "no crossing" },
+            out.rounds_collected
+        );
+        if let Some(matrix) = out.report.matrix(watch) {
+            println!("{}", matrix.render());
+        }
+        return Ok(());
+    }
+
+    println!(
+        "streaming TVLA on {} ({} shard(s), {traces} traces/class) ...",
+        if fleet { "the fleet" } else { device.label() },
+        shards
+    );
+    let report = build(&keys, traces).session().tvla();
+    print_tvla_report(&report);
+    Ok(())
+}
+
+fn cmd_replay(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let dir = args.first().filter(|a| !a.starts_with("--")).ok_or("replay needs a DIR argument")?;
+    let replay = ShardReplay::from_dir(dir).map_err(|e| e.to_string())?;
+    let shard_count = replay.shards().len();
+    // Discover the recorded SMC channels from the authoritative header
+    // labels (filenames are just the recorder's convention — a plain
+    // `psc collect` output carries its label only in the header).
+    let keys: Vec<_> = replay
+        .shards()
+        .iter()
+        .flat_map(|s| &s.files)
+        .filter_map(|p| std::fs::File::open(p).ok())
+        .filter_map(|f| apple_power_sca::sca::codec::read_label(f).ok())
+        .filter_map(|label| match apple_power_sca::telemetry::channel_for_label(&label) {
+            Some(apple_power_sca::telemetry::ChannelId::Smc(k)) => Some(k),
+            _ => None,
+        })
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let key_names: Vec<String> = keys.iter().map(ToString::to_string).collect();
+    println!(
+        "replaying {shard_count} recorded shard group(s) from {dir} (keys: {})",
+        key_names.join(" ")
+    );
+    if parse_flag(args, "--cpa") {
+        let secret = match parse_opt(args, "--key") {
+            Some(hex) => parse_key_hex(&hex)?,
+            None => cfg.secret_key,
+        };
+        let report = Campaign::replay(replay).keys(&keys).session().cpa(|| Box::new(Rd0Hw));
+        print_cpa_report(&report, &secret);
+    } else {
+        let report = Campaign::replay(replay).keys(&keys).session().tvla();
+        print_tvla_report(&report);
+    }
     Ok(())
 }
 
@@ -278,15 +334,12 @@ fn cmd_collect(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         None => cfg.secret_key,
     };
     println!("collecting {traces} PHPC traces to {out} ...");
-    let sets = collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        secret,
-        cfg.seed,
-        &[key("PHPC")],
-        traces,
-        cfg.shards,
-    );
+    let sets = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, secret, cfg.seed)
+        .keys(&[key("PHPC")])
+        .traces(traces)
+        .shards(cfg.shards)
+        .session()
+        .collect();
     let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
     write_trace_set(&sets[&key("PHPC")], file).map_err(|e| e.to_string())?;
     println!("wrote {} traces.", traces);
@@ -352,7 +405,8 @@ fn main() -> ExitCode {
             println!("{}", run_success_rate(&cfg, &counts, 5).render());
             Ok(())
         }
-        "stream" => cmd_stream(&cfg, rest),
+        "campaign" | "stream" => cmd_campaign(&cfg, rest),
+        "replay" => cmd_replay(&cfg, rest),
         "collect" => cmd_collect(&cfg, rest),
         "analyze" => cmd_analyze(&cfg, rest),
         "help" | "--help" | "-h" => {

@@ -24,8 +24,10 @@
 //!   channels with drop accounting, event-driven/polling processors,
 //!   online (O(1)-memory) TVLA and CPA accumulators, shard-persisting
 //!   trace recorder and cadence monitor;
-//! * [`core`] — victims, collection campaigns (batch *and* sharded
-//!   streaming) and the per-table/figure experiment runners.
+//! * [`core`] — victims, the unified `Campaign` builder / `Session`
+//!   driver with pluggable trace sources (live rigs, recorded-shard
+//!   replay, heterogeneous device fleets) and the per-table/figure
+//!   experiment runners.
 //!
 //! ## Quickstart
 //!
@@ -43,28 +45,33 @@
 //! assert!(obs.smc[0].1.is_some());
 //! ```
 //!
-//! ## Streaming campaigns
+//! ## Campaigns
 //!
-//! Large campaigns should not buffer traces: the sharded streaming
-//! drivers fan independently seeded rigs across worker threads, push
-//! window/sample/sched events through bounded channels, and merge online
-//! accumulators — memory stays O(1) in trace count:
+//! Large campaigns should not buffer traces: a `Campaign` fans
+//! independently seeded rigs across worker threads, pushes
+//! window/sample/sched events through bounded channels, and merges online
+//! accumulators — memory stays O(1) in trace count. Sources are
+//! pluggable: swap the live rigs for recorded-shard replay or a
+//! heterogeneous device fleet without touching the analysis:
 //!
 //! ```
-//! use apple_power_sca::core::streaming::stream_tvla_campaign;
+//! use apple_power_sca::core::Campaign;
 //! use apple_power_sca::core::{Device, VictimKind};
 //! use apple_power_sca::smc::key::key;
 //!
-//! let report = stream_tvla_campaign(
-//!     Device::MacbookAirM2, VictimKind::UserSpace, [0x2B; 16], 42,
-//!     &[key("PHPC")], 50, 4,  // 50 traces/class across 4 worker shards
-//! );
+//! let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x2B; 16], 42)
+//!     .keys(&[key("PHPC")])
+//!     .traces(50) // per class
+//!     .shards(4)
+//!     .session()
+//!     .tvla();
 //! let matrix = report.matrix(key("PHPC")).unwrap();
 //! assert_eq!(matrix.cells.len(), 9);
 //! ```
 //!
 //! The full walk-through lives in `examples/streaming_attack.rs`
-//! (`cargo run --release --example streaming_attack`); see the other
+//! (`cargo run --release --example streaming_attack`), and the offline
+//! record/replay loop in `examples/replay_attack.rs`; see the other
 //! `examples/` for batch attack walk-throughs and `crates/bench` for the
 //! binaries regenerating every table and figure of the paper.
 

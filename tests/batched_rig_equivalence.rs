@@ -5,8 +5,7 @@
 //! same IOReport `PCPU` deltas, same simulated clock — and the chunked
 //! campaign drivers must therefore reproduce trace sets exactly.
 
-use apple_power_sca::core::campaign::collect_known_plaintext;
-use apple_power_sca::core::{Device, Observation, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Observation, Rig, VictimKind};
 use apple_power_sca::smc::key::key;
 use apple_power_sca::smc::MitigationConfig;
 
@@ -96,7 +95,7 @@ fn chunked_campaign_reproduces_per_trace_loop() {
     let n = 70; // spans multiple OBS_CHUNK slices
     let sets = {
         let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 77);
-        collect_known_plaintext(&mut rig, &keys, n)
+        Campaign::over_rig(&mut rig).keys(&keys).traces(n).session().collect()
     };
     let set = &sets[&key("PHPC")];
     assert_eq!(set.len(), n);

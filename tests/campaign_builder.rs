@@ -1,0 +1,341 @@
+//! The `Campaign` builder contract:
+//!
+//! 1. builder output == legacy free-function output (bit-identical on
+//!    same-RNG live paths, 1e-9 on merged statistics);
+//! 2. recorded campaigns replay through [`ShardReplay`] to identical
+//!    TVLA/CPA matrices;
+//! 3. [`Fleet`] sources merge heterogeneous devices exactly like the
+//!    manual per-device merge.
+
+use apple_power_sca::core::{Campaign, Device, Fleet, FleetMember, Rig, ShardReplay, VictimKind};
+use apple_power_sca::sca::model::Rd0Hw;
+use apple_power_sca::sca::tvla::PlaintextClass;
+use apple_power_sca::smc::key::key;
+use apple_power_sca::smc::MitigationConfig;
+use apple_power_sca::telemetry::event::ChannelId;
+use apple_power_sca::telemetry::processors::StreamingTvla;
+use std::path::PathBuf;
+
+const SECRET: [u8; 16] = [0x2B; 16];
+const SEED: u64 = 4242;
+
+fn assert_tvla_bit_identical(a: &StreamingTvla, b: &StreamingTvla, keys: &[ChannelId]) {
+    for &channel in keys {
+        let label = channel.to_string();
+        let am = a.matrix(channel, label.clone()).expect("channel in a");
+        let bm = b.matrix(channel, label).expect("channel in b");
+        for (ac, bc) in am.cells.iter().zip(&bm.cells) {
+            assert_eq!(
+                ac.t_score.to_bits(),
+                bc.t_score.to_bits(),
+                "{channel} cell ({:?}, {:?}): {} vs {}",
+                ac.row,
+                ac.column,
+                ac.t_score,
+                bc.t_score
+            );
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_tvla_is_bit_identical_to_legacy_stream() {
+    let keys = [key("PHPC"), key("PSTR")];
+    let legacy = apple_power_sca::core::streaming::stream_tvla_campaign(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        60,
+        3,
+    );
+    let builder = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(60)
+        .shards(3)
+        .session()
+        .tvla();
+    let channels: Vec<ChannelId> =
+        keys.iter().map(|&k| ChannelId::Smc(k)).chain([ChannelId::Pcpu]).collect();
+    assert_tvla_bit_identical(&legacy.tvla, &builder.tvla, &channels);
+    assert_eq!(legacy.bus.accepted, builder.bus.accepted);
+    assert_eq!(legacy.monitor.observations(), builder.monitor.observations());
+    assert_eq!(legacy.shards, builder.shards);
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_collect_equals_legacy_collectors() {
+    let keys = [key("PHPC")];
+    // Borrowed-rig shape.
+    let legacy_serial = {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11);
+        apple_power_sca::core::campaign::collect_known_plaintext(&mut rig, &keys, 40)
+    };
+    let builder_serial = {
+        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11);
+        Campaign::over_rig(&mut rig).keys(&keys).traces(40).session().collect()
+    };
+    assert_eq!(legacy_serial[&keys[0]], builder_serial[&keys[0]]);
+
+    // Sharded live shape.
+    let legacy_parallel = apple_power_sca::core::campaign::collect_known_plaintext_parallel(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        11,
+        &keys,
+        97,
+        4,
+    );
+    let builder_parallel = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11)
+        .keys(&keys)
+        .traces(97)
+        .shards(4)
+        .session()
+        .collect();
+    assert_eq!(legacy_parallel[&keys[0]], builder_parallel[&keys[0]]);
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_cpa_is_bit_identical_to_legacy_stream() {
+    let keys = [key("PHPC")];
+    let legacy = apple_power_sca::core::streaming::stream_known_plaintext(
+        Device::MacbookAirM2,
+        VictimKind::UserSpace,
+        SECRET,
+        SEED,
+        &keys,
+        300,
+        3,
+        || Box::new(Rd0Hw),
+    );
+    let builder = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(300)
+        .shards(3)
+        .session()
+        .cpa(|| Box::new(Rd0Hw));
+    let a = legacy.cpa.cpa(ChannelId::Smc(keys[0])).expect("legacy channel");
+    let b = builder.cpa.cpa(ChannelId::Smc(keys[0])).expect("builder channel");
+    assert_eq!(a.trace_count(), b.trace_count());
+    for byte in 0..16 {
+        let ac = a.correlations(byte);
+        let bc = b.correlations(byte);
+        for guess in 0..256 {
+            assert_eq!(ac[guess].to_bits(), bc[guess].to_bits(), "byte {byte} guess {guess}");
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_adaptive_matches_legacy_adaptive() {
+    let run_legacy = || {
+        apple_power_sca::core::streaming::stream_tvla_adaptive(
+            Device::MacbookAirM2,
+            VictimKind::UserSpace,
+            SECRET,
+            9,
+            &[key("PHPC")],
+            key("PHPC"),
+            400,
+            2,
+            MitigationConfig::none(),
+        )
+    };
+    let run_builder = || {
+        Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 9)
+            .keys(&[key("PHPC")])
+            .traces(400)
+            .shards(2)
+            .early_stop(key("PHPC"))
+            .session()
+            .adaptive_tvla()
+    };
+    let legacy = run_legacy();
+    let builder = run_builder();
+    assert!(legacy.stopped_early && builder.stopped_early);
+    // The stop flag crosses threads, so the exact halting round can race
+    // by a round per shard; the detection itself is deterministic.
+    assert!(builder.rounds_collected < 400);
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("psc_campaign_builder_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cleanup(dir: &PathBuf) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            std::fs::remove_file(e.path()).ok();
+        }
+    }
+    std::fs::remove_dir(dir).ok();
+}
+
+#[test]
+fn recorded_tvla_campaign_replays_to_identical_matrices() {
+    let keys = [key("PHPC"), key("PSTR")];
+    let dir = temp_dir("tvla_roundtrip");
+    let live = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(50)
+        .shards(2)
+        .record_to(&dir)
+        .session()
+        .tvla();
+
+    let replay = ShardReplay::from_dir(&dir).expect("shards recorded");
+    assert_eq!(replay.shards().len(), 2, "one group per live shard");
+    let replayed = Campaign::replay(replay).keys(&keys).session().tvla();
+
+    let channels: Vec<ChannelId> =
+        keys.iter().map(|&k| ChannelId::Smc(k)).chain([ChannelId::Pcpu]).collect();
+    assert_tvla_bit_identical(&live.tvla, &replayed.tvla, &channels);
+    // Per-class counts survive the round trip (labels recorded).
+    let live_acc = live.tvla.accumulator(ChannelId::Smc(keys[0])).unwrap();
+    let replay_acc = replayed.tvla.accumulator(ChannelId::Smc(keys[0])).unwrap();
+    for pass in 0..2 {
+        for class in PlaintextClass::ALL {
+            assert_eq!(live_acc.count(pass, class), replay_acc.count(pass, class));
+        }
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn recorded_cpa_campaign_replays_to_identical_ranks() {
+    let keys = [key("PHPC")];
+    let dir = temp_dir("cpa_roundtrip");
+    let live = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(400)
+        .shards(2)
+        .record_to(&dir)
+        .session()
+        .cpa(|| Box::new(Rd0Hw));
+
+    let replay = ShardReplay::from_dir(&dir).expect("shards recorded");
+    let replayed = Campaign::replay(replay).keys(&keys).session().cpa(|| Box::new(Rd0Hw));
+
+    let a = live.cpa.cpa(ChannelId::Smc(keys[0])).expect("live channel");
+    let b = replayed.cpa.cpa(ChannelId::Smc(keys[0])).expect("replayed channel");
+    assert_eq!(a.trace_count(), b.trace_count());
+    for byte in 0..16 {
+        let ac = a.correlations(byte);
+        let bc = b.correlations(byte);
+        for guess in 0..256 {
+            assert_eq!(ac[guess].to_bits(), bc[guess].to_bits(), "byte {byte} guess {guess}");
+        }
+    }
+    assert_eq!(live.ranks(keys[0], &SECRET), replayed.ranks(keys[0], &SECRET));
+    cleanup(&dir);
+}
+
+#[test]
+fn fleet_merges_heterogeneous_devices_exactly() {
+    // Both Table 1 devices in one campaign, reading a key they share.
+    let keys = [key("PHPC")];
+    let members = vec![
+        FleetMember { device: Device::MacbookAirM2, kind: VictimKind::UserSpace },
+        FleetMember { device: Device::MacMiniM1, kind: VictimKind::UserSpace },
+    ];
+    let fleet_report =
+        Campaign::fleet(Fleet::new(members, SECRET, SEED)).keys(&keys).traces(40).session().tvla();
+    assert_eq!(fleet_report.shards, 2, "one shard per member");
+    let acc = fleet_report.tvla.accumulator(ChannelId::Smc(keys[0])).expect("collected");
+    for pass in 0..2 {
+        for class in PlaintextClass::ALL {
+            assert_eq!(acc.count(pass, class), 40, "members split the budget");
+        }
+    }
+
+    // Manual comparator: each member as its own single-shard live campaign
+    // with the fleet's seed layout (seed + member index), merged by hand.
+    let m2 = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(20)
+        .shards(1)
+        .session()
+        .tvla();
+    let m1 = Campaign::live(Device::MacMiniM1, VictimKind::UserSpace, SECRET, SEED + 1)
+        .keys(&keys)
+        .traces(20)
+        .shards(1)
+        .session()
+        .tvla();
+    let manual = StreamingTvla::new().merged(m2.tvla).merged(m1.tvla);
+    assert_tvla_bit_identical(&fleet_report.tvla, &manual, &[ChannelId::Smc(keys[0])]);
+}
+
+#[test]
+fn fleet_composes_with_adaptive_early_stop() {
+    let members = vec![
+        FleetMember { device: Device::MacbookAirM2, kind: VictimKind::UserSpace },
+        FleetMember { device: Device::MacMiniM1, kind: VictimKind::UserSpace },
+    ];
+    let out = Campaign::fleet(Fleet::new(members, SECRET, 9))
+        .keys(&[key("PHPC")])
+        .traces(400)
+        .early_stop(key("PHPC"))
+        .session()
+        .adaptive_tvla();
+    assert!(out.stopped_early, "PHPC leaks on both devices");
+    assert!(out.rounds_collected < 400, "fleet halts before the budget");
+}
+
+#[test]
+fn replay_composes_with_adaptive_and_reports_rounds() {
+    // Record a 2-shard TVLA campaign (25 traces/class/shard = 150 windows
+    // per channel per shard), then replay it through the adaptive driver:
+    // rounds_collected must count trace-major rounds (windows / 6) summed
+    // over shards — not raw events across channels.
+    let keys = [key("PHPC")];
+    let dir = temp_dir("adaptive_replay");
+    let _live = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(50)
+        .shards(2)
+        .record_to(&dir)
+        .session()
+        .tvla();
+
+    let replay = ShardReplay::from_dir(&dir).expect("shards recorded");
+    let out =
+        Campaign::replay(replay).keys(&keys).early_stop(key("PHPC")).session().adaptive_tvla();
+    assert_eq!(out.rounds_collected, 50, "25 rounds per shard x 2 shards");
+    // The recorded sample count sits near the detection threshold, so the
+    // early-stop verdict itself is not asserted here — what matters is
+    // that the composition runs and the accounting stays in round units.
+    cleanup(&dir);
+}
+
+#[test]
+fn replay_composes_with_mitigated_recordings() {
+    // A mitigated live campaign records only what the attacker could read;
+    // the replay reproduces exactly that view.
+    let keys = [key("PHPC")];
+    let dir = temp_dir("mitigated");
+    let live = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 5)
+        .keys(&keys)
+        .traces(6)
+        .shards(1)
+        .mitigation(MitigationConfig::restrict_access())
+        .record_to(&dir)
+        .session()
+        .tvla();
+    assert!(live.matrix(keys[0]).is_none(), "all PHPC reads denied");
+
+    let replay = ShardReplay::from_dir(&dir).expect("PCPU shards still recorded");
+    let replayed = Campaign::replay(replay).keys(&keys).session().tvla();
+    assert!(replayed.matrix(keys[0]).is_none(), "replay has no PHPC either");
+    assert_tvla_bit_identical(&live.tvla, &replayed.tvla, &[ChannelId::Pcpu]);
+    cleanup(&dir);
+}

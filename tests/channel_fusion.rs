@@ -3,8 +3,7 @@
 //! an extension showing the paper's per-channel analysis leaves SNR on the
 //! table.
 
-use apple_power_sca::core::campaign::collect_known_plaintext;
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::fusion::fuse_z;
 use apple_power_sca::sca::model::Rd0Hw;
@@ -26,7 +25,7 @@ fn fused_channels_beat_each_input() {
     // A budget where PHPC alone is clearly mid-convergence.
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0xF0F0);
     let keys = [key("PHPC"), key("PDTR"), key("PMVC")];
-    let sets = collect_known_plaintext(&mut rig, &keys, 5_000);
+    let sets = Campaign::over_rig(&mut rig).keys(&keys).traces(5_000).session().collect();
 
     let phpc = &sets[&key("PHPC")];
     let pdtr = &sets[&key("PDTR")];
@@ -47,7 +46,7 @@ fn fused_channels_beat_each_input() {
 fn fusion_rejects_sets_from_different_campaigns() {
     let collect = |seed: u64| {
         let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, seed);
-        collect_known_plaintext(&mut rig, &[key("PHPC")], 30)
+        Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(30).session().collect()
     };
     let a = collect(1);
     let b = collect(2); // different plaintext sequence

@@ -3,10 +3,9 @@
 //! data dependence, CPA extracts key material, and the victim's secret is
 //! never consulted except for evaluation.
 
-use apple_power_sca::core::campaign::collect_known_plaintext;
 use apple_power_sca::core::experiments::screening::screen_device;
 use apple_power_sca::core::experiments::ExperimentConfig;
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
@@ -29,7 +28,7 @@ fn screening_surfaces_phpc() {
 #[test]
 fn cpa_extracts_key_material_from_user_victim() {
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0xE2E);
-    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 8_000);
+    let sets = Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(8_000).session().collect();
     let mut cpa = Cpa::new(Box::new(Rd0Hw));
     cpa.add_set(&sets[&key("PHPC")]);
     let ranks = cpa.ranks(&SECRET);
@@ -48,7 +47,7 @@ fn kernel_victim_leaks_but_slower() {
     let n = 8_000;
     let ge_of = |kind: VictimKind| {
         let mut rig = Rig::new(Device::MacbookAirM2, kind, SECRET, 0x5E5E);
-        let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], n);
+        let sets = Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(n).session().collect();
         let mut cpa = Cpa::new(Box::new(Rd0Hw));
         cpa.add_set(&sets[&key("PHPC")]);
         guessing_entropy(&cpa.ranks(&SECRET))
@@ -65,6 +64,6 @@ fn kernel_victim_leaks_but_slower() {
 fn restricted_access_breaks_the_pipeline() {
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0xACCE);
     rig.set_mitigation(apple_power_sca::smc::MitigationConfig::restrict_access());
-    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 50);
+    let sets = Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(50).session().collect();
     assert!(sets[&key("PHPC")].is_empty(), "no traces under restriction");
 }

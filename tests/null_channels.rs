@@ -3,10 +3,9 @@
 //! timing never show data dependence, no matter how the attacker drives
 //! the victim.
 
-use apple_power_sca::core::campaign::run_tvla_campaign;
 use apple_power_sca::core::experiments::throttling::timing_tvla_datasets;
 use apple_power_sca::core::experiments::ExperimentConfig;
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::smc::key::key;
 
 const SECRET: [u8; 16] = [
@@ -16,7 +15,11 @@ const SECRET: [u8; 16] = [
 #[test]
 fn phps_and_pcpu_never_leak() {
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0x9011);
-    let campaign = run_tvla_campaign(&mut rig, &[key("PHPS"), key("PHPC")], 300);
+    let campaign = Campaign::over_rig(&mut rig)
+        .keys(&[key("PHPS"), key("PHPC")])
+        .traces(300)
+        .session()
+        .tvla_datasets();
 
     let phps = campaign.per_key[&key("PHPS")].matrix("PHPS");
     assert!(phps.shows_no_leakage(), "{}", phps.render());

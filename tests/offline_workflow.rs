@@ -3,8 +3,7 @@
 //! (fast, off-target). The persisted campaign must yield bit-identical
 //! analysis results.
 
-use apple_power_sca::core::campaign::collect_known_plaintext;
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::enumerate::{verify_with_pair, KeyEnumerator};
@@ -18,7 +17,7 @@ const SECRET: [u8; 16] = [
 #[test]
 fn persisted_campaign_analyzes_identically() {
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0x0FF1);
-    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 4_000);
+    let sets = Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(4_000).session().collect();
     let original = &sets[&key("PHPC")];
 
     // Round-trip through the on-disk format.
@@ -42,7 +41,7 @@ fn full_offline_attack_with_enumeration_endgame() {
     // Enough traces that every byte ranks near the top, then the
     // enumeration endgame confirms the exact key from the recording alone.
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0x0FF2);
-    let sets = collect_known_plaintext(&mut rig, &[key("PHPC")], 25_000);
+    let sets = Campaign::over_rig(&mut rig).keys(&[key("PHPC")]).traces(25_000).session().collect();
     let mut bytes = Vec::new();
     write_trace_set(&sets[&key("PHPC")], &mut bytes).expect("serialize");
 

@@ -5,8 +5,7 @@
 //! The traces must be collected *serially* (single session) so the drift
 //! is a continuous random walk the high-pass filter can remove.
 
-use apple_power_sca::core::campaign::collect_known_plaintext;
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::filter::detrend_trace_set;
 use apple_power_sca::sca::model::Rd0Hw;
@@ -26,7 +25,11 @@ fn ge_of(set: &apple_power_sca::sca::trace::TraceSet) -> f64 {
 #[test]
 fn detrending_recovers_much_of_the_pstr_channel() {
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 0xD7D7);
-    let sets = collect_known_plaintext(&mut rig, &[key("PSTR"), key("PHPC")], 10_000);
+    let sets = Campaign::over_rig(&mut rig)
+        .keys(&[key("PSTR"), key("PHPC")])
+        .traces(10_000)
+        .session()
+        .collect();
 
     let pstr_raw = &sets[&key("PSTR")];
     let ge_raw = ge_of(pstr_raw);

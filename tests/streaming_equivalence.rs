@@ -1,6 +1,12 @@
 //! Streaming-vs-batch equivalence: the telemetry pipeline must reproduce
 //! the batch analyses on identical seeded trace sets — single-shard and
 //! sharded-then-merged — within 1e-9.
+//!
+//! This suite deliberately exercises the deprecated free-function shims:
+//! it is the contract that the legacy surface keeps producing the
+//! historical results for the release it is retained. The builder-native
+//! equivalence suite lives in `tests/campaign_builder.rs`.
+#![allow(deprecated)]
 
 use apple_power_sca::core::campaign::{collect_known_plaintext_parallel, run_tvla_campaign};
 use apple_power_sca::core::streaming::{stream_known_plaintext, stream_tvla_campaign};

@@ -280,7 +280,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
