@@ -15,7 +15,9 @@
 
 use criterion::black_box;
 use psc_aes::leakage::LeakageModel;
-use psc_bench::measure::{json_field, json_header, measure_ns, write_artifact};
+use psc_bench::measure::{
+    json_field, json_header, measure_ns, write_artifact, CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
+};
 use psc_sca::cpa::{Cpa, HypTable};
 use psc_sca::model::Rd0Hw;
 use psc_sca::trace::Trace;
@@ -68,14 +70,21 @@ fn main() {
     let correlations = measure_ns(BENCH, "cpa/correlations_one_byte", || {
         black_box(cpa.correlations(black_box(0)));
     });
+    let mut corr_buf = [0.0f64; 256];
+    let correlations_into = measure_ns(BENCH, "cpa/correlations_into_one_byte", || {
+        cpa.correlations_into(black_box(0), &mut corr_buf);
+        black_box(corr_buf[0]);
+    });
 
     let fused_speedup = traced / fused;
     let memo_speedup = traced / memoized;
     let table_speedup = table_rebuild / table_shared;
+    let correlations_speedup = CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS / correlations;
     println!();
     println!("fused vs traced activity:        {fused_speedup:.2}x");
     println!("memoized workload vs traced:     {memo_speedup:.2}x");
     println!("shared vs rebuilt CPA table:     {table_speedup:.2}x");
+    println!("branch-free correlations vs pre-rewrite: {correlations_speedup:.2}x");
 
     // --- BENCH_leakage.json ----------------------------------------------
     let mut json = json_header(BENCH);
@@ -88,6 +97,13 @@ fn main() {
     json_field(&mut json, "cpa_accumulator_shared_table_ns", table_shared);
     json_field(&mut json, "shared_table_speedup", table_speedup);
     json_field(&mut json, "cpa_correlations_one_byte_ns", correlations);
+    json_field(&mut json, "cpa_correlations_into_one_byte_ns", correlations_into);
+    json_field(
+        &mut json,
+        "cpa_correlations_before_branchfree_ns",
+        CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
+    );
+    json_field(&mut json, "correlations_branchfree_speedup", correlations_speedup);
     let out =
         write_artifact(json, &format!("{}/../../BENCH_leakage.json", env!("CARGO_MANIFEST_DIR")));
     println!("\nwrote {out}");

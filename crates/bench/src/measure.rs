@@ -8,6 +8,13 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 /// Samples per kernel measurement (the reported value is their median).
 pub const SAMPLES: usize = 9;
 
+/// `Cpa::correlations` for one key byte on the 1-CPU reference container
+/// before the branch-free rewrite (the guess-major loop with the per-bin
+/// zero-count branch, recorded in `BENCH_leakage.json`). One shared
+/// baseline so the leakage and bus kernel benches report their
+/// before/after speedups against the same reference.
+pub const CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS: f64 = 119_437.8;
+
 /// Per-kernel time budget from `PSC_BENCH_BUDGET_MS` (default 300 ms;
 /// CI smokes the benches with a few milliseconds).
 #[must_use]

@@ -1,19 +1,17 @@
-//! Legacy batch trace-collection API — thin shims over the [`Campaign`]
-//! builder — plus the retained-dataset shapes they return.
+//! Retained-dataset campaign shapes.
 //!
-//! The free functions here were the attacker's original measurement
-//! loops. The [`crate::session`] redesign folded them into one builder
-//! (`Campaign::over_rig(rig)` for the borrowed-rig shapes,
-//! `Campaign::live(…)` for the parallel collectors); every function
-//! below is a deprecated one-line shim kept for one release, returning
-//! bit-identical results (pinned by `tests/campaign_builder.rs`). The
-//! streaming, sharded, O(1)-memory analyses live on
-//! [`crate::session::Session`] directly.
+//! The batch collection APIs return whole datasets rather than streaming
+//! accumulators: [`TvlaDatasets`] (per-class value vectors, collected
+//! twice) and [`TvlaCampaign`] (one [`TvlaDatasets`] per channel). They
+//! are produced by [`Session::tvla_datasets`](crate::session::Session)
+//! and [`Session::collect`](crate::session::Session) over the same block
+//! pipeline as the streaming analyses. The deprecated free-function
+//! drivers that used to live here (`run_tvla_campaign`,
+//! `collect_known_plaintext*`) were removed after their one-release
+//! deprecation window; the migration table in the [crate
+//! docs](crate#migrating-from-the-removed-legacy-driver-functions) maps
+//! every historical call to its builder equivalent.
 
-use crate::rig::{Device, Rig};
-use crate::session::Campaign;
-use crate::victim::VictimKind;
-use psc_sca::trace::TraceSet;
 use psc_sca::tvla::TvlaMatrix;
 use psc_smc::SmcKey;
 use std::collections::BTreeMap;
@@ -51,86 +49,11 @@ pub struct TvlaCampaign {
     pub dropped_samples: u64,
 }
 
-/// Collect TVLA datasets over a caller-owned rig: for each pass and each
-/// plaintext class, run `traces_per_class` windows with the class
-/// plaintext loaded into the victim, logging every requested SMC key and
-/// the `PCPU` channel.
-#[deprecated(note = "use Campaign::over_rig(rig).keys(…).traces(…).session().tvla_datasets()")]
-pub fn run_tvla_campaign(rig: &mut Rig, keys: &[SmcKey], traces_per_class: usize) -> TvlaCampaign {
-    Campaign::over_rig(rig).keys(keys).traces(traces_per_class).session().tvla_datasets()
-}
-
-/// Collect known-plaintext CPA traces over a caller-owned rig: `n`
-/// windows with fresh random plaintexts, logging every requested key
-/// (§3.4's collection loop).
-#[deprecated(note = "use Campaign::over_rig(rig).keys(…).traces(…).session().collect()")]
-pub fn collect_known_plaintext(
-    rig: &mut Rig,
-    keys: &[SmcKey],
-    n: usize,
-) -> BTreeMap<SmcKey, TraceSet> {
-    Campaign::over_rig(rig).keys(keys).traces(n).session().collect()
-}
-
-/// Parallel known-plaintext collection: shards the campaign across
-/// independent rigs (seeded `seed + shard`) on OS threads and
-/// concatenates the per-key trace sets in shard order.
-///
-/// # Panics
-///
-/// Panics if `shards == 0`.
-#[deprecated(note = "use Campaign::live(…).keys(…).traces(…).shards(…).session().collect()")]
-#[must_use]
-pub fn collect_known_plaintext_parallel(
-    device: Device,
-    kind: VictimKind,
-    secret_key: [u8; 16],
-    seed: u64,
-    keys: &[SmcKey],
-    n: usize,
-    shards: usize,
-) -> BTreeMap<SmcKey, TraceSet> {
-    Campaign::live(device, kind, secret_key, seed)
-        .keys(keys)
-        .traces(n)
-        .shards(shards)
-        .session()
-        .collect()
-}
-
-/// As [`collect_known_plaintext_parallel`], with a countermeasure
-/// configuration installed on every shard's SMC stack before collection
-/// (the §5 evaluation path).
-///
-/// # Panics
-///
-/// Panics if `shards == 0`.
-#[deprecated(note = "use Campaign::live(…).mitigation(…).session().collect()")]
-#[must_use]
-#[allow(clippy::too_many_arguments)]
-pub fn collect_known_plaintext_parallel_with(
-    device: Device,
-    kind: VictimKind,
-    secret_key: [u8; 16],
-    seed: u64,
-    keys: &[SmcKey],
-    n: usize,
-    shards: usize,
-    mitigation: psc_smc::MitigationConfig,
-) -> BTreeMap<SmcKey, TraceSet> {
-    Campaign::live(device, kind, secret_key, seed)
-        .keys(keys)
-        .traces(n)
-        .shards(shards)
-        .mitigation(mitigation)
-        .session()
-        .collect()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
-    use super::*;
+    use crate::rig::{Device, Rig};
+    use crate::session::Campaign;
+    use crate::victim::VictimKind;
     use psc_smc::key::key;
 
     fn rig() -> Rig {
@@ -141,7 +64,8 @@ mod tests {
     fn tvla_campaign_shapes() {
         let mut rig = rig();
         let keys = [key("PHPC"), key("PHPS")];
-        let campaign = run_tvla_campaign(&mut rig, &keys, 40);
+        let campaign =
+            Campaign::over_rig(&mut rig).keys(&keys).traces(40).session().tvla_datasets();
         assert_eq!(campaign.per_key.len(), 2);
         for sets in campaign.per_key.values() {
             for class in 0..3 {
@@ -159,7 +83,7 @@ mod tests {
     fn known_plaintext_collection_records_pairs() {
         let mut rig = rig();
         let keys = [key("PHPC")];
-        let sets = collect_known_plaintext(&mut rig, &keys, 25);
+        let sets = Campaign::over_rig(&mut rig).keys(&keys).traces(25).session().collect();
         let set = &sets[&key("PHPC")];
         assert_eq!(set.len(), 25);
         let aes = psc_aes::Aes::new(&[0x3Cu8; 16]).unwrap();
@@ -177,7 +101,7 @@ mod tests {
         let mut rig = rig();
         rig.set_mitigation(psc_smc::MitigationConfig::restrict_access());
         let keys = [key("PHPC")];
-        let campaign = run_tvla_campaign(&mut rig, &keys, 5);
+        let campaign = Campaign::over_rig(&mut rig).keys(&keys).traces(5).session().tvla_datasets();
         // Every read denied: datasets stay empty, drops are accounted.
         assert_eq!(campaign.per_key[&key("PHPC")].first[0].len(), 0);
         assert_eq!(campaign.dropped_samples, 30, "2 passes x 3 classes x 5 traces");
@@ -188,15 +112,12 @@ mod tests {
     #[test]
     fn parallel_collection_matches_requested_count() {
         let keys = [key("PHPC"), key("PDTR")];
-        let sets = collect_known_plaintext_parallel(
-            Device::MacbookAirM2,
-            VictimKind::UserSpace,
-            [0x3Cu8; 16],
-            5,
-            &keys,
-            53,
-            4,
-        );
+        let sets = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3Cu8; 16], 5)
+            .keys(&keys)
+            .traces(53)
+            .shards(4)
+            .session()
+            .collect();
         assert_eq!(sets[&key("PHPC")].len(), 53);
         assert_eq!(sets[&key("PDTR")].len(), 53);
     }
@@ -206,31 +127,25 @@ mod tests {
         let keys = [key("PHPC")];
         let serial = {
             let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 77);
-            collect_known_plaintext(&mut rig, &keys, 10)
+            Campaign::over_rig(&mut rig).keys(&keys).traces(10).session().collect()
         };
-        let parallel = collect_known_plaintext_parallel(
-            Device::MacbookAirM2,
-            VictimKind::UserSpace,
-            [1u8; 16],
-            77,
-            &keys,
-            10,
-            1,
-        );
+        let parallel = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 77)
+            .keys(&keys)
+            .traces(10)
+            .shards(1)
+            .session()
+            .collect();
         assert_eq!(serial[&key("PHPC")], parallel[&key("PHPC")]);
     }
 
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
-        let _ = collect_known_plaintext_parallel(
-            Device::MacbookAirM2,
-            VictimKind::UserSpace,
-            [1u8; 16],
-            1,
-            &[key("PHPC")],
-            10,
-            0,
-        );
+        let _ = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [1u8; 16], 1)
+            .keys(&[key("PHPC")])
+            .traces(10)
+            .shards(0)
+            .session()
+            .collect();
     }
 }

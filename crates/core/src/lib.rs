@@ -14,8 +14,8 @@
 //! * [`source`] — the pluggable trace sources: live rigs, a borrowed
 //!   rig, recorded-shard replay ([`ShardReplay`]) and heterogeneous
 //!   device fleets ([`Fleet`]);
-//! * [`campaign`] / [`streaming`] — the legacy free-function API, now
-//!   deprecated one-line shims over the builder (kept for one release);
+//! * [`campaign`] — the retained-dataset shapes ([`TvlaDatasets`],
+//!   [`TvlaCampaign`]) returned by the batch collection runs;
 //! * [`experiments`] — a runner per table/figure of the paper, with
 //!   paper-format rendering.
 //!
@@ -34,10 +34,12 @@
 //! assert!(table2.rows[1].varying_keys.iter().any(|k| k.to_string() == "PHPC"));
 //! ```
 //!
-//! ## Migrating from the legacy driver functions
+//! ## Migrating from the removed legacy driver functions
 //!
-//! Every legacy free function is a deprecated shim over the builder and
-//! produces identical results. The mapping:
+//! The nine historical free-function drivers spent one release as
+//! deprecated shims over the builder and have now been removed; each
+//! produced results identical to its builder equivalent, so migration is
+//! purely mechanical. The mapping:
 //!
 //! | Legacy call | Builder equivalent |
 //! |---|---|
@@ -66,11 +68,8 @@ pub mod pmset;
 pub mod rig;
 pub mod session;
 pub mod source;
-pub mod streaming;
 pub mod victim;
 
-#[allow(deprecated)]
-pub use campaign::{collect_known_plaintext, run_tvla_campaign};
 pub use campaign::{TvlaCampaign, TvlaDatasets};
 pub use experiments::ExperimentConfig;
 pub use rig::{Device, Observation, Rig};
@@ -79,6 +78,4 @@ pub use session::{
     StreamingTvlaReport,
 };
 pub use source::{Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardReplay, TraceSource};
-#[allow(deprecated)]
-pub use streaming::{stream_known_plaintext, stream_tvla_campaign};
 pub use victim::{AesVictim, VictimKind};

@@ -194,12 +194,60 @@ impl Rig {
         out
     }
 
+    /// Stream one observation per plaintext through `visit`, reusing a
+    /// single [`Observation`] buffer across the whole call — the
+    /// allocation-free form of [`Rig::observe_windows`] behind the
+    /// block-building campaign drivers (no output `Vec<Observation>`, no
+    /// per-observation `smc` vector). Each visited observation is
+    /// **bit-identical** to the one [`Rig::observe_windows`] would return
+    /// at the same position.
+    pub fn observe_windows_with(
+        &mut self,
+        plaintexts: &[[u8; 16]],
+        keys: &[SmcKey],
+        mut visit: impl FnMut(&Observation),
+    ) {
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut obs = Observation {
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+            smc: Vec::with_capacity(keys.len()),
+            pcpu_delta_mj: 0.0,
+            time_s: 0.0,
+            windows: 0,
+        };
+        for &pt in plaintexts {
+            self.observe_one_into(pt, keys, &mut batch, &mut obs);
+            visit(&obs);
+        }
+        self.batch = batch;
+    }
+
     fn observe_one(
         &mut self,
         plaintext: [u8; 16],
         keys: &[SmcKey],
         batch: &mut WindowBatch,
     ) -> Observation {
+        let mut obs = Observation {
+            plaintext: [0; 16],
+            ciphertext: [0; 16],
+            smc: Vec::with_capacity(keys.len()),
+            pcpu_delta_mj: 0.0,
+            time_s: 0.0,
+            windows: 0,
+        };
+        self.observe_one_into(plaintext, keys, batch, &mut obs);
+        obs
+    }
+
+    fn observe_one_into(
+        &mut self,
+        plaintext: [u8; 16],
+        keys: &[SmcKey],
+        batch: &mut WindowBatch,
+        out: &mut Observation,
+    ) {
         let ciphertext = self.victim.request_encrypt(plaintext);
         let before_pcpu_mj = self.ioreport.pcpu_total_mj();
         let mut windows = 0u32;
@@ -217,17 +265,13 @@ impl Rig {
                 break;
             }
         }
-        let pcpu_delta_mj = self.ioreport.pcpu_total_mj() - before_pcpu_mj;
-        let smc =
-            keys.iter().map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value))).collect();
-        Observation {
-            plaintext,
-            ciphertext,
-            smc,
-            pcpu_delta_mj,
-            time_s: self.soc.time_s(),
-            windows,
-        }
+        out.plaintext = plaintext;
+        out.ciphertext = ciphertext;
+        out.pcpu_delta_mj = self.ioreport.pcpu_total_mj() - before_pcpu_mj;
+        out.smc.clear();
+        out.smc.extend(keys.iter().map(|&k| (k, self.client.read_key(k).ok().map(|v| v.value))));
+        out.time_s = self.soc.time_s();
+        out.windows = windows;
     }
 }
 
@@ -310,6 +354,33 @@ mod tests {
                 assert_eq!(va.map(f64::to_bits), vb.map(f64::to_bits));
             }
         }
+    }
+
+    #[test]
+    fn streaming_observe_matches_vec_returning_form_bitwise() {
+        let keys = [key("PHPC"), key("PSTR")];
+        let mut vec_rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [9u8; 16], 5);
+        let mut stream_rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, [9u8; 16], 5);
+        let pts: Vec<[u8; 16]> = (0..8).map(|_| vec_rig.random_plaintext()).collect();
+        for _ in 0..8 {
+            stream_rig.random_plaintext(); // keep RNG streams aligned
+        }
+        let expected = vec_rig.observe_windows(&pts, &keys);
+        let mut i = 0;
+        stream_rig.observe_windows_with(&pts, &keys, |obs| {
+            let e = &expected[i];
+            assert_eq!(obs.plaintext, e.plaintext);
+            assert_eq!(obs.ciphertext, e.ciphertext);
+            assert_eq!(obs.windows, e.windows);
+            assert_eq!(obs.time_s.to_bits(), e.time_s.to_bits());
+            assert_eq!(obs.pcpu_delta_mj.to_bits(), e.pcpu_delta_mj.to_bits());
+            for ((ka, va), (kb, vb)) in obs.smc.iter().zip(&e.smc) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.map(f64::to_bits), vb.map(f64::to_bits));
+            }
+            i += 1;
+        });
+        assert_eq!(i, 8);
     }
 
     #[test]

@@ -24,10 +24,12 @@
 //! ```
 //!
 //! Every shard runs as producer thread (the source) + consumer thread
-//! (online processors over a bounded event bus with `Block`
-//! backpressure), and shard accumulators are sum-merged — O(1) memory in
-//! trace count on the streaming paths, with results that match the
-//! historical free functions bit-for-bit on same-seed live paths (see
+//! (online processors over a bounded bus of columnar
+//! [`EventBlock`]s with `Block` backpressure — one synchronization and
+//! one dispatch per block of observations, not per event), and shard
+//! accumulators are sum-merged — O(1) memory in trace count on the
+//! streaming paths, with results bit-identical to the historical
+//! per-event pipeline (see `tests/block_equivalence.rs` and
 //! `tests/campaign_builder.rs`).
 
 use crate::campaign::{TvlaCampaign, TvlaDatasets};
@@ -39,22 +41,30 @@ use psc_sca::model::PowerModel;
 use psc_sca::trace::TraceSet;
 use psc_sca::tvla::TvlaMatrix;
 use psc_smc::{MitigationConfig, SmcKey};
-use psc_telemetry::event::{ChannelId, Event};
+use psc_telemetry::block::EventBlock;
+use psc_telemetry::event::ChannelId;
 use psc_telemetry::processor::{Processor, Pump};
 use psc_telemetry::processors::{
     DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
 };
-use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy, Receiver};
+use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy, Receiver, Sender};
 use psc_telemetry::{run_sharded, split_counts};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Bounded capacity of each shard's event bus. With `Block` overflow this
-/// is pure backpressure: a slow consumer throttles its producer instead
-/// of growing a queue.
-pub const BUS_CAPACITY: usize = 4096;
+/// Bounded capacity of each shard's bus, in [`EventBlock`]s. With
+/// `Block` overflow this is pure backpressure: a slow consumer throttles
+/// its producer instead of growing a queue. At the sources'
+/// [`crate::source::OBS_CHUNK`] block size this buffers the same ~4096
+/// in-flight observations the historical per-event bus did — but with
+/// one ring synchronization per block instead of per event.
+pub const BUS_CAPACITY: usize = 128;
+
+/// Capacity of the per-shard recycle lane returning processed blocks to
+/// the producer (overflow just deallocates — `DropNewest`).
+const RECYCLE_CAPACITY: usize = 4;
 
 /// Minimum samples per fixed class (per shard) before the adaptive
 /// early-stop check may fire — guards against a spurious low-count
@@ -254,7 +264,7 @@ pub struct StreamingTvlaReport {
     /// Merged cadence totals (per-shard checkpoints are not merged —
     /// shard timelines are independent).
     pub monitor: ThrottleMonitor,
-    /// Event-bus counters summed over shards.
+    /// Bus counters summed over shards, counted in [`EventBlock`]s.
     pub bus: ChannelStats,
     /// The requested SMC keys, in request order.
     pub keys: Vec<SmcKey>,
@@ -298,7 +308,7 @@ pub struct StreamingCpaReport {
     pub cpa: StreamingCpa,
     /// Merged cadence totals.
     pub monitor: ThrottleMonitor,
-    /// Event-bus counters summed over shards.
+    /// Bus counters summed over shards, counted in [`EventBlock`]s.
     pub bus: ChannelStats,
     /// The requested SMC keys, in request order.
     pub keys: Vec<SmcKey>,
@@ -350,10 +360,13 @@ impl Session<'_> {
             .collect()
     }
 
-    /// The generic producer/consumer fan-out: one bounded bus per shard,
-    /// the source producing on a scoped thread, `consume` draining on the
-    /// shard's worker thread. Returns per-shard `(consumer state, bus
-    /// stats, schedule units produced)` in shard order.
+    /// The generic producer/consumer fan-out: one bounded block bus per
+    /// shard, the source producing on a scoped thread, `consume` draining
+    /// on the shard's worker thread. A small recycle lane hands processed
+    /// blocks back to the producer, so the steady state moves columnar
+    /// batches back and forth without allocating. Returns per-shard
+    /// `(consumer state, bus stats, schedule units produced)` in shard
+    /// order.
     fn fan_out<T, FS, FC>(
         &self,
         stop: &AtomicBool,
@@ -363,12 +376,13 @@ impl Session<'_> {
     where
         T: Send,
         FS: Fn(usize) -> Schedule + Sync,
-        FC: Fn(usize, &Receiver<Event>) -> T + Sync,
+        FC: Fn(usize, &Receiver<EventBlock>, &Sender<EventBlock>) -> T + Sync,
     {
         let source = self.source.as_ref();
         let spec = &self.spec;
         run_sharded(self.shards, |i| {
             let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+            let (recycle_tx, recycle_rx) = channel(RECYCLE_CAPACITY, OverflowPolicy::DropNewest);
             let schedule = schedule_for(i);
             std::thread::scope(|scope| {
                 let producer = scope.spawn(move || {
@@ -380,18 +394,32 @@ impl Session<'_> {
                     };
                     source.run_shard(
                         &plan,
-                        &mut |event| {
-                            tx.send(event).expect("consumer alive");
+                        &mut |block| {
+                            // Swap the source's filled block for a
+                            // recycled (or fresh) empty one and ship it.
+                            let fresh = recycle_rx.try_recv().unwrap_or_default();
+                            let filled = std::mem::replace(block, fresh);
+                            tx.send(filled).expect("consumer alive");
                         },
                         stop,
                     )
                 });
-                let out = consume(i, &rx);
+                let out = consume(i, &rx, &recycle_tx);
                 let stats = rx.stats();
                 let produced = producer.join().expect("producer shard panicked");
                 (out, stats, produced)
             })
         })
+    }
+
+    /// Drain a shard's block bus through `pump`, returning each processed
+    /// block to the producer's recycle lane.
+    fn pump_blocks(pump: &mut Pump<'_>, rx: &Receiver<EventBlock>, recycle: &Sender<EventBlock>) {
+        while let Some(block) = rx.recv() {
+            pump.dispatch_block(&block);
+            let _ = recycle.send(block);
+        }
+        pump.finish();
     }
 
     fn merge_tvla(
@@ -434,7 +462,7 @@ impl Session<'_> {
         let results = self.fan_out(
             &stop,
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |i, rx| {
+            |i, rx, recycle| {
                 let mut tvla = StreamingTvla::new();
                 let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
                 let mut recorders = self.recorders(i);
@@ -444,7 +472,7 @@ impl Session<'_> {
                 for recorder in &mut recorders {
                     pump.attach(recorder);
                 }
-                pump.run(rx);
+                Self::pump_blocks(&mut pump, rx, recycle);
                 (tvla, monitor)
             },
         );
@@ -471,26 +499,27 @@ impl Session<'_> {
         let results = self.fan_out(
             &stop,
             |i| Schedule::AdaptiveRounds { max_rounds: counts[i] },
-            |i, rx| {
+            |i, rx, recycle| {
                 let mut tvla = StreamingTvla::new();
                 tvla.watch(ChannelId::Smc(early.watch), early.min_per_side);
                 let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
                 let mut recorders = self.recorders(i);
                 // A manual pump loop: the consumer must keep draining
                 // (Block backpressure) while checking the early-stop
-                // signal at every observation boundary.
-                while let Some(event) = rx.recv() {
-                    tvla.on_event(&event);
-                    monitor.on_event(&event);
+                // signal at every block boundary — blocks end on whole
+                // observations (one adaptive round per block), so the
+                // check granularity matches the producers' between-round
+                // stop polling.
+                while let Some(block) = rx.recv() {
+                    tvla.on_block(&block);
+                    monitor.on_block(&block);
                     for recorder in &mut recorders {
-                        recorder.on_event(&event);
+                        recorder.on_block(&block);
                     }
-                    if matches!(event, Event::Sched(_))
-                        && !stop.load(Ordering::Relaxed)
-                        && tvla.leakage_detected()
-                    {
+                    if !stop.load(Ordering::Relaxed) && tvla.leakage_detected() {
                         stop.store(true, Ordering::Relaxed);
                     }
+                    let _ = recycle.send(block);
                 }
                 tvla.on_finish();
                 monitor.on_finish();
@@ -529,7 +558,7 @@ impl Session<'_> {
         let results = self.fan_out(
             &stop,
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx| {
+            |i, rx, recycle| {
                 let mut cpa = StreamingCpa::with_table(
                     self.spec.keys.iter().map(|&k| ChannelId::Smc(k)),
                     model_factory,
@@ -543,7 +572,7 @@ impl Session<'_> {
                 for recorder in &mut recorders {
                     pump.attach(recorder);
                 }
-                pump.run(rx);
+                Self::pump_blocks(&mut pump, rx, recycle);
                 (cpa, monitor)
             },
         );
@@ -582,11 +611,11 @@ impl Session<'_> {
         let results = self.fan_out(
             &stop,
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx| {
+            |i, rx, recycle| {
                 let mut collector = TraceCollector::with_capacity_hint(counts[i]);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
-                pump.run(rx);
+                Self::pump_blocks(&mut pump, rx, recycle);
                 collector
             },
         );
@@ -622,13 +651,13 @@ impl Session<'_> {
         let results = self.fan_out(
             &stop,
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |_i, rx| {
+            |_i, rx, recycle| {
                 let mut collector = DatasetCollector::new();
                 let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
                 pump.attach(&mut monitor);
-                pump.run(rx);
+                Self::pump_blocks(&mut pump, rx, recycle);
                 (collector, monitor)
             },
         );
@@ -663,5 +692,99 @@ impl Session<'_> {
         }
         campaign.dropped_samples = dropped;
         campaign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_sca::model::Rd0Hw;
+    use psc_sca::tvla::PlaintextClass;
+    use psc_smc::key::key;
+
+    #[test]
+    fn sharded_tvla_report_has_full_counts() {
+        let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 21)
+            .keys(&[key("PHPC")])
+            .traces(40)
+            .shards(4)
+            .session()
+            .tvla();
+        let acc = report.tvla.accumulator(ChannelId::Smc(key("PHPC"))).expect("collected");
+        for pass in 0..2 {
+            for class in PlaintextClass::ALL {
+                assert_eq!(acc.count(pass, class), 40, "split shards must sum to the request");
+            }
+        }
+        assert!(report.matrix(key("PHPC")).is_some());
+        assert_eq!(report.pcpu_matrix().expect("pcpu collected").cells.len(), 9);
+        assert_eq!(report.bus.dropped, 0, "Block policy never sheds");
+        assert_eq!(report.monitor.observations(), 240);
+        assert_eq!(report.shards, 4);
+    }
+
+    #[test]
+    fn sharded_cpa_report_counts_and_ranks_shape() {
+        let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 5)
+            .keys(&[key("PHPC")])
+            .traces(120)
+            .shards(4)
+            .session()
+            .cpa(|| Box::new(Rd0Hw));
+        let cpa = report.cpa.cpa(ChannelId::Smc(key("PHPC"))).expect("registered");
+        assert_eq!(cpa.trace_count(), 120);
+        let ranks = report.ranks(key("PHPC"), &[0x3C; 16]).expect("registered");
+        for r in ranks {
+            assert!((1..=256).contains(&r));
+        }
+    }
+
+    #[test]
+    fn adaptive_campaign_stops_early_on_leaky_channel() {
+        let out = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 9)
+            .keys(&[key("PHPC")])
+            .traces(400)
+            .shards(2)
+            .early_stop(key("PHPC"))
+            .session()
+            .adaptive_tvla();
+        assert!(out.stopped_early, "PHPC leaks — the tracker must cross 4.5");
+        assert!(
+            out.rounds_collected < 400,
+            "collection must halt before the budget: {} rounds",
+            out.rounds_collected
+        );
+        assert!(out.rounds_collected >= ADAPTIVE_MIN_TRACES as usize / 2, "not spuriously early");
+        let matrix = out.report.matrix(key("PHPC")).expect("collected");
+        assert_eq!(matrix.cells.len(), 9);
+        assert_eq!(out.report.bus.dropped, 0);
+    }
+
+    #[test]
+    fn adaptive_campaign_exhausts_budget_on_flat_channel() {
+        // PHPS publishes the data-blind estimator: never distinguishable.
+        let out = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 11)
+            .keys(&[key("PHPS")])
+            .traces(30)
+            .shards(2)
+            .early_stop(key("PHPS"))
+            .session()
+            .adaptive_tvla();
+        assert!(!out.stopped_early, "estimator channel must not trip the tracker");
+        assert_eq!(out.rounds_collected, 30, "budget fully consumed");
+    }
+
+    #[test]
+    fn mitigated_streaming_campaign_counts_denials() {
+        let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 7)
+            .keys(&[key("PHPC")])
+            .traces(6)
+            .shards(2)
+            .mitigation(MitigationConfig::restrict_access())
+            .session()
+            .tvla();
+        assert!(report.tvla.accumulator(ChannelId::Smc(key("PHPC"))).is_none());
+        assert_eq!(report.monitor.denied_reads(), 36, "2 passes x 3 classes x 6 traces");
+        assert!(report.pcpu_matrix().is_some(), "PCPU unaffected by SMC access control");
     }
 }

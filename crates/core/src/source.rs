@@ -1,17 +1,19 @@
 //! Pluggable trace sources: where a campaign's observations come from.
 //!
 //! The [`Campaign`](crate::session::Campaign) driver is source-agnostic —
-//! it fans shards across worker threads and pumps each shard's event
-//! stream through online processors. What *produces* those events is a
-//! [`TraceSource`]:
+//! it fans shards across worker threads and pumps each shard's stream of
+//! columnar [`EventBlock`]s through online processors (one bus
+//! synchronization per block of [`OBS_CHUNK`] observations, not per
+//! event). What *produces* those blocks is a [`TraceSource`]:
 //!
 //! * [`LiveRig`] — one independently seeded simulated [`Rig`] per shard
-//!   (today's collection loops over the batched
-//!   [`Rig::observe_windows`] path);
+//!   (collection loops over the allocation-free
+//!   [`Rig::observe_windows_with`] path, filling blocks directly);
 //! * [`RigSource`] — a borrowed caller-owned rig (single shard; the
-//!   legacy `run_tvla_campaign(&mut rig, …)` shape);
-//! * [`ShardReplay`] — recorded `.psct` shards fed back through the
-//!   telemetry pump as a synthetic event source (offline replay);
+//!   historical `run_tvla_campaign(&mut rig, …)` shape);
+//! * [`ShardReplay`] — recorded `.psct` shards streamed back through the
+//!   telemetry pump in [`REPLAY_CHUNK`]-trace windows (offline replay at
+//!   O(1) memory in recording size);
 //! * [`Fleet`] — heterogeneous devices, one shard per fleet member, with
 //!   per-device reports sum-merged by the session driver.
 //!
@@ -21,19 +23,27 @@
 
 use crate::rig::{Device, Observation, Rig};
 use crate::victim::VictimKind;
-use psc_sca::codec;
+use psc_sca::codec::{self, RecordingReader};
 use psc_sca::tvla::PlaintextClass;
 use psc_smc::{MitigationConfig, SmcKey};
-use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
-use psc_telemetry::replay::{channel_for_label, replay_recording};
+use psc_telemetry::block::EventBlock;
+use psc_telemetry::event::{ChannelId, SchedEvent, WindowEvent};
+use psc_telemetry::replay::{channel_for_label, fill_block};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Plaintexts per [`Rig::observe_windows`] call in the collection loops:
-/// large enough to amortize the batched pipeline, small enough that
-/// producers keep streaming into the bus at a fine grain.
+/// Plaintexts per [`Rig::observe_windows_with`] call in the collection
+/// loops — and hence observations per [`EventBlock`] on the bus: large
+/// enough to amortize the batched pipeline and the per-block channel
+/// synchronization, small enough that producers keep streaming into the
+/// bus at a fine grain.
 pub const OBS_CHUNK: usize = 32;
+
+/// Recorded traces streamed per codec read in the windowed replay path:
+/// memory stays O(`REPLAY_CHUNK`) per worker regardless of shard file
+/// size, so a single worker can replay million-trace recordings.
+pub const REPLAY_CHUNK: usize = 1024;
 
 /// What one shard of a campaign should produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,11 +84,16 @@ pub struct ShardPlan<'a> {
     pub schedule: Schedule,
 }
 
-/// A pluggable producer of campaign telemetry events.
+/// A pluggable producer of campaign telemetry blocks.
 ///
 /// Implementations run one shard at a time on a dedicated producer
-/// thread, emitting window/sample/sched events into `sink` exactly as the
-/// live rig loop would, and return the number of schedule units actually
+/// thread, filling columnar [`EventBlock`]s exactly as the live rig loop
+/// would (one row per observation: window record, per-channel samples in
+/// request order plus `PCPU`, sched record) and handing each filled
+/// block to `sink`. The sink may *swap* the block for an empty (possibly
+/// recycled) one — sources must therefore re-[`reset`](EventBlock::reset)
+/// the block before filling the next chunk rather than assume their
+/// layout survived. Returns the number of schedule units actually
 /// produced (trace rounds for [`Schedule::AdaptiveRounds`], traces or
 /// traces-per-class otherwise).
 pub trait TraceSource: Send + Sync {
@@ -89,73 +104,77 @@ pub trait TraceSource: Send + Sync {
         requested
     }
 
-    /// Produce shard `plan.shard`'s events into `sink`, honouring `stop`
-    /// at schedule boundaries where the schedule asks for it.
+    /// Produce shard `plan.shard`'s observation blocks into `sink`,
+    /// honouring `stop` at schedule boundaries where the schedule asks
+    /// for it.
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
-        sink: &mut dyn FnMut(Event),
+        sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize;
 }
 
-/// Emit one observation as telemetry events: the window marker (with the
-/// known-plaintext record), one sample per *readable* SMC key, the PCPU
-/// sample, and the scheduler/cadence record (cadence comes straight from
-/// [`Observation::windows`]/[`Observation::time_s`]). Returns the number
-/// of SMC reads that were denied (skipped with accounting — never a
-/// panic).
-pub(crate) fn emit_observation(
-    sink: &mut dyn FnMut(Event),
+/// The block layout of a rig-backed shard: one column per requested SMC
+/// key (request order), then the `PCPU` energy column.
+pub(crate) fn rig_channels(keys: &[SmcKey]) -> Vec<ChannelId> {
+    keys.iter().map(|&k| ChannelId::Smc(k)).chain([ChannelId::Pcpu]).collect()
+}
+
+/// Append one observation to `block` as a columnar row: the window
+/// record (with the known-plaintext record), one sample per *readable*
+/// SMC key, the PCPU sample, and the scheduler/cadence record (cadence
+/// comes straight from [`Observation::windows`]/[`Observation::time_s`]).
+/// Denied SMC reads leave their column slot empty and are counted in the
+/// sched record — never a panic.
+pub(crate) fn push_observation(
+    block: &mut EventBlock,
     seq: u64,
     pass: u8,
     class: Option<PlaintextClass>,
     obs: &Observation,
     window_s: f64,
-) -> u32 {
-    sink(Event::Window(WindowEvent {
+) {
+    block.begin(WindowEvent {
         seq,
         time_s: obs.time_s,
         pass,
         class,
         plaintext: obs.plaintext,
         ciphertext: obs.ciphertext,
-    }));
+    });
     let mut denied: u32 = 0;
-    for (key, value) in &obs.smc {
+    for (col, (_key, value)) in obs.smc.iter().enumerate() {
         match value {
-            Some(v) => sink(Event::Sample(SampleEvent {
-                time_s: obs.time_s,
-                channel: ChannelId::Smc(*key),
-                value: *v,
-            })),
+            Some(v) => block.sample(col, *v),
             None => denied += 1,
         }
     }
-    sink(Event::Sample(SampleEvent {
-        time_s: obs.time_s,
-        channel: ChannelId::Pcpu,
-        value: obs.pcpu_delta_mj,
-    }));
-    sink(Event::Sched(SchedEvent {
+    block.sample(obs.smc.len(), obs.pcpu_delta_mj);
+    block.commit(SchedEvent {
         time_s: obs.time_s,
         windows_consumed: obs.windows.max(1),
         window_s,
         denied_reads: denied,
-    }));
-    denied
+    });
 }
 
-/// Drive one rig through a schedule, emitting its observations. Shared by
-/// every rig-backed source so live, borrowed and fleet shards produce
-/// bit-identical event streams for the same rig state.
+/// Drive one rig through a schedule, filling one block per observation
+/// chunk. Shared by every rig-backed source so live, borrowed and fleet
+/// shards produce bit-identical streams for the same rig state. The
+/// inner loop is allocation-free in steady state: plaintexts, the block
+/// and the observation staging buffer are all reused
+/// ([`Rig::observe_windows_with`]).
 fn drive_rig(
     rig: &mut Rig,
     plan: &ShardPlan<'_>,
-    sink: &mut dyn FnMut(Event),
+    sink: &mut dyn FnMut(&mut EventBlock),
     stop: &AtomicBool,
 ) -> usize {
     let keys = plan.keys;
+    let channels = rig_channels(keys);
+    let window_s = rig.window_s();
+    let mut block = EventBlock::new();
     let mut seq = 0u64;
     match plan.schedule {
         Schedule::Tvla { traces_per_class } => {
@@ -169,10 +188,12 @@ fn drive_rig(
                         pts.extend((0..take).map(|_| {
                             class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
                         }));
-                        for obs in rig.observe_windows(&pts, keys) {
-                            emit_observation(sink, seq, pass, Some(class), &obs, rig.window_s());
+                        block.reset(&channels);
+                        rig.observe_windows_with(&pts, keys, |obs| {
+                            push_observation(&mut block, seq, pass, Some(class), obs, window_s);
                             seq += 1;
-                        }
+                        });
+                        sink(&mut block);
                         remaining -= take;
                     }
                 }
@@ -186,10 +207,12 @@ fn drive_rig(
                 let take = remaining.min(OBS_CHUNK);
                 pts.clear();
                 pts.extend((0..take).map(|_| rig.random_plaintext()));
-                for obs in rig.observe_windows(&pts, keys) {
-                    emit_observation(sink, seq, 0, None, &obs, rig.window_s());
+                block.reset(&channels);
+                rig.observe_windows_with(&pts, keys, |obs| {
+                    push_observation(&mut block, seq, 0, None, obs, window_s);
                     seq += 1;
-                }
+                });
+                sink(&mut block);
                 remaining -= take;
             }
             traces
@@ -210,11 +233,15 @@ fn drive_rig(
                         labels.push((pass, class));
                     }
                 }
-                let observations = rig.observe_windows(&pts, keys);
-                for (obs, &(pass, class)) in observations.iter().zip(&labels) {
-                    emit_observation(sink, seq, pass, Some(class), obs, rig.window_s());
+                block.reset(&channels);
+                let mut row = 0usize;
+                rig.observe_windows_with(&pts, keys, |obs| {
+                    let (pass, class) = labels[row];
+                    push_observation(&mut block, seq, pass, Some(class), obs, window_s);
                     seq += 1;
-                }
+                    row += 1;
+                });
+                sink(&mut block);
                 rounds += 1;
             }
             rounds
@@ -247,7 +274,7 @@ impl TraceSource for LiveRig {
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
-        sink: &mut dyn FnMut(Event),
+        sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize {
         let mut rig = Rig::new(
@@ -286,7 +313,7 @@ impl TraceSource for RigSource<'_> {
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
-        sink: &mut dyn FnMut(Event),
+        sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize {
         let mut rig = self.rig.lock().expect("rig lock poisoned");
@@ -347,7 +374,7 @@ impl TraceSource for Fleet {
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
-        sink: &mut dyn FnMut(Event),
+        sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize {
         let member = self.members[plan.shard];
@@ -442,8 +469,12 @@ impl ShardReplay {
         &self.shards
     }
 
-    /// Files skipped so far because they could not be read, decoded, or
-    /// mapped to a telemetry channel.
+    /// Files flagged so far because they could not be opened, decoded,
+    /// or mapped to a telemetry channel — **or** failed mid-stream
+    /// (truncation, trailing garbage, a bad class byte). In the
+    /// mid-stream case the chunks replayed before the failure stay
+    /// replayed and counted in the campaign results; the flag marks the
+    /// file as incompletely consumed, not necessarily ignored.
     #[must_use]
     pub fn skipped_files(&self) -> u64 {
         self.skipped.load(Ordering::Relaxed)
@@ -458,7 +489,7 @@ impl TraceSource for ShardReplay {
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
-        sink: &mut dyn FnMut(Event),
+        sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize {
         let mut seq = 0u64;
@@ -466,13 +497,20 @@ impl TraceSource for ShardReplay {
         // observation sequence, so one channel's window count (not the
         // summed event total) is the shard's schedule-unit basis.
         let mut windows_per_channel: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut block = EventBlock::new();
+        let mut chunk = Vec::with_capacity(REPLAY_CHUNK);
         for path in &self.shards[plan.shard].files {
             if stop.load(Ordering::Relaxed) {
                 break;
             }
-            let recording = match std::fs::File::open(path)
+            // Windowed streaming: the reader holds the header and at most
+            // REPLAY_CHUNK traces at a time — O(1) memory in file size. A
+            // file that fails mid-stream (truncation, bad class byte) is
+            // counted as skipped; the chunks replayed before the failure
+            // stay replayed and counted.
+            let mut reader = match std::fs::File::open(path)
                 .map_err(codec::CodecError::Io)
-                .and_then(codec::read_recording)
+                .and_then(RecordingReader::new)
             {
                 Ok(r) => r,
                 Err(_) => {
@@ -480,13 +518,34 @@ impl TraceSource for ShardReplay {
                     continue;
                 }
             };
-            let Some(channel) = channel_for_label(&recording.label) else {
+            let Some(channel) = channel_for_label(reader.label()) else {
                 self.skipped.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
-            *windows_per_channel.entry(recording.label.clone()).or_default() +=
-                recording.traces.len() as u64;
-            seq = replay_recording(&recording, channel, seq, 1.0, sink);
+            let label = reader.label().to_owned();
+            let mut replayed = 0u64;
+            loop {
+                match reader.read_chunk(REPLAY_CHUNK, &mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        // Re-emit at the live sources' OBS_CHUNK block
+                        // granularity so bus-queued memory stays bounded
+                        // by capacity × standard block size, while disk
+                        // reads stay amortized at REPLAY_CHUNK traces.
+                        for rows in chunk.chunks(OBS_CHUNK) {
+                            block.reset(&[channel]);
+                            seq = fill_block(rows, seq, 1.0, &mut block);
+                            sink(&mut block);
+                        }
+                        replayed += n as u64;
+                    }
+                    Err(_) => {
+                        self.skipped.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            *windows_per_channel.entry(label).or_default() += replayed;
         }
         let windows = windows_per_channel.values().copied().max().unwrap_or(0);
         // Express the result in the schedule's units, matching the live

@@ -289,6 +289,111 @@ pub fn read_recording<R: Read>(mut reader: R) -> Result<Recording, CodecError> {
     Ok(Recording { label, traces })
 }
 
+/// Incremental reader over one recording: the header is parsed eagerly,
+/// then traces stream out in caller-sized chunks — memory stays
+/// O(chunk), not O(file), so a single worker can replay million-trace
+/// shard files. Accepts both format versions like [`read_recording`],
+/// applies the same validation (bad magic/version/label/class bytes,
+/// truncation, trailing garbage), and yields the exact same
+/// [`LabeledTrace`] sequence.
+#[derive(Debug)]
+pub struct RecordingReader<R: Read> {
+    reader: R,
+    label: String,
+    version: u16,
+    remaining: u64,
+    end_checked: bool,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RecordingReader<R> {
+    /// Parse the header, leaving the reader at the first trace record.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodecError`] for the failure modes.
+    pub fn new(mut reader: R) -> Result<Self, CodecError> {
+        let eof_is_truncation = |e: std::io::Error| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CodecError::Truncated
+            } else {
+                CodecError::Io(e)
+            }
+        };
+        let mut head = [0u8; 8];
+        reader.read_exact(&mut head).map_err(eof_is_truncation)?;
+        if &head[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != VERSION && version != VERSION_LABELED {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let mut label = vec![0u8; u16::from_le_bytes([head[6], head[7]]) as usize];
+        reader.read_exact(&mut label).map_err(eof_is_truncation)?;
+        let label = String::from_utf8(label).map_err(|_| CodecError::BadLabel)?;
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count).map_err(eof_is_truncation)?;
+        let remaining = u64::from_le_bytes(count);
+        Ok(Self { reader, label, version, remaining, end_checked: false, buf: Vec::new() })
+    }
+
+    /// The recording's channel label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Traces not yet read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Read up to `max` traces into `out` (cleared first). Returns the
+    /// number read; `0` means the recording is exhausted. The final call
+    /// also verifies the payload ends exactly at the declared count
+    /// (trailing bytes are [`CodecError::Truncated`], matching the
+    /// whole-file readers).
+    ///
+    /// # Errors
+    ///
+    /// See [`CodecError`] for the failure modes.
+    pub fn read_chunk(
+        &mut self,
+        max: usize,
+        out: &mut Vec<LabeledTrace>,
+    ) -> Result<usize, CodecError> {
+        out.clear();
+        let take = usize::try_from(self.remaining).unwrap_or(usize::MAX).min(max.max(1));
+        if self.remaining == 0 {
+            if !self.end_checked {
+                self.end_checked = true;
+                if self.reader.read(&mut [0u8; 1])? != 0 {
+                    return Err(CodecError::Truncated);
+                }
+            }
+            return Ok(0);
+        }
+        let trace_bytes = if self.version == VERSION { V1_TRACE_BYTES } else { V2_TRACE_BYTES };
+        self.buf.resize(take * trace_bytes, 0);
+        self.reader.read_exact(&mut self.buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CodecError::Truncated
+            } else {
+                CodecError::Io(e)
+            }
+        })?;
+        let mut slice = &self.buf[..];
+        out.reserve(take);
+        for _ in 0..take {
+            out.push(read_one(&mut slice, self.version)?);
+        }
+        self.remaining -= take as u64;
+        Ok(take)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +559,69 @@ mod tests {
         assert_eq!(read_label(&v1[..]).unwrap(), "PHPC");
         assert!(matches!(read_label(&bytes[..6]), Err(CodecError::Truncated)));
         assert!(matches!(read_label(&b"XXXXXXXXXX"[..]), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn windowed_reader_matches_whole_file_reader() {
+        let traces = sample_recording(101);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+        let whole = read_recording(&bytes[..]).unwrap();
+        let mut reader = RecordingReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.label(), "PHPC");
+        assert_eq!(reader.remaining(), 101);
+        let mut streamed = Vec::new();
+        let mut chunk = Vec::new();
+        while reader.read_chunk(17, &mut chunk).unwrap() > 0 {
+            assert!(chunk.len() <= 17, "chunks bound memory");
+            streamed.extend_from_slice(&chunk);
+        }
+        assert_eq!(streamed, whole.traces);
+        assert_eq!(reader.remaining(), 0);
+        // Exhausted readers keep returning 0.
+        assert_eq!(reader.read_chunk(17, &mut chunk).unwrap(), 0);
+    }
+
+    #[test]
+    fn windowed_reader_reads_v1_files() {
+        let set = sample_set(9);
+        let mut bytes = Vec::new();
+        write_trace_set(&set, &mut bytes).unwrap();
+        let mut reader = RecordingReader::new(&bytes[..]).unwrap();
+        let mut chunk = Vec::new();
+        let mut n = 0;
+        while reader.read_chunk(4, &mut chunk).unwrap() > 0 {
+            assert!(chunk.iter().all(|t| t.pass == 0 && t.class.is_none()));
+            n += chunk.len();
+        }
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn windowed_reader_rejects_truncation_and_garbage() {
+        let traces = sample_recording(8);
+        let mut bytes = Vec::new();
+        write_recording("PHPC", &traces, &mut bytes).unwrap();
+
+        let mut reader = RecordingReader::new(&bytes[..bytes.len() - 1]).unwrap();
+        let mut chunk = Vec::new();
+        let mut result = Ok(1);
+        while matches!(result, Ok(n) if n > 0) {
+            result = reader.read_chunk(3, &mut chunk);
+        }
+        assert!(matches!(result, Err(CodecError::Truncated)), "{result:?}");
+
+        let mut garbage = bytes.clone();
+        garbage.extend_from_slice(&[0u8; 4]);
+        let mut reader = RecordingReader::new(&garbage[..]).unwrap();
+        let mut result = Ok(1);
+        while matches!(result, Ok(n) if n > 0) {
+            result = reader.read_chunk(64, &mut chunk);
+        }
+        assert!(matches!(result, Err(CodecError::Truncated)), "{result:?}");
+
+        assert!(matches!(RecordingReader::new(&b"XXXXXXXXXX"[..]), Err(CodecError::BadMagic)));
+        assert!(matches!(RecordingReader::new(&bytes[..6]), Err(CodecError::Truncated)));
     }
 
     #[test]

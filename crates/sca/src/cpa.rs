@@ -173,6 +173,36 @@ impl Cpa {
         }
     }
 
+    /// Add one columnar block of observations: `values[i]` was observed
+    /// for `(plaintexts[i], ciphertexts[i])`. **Bit-identical** to calling
+    /// [`Self::add_trace`] once per row in order — every accumulator (the
+    /// trace moments and each bin) receives the same terms in the same
+    /// order — but evaluated column-major: one sweep over the value column
+    /// accumulates the moments, then each key byte bins the whole
+    /// plaintext/ciphertext column in its own tight loop. This is the
+    /// block fast path behind `psc-telemetry`'s streaming CPA processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length.
+    pub fn add_block(&mut self, plaintexts: &[[u8; 16]], ciphertexts: &[[u8; 16]], values: &[f64]) {
+        assert_eq!(plaintexts.len(), values.len(), "one plaintext per value");
+        assert_eq!(ciphertexts.len(), values.len(), "one ciphertext per value");
+        self.n += values.len() as u64;
+        for &t in values {
+            self.sum_t += t;
+            self.sum_tt += t * t;
+        }
+        for (byte_index, bins) in self.bins.iter_mut().enumerate() {
+            for ((pt, ct), &t) in plaintexts.iter().zip(ciphertexts).zip(values) {
+                let v = self.model.input_byte(pt, ct, byte_index);
+                let bin = &mut bins[v as usize];
+                bin.count += 1;
+                bin.sum_t += t;
+            }
+        }
+    }
+
     /// Merge another accumulator collected under the *same* power model
     /// (parallel collection shards). Exact up to floating-point
     /// reassociation: bin counts and moment sums simply add.
@@ -205,7 +235,9 @@ impl Cpa {
     /// Panics if `byte_index >= 16`.
     #[must_use]
     pub fn correlation(&self, byte_index: usize, guess: u8) -> f64 {
-        self.correlations(byte_index)[guess as usize]
+        let mut corr = [0.0f64; 256];
+        self.correlations_into(byte_index, &mut corr);
+        corr[guess as usize]
     }
 
     /// Correlations for all 256 guesses of one key byte.
@@ -215,36 +247,81 @@ impl Cpa {
     /// Panics if `byte_index >= 16`.
     #[must_use]
     pub fn correlations(&self, byte_index: usize) -> [f64; 256] {
-        let bins = &self.bins[byte_index];
-        let n = self.n as f64;
         let mut out = [0.0f64; 256];
+        self.correlations_into(byte_index, &mut out);
+        out
+    }
+
+    /// As [`Self::correlations`], writing into a caller-owned buffer —
+    /// the rank trackers and adaptive early-stop loops call this per key
+    /// byte, and the in-place form spares them a 2 KB return copy each.
+    ///
+    /// The sweep is branch-free: the per-value bins are flattened once
+    /// into two dense `f64` arrays (count, Σ value), so the three Σ
+    /// reductions per guess run as pure unit-stride multiply-adds over
+    /// `cnt`/`st` and the guess-major hypothesis row — no zero-count
+    /// branch, no 16-byte `Bin` stride in the inner loop. Empty bins
+    /// contribute exact `±0.0` terms, which never perturb a partial sum
+    /// (the sums start at `+0.0` and can never become `-0.0`), so the
+    /// result is **bit-identical** to the historical skip-empty loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_index >= 16`.
+    pub fn correlations_into(&self, byte_index: usize, out: &mut [f64; 256]) {
+        let bins = &self.bins[byte_index];
+        out.fill(0.0);
         if self.n < 2 {
-            return out;
+            return;
         }
+        let n = self.n as f64;
         let var_t = self.sum_tt - self.sum_t * self.sum_t / n;
         if var_t <= 0.0 {
-            return out;
+            return;
         }
-        for (g, r) in out.iter_mut().enumerate() {
-            // Guess-major row: the inner loop reads `row[v]` with unit
-            // stride alongside the bin array.
-            let row = self.table.row(g as u8);
-            let mut sum_h = 0.0;
-            let mut sum_hh = 0.0;
-            let mut sum_ht = 0.0;
-            for (bin, &h) in bins.iter().zip(row.iter()) {
-                if bin.count == 0 {
-                    continue;
+        let mut cnt = [0.0f64; 256];
+        let mut st = [0.0f64; 256];
+        for (bin, (c, s)) in bins.iter().zip(cnt.iter_mut().zip(st.iter_mut())) {
+            *c = bin.count as f64;
+            *s = bin.sum_t;
+        }
+        // Four guesses per sweep: each guess keeps its own three
+        // accumulators (so per-guess addition order — and hence the
+        // result bits — is untouched), but the four dependency chains
+        // interleave, keeping the FP adders busy instead of serializing
+        // on one chain's latency, and `cnt`/`st` loads amortize over
+        // four hypothesis rows.
+        for (quad, out4) in out.chunks_exact_mut(4).enumerate() {
+            let g = quad * 4;
+            let rows = [
+                self.table.row(g as u8),
+                self.table.row((g + 1) as u8),
+                self.table.row((g + 2) as u8),
+                self.table.row((g + 3) as u8),
+            ];
+            let mut sum_h = [0.0f64; 4];
+            let mut sum_hh = [0.0f64; 4];
+            let mut sum_ht = [0.0f64; 4];
+            for v in 0..256 {
+                let c = cnt[v];
+                let s = st[v];
+                for k in 0..4 {
+                    let h = rows[k][v];
+                    sum_h[k] += c * h;
+                    sum_hh[k] += c * h * h;
+                    sum_ht[k] += s * h;
                 }
-                sum_h += bin.count as f64 * h;
-                sum_hh += bin.count as f64 * h * h;
-                sum_ht += bin.sum_t * h;
             }
-            let cov = sum_ht - sum_h * self.sum_t / n;
-            let var_h = sum_hh - sum_h * sum_h / n;
-            *r = if var_h <= 0.0 { 0.0 } else { (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0) };
+            for k in 0..4 {
+                let cov = sum_ht[k] - sum_h[k] * self.sum_t / n;
+                let var_h = sum_hh[k] - sum_h[k] * sum_h[k] / n;
+                out4[k] = if var_h <= 0.0 {
+                    0.0
+                } else {
+                    (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0)
+                };
+            }
         }
-        out
     }
 
     /// Guesses of one byte ranked by descending (signed) correlation — the
@@ -253,7 +330,8 @@ impl Cpa {
     /// create a permanent tie at the top.
     #[must_use]
     pub fn ranked_guesses(&self, byte_index: usize) -> Vec<u8> {
-        let corr = self.correlations(byte_index);
+        let mut corr = [0.0f64; 256];
+        self.correlations_into(byte_index, &mut corr);
         let mut order: Vec<u8> = (0..=255).collect();
         order.sort_by(|&a, &b| corr[b as usize].total_cmp(&corr[a as usize]).then(a.cmp(&b)));
         order
@@ -266,7 +344,12 @@ impl Cpa {
     /// ties broken by ascending guess) — no 256-entry sort or allocation.
     #[must_use]
     pub fn rank_of(&self, byte_index: usize, true_byte: u8) -> usize {
-        let corr = self.correlations(byte_index);
+        let mut corr = [0.0f64; 256];
+        self.correlations_into(byte_index, &mut corr);
+        Self::rank_in(&corr, true_byte)
+    }
+
+    fn rank_in(corr: &[f64; 256], true_byte: u8) -> usize {
         let target = corr[true_byte as usize];
         let mut rank = 1;
         for (g, c) in corr.iter().enumerate() {
@@ -280,10 +363,15 @@ impl Cpa {
     }
 
     /// Ranks of all 16 bytes of `true_round_key` (the round key matching
-    /// [`PowerModel::recovered_round`]).
+    /// [`PowerModel::recovered_round`]). One reused correlation buffer
+    /// serves all 16 bytes — no per-byte return copies.
     #[must_use]
     pub fn ranks(&self, true_round_key: &[u8; 16]) -> [usize; 16] {
-        core::array::from_fn(|b| self.rank_of(b, true_round_key[b]))
+        let mut corr = [0.0f64; 256];
+        core::array::from_fn(|b| {
+            self.correlations_into(b, &mut corr);
+            Self::rank_in(&corr, true_round_key[b])
+        })
     }
 
     /// The best guess and its correlation for one byte. Single
@@ -291,7 +379,8 @@ impl Cpa {
     /// [`Self::ranked_guesses`] ordering (first on ties).
     #[must_use]
     pub fn best_guess(&self, byte_index: usize) -> (u8, f64) {
-        let corr = self.correlations(byte_index);
+        let mut corr = [0.0f64; 256];
+        self.correlations_into(byte_index, &mut corr);
         let mut best = 0usize;
         for (g, c) in corr.iter().enumerate().skip(1) {
             if c.total_cmp(&corr[best]) == core::cmp::Ordering::Greater {
@@ -507,6 +596,59 @@ mod tests {
         assert_eq!(empty.best_guess(3).0, 0);
         assert_eq!(empty.rank_of(3, 0), 1);
         assert_eq!(empty.rank_of(3, 255), 256);
+    }
+
+    #[test]
+    fn add_block_matches_sequential_add_trace_bitwise() {
+        let key = [0x5Du8; 16];
+        let set = synthetic_rd0_traces(&key, 777);
+        let mut sequential = Cpa::new(Box::new(Rd0Hw));
+        sequential.add_set(&set);
+        let table = std::sync::Arc::clone(sequential.shared_table());
+        let mut blocked = Cpa::with_table(Box::new(Rd0Hw), table);
+        let pts: Vec<[u8; 16]> = set.iter().map(|t| t.plaintext).collect();
+        let cts: Vec<[u8; 16]> = set.iter().map(|t| t.ciphertext).collect();
+        let vals: Vec<f64> = set.iter().map(|t| t.value).collect();
+        // Uneven chunks, including an empty one.
+        let mut offset = 0;
+        for chunk in [300usize, 0, 256, 221] {
+            blocked.add_block(
+                &pts[offset..offset + chunk],
+                &cts[offset..offset + chunk],
+                &vals[offset..offset + chunk],
+            );
+            offset += chunk;
+        }
+        assert_eq!(blocked.trace_count(), sequential.trace_count());
+        for b in 0..16 {
+            let sc = sequential.correlations(b);
+            let bc = blocked.correlations(b);
+            for g in 0..256 {
+                assert_eq!(sc[g].to_bits(), bc[g].to_bits(), "byte {b} guess {g}");
+            }
+        }
+        assert_eq!(blocked.ranks(&key), sequential.ranks(&key));
+    }
+
+    #[test]
+    fn correlations_into_matches_correlations_bitwise() {
+        let key = [0xC3u8; 16];
+        let set = synthetic_rd0_traces(&key, 450);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let mut buf = [f64::NAN; 256];
+        for b in 0..16 {
+            let owned = cpa.correlations(b);
+            cpa.correlations_into(b, &mut buf);
+            for g in 0..256 {
+                assert_eq!(owned[g].to_bits(), buf[g].to_bits(), "byte {b} guess {g}");
+            }
+        }
+        // The degenerate early returns must also clear the buffer.
+        let empty = Cpa::new(Box::new(Rd0Hw));
+        let mut buf = [f64::NAN; 256];
+        empty.correlations_into(0, &mut buf);
+        assert_eq!(buf, [0.0f64; 256]);
     }
 
     #[test]

@@ -349,6 +349,24 @@ impl TvlaAccumulator {
         self.moments[pass][class.index()].push(value);
     }
 
+    /// Add many observations for (`pass`, `class`) in order — the slice
+    /// ingestion path of the telemetry block pipeline. The `(pass,
+    /// class)` cell is resolved once for the whole run instead of per
+    /// sample; the Welford stream is **bit-identical** to pushing the
+    /// values one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass > 1`.
+    pub fn extend(
+        &mut self,
+        pass: usize,
+        class: PlaintextClass,
+        values: impl IntoIterator<Item = f64>,
+    ) {
+        self.moments[pass][class.index()].extend(values);
+    }
+
     /// Observations accumulated for (`pass`, `class`).
     #[must_use]
     pub fn count(&self, pass: usize, class: PlaintextClass) -> u64 {

@@ -10,6 +10,11 @@
 //!   (plaintext/ciphertext window markers), [`SampleEvent`]
 //!   (one scalar per channel per window), [`SchedEvent`]
 //!   (cadence metadata: windows consumed, denied reads);
+//! * [`block`] — columnar [`EventBlock`]s: whole observations as
+//!   struct-of-arrays (window records, one `Option<f64>` sample column
+//!   per channel, sched records), the bus's batched unit of traffic —
+//!   one ring synchronization and one dispatch per *block* instead of
+//!   per event;
 //! * [`ring`] — bounded ring buffers and the blocking MPSC channel built
 //!   on them, with explicit [`OverflowPolicy`] and
 //!   exact drop accounting;
@@ -25,8 +30,25 @@
 //! * [`replay`] — synthetic event sources: recorded `.psct` campaigns
 //!   pumped back through the same processors as offline replays;
 //! * [`campaign`] — work splitting and the scoped thread fan-out that
-//!   `psc_core::campaign` uses to shard collection across workers and
-//!   sum-merge the accumulator shards.
+//!   `psc_core`'s session driver uses to shard collection across workers
+//!   and sum-merge the accumulator shards.
+//!
+//! ## The block fast path
+//!
+//! Producers should batch observations into [`EventBlock`]s and send
+//! those over the bus; per-event channels remain for fine-grained or
+//! irregular streams. Every [`Processor`] works on a block bus out of
+//! the box — the default [`Processor::on_block`] replays the block as
+//! its exact scalar event sequence through `on_event` — and a processor
+//! should *override* `on_block` when it is hot enough for per-event
+//! dispatch to matter: resolve per-channel state once per column, then
+//! update accumulators in a tight loop over the column slice (see
+//! [`StreamingTvla`], [`StreamingCpa`] and [`ShardRecorder`] for the
+//! pattern). Overrides must stay **bit-identical** to the per-event
+//! fallback — same accumulator streams, same drop/orphan counters — a
+//! contract pinned by the workspace `tests/block_equivalence.rs` suite.
+//! Fixed-interval (polling) processors are always driven per event by
+//! [`Pump::dispatch_block`] so their poll grid never shifts.
 //!
 //! ## Example
 //!
@@ -66,6 +88,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod campaign;
 pub mod event;
 pub mod processor;
@@ -73,6 +96,7 @@ pub mod processors;
 pub mod replay;
 pub mod ring;
 
+pub use block::EventBlock;
 pub use campaign::{run_sharded, split_counts};
 pub use event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
 pub use processor::{PollMode, Processor, Pump};

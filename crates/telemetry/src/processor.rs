@@ -7,6 +7,7 @@
 //! driven by event timestamps, not wall clock, so pipelines stay fully
 //! deterministic and replayable.
 
+use crate::block::EventBlock;
 use crate::event::Event;
 use crate::ring::Receiver;
 
@@ -34,6 +35,19 @@ pub trait Processor {
 
     /// Handle one bus event.
     fn on_event(&mut self, event: &Event);
+
+    /// Handle one columnar [`EventBlock`] — the bus's batched fast path.
+    ///
+    /// The default replays the block as its exact scalar event sequence
+    /// through [`Self::on_event`], so every processor works on a block
+    /// bus unchanged. Hot processors override this with true columnar
+    /// updates (per-column tight loops); an override must stay
+    /// **bit-identical** to the default — same accumulator streams, same
+    /// counters — which `tests/block_equivalence.rs` pins for the
+    /// in-tree processors.
+    fn on_block(&mut self, block: &EventBlock) {
+        block.for_each_event(&mut |event| self.on_event(event));
+    }
 
     /// Fixed-interval callback at simulated time `time_s` (only for
     /// [`PollMode::FixedInterval`] processors).
@@ -95,7 +109,35 @@ impl<'a> Pump<'a> {
         }
     }
 
+    /// Deliver one block. Event-driven processors take the columnar fast
+    /// path ([`Processor::on_block`]); fixed-interval processors walk the
+    /// block's scalar event sequence so their poll ticks fire at exactly
+    /// the timestamps the per-event bus would have produced.
+    pub fn dispatch_block(&mut self, block: &EventBlock) {
+        for entry in &mut self.entries {
+            if entry.interval_s > 0.0 {
+                let interval_s = entry.interval_s;
+                let next_poll_s = &mut entry.next_poll_s;
+                let processor = &mut entry.processor;
+                block.for_each_event(&mut |event| {
+                    let now_s = event.time_s();
+                    let next = next_poll_s.get_or_insert(now_s + interval_s);
+                    while *next <= now_s {
+                        processor.on_poll(*next);
+                        *next += interval_s;
+                    }
+                    processor.on_event(event);
+                });
+            } else {
+                entry.processor.on_block(block);
+            }
+        }
+    }
+
     /// Drain `receiver` until every sender is gone, then finish.
+    /// (Block buses are drained with a caller-owned `recv` +
+    /// [`Pump::dispatch_block`] loop, so the caller decides what happens
+    /// to each processed block — e.g. recycling it to the producer.)
     pub fn run(&mut self, receiver: &Receiver<Event>) {
         while let Some(event) = receiver.recv() {
             self.dispatch(&event);
@@ -183,6 +225,47 @@ mod tests {
         // First event at 0.5 arms the clock at 1.5; ticks then fire at
         // 1.5, 2.5, 3.5 as later events pass those times.
         assert_eq!(p.polls, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn block_dispatch_fires_polls_like_event_dispatch() {
+        use crate::block::EventBlock;
+        use crate::event::{SchedEvent, WindowEvent};
+        let mut block = EventBlock::new();
+        block.reset(&[ChannelId::Pcpu]);
+        for i in 1..=8u64 {
+            let t = i as f64 * 0.5;
+            block.begin(WindowEvent {
+                seq: i,
+                time_s: t,
+                pass: 0,
+                class: None,
+                plaintext: [0; 16],
+                ciphertext: [0; 16],
+            });
+            block.sample(0, 1.0);
+            block.commit(SchedEvent {
+                time_s: t,
+                windows_consumed: 1,
+                window_s: 0.5,
+                denied_reads: 0,
+            });
+        }
+
+        let mut scalar = Counter { interval_s: 1.0, ..Counter::default() };
+        let mut scalar_pump = Pump::new();
+        scalar_pump.attach(&mut scalar);
+        block.for_each_event(&mut |e| scalar_pump.dispatch(e));
+        scalar_pump.finish();
+
+        let mut blocked = Counter { interval_s: 1.0, ..Counter::default() };
+        let mut block_pump = Pump::new();
+        block_pump.attach(&mut blocked);
+        block_pump.dispatch_block(&block);
+        block_pump.finish();
+
+        assert_eq!(scalar.events, blocked.events);
+        assert_eq!(scalar.polls, blocked.polls, "poll grid must not shift under block dispatch");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Incremental CPA processor: running per-guess/byte sums, O(1) memory.
 
+use crate::block::EventBlock;
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
 use psc_sca::cpa::{Cpa, CpaMergeError, HypTable};
@@ -18,6 +19,12 @@ pub struct StreamingCpa {
     current: Option<([u8; 16], [u8; 16])>,
     unregistered_samples: u64,
     orphan_samples: u64,
+    /// Reused per-block staging columns for [`Cpa::add_block`] (denied
+    /// rows filtered out), so the block fast path is allocation-free in
+    /// steady state.
+    scratch_pts: Vec<[u8; 16]>,
+    scratch_cts: Vec<[u8; 16]>,
+    scratch_vals: Vec<f64>,
 }
 
 impl StreamingCpa {
@@ -55,6 +62,9 @@ impl StreamingCpa {
             current: None,
             unregistered_samples: 0,
             orphan_samples: 0,
+            scratch_pts: Vec::new(),
+            scratch_cts: Vec::new(),
+            scratch_vals: Vec::new(),
         }
     }
 
@@ -135,6 +145,36 @@ impl Processor for StreamingCpa {
             }
             Event::Sched(_) => {}
         }
+    }
+
+    /// Columnar fast path: each registered channel's column is staged
+    /// (denied rows dropped) and binned in one [`Cpa::add_block`] call —
+    /// one map lookup and one columnar bin sweep per channel per block,
+    /// bit-identical to per-event [`Cpa::add_trace`] dispatch.
+    fn on_block(&mut self, block: &EventBlock) {
+        let windows = block.windows();
+        if windows.is_empty() {
+            return;
+        }
+        for (col, &channel) in block.channels().iter().enumerate() {
+            let column = block.column(col);
+            let Some(cpa) = self.cpas.get_mut(&channel) else {
+                self.unregistered_samples += column.iter().flatten().count() as u64;
+                continue;
+            };
+            self.scratch_pts.clear();
+            self.scratch_cts.clear();
+            self.scratch_vals.clear();
+            for (w, v) in windows.iter().zip(column) {
+                if let Some(value) = *v {
+                    self.scratch_pts.push(w.plaintext);
+                    self.scratch_cts.push(w.ciphertext);
+                    self.scratch_vals.push(value);
+                }
+            }
+            cpa.add_block(&self.scratch_pts, &self.scratch_cts, &self.scratch_vals);
+        }
+        self.current = windows.last().map(|w| (w.plaintext, w.ciphertext));
     }
 }
 

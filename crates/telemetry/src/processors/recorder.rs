@@ -1,5 +1,6 @@
 //! Shard-persisting trace recorder.
 
+use crate::block::EventBlock;
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
 use psc_sca::codec::{self, LabeledTrace};
@@ -108,6 +109,10 @@ impl ShardRecorder {
             self.shard,
             self.files.len()
         ));
+        // A missing recording directory is created on first flush;
+        // genuine failures (permissions, a file in the way) still
+        // surface through File::create below.
+        let _ = std::fs::create_dir_all(&self.dir);
         let result = std::fs::File::create(&path)
             .map_err(codec::CodecError::Io)
             .and_then(|f| codec::write_recording(&self.label, &self.buffer, f));
@@ -177,6 +182,38 @@ impl Processor for ShardRecorder {
         }
     }
 
+    /// Columnar fast path: only this recorder's channel column is
+    /// walked — other channels' samples are never even inspected. Shard
+    /// files come out byte-identical to the per-event path (same traces,
+    /// same flush boundaries).
+    fn on_block(&mut self, block: &EventBlock) {
+        let windows = block.windows();
+        if windows.is_empty() {
+            return;
+        }
+        if let Some(col) = block.channels().iter().position(|&c| c == self.channel) {
+            for (w, v) in windows.iter().zip(block.column(col)) {
+                if let Some(value) = *v {
+                    self.buffer.push(LabeledTrace {
+                        trace: Trace { value, plaintext: w.plaintext, ciphertext: w.ciphertext },
+                        pass: w.pass,
+                        class: w.class,
+                    });
+                    self.traces_recorded += 1;
+                    if self.buffer.len() >= self.capacity {
+                        self.flush();
+                    }
+                }
+            }
+        }
+        self.current = windows.last().map(|w| WindowLabels {
+            pass: w.pass,
+            class: w.class,
+            plaintext: w.plaintext,
+            ciphertext: w.ciphertext,
+        });
+    }
+
     fn on_finish(&mut self) {
         self.flush();
     }
@@ -244,10 +281,31 @@ mod tests {
 
     #[test]
     fn io_failure_counted_not_panicking() {
-        let mut rec = ShardRecorder::new("/nonexistent_psc_dir/xyz", "PHPC", ChannelId::Pcpu, 0, 5);
+        // A directory path that can never be created: its parent is a
+        // plain file (a bare missing directory is created on flush).
+        let blocker = std::env::temp_dir().join(format!("psc_rec_blocker_{}", std::process::id()));
+        std::fs::write(&blocker, b"not a dir").unwrap();
+        let mut rec = ShardRecorder::new(blocker.join("xyz"), "PHPC", ChannelId::Pcpu, 0, 5);
         feed(&mut rec, 5);
         assert_eq!(rec.io_errors(), 1);
         assert!(rec.last_error().is_some());
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn missing_record_dir_is_created_on_flush() {
+        let dir = std::env::temp_dir()
+            .join(format!("psc_recorder_autodir_{}", std::process::id()))
+            .join("nested");
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 0, 4);
+        feed(&mut rec, 4);
+        assert_eq!(rec.io_errors(), 0, "{:?}", rec.last_error());
+        assert_eq!(rec.files().len(), 1);
+        for f in rec.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
+        std::fs::remove_dir(dir.parent().unwrap()).ok();
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! [`StreamingCpa`](crate::processors::StreamingCpa), monitors, even a
 //! re-recording recorder) runs unchanged over offline data.
 
+use crate::block::EventBlock;
 use crate::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
-use psc_sca::codec::Recording;
+use psc_sca::codec::{LabeledTrace, Recording};
 use psc_smc::SmcKey;
 
 /// Map a recording's channel label back to its [`ChannelId`]: `PCPU` and
@@ -57,6 +58,42 @@ pub fn replay_recording(
         }));
         sink(Event::Sample(SampleEvent { time_s, channel, value: t.trace.value }));
         sink(Event::Sched(SchedEvent { time_s, windows_consumed: 1, window_s, denied_reads: 0 }));
+        seq += 1;
+    }
+    seq
+}
+
+/// Append recorded traces to an [`EventBlock`] as replayed observations —
+/// the columnar form of [`replay_recording`], used by the windowed shard
+/// replay to stream chunks of a recording through the block bus. The
+/// block must hold exactly one sample column (the recording's channel);
+/// rows land on the same synthetic `window_s` timeline and yield the
+/// same event sequence as the scalar replay. Returns the sequence number
+/// after the last appended row.
+///
+/// # Panics
+///
+/// Panics if `block` does not have exactly one channel column.
+pub fn fill_block(
+    traces: &[LabeledTrace],
+    seq_start: u64,
+    window_s: f64,
+    block: &mut EventBlock,
+) -> u64 {
+    assert_eq!(block.channels().len(), 1, "replay blocks carry one recorded channel");
+    let mut seq = seq_start;
+    for t in traces {
+        let time_s = (seq + 1) as f64 * window_s;
+        block.begin(WindowEvent {
+            seq,
+            time_s,
+            pass: t.pass,
+            class: t.class,
+            plaintext: t.trace.plaintext,
+            ciphertext: t.trace.ciphertext,
+        });
+        block.sample(0, t.trace.value);
+        block.commit(SchedEvent { time_s, windows_consumed: 1, window_s, denied_reads: 0 });
         seq += 1;
     }
     seq
@@ -110,6 +147,37 @@ mod tests {
                 assert_eq!(acc.count(pass, class), 5);
             }
         }
+    }
+
+    #[test]
+    fn fill_block_matches_scalar_replay() {
+        let traces: Vec<LabeledTrace> = (0..7)
+            .map(|i| LabeledTrace {
+                trace: Trace {
+                    value: f64::from(i) * 0.25,
+                    plaintext: [i as u8; 16],
+                    ciphertext: [0x40 | i as u8; 16],
+                },
+                pass: (i % 2) as u8,
+                class: Some(PlaintextClass::ALL[(i % 3) as usize]),
+            })
+            .collect();
+        let recording = Recording { label: "PHPC".into(), traces };
+        let channel = channel_for_label(&recording.label).unwrap();
+
+        let mut scalar = Vec::new();
+        let end_scalar = replay_recording(&recording, channel, 3, 2.0, &mut |e| scalar.push(e));
+
+        let mut block = EventBlock::new();
+        block.reset(&[channel]);
+        // Two chunks, continuing the sequence across them.
+        let mid = fill_block(&recording.traces[..4], 3, 2.0, &mut block);
+        let end_block = fill_block(&recording.traces[4..], mid, 2.0, &mut block);
+        let mut blocked = Vec::new();
+        block.for_each_event(&mut |e| blocked.push(*e));
+
+        assert_eq!(end_scalar, end_block);
+        assert_eq!(scalar, blocked, "block replay must re-emit the exact scalar stream");
     }
 
     #[test]

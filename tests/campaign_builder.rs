@@ -1,13 +1,17 @@
 //! The `Campaign` builder contract:
 //!
-//! 1. builder output == legacy free-function output (bit-identical on
-//!    same-RNG live paths, 1e-9 on merged statistics);
-//! 2. recorded campaigns replay through [`ShardReplay`] to identical
+//! 1. recorded campaigns replay through [`ShardReplay`] to identical
 //!    TVLA/CPA matrices;
-//! 3. [`Fleet`] sources merge heterogeneous devices exactly like the
-//!    manual per-device merge.
+//! 2. [`Fleet`] sources merge heterogeneous devices exactly like the
+//!    manual per-device merge;
+//! 3. sources compose with adaptive early-stop and mitigations.
+//!
+//! (The builder-vs-legacy-free-function equivalence tests retired with
+//! the shims themselves; the streaming-vs-batch contract lives on in
+//! `tests/streaming_equivalence.rs`, and block-vs-event bit-identity in
+//! `tests/block_equivalence.rs`.)
 
-use apple_power_sca::core::{Campaign, Device, Fleet, FleetMember, Rig, ShardReplay, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Fleet, FleetMember, ShardReplay, VictimKind};
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::tvla::PlaintextClass;
 use apple_power_sca::smc::key::key;
@@ -36,132 +40,6 @@ fn assert_tvla_bit_identical(a: &StreamingTvla, b: &StreamingTvla, keys: &[Chann
             );
         }
     }
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_tvla_is_bit_identical_to_legacy_stream() {
-    let keys = [key("PHPC"), key("PSTR")];
-    let legacy = apple_power_sca::core::streaming::stream_tvla_campaign(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        60,
-        3,
-    );
-    let builder = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
-        .keys(&keys)
-        .traces(60)
-        .shards(3)
-        .session()
-        .tvla();
-    let channels: Vec<ChannelId> =
-        keys.iter().map(|&k| ChannelId::Smc(k)).chain([ChannelId::Pcpu]).collect();
-    assert_tvla_bit_identical(&legacy.tvla, &builder.tvla, &channels);
-    assert_eq!(legacy.bus.accepted, builder.bus.accepted);
-    assert_eq!(legacy.monitor.observations(), builder.monitor.observations());
-    assert_eq!(legacy.shards, builder.shards);
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_collect_equals_legacy_collectors() {
-    let keys = [key("PHPC")];
-    // Borrowed-rig shape.
-    let legacy_serial = {
-        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11);
-        apple_power_sca::core::campaign::collect_known_plaintext(&mut rig, &keys, 40)
-    };
-    let builder_serial = {
-        let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11);
-        Campaign::over_rig(&mut rig).keys(&keys).traces(40).session().collect()
-    };
-    assert_eq!(legacy_serial[&keys[0]], builder_serial[&keys[0]]);
-
-    // Sharded live shape.
-    let legacy_parallel = apple_power_sca::core::campaign::collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        11,
-        &keys,
-        97,
-        4,
-    );
-    let builder_parallel = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 11)
-        .keys(&keys)
-        .traces(97)
-        .shards(4)
-        .session()
-        .collect();
-    assert_eq!(legacy_parallel[&keys[0]], builder_parallel[&keys[0]]);
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_cpa_is_bit_identical_to_legacy_stream() {
-    let keys = [key("PHPC")];
-    let legacy = apple_power_sca::core::streaming::stream_known_plaintext(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        300,
-        3,
-        || Box::new(Rd0Hw),
-    );
-    let builder = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
-        .keys(&keys)
-        .traces(300)
-        .shards(3)
-        .session()
-        .cpa(|| Box::new(Rd0Hw));
-    let a = legacy.cpa.cpa(ChannelId::Smc(keys[0])).expect("legacy channel");
-    let b = builder.cpa.cpa(ChannelId::Smc(keys[0])).expect("builder channel");
-    assert_eq!(a.trace_count(), b.trace_count());
-    for byte in 0..16 {
-        let ac = a.correlations(byte);
-        let bc = b.correlations(byte);
-        for guess in 0..256 {
-            assert_eq!(ac[guess].to_bits(), bc[guess].to_bits(), "byte {byte} guess {guess}");
-        }
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_adaptive_matches_legacy_adaptive() {
-    let run_legacy = || {
-        apple_power_sca::core::streaming::stream_tvla_adaptive(
-            Device::MacbookAirM2,
-            VictimKind::UserSpace,
-            SECRET,
-            9,
-            &[key("PHPC")],
-            key("PHPC"),
-            400,
-            2,
-            MitigationConfig::none(),
-        )
-    };
-    let run_builder = || {
-        Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, 9)
-            .keys(&[key("PHPC")])
-            .traces(400)
-            .shards(2)
-            .early_stop(key("PHPC"))
-            .session()
-            .adaptive_tvla()
-    };
-    let legacy = run_legacy();
-    let builder = run_builder();
-    assert!(legacy.stopped_early && builder.stopped_early);
-    // The stop flag crosses threads, so the exact halting round can race
-    // by a round per shard; the detection itself is deterministic.
-    assert!(builder.rounds_collected < 400);
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

@@ -1,16 +1,14 @@
-//! Streaming-vs-batch equivalence: the telemetry pipeline must reproduce
-//! the batch analyses on identical seeded trace sets — single-shard and
-//! sharded-then-merged — within 1e-9.
+//! Streaming-vs-batch equivalence: the block-based telemetry pipeline
+//! must reproduce the batch analyses on identical seeded trace sets —
+//! single-shard and sharded-then-merged — within 1e-9.
 //!
-//! This suite deliberately exercises the deprecated free-function shims:
-//! it is the contract that the legacy surface keeps producing the
-//! historical results for the release it is retained. The builder-native
-//! equivalence suite lives in `tests/campaign_builder.rs`.
-#![allow(deprecated)]
+//! The batch comparators are the retaining collectors
+//! (`Session::tvla_datasets` / `Session::collect`), driven through the
+//! same builder the streaming analyses use, so this suite pins the
+//! streaming O(1)-memory accumulators against whole-dataset
+//! recomputation on the exact same observation streams.
 
-use apple_power_sca::core::campaign::{collect_known_plaintext_parallel, run_tvla_campaign};
-use apple_power_sca::core::streaming::{stream_known_plaintext, stream_tvla_campaign};
-use apple_power_sca::core::{Device, Rig, VictimKind};
+use apple_power_sca::core::{Campaign, Device, Rig, VictimKind};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::tvla::TvlaMatrix;
@@ -41,16 +39,13 @@ fn assert_matrices_close(batch: &TvlaMatrix, streaming: &TvlaMatrix, tol: f64) {
 fn single_shard_tvla_matches_batch_exactly() {
     let keys = [key("PHPC"), key("PSTR")];
     let mut rig = Rig::new(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED);
-    let batch = run_tvla_campaign(&mut rig, &keys, 120);
-    let streaming = stream_tvla_campaign(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        120,
-        1,
-    );
+    let batch = Campaign::over_rig(&mut rig).keys(&keys).traces(120).session().tvla_datasets();
+    let streaming = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(120)
+        .shards(1)
+        .session()
+        .tvla();
     for k in keys {
         let batch_m = batch.per_key[&k].matrix(k.to_string());
         let stream_m = streaming.matrix(k).expect("channel collected");
@@ -71,7 +66,7 @@ fn sharded_tvla_matches_concatenated_batch_shards() {
     let traces_per_class = 100;
     let counts = split_counts(traces_per_class, shards);
 
-    // Batch comparator: run the legacy per-shard campaigns with the same
+    // Batch comparator: run per-shard retained campaigns with the same
     // seed layout, concatenate the raw datasets, compute the matrix.
     let mut first: [Vec<f64>; 3] = Default::default();
     let mut second: [Vec<f64>; 3] = Default::default();
@@ -82,7 +77,8 @@ fn sharded_tvla_matches_concatenated_batch_shards() {
             SECRET,
             SEED.wrapping_add(shard as u64),
         );
-        let campaign = run_tvla_campaign(&mut rig, &keys, count);
+        let campaign =
+            Campaign::over_rig(&mut rig).keys(&keys).traces(count).session().tvla_datasets();
         let sets = &campaign.per_key[&keys[0]];
         for class in 0..3 {
             first[class].extend_from_slice(&sets.first[class]);
@@ -91,15 +87,12 @@ fn sharded_tvla_matches_concatenated_batch_shards() {
     }
     let batch_matrix = TvlaMatrix::compute("PHPC", &first, &second);
 
-    let streaming = stream_tvla_campaign(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        traces_per_class,
-        shards,
-    );
+    let streaming = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(traces_per_class)
+        .shards(shards)
+        .session()
+        .tvla();
     let stream_matrix = streaming.matrix(keys[0]).expect("collected");
     assert_matrices_close(&batch_matrix, &stream_matrix, 1e-9);
     assert_eq!(streaming.bus.dropped, 0, "Block policy is lossless");
@@ -111,28 +104,21 @@ fn sharded_cpa_matches_batch_on_identical_traces() {
     let shards = 4;
     let n = 1200;
 
-    let batch_sets = collect_known_plaintext_parallel(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        n,
-        shards,
-    );
+    let batch_sets = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(n)
+        .shards(shards)
+        .session()
+        .collect();
     let mut batch = Cpa::new(Box::new(Rd0Hw));
     batch.add_set(&batch_sets[&keys[0]]);
 
-    let streaming = stream_known_plaintext(
-        Device::MacbookAirM2,
-        VictimKind::UserSpace,
-        SECRET,
-        SEED,
-        &keys,
-        n,
-        shards,
-        || Box::new(Rd0Hw),
-    );
+    let streaming = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, SEED)
+        .keys(&keys)
+        .traces(n)
+        .shards(shards)
+        .session()
+        .cpa(|| Box::new(Rd0Hw));
     let stream_cpa =
         streaming.cpa.cpa(apple_power_sca::telemetry::ChannelId::Smc(keys[0])).expect("registered");
 
@@ -156,16 +142,12 @@ fn sharded_cpa_matches_batch_on_identical_traces() {
 fn streaming_campaign_is_deterministic_per_seed() {
     let keys = [key("PHPC")];
     let run = |seed: u64| {
-        let report = stream_known_plaintext(
-            Device::MacbookAirM2,
-            VictimKind::UserSpace,
-            SECRET,
-            seed,
-            &keys,
-            200,
-            3,
-            || Box::new(Rd0Hw),
-        );
+        let report = Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, SECRET, seed)
+            .keys(&keys)
+            .traces(200)
+            .shards(3)
+            .session()
+            .cpa(|| Box::new(Rd0Hw));
         let cpa = report
             .cpa
             .cpa(apple_power_sca::telemetry::ChannelId::Smc(keys[0]))
