@@ -11,6 +11,14 @@
 //! real campaign drivers recycle processed blocks back to the producer,
 //! so live pipelines do strictly better than the benched figure.
 //!
+//! Also measures the observability tax: the same per-block pipeline
+//! with the campaign drivers' consume-side instrumentation (two clock
+//! reads and a histogram/counter update per block) against the
+//! uninstrumented loop — the `metrics_overhead_pct` datapoint backing
+//! the "zero-cost when off, a few percent when on" contract (when off,
+//! no instrumentation code runs at all, so the off path IS the
+//! uninstrumented number).
+//!
 //! Also tracks the branch-free `Cpa::correlations_into` sweep against
 //! the pre-rewrite number (the skip-empty-bin loop over the 16-byte
 //! `Bin` array, recorded from `BENCH_leakage.json` on this container).
@@ -31,10 +39,12 @@ use psc_sca::tvla::PlaintextClass;
 use psc_smc::key::key;
 use psc_telemetry::block::EventBlock;
 use psc_telemetry::event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+use psc_telemetry::metrics::{names, MetricsRegistry};
 use psc_telemetry::processor::Pump;
 use psc_telemetry::processors::StreamingTvla;
 use psc_telemetry::ring::{channel, OverflowPolicy};
 use std::sync::Arc;
+use std::time::Instant;
 
 const BENCH: &str = "bus_kernels";
 /// Observations per measured pipeline iteration.
@@ -130,6 +140,37 @@ fn main() {
     let per_block = per_block_total / OBS as f64;
     println!("{BENCH}/pipeline/per_block{:<16} per obs:    {per_block:>10.1} ns", "");
 
+    // Same per-block loop with the campaign drivers' consume-side
+    // instrumentation: a block/observation counter bump and a timed
+    // dispatch recorded into the `consume.on_block_ns` histogram —
+    // exactly what `Session::pump_blocks` does when metrics are on.
+    let registry = MetricsRegistry::new();
+    let blocks_ctr = registry.counter(names::BUS_BLOCKS);
+    let obs_ctr = registry.counter(names::BUS_OBS);
+    let consume_ns = registry.histogram(names::CONSUME_BLOCK_NS);
+    let (tx, rx) = channel(prebuilt.len(), OverflowPolicy::Block);
+    let mut tvla = StreamingTvla::new();
+    let mut pump = Pump::new();
+    pump.attach(&mut tvla);
+    let per_block_metrics_total = measure_ns(BENCH, "pipeline/per_block_metrics_512obs", || {
+        for block in &prebuilt {
+            tx.send(block.clone()).expect("receiver alive");
+        }
+        while let Some(block) = rx.try_recv() {
+            blocks_ctr.inc();
+            obs_ctr.add(block.len() as u64);
+            let started = Instant::now();
+            pump.dispatch_block(&block);
+            consume_ns.record(started.elapsed().as_nanos() as u64);
+        }
+    });
+    let per_block_metrics = per_block_metrics_total / OBS as f64;
+    let metrics_overhead_pct = (per_block_metrics / per_block - 1.0) * 100.0;
+    println!(
+        "{BENCH}/pipeline/per_block_metrics{:<8} per obs:    {per_block_metrics:>10.1} ns",
+        ""
+    );
+
     // --- Correlations: branch-free sweep vs recorded baseline -------------
     let table = Arc::new(HypTable::for_model(&Rd0Hw));
     let mut cpa = Cpa::with_table(Box::new(Rd0Hw), Arc::clone(&table));
@@ -155,6 +196,7 @@ fn main() {
     let correlations_speedup = CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS / correlations;
     println!();
     println!("per-block vs per-event pipeline: {pipeline_speedup:.2}x");
+    println!("metrics-on per-block overhead:   {metrics_overhead_pct:+.1}%");
     println!(
         "branch-free correlations vs pre-rewrite ({CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS:.0} ns): \
          {correlations_speedup:.2}x"
@@ -164,6 +206,8 @@ fn main() {
     let mut json = json_header(BENCH);
     json_field(&mut json, "per_event_pipeline_ns_per_obs", per_event);
     json_field(&mut json, "per_block_pipeline_ns_per_obs", per_block);
+    json_field(&mut json, "per_block_pipeline_metrics_ns_per_obs", per_block_metrics);
+    json_field(&mut json, "metrics_overhead_pct", metrics_overhead_pct);
     json_field(&mut json, "block_pipeline_speedup", pipeline_speedup);
     json_field(&mut json, "cpa_correlations_one_byte_ns", correlations);
     json_field(

@@ -43,16 +43,22 @@ use psc_sca::tvla::TvlaMatrix;
 use psc_smc::{MitigationConfig, SmcKey};
 use psc_telemetry::block::EventBlock;
 use psc_telemetry::event::ChannelId;
+use psc_telemetry::metrics::{
+    names, Counter, Gauge, Histogram, MetricsRegistry, MetricsReport, MetricsSnapshot,
+};
 use psc_telemetry::processor::{Processor, Pump};
 use psc_telemetry::processors::{
-    DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
+    CadenceCheckpoint, DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla,
+    ThrottleMonitor, TraceCollector,
 };
 use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy, Receiver, Sender};
+use psc_telemetry::spans::SpanTracer;
 use psc_telemetry::{run_sharded, split_counts};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Bounded capacity of each shard's bus, in [`EventBlock`]s. With
 /// `Block` overflow this is pure backpressure: a slow consumer throttles
@@ -75,8 +81,9 @@ pub const ADAPTIVE_MIN_TRACES: u64 = 24;
 /// [`Campaign::record_to`] is active.
 pub const RECORD_SHARD_CAPACITY: usize = 4096;
 
-/// Cadence-monitor poll interval (simulated seconds).
-const MONITOR_INTERVAL_S: f64 = 64.0;
+/// Default cadence-monitor poll interval (simulated seconds); override
+/// with [`Campaign::monitor`].
+pub const MONITOR_INTERVAL_S: f64 = 64.0;
 /// Cadence-monitor retention (checkpoints).
 const MONITOR_DEPTH: usize = 64;
 
@@ -117,6 +124,18 @@ pub struct CampaignSpec {
     pub record_dir: Option<PathBuf>,
     /// Traces per recorder shard file.
     pub record_shard_capacity: usize,
+    /// Collect pipeline metrics (one [`MetricsRegistry`] per shard,
+    /// merged into the report's [`MetricsReport`]). Off by default: the
+    /// uninstrumented path allocates no registry and reads no clock.
+    pub metrics: bool,
+    /// Cadence-monitor poll interval, simulated seconds.
+    pub monitor_interval_s: f64,
+    /// When set, a progress line (obs/sec, drop rate, ETA) is printed to
+    /// stderr roughly every this many wall-clock seconds.
+    pub progress_interval_s: Option<f64>,
+    /// When set, campaign→shard→stage spans are recorded into this
+    /// tracer (see [`SpanTracer::to_chrome_json`]).
+    pub tracer: Option<Arc<SpanTracer>>,
 }
 
 impl Default for CampaignSpec {
@@ -129,6 +148,10 @@ impl Default for CampaignSpec {
             early_stop: None,
             record_dir: None,
             record_shard_capacity: RECORD_SHARD_CAPACITY,
+            metrics: false,
+            monitor_interval_s: MONITOR_INTERVAL_S,
+            progress_interval_s: None,
+            tracer: None,
         }
     }
 }
@@ -239,6 +262,53 @@ impl<'s> Campaign<'s> {
         self
     }
 
+    /// Collect pipeline metrics: bus blocks/observations and drops,
+    /// ring high-water marks, recycle hit/miss, source-fill and
+    /// per-block dispatch latency histograms, denied reads, recorder
+    /// I/O errors. One registry per shard, merged into the report's
+    /// [`MetricsReport`] exactly like the analysis accumulators.
+    #[must_use]
+    pub fn metrics(mut self) -> Self {
+        self.spec.metrics = true;
+        self
+    }
+
+    /// Poll the cadence monitor every `interval_s` simulated seconds
+    /// (default [`MONITOR_INTERVAL_S`]). The per-shard
+    /// [`CadenceCheckpoint`]s land in the report's `shard_cadence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0`.
+    #[must_use]
+    pub fn monitor(mut self, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "monitor interval must be positive");
+        self.spec.monitor_interval_s = interval_s;
+        self
+    }
+
+    /// Print a progress line (observations, obs/sec, drop rate, ETA) to
+    /// stderr roughly every `interval_s` wall-clock seconds. Implies
+    /// metric collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0`.
+    #[must_use]
+    pub fn progress(mut self, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "progress interval must be positive");
+        self.spec.progress_interval_s = Some(interval_s);
+        self
+    }
+
+    /// Record campaign→shard→stage spans into `tracer`; serialize with
+    /// [`SpanTracer::to_chrome_json`] after the run.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<SpanTracer>) -> Self {
+        self.spec.tracer = Some(tracer);
+        self
+    }
+
     /// Freeze the description into a runnable [`Session`].
     #[must_use]
     pub fn session(self) -> Session<'s> {
@@ -264,12 +334,25 @@ pub struct StreamingTvlaReport {
     /// Merged cadence totals (per-shard checkpoints are not merged —
     /// shard timelines are independent).
     pub monitor: ThrottleMonitor,
-    /// Bus counters summed over shards, counted in [`EventBlock`]s.
+    /// Bus counters summed over shards (`high_water` is the max), counted
+    /// in [`EventBlock`]s.
     pub bus: ChannelStats,
     /// The requested SMC keys, in request order.
     pub keys: Vec<SmcKey>,
     /// Worker count the campaign ran with.
     pub shards: usize,
+    /// Recorder write failures summed over shards (0 when not
+    /// recording). Nonzero also warns on stderr at merge time.
+    pub io_errors: u64,
+    /// The most recent recorder write failure, if any.
+    pub recorder_error: Option<String>,
+    /// Each shard's retained [`CadenceCheckpoint`]s, in shard order
+    /// (empty per shard unless observations flowed; see
+    /// [`Campaign::monitor`] for the poll interval).
+    pub shard_cadence: Vec<Vec<CadenceCheckpoint>>,
+    /// Merged pipeline metrics (`None` unless [`Campaign::metrics`] or
+    /// [`Campaign::progress`] was set).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl StreamingTvlaReport {
@@ -308,12 +391,23 @@ pub struct StreamingCpaReport {
     pub cpa: StreamingCpa,
     /// Merged cadence totals.
     pub monitor: ThrottleMonitor,
-    /// Bus counters summed over shards, counted in [`EventBlock`]s.
+    /// Bus counters summed over shards (`high_water` is the max), counted
+    /// in [`EventBlock`]s.
     pub bus: ChannelStats,
     /// The requested SMC keys, in request order.
     pub keys: Vec<SmcKey>,
     /// Worker count the campaign ran with.
     pub shards: usize,
+    /// Recorder write failures summed over shards (0 when not
+    /// recording). Nonzero also warns on stderr at merge time.
+    pub io_errors: u64,
+    /// The most recent recorder write failure, if any.
+    pub recorder_error: Option<String>,
+    /// Each shard's retained [`CadenceCheckpoint`]s, in shard order.
+    pub shard_cadence: Vec<Vec<CadenceCheckpoint>>,
+    /// Merged pipeline metrics (`None` unless [`Campaign::metrics`] or
+    /// [`Campaign::progress`] was set).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl StreamingCpaReport {
@@ -329,6 +423,177 @@ fn add_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
         accepted: a.accepted + b.accepted,
         dropped: a.dropped + b.dropped,
         delivered: a.delivered + b.delivered,
+        // Peak occupancy merges like a gauge: the fleet's peak is the
+        // worst shard's peak, not a sum over independent buses.
+        high_water: a.high_water.max(b.high_water),
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A full disk must not masquerade as a successful campaign: recorder
+/// write failures are surfaced in the report *and* loudly on stderr.
+fn warn_io_errors(tally: &RecorderTally) {
+    if tally.io_errors > 0 {
+        eprintln!(
+            "[psc] warning: {} recorder I/O error(s) — recorded output is incomplete{}",
+            tally.io_errors,
+            tally.last_error.as_deref().map(|e| format!(" (last: {e})")).unwrap_or_default()
+        );
+    }
+}
+
+/// Pre-resolved metric handles for one shard's hot paths: producers and
+/// consumers touch these atomics directly, never the registry lock.
+/// Every instrumentation point in the driver is gated on
+/// `Option<&ShardInstruments>` — with observability off no clock is read
+/// and no atomic is touched, so the uninstrumented pipeline is
+/// bit-identical to the pre-observability one.
+pub(crate) struct ShardInstruments {
+    fill_ns: Arc<Histogram>,
+    consume_ns: Arc<Histogram>,
+    blocks: Arc<Counter>,
+    obs: Arc<Counter>,
+    recycle_hits: Arc<Counter>,
+    recycle_misses: Arc<Counter>,
+    denied_reads: Arc<Counter>,
+    recorder_io_errors: Arc<Counter>,
+    recorder_traces: Arc<Counter>,
+    bus_dropped: Arc<Counter>,
+    bus_high_water: Arc<Gauge>,
+    recycle_dropped: Arc<Counter>,
+    units: Arc<Counter>,
+}
+
+impl ShardInstruments {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            fill_ns: registry.histogram(names::SOURCE_FILL_NS),
+            consume_ns: registry.histogram(names::CONSUME_BLOCK_NS),
+            blocks: registry.counter(names::BUS_BLOCKS),
+            obs: registry.counter(names::BUS_OBS),
+            recycle_hits: registry.counter(names::RECYCLE_HITS),
+            recycle_misses: registry.counter(names::RECYCLE_MISSES),
+            denied_reads: registry.counter(names::DENIED_READS),
+            recorder_io_errors: registry.counter(names::RECORDER_IO_ERRORS),
+            recorder_traces: registry.counter(names::RECORDER_TRACES),
+            bus_dropped: registry.counter(names::BUS_DROPPED),
+            bus_high_water: registry.gauge(names::BUS_HIGH_WATER),
+            recycle_dropped: registry.counter(names::RECYCLE_DROPPED),
+            units: registry.counter(names::SOURCE_UNITS),
+        }
+    }
+
+    /// Fold the shard's end-of-run channel stats into the registry
+    /// (drops and high-water live in the ring until the bus is drained).
+    fn finish(&self, bus: ChannelStats, recycle: ChannelStats, produced: usize) {
+        self.bus_dropped.add(bus.dropped);
+        self.bus_high_water.set_max(bus.high_water);
+        self.recycle_dropped.add(recycle.dropped);
+        self.units.add(produced as u64);
+    }
+}
+
+/// Per-campaign observability state: one registry per shard (merged at
+/// the end, and live-merged by the progress thread), plus the campaign
+/// start instant for wall-clock rates.
+struct Observability {
+    registries: Vec<Arc<MetricsRegistry>>,
+    started: Instant,
+}
+
+impl Observability {
+    fn merged_snapshot(registries: &[Arc<MetricsRegistry>]) -> MetricsSnapshot {
+        registries.iter().map(|r| r.snapshot()).fold(MetricsSnapshot::default(), |a, b| a.merged(b))
+    }
+
+    fn report(&self, shards: usize) -> MetricsReport {
+        MetricsReport {
+            wall_s: self.started.elapsed().as_secs_f64(),
+            shards,
+            snapshot: Self::merged_snapshot(&self.registries),
+        }
+    }
+}
+
+/// What the shard recorders left behind (recorders live and die inside
+/// the consume closure; their failure accounting must escape it).
+#[derive(Debug, Clone, Default)]
+struct RecorderTally {
+    io_errors: u64,
+    traces: u64,
+    last_error: Option<String>,
+}
+
+impl RecorderTally {
+    fn of(recorders: &[ShardRecorder]) -> Self {
+        let mut tally = Self::default();
+        for r in recorders {
+            tally.io_errors += r.io_errors();
+            tally.traces += r.traces_recorded();
+            if let Some(e) = r.last_error() {
+                tally.last_error = Some(e.to_owned());
+            }
+        }
+        tally
+    }
+}
+
+/// The periodic stderr progress line: a detached thread live-merging the
+/// per-shard registries. Joined (via [`ProgressHandle::finish`]) before
+/// the campaign report is assembled.
+struct ProgressHandle {
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressHandle {
+    fn spawn(
+        registries: Vec<Arc<MetricsRegistry>>,
+        started: Instant,
+        interval_s: f64,
+        expected_obs: u64,
+    ) -> Self {
+        let done = Arc::new(AtomicBool::new(false));
+        let done_flag = Arc::clone(&done);
+        let shards = registries.len();
+        let handle = std::thread::spawn(move || {
+            let mut next_s = interval_s;
+            while !done_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                let elapsed_s = started.elapsed().as_secs_f64();
+                if elapsed_s < next_s {
+                    continue;
+                }
+                next_s = elapsed_s + interval_s;
+                let report = MetricsReport {
+                    wall_s: elapsed_s,
+                    shards,
+                    snapshot: Observability::merged_snapshot(&registries),
+                };
+                let observations = report.observations();
+                let rate = report.obs_per_s();
+                let eta = if expected_obs > observations && rate > 0.0 {
+                    format!(", eta {:.0}s", (expected_obs - observations) as f64 / rate)
+                } else {
+                    String::new()
+                };
+                eprintln!(
+                    "[psc] progress: {observations} obs, {rate:.0} obs/s, drop {:.2}%{eta}",
+                    report.drop_rate() * 100.0
+                );
+            }
+        });
+        Self { done, handle: Some(handle) }
+    }
+
+    fn finish(mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -360,15 +625,43 @@ impl Session<'_> {
             .collect()
     }
 
+    /// Per-shard metric registries when observability is on (`None`
+    /// otherwise — the off path allocates nothing and reads no clock).
+    fn observability(&self) -> Option<Observability> {
+        (self.spec.metrics || self.spec.progress_interval_s.is_some()).then(|| Observability {
+            registries: (0..self.shards).map(|_| Arc::new(MetricsRegistry::new())).collect(),
+            started: Instant::now(),
+        })
+    }
+
+    /// The campaign-level span (lane 0 of the trace), when tracing.
+    fn campaign_span(&self, name: &'static str) -> Option<psc_telemetry::spans::SpanGuard<'_>> {
+        self.spec.tracer.as_deref().map(|t| {
+            t.name_thread(0, "campaign");
+            t.span(name, "campaign", 0)
+        })
+    }
+
+    /// Start the stderr progress thread when requested.
+    fn progress(&self, obs: Option<&Observability>, expected_obs: u64) -> Option<ProgressHandle> {
+        let interval_s = self.spec.progress_interval_s?;
+        let obs = obs?;
+        Some(ProgressHandle::spawn(obs.registries.clone(), obs.started, interval_s, expected_obs))
+    }
+
     /// The generic producer/consumer fan-out: one bounded block bus per
     /// shard, the source producing on a scoped thread, `consume` draining
     /// on the shard's worker thread. A small recycle lane hands processed
     /// blocks back to the producer, so the steady state moves columnar
-    /// batches back and forth without allocating. Returns per-shard
+    /// batches back and forth without allocating. When observability is
+    /// on, the producer side records source-fill latency, block/obs
+    /// throughput and recycle hit/miss into the shard's registry, and
+    /// stage spans land in the spec's tracer. Returns per-shard
     /// `(consumer state, bus stats, schedule units produced)` in shard
     /// order.
     fn fan_out<T, FS, FC>(
         &self,
+        obs: Option<&Observability>,
         stop: &AtomicBool,
         schedule_for: FS,
         consume: FC,
@@ -376,47 +669,105 @@ impl Session<'_> {
     where
         T: Send,
         FS: Fn(usize) -> Schedule + Sync,
-        FC: Fn(usize, &Receiver<EventBlock>, &Sender<EventBlock>) -> T + Sync,
+        FC: Fn(usize, &Receiver<EventBlock>, &Sender<EventBlock>, Option<&ShardInstruments>) -> T
+            + Sync,
     {
         let source = self.source.as_ref();
         let spec = &self.spec;
+        let tracer = self.spec.tracer.as_deref();
         run_sharded(self.shards, |i| {
             let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
             let (recycle_tx, recycle_rx) = channel(RECYCLE_CAPACITY, OverflowPolicy::DropNewest);
             let schedule = schedule_for(i);
+            let ins = obs.map(|o| ShardInstruments::new(&o.registries[i]));
+            let produce_tid = 1 + 2 * i as u64;
+            let consume_tid = 2 + 2 * i as u64;
+            if let Some(t) = tracer {
+                t.name_thread(produce_tid, format!("shard{i} producer"));
+                t.name_thread(consume_tid, format!("shard{i} consumer"));
+            }
             std::thread::scope(|scope| {
+                let ins_ref = ins.as_ref();
                 let producer = scope.spawn(move || {
+                    let _span =
+                        tracer.map(|t| t.span(format!("shard{i}/produce"), "stage", produce_tid));
                     let plan = ShardPlan {
                         shard: i,
                         keys: &spec.keys,
                         mitigation: spec.mitigation,
                         schedule,
                     };
+                    // Fill latency is timed sink-to-sink on the producer
+                    // thread (send/backpressure wait excluded), so every
+                    // TraceSource is covered without per-source hooks.
+                    let mut fill_start = ins_ref.map(|_| Instant::now());
                     source.run_shard(
                         &plan,
                         &mut |block| {
+                            if let (Some(ins), Some(t0)) = (ins_ref, fill_start) {
+                                ins.fill_ns.record(elapsed_ns(t0));
+                                ins.blocks.inc();
+                                ins.obs.add(block.len() as u64);
+                            }
                             // Swap the source's filled block for a
                             // recycled (or fresh) empty one and ship it.
-                            let fresh = recycle_rx.try_recv().unwrap_or_default();
+                            let fresh = match recycle_rx.try_recv() {
+                                Some(recycled) => {
+                                    if let Some(ins) = ins_ref {
+                                        ins.recycle_hits.inc();
+                                    }
+                                    recycled
+                                }
+                                None => {
+                                    if let Some(ins) = ins_ref {
+                                        ins.recycle_misses.inc();
+                                    }
+                                    EventBlock::default()
+                                }
+                            };
                             let filled = std::mem::replace(block, fresh);
                             tx.send(filled).expect("consumer alive");
+                            if fill_start.is_some() {
+                                fill_start = Some(Instant::now());
+                            }
                         },
                         stop,
                     )
                 });
-                let out = consume(i, &rx, &recycle_tx);
+                let out = {
+                    let _span =
+                        tracer.map(|t| t.span(format!("shard{i}/consume"), "stage", consume_tid));
+                    consume(i, &rx, &recycle_tx, ins_ref)
+                };
                 let stats = rx.stats();
                 let produced = producer.join().expect("producer shard panicked");
+                if let Some(ins) = ins_ref {
+                    ins.finish(stats, recycle_tx.stats(), produced);
+                }
                 (out, stats, produced)
             })
         })
     }
 
     /// Drain a shard's block bus through `pump`, returning each processed
-    /// block to the producer's recycle lane.
-    fn pump_blocks(pump: &mut Pump<'_>, rx: &Receiver<EventBlock>, recycle: &Sender<EventBlock>) {
+    /// block to the producer's recycle lane. With instruments on, each
+    /// block's full dispatch is timed into the `consume.on_block_ns`
+    /// histogram.
+    fn pump_blocks(
+        pump: &mut Pump<'_>,
+        rx: &Receiver<EventBlock>,
+        recycle: &Sender<EventBlock>,
+        ins: Option<&ShardInstruments>,
+    ) {
         while let Some(block) = rx.recv() {
-            pump.dispatch_block(&block);
+            match ins {
+                Some(ins) => {
+                    let t0 = Instant::now();
+                    pump.dispatch_block(&block);
+                    ins.consume_ns.record(elapsed_ns(t0));
+                }
+                None => pump.dispatch_block(&block),
+            }
             let _ = recycle.send(block);
         }
         pump.finish();
@@ -424,18 +775,27 @@ impl Session<'_> {
 
     fn merge_tvla(
         &self,
-        results: Vec<((StreamingTvla, ThrottleMonitor), ChannelStats, usize)>,
+        results: Vec<((StreamingTvla, ThrottleMonitor, RecorderTally), ChannelStats, usize)>,
     ) -> (StreamingTvlaReport, usize) {
         let mut merged_tvla = StreamingTvla::new();
-        let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+        let mut merged_monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
         let mut bus = ChannelStats::default();
         let mut produced_total = 0usize;
-        for ((tvla, monitor), stats, produced) in results {
+        let mut shard_cadence = Vec::with_capacity(results.len());
+        let mut tally_total = RecorderTally::default();
+        for ((tvla, monitor, tally), stats, produced) in results {
             merged_tvla = merged_tvla.merged(tvla);
+            shard_cadence.push(monitor.checkpoints().copied().collect());
             merged_monitor = merged_monitor.merged_totals(&monitor);
             bus = add_stats(bus, stats);
             produced_total += produced;
+            tally_total.io_errors += tally.io_errors;
+            tally_total.traces += tally.traces;
+            if let Some(e) = tally.last_error {
+                tally_total.last_error = Some(e);
+            }
         }
+        warn_io_errors(&tally_total);
         (
             StreamingTvlaReport {
                 tvla: merged_tvla,
@@ -443,6 +803,10 @@ impl Session<'_> {
                 bus,
                 keys: self.spec.keys.clone(),
                 shards: self.shards,
+                io_errors: tally_total.io_errors,
+                recorder_error: tally_total.last_error,
+                shard_cadence,
+                metrics: None,
             },
             produced_total,
         )
@@ -458,13 +822,18 @@ impl Session<'_> {
     #[must_use]
     pub fn tvla(self) -> StreamingTvlaReport {
         let counts = split_counts(self.spec.traces, self.shards);
+        let obs = self.observability();
+        // One TVLA trace is 2 passes × 3 classes observations.
+        let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
+        let span = self.campaign_span("campaign/tvla");
         let stop = AtomicBool::new(false);
         let results = self.fan_out(
+            obs.as_ref(),
             &stop,
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |i, rx, recycle| {
+            |i, rx, recycle, ins| {
                 let mut tvla = StreamingTvla::new();
-                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
                 let mut recorders = self.recorders(i);
                 let mut pump = Pump::new();
                 pump.attach(&mut tvla);
@@ -472,11 +841,23 @@ impl Session<'_> {
                 for recorder in &mut recorders {
                     pump.attach(recorder);
                 }
-                Self::pump_blocks(&mut pump, rx, recycle);
-                (tvla, monitor)
+                Self::pump_blocks(&mut pump, rx, recycle, ins);
+                let tally = RecorderTally::of(&recorders);
+                if let Some(ins) = ins {
+                    ins.denied_reads.add(monitor.denied_reads());
+                    ins.recorder_io_errors.add(tally.io_errors);
+                    ins.recorder_traces.add(tally.traces);
+                }
+                (tvla, monitor, tally)
             },
         );
-        self.merge_tvla(results).0
+        drop(span);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
+        let mut report = self.merge_tvla(results).0;
+        report.metrics = obs.map(|o| o.report(self.shards));
+        report
     }
 
     /// Run a TVLA campaign that **stops at the threshold crossing**:
@@ -495,14 +876,19 @@ impl Session<'_> {
         let early =
             self.spec.early_stop.expect("adaptive campaigns need Campaign::early_stop(watch)");
         let counts = split_counts(self.spec.traces, self.shards);
+        let obs = self.observability();
+        // Rounds-to-stop is bounded by the budget: one round is 6 obs.
+        let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
+        let span = self.campaign_span("campaign/adaptive_tvla");
         let stop = AtomicBool::new(false);
         let results = self.fan_out(
+            obs.as_ref(),
             &stop,
             |i| Schedule::AdaptiveRounds { max_rounds: counts[i] },
-            |i, rx, recycle| {
+            |i, rx, recycle, ins| {
                 let mut tvla = StreamingTvla::new();
                 tvla.watch(ChannelId::Smc(early.watch), early.min_per_side);
-                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
                 let mut recorders = self.recorders(i);
                 // A manual pump loop: the consumer must keep draining
                 // (Block backpressure) while checking the early-stop
@@ -511,10 +897,14 @@ impl Session<'_> {
                 // check granularity matches the producers' between-round
                 // stop polling.
                 while let Some(block) = rx.recv() {
+                    let t0 = ins.map(|_| Instant::now());
                     tvla.on_block(&block);
                     monitor.on_block(&block);
                     for recorder in &mut recorders {
                         recorder.on_block(&block);
+                    }
+                    if let (Some(ins), Some(t0)) = (ins, t0) {
+                        ins.consume_ns.record(elapsed_ns(t0));
                     }
                     if !stop.load(Ordering::Relaxed) && tvla.leakage_detected() {
                         stop.store(true, Ordering::Relaxed);
@@ -526,11 +916,22 @@ impl Session<'_> {
                 for recorder in &mut recorders {
                     recorder.on_finish();
                 }
-                (tvla, monitor)
+                let tally = RecorderTally::of(&recorders);
+                if let Some(ins) = ins {
+                    ins.denied_reads.add(monitor.denied_reads());
+                    ins.recorder_io_errors.add(tally.io_errors);
+                    ins.recorder_traces.add(tally.traces);
+                }
+                (tvla, monitor, tally)
             },
         );
+        drop(span);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
         let stopped_early = stop.load(Ordering::Relaxed);
-        let (report, rounds_collected) = self.merge_tvla(results);
+        let (mut report, rounds_collected) = self.merge_tvla(results);
+        report.metrics = obs.map(|o| o.report(self.shards));
         AdaptiveTvlaReport { report, stopped_early, rounds_collected }
     }
 
@@ -554,17 +955,21 @@ impl Session<'_> {
         // (and channels within a shard) clone the Arc instead of
         // recomputing the 512 KB table per accumulator.
         let hyp_table = Arc::new(HypTable::for_model(model_factory().as_ref()));
+        let obs = self.observability();
+        let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
+        let span = self.campaign_span("campaign/cpa");
         let stop = AtomicBool::new(false);
         let results = self.fan_out(
+            obs.as_ref(),
             &stop,
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx, recycle| {
+            |i, rx, recycle, ins| {
                 let mut cpa = StreamingCpa::with_table(
                     self.spec.keys.iter().map(|&k| ChannelId::Smc(k)),
                     model_factory,
                     Arc::clone(&hyp_table),
                 );
-                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
                 let mut recorders = self.recorders(i);
                 let mut pump = Pump::new();
                 pump.attach(&mut cpa);
@@ -572,28 +977,51 @@ impl Session<'_> {
                 for recorder in &mut recorders {
                     pump.attach(recorder);
                 }
-                Self::pump_blocks(&mut pump, rx, recycle);
-                (cpa, monitor)
+                Self::pump_blocks(&mut pump, rx, recycle, ins);
+                let tally = RecorderTally::of(&recorders);
+                if let Some(ins) = ins {
+                    ins.denied_reads.add(monitor.denied_reads());
+                    ins.recorder_io_errors.add(tally.io_errors);
+                    ins.recorder_traces.add(tally.traces);
+                }
+                (cpa, monitor, tally)
             },
         );
+        drop(span);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
 
         let mut merged_cpa: Option<StreamingCpa> = None;
-        let mut merged_monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+        let mut merged_monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
         let mut bus = ChannelStats::default();
-        for ((cpa, monitor), stats, _) in results {
+        let mut shard_cadence = Vec::new();
+        let mut tally_total = RecorderTally::default();
+        for ((cpa, monitor, tally), stats, _) in results {
             merged_cpa = Some(match merged_cpa.take() {
                 None => cpa,
                 Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
             });
+            shard_cadence.push(monitor.checkpoints().copied().collect());
             merged_monitor = merged_monitor.merged_totals(&monitor);
             bus = add_stats(bus, stats);
+            tally_total.io_errors += tally.io_errors;
+            tally_total.traces += tally.traces;
+            if let Some(e) = tally.last_error {
+                tally_total.last_error = Some(e);
+            }
         }
+        warn_io_errors(&tally_total);
         StreamingCpaReport {
             cpa: merged_cpa.expect("at least one shard"),
             monitor: merged_monitor,
             bus,
             keys: self.spec.keys.clone(),
             shards: self.shards,
+            io_errors: tally_total.io_errors,
+            recorder_error: tally_total.last_error,
+            shard_cadence,
+            metrics: obs.map(|o| o.report(self.shards)),
         }
     }
 
@@ -607,18 +1035,26 @@ impl Session<'_> {
     #[must_use]
     pub fn collect(self) -> BTreeMap<SmcKey, TraceSet> {
         let counts = split_counts(self.spec.traces, self.shards);
+        let obs = self.observability();
+        let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
+        let span = self.campaign_span("campaign/collect");
         let stop = AtomicBool::new(false);
         let results = self.fan_out(
+            obs.as_ref(),
             &stop,
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx, recycle| {
+            |i, rx, recycle, ins| {
                 let mut collector = TraceCollector::with_capacity_hint(counts[i]);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
-                Self::pump_blocks(&mut pump, rx, recycle);
+                Self::pump_blocks(&mut pump, rx, recycle, ins);
                 collector
             },
         );
+        drop(span);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
 
         let mut merged: BTreeMap<SmcKey, TraceSet> = self
             .spec
@@ -647,20 +1083,28 @@ impl Session<'_> {
     #[must_use]
     pub fn tvla_datasets(self) -> TvlaCampaign {
         let counts = split_counts(self.spec.traces, self.shards);
+        let obs = self.observability();
+        let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
+        let span = self.campaign_span("campaign/tvla_datasets");
         let stop = AtomicBool::new(false);
         let results = self.fan_out(
+            obs.as_ref(),
             &stop,
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |_i, rx, recycle| {
+            |_i, rx, recycle, ins| {
                 let mut collector = DatasetCollector::new();
-                let mut monitor = ThrottleMonitor::new(MONITOR_INTERVAL_S, MONITOR_DEPTH);
+                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
                 pump.attach(&mut monitor);
-                Self::pump_blocks(&mut pump, rx, recycle);
+                Self::pump_blocks(&mut pump, rx, recycle, ins);
                 (collector, monitor)
             },
         );
+        drop(span);
+        if let Some(progress) = progress {
+            progress.finish();
+        }
 
         let mut campaign = TvlaCampaign::default();
         for &k in &self.spec.keys {

@@ -31,7 +31,8 @@
 //!   pumped back through the same processors as offline replays;
 //! * [`campaign`] — work splitting and the scoped thread fan-out that
 //!   `psc_core`'s session driver uses to shard collection across workers
-//!   and sum-merge the accumulator shards.
+//!   and sum-merge the accumulator shards;
+//! * [`metrics`] / [`spans`] — the observability layer (see below).
 //!
 //! ## The block fast path
 //!
@@ -49,6 +50,38 @@
 //! contract pinned by the workspace `tests/block_equivalence.rs` suite.
 //! Fixed-interval (polling) processors are always driven per event by
 //! [`Pump::dispatch_block`] so their poll grid never shifts.
+//!
+//! ## Observability
+//!
+//! The pipeline's internal state — bus occupancy and drops by
+//! [`OverflowPolicy`], recycle-lane hit/miss, per-block dispatch and
+//! source-fill latency, denied reads, recorder I/O errors, adaptive
+//! rounds-to-stop — is surfaced through two opt-in, zero-cost-when-off
+//! facilities:
+//!
+//! * [`metrics`] — atomic [`Counter`]s, high-water [`Gauge`]s and fixed
+//!   log2-bucket [`Histogram`]s behind a [`MetricsRegistry`]. The driver
+//!   runs **one registry per shard** and merges the per-shard
+//!   [`MetricsSnapshot`]s at the end — counters add, gauges max,
+//!   histograms add bucket-wise — exactly mirroring how
+//!   `TvlaAccumulator::merged` / `Cpa::merge` combine analysis shards,
+//!   so fleet members aggregate metrics the same way they aggregate
+//!   statistics (the law is pinned by proptests). The merged snapshot
+//!   plus wall time form the [`MetricsReport`] embedded in campaign
+//!   reports; canonical metric names live in [`metrics::names`].
+//! * [`spans`] — a [`SpanTracer`] collecting campaign→shard→stage spans
+//!   and emitting them as Chrome trace-event JSON
+//!   ([`SpanTracer::to_chrome_json`]), loadable in Perfetto for a
+//!   flame-chart view of producer/consumer overlap.
+//!
+//! Instrumentation points in the driver are gated behind `Option`
+//! handles: with observability off, no registry or tracer is allocated,
+//! no clock is read, and the pipeline's analysis output stays
+//! bit-identical (metrics only observe — they never steer), with the
+//! overhead of the *on* path measured in `BENCH_bus.json`. The
+//! workspace is air-gapped, so reports and traces are emitted as
+//! hand-rolled JSON and checked with the minimal
+//! [`metrics::validate_json`] parser.
 //!
 //! ## Example
 //!
@@ -91,17 +124,21 @@
 pub mod block;
 pub mod campaign;
 pub mod event;
+pub mod metrics;
 pub mod processor;
 pub mod processors;
 pub mod replay;
 pub mod ring;
+pub mod spans;
 
 pub use block::EventBlock;
 pub use campaign::{run_sharded, split_counts};
 pub use event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsReport, MetricsSnapshot};
 pub use processor::{PollMode, Processor, Pump};
 pub use processors::{
     DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla, ThrottleMonitor, TraceCollector,
 };
 pub use replay::{channel_for_label, replay_recording};
 pub use ring::{channel, ChannelStats, OverflowPolicy, Receiver, RingBuffer, Sender};
+pub use spans::{SpanRecord, SpanTracer};

@@ -1,0 +1,808 @@
+//! Pipeline metrics: atomic counters, gauges and log2-bucket histograms
+//! behind a mergeable [`MetricsRegistry`].
+//!
+//! The campaign pipeline moves columnar blocks across a multi-shard bus
+//! with overflow policies, recycle lanes and adaptive early-stop — state
+//! that a multi-tenant service must be able to *see* to be operated,
+//! admission-controlled or perf-debugged. This module is the vendored-
+//! budget substrate for that visibility:
+//!
+//! * [`Counter`] — a monotone atomic count (blocks shipped, drops,
+//!   denied reads, recorder I/O errors);
+//! * [`Gauge`] — a high-water mark (peak bus occupancy), merged by max;
+//! * [`Histogram`] — a fixed [`BUCKETS`]-slot log2-bucket latency
+//!   histogram (`Processor::on_block` dispatch time, source block-fill
+//!   time) with an exact total sum for mean latency;
+//! * [`MetricsRegistry`] — a name → metric map handing out shared
+//!   [`Arc`] handles, so hot paths touch pre-resolved atomics and never
+//!   the registry lock.
+//!
+//! Everything is **merge-exact**, mirroring the accumulator laws of
+//! `TvlaAccumulator::merged` / `Cpa::merge`: every shard (or fleet
+//! member) runs its own registry, and
+//! [`MetricsSnapshot::merged`] combines the per-shard snapshots into
+//! exactly the totals a single shared registry would have produced —
+//! counters add, gauges max, histograms add bucket-wise. The law is
+//! pinned by `crates/telemetry/tests/proptest_metrics.rs`.
+//!
+//! Instrumentation is **zero-cost when off**: the campaign driver holds
+//! `Option<…>` handles and the uninstrumented path never allocates a
+//! registry, reads a clock, or touches an atomic (bit-identical outputs,
+//! measured in `BENCH_bus.json`).
+//!
+//! There is no JSON dependency in the air-gapped workspace, so
+//! snapshots emit JSON by hand ([`MetricsReport::to_json`]) and
+//! [`validate_json`] provides a minimal parser for tests, examples and
+//! CI to check the artifacts actually parse.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket `i`
+/// (1 ≤ i < BUCKETS-1) holds values in `[2^(i-1), 2^i)`, and the last
+/// bucket holds everything from `2^(BUCKETS-2)` up.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in (see [`BUCKETS`] for the boundaries).
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower and exclusive upper bound of bucket `index`
+/// (`None` = unbounded top bucket).
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, Option<u64>) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, Some(1)),
+        i if i == BUCKETS - 1 => (1u64 << (BUCKETS - 2), None),
+        i => (1u64 << (i - 1), Some(1u64 << i)),
+    }
+}
+
+/// Monotone atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// High-water-mark gauge: records the maximum value observed. Merged by
+/// max across shards (a fleet's peak occupancy is the max of its
+/// members' peaks, not their sum).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Raise the gauge to `value` if it exceeds the current maximum.
+    pub fn set_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current maximum.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed log2-bucket histogram with an exact running sum, sized for
+/// nanosecond latencies (the top bucket only engages beyond ~146 years).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            sum: self.sum(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One registered metric: the shared handle hot paths hold.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`] handle.
+    Counter(Arc<Counter>),
+    /// A [`Gauge`] handle.
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`] handle.
+    Histogram(Arc<Histogram>),
+}
+
+/// A name → metric map handing out shared atomic handles.
+///
+/// The lock is touched only at registration ([`MetricsRegistry::counter`]
+/// and friends resolve once, up front); updates go straight to the
+/// returned [`Arc`]'d atomics. One registry per shard plus
+/// [`MetricsSnapshot::merged`] aggregates exactly like the analysis
+/// accumulators; a single registry shared across threads produces the
+/// same totals (the merge law pinned by the proptests).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inner
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric. Safe to take
+    /// while writers are live (each atomic is read once; the snapshot is
+    /// internally consistent per metric, which is all the merge laws
+    /// need).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        MetricsSnapshot {
+            metrics: inner
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state: total sum plus the non-empty buckets as
+/// `(bucket index, count)` pairs in index order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Mean recorded value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Bucket-wise sum — the histogram merge law. Sums wrap on overflow,
+    /// matching the relaxed `fetch_add` the live histogram uses.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        let mut buckets: BTreeMap<usize, u64> = self.buckets.into_iter().collect();
+        for (i, n) in other.buckets {
+            let slot = buckets.entry(i).or_default();
+            *slot = slot.wrapping_add(n);
+        }
+        Self { sum: self.sum.wrapping_add(other.sum), buckets: buckets.into_iter().collect() }
+    }
+}
+
+/// Frozen value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge maximum.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn merged(self, other: Self) -> Self {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                MetricValue::Counter(a.wrapping_add(b))
+            }
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => MetricValue::Gauge(a.max(b)),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                MetricValue::Histogram(a.merged(b))
+            }
+            (a, b) => panic!("metric kind mismatch in merge: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, mergeable across shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Metric values by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The merge law, mirroring the analysis accumulators: counters add,
+    /// gauges max, histograms add bucket-wise; names union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name holds different metric kinds in the two
+    /// snapshots (a schema error, like merging CPA state under different
+    /// models).
+    #[must_use]
+    pub fn merged(mut self, other: Self) -> Self {
+        for (name, value) in other.metrics {
+            match self.metrics.remove(&name) {
+                None => {
+                    self.metrics.insert(name, value);
+                }
+                Some(mine) => {
+                    self.metrics.insert(name, mine.merged(value));
+                }
+            }
+        }
+        self
+    }
+
+    /// Counter total under `name` (0 when absent or not a counter).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Gauge maximum under `name` (0 when absent or not a gauge).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Histogram state under `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// The canonical metric names the campaign pipeline records, shared by
+/// the session driver, the progress line, benches and tests.
+pub mod names {
+    /// Blocks shipped over the shard buses (counter).
+    pub const BUS_BLOCKS: &str = "bus.blocks";
+    /// Observations shipped over the shard buses (counter).
+    pub const BUS_OBS: &str = "bus.observations";
+    /// Blocks shed by the bus overflow policy (counter).
+    pub const BUS_DROPPED: &str = "bus.dropped_blocks";
+    /// Peak bus occupancy across shards, in blocks (gauge).
+    pub const BUS_HIGH_WATER: &str = "bus.high_water_blocks";
+    /// Recycled blocks reused by producers (counter).
+    pub const RECYCLE_HITS: &str = "recycle.hits";
+    /// Producer block requests that had to allocate fresh (counter).
+    pub const RECYCLE_MISSES: &str = "recycle.misses";
+    /// Blocks shed by the recycle lane's `DropNewest` policy (counter).
+    pub const RECYCLE_DROPPED: &str = "recycle.dropped_blocks";
+    /// Source time to fill one block, nanoseconds (histogram).
+    pub const SOURCE_FILL_NS: &str = "source.fill_ns";
+    /// Schedule units produced: trace rounds for adaptive campaigns —
+    /// the rounds-to-stop metric — traces or traces-per-class otherwise
+    /// (counter).
+    pub const SOURCE_UNITS: &str = "source.units";
+    /// Consumer `Processor::on_block` dispatch time per block,
+    /// nanoseconds (histogram).
+    pub const CONSUME_BLOCK_NS: &str = "consume.on_block_ns";
+    /// Denied SMC reads observed by the cadence monitor (counter).
+    pub const DENIED_READS: &str = "sched.denied_reads";
+    /// Recorder shard-write failures (counter).
+    pub const RECORDER_IO_ERRORS: &str = "recorder.io_errors";
+    /// Traces persisted by the shard recorders (counter).
+    pub const RECORDER_TRACES: &str = "recorder.traces";
+}
+
+/// The observability summary embedded in campaign reports: the merged
+/// per-shard snapshot plus campaign wall time, with derived rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Campaign wall time, seconds.
+    pub wall_s: f64,
+    /// Worker count the campaign ran with.
+    pub shards: usize,
+    /// Merged per-shard metric snapshot.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl MetricsReport {
+    /// Total observations shipped over the buses.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.snapshot.counter(names::BUS_OBS)
+    }
+
+    /// Observations per wall-clock second.
+    #[must_use]
+    pub fn obs_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.observations() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Blocks per wall-clock second.
+    #[must_use]
+    pub fn blocks_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.snapshot.counter(names::BUS_BLOCKS) as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of blocks shed by the bus overflow policy (0.0 under
+    /// `Block` backpressure).
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        let shipped = self.snapshot.counter(names::BUS_BLOCKS);
+        let dropped = self.snapshot.counter(names::BUS_DROPPED);
+        if shipped + dropped == 0 {
+            0.0
+        } else {
+            dropped as f64 / (shipped + dropped) as f64
+        }
+    }
+
+    /// Serialize the report as a JSON object: wall time, shard count,
+    /// derived rates, and every metric (histograms as non-empty
+    /// `[lo, hi, count]` bucket triples plus count/sum/mean).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"observations\": {},\n", self.observations()));
+        out.push_str(&format!("  \"obs_per_s\": {:.3},\n", self.obs_per_s()));
+        out.push_str(&format!("  \"blocks_per_s\": {:.3},\n", self.blocks_per_s()));
+        out.push_str(&format!("  \"drop_rate\": {:.6},\n", self.drop_rate()));
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (name, value) in &self.snapshot.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": ", escape_json(name)));
+            match value {
+                MetricValue::Counter(n) => {
+                    out.push_str(&format!("{{\"type\": \"counter\", \"value\": {n}}}"));
+                }
+                MetricValue::Gauge(n) => {
+                    out.push_str(&format!("{{\"type\": \"gauge\", \"value\": {n}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                         \"buckets\": [",
+                        h.count(),
+                        h.sum,
+                        h.mean()
+                    ));
+                    for (i, &(bucket, count)) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let (lo, hi) = bucket_bounds(bucket);
+                        let hi = hi.map_or_else(|| "null".to_owned(), |h| h.to_string());
+                        out.push_str(&format!("[{lo}, {hi}, {count}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Check that `input` is one syntactically valid JSON value (the
+/// air-gapped workspace has no JSON dependency, so emitted artifacts —
+/// metrics reports, Chrome trace files — are validated with this minimal
+/// recursive-descent parser in tests, examples and CI).
+///
+/// # Errors
+///
+/// Returns a byte offset + message for the first syntax error.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    *pos += 1; // opening quote
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound lands in its bucket");
+            if let Some(hi) = hi {
+                assert_eq!(bucket_index(hi - 1), i, "last value below hi lands in bucket {i}");
+                assert_eq!(bucket_index(hi), i + 1, "hi itself belongs to the next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(registry.snapshot().counter("x"), 4);
+        let g = registry.gauge("peak");
+        g.set_max(7);
+        g.set_max(5);
+        assert_eq!(registry.snapshot().gauge("peak"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        let _c = registry.counter("x");
+        let _g = registry.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_merge_mirrors_accumulator_laws() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("n").add(10);
+        b.counter("n").add(32);
+        a.gauge("peak").set_max(4);
+        b.gauge("peak").set_max(9);
+        a.histogram("lat").record(100);
+        b.histogram("lat").record(100_000);
+        b.counter("only_b").inc();
+        let merged = a.snapshot().merged(b.snapshot());
+        assert_eq!(merged.counter("n"), 42);
+        assert_eq!(merged.gauge("peak"), 9);
+        assert_eq!(merged.counter("only_b"), 1);
+        let h = merged.histogram("lat").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 100_100);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_has_rates() {
+        let registry = MetricsRegistry::new();
+        registry.counter(names::BUS_OBS).add(600);
+        registry.counter(names::BUS_BLOCKS).add(20);
+        registry.gauge(names::BUS_HIGH_WATER).set_max(3);
+        let h = registry.histogram(names::CONSUME_BLOCK_NS);
+        h.record(1500);
+        h.record(90_000);
+        let report = MetricsReport { wall_s: 2.0, shards: 2, snapshot: registry.snapshot() };
+        assert!((report.obs_per_s() - 300.0).abs() < 1e-12);
+        assert!((report.blocks_per_s() - 10.0).abs() < 1e-12);
+        assert!(report.drop_rate().abs() < 1e-12);
+        let json = report.to_json();
+        validate_json(&json).expect("report JSON must parse");
+        assert!(json.contains("\"bus.observations\""));
+        assert!(json.contains("\"type\": \"histogram\""));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, 2.5, -3e4, \"x\\n\", null, true, {}]}").unwrap();
+        validate_json("[]").unwrap();
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("[1, 2").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01abc").is_err());
+    }
+}

@@ -31,6 +31,7 @@ pub struct RingBuffer<T> {
     policy: OverflowPolicy,
     dropped: u64,
     accepted: u64,
+    high_water: u64,
 }
 
 impl<T> RingBuffer<T> {
@@ -42,7 +43,14 @@ impl<T> RingBuffer<T> {
     #[must_use]
     pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
         assert!(capacity > 0, "ring buffer needs capacity >= 1");
-        Self { buf: VecDeque::with_capacity(capacity), capacity, policy, dropped: 0, accepted: 0 }
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            dropped: 0,
+            accepted: 0,
+            high_water: 0,
+        }
     }
 
     /// Queued item count.
@@ -82,6 +90,13 @@ impl<T> RingBuffer<T> {
         self.accepted
     }
 
+    /// Peak queued occupancy ever reached, in items. Tracked under the
+    /// same push path that owns the buffer, so it is exact, not sampled.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
     /// Push under the configured policy. Returns `true` when `item` was
     /// accepted. Under `Block` a full buffer refuses the push (the caller
     /// — e.g. the channel sender — is responsible for waiting and
@@ -101,6 +116,7 @@ impl<T> RingBuffer<T> {
         }
         self.buf.push_back(item);
         self.accepted += 1;
+        self.high_water = self.high_water.max(self.buf.len() as u64);
         true
     }
 
@@ -113,6 +129,7 @@ impl<T> RingBuffer<T> {
         }
         self.buf.push_back(item);
         self.accepted += 1;
+        self.high_water = self.high_water.max(self.buf.len() as u64);
         Ok(())
     }
 
@@ -131,6 +148,8 @@ pub struct ChannelStats {
     pub dropped: u64,
     /// Items handed to the receiver.
     pub delivered: u64,
+    /// Peak queued occupancy, in items (exact, tracked on every push).
+    pub high_water: u64,
 }
 
 struct ChannelState<T> {
@@ -235,6 +254,7 @@ impl<T> Sender<T> {
             accepted: state.ring.accepted(),
             dropped: state.ring.dropped(),
             delivered: state.delivered,
+            high_water: state.ring.high_water(),
         }
     }
 }
@@ -303,6 +323,7 @@ impl<T> Receiver<T> {
             accepted: state.ring.accepted(),
             dropped: state.ring.dropped(),
             delivered: state.delivered,
+            high_water: state.ring.high_water(),
         }
     }
 }
@@ -329,6 +350,23 @@ mod tests {
         assert_eq!(ring.dropped(), 1);
         let drained: Vec<i32> = std::iter::from_fn(|| ring.pop()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut ring = RingBuffer::new(8, OverflowPolicy::Block);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        ring.pop();
+        ring.pop();
+        ring.push(9);
+        assert_eq!(ring.high_water(), 5, "peak was 5, current occupancy is 4");
+        let (tx, rx) = channel::<u8>(4, OverflowPolicy::DropNewest);
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.stats().high_water, 3);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property-based tests for the metrics layer: snapshot merge laws
+//! (the same shape the analysis accumulators obey) and histogram
+//! bucket-boundary invariants.
+
+use proptest::prelude::*;
+use psc_telemetry::metrics::{bucket_bounds, bucket_index, MetricsRegistry, MetricsSnapshot};
+
+/// One instrumentation event: which shard it lands on, which metric
+/// family it updates, and the recorded value.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Counter(u8, u64),
+    Gauge(u8, u64),
+    Histogram(u8, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = (u8, Op)> {
+    let kind = prop_oneof![
+        (0u8..3, any::<u32>()).prop_map(|(n, v)| Op::Counter(n, u64::from(v))),
+        (0u8..3, any::<u32>()).prop_map(|(n, v)| Op::Gauge(n, u64::from(v))),
+        (0u8..3, any::<u64>()).prop_map(|(n, v)| Op::Histogram(n, v)),
+    ];
+    (0u8..4, kind)
+}
+
+fn apply(registry: &MetricsRegistry, op: Op) {
+    match op {
+        Op::Counter(n, v) => registry.counter(&format!("test.counter{n}")).add(v),
+        Op::Gauge(n, v) => registry.gauge(&format!("test.gauge{n}")).set_max(v),
+        Op::Histogram(n, v) => registry.histogram(&format!("test.hist{n}")).record(v),
+    }
+}
+
+fn merged(shards: &[MetricsRegistry]) -> MetricsSnapshot {
+    shards
+        .iter()
+        .map(MetricsRegistry::snapshot)
+        .fold(MetricsSnapshot::default(), |acc, s| acc.merged(s))
+}
+
+proptest! {
+    /// The production topology: one registry per shard, snapshots merged
+    /// at campaign end. The merge must equal a single-registry run over
+    /// the same event stream — exactly the `TvlaAccumulator::merged` /
+    /// `Cpa::merge` law the analysis shards rely on. Counters add,
+    /// gauges max, histograms add bucket-wise; `MetricsSnapshot` is
+    /// `Eq`, so the law is pinned exactly, not within tolerance.
+    #[test]
+    fn sharded_merge_equals_single_registry_run(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let single = MetricsRegistry::new();
+        let shards: Vec<MetricsRegistry> =
+            (0..4).map(|_| MetricsRegistry::new()).collect();
+        for &(shard, op) in &ops {
+            apply(&single, op);
+            apply(&shards[usize::from(shard)], op);
+        }
+        prop_assert_eq!(merged(&shards), single.snapshot());
+    }
+
+    /// Merge order must not matter: shard completion order is a race.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let shards: Vec<MetricsRegistry> =
+            (0..4).map(|_| MetricsRegistry::new()).collect();
+        for &(shard, op) in &ops {
+            apply(&shards[usize::from(shard)], op);
+        }
+        let forward = merged(&shards);
+        let reverse = shards
+            .iter()
+            .rev()
+            .map(MetricsRegistry::snapshot)
+            .fold(MetricsSnapshot::default(), |acc, s| acc.merged(s));
+        let s = |i: usize| shards[i].snapshot();
+        let right_assoc = s(0).merged(s(1).merged(s(2).merged(s(3))));
+        prop_assert_eq!(&forward, &reverse);
+        prop_assert_eq!(&forward, &right_assoc);
+    }
+
+    /// The empty snapshot is the merge identity on both sides.
+    #[test]
+    fn empty_snapshot_is_merge_identity(
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let registry = MetricsRegistry::new();
+        for &(_, op) in &ops {
+            apply(&registry, op);
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.clone().merged(MetricsSnapshot::default()), snap.clone());
+        prop_assert_eq!(MetricsSnapshot::default().merged(snap.clone()), snap);
+    }
+
+    /// Every value lands in a bucket whose bounds contain it: bucket 0
+    /// holds exactly zero, bucket i (i ≥ 1) holds [2^(i-1), 2^i), and
+    /// the top bucket is unbounded above.
+    #[test]
+    fn bucket_bounds_contain_their_values(value in any::<u64>()) {
+        let index = bucket_index(value);
+        prop_assert!(index < 64);
+        let (lo, hi) = bucket_bounds(index);
+        prop_assert!(lo <= value, "lo {lo} > value {value} (bucket {index})");
+        if let Some(hi) = hi {
+            prop_assert!(value < hi, "value {value} >= hi {hi} (bucket {index})");
+        } else {
+            prop_assert_eq!(index, 63, "only the top bucket is unbounded");
+        }
+        if value == 0 {
+            prop_assert_eq!(index, 0);
+        } else {
+            prop_assert!(index >= 1, "bucket 0 holds only zero");
+        }
+    }
+
+    /// Bucket assignment is monotone in the value, and exact powers of
+    /// two open their bucket: 2^k is the smallest value in bucket k+1.
+    #[test]
+    fn bucket_index_is_monotone_and_log2_aligned(a in any::<u64>(), b in any::<u64>(), k in 0u32..62) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let pow = 1u64 << k;
+        prop_assert_eq!(bucket_index(pow), (k + 1) as usize);
+        prop_assert_eq!(bucket_bounds((k + 1) as usize).0, pow);
+        prop_assert_eq!(bucket_index(pow - 1), if k == 0 { 0 } else { k as usize });
+    }
+}

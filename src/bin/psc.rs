@@ -33,7 +33,10 @@ use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
 use apple_power_sca::sca::stats::fisher_interval;
 use apple_power_sca::smc::key::key;
 use apple_power_sca::smc::MitigationConfig;
+use apple_power_sca::telemetry::metrics::{validate_json, MetricsReport};
+use apple_power_sca::telemetry::spans::SpanTracer;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 psc — software power side-channel reproduction toolkit
@@ -51,11 +54,18 @@ COMMANDS:
     campaign [--cpa|--adaptive] [--traces N] [--shards N] [--device m1|m2]
              [--fleet] [--record DIR] [--kernel]
              [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
+             [--metrics FILE] [--trace FILE] [--progress [SECS]]
+             [--monitor SECS]
                               The Campaign-builder drivers (O(1)-memory
                               online TVLA / CPA; --adaptive stops at the
                               TVLA threshold crossing; --fleet fans shards
                               across the M2+M1 device fleet; --record
-                              persists labeled .psct shards for replay).
+                              persists labeled .psct shards for replay;
+                              --metrics writes the pipeline MetricsReport
+                              as JSON, --trace writes campaign spans as
+                              Chrome trace-event JSON for Perfetto,
+                              --progress prints a periodic stderr line,
+                              --monitor sets the cadence poll interval).
                               `stream` is accepted as an alias.
     replay DIR [--cpa] [--key HEX32]
                               Replay recorded .psct shards through the
@@ -171,6 +181,45 @@ fn print_tvla_report(report: &StreamingTvlaReport) {
         report.bus.dropped,
         report.monitor.denied_reads()
     );
+    if report.io_errors > 0 {
+        println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
+    }
+    print_metrics_summary(report.metrics.as_ref());
+}
+
+fn print_metrics_summary(metrics: Option<&MetricsReport>) {
+    if let Some(m) = metrics {
+        println!(
+            "metrics: {:.0} obs/s, {:.0} blocks/s, drop rate {:.2}%, wall {:.2}s",
+            m.obs_per_s(),
+            m.blocks_per_s(),
+            m.drop_rate() * 100.0,
+            m.wall_s
+        );
+    }
+}
+
+/// Write the metrics report / span trace the user asked for with
+/// `--metrics FILE` / `--trace FILE`.
+fn emit_observability(
+    metrics: Option<&MetricsReport>,
+    metrics_out: Option<&str>,
+    tracer: Option<&SpanTracer>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    if let (Some(m), Some(path)) = (metrics, metrics_out) {
+        let json = m.to_json();
+        validate_json(&json).map_err(|e| format!("{path}: emitted invalid JSON: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote metrics report to {path}");
+    }
+    if let (Some(t), Some(path)) = (tracer, trace_out) {
+        let json = t.to_chrome_json();
+        validate_json(&json).map_err(|e| format!("{path}: emitted invalid JSON: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+    }
+    Ok(())
 }
 
 fn print_cpa_report(report: &StreamingCpaReport, secret_key: &[u8; 16]) {
@@ -192,6 +241,10 @@ fn print_cpa_report(report: &StreamingCpaReport, secret_key: &[u8; 16]) {
         report.bus.dropped,
         report.monitor.denied_reads()
     );
+    if report.io_errors > 0 {
+        println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
+    }
+    print_metrics_summary(report.metrics.as_ref());
 }
 
 fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
@@ -204,6 +257,16 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     let kind =
         if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
     let fleet = parse_flag(args, "--fleet");
+    let metrics_out = parse_opt(args, "--metrics");
+    let trace_out = parse_opt(args, "--trace");
+    // `--progress` alone defaults to one line per second; an optional
+    // numeric value overrides the interval.
+    let progress_s = parse_flag(args, "--progress")
+        .then(|| parse_opt(args, "--progress").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0));
+    let monitor_s = parse_opt(args, "--monitor")
+        .map(|s| s.parse::<f64>().map_err(|e| format!("bad --monitor value {s:?}: {e}")))
+        .transpose()?;
+    let tracer = trace_out.is_some().then(|| Arc::new(SpanTracer::new()));
 
     // Fleet campaigns fan one shard per member across both Table 1
     // devices and read the keys they share.
@@ -228,11 +291,23 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         } else {
             Campaign::live(device, kind, cfg.secret_key, cfg.seed)
         };
-        let campaign = campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation);
-        match parse_opt(args, "--record") {
-            Some(dir) => campaign.record_to(dir),
-            None => campaign,
+        let mut campaign = campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation);
+        if let Some(dir) = parse_opt(args, "--record") {
+            campaign = campaign.record_to(dir);
         }
+        if metrics_out.is_some() {
+            campaign = campaign.metrics();
+        }
+        if let Some(interval_s) = progress_s {
+            campaign = campaign.progress(interval_s);
+        }
+        if let Some(interval_s) = monitor_s {
+            campaign = campaign.monitor(interval_s);
+        }
+        if let Some(t) = &tracer {
+            campaign = campaign.tracer(Arc::clone(t));
+        }
+        campaign
     };
 
     if parse_flag(args, "--cpa") {
@@ -251,6 +326,12 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         );
         let report = build(&cpa_keys, traces).session().cpa(|| Box::new(Rd0Hw));
         print_cpa_report(&report, &cfg.secret_key);
+        emit_observability(
+            report.metrics.as_ref(),
+            metrics_out.as_deref(),
+            tracer.as_deref(),
+            trace_out.as_deref(),
+        )?;
         return Ok(());
     }
 
@@ -273,6 +354,13 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         if let Some(matrix) = out.report.matrix(watch) {
             println!("{}", matrix.render());
         }
+        print_metrics_summary(out.report.metrics.as_ref());
+        emit_observability(
+            out.report.metrics.as_ref(),
+            metrics_out.as_deref(),
+            tracer.as_deref(),
+            trace_out.as_deref(),
+        )?;
         return Ok(());
     }
 
@@ -283,6 +371,12 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     );
     let report = build(&keys, traces).session().tvla();
     print_tvla_report(&report);
+    emit_observability(
+        report.metrics.as_ref(),
+        metrics_out.as_deref(),
+        tracer.as_deref(),
+        trace_out.as_deref(),
+    )?;
     Ok(())
 }
 
