@@ -16,6 +16,9 @@
 //!   device fleets ([`Fleet`]);
 //! * [`campaign`] — the retained-dataset shapes ([`TvlaDatasets`],
 //!   [`TvlaCampaign`]) returned by the batch collection runs;
+//! * [`checkpoint`] — campaign checkpoint frames: atomic per-shard
+//!   snapshots behind [`Campaign::checkpoint_to`] /
+//!   [`Campaign::resume_from`];
 //! * [`experiments`] — a runner per table/figure of the paper, with
 //!   paper-format rendering.
 //!
@@ -58,11 +61,51 @@
 //! of recorded shards) or [`Campaign::fleet`] (multi-device campaigns),
 //! add `.record_to(dir)` to persist any streaming campaign, and
 //! `.early_stop(watch)` works with every source.
+//!
+//! ## Failure semantics & recovery
+//!
+//! Long campaigns treat faults in three escalating tiers:
+//!
+//! * **Retried** — transient source-fill errors and recorder batch-write
+//!   failures are retried under the spec's
+//!   [`psc_telemetry::faults::RetryPolicy`] (default: 3 attempts,
+//!   exponential backoff with deterministic jitter). A fault that
+//!   recovers on retry costs nothing but latency: results stay
+//!   bit-identical, and recorder recoveries are counted in the report's
+//!   `io_retries` (distinct from `io_errors`, which are lost batches).
+//! * **Degraded** — a fault that exhausts its retries (or a replay shard
+//!   that cannot be read, a producer death, a failed checkpoint write)
+//!   stops that shard early but keeps everything it accumulated: the
+//!   shard merges into the campaign result and its
+//!   [`session::ShardHealth::Degraded`] entry plus a `warnings` line say
+//!   exactly what was lost.
+//! * **Failed** — a consumer panic destroys that shard's accumulator
+//!   state. The panic is caught at the fan-out join boundary
+//!   ([`session::ShardHealth::Failed`]); the surviving shards still merge
+//!   and the campaign completes instead of aborting.
+//!
+//! Orthogonally, [`Campaign::checkpoint_to`] snapshots every shard's full
+//! consumer state (analysis accumulators, cadence monitor + poll clock,
+//! recorder progress, attacker-RNG position, consumed-prefix counters)
+//! into one atomic `shard-{i:03}.ckpt` frame per shard every N consumed
+//! blocks — codec-v3 framed, CRC-checked and fingerprinted against the
+//! campaign identity. [`Campaign::resume_from`] restores the consumers
+//! and fast-forwards the sources past the consumed prefix
+//! (re-simulating it without emission), so an interrupted TVLA/CPA/
+//! adaptive campaign completes **bit-identically** to an uninterrupted
+//! one on live-rig, fleet and replay sources. Injected faults for testing
+//! all of this live in [`psc_telemetry::faults`] (see
+//! [`Campaign::faults`]).
+//!
+//! [`Campaign::checkpoint_to`]: session::Campaign::checkpoint_to
+//! [`Campaign::resume_from`]: session::Campaign::resume_from
+//! [`Campaign::faults`]: session::Campaign::faults
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod experiments;
 pub mod pmset;
 pub mod rig;
@@ -71,11 +114,14 @@ pub mod source;
 pub mod victim;
 
 pub use campaign::{TvlaCampaign, TvlaDatasets};
+pub use checkpoint::CheckpointConfig;
 pub use experiments::ExperimentConfig;
 pub use rig::{Device, Observation, Rig};
 pub use session::{
-    AdaptiveTvlaReport, Campaign, CampaignSpec, EarlyStop, Session, StreamingCpaReport,
-    StreamingTvlaReport,
+    AdaptiveTvlaReport, Campaign, CampaignSpec, EarlyStop, Session, ShardHealth,
+    StreamingCpaReport, StreamingTvlaReport,
 };
-pub use source::{Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardReplay, TraceSource};
+pub use source::{
+    Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardLog, ShardReplay, TraceSource,
+};
 pub use victim::{AesVictim, VictimKind};

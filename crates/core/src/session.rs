@@ -33,9 +33,15 @@
 //! `tests/campaign_builder.rs`).
 
 use crate::campaign::{TvlaCampaign, TvlaDatasets};
+use crate::checkpoint::{
+    self, CheckpointConfig, ShardResume, ShardSnapshot, KIND_ADAPTIVE, KIND_CPA, KIND_TVLA,
+};
 use crate::rig::{Device, Rig};
-use crate::source::{Fleet, LiveRig, RigSource, Schedule, ShardPlan, ShardReplay, TraceSource};
+use crate::source::{
+    Fleet, LiveRig, RigSource, Schedule, ShardLog, ShardPlan, ShardReplay, TraceSource,
+};
 use crate::victim::VictimKind;
+use psc_sca::checkpoint::{CheckpointError, PayloadReader, PayloadWriter};
 use psc_sca::cpa::HypTable;
 use psc_sca::model::PowerModel;
 use psc_sca::trace::TraceSet;
@@ -43,18 +49,20 @@ use psc_sca::tvla::TvlaMatrix;
 use psc_smc::{MitigationConfig, SmcKey};
 use psc_telemetry::block::EventBlock;
 use psc_telemetry::event::ChannelId;
+use psc_telemetry::faults::{FaultPlan, FaultState, RetryPolicy};
 use psc_telemetry::metrics::{
     names, Counter, Gauge, Histogram, MetricsRegistry, MetricsReport, MetricsSnapshot,
 };
 use psc_telemetry::processor::{Processor, Pump};
 use psc_telemetry::processors::{
-    CadenceCheckpoint, DatasetCollector, ShardRecorder, StreamingCpa, StreamingTvla,
+    CadenceCheckpoint, DatasetCollector, RecorderState, ShardRecorder, StreamingCpa, StreamingTvla,
     ThrottleMonitor, TraceCollector,
 };
 use psc_telemetry::ring::{channel, ChannelStats, OverflowPolicy, Receiver, Sender};
 use psc_telemetry::spans::SpanTracer;
-use psc_telemetry::{run_sharded, split_counts};
+use psc_telemetry::{panic_message, run_sharded_caught, split_counts};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -136,6 +144,22 @@ pub struct CampaignSpec {
     /// When set, campaign→shard→stage spans are recorded into this
     /// tracer (see [`SpanTracer::to_chrome_json`]).
     pub tracer: Option<Arc<SpanTracer>>,
+    /// Periodic checkpointing: where and how often (see
+    /// [`Campaign::checkpoint_to`]).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the per-shard frames under this directory (see
+    /// [`Campaign::resume_from`]).
+    pub resume_dir: Option<PathBuf>,
+    /// Deterministic interrupt: cooperatively stop the campaign after
+    /// any shard has written this many checkpoints (see
+    /// [`Campaign::halt_after`]).
+    pub halt_after: Option<u64>,
+    /// Deterministic fault injection (see [`Campaign::faults`]); `None`
+    /// costs nothing on the hot paths.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for transient source-fill and recorder-write
+    /// failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CampaignSpec {
@@ -152,6 +176,11 @@ impl Default for CampaignSpec {
             monitor_interval_s: MONITOR_INTERVAL_S,
             progress_interval_s: None,
             tracer: None,
+            checkpoint: None,
+            resume_dir: None,
+            halt_after: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -309,6 +338,70 @@ impl<'s> Campaign<'s> {
         self
     }
 
+    /// Periodically snapshot every shard's full analysis state into
+    /// `dir`: one atomic `shard-{i:03}.ckpt` frame per shard, rewritten
+    /// every `every_blocks` consumed blocks (analysis accumulators,
+    /// cadence monitor, recorder progress, RNG stream position and
+    /// consumed-prefix counters). An interrupted campaign then resumes
+    /// **bit-identically** with [`Campaign::resume_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_blocks == 0`.
+    #[must_use]
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>, every_blocks: u64) -> Self {
+        assert!(every_blocks > 0, "checkpoint cadence must be positive");
+        self.spec.checkpoint = Some(CheckpointConfig { dir: dir.into(), every_blocks });
+        self
+    }
+
+    /// Resume an interrupted campaign from the checkpoint frames under
+    /// `dir`: consumers restore their accumulators and sources
+    /// fast-forward past the consumed prefix (re-simulating it without
+    /// emission), so the completed run's report is bit-identical to an
+    /// uninterrupted one. Shards without a frame start fresh. Combine
+    /// with [`Campaign::checkpoint_to`] to keep checkpointing across
+    /// resumes. The streaming analyses honour this; the retaining batch
+    /// collectors ([`Session::collect`], [`Session::tvla_datasets`]) do
+    /// not checkpoint.
+    #[must_use]
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.resume_dir = Some(dir.into());
+        self
+    }
+
+    /// Deterministic interrupt: cooperatively stop the campaign after
+    /// any shard has written `n` checkpoints — the "interrupt" half of
+    /// the interrupt/resume cycle (used by the CI resume smoke test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn halt_after(mut self, n: u64) -> Self {
+        assert!(n > 0, "halt_after needs at least one checkpoint");
+        self.spec.halt_after = Some(n);
+        self
+    }
+
+    /// Arm deterministic fault injection: transient source errors,
+    /// recorder write failures, an injected consumer panic. Costs
+    /// nothing when unset; see [`FaultPlan`].
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.spec.faults = Some(plan);
+        self
+    }
+
+    /// Retry policy for transient source-fill and recorder-write
+    /// failures (default: 3 attempts, exponential backoff with
+    /// deterministic jitter).
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.spec.retry = policy;
+        self
+    }
+
     /// Freeze the description into a runnable [`Session`].
     #[must_use]
     pub fn session(self) -> Session<'s> {
@@ -323,6 +416,36 @@ pub struct Session<'s> {
     spec: CampaignSpec,
     source: Box<dyn TraceSource + 's>,
     shards: usize,
+}
+
+/// Health of one campaign shard after the run — the graceful-degradation
+/// contract: a fault on one shard never discards the statistics the
+/// surviving shards already paid for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Produced and consumed its full schedule.
+    Ok,
+    /// Completed with losses (retries exhausted, replay read failures,
+    /// a producer death, a failed checkpoint write); the statistics it
+    /// did accumulate are kept and merged.
+    Degraded {
+        /// What went wrong, one note per event.
+        reason: String,
+    },
+    /// The consumer died (panic) — its accumulator state is lost and
+    /// nothing from this shard is merged.
+    Failed {
+        /// The panic message, plus any degradation notes.
+        reason: String,
+    },
+}
+
+impl ShardHealth {
+    /// Whether the shard completed cleanly.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ShardHealth::Ok)
+    }
 }
 
 /// Merged result of a sharded streaming TVLA campaign.
@@ -353,6 +476,15 @@ pub struct StreamingTvlaReport {
     /// Merged pipeline metrics (`None` unless [`Campaign::metrics`] or
     /// [`Campaign::progress`] was set).
     pub metrics: Option<MetricsReport>,
+    /// Per-shard health, in shard order. [`ShardHealth::Failed`] shards
+    /// contributed nothing to the merged accumulators.
+    pub health: Vec<ShardHealth>,
+    /// Human-readable degradation warnings (shard health, bus drops,
+    /// recorder failures) — each also printed to stderr at merge time.
+    pub warnings: Vec<String>,
+    /// Transient recorder write failures that succeeded on retry,
+    /// summed over shards (recovered, not lost — contrast `io_errors`).
+    pub io_retries: u64,
 }
 
 impl StreamingTvlaReport {
@@ -408,6 +540,15 @@ pub struct StreamingCpaReport {
     /// Merged pipeline metrics (`None` unless [`Campaign::metrics`] or
     /// [`Campaign::progress`] was set).
     pub metrics: Option<MetricsReport>,
+    /// Per-shard health, in shard order. [`ShardHealth::Failed`] shards
+    /// contributed nothing to the merged accumulators.
+    pub health: Vec<ShardHealth>,
+    /// Human-readable degradation warnings (shard health, bus drops,
+    /// recorder failures) — each also printed to stderr at merge time.
+    pub warnings: Vec<String>,
+    /// Transient recorder write failures that succeeded on retry,
+    /// summed over shards (recovered, not lost — contrast `io_errors`).
+    pub io_retries: u64,
 }
 
 impl StreamingCpaReport {
@@ -433,15 +574,55 @@ fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Degradation must never be silent: every warning collected on a report
+/// is also echoed to stderr at merge time.
+fn emit_warnings(warnings: &[String]) {
+    for w in warnings {
+        eprintln!("[psc] warning: {w}");
+    }
+}
+
+/// Fold one shard's end-of-run condition into the campaign warnings:
+/// non-`Ok` health, event blocks shed on the bus (data loss) and recycle
+/// blocks shed on the return lane (allocation churn only).
+fn shard_warnings(
+    warnings: &mut Vec<String>,
+    shard: usize,
+    health: &ShardHealth,
+    stats: &ChannelStats,
+    recycle_dropped: u64,
+) {
+    match health {
+        ShardHealth::Ok => {}
+        ShardHealth::Degraded { reason } => {
+            warnings.push(format!("shard {shard} degraded: {reason}"));
+        }
+        ShardHealth::Failed { reason } => {
+            warnings
+                .push(format!("shard {shard} failed and was excluded from the merge: {reason}"));
+        }
+    }
+    if stats.dropped > 0 {
+        warnings
+            .push(format!("shard {shard}: {} event block(s) dropped on the bus", stats.dropped));
+    }
+    if recycle_dropped > 0 {
+        warnings.push(format!(
+            "shard {shard}: {recycle_dropped} recycle block(s) dropped \
+             (allocation churn, no data loss)"
+        ));
+    }
+}
+
 /// A full disk must not masquerade as a successful campaign: recorder
-/// write failures are surfaced in the report *and* loudly on stderr.
-fn warn_io_errors(tally: &RecorderTally) {
+/// write failures that exhausted their retries join the warnings.
+fn recorder_warning(warnings: &mut Vec<String>, tally: &RecorderTally) {
     if tally.io_errors > 0 {
-        eprintln!(
-            "[psc] warning: {} recorder I/O error(s) — recorded output is incomplete{}",
+        warnings.push(format!(
+            "{} recorder I/O error(s) — recorded output is incomplete{}",
             tally.io_errors,
             tally.last_error.as_deref().map(|e| format!(" (last: {e})")).unwrap_or_default()
-        );
+        ));
     }
 }
 
@@ -523,6 +704,7 @@ impl Observability {
 #[derive(Debug, Clone, Default)]
 struct RecorderTally {
     io_errors: u64,
+    io_retries: u64,
     traces: u64,
     last_error: Option<String>,
 }
@@ -532,12 +714,192 @@ impl RecorderTally {
         let mut tally = Self::default();
         for r in recorders {
             tally.io_errors += r.io_errors();
+            tally.io_retries += r.io_retries();
             tally.traces += r.traces_recorded();
             if let Some(e) = r.last_error() {
                 tally.last_error = Some(e.to_owned());
             }
         }
         tally
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.io_errors += other.io_errors;
+        self.io_retries += other.io_retries;
+        self.traces += other.traces;
+        if let Some(e) = other.last_error {
+            self.last_error = Some(e);
+        }
+    }
+}
+
+/// One shard's outcome as it leaves the fan-out. `out` is `None` exactly
+/// when the shard's consumer (or whole worker) panicked — its accumulator
+/// state is unrecoverable, but the bus accounting and health survive.
+struct ShardRun<T> {
+    out: Option<T>,
+    stats: ChannelStats,
+    produced: usize,
+    recycle_dropped: u64,
+    health: ShardHealth,
+}
+
+/// Everything a consume closure may consult beyond the bus itself: the
+/// shard's metric instruments, its degradation/offset journal and the
+/// armed fault plan. All `None`/absent on the zero-cost default paths.
+pub(crate) struct ConsumeCtx<'a> {
+    ins: Option<&'a ShardInstruments>,
+    log: Option<&'a ShardLog>,
+    faults: Option<&'a Arc<FaultState>>,
+}
+
+/// Dispatch one block to a fixed-interval monitor exactly as
+/// [`Pump::dispatch_block`] would: per event, fire any poll ticks due at
+/// or before the event's timestamp, then deliver the event. The poll
+/// clock lives in `next_poll_s` so it can be checkpointed and restored
+/// without shifting the grid.
+fn dispatch_with_poll(
+    monitor: &mut ThrottleMonitor,
+    next_poll_s: &mut Option<f64>,
+    interval_s: f64,
+    block: &EventBlock,
+) {
+    block.for_each_event(&mut |event| {
+        let now_s = event.time_s();
+        let next = next_poll_s.get_or_insert(now_s + interval_s);
+        while *next <= now_s {
+            Processor::on_poll(monitor, *next);
+            *next += interval_s;
+        }
+        Processor::on_event(monitor, event);
+    });
+}
+
+/// The checkpointed monitor payload: the consumer's poll-grid clock (so
+/// a resume never shifts the cadence grid) followed by the monitor's own
+/// state.
+fn monitor_payload(monitor: &ThrottleMonitor, next_poll_s: Option<f64>) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    match next_poll_s {
+        Some(t) => {
+            w.put_u8(1);
+            w.put_f64(t);
+        }
+        None => w.put_u8(0),
+    }
+    monitor.encode_state(&mut w);
+    w.into_payload()
+}
+
+/// Restore a consumer's analysis/monitor/recorder state from a carried
+/// checkpoint (no-op for a fresh shard). Returns the `(consumed_obs,
+/// blocks)` base counters of the restored prefix.
+///
+/// Panics on corrupt state: the frame already passed the container CRC
+/// and the campaign fingerprint, so a decode failure here means the file
+/// was written by incompatible code — resuming silently would poison the
+/// statistics.
+fn restore_consumer(
+    carried: Option<&ShardResume>,
+    restore_analysis: impl FnOnce(&mut PayloadReader<'_>) -> Result<(), CheckpointError>,
+    monitor: &mut ThrottleMonitor,
+    next_poll_s: &mut Option<f64>,
+    recorders: &mut [ShardRecorder],
+) -> (u64, u64) {
+    let Some(c) = carried else { return (0, 0) };
+    if let Some(bytes) = &c.analysis {
+        let mut r = PayloadReader::new(bytes);
+        restore_analysis(&mut r)
+            .and_then(|()| r.finish())
+            .unwrap_or_else(|e| panic!("corrupt checkpoint analysis state: {e}"));
+    }
+    if let Some(bytes) = &c.monitor {
+        let mut r = PayloadReader::new(bytes);
+        let mut inner = |r: &mut PayloadReader<'_>| -> Result<(), CheckpointError> {
+            *next_poll_s = match r.get_u8()? {
+                0 => None,
+                _ => Some(r.get_f64()?),
+            };
+            monitor.restore_state(r)?;
+            r.finish()
+        };
+        inner(&mut r).unwrap_or_else(|e| panic!("corrupt checkpoint monitor state: {e}"));
+    }
+    if let Some(bytes) = &c.recorders {
+        let states = checkpoint::decode_recorders(bytes)
+            .unwrap_or_else(|e| panic!("corrupt checkpoint recorder state: {e}"));
+        assert_eq!(
+            states.len(),
+            recorders.len(),
+            "checkpointed recorder set differs from the campaign spec"
+        );
+        for (recorder, state) in recorders.iter_mut().zip(&states) {
+            recorder.restore_state(state);
+        }
+    }
+    (c.consumed_obs, c.blocks)
+}
+
+/// One shard's periodic snapshot writer (present only when the campaign
+/// checkpoints).
+struct CheckpointWriter<'a> {
+    cfg: &'a CheckpointConfig,
+    kind: u8,
+    fingerprint: u64,
+    shard: usize,
+    shard_count: usize,
+    writes: u64,
+}
+
+impl CheckpointWriter<'_> {
+    /// Is a snapshot due after `local_blocks` consumed blocks?
+    fn due(&self, local_blocks: u64) -> bool {
+        local_blocks.is_multiple_of(self.cfg.every_blocks)
+    }
+
+    /// Flush the recorders (so the snapshot's file counts cover every
+    /// recorded trace) and atomically rewrite this shard's frame. A
+    /// failed write degrades the shard instead of killing it — the
+    /// previous frame on disk stays valid.
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &mut self,
+        consumed_obs: u64,
+        blocks: u64,
+        rng_offset: Option<u64>,
+        analysis: Vec<u8>,
+        monitor: Vec<u8>,
+        recorders: &mut [ShardRecorder],
+        log: Option<&ShardLog>,
+    ) {
+        for recorder in recorders.iter_mut() {
+            recorder.flush();
+        }
+        let recorder_states: Vec<RecorderState> =
+            recorders.iter().map(ShardRecorder::checkpoint_state).collect();
+        let snapshot = ShardSnapshot {
+            kind: self.kind,
+            fingerprint: self.fingerprint,
+            shard: self.shard,
+            shard_count: self.shard_count,
+            consumed_obs,
+            blocks,
+            rng_offset,
+            analysis,
+            monitor,
+            recorders: (!recorder_states.is_empty())
+                .then(|| checkpoint::encode_recorders(&recorder_states)),
+        };
+        if let Err(e) = checkpoint::write_shard(
+            &self.cfg.dir,
+            self.shard,
+            &checkpoint::encode_snapshot(&snapshot),
+        ) {
+            if let Some(log) = log {
+                log.push_note(format!("checkpoint write failed: {e}"));
+            }
+        }
+        self.writes += 1;
     }
 }
 
@@ -611,8 +973,9 @@ impl Session<'_> {
     }
 
     /// Per-shard recorders for the requested channels plus PCPU (empty
-    /// unless [`Campaign::record_to`] was set).
-    fn recorders(&self, shard: usize) -> Vec<ShardRecorder> {
+    /// unless [`Campaign::record_to`] was set), wired to the spec's retry
+    /// policy and the armed fault plan.
+    fn recorders(&self, shard: usize, faults: Option<&Arc<FaultState>>) -> Vec<ShardRecorder> {
         let Some(dir) = &self.spec.record_dir else { return Vec::new() };
         self.spec
             .keys
@@ -620,9 +983,60 @@ impl Session<'_> {
             .map(|&k| ChannelId::Smc(k))
             .chain([ChannelId::Pcpu])
             .map(|c| {
-                ShardRecorder::new(dir, c.to_string(), c, shard, self.spec.record_shard_capacity)
+                let recorder = ShardRecorder::new(
+                    dir,
+                    c.to_string(),
+                    c,
+                    shard,
+                    self.spec.record_shard_capacity,
+                )
+                .with_retry_policy(self.spec.retry);
+                match faults {
+                    Some(f) => recorder.with_faults(Arc::clone(f)),
+                    None => recorder,
+                }
             })
             .collect()
+    }
+
+    /// The spec's checkpoint writer for one shard, when checkpointing.
+    fn checkpoint_writer(
+        &self,
+        kind: u8,
+        fingerprint: u64,
+        shard: usize,
+    ) -> Option<CheckpointWriter<'_>> {
+        self.spec.checkpoint.as_ref().map(|cfg| CheckpointWriter {
+            cfg,
+            kind,
+            fingerprint,
+            shard,
+            shard_count: self.shards,
+            writes: 0,
+        })
+    }
+
+    /// Load every shard's resume frame when [`Campaign::resume_from`] was
+    /// set (`None` otherwise). Shards without a frame resume fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a frame exists but is corrupt or belongs to a
+    /// different campaign — resuming over foreign state would silently
+    /// poison the statistics.
+    fn load_resume(&self, kind: u8, fingerprint: u64) -> Option<Vec<ShardResume>> {
+        let dir = self.spec.resume_dir.as_ref()?;
+        Some(
+            (0..self.shards)
+                .map(|i| {
+                    checkpoint::load_shard(dir, i, kind, fingerprint, self.shards)
+                        .unwrap_or_else(|e| {
+                            panic!("cannot resume shard {i} from {}: {e}", dir.display())
+                        })
+                        .unwrap_or_default()
+                })
+                .collect(),
+        )
     }
 
     /// Per-shard metric registries when observability is on (`None`
@@ -656,30 +1070,43 @@ impl Session<'_> {
     /// batches back and forth without allocating. When observability is
     /// on, the producer side records source-fill latency, block/obs
     /// throughput and recycle hit/miss into the shard's registry, and
-    /// stage spans land in the spec's tracer. Returns per-shard
-    /// `(consumer state, bus stats, schedule units produced)` in shard
-    /// order.
+    /// stage spans land in the spec's tracer.
+    ///
+    /// This is also the campaign's fault boundary. A panic anywhere in a
+    /// shard — producer, consumer, or the worker scaffolding itself — is
+    /// caught here and folded into that shard's [`ShardHealth`] instead
+    /// of tearing down the fleet; after a consumer death the bus keeps
+    /// draining so the (backpressured) producer can still finish. When
+    /// `resume` carries a consumed prefix, producers fast-forward past it
+    /// and the shard's bus stats are credited with the prefix blocks (the
+    /// re-simulated prefix never touches the bus), so a resumed run's
+    /// totals match the uninterrupted run's.
     fn fan_out<T, FS, FC>(
         &self,
         obs: Option<&Observability>,
         stop: &AtomicBool,
+        resume: Option<&[ShardResume]>,
+        faults: Option<&Arc<FaultState>>,
         schedule_for: FS,
         consume: FC,
-    ) -> Vec<(T, ChannelStats, usize)>
+    ) -> Vec<ShardRun<T>>
     where
         T: Send,
         FS: Fn(usize) -> Schedule + Sync,
-        FC: Fn(usize, &Receiver<EventBlock>, &Sender<EventBlock>, Option<&ShardInstruments>) -> T
-            + Sync,
+        FC: Fn(usize, &Receiver<EventBlock>, &Sender<EventBlock>, &ConsumeCtx<'_>) -> T + Sync,
     {
         let source = self.source.as_ref();
         let spec = &self.spec;
         let tracer = self.spec.tracer.as_deref();
-        run_sharded(self.shards, |i| {
+        let track_offsets = spec.checkpoint.is_some();
+        let plan_faults: Option<&FaultState> = faults.map(Arc::as_ref);
+        let runs = run_sharded_caught(self.shards, |i| {
             let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
             let (recycle_tx, recycle_rx) = channel(RECYCLE_CAPACITY, OverflowPolicy::DropNewest);
             let schedule = schedule_for(i);
             let ins = obs.map(|o| ShardInstruments::new(&o.registries[i]));
+            let log = ShardLog::new(track_offsets);
+            let log_ref = &log;
             let produce_tid = 1 + 2 * i as u64;
             let consume_tid = 2 + 2 * i as u64;
             if let Some(t) = tracer {
@@ -696,6 +1123,11 @@ impl Session<'_> {
                         keys: &spec.keys,
                         mitigation: spec.mitigation,
                         schedule,
+                        skip_obs: resume.map_or(0, |r| r[i].consumed_obs),
+                        resume_rng_offset: resume.and_then(|r| r[i].rng_offset),
+                        retry: spec.retry,
+                        faults: plan_faults,
+                        log: Some(log_ref),
                     };
                     // Fill latency is timed sink-to-sink on the producer
                     // thread (send/backpressure wait excluded), so every
@@ -734,19 +1166,73 @@ impl Session<'_> {
                         stop,
                     )
                 });
-                let out = {
+                let ctx = ConsumeCtx { ins: ins_ref, log: Some(log_ref), faults };
+                let caught = {
                     let _span =
                         tracer.map(|t| t.span(format!("shard{i}/consume"), "stage", consume_tid));
-                    consume(i, &rx, &recycle_tx, ins_ref)
+                    catch_unwind(AssertUnwindSafe(|| consume(i, &rx, &recycle_tx, &ctx)))
                 };
-                let stats = rx.stats();
-                let produced = producer.join().expect("producer shard panicked");
-                if let Some(ins) = ins_ref {
-                    ins.finish(stats, recycle_tx.stats(), produced);
+                if caught.is_err() {
+                    // Keep draining so the Block-backpressured producer
+                    // can finish its schedule (and be joined) even though
+                    // this consumer is gone.
+                    while rx.recv().is_some() {}
                 }
-                (out, stats, produced)
+                let mut stats = rx.stats();
+                if let Some(r) = resume {
+                    // Credit the resumed prefix: those blocks were
+                    // consumed before the interrupt and never cross this
+                    // run's bus.
+                    stats.accepted += r[i].blocks;
+                    stats.delivered += r[i].blocks;
+                }
+                let produced = match producer.join() {
+                    Ok(produced) => produced,
+                    Err(payload) => {
+                        log.push_note(format!("producer panicked: {}", panic_message(&*payload)));
+                        0
+                    }
+                };
+                let recycle_stats = recycle_tx.stats();
+                if let Some(ins) = ins_ref {
+                    ins.finish(stats, recycle_stats, produced);
+                }
+                let notes = log.take_notes();
+                let (out, health) = match caught {
+                    Ok(out) => {
+                        let health = if notes.is_empty() {
+                            ShardHealth::Ok
+                        } else {
+                            ShardHealth::Degraded { reason: notes.join("; ") }
+                        };
+                        (Some(out), health)
+                    }
+                    Err(payload) => {
+                        let mut reason = format!("consumer panicked: {}", panic_message(&*payload));
+                        if !notes.is_empty() {
+                            reason.push_str("; ");
+                            reason.push_str(&notes.join("; "));
+                        }
+                        (None, ShardHealth::Failed { reason })
+                    }
+                };
+                ShardRun { out, stats, produced, recycle_dropped: recycle_stats.dropped, health }
             })
-        })
+        });
+        runs.into_iter()
+            .enumerate()
+            .map(|(i, run)| {
+                run.unwrap_or_else(|message| ShardRun {
+                    out: None,
+                    stats: ChannelStats::default(),
+                    produced: 0,
+                    recycle_dropped: 0,
+                    health: ShardHealth::Failed {
+                        reason: format!("shard {i} worker panicked: {message}"),
+                    },
+                })
+            })
+            .collect()
     }
 
     /// Drain a shard's block bus through `pump`, returning each processed
@@ -773,9 +1259,100 @@ impl Session<'_> {
         pump.finish();
     }
 
+    /// The shared streaming-consumer loop behind [`Session::tvla`] and
+    /// [`Session::cpa`]: restore from a carried checkpoint, drain the bus
+    /// through the analysis + poll-grid monitor + recorders (the same
+    /// dispatch order and poll semantics as [`Pump::dispatch_block`]),
+    /// inject consumer panics when armed, and periodically snapshot the
+    /// full consumer state.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_streaming<A: Processor>(
+        &self,
+        shard: usize,
+        rx: &Receiver<EventBlock>,
+        recycle: &Sender<EventBlock>,
+        ctx: &ConsumeCtx<'_>,
+        stop: &AtomicBool,
+        kind: u8,
+        fingerprint: u64,
+        resume: Option<&[ShardResume]>,
+        analysis: &mut A,
+        restore: impl FnOnce(&mut A, &mut PayloadReader<'_>) -> Result<(), CheckpointError>,
+        encode: impl Fn(&A, &mut PayloadWriter),
+    ) -> (ThrottleMonitor, RecorderTally) {
+        let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
+        let mut recorders = self.recorders(shard, ctx.faults);
+        let mut next_poll_s = None;
+        let carried = resume.map(|r| &r[shard]);
+        let (base_obs, base_blocks) = restore_consumer(
+            carried,
+            |r| restore(analysis, r),
+            &mut monitor,
+            &mut next_poll_s,
+            &mut recorders,
+        );
+        let mut writer = self.checkpoint_writer(kind, fingerprint, shard);
+        let mut local_blocks = 0u64;
+        let mut local_obs = 0u64;
+        while let Some(block) = rx.recv() {
+            if let Some(f) = ctx.faults {
+                if f.take_consumer_panic(shard, local_blocks) {
+                    panic!("injected consumer panic at shard {shard}, block {local_blocks}");
+                }
+            }
+            let t0 = ctx.ins.map(|_| Instant::now());
+            analysis.on_block(&block);
+            dispatch_with_poll(
+                &mut monitor,
+                &mut next_poll_s,
+                self.spec.monitor_interval_s,
+                &block,
+            );
+            for recorder in &mut recorders {
+                recorder.on_block(&block);
+            }
+            if let (Some(ins), Some(t0)) = (ctx.ins, t0) {
+                ins.consume_ns.record(elapsed_ns(t0));
+            }
+            local_blocks += 1;
+            local_obs += block.len() as u64;
+            let _ = recycle.send(block);
+            if let Some(w) = writer.as_mut() {
+                if w.due(local_blocks) {
+                    let mut aw = PayloadWriter::new();
+                    encode(analysis, &mut aw);
+                    w.write(
+                        base_obs + local_obs,
+                        base_blocks + local_blocks,
+                        ctx.log.and_then(|l| l.offset_after(local_blocks - 1)),
+                        aw.into_payload(),
+                        monitor_payload(&monitor, next_poll_s),
+                        &mut recorders,
+                        ctx.log,
+                    );
+                    if self.spec.halt_after == Some(w.writes) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        analysis.on_finish();
+        Processor::on_finish(&mut monitor);
+        for recorder in &mut recorders {
+            recorder.on_finish();
+        }
+        let tally = RecorderTally::of(&recorders);
+        if let Some(ins) = ctx.ins {
+            ins.denied_reads.add(monitor.denied_reads());
+            ins.recorder_io_errors.add(tally.io_errors);
+            ins.recorder_traces.add(tally.traces);
+        }
+        (monitor, tally)
+    }
+
     fn merge_tvla(
         &self,
-        results: Vec<((StreamingTvla, ThrottleMonitor, RecorderTally), ChannelStats, usize)>,
+        results: Vec<ShardRun<(StreamingTvla, ThrottleMonitor, RecorderTally)>>,
     ) -> (StreamingTvlaReport, usize) {
         let mut merged_tvla = StreamingTvla::new();
         let mut merged_monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
@@ -783,19 +1360,25 @@ impl Session<'_> {
         let mut produced_total = 0usize;
         let mut shard_cadence = Vec::with_capacity(results.len());
         let mut tally_total = RecorderTally::default();
-        for ((tvla, monitor, tally), stats, produced) in results {
-            merged_tvla = merged_tvla.merged(tvla);
-            shard_cadence.push(monitor.checkpoints().copied().collect());
-            merged_monitor = merged_monitor.merged_totals(&monitor);
-            bus = add_stats(bus, stats);
-            produced_total += produced;
-            tally_total.io_errors += tally.io_errors;
-            tally_total.traces += tally.traces;
-            if let Some(e) = tally.last_error {
-                tally_total.last_error = Some(e);
+        let mut health = Vec::with_capacity(results.len());
+        let mut warnings = Vec::new();
+        for (i, run) in results.into_iter().enumerate() {
+            shard_warnings(&mut warnings, i, &run.health, &run.stats, run.recycle_dropped);
+            match run.out {
+                Some((tvla, monitor, tally)) => {
+                    merged_tvla = merged_tvla.merged(tvla);
+                    shard_cadence.push(monitor.checkpoints().copied().collect());
+                    merged_monitor = merged_monitor.merged_totals(&monitor);
+                    produced_total += run.produced;
+                    tally_total.absorb(tally);
+                }
+                None => shard_cadence.push(Vec::new()),
             }
+            bus = add_stats(bus, run.stats);
+            health.push(run.health);
         }
-        warn_io_errors(&tally_total);
+        recorder_warning(&mut warnings, &tally_total);
+        emit_warnings(&warnings);
         (
             StreamingTvlaReport {
                 tvla: merged_tvla,
@@ -804,9 +1387,12 @@ impl Session<'_> {
                 keys: self.spec.keys.clone(),
                 shards: self.shards,
                 io_errors: tally_total.io_errors,
+                io_retries: tally_total.io_retries,
                 recorder_error: tally_total.last_error,
                 shard_cadence,
                 metrics: None,
+                health,
+                warnings,
             },
             produced_total,
         )
@@ -822,6 +1408,14 @@ impl Session<'_> {
     #[must_use]
     pub fn tvla(self) -> StreamingTvlaReport {
         let counts = split_counts(self.spec.traces, self.shards);
+        let fingerprint = checkpoint::fingerprint(
+            &self.spec,
+            KIND_TVLA,
+            self.source.fingerprint_tag(),
+            self.shards,
+        );
+        let resume = self.load_resume(KIND_TVLA, fingerprint);
+        let faults = self.spec.faults.map(FaultPlan::armed);
         let obs = self.observability();
         // One TVLA trace is 2 passes × 3 classes observations.
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
@@ -830,24 +1424,24 @@ impl Session<'_> {
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
+            resume.as_deref(),
+            faults.as_ref(),
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |i, rx, recycle, ins| {
+            |i, rx, recycle, ctx| {
                 let mut tvla = StreamingTvla::new();
-                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
-                let mut recorders = self.recorders(i);
-                let mut pump = Pump::new();
-                pump.attach(&mut tvla);
-                pump.attach(&mut monitor);
-                for recorder in &mut recorders {
-                    pump.attach(recorder);
-                }
-                Self::pump_blocks(&mut pump, rx, recycle, ins);
-                let tally = RecorderTally::of(&recorders);
-                if let Some(ins) = ins {
-                    ins.denied_reads.add(monitor.denied_reads());
-                    ins.recorder_io_errors.add(tally.io_errors);
-                    ins.recorder_traces.add(tally.traces);
-                }
+                let (monitor, tally) = self.consume_streaming(
+                    i,
+                    rx,
+                    recycle,
+                    ctx,
+                    &stop,
+                    KIND_TVLA,
+                    fingerprint,
+                    resume.as_deref(),
+                    &mut tvla,
+                    |a, r| a.restore_state(r),
+                    |a, w| a.encode_state(w),
+                );
                 (tvla, monitor, tally)
             },
         );
@@ -876,20 +1470,44 @@ impl Session<'_> {
         let early =
             self.spec.early_stop.expect("adaptive campaigns need Campaign::early_stop(watch)");
         let counts = split_counts(self.spec.traces, self.shards);
+        let fingerprint = checkpoint::fingerprint(
+            &self.spec,
+            KIND_ADAPTIVE,
+            self.source.fingerprint_tag(),
+            self.shards,
+        );
+        let resume = self.load_resume(KIND_ADAPTIVE, fingerprint);
+        let faults = self.spec.faults.map(FaultPlan::armed);
         let obs = self.observability();
         // Rounds-to-stop is bounded by the budget: one round is 6 obs.
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
         let span = self.campaign_span("campaign/adaptive_tvla");
         let stop = AtomicBool::new(false);
+        // Leakage detection and a halt_after interrupt both raise `stop`,
+        // but only the former is an *early stop* in the report's sense.
+        let leaked = AtomicBool::new(false);
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
+            resume.as_deref(),
+            faults.as_ref(),
             |i| Schedule::AdaptiveRounds { max_rounds: counts[i] },
-            |i, rx, recycle, ins| {
+            |i, rx, recycle, ctx| {
                 let mut tvla = StreamingTvla::new();
                 tvla.watch(ChannelId::Smc(early.watch), early.min_per_side);
                 let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
-                let mut recorders = self.recorders(i);
+                let mut recorders = self.recorders(i, ctx.faults);
+                let mut next_poll_s = None;
+                let (base_obs, base_blocks) = restore_consumer(
+                    resume.as_deref().map(|r| &r[i]),
+                    |r| tvla.restore_state(r),
+                    &mut monitor,
+                    &mut next_poll_s,
+                    &mut recorders,
+                );
+                let mut writer = self.checkpoint_writer(KIND_ADAPTIVE, fingerprint, i);
+                let mut local_blocks = 0u64;
+                let mut local_obs = 0u64;
                 // A manual pump loop: the consumer must keep draining
                 // (Block backpressure) while checking the early-stop
                 // signal at every block boundary — blocks end on whole
@@ -897,19 +1515,45 @@ impl Session<'_> {
                 // check granularity matches the producers' between-round
                 // stop polling.
                 while let Some(block) = rx.recv() {
-                    let t0 = ins.map(|_| Instant::now());
+                    if let Some(f) = ctx.faults {
+                        if f.take_consumer_panic(i, local_blocks) {
+                            panic!("injected consumer panic at shard {i}, block {local_blocks}");
+                        }
+                    }
+                    let t0 = ctx.ins.map(|_| Instant::now());
                     tvla.on_block(&block);
                     monitor.on_block(&block);
                     for recorder in &mut recorders {
                         recorder.on_block(&block);
                     }
-                    if let (Some(ins), Some(t0)) = (ins, t0) {
+                    if let (Some(ins), Some(t0)) = (ctx.ins, t0) {
                         ins.consume_ns.record(elapsed_ns(t0));
                     }
-                    if !stop.load(Ordering::Relaxed) && tvla.leakage_detected() {
+                    if !leaked.load(Ordering::Relaxed) && tvla.leakage_detected() {
+                        leaked.store(true, Ordering::Relaxed);
                         stop.store(true, Ordering::Relaxed);
                     }
+                    local_blocks += 1;
+                    local_obs += block.len() as u64;
                     let _ = recycle.send(block);
+                    if let Some(w) = writer.as_mut() {
+                        if w.due(local_blocks) {
+                            let mut aw = PayloadWriter::new();
+                            tvla.encode_state(&mut aw);
+                            w.write(
+                                base_obs + local_obs,
+                                base_blocks + local_blocks,
+                                ctx.log.and_then(|l| l.offset_after(local_blocks - 1)),
+                                aw.into_payload(),
+                                monitor_payload(&monitor, next_poll_s),
+                                &mut recorders,
+                                ctx.log,
+                            );
+                            if self.spec.halt_after == Some(w.writes) {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 }
                 tvla.on_finish();
                 monitor.on_finish();
@@ -917,7 +1561,7 @@ impl Session<'_> {
                     recorder.on_finish();
                 }
                 let tally = RecorderTally::of(&recorders);
-                if let Some(ins) = ins {
+                if let Some(ins) = ctx.ins {
                     ins.denied_reads.add(monitor.denied_reads());
                     ins.recorder_io_errors.add(tally.io_errors);
                     ins.recorder_traces.add(tally.traces);
@@ -929,7 +1573,7 @@ impl Session<'_> {
         if let Some(progress) = progress {
             progress.finish();
         }
-        let stopped_early = stop.load(Ordering::Relaxed);
+        let stopped_early = leaked.load(Ordering::Relaxed);
         let (mut report, rounds_collected) = self.merge_tvla(results);
         report.metrics = obs.map(|o| o.report(self.shards));
         AdaptiveTvlaReport { report, stopped_early, rounds_collected }
@@ -955,6 +1599,14 @@ impl Session<'_> {
         // (and channels within a shard) clone the Arc instead of
         // recomputing the 512 KB table per accumulator.
         let hyp_table = Arc::new(HypTable::for_model(model_factory().as_ref()));
+        let fingerprint = checkpoint::fingerprint(
+            &self.spec,
+            KIND_CPA,
+            self.source.fingerprint_tag(),
+            self.shards,
+        );
+        let resume = self.load_resume(KIND_CPA, fingerprint);
+        let faults = self.spec.faults.map(FaultPlan::armed);
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
         let span = self.campaign_span("campaign/cpa");
@@ -962,28 +1614,28 @@ impl Session<'_> {
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
+            resume.as_deref(),
+            faults.as_ref(),
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx, recycle, ins| {
+            |i, rx, recycle, ctx| {
                 let mut cpa = StreamingCpa::with_table(
                     self.spec.keys.iter().map(|&k| ChannelId::Smc(k)),
                     model_factory,
                     Arc::clone(&hyp_table),
                 );
-                let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
-                let mut recorders = self.recorders(i);
-                let mut pump = Pump::new();
-                pump.attach(&mut cpa);
-                pump.attach(&mut monitor);
-                for recorder in &mut recorders {
-                    pump.attach(recorder);
-                }
-                Self::pump_blocks(&mut pump, rx, recycle, ins);
-                let tally = RecorderTally::of(&recorders);
-                if let Some(ins) = ins {
-                    ins.denied_reads.add(monitor.denied_reads());
-                    ins.recorder_io_errors.add(tally.io_errors);
-                    ins.recorder_traces.add(tally.traces);
-                }
+                let (monitor, tally) = self.consume_streaming(
+                    i,
+                    rx,
+                    recycle,
+                    ctx,
+                    &stop,
+                    KIND_CPA,
+                    fingerprint,
+                    resume.as_deref(),
+                    &mut cpa,
+                    |a, r| a.restore_state(r),
+                    |a, w| a.encode_state(w),
+                );
                 (cpa, monitor, tally)
             },
         );
@@ -997,31 +1649,41 @@ impl Session<'_> {
         let mut bus = ChannelStats::default();
         let mut shard_cadence = Vec::new();
         let mut tally_total = RecorderTally::default();
-        for ((cpa, monitor, tally), stats, _) in results {
-            merged_cpa = Some(match merged_cpa.take() {
-                None => cpa,
-                Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
-            });
-            shard_cadence.push(monitor.checkpoints().copied().collect());
-            merged_monitor = merged_monitor.merged_totals(&monitor);
-            bus = add_stats(bus, stats);
-            tally_total.io_errors += tally.io_errors;
-            tally_total.traces += tally.traces;
-            if let Some(e) = tally.last_error {
-                tally_total.last_error = Some(e);
+        let mut health = Vec::with_capacity(results.len());
+        let mut warnings = Vec::new();
+        for (i, run) in results.into_iter().enumerate() {
+            shard_warnings(&mut warnings, i, &run.health, &run.stats, run.recycle_dropped);
+            match run.out {
+                Some((cpa, monitor, tally)) => {
+                    merged_cpa = Some(match merged_cpa.take() {
+                        None => cpa,
+                        Some(acc) => acc.merged(cpa).expect("shards share one model factory"),
+                    });
+                    shard_cadence.push(monitor.checkpoints().copied().collect());
+                    merged_monitor = merged_monitor.merged_totals(&monitor);
+                    tally_total.absorb(tally);
+                }
+                None => shard_cadence.push(Vec::new()),
             }
+            bus = add_stats(bus, run.stats);
+            health.push(run.health);
         }
-        warn_io_errors(&tally_total);
+        recorder_warning(&mut warnings, &tally_total);
+        emit_warnings(&warnings);
         StreamingCpaReport {
-            cpa: merged_cpa.expect("at least one shard"),
+            cpa: merged_cpa
+                .unwrap_or_else(|| panic!("every shard failed — nothing to merge: {warnings:?}")),
             monitor: merged_monitor,
             bus,
             keys: self.spec.keys.clone(),
             shards: self.shards,
             io_errors: tally_total.io_errors,
+            io_retries: tally_total.io_retries,
             recorder_error: tally_total.last_error,
             shard_cadence,
             metrics: obs.map(|o| o.report(self.shards)),
+            health,
+            warnings,
         }
     }
 
@@ -1035,6 +1697,7 @@ impl Session<'_> {
     #[must_use]
     pub fn collect(self) -> BTreeMap<SmcKey, TraceSet> {
         let counts = split_counts(self.spec.traces, self.shards);
+        let faults = self.spec.faults.map(FaultPlan::armed);
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
         let span = self.campaign_span("campaign/collect");
@@ -1042,12 +1705,14 @@ impl Session<'_> {
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
+            None,
+            faults.as_ref(),
             |i| Schedule::KnownPlaintext { traces: counts[i] },
-            |i, rx, recycle, ins| {
+            |i, rx, recycle, ctx| {
                 let mut collector = TraceCollector::with_capacity_hint(counts[i]);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
-                Self::pump_blocks(&mut pump, rx, recycle, ins);
+                Self::pump_blocks(&mut pump, rx, recycle, ctx.ins);
                 collector
             },
         );
@@ -1062,7 +1727,8 @@ impl Session<'_> {
             .iter()
             .map(|&k| (k, TraceSet::with_capacity(k.to_string(), self.spec.traces)))
             .collect();
-        for (mut collector, _stats, _) in results {
+        for run in results {
+            let Some(mut collector) = run.out else { continue };
             for &k in &self.spec.keys {
                 if let Some(set) = collector.take(ChannelId::Smc(k)) {
                     if let Some(target) = merged.get_mut(&k) {
@@ -1083,6 +1749,7 @@ impl Session<'_> {
     #[must_use]
     pub fn tvla_datasets(self) -> TvlaCampaign {
         let counts = split_counts(self.spec.traces, self.shards);
+        let faults = self.spec.faults.map(FaultPlan::armed);
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
         let span = self.campaign_span("campaign/tvla_datasets");
@@ -1090,14 +1757,16 @@ impl Session<'_> {
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
+            None,
+            faults.as_ref(),
             |i| Schedule::Tvla { traces_per_class: counts[i] },
-            |_i, rx, recycle, ins| {
+            |_i, rx, recycle, ctx| {
                 let mut collector = DatasetCollector::new();
                 let mut monitor = ThrottleMonitor::new(self.spec.monitor_interval_s, MONITOR_DEPTH);
                 let mut pump = Pump::new();
                 pump.attach(&mut collector);
                 pump.attach(&mut monitor);
-                Self::pump_blocks(&mut pump, rx, recycle, ins);
+                Self::pump_blocks(&mut pump, rx, recycle, ctx.ins);
                 (collector, monitor)
             },
         );
@@ -1111,7 +1780,8 @@ impl Session<'_> {
             campaign.per_key.insert(k, TvlaDatasets::default());
         }
         let mut dropped = 0u64;
-        for ((mut collector, monitor), _stats, _) in results {
+        for run in results {
+            let Some((mut collector, monitor)) = run.out else { continue };
             for &k in &self.spec.keys {
                 if let Some([first, second]) = collector.take(ChannelId::Smc(k)) {
                     let target = campaign.per_key.get_mut(&k).expect("inserted above");

@@ -28,6 +28,7 @@ use psc_sca::tvla::PlaintextClass;
 use psc_smc::{MitigationConfig, SmcKey};
 use psc_telemetry::block::EventBlock;
 use psc_telemetry::event::{ChannelId, SchedEvent, WindowEvent};
+use psc_telemetry::faults::{FaultState, RetryPolicy};
 use psc_telemetry::replay::{channel_for_label, fill_block};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -68,6 +69,59 @@ pub enum Schedule {
     },
 }
 
+/// Per-shard producer journal shared with the consumer thread: the
+/// attacker-RNG stream position after each emitted block (stamped into
+/// checkpoint frames and asserted on resume) and degradation notes that
+/// must outlive a stopped producer — the session folds them into
+/// [`ShardHealth`](crate::session::ShardHealth).
+#[derive(Debug, Default)]
+pub struct ShardLog {
+    track_offsets: bool,
+    offsets: Mutex<Vec<u64>>,
+    notes: Mutex<Vec<String>>,
+}
+
+impl ShardLog {
+    /// A fresh journal; enable `track_offsets` only when the campaign
+    /// checkpoints (the offset journal grows with block count).
+    #[must_use]
+    pub fn new(track_offsets: bool) -> Self {
+        Self { track_offsets, ..Self::default() }
+    }
+
+    /// Record the RNG stream position after one emitted block (no-op
+    /// unless offset tracking is on). Producers call this *before*
+    /// handing the block to the bus, so the consumer can never see a
+    /// block whose offset has not been journaled yet.
+    pub fn push_offset(&self, words: u64) {
+        if self.track_offsets {
+            self.offsets.lock().expect("shard log lock").push(words);
+        }
+    }
+
+    /// The journaled RNG position after local block `block` (0-based);
+    /// `None` for sources that do not log offsets (replay) or when
+    /// tracking is off.
+    #[must_use]
+    pub fn offset_after(&self, block: u64) -> Option<u64> {
+        usize::try_from(block)
+            .ok()
+            .and_then(|i| self.offsets.lock().expect("shard log lock").get(i).copied())
+    }
+
+    /// Note a degradation event (retries exhausted, replay read failure,
+    /// checkpoint write failure) for the merge layer to surface.
+    pub fn push_note(&self, note: impl Into<String>) {
+        self.notes.lock().expect("shard log lock").push(note.into());
+    }
+
+    /// Drain the recorded notes.
+    #[must_use]
+    pub fn take_notes(&self) -> Vec<String> {
+        std::mem::take(&mut *self.notes.lock().expect("shard log lock"))
+    }
+}
+
 /// Everything a source needs to produce one shard's slice of a campaign.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardPlan<'a> {
@@ -82,6 +136,22 @@ pub struct ShardPlan<'a> {
     pub mitigation: Option<MitigationConfig>,
     /// The collection schedule.
     pub schedule: Schedule,
+    /// Observations already consumed by a resumed campaign: the source
+    /// re-simulates (rig-backed) or skips (replay) this prefix without
+    /// emitting it, leaving its state bit-identical to the original run
+    /// at that point. Always a whole number of producer chunks —
+    /// checkpoints are taken at block boundaries.
+    pub skip_obs: u64,
+    /// The checkpointed attacker-RNG stream position (in ChaCha words)
+    /// at `skip_obs`, asserted after the fast-forward as an integrity
+    /// cross-check. `None` for sources without a journaled RNG.
+    pub resume_rng_offset: Option<u64>,
+    /// Retry policy for transient source fill errors.
+    pub retry: RetryPolicy,
+    /// Armed fault-injection state, if the campaign injects faults.
+    pub faults: Option<&'a FaultState>,
+    /// The shard's journal for RNG offsets and degradation notes.
+    pub log: Option<&'a ShardLog>,
 }
 
 /// A pluggable producer of campaign telemetry blocks.
@@ -105,14 +175,20 @@ pub trait TraceSource: Send + Sync {
     }
 
     /// Produce shard `plan.shard`'s observation blocks into `sink`,
-    /// honouring `stop` at schedule boundaries where the schedule asks
-    /// for it.
+    /// honouring `stop` at chunk boundaries.
     fn run_shard(
         &self,
         plan: &ShardPlan<'_>,
         sink: &mut dyn FnMut(&mut EventBlock),
         stop: &AtomicBool,
     ) -> usize;
+
+    /// A short stable tag naming the source family, folded into campaign
+    /// checkpoint fingerprints so a checkpoint taken over one source
+    /// cannot silently resume over another.
+    fn fingerprint_tag(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// The block layout of a rig-backed shard: one column per requested SMC
@@ -159,12 +235,94 @@ pub(crate) fn push_observation(
     });
 }
 
+/// Fault-injection gate run before each source chunk fill: takes one of
+/// the plan's injected transient source errors (if armed) and retries it
+/// under the plan's [`RetryPolicy`]. `Ok(())` means produce the chunk;
+/// `Err(())` means retries were exhausted — the shard notes the failure
+/// and degrades (stops producing) instead of panicking.
+fn fill_gate(plan: &ShardPlan<'_>, salt: u64) -> Result<(), ()> {
+    let Some(faults) = plan.faults else { return Ok(()) };
+    if let Some(delay) = faults.source_delay() {
+        std::thread::sleep(delay);
+    }
+    let mut attempt = 1u32;
+    while faults.take_source_error(plan.shard) {
+        if !plan.retry.should_retry(attempt) {
+            if let Some(log) = plan.log {
+                log.push_note(format!(
+                    "source fill error persisted through {attempt} attempt(s); shard stopped early"
+                ));
+            }
+            return Err(());
+        }
+        std::thread::sleep(plan.retry.delay(attempt, (plan.shard as u64) ^ salt));
+        attempt += 1;
+    }
+    Ok(())
+}
+
+/// Cross-check a completed resume fast-forward against the checkpointed
+/// attacker-RNG stream position.
+///
+/// # Panics
+///
+/// Panics when the re-simulated prefix left the RNG somewhere else than
+/// the checkpoint recorded — resuming from there would silently diverge
+/// from the interrupted run.
+fn check_resume_offset(rig: &Rig, plan: &ShardPlan<'_>) {
+    if let Some(expected) = plan.resume_rng_offset {
+        let actual = rig.attacker_rng.word_offset();
+        assert_eq!(
+            actual, expected,
+            "resume fast-forward diverged from the checkpointed RNG stream position"
+        );
+    }
+}
+
+/// When a resumed shard still has `skip` observations of prefix left,
+/// re-simulate this chunk without emitting it: the rig (SoC, SMC,
+/// IOReport and attacker RNG) advances bit-identically to the original
+/// run; the consumer just never sees the block again. Returns `true`
+/// when the chunk was swallowed by the prefix.
+///
+/// # Panics
+///
+/// Panics when the skip prefix is not a whole number of producer chunks
+/// (checkpoints are only taken at block boundaries, so a misaligned
+/// offset means the checkpoint does not belong to this schedule).
+fn fast_forward(rig: &mut Rig, plan: &ShardPlan<'_>, pts: &[[u8; 16]], skip: &mut u64) -> bool {
+    if *skip == 0 {
+        return false;
+    }
+    let take = pts.len() as u64;
+    assert!(
+        *skip >= take,
+        "resume offset is not on a producer block boundary (skip {skip} < chunk {take})"
+    );
+    rig.observe_windows_with(pts, plan.keys, |_| {});
+    *skip -= take;
+    if *skip == 0 {
+        check_resume_offset(rig, plan);
+    }
+    true
+}
+
+/// Record the attacker-RNG stream position after producing one block so
+/// the consumer can stamp it into that block's checkpoint frame.
+fn log_offset(rig: &Rig, plan: &ShardPlan<'_>) {
+    if let Some(log) = plan.log {
+        log.push_offset(rig.attacker_rng.word_offset());
+    }
+}
+
 /// Drive one rig through a schedule, filling one block per observation
 /// chunk. Shared by every rig-backed source so live, borrowed and fleet
 /// shards produce bit-identical streams for the same rig state. The
 /// inner loop is allocation-free in steady state: plaintexts, the block
 /// and the observation staging buffer are all reused
-/// ([`Rig::observe_windows_with`]).
+/// ([`Rig::observe_windows_with`]). The stop flag is honoured at chunk
+/// boundaries; a resumed plan's `skip_obs` prefix is re-simulated
+/// without emission (see [`fast_forward`]).
 fn drive_rig(
     rig: &mut Rig,
     plan: &ShardPlan<'_>,
@@ -176,23 +334,36 @@ fn drive_rig(
     let window_s = rig.window_s();
     let mut block = EventBlock::new();
     let mut seq = 0u64;
+    let mut skip = plan.skip_obs;
     match plan.schedule {
         Schedule::Tvla { traces_per_class } => {
             let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
-            for pass in 0..2u8 {
+            'schedule: for pass in 0..2u8 {
                 for class in PlaintextClass::ALL {
                     let mut remaining = traces_per_class;
                     while remaining > 0 {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'schedule;
+                        }
+                        if fill_gate(plan, seq).is_err() {
+                            break 'schedule;
+                        }
                         let take = remaining.min(OBS_CHUNK);
                         pts.clear();
                         pts.extend((0..take).map(|_| {
                             class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
                         }));
+                        if fast_forward(rig, plan, &pts, &mut skip) {
+                            seq += take as u64;
+                            remaining -= take;
+                            continue;
+                        }
                         block.reset(&channels);
                         rig.observe_windows_with(&pts, keys, |obs| {
                             push_observation(&mut block, seq, pass, Some(class), obs, window_s);
                             seq += 1;
                         });
+                        log_offset(rig, plan);
                         sink(&mut block);
                         remaining -= take;
                     }
@@ -204,14 +375,26 @@ fn drive_rig(
             let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
             let mut remaining = traces;
             while remaining > 0 {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if fill_gate(plan, seq).is_err() {
+                    break;
+                }
                 let take = remaining.min(OBS_CHUNK);
                 pts.clear();
                 pts.extend((0..take).map(|_| rig.random_plaintext()));
+                if fast_forward(rig, plan, &pts, &mut skip) {
+                    seq += take as u64;
+                    remaining -= take;
+                    continue;
+                }
                 block.reset(&channels);
                 rig.observe_windows_with(&pts, keys, |obs| {
                     push_observation(&mut block, seq, 0, None, obs, window_s);
                     seq += 1;
                 });
+                log_offset(rig, plan);
                 sink(&mut block);
                 remaining -= take;
             }
@@ -225,6 +408,9 @@ fn drive_rig(
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
+                if fill_gate(plan, seq).is_err() {
+                    break;
+                }
                 pts.clear();
                 labels.clear();
                 for pass in 0..2u8 {
@@ -232,6 +418,14 @@ fn drive_rig(
                         pts.push(class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext()));
                         labels.push((pass, class));
                     }
+                }
+                // A skipped round still counts as collected: the resumed
+                // campaign's round total must equal the uninterrupted
+                // run's, prefix included.
+                if fast_forward(rig, plan, &pts, &mut skip) {
+                    seq += pts.len() as u64;
+                    rounds += 1;
+                    continue;
                 }
                 block.reset(&channels);
                 let mut row = 0usize;
@@ -241,6 +435,7 @@ fn drive_rig(
                     seq += 1;
                     row += 1;
                 });
+                log_offset(rig, plan);
                 sink(&mut block);
                 rounds += 1;
             }
@@ -286,6 +481,10 @@ impl TraceSource for LiveRig {
         rig.set_mitigation(plan.mitigation.unwrap_or_else(MitigationConfig::none));
         drive_rig(&mut rig, plan, sink, stop)
     }
+
+    fn fingerprint_tag(&self) -> &'static str {
+        "live"
+    }
 }
 
 /// A borrowed caller-owned rig: single shard, existing RNG/mitigation
@@ -323,6 +522,10 @@ impl TraceSource for RigSource<'_> {
             rig.set_mitigation(mitigation);
         }
         drive_rig(&mut rig, plan, sink, stop)
+    }
+
+    fn fingerprint_tag(&self) -> &'static str {
+        "rig"
     }
 }
 
@@ -386,6 +589,10 @@ impl TraceSource for Fleet {
         );
         rig.set_mitigation(plan.mitigation.unwrap_or_else(MitigationConfig::none));
         drive_rig(&mut rig, plan, sink, stop)
+    }
+
+    fn fingerprint_tag(&self) -> &'static str {
+        "fleet"
     }
 }
 
@@ -493,14 +700,16 @@ impl TraceSource for ShardReplay {
         stop: &AtomicBool,
     ) -> usize {
         let mut seq = 0u64;
+        let mut skip = plan.skip_obs;
         // Windows replayed per channel: every channel re-walks the same
         // observation sequence, so one channel's window count (not the
         // summed event total) is the shard's schedule-unit basis.
         let mut windows_per_channel: std::collections::BTreeMap<String, u64> = Default::default();
         let mut block = EventBlock::new();
         let mut chunk = Vec::with_capacity(REPLAY_CHUNK);
+        let mut degraded = false;
         for path in &self.shards[plan.shard].files {
-            if stop.load(Ordering::Relaxed) {
+            if stop.load(Ordering::Relaxed) || degraded {
                 break;
             }
             // Windowed streaming: the reader holds the header and at most
@@ -515,16 +724,32 @@ impl TraceSource for ShardReplay {
                 Ok(r) => r,
                 Err(_) => {
                     self.skipped.fetch_add(1, Ordering::Relaxed);
+                    if let Some(log) = plan.log {
+                        log.push_note(format!("cannot open recorded shard {}", path.display()));
+                    }
                     continue;
                 }
             };
             let Some(channel) = channel_for_label(reader.label()) else {
                 self.skipped.fetch_add(1, Ordering::Relaxed);
+                if let Some(log) = plan.log {
+                    log.push_note(format!(
+                        "recorded shard {} has no telemetry channel",
+                        path.display()
+                    ));
+                }
                 continue;
             };
             let label = reader.label().to_owned();
             let mut replayed = 0u64;
             loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if fill_gate(plan, seq).is_err() {
+                    degraded = true;
+                    break;
+                }
                 match reader.read_chunk(REPLAY_CHUNK, &mut chunk) {
                     Ok(0) => break,
                     Ok(n) => {
@@ -533,14 +758,32 @@ impl TraceSource for ShardReplay {
                         // by capacity × standard block size, while disk
                         // reads stay amortized at REPLAY_CHUNK traces.
                         for rows in chunk.chunks(OBS_CHUNK) {
-                            block.reset(&[channel]);
-                            seq = fill_block(rows, seq, 1.0, &mut block);
-                            sink(&mut block);
+                            let take = rows.len() as u64;
+                            if skip > 0 {
+                                // Resume prefix: already consumed by the
+                                // interrupted run, advance past it.
+                                assert!(
+                                    skip >= take,
+                                    "resume offset is not on a replay block boundary"
+                                );
+                                skip -= take;
+                                seq += take;
+                            } else {
+                                block.reset(&[channel]);
+                                seq = fill_block(rows, seq, 1.0, &mut block);
+                                sink(&mut block);
+                            }
                         }
                         replayed += n as u64;
                     }
                     Err(_) => {
                         self.skipped.fetch_add(1, Ordering::Relaxed);
+                        if let Some(log) = plan.log {
+                            log.push_note(format!(
+                                "replay of {} failed mid-stream",
+                                path.display()
+                            ));
+                        }
                         break;
                     }
                 }
@@ -557,5 +800,9 @@ impl TraceSource for ShardReplay {
             Schedule::Tvla { .. } | Schedule::AdaptiveRounds { .. } => windows / windows_per_round,
         };
         usize::try_from(produced).unwrap_or(usize::MAX)
+    }
+
+    fn fingerprint_tag(&self) -> &'static str {
+        "replay"
     }
 }

@@ -94,6 +94,46 @@ impl core::fmt::Display for CpaMergeError {
 
 impl std::error::Error for CpaMergeError {}
 
+/// Attempted to restore checkpointed CPA state captured under a different
+/// power model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpaRestoreError {
+    /// Model of the live accumulator.
+    pub ours: &'static str,
+    /// Model recorded in the checkpointed state.
+    pub theirs: String,
+}
+
+impl core::fmt::Display for CpaRestoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "cannot restore CPA state: live model {} vs checkpoint {}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for CpaRestoreError {}
+
+/// Raw accumulator state of a [`Cpa`] — everything a checkpoint must
+/// persist to resume the accumulator bit-identically (the model itself and
+/// the hypothesis table are code, rebuilt at restore time and validated by
+/// name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpaState {
+    /// Name of the power model the state was captured under.
+    pub model_name: String,
+    /// The 16 × 256 `(count, Σ value)` bins, flattened key-byte-major.
+    pub bins: Vec<(u64, f64)>,
+    /// Traces accumulated.
+    pub n: u64,
+    /// Σ value over all traces.
+    pub sum_t: f64,
+    /// Σ value² over all traces.
+    pub sum_tt: f64,
+}
+
 /// Streaming CPA accumulator for one channel and one power model.
 #[derive(Debug)]
 pub struct Cpa {
@@ -225,6 +265,50 @@ impl Cpa {
                 bin.sum_t += other_bin.sum_t;
             }
         }
+        Ok(())
+    }
+
+    /// Capture the raw accumulator state for checkpointing; see
+    /// [`CpaState`]. [`Self::restore_raw`] inverts this exactly.
+    #[must_use]
+    pub fn raw_state(&self) -> CpaState {
+        CpaState {
+            model_name: self.model.name().to_owned(),
+            bins: self.bins.iter().flatten().map(|b| (b.count, b.sum_t)).collect(),
+            n: self.n,
+            sum_t: self.sum_t,
+            sum_tt: self.sum_tt,
+        }
+    }
+
+    /// Overwrite this accumulator with checkpointed state captured by
+    /// [`Self::raw_state`] on an accumulator of the same model. The
+    /// restored accumulator continues the stream bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaRestoreError`] when `state` was captured under a
+    /// different power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.bins` does not hold exactly 16 × 256 entries —
+    /// decoded checkpoints validate the length before constructing a
+    /// [`CpaState`], so this only fires on hand-built state.
+    pub fn restore_raw(&mut self, state: &CpaState) -> Result<(), CpaRestoreError> {
+        if self.model.name() != state.model_name {
+            return Err(CpaRestoreError {
+                ours: self.model.name(),
+                theirs: state.model_name.clone(),
+            });
+        }
+        assert_eq!(state.bins.len(), 16 * 256, "CpaState must carry 16x256 bins");
+        for (bin, &(count, sum_t)) in self.bins.iter_mut().flatten().zip(&state.bins) {
+            *bin = Bin { count, sum_t };
+        }
+        self.n = state.n;
+        self.sum_t = state.sum_t;
+        self.sum_tt = state.sum_tt;
         Ok(())
     }
 

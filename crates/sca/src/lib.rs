@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod cpa;
 pub mod enumerate;
@@ -52,7 +53,8 @@ pub mod stats;
 pub mod trace;
 pub mod tvla;
 
-pub use cpa::{Cpa, CpaMergeError};
+pub use checkpoint::{CheckpointError, PayloadReader, PayloadWriter, Section, CHECKPOINT_VERSION};
+pub use cpa::{Cpa, CpaMergeError, CpaRestoreError, CpaState};
 pub use enumerate::{verify_with_pair, KeyEnumerator};
 pub use model::{paper_models, PowerModel, Rd0Hw, Rd10Hd, Rd10Hw, RecoveredRound};
 pub use rank::{ge_curve, guessing_entropy, GeCurve, GePoint};

@@ -64,6 +64,20 @@ impl RunningMoments {
         self.variance().sqrt()
     }
 
+    /// The raw Welford state `(n, mean, m2)` — the exact words a
+    /// checkpoint must persist for [`Self::from_raw`] to resume the
+    /// stream bit-identically.
+    #[must_use]
+    pub fn raw(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from raw state captured by [`Self::raw`].
+    #[must_use]
+    pub fn from_raw(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
+
     /// Merge two accumulators (parallel collection).
     #[must_use]
     pub fn merged(self, other: Self) -> Self {

@@ -315,6 +315,18 @@ impl TvlaTracker {
     pub fn merged(self, other: Self) -> Self {
         Self { a: self.a.merged(other.a), b: self.b.merged(other.b) }
     }
+
+    /// The raw `(A, B)` moment pair, for checkpoint serialization.
+    #[must_use]
+    pub fn raw(&self) -> (RunningMoments, RunningMoments) {
+        (self.a, self.b)
+    }
+
+    /// Rebuild a tracker from the raw pair captured by [`Self::raw`].
+    #[must_use]
+    pub fn from_raw(a: RunningMoments, b: RunningMoments) -> Self {
+        Self { a, b }
+    }
 }
 
 /// Online accumulator for a full 3×3 TVLA campaign: six Welford moment
@@ -389,6 +401,19 @@ impl TvlaAccumulator {
             }
         }
         out
+    }
+
+    /// The six raw moment accumulators in `[pass][class]` order, for
+    /// checkpoint serialization.
+    #[must_use]
+    pub fn raw(&self) -> [[RunningMoments; 3]; 2] {
+        self.moments
+    }
+
+    /// Rebuild an accumulator from raw moments captured by [`Self::raw`].
+    #[must_use]
+    pub fn from_raw(moments: [[RunningMoments; 3]; 2]) -> Self {
+        Self { moments }
     }
 
     /// The 3×3 t-score matrix, identical in structure and classification

@@ -202,3 +202,135 @@ proptest! {
         prop_assert_eq!(&p_values[..], &set_values[..p.len()]);
     }
 }
+
+mod checkpoint_props {
+    use proptest::prelude::*;
+    use psc_sca::checkpoint::{
+        decode_frame, encode_frame, get_cpa_state, get_tracker, get_tvla_accumulator,
+        put_cpa_state, put_tracker, put_tvla_accumulator, PayloadReader, PayloadWriter, Section,
+        CPA_BINS,
+    };
+    use psc_sca::cpa::CpaState;
+    use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaTracker};
+
+    fn arb_sections() -> impl Strategy<Value = Vec<Section>> {
+        proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..96))
+                .prop_map(|(tag, payload)| Section { tag, payload }),
+            0..6,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn frame_round_trips_bit_identically(sections in arb_sections()) {
+            let bytes = encode_frame(&sections);
+            prop_assert_eq!(decode_frame(&bytes).unwrap(), sections);
+        }
+
+        #[test]
+        fn truncation_never_panics_and_always_errs(sections in arb_sections(), frac in 0.0f64..1.0) {
+            let bytes = encode_frame(&sections);
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            prop_assert!(decode_frame(&bytes[..cut.min(bytes.len() - 1)]).is_err());
+        }
+
+        #[test]
+        fn byte_flips_never_panic_and_always_err(
+            sections in arb_sections(),
+            idx in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            let mut bytes = encode_frame(&sections);
+            let i = idx % bytes.len();
+            bytes[i] ^= 1 << bit;
+            prop_assert!(decode_frame(&bytes).is_err());
+        }
+
+        #[test]
+        fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_frame(&bytes);
+        }
+
+        #[test]
+        fn tvla_accumulator_round_trips_bit_identically(
+            samples in proptest::collection::vec((0usize..2, 0usize..3, -50.0f64..50.0), 0..120),
+        ) {
+            let mut acc = TvlaAccumulator::new();
+            for &(pass, class, v) in &samples {
+                acc.push(pass, PlaintextClass::ALL[class], v);
+            }
+            let mut w = PayloadWriter::new();
+            put_tvla_accumulator(&mut w, &acc);
+            let section = w.into_section(3);
+            let mut r = PayloadReader::new(&section.payload);
+            let back = get_tvla_accumulator(&mut r).unwrap();
+            r.finish().unwrap();
+            let ours = acc.raw();
+            let theirs = back.raw();
+            for (a, b) in ours.iter().flatten().zip(theirs.iter().flatten()) {
+                let (an, am, a2) = a.raw();
+                let (bn, bm, b2) = b.raw();
+                prop_assert_eq!(an, bn);
+                prop_assert_eq!(am.to_bits(), bm.to_bits());
+                prop_assert_eq!(a2.to_bits(), b2.to_bits());
+            }
+        }
+
+        #[test]
+        fn tracker_round_trips_bit_identically(
+            xs in proptest::collection::vec(-10.0f64..10.0, 0..40),
+            ys in proptest::collection::vec(-10.0f64..10.0, 0..40),
+        ) {
+            let mut tracker = TvlaTracker::new();
+            for &x in &xs { tracker.push_a(x); }
+            for &y in &ys { tracker.push_b(y); }
+            let mut w = PayloadWriter::new();
+            put_tracker(&mut w, &tracker);
+            let section = w.into_section(4);
+            let mut r = PayloadReader::new(&section.payload);
+            let back = get_tracker(&mut r).unwrap();
+            r.finish().unwrap();
+            let (a1, b1) = tracker.raw();
+            let (a2, b2) = back.raw();
+            prop_assert_eq!(a1.raw().0, a2.raw().0);
+            prop_assert_eq!(a1.raw().1.to_bits(), a2.raw().1.to_bits());
+            prop_assert_eq!(b1.raw().2.to_bits(), b2.raw().2.to_bits());
+        }
+
+        #[test]
+        fn cpa_state_round_trips_and_rejects_truncation(
+            seed in any::<u64>(),
+            n in 0u64..10_000,
+        ) {
+            let mut x = seed | 1;
+            let mut next = move || {
+                // xorshift64* — cheap deterministic bin filler.
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            let state = CpaState {
+                model_name: "Rd10-HD".into(),
+                bins: (0..CPA_BINS)
+                    .map(|_| (next() % 1024, (next() % 2048) as f64 / 7.0 - 100.0))
+                    .collect(),
+                n,
+                sum_t: (next() % 4096) as f64 / 3.0,
+                sum_tt: (next() % 4096) as f64 * 11.0,
+            };
+            let mut w = PayloadWriter::new();
+            put_cpa_state(&mut w, &state);
+            let section = w.into_section(5);
+            let mut r = PayloadReader::new(&section.payload);
+            let back = get_cpa_state(&mut r).unwrap();
+            r.finish().unwrap();
+            prop_assert_eq!(back, state);
+            // Any truncated prefix must decode to a clean error.
+            let cut = section.payload.len() / 2;
+            let mut r = PayloadReader::new(&section.payload[..cut]);
+            prop_assert!(get_cpa_state(&mut r).is_err());
+        }
+    }
+}

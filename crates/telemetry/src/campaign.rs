@@ -37,6 +37,38 @@ where
     })
 }
 
+/// As [`run_sharded`], but a panicking worker takes down only its own
+/// shard: the panic is caught at the join boundary and surfaced as
+/// `Err(message)` in that shard's slot while every other shard's result
+/// is kept. This is the isolation boundary behind graceful campaign
+/// degradation — one poisoned rig or processor must not discard the
+/// statistics the surviving shards already paid for.
+pub fn run_sharded_caught<T, W>(shards: usize, worker: W) -> Vec<Result<T, String>>
+where
+    T: Send,
+    W: Fn(usize) -> T + Sync,
+{
+    assert!(shards > 0, "need at least one shard");
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards).map(|i| scope.spawn(move || worker(i))).collect();
+        handles.into_iter().map(|h| h.join().map_err(|p| panic_message(&*p))).collect()
+    })
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +101,18 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = run_sharded(0, |i| i);
+    }
+
+    #[test]
+    fn caught_fanout_isolates_the_panicking_shard() {
+        let results = run_sharded_caught(4, |i| {
+            assert!(i != 2, "shard 2 goes down");
+            i * 10
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Ok(10));
+        assert_eq!(results[3], Ok(30));
+        let err = results[2].as_ref().unwrap_err();
+        assert!(err.contains("shard 2 goes down"), "panic message surfaced: {err}");
     }
 }

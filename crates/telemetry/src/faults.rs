@@ -1,0 +1,253 @@
+//! Deterministic fault injection and retry policies.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against, and real failures (a transient `EIO`, a worker OOM-killed
+//! mid-campaign, a throttled filesystem) are miserable to reproduce on
+//! demand. This module provides the harness the fault-tolerance tests and
+//! the `psc` CLI use to *manufacture* those failures deterministically:
+//!
+//! * [`FaultPlan`] — a declarative schedule of faults: fail the next N
+//!   source fills on one shard, fail the next N recorder writes, panic a
+//!   chosen shard's consumer at a chosen block, or slow the producer
+//!   down;
+//! * [`FaultState`] — the armed plan: shared atomics that the pipeline's
+//!   instrumentation points consult. Each budget decrements exactly once
+//!   per injected fault, so a plan of "2 source errors" produces exactly
+//!   two, campaign-wide, regardless of thread interleaving;
+//! * [`RetryPolicy`] — bounded exponential backoff with *deterministic*
+//!   jitter (a [splitmix64] hash of a caller salt and the attempt
+//!   number), so retry schedules are reproducible run-to-run.
+//!
+//! Everything is zero-cost when unarmed: the pipeline threads an
+//! `Option<Arc<FaultState>>` and a `None` short-circuits before any
+//! atomic is touched.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A declarative schedule of faults to inject into one campaign run.
+///
+/// The default plan injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail this many consecutive trace-source fills on `source_shard`
+    /// with a transient error (retryable by the source's
+    /// [`RetryPolicy`]).
+    pub source_errors: u32,
+    /// Shard whose source fills fail (ignored when `source_errors == 0`).
+    pub source_shard: usize,
+    /// Fail this many recorder batch writes, campaign-wide, with a
+    /// transient I/O error.
+    pub recorder_errors: u32,
+    /// Panic the consumer of shard `.0` when it has pumped block `.1`
+    /// (0-based): `Some((1, 2))` panics shard 1's consumer after its
+    /// third block.
+    pub panic_shard: Option<(usize, u64)>,
+    /// Extra wall-clock delay per source fill, microseconds — a slow
+    /// producer, exercising bus back-pressure under degraded hardware.
+    pub source_delay_us: u64,
+}
+
+impl FaultPlan {
+    /// Arm the plan, producing the shared state the pipeline consults.
+    #[must_use]
+    pub fn armed(self) -> Arc<FaultState> {
+        Arc::new(FaultState {
+            source_budget: AtomicU32::new(self.source_errors),
+            recorder_budget: AtomicU32::new(self.recorder_errors),
+            panic_fired: AtomicBool::new(false),
+            plan: self,
+        })
+    }
+}
+
+/// An armed [`FaultPlan`]: shared, thread-safe fault budgets.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    source_budget: AtomicU32,
+    recorder_budget: AtomicU32,
+    panic_fired: AtomicBool,
+}
+
+impl FaultState {
+    /// The plan this state was armed from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Should this source fill on `shard` fail? Consumes one unit of the
+    /// source-error budget when it fires.
+    pub fn take_source_error(&self, shard: usize) -> bool {
+        if shard != self.plan.source_shard {
+            return false;
+        }
+        self.source_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Should this recorder batch write fail? Consumes one unit of the
+    /// recorder-error budget when it fires.
+    pub fn take_recorder_error(&self) -> bool {
+        self.recorder_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Should shard `shard`'s consumer panic after pumping block
+    /// `block`? Fires at most once per campaign.
+    pub fn take_consumer_panic(&self, shard: usize, block: u64) -> bool {
+        match self.plan.panic_shard {
+            Some((s, b)) if s == shard && block >= b => {
+                !self.panic_fired.swap(true, Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+
+    /// The per-fill producer delay, if the plan slows the source.
+    #[must_use]
+    pub fn source_delay(&self) -> Option<Duration> {
+        (self.plan.source_delay_us > 0).then(|| Duration::from_micros(self.plan.source_delay_us))
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// `delay(attempt, salt)` for attempt 1, 2, … doubles the base delay per
+/// attempt, caps it at `max_delay`, and adds up to 25% jitter derived
+/// from a splitmix64 hash of `salt ^ attempt` — reproducible for a fixed
+/// salt, decorrelated across shards (which pass their shard index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms → 8 ms backoff: generous for transient local
+    /// I/O without stalling a real campaign on a hard failure.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(8),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// No retries at all: fail on the first error.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { max_attempts: 1, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+    }
+
+    /// Whether attempt number `attempt` (1-based) may be retried after a
+    /// failure.
+    #[must_use]
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Backoff before retrying after failed attempt `attempt` (1-based),
+    /// with deterministic jitter keyed by `salt`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self.base_delay.saturating_mul(1u32 << exp).min(self.max_delay);
+        // Up to +25% deterministic jitter.
+        let jitter_num = splitmix64(salt ^ u64::from(attempt)) % 256;
+        base + base.mul_f64(jitter_num as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_fire_exactly_n_times() {
+        let state = FaultPlan {
+            source_errors: 2,
+            source_shard: 1,
+            recorder_errors: 1,
+            ..FaultPlan::default()
+        }
+        .armed();
+        assert!(!state.take_source_error(0), "wrong shard never fires");
+        assert!(state.take_source_error(1));
+        assert!(state.take_source_error(1));
+        assert!(!state.take_source_error(1), "budget exhausted");
+        assert!(state.take_recorder_error());
+        assert!(!state.take_recorder_error());
+    }
+
+    #[test]
+    fn budgets_are_exact_under_contention() {
+        let state =
+            FaultPlan { source_errors: 100, source_shard: 0, ..FaultPlan::default() }.armed();
+        let fired: u32 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let state = Arc::clone(&state);
+                    scope.spawn(move || {
+                        (0..1000).filter(|_| state.take_source_error(0)).count() as u32
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(fired, 100, "each budget unit fires exactly once across threads");
+    }
+
+    #[test]
+    fn consumer_panic_fires_once_at_or_after_block() {
+        let state = FaultPlan { panic_shard: Some((2, 3)), ..FaultPlan::default() }.armed();
+        assert!(!state.take_consumer_panic(2, 2), "before the target block");
+        assert!(!state.take_consumer_panic(0, 5), "wrong shard");
+        assert!(state.take_consumer_panic(2, 3));
+        assert!(!state.take_consumer_panic(2, 4), "fires at most once");
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_monotonic() {
+        let policy = RetryPolicy::default();
+        assert!(policy.should_retry(1));
+        assert!(policy.should_retry(2));
+        assert!(!policy.should_retry(3));
+        for attempt in 1..=6 {
+            let a = policy.delay(attempt, 42);
+            let b = policy.delay(attempt, 42);
+            assert_eq!(a, b, "same salt, same delay");
+            assert!(a <= policy.max_delay.mul_f64(1.25), "capped incl. jitter");
+        }
+        assert!(policy.delay(1, 7) >= policy.base_delay);
+        assert_ne!(policy.delay(1, 7), policy.delay(1, 8), "salt decorrelates shards");
+    }
+
+    #[test]
+    fn unarmed_plan_is_inert() {
+        let state = FaultPlan::default().armed();
+        assert!(!state.take_source_error(0));
+        assert!(!state.take_recorder_error());
+        assert!(!state.take_consumer_panic(0, 0));
+        assert!(state.source_delay().is_none());
+    }
+}

@@ -124,6 +124,7 @@
 pub mod block;
 pub mod campaign;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod processor;
 pub mod processors;
@@ -132,8 +133,9 @@ pub mod ring;
 pub mod spans;
 
 pub use block::EventBlock;
-pub use campaign::{run_sharded, split_counts};
+pub use campaign::{panic_message, run_sharded, run_sharded_caught, split_counts};
 pub use event::{ChannelId, Event, SampleEvent, SchedEvent, WindowEvent};
+pub use faults::{FaultPlan, FaultState, RetryPolicy};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsReport, MetricsSnapshot};
 pub use processor::{PollMode, Processor, Pump};
 pub use processors::{

@@ -419,8 +419,13 @@ pub mod names {
     pub const CONSUME_BLOCK_NS: &str = "consume.on_block_ns";
     /// Denied SMC reads observed by the cadence monitor (counter).
     pub const DENIED_READS: &str = "sched.denied_reads";
-    /// Recorder shard-write failures (counter).
+    /// Recorder shard-write failures (counter). Incremented only after
+    /// the write's retry budget is exhausted — the batch is lost.
     pub const RECORDER_IO_ERRORS: &str = "recorder.io_errors";
+    /// Recorder batch writes retried after a transient failure
+    /// (counter). Nonzero retries with zero `recorder.io_errors` means
+    /// every fault recovered and no traces were lost.
+    pub const RECORDER_IO_RETRIES: &str = "recorder.io_retries";
     /// Traces persisted by the shard recorders (counter).
     pub const RECORDER_TRACES: &str = "recorder.traces";
 }

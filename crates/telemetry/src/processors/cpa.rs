@@ -3,6 +3,8 @@
 use crate::block::EventBlock;
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
+use crate::replay::channel_for_label;
+use psc_sca::checkpoint::{self, CheckpointError, PayloadReader, PayloadWriter};
 use psc_sca::cpa::{Cpa, CpaMergeError, HypTable};
 use psc_sca::model::PowerModel;
 use psc_sca::trace::Trace;
@@ -96,6 +98,60 @@ impl StreamingCpa {
     #[must_use]
     pub fn orphan_samples(&self) -> u64 {
         self.orphan_samples
+    }
+
+    /// Serialize the full processor state — per-channel CPA bins, drop
+    /// counters and the in-flight window record — into a campaign
+    /// checkpoint payload (~64 KB per channel).
+    pub fn encode_state(&self, w: &mut PayloadWriter) {
+        w.put_u32(self.cpas.len() as u32);
+        for (channel, cpa) in &self.cpas {
+            w.put_str(&channel.to_string());
+            checkpoint::put_cpa_state(w, &cpa.raw_state());
+        }
+        match self.current {
+            None => w.put_u8(0),
+            Some((pt, ct)) => {
+                w.put_u8(1);
+                w.put_bytes(&pt);
+                w.put_bytes(&ct);
+            }
+        }
+        w.put_u64(self.unregistered_samples);
+        w.put_u64(self.orphan_samples);
+    }
+
+    /// Restore state written by [`Self::encode_state`] into a processor
+    /// built from the *same campaign configuration* (same channels, same
+    /// power model): accumulator bins are overwritten bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Truncated payloads, unknown labels, snapshot channels this
+    /// processor was not built for, and power-model mismatches all come
+    /// back as [`CheckpointError`].
+    pub fn restore_state(&mut self, r: &mut PayloadReader<'_>) -> Result<(), CheckpointError> {
+        let channels = r.get_u32()?;
+        for _ in 0..channels {
+            let label = r.get_str()?;
+            let channel = channel_for_label(&label)
+                .ok_or(CheckpointError::Corrupt("unknown channel label"))?;
+            let state = checkpoint::get_cpa_state(r)?;
+            let cpa = self
+                .cpas
+                .get_mut(&channel)
+                .ok_or(CheckpointError::Corrupt("snapshot channel is not registered"))?;
+            cpa.restore_raw(&state)
+                .map_err(|_| CheckpointError::Corrupt("snapshot power model mismatch"))?;
+        }
+        self.current = match r.get_u8()? {
+            0 => None,
+            1 => Some((r.get_bytes::<16>()?, r.get_bytes::<16>()?)),
+            _ => return Err(CheckpointError::Corrupt("bad window-record flag")),
+        };
+        self.unregistered_samples = r.get_u64()?;
+        self.orphan_samples = r.get_u64()?;
+        Ok(())
     }
 
     /// Merge a shard's accumulators into this one. Channel sets must

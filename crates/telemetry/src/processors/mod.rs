@@ -9,5 +9,5 @@ pub mod tvla;
 pub use collect::{DatasetCollector, TraceCollector};
 pub use cpa::StreamingCpa;
 pub use monitor::{CadenceCheckpoint, ThrottleMonitor};
-pub use recorder::ShardRecorder;
+pub use recorder::{RecorderState, ShardRecorder};
 pub use tvla::StreamingTvla;

@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::processor::{PollMode, Processor};
+use psc_sca::checkpoint::{CheckpointError, PayloadReader, PayloadWriter};
 use std::collections::VecDeque;
 
 /// One cadence snapshot taken at a poll tick.
@@ -95,6 +96,60 @@ impl ThrottleMonitor {
         self.windows += other.windows;
         self.denied_reads += other.denied_reads;
         self
+    }
+
+    /// Serialize the accumulated cadence state (retained checkpoints,
+    /// totals, and the in-progress tick) into a campaign checkpoint
+    /// payload. Configuration (interval, retention) is not serialized —
+    /// the resuming campaign rebuilds it from its own spec.
+    pub fn encode_state(&self, w: &mut PayloadWriter) {
+        w.put_u32(self.checkpoints.len() as u32);
+        for c in &self.checkpoints {
+            w.put_f64(c.time_s);
+            w.put_u64(c.observations);
+            w.put_u64(c.windows);
+            w.put_f64(c.stretch);
+        }
+        w.put_u64(self.observations);
+        w.put_u64(self.windows);
+        w.put_u64(self.denied_reads);
+        w.put_u64(self.tick_observations);
+        w.put_u64(self.tick_windows);
+        w.put_f64(self.last_time_s);
+    }
+
+    /// Restore state written by [`Self::encode_state`] into a freshly
+    /// configured monitor, replacing its counters bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Truncated payloads and snapshots holding more checkpoints than
+    /// this monitor retains come back as [`CheckpointError`].
+    pub fn restore_state(&mut self, r: &mut PayloadReader<'_>) -> Result<(), CheckpointError> {
+        let n = r.get_u32()? as usize;
+        if n > self.max_checkpoints {
+            return Err(CheckpointError::Corrupt("snapshot exceeds checkpoint retention"));
+        }
+        self.checkpoints.clear();
+        for _ in 0..n {
+            let time_s = r.get_f64()?;
+            let observations = r.get_u64()?;
+            let windows = r.get_u64()?;
+            let stretch = r.get_f64()?;
+            self.checkpoints.push_back(CadenceCheckpoint {
+                time_s,
+                observations,
+                windows,
+                stretch,
+            });
+        }
+        self.observations = r.get_u64()?;
+        self.windows = r.get_u64()?;
+        self.denied_reads = r.get_u64()?;
+        self.tick_observations = r.get_u64()?;
+        self.tick_windows = r.get_u64()?;
+        self.last_time_s = r.get_f64()?;
+        Ok(())
     }
 
     fn push_checkpoint(&mut self, time_s: f64) {
@@ -200,6 +255,36 @@ mod tests {
         assert_eq!(checkpoints[0].observations, 5);
         assert!((checkpoints[0].stretch - 3.0).abs() < 1e-12);
         assert!((checkpoints[0].time_s - 12.0).abs() < 1e-12, "stamped at the last event");
+    }
+
+    #[test]
+    fn state_round_trips_through_checkpoint_payload() {
+        let mut m = ThrottleMonitor::new(10.0, 4);
+        let mut pump = Pump::new();
+        pump.attach(&mut m);
+        for i in 0..37 {
+            pump.dispatch(&sched(f64::from(i) * 3.0, 2));
+        }
+        // No finish: snapshot mid-campaign with a partial tick pending.
+        let mut w = PayloadWriter::new();
+        m.encode_state(&mut w);
+        let section = w.into_section(5);
+        let mut restored = ThrottleMonitor::new(10.0, 4);
+        let mut r = PayloadReader::new(&section.payload);
+        restored.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.observations(), m.observations());
+        assert_eq!(restored.denied_reads(), m.denied_reads());
+        assert_eq!(restored.overall_stretch().to_bits(), m.overall_stretch().to_bits());
+        let a: Vec<_> = m.checkpoints().copied().collect();
+        let b: Vec<_> = restored.checkpoints().copied().collect();
+        assert_eq!(a, b);
+        // The pending tick continues identically on both.
+        Processor::on_finish(&mut restored);
+        Processor::on_finish(&mut m);
+        let a: Vec<_> = m.checkpoints().copied().collect();
+        let b: Vec<_> = restored.checkpoints().copied().collect();
+        assert_eq!(a, b, "partial tick flushed identically after restore");
     }
 
     #[test]

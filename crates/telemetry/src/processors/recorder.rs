@@ -2,11 +2,13 @@
 
 use crate::block::EventBlock;
 use crate::event::{ChannelId, Event};
+use crate::faults::{FaultState, RetryPolicy};
 use crate::processor::Processor;
 use psc_sca::codec::{self, LabeledTrace};
 use psc_sca::trace::{Trace, TraceSet};
 use psc_sca::tvla::PlaintextClass;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The window context a sample inherits: TVLA labels plus the
 /// known-plaintext record.
@@ -16,6 +18,22 @@ struct WindowLabels {
     class: Option<PlaintextClass>,
     plaintext: [u8; 16],
     ciphertext: [u8; 16],
+}
+
+/// A [`ShardRecorder`]'s durable counters, as captured into (and
+/// restored from) a campaign checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecorderState {
+    /// Channel label the recorder writes under.
+    pub label: String,
+    /// Shard files already written; numbering continues here on resume.
+    pub files_written: u64,
+    /// Total traces recorded.
+    pub traces_recorded: u64,
+    /// Batches lost after exhausting the retry budget.
+    pub io_errors: u64,
+    /// Transient write failures that were retried.
+    pub io_retries: u64,
 }
 
 /// Persists one channel's traces to disk in bounded batches via
@@ -38,7 +56,10 @@ pub struct ShardRecorder {
     files: Vec<PathBuf>,
     traces_recorded: u64,
     io_errors: u64,
+    io_retries: u64,
     last_error: Option<String>,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl ShardRecorder {
@@ -69,8 +90,28 @@ impl ShardRecorder {
             files: Vec::new(),
             traces_recorded: 0,
             io_errors: 0,
+            io_retries: 0,
             last_error: None,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
+    }
+
+    /// Replace the write [`RetryPolicy`] (default: three attempts with
+    /// millisecond backoff; [`RetryPolicy::none`] fails immediately).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arm fault injection: each batch write first consults
+    /// [`FaultState::take_recorder_error`] and fails transiently while
+    /// the plan's recorder-error budget lasts.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultState>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Shard files written so far.
@@ -85,12 +126,23 @@ impl ShardRecorder {
         self.traces_recorded
     }
 
-    /// Write failures (each also drops that batch; see [`last_error`]).
+    /// Write failures that exhausted their retry budget (each also drops
+    /// that batch; see [`last_error`]).
     ///
     /// [`last_error`]: ShardRecorder::last_error
     #[must_use]
     pub fn io_errors(&self) -> u64 {
         self.io_errors
+    }
+
+    /// Batch writes retried after a transient failure. Nonzero retries
+    /// with zero [`io_errors`] means every fault recovered and no traces
+    /// were lost.
+    ///
+    /// [`io_errors`]: ShardRecorder::io_errors
+    #[must_use]
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
     }
 
     /// Most recent write failure message.
@@ -99,7 +151,20 @@ impl ShardRecorder {
         self.last_error.as_deref()
     }
 
-    fn flush(&mut self) {
+    fn write_batch(&self, path: &PathBuf) -> Result<(), codec::CodecError> {
+        if self.faults.as_ref().is_some_and(|f| f.take_recorder_error()) {
+            return Err(codec::CodecError::Io(std::io::Error::other("injected recorder fault")));
+        }
+        std::fs::File::create(path)
+            .map_err(codec::CodecError::Io)
+            .and_then(|f| codec::write_recording(&self.label, &self.buffer, f))
+    }
+
+    /// Persist the in-flight buffer now (idempotent when empty). Called
+    /// automatically at capacity and on finish; checkpointing drivers
+    /// call it before snapshotting so the snapshot's file count covers
+    /// every recorded trace.
+    pub fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
@@ -113,9 +178,22 @@ impl ShardRecorder {
         // genuine failures (permissions, a file in the way) still
         // surface through File::create below.
         let _ = std::fs::create_dir_all(&self.dir);
-        let result = std::fs::File::create(&path)
-            .map_err(codec::CodecError::Io)
-            .and_then(|f| codec::write_recording(&self.label, &self.buffer, f));
+        // Transient failures are retried with backoff while the policy
+        // allows; the buffer is kept intact across attempts and only
+        // dropped once the budget is exhausted.
+        let salt = self.shard as u64 ^ (self.files.len() as u64) << 32;
+        let mut attempt = 1u32;
+        let result = loop {
+            match self.write_batch(&path) {
+                Ok(()) => break Ok(()),
+                Err(_) if self.retry.should_retry(attempt) => {
+                    self.io_retries += 1;
+                    std::thread::sleep(self.retry.delay(attempt, salt));
+                    attempt += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
         self.buffer.clear();
         match result {
             Ok(()) => self.files.push(path),
@@ -124,6 +202,39 @@ impl ShardRecorder {
                 self.last_error = Some(format!("{}: {e}", path.display()));
             }
         }
+    }
+
+    /// Snapshot the recorder's durable state for a campaign checkpoint.
+    /// Call [`Self::flush`] first so the in-flight buffer is empty and
+    /// the snapshot covers every recorded trace.
+    #[must_use]
+    pub fn checkpoint_state(&self) -> RecorderState {
+        RecorderState {
+            label: self.label.clone(),
+            files_written: self.files.len() as u64,
+            traces_recorded: self.traces_recorded,
+            io_errors: self.io_errors,
+            io_retries: self.io_retries,
+        }
+    }
+
+    /// Restore a freshly built recorder from a checkpoint snapshot:
+    /// counters resume and file numbering continues after the already
+    /// written shards (whose deterministic paths are reconstructed so
+    /// [`Self::files`] stays complete across a resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken for a different channel label —
+    /// a configuration mismatch, not recoverable data corruption.
+    pub fn restore_state(&mut self, state: &RecorderState) {
+        assert_eq!(state.label, self.label, "recorder snapshot is for another channel");
+        self.files = (0..state.files_written)
+            .map(|i| self.dir.join(format!("{}-s{:03}-{:04}.psct", self.label, self.shard, i)))
+            .collect();
+        self.traces_recorded = state.traces_recorded;
+        self.io_errors = state.io_errors;
+        self.io_retries = state.io_retries;
     }
 
     /// Read every written shard back, concatenated in write order (test
@@ -306,6 +417,64 @@ mod tests {
         }
         std::fs::remove_dir(&dir).ok();
         std::fs::remove_dir(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_and_recovered() {
+        use crate::faults::FaultPlan;
+        let dir = temp_dir("retry");
+        let faults = FaultPlan { recorder_errors: 2, ..FaultPlan::default() }.armed();
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 0, 10).with_faults(faults);
+        feed(&mut rec, 25);
+        // Two injected faults, both inside the default 3-attempt budget:
+        // retried, recovered, nothing lost.
+        assert_eq!(rec.io_retries(), 2);
+        assert_eq!(rec.io_errors(), 0);
+        assert_eq!(rec.files().len(), 3);
+        assert_eq!(ShardRecorder::read_back(rec.files()).unwrap().len(), 25);
+        for f in rec.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_loses_the_batch_and_counts_it() {
+        use crate::faults::FaultPlan;
+        let dir = temp_dir("exhaust");
+        // Four consecutive faults on one batch: attempts 1-3 all fail,
+        // the batch is dropped, and later batches write cleanly.
+        let faults = FaultPlan { recorder_errors: 4, ..FaultPlan::default() }.armed();
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 0, 10).with_faults(faults);
+        feed(&mut rec, 25);
+        assert_eq!(rec.io_errors(), 1, "first batch lost");
+        assert_eq!(rec.io_retries(), 3, "two on the lost batch, one recovering the second");
+        assert_eq!(rec.files().len(), 2);
+        assert_eq!(ShardRecorder::read_back(rec.files()).unwrap().len(), 15);
+        for f in rec.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_restore_continues_file_numbering() {
+        let dir = temp_dir("snapshot");
+        let mut rec = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 1, 10);
+        feed(&mut rec, 20);
+        let state = rec.checkpoint_state();
+        assert_eq!(state.files_written, 2);
+        let mut resumed = ShardRecorder::new(&dir, "PHPC", ChannelId::Pcpu, 1, 10);
+        resumed.restore_state(&state);
+        assert_eq!(resumed.files(), rec.files());
+        assert_eq!(resumed.traces_recorded(), 20);
+        feed(&mut resumed, 10);
+        assert_eq!(resumed.files().len(), 3, "numbering continues after restored shards");
+        assert_eq!(ShardRecorder::read_back(resumed.files()).unwrap().len(), 30);
+        for f in resumed.files() {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

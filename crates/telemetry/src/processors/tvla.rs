@@ -3,6 +3,8 @@
 use crate::block::EventBlock;
 use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
+use crate::replay::channel_for_label;
+use psc_sca::checkpoint::{self, CheckpointError, PayloadReader, PayloadWriter};
 use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaMatrix, TvlaTracker};
 use std::collections::BTreeMap;
 
@@ -86,6 +88,75 @@ impl StreamingTvla {
             let (a, b) = w.tracker.counts();
             a >= w.min_per_side && b >= w.min_per_side && w.tracker.leakage_detected()
         })
+    }
+
+    /// Serialize the full processor state — per-channel accumulators,
+    /// early-stop trackers, orphan count and the in-flight window labels
+    /// — into a campaign checkpoint payload.
+    pub fn encode_state(&self, w: &mut PayloadWriter) {
+        w.put_u32(self.accs.len() as u32);
+        for (channel, acc) in &self.accs {
+            w.put_str(&channel.to_string());
+            checkpoint::put_tvla_accumulator(w, acc);
+        }
+        match self.current {
+            None => w.put_u8(0),
+            Some((pass, class)) => {
+                w.put_u8(1);
+                w.put_u8(pass);
+                w.put_u8(class.map_or(3, |c| c.index() as u8));
+            }
+        }
+        w.put_u64(self.orphan_samples);
+        w.put_u32(self.watched.len() as u32);
+        for (channel, watch) in &self.watched {
+            w.put_str(&channel.to_string());
+            w.put_u64(watch.min_per_side);
+            checkpoint::put_tracker(w, &watch.tracker);
+        }
+    }
+
+    /// Restore state written by [`Self::encode_state`], replacing this
+    /// processor's accumulators bit-identically (any watches registered
+    /// before the restore are replaced by the snapshot's).
+    ///
+    /// # Errors
+    ///
+    /// Truncated payloads and unknown channel labels come back as
+    /// [`CheckpointError`].
+    pub fn restore_state(&mut self, r: &mut PayloadReader<'_>) -> Result<(), CheckpointError> {
+        let parse = |label: String| {
+            channel_for_label(&label).ok_or(CheckpointError::Corrupt("unknown channel label"))
+        };
+        let accs = r.get_u32()?;
+        self.accs.clear();
+        for _ in 0..accs {
+            let channel = parse(r.get_str()?)?;
+            self.accs.insert(channel, checkpoint::get_tvla_accumulator(r)?);
+        }
+        self.current = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let pass = r.get_u8()?;
+                let class = match r.get_u8()? {
+                    i @ 0..=2 => Some(PlaintextClass::ALL[usize::from(i)]),
+                    3 => None,
+                    _ => return Err(CheckpointError::Corrupt("bad plaintext class index")),
+                };
+                Some((pass, class))
+            }
+            _ => return Err(CheckpointError::Corrupt("bad window-label flag")),
+        };
+        self.orphan_samples = r.get_u64()?;
+        let watched = r.get_u32()?;
+        self.watched.clear();
+        for _ in 0..watched {
+            let channel = parse(r.get_str()?)?;
+            let min_per_side = r.get_u64()?;
+            let tracker = checkpoint::get_tracker(r)?;
+            self.watched.insert(channel, WatchState { min_per_side, tracker });
+        }
+        Ok(())
     }
 
     /// Merge a shard's accumulators into this one.

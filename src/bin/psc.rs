@@ -9,8 +9,10 @@
 //! psc throttle                     # §4 throttling study
 //! psc success [--traces N]         # success-rate extension
 //! psc campaign [--cpa|--adaptive] [--fleet] [--record DIR]
+//!              [--checkpoint DIR [--checkpoint-every N]]
 //!                                  # the Campaign-builder drivers
 //!                                  # (`psc stream` is an alias)
+//! psc resume DIR                   # resume a checkpointed campaign
 //! psc replay DIR [--cpa]           # replay recorded .psct shards
 //! psc collect --out FILE [--traces N] [--key HEX32]
 //!                                  # record a PHPC campaign to disk
@@ -56,6 +58,7 @@ COMMANDS:
              [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
              [--metrics FILE] [--trace FILE] [--progress [SECS]]
              [--monitor SECS]
+             [--checkpoint DIR [--checkpoint-every N] [--halt-after K]]
                               The Campaign-builder drivers (O(1)-memory
                               online TVLA / CPA; --adaptive stops at the
                               TVLA threshold crossing; --fleet fans shards
@@ -65,8 +68,20 @@ COMMANDS:
                               as JSON, --trace writes campaign spans as
                               Chrome trace-event JSON for Perfetto,
                               --progress prints a periodic stderr line,
-                              --monitor sets the cadence poll interval).
+                              --monitor sets the cadence poll interval;
+                              --checkpoint snapshots every shard to DIR
+                              every N consumed blocks (default 8) and
+                              records the spec so `psc resume DIR` can
+                              finish the campaign bit-identically;
+                              --halt-after stops the run after K
+                              checkpoints, a deterministic interrupt).
                               `stream` is accepted as an alias.
+    resume DIR                Resume an interrupted `campaign --checkpoint
+                              DIR` run from its frames: accumulators
+                              restore, sources fast-forward, and the
+                              completed report matches an uninterrupted
+                              run. Extra flags pass through (e.g.
+                              --halt-after to re-interrupt).
     replay DIR [--cpa] [--key HEX32]
                               Replay recorded .psct shards through the
                               streaming TVLA (default) or CPA analysis
@@ -184,7 +199,24 @@ fn print_tvla_report(report: &StreamingTvlaReport) {
     if report.io_errors > 0 {
         println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
     }
+    print_health(&report.health, report.io_retries);
     print_metrics_summary(report.metrics.as_ref());
+}
+
+/// Degradation summary for stdout — silent on a fully healthy run so
+/// interrupt/resume output diffs stay clean (details go to stderr at
+/// merge time).
+fn print_health(health: &[apple_power_sca::core::ShardHealth], io_retries: u64) {
+    let unhealthy = health.iter().filter(|h| !h.is_ok()).count();
+    if unhealthy > 0 {
+        println!(
+            "shard health: {unhealthy}/{} shard(s) degraded or failed (details on stderr)",
+            health.len()
+        );
+    }
+    if io_retries > 0 {
+        println!("recorder retries: {io_retries} (transient, recovered)");
+    }
 }
 
 fn print_metrics_summary(metrics: Option<&MetricsReport>) {
@@ -244,7 +276,112 @@ fn print_cpa_report(report: &StreamingCpaReport, secret_key: &[u8; 16]) {
     if report.io_errors > 0 {
         println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
     }
+    print_health(&report.health, report.io_retries);
     print_metrics_summary(report.metrics.as_ref());
+}
+
+/// Persist the campaign spec next to its checkpoint frames as simple
+/// `key=value` lines, so `psc resume DIR` can rebuild the exact campaign
+/// without the user re-typing (or misremembering) the original flags.
+#[allow(clippy::too_many_arguments)]
+fn write_campaign_cfg(
+    dir: &str,
+    mode: &str,
+    args: &[String],
+    cfg: &ExperimentConfig,
+    device: Device,
+    traces: usize,
+    shards: usize,
+    every: u64,
+) -> Result<(), String> {
+    let key_hex: String = cfg.secret_key.iter().map(|b| format!("{b:02x}")).collect();
+    let device_name = match device {
+        Device::MacbookAirM2 => "m2",
+        Device::MacMiniM1 => "m1",
+    };
+    let mut text = format!(
+        "mode={mode}\ndevice={device_name}\nkernel={}\nfleet={}\ntraces={traces}\n\
+         shards={shards}\nseed={}\nkey={key_hex}\nevery={every}\n",
+        parse_flag(args, "--kernel"),
+        parse_flag(args, "--fleet"),
+        cfg.seed,
+    );
+    for (name, flag) in
+        [("mitigation", "--mitigation"), ("record", "--record"), ("monitor", "--monitor")]
+    {
+        if let Some(v) = parse_opt(args, flag) {
+            text.push_str(&format!("{name}={v}\n"));
+        }
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let path = std::path::Path::new(dir).join("campaign.cfg");
+    std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `psc resume DIR`: rebuild the campaign described by `DIR/campaign.cfg`
+/// and run it with `--resume-from DIR`, so the interrupted run completes
+/// bit-identically. Any extra flags pass through to the campaign (e.g.
+/// `--halt-after` to re-interrupt, `--metrics` to add observability).
+fn cmd_resume(base: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or("resume needs a DIR argument")?;
+    let path = std::path::Path::new(&dir).join("campaign.cfg");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("{}: {e} (was this campaign run with --checkpoint?)", path.display())
+    })?;
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) =
+            line.split_once('=').ok_or_else(|| format!("{}: bad line {line:?}", path.display()))?;
+        map.insert(k.to_string(), v.to_string());
+    }
+    let get =
+        |k: &str| map.get(k).cloned().ok_or_else(|| format!("{}: missing {k}=", path.display()));
+
+    let mut cfg = base.clone();
+    cfg.seed = get("seed")?.parse().map_err(|e| format!("{}: bad seed: {e}", path.display()))?;
+    cfg.secret_key = parse_key_hex(&get("key")?)?;
+    let mode = get("mode")?;
+    let mut synth: Vec<String> = Vec::new();
+    match mode.as_str() {
+        "cpa" => synth.push("--cpa".into()),
+        "adaptive" => synth.push("--adaptive".into()),
+        "tvla" => {}
+        other => return Err(format!("{}: unknown mode {other:?}", path.display())),
+    }
+    synth.extend(["--device".into(), get("device")?]);
+    if map.get("kernel").is_some_and(|v| v == "true") {
+        synth.push("--kernel".into());
+    }
+    if map.get("fleet").is_some_and(|v| v == "true") {
+        synth.push("--fleet".into());
+    }
+    synth.extend(["--traces".into(), get("traces")?, "--shards".into(), get("shards")?]);
+    for (name, flag) in
+        [("mitigation", "--mitigation"), ("record", "--record"), ("monitor", "--monitor")]
+    {
+        if let Some(v) = map.get(name) {
+            synth.extend([flag.into(), v.clone()]);
+        }
+    }
+    synth.extend([
+        "--checkpoint".into(),
+        dir.clone(),
+        "--checkpoint-every".into(),
+        get("every")?,
+        "--resume-from".into(),
+        dir.clone(),
+    ]);
+    synth.extend(args[1..].iter().cloned());
+    eprintln!("[psc] resuming {mode} campaign from {dir}");
+    cmd_campaign(&cfg, &synth)
 }
 
 fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
@@ -267,6 +404,18 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<f64>().map_err(|e| format!("bad --monitor value {s:?}: {e}")))
         .transpose()?;
     let tracer = trace_out.is_some().then(|| Arc::new(SpanTracer::new()));
+    let ckpt_dir = parse_opt(args, "--checkpoint");
+    let every = parse_opt(args, "--checkpoint-every")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --checkpoint-every value {s:?}: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    if every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    let halt_after = parse_opt(args, "--halt-after")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --halt-after value {s:?}: {e}")))
+        .transpose()?;
+    let resume_dir = parse_opt(args, "--resume-from");
 
     // Fleet campaigns fan one shard per member across both Table 1
     // devices and read the keys they share.
@@ -307,18 +456,44 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         if let Some(t) = &tracer {
             campaign = campaign.tracer(Arc::clone(t));
         }
+        if let Some(dir) = &ckpt_dir {
+            campaign = campaign.checkpoint_to(dir.as_str(), every);
+        }
+        if let Some(n) = halt_after {
+            campaign = campaign.halt_after(n);
+        }
+        if let Some(dir) = &resume_dir {
+            campaign = campaign.resume_from(dir.as_str());
+        }
         campaign
     };
 
-    if parse_flag(args, "--cpa") {
-        // Per-device default budgets, mirroring the paper's 1M-vs-350k
-        // campaign sizes (scaled down in ExperimentConfig).
-        let default_traces = match device {
-            Device::MacbookAirM2 => cfg.cpa_traces_m2,
-            Device::MacMiniM1 => cfg.cpa_traces_m1,
-        };
-        let traces =
-            parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
+    let mode = if parse_flag(args, "--cpa") {
+        "cpa"
+    } else if parse_flag(args, "--adaptive") {
+        "adaptive"
+    } else {
+        "tvla"
+    };
+    // Per-device default CPA budgets mirror the paper's 1M-vs-350k
+    // campaign sizes (scaled down in ExperimentConfig).
+    let default_traces = match (mode, device) {
+        ("cpa", Device::MacbookAirM2) => cfg.cpa_traces_m2,
+        ("cpa", Device::MacMiniM1) => cfg.cpa_traces_m1,
+        _ => cfg.tvla_traces_per_class,
+    };
+    let traces = parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
+    if let Some(dir) = &ckpt_dir {
+        // A fresh checkpointed run records its spec next to the frames so
+        // `psc resume DIR` can reconstruct the exact campaign; a resumed
+        // run keeps the file it was launched from.
+        if resume_dir.is_none() {
+            write_campaign_cfg(dir, mode, args, cfg, device, traces, shards, every)?;
+        }
+        eprintln!("[psc] checkpointing to {dir} every {every} block(s)");
+    }
+
+    if mode == "cpa" {
         let cpa_keys: Vec<_> = keys.iter().copied().filter(|&k| k != key("PHPS")).collect();
         println!(
             "streaming {traces} known-plaintext traces over {shards} shard(s) on {} ...",
@@ -335,10 +510,7 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let traces = parse_opt(args, "--traces")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(cfg.tvla_traces_per_class);
-    if parse_flag(args, "--adaptive") {
+    if mode == "adaptive" {
         let watch = key("PHPC");
         println!(
             "adaptive TVLA on {} ({} shard(s), watching {watch}, budget {traces}/class) ...",
@@ -500,6 +672,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "campaign" | "stream" => cmd_campaign(&cfg, rest),
+        "resume" => cmd_resume(&cfg, rest),
         "replay" => cmd_replay(&cfg, rest),
         "collect" => cmd_collect(&cfg, rest),
         "analyze" => cmd_analyze(&cfg, rest),

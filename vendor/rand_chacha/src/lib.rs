@@ -79,6 +79,32 @@ impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
         self.word_pos += 1;
         w
     }
+
+    /// Number of 32-bit keystream words consumed so far. Together with
+    /// the seed this fully determines the stream position, so campaign
+    /// checkpoints can record it and [`Self::set_word_offset`] can seek
+    /// back after a restart.
+    #[must_use]
+    pub fn word_offset(&self) -> u64 {
+        if self.counter == 0 {
+            0
+        } else {
+            (self.counter - 1) * 16 + self.word_pos as u64
+        }
+    }
+
+    /// Seek the keystream to absolute word position `words`, as counted
+    /// by [`Self::word_offset`]. Seeking is O(1) plus at most one block
+    /// refill; the stream continues exactly as if `words` words had been
+    /// drawn one by one.
+    pub fn set_word_offset(&mut self, words: u64) {
+        self.counter = words / 16;
+        self.word_pos = 16;
+        if !words.is_multiple_of(16) {
+            self.refill();
+            self.word_pos = (words % 16) as usize;
+        }
+    }
 }
 
 impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
@@ -157,6 +183,26 @@ mod tests {
         let mut r8b = ChaCha8Rng::from_seed(seed);
         let again: Vec<u32> = (0..16).map(|_| r8b.next_u32()).collect();
         assert_eq!(a, again);
+    }
+
+    #[test]
+    fn word_offset_round_trips_at_every_position() {
+        let reference: Vec<u32> = {
+            let mut r = ChaCha12Rng::seed_from_u64(99);
+            (0..64).map(|_| r.next_u32()).collect()
+        };
+        for start in 0..48u64 {
+            let mut r = ChaCha12Rng::seed_from_u64(99);
+            for _ in 0..start {
+                r.next_u32();
+            }
+            assert_eq!(r.word_offset(), start);
+            let mut seeked = ChaCha12Rng::seed_from_u64(99);
+            seeked.set_word_offset(start);
+            assert_eq!(seeked.word_offset(), start);
+            let tail: Vec<u32> = (0..8).map(|_| seeked.next_u32()).collect();
+            assert_eq!(&tail[..], &reference[start as usize..start as usize + 8]);
+        }
     }
 
     #[test]
