@@ -23,6 +23,11 @@
 //! the pre-rewrite number (the skip-empty-bin loop over the 16-byte
 //! `Bin` array, recorded from `BENCH_leakage.json` on this container).
 //!
+//! The PR-8 additions measure the masked 4-lane TVLA ingestion kernel
+//! against its pinned-scalar twin (`tvla_*_simd_ns` / `tvla_simd_speedup`)
+//! and sweep the block size over the autotuner's `OBS_CHUNK` candidate
+//! grid, recording the winner as `autotune_obs_chunk`.
+//!
 //! Besides the printed lines, the run records its numbers in
 //! `BENCH_bus.json` at the workspace root (override with
 //! `PSC_BENCH_OUT`). Runtime scales with `PSC_BENCH_BUDGET_MS` (default
@@ -30,10 +35,12 @@
 
 use criterion::black_box;
 use psc_bench::measure::{
-    json_field, json_header, measure_ns, write_artifact, CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
+    json_field, json_header, json_string_field, measure_ns, write_artifact,
+    CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
 };
 use psc_sca::cpa::{Cpa, HypTable};
 use psc_sca::model::Rd0Hw;
+use psc_sca::stats::{MomentsQuad, RunningMoments};
 use psc_sca::trace::Trace;
 use psc_sca::tvla::PlaintextClass;
 use psc_smc::key::key;
@@ -49,8 +56,11 @@ use std::time::Instant;
 const BENCH: &str = "bus_kernels";
 /// Observations per measured pipeline iteration.
 const OBS: usize = 512;
-/// Rows per block — the campaign drivers' `OBS_CHUNK`.
+/// Rows per block — the campaign drivers' default `OBS_CHUNK`.
 const BLOCK_ROWS: usize = 32;
+/// Block sizes swept by the in-bench autotune pass (the autotuner's
+/// `OBS_CHUNK_CANDIDATES`).
+const BLOCK_ROWS_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
 
 fn channels() -> [ChannelId; 3] {
     [ChannelId::Smc(key("PHPC")), ChannelId::Smc(key("PSTR")), ChannelId::Pcpu]
@@ -87,14 +97,14 @@ fn scalar_events() -> Vec<Event> {
     events
 }
 
-fn blocks() -> Vec<EventBlock> {
+fn blocks_of(rows: usize) -> Vec<EventBlock> {
     let chans = channels();
-    (0..OBS / BLOCK_ROWS)
+    (0..OBS / rows)
         .map(|b| {
             let mut block = EventBlock::new();
             block.reset(&chans);
-            for r in 0..BLOCK_ROWS {
-                let (window, values, sched) = observation(b * BLOCK_ROWS + r);
+            for r in 0..rows {
+                let (window, values, sched) = observation(b * rows + r);
                 block.begin(window);
                 for (col, &value) in values.iter().enumerate() {
                     block.sample(col, value);
@@ -104,6 +114,28 @@ fn blocks() -> Vec<EventBlock> {
             block
         })
         .collect()
+}
+
+fn blocks() -> Vec<EventBlock> {
+    blocks_of(BLOCK_ROWS)
+}
+
+/// Per-observation pipeline cost for one block size: publish every
+/// prebuilt block, then drain them into the TVLA consumer.
+fn per_obs_ns(name: &str, prebuilt: &[EventBlock]) -> f64 {
+    let (tx, rx) = channel(prebuilt.len(), OverflowPolicy::Block);
+    let mut tvla = StreamingTvla::new();
+    let mut pump = Pump::new();
+    pump.attach(&mut tvla);
+    let total = measure_ns(BENCH, name, || {
+        for block in prebuilt {
+            tx.send(block.clone()).expect("receiver alive");
+        }
+        while let Some(block) = rx.try_recv() {
+            pump.dispatch_block(&block);
+        }
+    });
+    total / OBS as f64
 }
 
 fn main() {
@@ -125,19 +157,7 @@ fn main() {
     println!("{BENCH}/pipeline/per_event{:<16} per obs:    {per_event:>10.1} ns", "");
 
     let prebuilt = blocks();
-    let (tx, rx) = channel(prebuilt.len(), OverflowPolicy::Block);
-    let mut tvla = StreamingTvla::new();
-    let mut pump = Pump::new();
-    pump.attach(&mut tvla);
-    let per_block_total = measure_ns(BENCH, "pipeline/per_block_512obs", || {
-        for block in &prebuilt {
-            tx.send(block.clone()).expect("receiver alive");
-        }
-        while let Some(block) = rx.try_recv() {
-            pump.dispatch_block(&block);
-        }
-    });
-    let per_block = per_block_total / OBS as f64;
+    let per_block = per_obs_ns("pipeline/per_block_512obs", &prebuilt);
     println!("{BENCH}/pipeline/per_block{:<16} per obs:    {per_block:>10.1} ns", "");
 
     // Same per-block loop with the campaign drivers' consume-side
@@ -171,6 +191,39 @@ fn main() {
         ""
     );
 
+    // --- TVLA column ingestion: SIMD quad vs pinned scalar ----------------
+    // The masked 4-lane Welford kernel behind `StreamingTvla::on_block`,
+    // fed the same present/denied column pattern both ways.
+    let quad_rows = 4096;
+    let quad_cols: [Vec<Option<f64>>; 4] = core::array::from_fn(|lane| {
+        (0..quad_rows)
+            .map(|r| (r % 7 != lane).then_some(5.0 + (r % 11) as f64 * 0.01 + lane as f64))
+            .collect()
+    });
+    let quad_refs: [&[Option<f64>]; 4] = core::array::from_fn(|i| quad_cols[i].as_slice());
+    let fresh_quad = || MomentsQuad::load(core::array::from_fn(|_| RunningMoments::new()));
+    let tvla_ingest_simd = measure_ns(BENCH, "tvla/quad_ingest_simd", || {
+        let mut quad = fresh_quad();
+        quad.extend_columns(quad_refs);
+        black_box(quad.store()[0].raw().1);
+    });
+    let tvla_ingest_scalar = measure_ns(BENCH, "tvla/quad_ingest_scalar", || {
+        let mut quad = fresh_quad();
+        quad.extend_columns_scalar(quad_refs);
+        black_box(quad.store()[0].raw().1);
+    });
+
+    // --- Autotune: block-size sweep over the real pipeline ----------------
+    // The same candidate grid the `psc_core::tune` calibrator sweeps for
+    // `OBS_CHUNK`; records every candidate plus the winner.
+    let mut sweep = Vec::new();
+    for rows in BLOCK_ROWS_CANDIDATES {
+        let candidate = blocks_of(rows);
+        sweep.push((rows, per_obs_ns(&format!("pipeline/per_block_rows{rows}"), &candidate)));
+    }
+    let (autotune_rows, autotune_ns) =
+        sweep.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty sweep");
+
     // --- Correlations: branch-free sweep vs recorded baseline -------------
     let table = Arc::new(HypTable::for_model(&Rd0Hw));
     let mut cpa = Cpa::with_table(Box::new(Rd0Hw), Arc::clone(&table));
@@ -194,9 +247,12 @@ fn main() {
 
     let pipeline_speedup = per_event / per_block;
     let correlations_speedup = CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS / correlations;
+    let tvla_simd_speedup = tvla_ingest_scalar / tvla_ingest_simd;
     println!();
     println!("per-block vs per-event pipeline: {pipeline_speedup:.2}x");
     println!("metrics-on per-block overhead:   {metrics_overhead_pct:+.1}%");
+    println!("tvla quad ingest simd ({}) vs scalar: {tvla_simd_speedup:.2}x", pulp::backend_name());
+    println!("autotuned block rows:            {autotune_rows} ({autotune_ns:.1} ns/obs)");
     println!(
         "branch-free correlations vs pre-rewrite ({CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS:.0} ns): \
          {correlations_speedup:.2}x"
@@ -216,6 +272,15 @@ fn main() {
         CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
     );
     json_field(&mut json, "correlations_branchfree_speedup", correlations_speedup);
+    json_string_field(&mut json, "simd_backend", pulp::backend_name());
+    json_field(&mut json, "tvla_quad_ingest_simd_ns", tvla_ingest_simd);
+    json_field(&mut json, "tvla_quad_ingest_scalar_ns", tvla_ingest_scalar);
+    json_field(&mut json, "tvla_simd_speedup", tvla_simd_speedup);
+    for (rows, ns) in &sweep {
+        json_field(&mut json, &format!("per_block_rows{rows}_ns_per_obs"), *ns);
+    }
+    json_field(&mut json, "autotune_obs_chunk", autotune_rows as f64);
+    json_field(&mut json, "autotune_obs_chunk_ns_per_obs", autotune_ns);
     let out = write_artifact(json, &format!("{}/../../BENCH_bus.json", env!("CARGO_MANIFEST_DIR")));
     println!("\nwrote {out}");
 }

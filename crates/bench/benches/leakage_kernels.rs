@@ -5,7 +5,12 @@
 //! allocation-free), memoized (`AesWorkload` per-plaintext cache) — and the
 //! two CPA table strategies (rebuild the 512 KB hypothesis table per
 //! accumulator vs `Arc`-share one guess-major table), plus the
-//! `correlations()` sweep that the guess-major layout accelerates.
+//! `correlations()` sweep that the guess-major layout accelerates. The
+//! PR-8 additions measure the runtime-dispatched SIMD correlation sweep
+//! against its pinned-scalar twin (`*_simd_ns` / `simd_speedup`) and run
+//! the `psc_core::tune` calibrator once, recording the winning constants
+//! as `autotune_*` fields (`PSC_TUNE_REPS` trims the calibration cost in
+//! CI).
 //!
 //! Besides the criterion-style printed lines, the run records its numbers
 //! in `BENCH_leakage.json` at the workspace root (override the path with
@@ -16,7 +21,8 @@
 use criterion::black_box;
 use psc_aes::leakage::LeakageModel;
 use psc_bench::measure::{
-    json_field, json_header, measure_ns, write_artifact, CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
+    json_field, json_header, json_string_field, measure_ns, write_artifact,
+    CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
 };
 use psc_sca::cpa::{Cpa, HypTable};
 use psc_sca::model::Rd0Hw;
@@ -76,15 +82,44 @@ fn main() {
         black_box(corr_buf[0]);
     });
 
+    // --- SIMD dispatch vs pinned-scalar sweep -----------------------------
+    // `correlations_into` above runs whatever backend the dispatcher picked
+    // (AVX2 on this container); the `_scalar` twin runs the identical
+    // algorithm on the scalar backend, so the ratio is the pure vector win.
+    let correlations_scalar = measure_ns(BENCH, "cpa/correlations_into_scalar", || {
+        cpa.correlations_into_scalar(black_box(0), &mut corr_buf);
+        black_box(corr_buf[0]);
+    });
+    let mut corr_all = [[0.0f64; 256]; 16];
+    let all_simd = measure_ns(BENCH, "cpa/correlations_all_bytes_simd", || {
+        cpa.correlations_all_into(&mut corr_all);
+        black_box(corr_all[0][0]);
+    });
+    let all_scalar = measure_ns(BENCH, "cpa/correlations_all_bytes_scalar", || {
+        cpa.correlations_all_into_scalar(&mut corr_all);
+        black_box(corr_all[0][0]);
+    });
+
+    // --- Autotuner: one-shot calibration ----------------------------------
+    let tuned = psc_core::tune::calibrate();
+    println!(
+        "{BENCH}/autotune: unroll={} obs_chunk={} replay_chunk={} bus_capacity={}",
+        tuned.cpa_unroll, tuned.obs_chunk, tuned.replay_chunk, tuned.bus_capacity
+    );
+
     let fused_speedup = traced / fused;
     let memo_speedup = traced / memoized;
     let table_speedup = table_rebuild / table_shared;
     let correlations_speedup = CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS / correlations;
+    let simd_speedup = correlations_scalar / correlations_into;
+    let all_simd_speedup = all_scalar / all_simd;
     println!();
     println!("fused vs traced activity:        {fused_speedup:.2}x");
     println!("memoized workload vs traced:     {memo_speedup:.2}x");
     println!("shared vs rebuilt CPA table:     {table_speedup:.2}x");
     println!("branch-free correlations vs pre-rewrite: {correlations_speedup:.2}x");
+    println!("simd ({}) vs scalar correlations:   {simd_speedup:.2}x", pulp::backend_name());
+    println!("simd vs scalar all-bytes sweep:  {all_simd_speedup:.2}x");
 
     // --- BENCH_leakage.json ----------------------------------------------
     let mut json = json_header(BENCH);
@@ -104,6 +139,17 @@ fn main() {
         CPA_CORRELATIONS_BEFORE_BRANCHFREE_NS,
     );
     json_field(&mut json, "correlations_branchfree_speedup", correlations_speedup);
+    json_string_field(&mut json, "simd_backend", pulp::backend_name());
+    json_field(&mut json, "cpa_correlations_simd_ns", correlations_into);
+    json_field(&mut json, "cpa_correlations_scalar_ns", correlations_scalar);
+    json_field(&mut json, "simd_speedup", simd_speedup);
+    json_field(&mut json, "cpa_correlations_all_bytes_simd_ns", all_simd);
+    json_field(&mut json, "cpa_correlations_all_bytes_scalar_ns", all_scalar);
+    json_field(&mut json, "all_bytes_simd_speedup", all_simd_speedup);
+    json_field(&mut json, "autotune_cpa_unroll", tuned.cpa_unroll as f64);
+    json_field(&mut json, "autotune_obs_chunk", tuned.obs_chunk as f64);
+    json_field(&mut json, "autotune_replay_chunk", tuned.replay_chunk as f64);
+    json_field(&mut json, "autotune_bus_capacity", tuned.bus_capacity as f64);
     let out =
         write_artifact(json, &format!("{}/../../BENCH_leakage.json", env!("CARGO_MANIFEST_DIR")));
     println!("\nwrote {out}");

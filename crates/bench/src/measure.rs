@@ -71,6 +71,12 @@ pub fn json_field(out: &mut String, key: &str, value: f64) {
     out.push_str(&format!("  \"{key}\": {value:.3},\n"));
 }
 
+/// Append one `"key": "value",` line to an in-progress JSON object. The
+/// value must not need escaping (bench labels and backend names don't).
+pub fn json_string_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("  \"{key}\": \"{value}\",\n"));
+}
+
 /// Close the JSON object (trimming the trailing comma) and write it to
 /// `PSC_BENCH_OUT` if set, else `default_path`. Returns the path written.
 ///

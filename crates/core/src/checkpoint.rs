@@ -61,14 +61,18 @@ pub(crate) fn shard_path(dir: &Path, shard: usize) -> PathBuf {
 
 /// FNV-1a over the campaign's canonical identity line. Stable across
 /// runs of the same campaign; any drift in analysis kind, source family,
-/// keys, budget, shard count, mitigation or monitor interval changes it.
+/// keys, budget, shard count, mitigation, monitor interval or block size
+/// changes it. The tuned `obs_chunk` is part of the identity because
+/// checkpoint offsets are whole-block counts — a frame taken under one
+/// chunk size must never resume under another.
 pub(crate) fn fingerprint(spec: &CampaignSpec, kind: u8, source_tag: &str, shards: usize) -> u64 {
     let canonical = format!(
-        "{kind}|{source_tag}|{keys:?}|{traces}|{shards}|{mitigation:?}|{interval:016x}",
+        "{kind}|{source_tag}|{keys:?}|{traces}|{shards}|{mitigation:?}|{interval:016x}|{chunk}",
         keys = spec.keys,
         traces = spec.traces,
         mitigation = spec.mitigation,
         interval = spec.monitor_interval_s.to_bits(),
+        chunk = spec.tune.obs_chunk,
     );
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     for byte in canonical.as_bytes() {

@@ -19,6 +19,9 @@
 //! * [`checkpoint`] — campaign checkpoint frames: atomic per-shard
 //!   snapshots behind [`Campaign::checkpoint_to`] /
 //!   [`Campaign::resume_from`];
+//! * [`tune`] — the self-calibrating autotuner: sweeps the CPA unroll
+//!   width and block/chunk sizes with the real kernels and returns the
+//!   winning [`TuneConfig`] for [`Campaign::tune`];
 //! * [`experiments`] — a runner per table/figure of the paper, with
 //!   paper-format rendering.
 //!
@@ -97,9 +100,26 @@
 //! all of this live in [`psc_telemetry::faults`] (see
 //! [`Campaign::faults`]).
 //!
+//! ## SIMD dispatch & autotuning
+//!
+//! The analysis kernels the campaign drivers feed (CPA correlation
+//! sweep, TVLA column ingestion, SMC columnar publish) dispatch at
+//! runtime to AVX2/NEON through the vendored `pulp` shim, with a
+//! bit-identical scalar fallback (`PSC_SIMD=off` pins it). The [`tune`]
+//! module calibrates the throughput-only constants on the running
+//! machine — CPA unroll width, rows per emitted block (`OBS_CHUNK`),
+//! replay read chunk and bus depth — and [`Campaign::tune`] threads the
+//! winning [`TuneConfig`] through the fan-out. Chunking never changes
+//! what the accumulators consume, only how it is batched, so a tuned
+//! campaign's report is bit-identical to a default-constant run; the
+//! one resume-safety caveat is that checkpoint frames are taken at
+//! block boundaries, which is why `obs_chunk` is part of the campaign
+//! fingerprint.
+//!
 //! [`Campaign::checkpoint_to`]: session::Campaign::checkpoint_to
 //! [`Campaign::resume_from`]: session::Campaign::resume_from
 //! [`Campaign::faults`]: session::Campaign::faults
+//! [`Campaign::tune`]: session::Campaign::tune
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +131,7 @@ pub mod pmset;
 pub mod rig;
 pub mod session;
 pub mod source;
+pub mod tune;
 pub mod victim;
 
 pub use campaign::{TvlaCampaign, TvlaDatasets};
@@ -124,4 +145,5 @@ pub use session::{
 pub use source::{
     Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardLog, ShardReplay, TraceSource,
 };
+pub use tune::TuneConfig;
 pub use victim::{AesVictim, VictimKind};

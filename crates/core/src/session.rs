@@ -40,6 +40,7 @@ use crate::rig::{Device, Rig};
 use crate::source::{
     Fleet, LiveRig, RigSource, Schedule, ShardLog, ShardPlan, ShardReplay, TraceSource,
 };
+use crate::tune::TuneConfig;
 use crate::victim::VictimKind;
 use psc_sca::checkpoint::{CheckpointError, PayloadReader, PayloadWriter};
 use psc_sca::cpa::HypTable;
@@ -68,9 +69,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Bounded capacity of each shard's bus, in [`EventBlock`]s. With
-/// `Block` overflow this is pure backpressure: a slow consumer throttles
-/// its producer instead of growing a queue. At the sources'
+/// Default bounded capacity of each shard's bus, in [`EventBlock`]s
+/// (override per campaign via [`Campaign::tune`]). With `Block` overflow
+/// this is pure backpressure: a slow consumer throttles its producer
+/// instead of growing a queue. At the sources'
 /// [`crate::source::OBS_CHUNK`] block size this buffers the same ~4096
 /// in-flight observations the historical per-event bus did — but with
 /// one ring synchronization per block instead of per event.
@@ -160,6 +162,9 @@ pub struct CampaignSpec {
     /// Retry policy for transient source-fill and recorder-write
     /// failures.
     pub retry: RetryPolicy,
+    /// Tuned pipeline constants (block sizes, bus depth, CPA unroll);
+    /// defaults to the shipped baseline. See [`crate::tune`].
+    pub tune: TuneConfig,
 }
 
 impl Default for CampaignSpec {
@@ -181,6 +186,7 @@ impl Default for CampaignSpec {
             halt_after: None,
             faults: None,
             retry: RetryPolicy::default(),
+            tune: TuneConfig::default(),
         }
     }
 }
@@ -399,6 +405,22 @@ impl<'s> Campaign<'s> {
     #[must_use]
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.spec.retry = policy;
+        self
+    }
+
+    /// Install tuned pipeline constants (from [`crate::tune::calibrate`]
+    /// or a cached [`TuneConfig`] file). Only throughput changes: every
+    /// analysis result is bit-identical under any valid config, but a
+    /// checkpointed campaign must resume with the `obs_chunk` it was
+    /// recorded with (the campaign fingerprint enforces this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config fails [`TuneConfig::validate`].
+    #[must_use]
+    pub fn tune(mut self, tune: TuneConfig) -> Self {
+        tune.validate().unwrap_or_else(|e| panic!("invalid tune config: {e}"));
+        self.spec.tune = tune;
         self
     }
 
@@ -683,6 +705,7 @@ impl ShardInstruments {
 struct Observability {
     registries: Vec<Arc<MetricsRegistry>>,
     started: Instant,
+    tune: TuneConfig,
 }
 
 impl Observability {
@@ -694,6 +717,9 @@ impl Observability {
         MetricsReport {
             wall_s: self.started.elapsed().as_secs_f64(),
             shards,
+            simd_backend: pulp::backend_name(),
+            obs_chunk: self.tune.obs_chunk,
+            bus_capacity: self.tune.bus_capacity,
             snapshot: Self::merged_snapshot(&self.registries),
         }
     }
@@ -917,6 +943,7 @@ impl ProgressHandle {
         started: Instant,
         interval_s: f64,
         expected_obs: u64,
+        tune: TuneConfig,
     ) -> Self {
         let done = Arc::new(AtomicBool::new(false));
         let done_flag = Arc::clone(&done);
@@ -933,6 +960,9 @@ impl ProgressHandle {
                 let report = MetricsReport {
                     wall_s: elapsed_s,
                     shards,
+                    simd_backend: pulp::backend_name(),
+                    obs_chunk: tune.obs_chunk,
+                    bus_capacity: tune.bus_capacity,
                     snapshot: Observability::merged_snapshot(&registries),
                 };
                 let observations = report.observations();
@@ -1045,6 +1075,7 @@ impl Session<'_> {
         (self.spec.metrics || self.spec.progress_interval_s.is_some()).then(|| Observability {
             registries: (0..self.shards).map(|_| Arc::new(MetricsRegistry::new())).collect(),
             started: Instant::now(),
+            tune: self.spec.tune,
         })
     }
 
@@ -1060,7 +1091,13 @@ impl Session<'_> {
     fn progress(&self, obs: Option<&Observability>, expected_obs: u64) -> Option<ProgressHandle> {
         let interval_s = self.spec.progress_interval_s?;
         let obs = obs?;
-        Some(ProgressHandle::spawn(obs.registries.clone(), obs.started, interval_s, expected_obs))
+        Some(ProgressHandle::spawn(
+            obs.registries.clone(),
+            obs.started,
+            interval_s,
+            expected_obs,
+            self.spec.tune,
+        ))
     }
 
     /// The generic producer/consumer fan-out: one bounded block bus per
@@ -1101,7 +1138,7 @@ impl Session<'_> {
         let track_offsets = spec.checkpoint.is_some();
         let plan_faults: Option<&FaultState> = faults.map(Arc::as_ref);
         let runs = run_sharded_caught(self.shards, |i| {
-            let (tx, rx) = channel(BUS_CAPACITY, OverflowPolicy::Block);
+            let (tx, rx) = channel(spec.tune.bus_capacity, OverflowPolicy::Block);
             let (recycle_tx, recycle_rx) = channel(RECYCLE_CAPACITY, OverflowPolicy::DropNewest);
             let schedule = schedule_for(i);
             let ins = obs.map(|o| ShardInstruments::new(&o.registries[i]));
@@ -1128,6 +1165,8 @@ impl Session<'_> {
                         retry: spec.retry,
                         faults: plan_faults,
                         log: Some(log_ref),
+                        obs_chunk: spec.tune.obs_chunk,
+                        replay_chunk: spec.tune.replay_chunk,
                     };
                     // Fill latency is timed sink-to-sink on the producer
                     // thread (send/backpressure wait excluded), so every
@@ -1623,6 +1662,7 @@ impl Session<'_> {
                     model_factory,
                     Arc::clone(&hyp_table),
                 );
+                cpa.set_unroll(self.spec.tune.cpa_unroll);
                 let (monitor, tally) = self.consume_streaming(
                     i,
                     rx,
@@ -1886,6 +1926,61 @@ mod tests {
             .adaptive_tvla();
         assert!(!out.stopped_early, "estimator channel must not trip the tracker");
         assert_eq!(out.rounds_collected, 30, "budget fully consumed");
+    }
+
+    #[test]
+    fn tuned_campaign_is_bit_identical_to_default_constants() {
+        // Chunk sizes, bus depth and the CPA unroll width only change
+        // throughput: every accumulator still consumes its observations
+        // in row order, so a campaign run under any valid TuneConfig must
+        // reproduce the default-constant run bit for bit.
+        let tuned = crate::tune::TuneConfig {
+            cpa_unroll: 2,
+            obs_chunk: 16,
+            replay_chunk: 512,
+            bus_capacity: 32,
+        };
+        let build = || {
+            Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 13)
+                .keys(&[key("PHPC")])
+                .traces(24)
+                .shards(2)
+        };
+        let base = build().session().tvla();
+        let tuned_report = build().tune(tuned).session().tvla();
+        let a = base.matrix(key("PHPC")).expect("collected");
+        let b = tuned_report.matrix(key("PHPC")).expect("collected");
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.t_score.to_bits(), cb.t_score.to_bits(), "TVLA cells must match");
+        }
+
+        let cpa_build = || {
+            Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 17)
+                .keys(&[key("PHPC")])
+                .traces(60)
+                .shards(2)
+        };
+        let base = cpa_build().session().cpa(|| Box::new(Rd0Hw));
+        let tuned_report = cpa_build().tune(tuned).session().cpa(|| Box::new(Rd0Hw));
+        let a = base.cpa.cpa(ChannelId::Smc(key("PHPC"))).expect("registered");
+        let b = tuned_report.cpa.cpa(ChannelId::Smc(key("PHPC"))).expect("registered");
+        let mut corr_a = [[0.0f64; 256]; 16];
+        let mut corr_b = [[0.0f64; 256]; 16];
+        a.correlations_all_into(&mut corr_a);
+        b.correlations_all_into(&mut corr_b);
+        for (row_a, row_b) in corr_a.iter().zip(&corr_b) {
+            for (va, vb) in row_a.iter().zip(row_b) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "CPA correlations must match");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tune config")]
+    fn invalid_tune_config_is_rejected_at_the_builder() {
+        let bad = crate::tune::TuneConfig { cpa_unroll: 3, ..crate::tune::TuneConfig::default() };
+        let _ =
+            Campaign::live(Device::MacbookAirM2, VictimKind::UserSpace, [0x3C; 16], 1).tune(bad);
     }
 
     #[test]

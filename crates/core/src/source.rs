@@ -152,6 +152,14 @@ pub struct ShardPlan<'a> {
     pub faults: Option<&'a FaultState>,
     /// The shard's journal for RNG offsets and degradation notes.
     pub log: Option<&'a ShardLog>,
+    /// Observations per emitted [`EventBlock`] (default [`OBS_CHUNK`];
+    /// see [`crate::tune`]). Checkpoints are taken at block boundaries,
+    /// so a resumed campaign must use the chunk size it was recorded
+    /// with — the campaign fingerprint pins it.
+    pub obs_chunk: usize,
+    /// Recorded traces per codec read in the replay path (default
+    /// [`REPLAY_CHUNK`]; see [`crate::tune`]).
+    pub replay_chunk: usize,
 }
 
 /// A pluggable producer of campaign telemetry blocks.
@@ -337,7 +345,7 @@ fn drive_rig(
     let mut skip = plan.skip_obs;
     match plan.schedule {
         Schedule::Tvla { traces_per_class } => {
-            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(plan.obs_chunk);
             'schedule: for pass in 0..2u8 {
                 for class in PlaintextClass::ALL {
                     let mut remaining = traces_per_class;
@@ -348,7 +356,7 @@ fn drive_rig(
                         if fill_gate(plan, seq).is_err() {
                             break 'schedule;
                         }
-                        let take = remaining.min(OBS_CHUNK);
+                        let take = remaining.min(plan.obs_chunk);
                         pts.clear();
                         pts.extend((0..take).map(|_| {
                             class.fixed_plaintext().unwrap_or_else(|| rig.random_plaintext())
@@ -372,7 +380,7 @@ fn drive_rig(
             traces_per_class
         }
         Schedule::KnownPlaintext { traces } => {
-            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(OBS_CHUNK);
+            let mut pts: Vec<[u8; 16]> = Vec::with_capacity(plan.obs_chunk);
             let mut remaining = traces;
             while remaining > 0 {
                 if stop.load(Ordering::Relaxed) {
@@ -381,7 +389,7 @@ fn drive_rig(
                 if fill_gate(plan, seq).is_err() {
                     break;
                 }
-                let take = remaining.min(OBS_CHUNK);
+                let take = remaining.min(plan.obs_chunk);
                 pts.clear();
                 pts.extend((0..take).map(|_| rig.random_plaintext()));
                 if fast_forward(rig, plan, &pts, &mut skip) {
@@ -706,14 +714,14 @@ impl TraceSource for ShardReplay {
         // summed event total) is the shard's schedule-unit basis.
         let mut windows_per_channel: std::collections::BTreeMap<String, u64> = Default::default();
         let mut block = EventBlock::new();
-        let mut chunk = Vec::with_capacity(REPLAY_CHUNK);
+        let mut chunk = Vec::with_capacity(plan.replay_chunk);
         let mut degraded = false;
         for path in &self.shards[plan.shard].files {
             if stop.load(Ordering::Relaxed) || degraded {
                 break;
             }
             // Windowed streaming: the reader holds the header and at most
-            // REPLAY_CHUNK traces at a time — O(1) memory in file size. A
+            // `replay_chunk` traces at a time — O(1) memory in file size. A
             // file that fails mid-stream (truncation, bad class byte) is
             // counted as skipped; the chunks replayed before the failure
             // stay replayed and counted.
@@ -750,14 +758,14 @@ impl TraceSource for ShardReplay {
                     degraded = true;
                     break;
                 }
-                match reader.read_chunk(REPLAY_CHUNK, &mut chunk) {
+                match reader.read_chunk(plan.replay_chunk, &mut chunk) {
                     Ok(0) => break,
                     Ok(n) => {
-                        // Re-emit at the live sources' OBS_CHUNK block
-                        // granularity so bus-queued memory stays bounded
-                        // by capacity × standard block size, while disk
-                        // reads stay amortized at REPLAY_CHUNK traces.
-                        for rows in chunk.chunks(OBS_CHUNK) {
+                        // Re-emit at the live sources' block granularity
+                        // so bus-queued memory stays bounded by capacity ×
+                        // standard block size, while disk reads stay
+                        // amortized at `replay_chunk` traces.
+                        for rows in chunk.chunks(plan.obs_chunk) {
                             let take = rows.len() as u64;
                             if skip > 0 {
                                 // Resume prefix: already consumed by the

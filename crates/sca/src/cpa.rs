@@ -20,6 +20,7 @@
 
 use crate::model::PowerModel;
 use crate::trace::{Trace, TraceSet};
+use pulp::{F64x2, F64x4, Simd, WithSimd};
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -145,6 +146,178 @@ pub struct Cpa {
     n: u64,
     sum_t: f64,
     sum_tt: f64,
+    /// Guesses swept per correlation block; see [`Self::set_unroll`].
+    unroll: usize,
+}
+
+/// One key byte's correlation sweep, generic over the SIMD backend.
+///
+/// **Lane-per-guess layout:** each vector lane owns one guess's private
+/// `Σh / Σh² / Σh·t` dependency chain, so per-guess addition order — and
+/// therefore the result bits — is identical under every backend and every
+/// unroll width. The unroll width only changes how guesses are *grouped*
+/// into blocks, never the order of any single guess's accumulations.
+struct CorrSweep<'a> {
+    /// Guess-major hypothesis rows (`rows[g][v]`).
+    rows: &'a [[f64; 256]],
+    /// Dense per-value bin counts, as f64.
+    cnt: &'a [f64; 256],
+    /// Dense per-value bin Σ value.
+    st: &'a [f64; 256],
+    sum_t: f64,
+    n: f64,
+    var_t: f64,
+    unroll: usize,
+    out: &'a mut [f64; 256],
+}
+
+impl WithSimd for CorrSweep<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn with_simd<S: Simd>(self) {
+        match self.unroll {
+            2 => self.sweep2::<S>(),
+            8 => self.sweep8::<S>(),
+            _ => self.sweep4::<S>(),
+        }
+    }
+}
+
+/// The scalar epilogue of one guess: covariance, variance, the guarded
+/// normalized correlation. Identical under every backend (operates on
+/// lane-extracted scalars).
+#[inline(always)]
+fn finish_guess(sum_t: f64, n: f64, var_t: f64, sum_h: f64, sum_hh: f64, sum_ht: f64) -> f64 {
+    let cov = sum_ht - sum_h * sum_t / n;
+    let var_h = sum_hh - sum_h * sum_h / n;
+    if var_h <= 0.0 {
+        0.0
+    } else {
+        (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0)
+    }
+}
+
+impl CorrSweep<'_> {
+    #[inline(always)]
+    fn sweep2<S: Simd>(self) {
+        let Self { rows, cnt, st, sum_t, n, var_t, out, .. } = self;
+        for (block, out2) in out.chunks_exact_mut(2).enumerate() {
+            let g = block * 2;
+            let (r0, r1) = (&rows[g], &rows[g + 1]);
+            let mut sum_h = S::f64x2::splat(0.0);
+            let mut sum_hh = S::f64x2::splat(0.0);
+            let mut sum_ht = S::f64x2::splat(0.0);
+            for v in 0..256 {
+                let h = S::f64x2::new(r0[v], r1[v]);
+                let c = S::f64x2::splat(cnt[v]);
+                let s = S::f64x2::splat(st[v]);
+                let ch = c * h;
+                sum_h += ch;
+                sum_hh += ch * h;
+                sum_ht += s * h;
+            }
+            let (h, hh, ht) = (sum_h.to_array(), sum_hh.to_array(), sum_ht.to_array());
+            for k in 0..2 {
+                out2[k] = finish_guess(sum_t, n, var_t, h[k], hh[k], ht[k]);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn sweep4<S: Simd>(self) {
+        let Self { rows, cnt, st, sum_t, n, var_t, out, .. } = self;
+        for (block, out4) in out.chunks_exact_mut(4).enumerate() {
+            let g = block * 4;
+            let rows: [&[f64; 256]; 4] = [&rows[g], &rows[g + 1], &rows[g + 2], &rows[g + 3]];
+            let mut sum_h = S::f64x4::splat(0.0);
+            let mut sum_hh = S::f64x4::splat(0.0);
+            let mut sum_ht = S::f64x4::splat(0.0);
+            for v in 0..256 {
+                let h = S::f64x4::new(rows[0][v], rows[1][v], rows[2][v], rows[3][v]);
+                let c = S::f64x4::splat(cnt[v]);
+                let s = S::f64x4::splat(st[v]);
+                let ch = c * h;
+                sum_h += ch;
+                sum_hh += ch * h;
+                sum_ht += s * h;
+            }
+            let (h, hh, ht) = (sum_h.to_array(), sum_hh.to_array(), sum_ht.to_array());
+            for k in 0..4 {
+                out4[k] = finish_guess(sum_t, n, var_t, h[k], hh[k], ht[k]);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn sweep8<S: Simd>(self) {
+        let Self { rows, cnt, st, sum_t, n, var_t, out, .. } = self;
+        for (block, out8) in out.chunks_exact_mut(8).enumerate() {
+            let g = block * 8;
+            let ra: [&[f64; 256]; 4] = [&rows[g], &rows[g + 1], &rows[g + 2], &rows[g + 3]];
+            let rb: [&[f64; 256]; 4] = [&rows[g + 4], &rows[g + 5], &rows[g + 6], &rows[g + 7]];
+            let mut sum_h_a = S::f64x4::splat(0.0);
+            let mut sum_hh_a = S::f64x4::splat(0.0);
+            let mut sum_ht_a = S::f64x4::splat(0.0);
+            let mut sum_h_b = S::f64x4::splat(0.0);
+            let mut sum_hh_b = S::f64x4::splat(0.0);
+            let mut sum_ht_b = S::f64x4::splat(0.0);
+            for v in 0..256 {
+                let c = S::f64x4::splat(cnt[v]);
+                let s = S::f64x4::splat(st[v]);
+                let ha = S::f64x4::new(ra[0][v], ra[1][v], ra[2][v], ra[3][v]);
+                let hb = S::f64x4::new(rb[0][v], rb[1][v], rb[2][v], rb[3][v]);
+                let cha = c * ha;
+                let chb = c * hb;
+                sum_h_a += cha;
+                sum_hh_a += cha * ha;
+                sum_ht_a += s * ha;
+                sum_h_b += chb;
+                sum_hh_b += chb * hb;
+                sum_ht_b += s * hb;
+            }
+            let (ha, hha, hta) = (sum_h_a.to_array(), sum_hh_a.to_array(), sum_ht_a.to_array());
+            let (hb, hhb, htb) = (sum_h_b.to_array(), sum_hh_b.to_array(), sum_ht_b.to_array());
+            for k in 0..4 {
+                out8[k] = finish_guess(sum_t, n, var_t, ha[k], hha[k], hta[k]);
+                out8[k + 4] = finish_guess(sum_t, n, var_t, hb[k], hhb[k], htb[k]);
+            }
+        }
+    }
+}
+
+/// All 16 key bytes' sweeps under one dispatch: the `#[target_feature]`
+/// frame and the backend resolution amortize over the whole rank sweep.
+struct CorrSweepAll<'a> {
+    rows: &'a [[f64; 256]],
+    cnt: &'a [[f64; 256]; 16],
+    st: &'a [[f64; 256]; 16],
+    sum_t: f64,
+    n: f64,
+    var_t: f64,
+    unroll: usize,
+    out: &'a mut [[f64; 256]; 16],
+}
+
+impl WithSimd for CorrSweepAll<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn with_simd<S: Simd>(self) {
+        for ((cnt, st), out) in self.cnt.iter().zip(self.st).zip(self.out.iter_mut()) {
+            CorrSweep {
+                rows: self.rows,
+                cnt,
+                st,
+                sum_t: self.sum_t,
+                n: self.n,
+                var_t: self.var_t,
+                unroll: self.unroll,
+                out,
+            }
+            .with_simd::<S>();
+        }
+    }
 }
 
 impl Cpa {
@@ -171,7 +344,46 @@ impl Cpa {
             table.model_name(),
             "hypothesis table model mismatch: accumulator model vs table model"
         );
-        Self { model, table, bins: vec![[Bin::default(); 256]; 16], n: 0, sum_t: 0.0, sum_tt: 0.0 }
+        Self {
+            model,
+            table,
+            bins: vec![[Bin::default(); 256]; 16],
+            n: 0,
+            sum_t: 0.0,
+            sum_tt: 0.0,
+            unroll: Self::DEFAULT_UNROLL,
+        }
+    }
+
+    /// Default correlation sweep unroll width (guesses per block).
+    pub const DEFAULT_UNROLL: usize = 4;
+
+    /// The unroll widths [`Self::set_unroll`] accepts — the autotuner's
+    /// sweep domain.
+    pub const UNROLL_WIDTHS: [usize; 3] = [2, 4, 8];
+
+    /// Set the correlation sweep unroll width: how many guesses (= lane
+    /// chains) each sweep block carries. Pure throughput knob — every
+    /// guess keeps its private accumulator chain regardless of grouping,
+    /// so results are bit-identical across widths (and the autotuner may
+    /// pick whichever is fastest on the host).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `unroll` is one of [`Self::UNROLL_WIDTHS`].
+    pub fn set_unroll(&mut self, unroll: usize) {
+        assert!(
+            Self::UNROLL_WIDTHS.contains(&unroll),
+            "unsupported CPA unroll width {unroll}; expected one of {:?}",
+            Self::UNROLL_WIDTHS
+        );
+        self.unroll = unroll;
+    }
+
+    /// The active correlation sweep unroll width.
+    #[must_use]
+    pub fn unroll(&self) -> usize {
+        self.unroll
     }
 
     /// The hypothesis table, shareable with further accumulators of the
@@ -340,71 +552,123 @@ impl Cpa {
     /// the rank trackers and adaptive early-stop loops call this per key
     /// byte, and the in-place form spares them a 2 KB return copy each.
     ///
-    /// The sweep is branch-free: the per-value bins are flattened once
-    /// into two dense `f64` arrays (count, Σ value), so the three Σ
-    /// reductions per guess run as pure unit-stride multiply-adds over
-    /// `cnt`/`st` and the guess-major hypothesis row — no zero-count
-    /// branch, no 16-byte `Bin` stride in the inner loop. Empty bins
-    /// contribute exact `±0.0` terms, which never perturb a partial sum
-    /// (the sums start at `+0.0` and can never become `-0.0`), so the
-    /// result is **bit-identical** to the historical skip-empty loop.
+    /// The sweep is branch-free and vectorized: the per-value bins are
+    /// flattened once into two dense `f64` arrays (count, Σ value), then
+    /// `CorrSweep` runs the three Σ reductions per guess as unit-stride
+    /// multiply-adds on the runtime-dispatched SIMD backend (AVX2 / NEON /
+    /// scalar — see the crate docs' *SIMD dispatch & autotuning* section).
+    /// Lanes map one-to-one onto guesses, so per-guess addition order is
+    /// untouched and the result is **bit-identical** across backends and
+    /// unroll widths (and to the historical scalar skip-empty loop: empty
+    /// bins contribute exact `±0.0` terms, which never perturb a partial
+    /// sum that starts at `+0.0`).
     ///
     /// # Panics
     ///
     /// Panics if `byte_index >= 16`.
     pub fn correlations_into(&self, byte_index: usize, out: &mut [f64; 256]) {
+        self.correlations_into_impl(byte_index, out, false);
+    }
+
+    /// As [`Self::correlations_into`], pinned to the scalar fallback
+    /// backend regardless of host capabilities or `PSC_SIMD`. This is the
+    /// reference side of the simd == scalar bit-identity proptests and the
+    /// baseline leg of the kernel benchmarks; analysis code should call
+    /// [`Self::correlations_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_index >= 16`.
+    pub fn correlations_into_scalar(&self, byte_index: usize, out: &mut [f64; 256]) {
+        self.correlations_into_impl(byte_index, out, true);
+    }
+
+    fn correlations_into_impl(&self, byte_index: usize, out: &mut [f64; 256], force_scalar: bool) {
         let bins = &self.bins[byte_index];
         out.fill(0.0);
+        let Some((n, var_t)) = self.moment_guards() else { return };
+        let mut cnt = [0.0f64; 256];
+        let mut st = [0.0f64; 256];
+        Self::flatten_bins(bins, &mut cnt, &mut st);
+        let sweep = CorrSweep {
+            rows: &self.table.rows,
+            cnt: &cnt,
+            st: &st,
+            sum_t: self.sum_t,
+            n,
+            var_t,
+            unroll: self.unroll,
+            out,
+        };
+        if force_scalar {
+            pulp::dispatch_scalar(sweep);
+        } else {
+            pulp::dispatch(sweep);
+        }
+    }
+
+    /// The degenerate-input guards shared by every sweep entry point:
+    /// `None` when no correlation is defined (fewer than 2 traces, or a
+    /// constant value column), else `(n, var_t)`.
+    fn moment_guards(&self) -> Option<(f64, f64)> {
         if self.n < 2 {
-            return;
+            return None;
         }
         let n = self.n as f64;
         let var_t = self.sum_tt - self.sum_t * self.sum_t / n;
         if var_t <= 0.0 {
-            return;
+            return None;
         }
-        let mut cnt = [0.0f64; 256];
-        let mut st = [0.0f64; 256];
+        Some((n, var_t))
+    }
+
+    fn flatten_bins(bins: &[Bin; 256], cnt: &mut [f64; 256], st: &mut [f64; 256]) {
         for (bin, (c, s)) in bins.iter().zip(cnt.iter_mut().zip(st.iter_mut())) {
             *c = bin.count as f64;
             *s = bin.sum_t;
         }
-        // Four guesses per sweep: each guess keeps its own three
-        // accumulators (so per-guess addition order — and hence the
-        // result bits — is untouched), but the four dependency chains
-        // interleave, keeping the FP adders busy instead of serializing
-        // on one chain's latency, and `cnt`/`st` loads amortize over
-        // four hypothesis rows.
-        for (quad, out4) in out.chunks_exact_mut(4).enumerate() {
-            let g = quad * 4;
-            let rows = [
-                self.table.row(g as u8),
-                self.table.row((g + 1) as u8),
-                self.table.row((g + 2) as u8),
-                self.table.row((g + 3) as u8),
-            ];
-            let mut sum_h = [0.0f64; 4];
-            let mut sum_hh = [0.0f64; 4];
-            let mut sum_ht = [0.0f64; 4];
-            for v in 0..256 {
-                let c = cnt[v];
-                let s = st[v];
-                for k in 0..4 {
-                    let h = rows[k][v];
-                    sum_h[k] += c * h;
-                    sum_hh[k] += c * h * h;
-                    sum_ht[k] += s * h;
-                }
-            }
-            for k in 0..4 {
-                let cov = sum_ht[k] - sum_h[k] * self.sum_t / n;
-                let var_h = sum_hh[k] - sum_h[k] * sum_h[k] / n;
-                out4[k] = if var_h <= 0.0 {
-                    0.0
-                } else {
-                    (cov / (var_h * var_t).sqrt()).clamp(-1.0, 1.0)
-                };
-            }
+    }
+
+    /// Correlations for all 256 guesses of **all 16 key bytes** in one
+    /// call: the degenerate-input guards, the bin flattening, and the SIMD
+    /// dispatch frame are paid once instead of 16 times, which is what the
+    /// rank sweeps ([`Self::ranks`], [`Self::best_guesses`]) want. Each
+    /// byte's 256 correlations are bit-identical to a per-byte
+    /// [`Self::correlations_into`] call.
+    pub fn correlations_all_into(&self, out: &mut [[f64; 256]; 16]) {
+        self.correlations_all_into_impl(out, false);
+    }
+
+    /// As [`Self::correlations_all_into`], pinned to the scalar fallback —
+    /// the reference side of bit-identity tests and benches.
+    pub fn correlations_all_into_scalar(&self, out: &mut [[f64; 256]; 16]) {
+        self.correlations_all_into_impl(out, true);
+    }
+
+    fn correlations_all_into_impl(&self, out: &mut [[f64; 256]; 16], force_scalar: bool) {
+        for o in out.iter_mut() {
+            o.fill(0.0);
+        }
+        let Some((n, var_t)) = self.moment_guards() else { return };
+        let mut cnt = [[0.0f64; 256]; 16];
+        let mut st = [[0.0f64; 256]; 16];
+        for ((bins, c), s) in self.bins.iter().zip(cnt.iter_mut()).zip(st.iter_mut()) {
+            Self::flatten_bins(bins, c, s);
+        }
+        let sweep = CorrSweepAll {
+            rows: &self.table.rows,
+            cnt: &cnt,
+            st: &st,
+            sum_t: self.sum_t,
+            n,
+            var_t,
+            unroll: self.unroll,
+            out,
+        };
+        if force_scalar {
+            pulp::dispatch_scalar(sweep);
+        } else {
+            pulp::dispatch(sweep);
         }
     }
 
@@ -447,15 +711,25 @@ impl Cpa {
     }
 
     /// Ranks of all 16 bytes of `true_round_key` (the round key matching
-    /// [`PowerModel::recovered_round`]). One reused correlation buffer
-    /// serves all 16 bytes — no per-byte return copies.
+    /// [`PowerModel::recovered_round`]). One
+    /// [`Self::correlations_all_into`] sweep serves all 16 bytes, so the
+    /// guard checks, bin flatten and dispatch frame amortize across the
+    /// whole rank vector.
     #[must_use]
     pub fn ranks(&self, true_round_key: &[u8; 16]) -> [usize; 16] {
-        let mut corr = [0.0f64; 256];
-        core::array::from_fn(|b| {
-            self.correlations_into(b, &mut corr);
-            Self::rank_in(&corr, true_round_key[b])
-        })
+        let mut corr = [[0.0f64; 256]; 16];
+        self.correlations_all_into(&mut corr);
+        core::array::from_fn(|b| Self::rank_in(&corr[b], true_round_key[b]))
+    }
+
+    /// The best guess and its correlation for every key byte — a whole-key
+    /// [`Self::best_guess`] sweep amortized through
+    /// [`Self::correlations_all_into`].
+    #[must_use]
+    pub fn best_guesses(&self) -> [(u8, f64); 16] {
+        let mut corr = [[0.0f64; 256]; 16];
+        self.correlations_all_into(&mut corr);
+        core::array::from_fn(|b| Self::best_in(&corr[b]))
     }
 
     /// The best guess and its correlation for one byte. Single
@@ -465,6 +739,10 @@ impl Cpa {
     pub fn best_guess(&self, byte_index: usize) -> (u8, f64) {
         let mut corr = [0.0f64; 256];
         self.correlations_into(byte_index, &mut corr);
+        Self::best_in(&corr)
+    }
+
+    fn best_in(corr: &[f64; 256]) -> (u8, f64) {
         let mut best = 0usize;
         for (g, c) in corr.iter().enumerate().skip(1) {
             if c.total_cmp(&corr[best]) == core::cmp::Ordering::Greater {
@@ -733,6 +1011,72 @@ mod tests {
         let mut buf = [f64::NAN; 256];
         empty.correlations_into(0, &mut buf);
         assert_eq!(buf, [0.0f64; 256]);
+    }
+
+    #[test]
+    fn simd_dispatch_matches_scalar_bitwise_across_unrolls() {
+        let key = [0xA7u8; 16];
+        let set = synthetic_rd0_traces(&key, 333);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let mut reference = [f64::NAN; 256];
+        let mut got = [f64::NAN; 256];
+        for unroll in Cpa::UNROLL_WIDTHS {
+            cpa.set_unroll(unroll);
+            for b in 0..16 {
+                cpa.correlations_into_scalar(b, &mut reference);
+                cpa.correlations_into(b, &mut got);
+                for g in 0..256 {
+                    assert_eq!(
+                        reference[g].to_bits(),
+                        got[g].to_bits(),
+                        "unroll {unroll} byte {b} guess {g}"
+                    );
+                }
+            }
+        }
+        // Unroll width must not change bits either: compare widths pairwise
+        // at the scalar backend (per-guess chains are private to a lane).
+        cpa.set_unroll(4);
+        cpa.correlations_into_scalar(0, &mut reference);
+        for unroll in [2usize, 8] {
+            cpa.set_unroll(unroll);
+            cpa.correlations_into_scalar(0, &mut got);
+            for g in 0..256 {
+                assert_eq!(reference[g].to_bits(), got[g].to_bits(), "unroll {unroll} guess {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlations_all_into_matches_per_byte_bitwise() {
+        let key = [0x3Eu8; 16];
+        let set = synthetic_rd0_traces(&key, 400);
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.add_set(&set);
+        let mut all = [[f64::NAN; 256]; 16];
+        cpa.correlations_all_into(&mut all);
+        let mut single = [f64::NAN; 256];
+        for (b, all_b) in all.iter().enumerate() {
+            cpa.correlations_into(b, &mut single);
+            for g in 0..256 {
+                assert_eq!(all_b[g].to_bits(), single[g].to_bits(), "byte {b} guess {g}");
+            }
+        }
+        // Degenerate accumulators must clear the whole buffer.
+        let empty = Cpa::new(Box::new(Rd0Hw));
+        let mut all = [[f64::NAN; 256]; 16];
+        empty.correlations_all_into(&mut all);
+        assert_eq!(all, [[0.0f64; 256]; 16]);
+        // best_guesses is the amortized best_guess sweep.
+        assert_eq!(cpa.best_guesses(), core::array::from_fn(|b| cpa.best_guess(b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported CPA unroll width")]
+    fn unroll_width_is_validated() {
+        let mut cpa = Cpa::new(Box::new(Rd0Hw));
+        cpa.set_unroll(3);
     }
 
     #[test]

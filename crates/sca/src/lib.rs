@@ -37,6 +37,22 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## SIMD dispatch & autotuning
+//!
+//! The three hot analysis kernels — the CPA correlation sweep
+//! ([`Cpa::correlations_into`] / [`Cpa::correlations_all_into`]), the
+//! masked 4-lane Welford column ingestion ([`stats::MomentsQuad`]) and
+//! the 4-lane Welch-t sweep ([`stats::welch_t_x4`]) — run on the
+//! vendored `pulp` portable-SIMD shim: one generic kernel, dispatched at
+//! runtime to AVX2 (x86-64), NEON (aarch64) or a scalar fallback with
+//! the identical lane layout. Every lane is a private addition chain in
+//! row order and no FMA contraction is used, so **results are
+//! bit-identical across backends and unroll widths** — pinned by
+//! `*_scalar` twin entry points and the `simd_props` proptests. Set
+//! `PSC_SIMD=off` to force the scalar backend; the unroll width of the
+//! correlation sweep ([`Cpa::set_unroll`]) is chosen per machine by the
+//! `psc-core` autotuner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

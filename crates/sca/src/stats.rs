@@ -4,6 +4,7 @@
 //! runs over up to millions of traces, so all estimators here are one-pass
 //! with Welford-style updates.
 
+use pulp::{F64x4, Simd, WithSimd};
 use serde::{Deserialize, Serialize};
 
 /// Welford running mean/variance accumulator.
@@ -34,6 +35,26 @@ impl RunningMoments {
         for x in xs {
             self.push(x);
         }
+    }
+
+    /// Add a dense slice of observations — the telemetry block pipeline's
+    /// slice-ingestion path. The Welford state lives in locals for the
+    /// whole sweep (no per-sample store/reload of `self`), and every
+    /// operation matches [`Self::push`] exactly, so the stream is
+    /// **bit-identical** to pushing the values one by one.
+    pub fn extend_slice(&mut self, xs: &[f64]) {
+        let mut n = self.n;
+        let mut mean = self.mean;
+        let mut m2 = self.m2;
+        for &x in xs {
+            n += 1;
+            let delta = x - mean;
+            mean += delta / n as f64;
+            m2 += delta * (x - mean);
+        }
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
     }
 
     /// Number of observations.
@@ -92,6 +113,150 @@ impl RunningMoments {
         let mean = self.mean + delta * other.n as f64 / n as f64;
         let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         Self { n, mean, m2 }
+    }
+}
+
+/// Four independent Welford chains advanced in lockstep — the vector form
+/// of four [`RunningMoments`] (e.g. four telemetry channels' TVLA cells
+/// ingesting one columnar block together).
+///
+/// Each lane is a private `(n, mean, m2)` dependency chain; a row advances
+/// a lane only where that lane's column holds a sample (denied reads are
+/// `None`), via masked select. Per lane, the operations and their order
+/// are exactly [`RunningMoments::push`] over the lane's present values, so
+/// the result is **bit-identical** to four independent scalar
+/// accumulators under every SIMD backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsQuad {
+    /// Per-lane counts, kept as exact small integers in f64.
+    n: [f64; 4],
+    mean: [f64; 4],
+    m2: [f64; 4],
+}
+
+impl MomentsQuad {
+    /// Pack four accumulators into lockstep lanes.
+    #[must_use]
+    pub fn load(lanes: [RunningMoments; 4]) -> Self {
+        Self { n: lanes.map(|m| m.n as f64), mean: lanes.map(|m| m.mean), m2: lanes.map(|m| m.m2) }
+    }
+
+    /// Unpack the four lanes back into scalar accumulators.
+    #[must_use]
+    pub fn store(self) -> [RunningMoments; 4] {
+        core::array::from_fn(|i| RunningMoments {
+            n: self.n[i] as u64,
+            mean: self.mean[i],
+            m2: self.m2[i],
+        })
+    }
+
+    /// Ingest one row per index across four columns: lane `k` pushes
+    /// `cols[k][i]` when present and is untouched when the read was denied
+    /// (`None`). Runs on the runtime-dispatched SIMD backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four columns differ in length.
+    pub fn extend_columns(&mut self, cols: [&[Option<f64>]; 4]) {
+        pulp::dispatch(ExtendColumns { quad: self, cols });
+    }
+
+    /// As [`Self::extend_columns`], pinned to the scalar fallback — the
+    /// reference side of the simd == scalar bit-identity proptests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four columns differ in length.
+    pub fn extend_columns_scalar(&mut self, cols: [&[Option<f64>]; 4]) {
+        pulp::dispatch_scalar(ExtendColumns { quad: self, cols });
+    }
+}
+
+/// Masked lockstep Welford over four sample columns.
+struct ExtendColumns<'a> {
+    quad: &'a mut MomentsQuad,
+    cols: [&'a [Option<f64>]; 4],
+}
+
+impl WithSimd for ExtendColumns<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn with_simd<S: Simd>(self) {
+        let rows = self.cols[0].len();
+        for col in &self.cols[1..] {
+            assert_eq!(col.len(), rows, "lockstep columns must have equal lengths");
+        }
+        let zero = S::f64x4::splat(0.0);
+        let one = S::f64x4::splat(1.0);
+        let mut n = S::f64x4::from_array(self.quad.n);
+        let mut mean = S::f64x4::from_array(self.quad.mean);
+        let mut m2 = S::f64x4::from_array(self.quad.m2);
+        for i in 0..rows {
+            let cells = [self.cols[0][i], self.cols[1][i], self.cols[2][i], self.cols[3][i]];
+            let x = S::f64x4::from_array(cells.map(|c| c.unwrap_or(0.0)));
+            let present = S::f64x4::from_array(cells.map(|c| if c.is_some() { 1.0 } else { 0.0 }));
+            let mask = present.gt(zero);
+            // Per present lane this is exactly RunningMoments::push; the
+            // masked lanes keep their old words (the garbage quotients
+            // computed for them are blended away, never trapped on).
+            let np = n + S::f64x4::select(mask, one, zero);
+            let delta = x - mean;
+            let mean_p = S::f64x4::select(mask, mean + delta / np, mean);
+            let m2_p = S::f64x4::select(mask, m2 + delta * (x - mean_p), m2);
+            n = np;
+            mean = mean_p;
+            m2 = m2_p;
+        }
+        self.quad.n = n.to_array();
+        self.quad.mean = mean.to_array();
+        self.quad.m2 = m2.to_array();
+    }
+}
+
+/// Four Welch t statistics at once: `t[k] = welch_t(&a[k], &b[k])`, with
+/// the degenerate guards (either count < 2, vanishing standard error)
+/// applied per lane by masked select. For finite accumulator states the
+/// lanes are **bit-identical** to four [`welch_t`] calls — the telemetry
+/// TVLA matrix sweeps use this to fold 9 cells into 2 vector evaluations.
+#[must_use]
+pub fn welch_t_x4(a: &[RunningMoments; 4], b: &[RunningMoments; 4]) -> [f64; 4] {
+    pulp::dispatch(WelchTx4 { a: *a, b: *b })
+}
+
+/// As [`welch_t_x4`], pinned to the scalar fallback backend.
+#[must_use]
+pub fn welch_t_x4_scalar(a: &[RunningMoments; 4], b: &[RunningMoments; 4]) -> [f64; 4] {
+    pulp::dispatch_scalar(WelchTx4 { a: *a, b: *b })
+}
+
+struct WelchTx4 {
+    a: [RunningMoments; 4],
+    b: [RunningMoments; 4],
+}
+
+impl WithSimd for WelchTx4 {
+    type Output = [f64; 4];
+
+    #[inline(always)]
+    fn with_simd<S: Simd>(self) -> [f64; 4] {
+        let zero = S::f64x4::splat(0.0);
+        let one = S::f64x4::splat(1.0);
+        let two = S::f64x4::splat(2.0);
+        let na = S::f64x4::from_array(self.a.map(|m| m.n as f64));
+        let nb = S::f64x4::from_array(self.b.map(|m| m.n as f64));
+        let ma = S::f64x4::from_array(self.a.map(|m| m.mean));
+        let mb = S::f64x4::from_array(self.b.map(|m| m.mean));
+        let m2a = S::f64x4::from_array(self.a.map(|m| m.m2));
+        let m2b = S::f64x4::from_array(self.b.map(|m| m.m2));
+        // variance(): m2 / (n - 1), zero below two observations. The n = 0
+        // lanes divide by -1 harmlessly; the select discards them.
+        let va = S::f64x4::select(na.ge(two), m2a / (na - one), zero);
+        let vb = S::f64x4::select(nb.ge(two), m2b / (nb - one), zero);
+        let se2 = va / na + vb / nb;
+        let valid = na.ge(two).and(nb.ge(two)).and(se2.gt(zero));
+        S::f64x4::select(valid, (ma - mb) / se2.sqrt(), zero).to_array()
     }
 }
 
@@ -305,6 +470,87 @@ mod tests {
         let mut one = RunningMoments::new();
         one.push(3.0);
         assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn extend_slice_matches_push_bitwise() {
+        let data: Vec<f64> = (0..257).map(|i| (f64::from(i) * 0.71).sin() * 42.0 + 3.0).collect();
+        let mut pushed = RunningMoments::new();
+        for &x in &data {
+            pushed.push(x);
+        }
+        let mut sliced = RunningMoments::new();
+        sliced.extend_slice(&data[..100]);
+        sliced.extend_slice(&[]);
+        sliced.extend_slice(&data[100..]);
+        assert_eq!(pushed.raw().0, sliced.raw().0);
+        assert_eq!(pushed.raw().1.to_bits(), sliced.raw().1.to_bits());
+        assert_eq!(pushed.raw().2.to_bits(), sliced.raw().2.to_bits());
+    }
+
+    #[test]
+    fn moments_quad_matches_independent_lanes_bitwise() {
+        // Four columns with different None (denied-read) patterns,
+        // including an all-None lane.
+        let rows = 113usize;
+        let cols: [Vec<Option<f64>>; 4] = core::array::from_fn(|lane| {
+            (0..rows)
+                .map(|i| match lane {
+                    0 => Some((i as f64 * 0.37).cos() * 5.0),
+                    1 => (i % 3 != 0).then_some(i as f64 * 0.5 - 7.0),
+                    2 => (i % 7 == 0).then(|| (i as f64).sqrt()),
+                    _ => None,
+                })
+                .collect()
+        });
+        let col_refs: [&[Option<f64>]; 4] = core::array::from_fn(|k| cols[k].as_slice());
+        let mut quad = MomentsQuad::load([RunningMoments::new(); 4]);
+        quad.extend_columns(col_refs);
+        let mut quad_scalar = MomentsQuad::load([RunningMoments::new(); 4]);
+        quad_scalar.extend_columns_scalar(col_refs);
+        let reference: [RunningMoments; 4] = core::array::from_fn(|k| {
+            let mut m = RunningMoments::new();
+            m.extend(cols[k].iter().copied().flatten());
+            m
+        });
+        for (got, want) in [quad.store(), quad_scalar.store()].iter().flat_map(|lanes| {
+            lanes.iter().copied().zip(reference.iter().copied()).collect::<Vec<_>>()
+        }) {
+            assert_eq!(got.raw().0, want.raw().0);
+            assert_eq!(got.raw().1.to_bits(), want.raw().1.to_bits());
+            assert_eq!(got.raw().2.to_bits(), want.raw().2.to_bits());
+        }
+    }
+
+    #[test]
+    fn welch_t_x4_matches_scalar_including_degenerates() {
+        let filled = |xs: &[f64]| {
+            let mut m = RunningMoments::new();
+            m.extend_slice(xs);
+            m
+        };
+        let a = [
+            filled(&[1.0, 2.0, 3.5, 0.7, 2.2]),
+            filled(&[]),              // n = 0
+            filled(&[5.0]),           // n = 1
+            filled(&[4.0, 4.0, 4.0]), // zero variance
+        ];
+        let b = [
+            filled(&[0.5, 3.0, 2.5, 1.7, 2.9]),
+            filled(&[1.0, 2.0, 3.0]),
+            filled(&[1.0, 2.0, 3.0]),
+            filled(&[4.0, 4.0]), // zero variance on both sides → se2 = 0
+        ];
+        let fast = welch_t_x4(&a, &b);
+        let slow = welch_t_x4_scalar(&a, &b);
+        for k in 0..4 {
+            let want = welch_t(&a[k], &b[k]);
+            assert_eq!(fast[k].to_bits(), want.to_bits(), "lane {k} dispatch");
+            assert_eq!(slow[k].to_bits(), want.to_bits(), "lane {k} scalar");
+        }
+        assert_eq!(fast[1], 0.0);
+        assert_eq!(fast[2], 0.0);
+        assert_eq!(fast[3], 0.0);
     }
 
     #[test]

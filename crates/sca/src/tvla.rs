@@ -6,7 +6,7 @@
 //! pair. |t| ≥ 4.5 means statistically distinguishable at 99.999%
 //! confidence. The color coding becomes the four outcome classes below.
 
-use crate::stats::{welch_t, RunningMoments};
+use crate::stats::{welch_t, welch_t_x4, RunningMoments};
 use serde::{Deserialize, Serialize};
 
 // (TvlaTracker below relies on RunningMoments being mergeable; see
@@ -103,6 +103,22 @@ impl TvlaOutcome {
     }
 }
 
+/// The nine Welch t-scores of a 3×3 TVLA matrix in row-major order:
+/// `t[ri * 3 + ci] = welch_t(&second[ri], &first[ci])`. Two lockstep
+/// [`welch_t_x4`] evaluations cover the first eight cells; the ninth runs
+/// scalar. Bit-identical to nine [`welch_t`] calls.
+fn welch_t_matrix(second: &[RunningMoments; 3], first: &[RunningMoments; 3]) -> [f64; 9] {
+    let lanes = |idx: [usize; 4]| {
+        let a = idx.map(|i| second[i / 3]);
+        let b = idx.map(|i| first[i % 3]);
+        welch_t_x4(&a, &b)
+    };
+    let lo = lanes([0, 1, 2, 3]);
+    let hi = lanes([4, 5, 6, 7]);
+    let last = welch_t(&second[2], &first[2]);
+    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3], last]
+}
+
 /// One cell of the 3×3 TVLA matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TvlaCell {
@@ -142,16 +158,17 @@ impl TvlaMatrix {
     ) -> Self {
         let moments = |xs: &Vec<f64>| {
             let mut m = RunningMoments::new();
-            m.extend(xs.iter().copied());
+            m.extend_slice(xs);
             m
         };
-        let first_m: Vec<RunningMoments> = first.iter().map(moments).collect();
-        let second_m: Vec<RunningMoments> = second.iter().map(moments).collect();
+        let first_m: [RunningMoments; 3] = core::array::from_fn(|i| moments(&first[i]));
+        let second_m: [RunningMoments; 3] = core::array::from_fn(|i| moments(&second[i]));
+        let t_scores = welch_t_matrix(&second_m, &first_m);
 
         let mut cells = Vec::with_capacity(9);
         for (ri, row) in PlaintextClass::ALL.iter().enumerate() {
             for (ci, column) in PlaintextClass::ALL.iter().enumerate() {
-                let t_score = welch_t(&second_m[ri], &first_m[ci]);
+                let t_score = t_scores[ri * 3 + ci];
                 // Ground truth: same class (diagonal) means same data —
                 // except Random vs Random, where the *data* differs per
                 // trace but the distributions are identical, so the
@@ -379,6 +396,18 @@ impl TvlaAccumulator {
         self.moments[pass][class.index()].extend(values);
     }
 
+    /// As [`Self::extend`] for a dense slice: the cell resolves once and
+    /// the Welford state stays in registers for the whole run (see
+    /// [`RunningMoments::extend_slice`]). Bit-identical to the
+    /// per-sample path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass > 1`.
+    pub fn extend_slice(&mut self, pass: usize, class: PlaintextClass, values: &[f64]) {
+        self.moments[pass][class.index()].extend_slice(values);
+    }
+
     /// Observations accumulated for (`pass`, `class`).
     #[must_use]
     pub fn count(&self, pass: usize, class: PlaintextClass) -> u64 {
@@ -420,10 +449,11 @@ impl TvlaAccumulator {
     /// to [`TvlaMatrix::compute`] over the same data.
     #[must_use]
     pub fn matrix(&self, label: impl Into<String>) -> TvlaMatrix {
+        let t_scores = welch_t_matrix(&self.moments[1], &self.moments[0]);
         let mut cells = Vec::with_capacity(9);
         for (ri, row) in PlaintextClass::ALL.iter().enumerate() {
             for (ci, column) in PlaintextClass::ALL.iter().enumerate() {
-                let t_score = welch_t(&self.moments[1][ri], &self.moments[0][ci]);
+                let t_score = t_scores[ri * 3 + ci];
                 let truly_different = row != column;
                 cells.push(TvlaCell {
                     row: *row,

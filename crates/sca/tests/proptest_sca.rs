@@ -203,6 +203,116 @@ proptest! {
     }
 }
 
+mod simd_props {
+    use proptest::prelude::*;
+    use psc_sca::cpa::Cpa;
+    use psc_sca::model::Rd0Hw;
+    use psc_sca::stats::{welch_t, welch_t_x4, welch_t_x4_scalar, MomentsQuad, RunningMoments};
+    use psc_sca::trace::Trace;
+
+    proptest! {
+        // Kernel 1 (CPA correlation sweep): the runtime-dispatched vector
+        // path must be bit-identical to the scalar backend for arbitrary
+        // accumulator states at every unroll width — including the
+        // degenerate guards (no traces → n < 2; constant values →
+        // var_t <= 0, where the sweep must zero the output).
+        #[test]
+        fn cpa_correlations_simd_matches_scalar_bitwise(
+            traces in proptest::collection::vec((any::<[u8; 16]>(), -5.0f64..5.0), 0..60),
+            constant in any::<bool>(),
+            unroll_idx in 0usize..3,
+        ) {
+            let mut cpa = Cpa::new(Box::new(Rd0Hw));
+            for (pt, v) in &traces {
+                let value = if constant { 1.25 } else { *v };
+                cpa.add_trace(&Trace { value, plaintext: *pt, ciphertext: [0; 16] });
+            }
+            cpa.set_unroll(Cpa::UNROLL_WIDTHS[unroll_idx]);
+            let mut simd = [[0.0f64; 256]; 16];
+            let mut scalar = [[1.0f64; 256]; 16];
+            cpa.correlations_all_into(&mut simd);
+            cpa.correlations_all_into_scalar(&mut scalar);
+            for (simd_row, scalar_row) in simd.iter().zip(&scalar) {
+                for (a, b) in simd_row.iter().zip(scalar_row) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // The per-byte entry point runs the same chains.
+            let mut one = [0.0f64; 256];
+            cpa.correlations_into(0, &mut one);
+            for (a, b) in one.iter().zip(&simd[0]) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Kernel 2a (TVLA column ingestion): the masked 4-lane Welford
+        // update must be bit-identical to four independent scalar
+        // accumulators for arbitrary present/denied (None) patterns.
+        #[test]
+        fn moments_quad_simd_matches_scalar_bitwise(
+            rows in proptest::collection::vec(
+                (any::<u8>(), (-100.0f64..100.0), (-100.0f64..100.0)),
+                0..80,
+            ),
+        ) {
+            // Lane i of row r is present iff mask bit i is set; denied
+            // reads are None.
+            let cell = |r: &(u8, f64, f64), i: usize| {
+                (r.0 & (1 << i) != 0).then_some(r.1 + r.2 * i as f64)
+            };
+            let cols: [Vec<Option<f64>>; 4] =
+                core::array::from_fn(|i| rows.iter().map(|r| cell(r, i)).collect());
+            let col_refs: [&[Option<f64>]; 4] = core::array::from_fn(|i| cols[i].as_slice());
+            let fresh = || core::array::from_fn(|_| RunningMoments::new());
+            let mut simd = MomentsQuad::load(fresh());
+            simd.extend_columns(col_refs);
+            let mut scalar = MomentsQuad::load(fresh());
+            scalar.extend_columns_scalar(col_refs);
+            let mut independent: [RunningMoments; 4] = fresh();
+            for (lane, col) in independent.iter_mut().zip(&cols) {
+                lane.extend(col.iter().copied().flatten());
+            }
+            for ((a, b), c) in simd.store().iter().zip(&scalar.store()).zip(&independent) {
+                prop_assert_eq!(a.raw().0, c.raw().0);
+                prop_assert_eq!(a.raw().1.to_bits(), c.raw().1.to_bits());
+                prop_assert_eq!(a.raw().2.to_bits(), c.raw().2.to_bits());
+                prop_assert_eq!(a.raw().0, b.raw().0);
+                prop_assert_eq!(a.raw().1.to_bits(), b.raw().1.to_bits());
+                prop_assert_eq!(a.raw().2.to_bits(), b.raw().2.to_bits());
+            }
+        }
+
+        // Kernel 2b (Welch-t column sweep): the 4-lane t statistic must
+        // match the scalar formula bit for bit on finite accumulators,
+        // degenerate lanes included (n = 0, n = 1, zero variance → 0.0).
+        #[test]
+        fn welch_t_x4_simd_matches_scalar_bitwise(
+            lanes in proptest::collection::vec(
+                (0usize..6, 0usize..6, -10.0f64..10.0, any::<bool>()),
+                4,
+            ),
+        ) {
+            let moments = |n: usize, base: f64, constant: bool| {
+                let mut m = RunningMoments::new();
+                for i in 0..n {
+                    m.push(if constant { base } else { base + i as f64 * 0.37 });
+                }
+                m
+            };
+            let a: [RunningMoments; 4] =
+                core::array::from_fn(|i| moments(lanes[i].0, lanes[i].2, lanes[i].3));
+            let b: [RunningMoments; 4] =
+                core::array::from_fn(|i| moments(lanes[i].1, -lanes[i].2, lanes[i].3));
+            let vector = welch_t_x4(&a, &b);
+            let scalar = welch_t_x4_scalar(&a, &b);
+            for lane in 0..4 {
+                prop_assert_eq!(vector[lane].to_bits(), scalar[lane].to_bits());
+                prop_assert_eq!(vector[lane].to_bits(), welch_t(&a[lane], &b[lane]).to_bits());
+            }
+        }
+    }
+}
+
 mod checkpoint_props {
     use proptest::prelude::*;
     use psc_sca::checkpoint::{

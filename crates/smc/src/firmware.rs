@@ -9,6 +9,7 @@ use crate::sensors::{SensorSet, SensorSource};
 use crate::types::{SmcDataType, SmcValue};
 use psc_soc::noise::{gaussian, RandomWalk};
 use psc_soc::{SocTick, WindowBatch, WindowReport};
+use pulp::{F64x4, Simd, WithSimd};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -38,62 +39,25 @@ impl Accumulator {
     /// sweeps over the batch columns — so batched and sequential SMC
     /// integration publish bit-identical values.
     fn add_columns(&mut self, batch: &WindowBatch, start: usize, end: usize) {
+        self.add_columns_impl(batch, start, end, false);
+    }
+
+    fn add_columns_impl(&mut self, batch: &WindowBatch, start: usize, end: usize, scalar: bool) {
         let dt = batch.duration_s();
         for _ in start..end {
             self.time_s += dt;
         }
-        let rails = batch.rails();
-        for v in &rails.p_cluster_w[start..end] {
-            self.rails_sum.p_cluster_w += v * dt;
-        }
-        for v in &rails.e_cluster_w[start..end] {
-            self.rails_sum.e_cluster_w += v * dt;
-        }
-        for v in &rails.dram_w[start..end] {
-            self.rails_sum.dram_w += v * dt;
-        }
-        for v in &rails.uncore_w[start..end] {
-            self.rails_sum.uncore_w += v * dt;
-        }
-        for v in &rails.package_w[start..end] {
-            self.rails_sum.package_w += v * dt;
-        }
-        for v in &rails.dc_in_w[start..end] {
-            self.rails_sum.dc_in_w += v * dt;
-        }
-        for v in &rails.system_w[start..end] {
-            self.rails_sum.system_w += v * dt;
-        }
-        for v in &batch.estimated_cpu_power_w()[start..end] {
-            self.est_cpu_sum += v * dt;
-        }
-        for v in &batch.estimated_p_cluster_w()[start..end] {
-            self.est_p_sum += v * dt;
-        }
-        for v in &batch.estimated_e_cluster_w()[start..end] {
-            self.est_e_sum += v * dt;
-        }
-        for v in &batch.p_freq_ghz()[start..end] {
-            self.p_freq_sum += v * dt;
-        }
-        for v in &batch.e_freq_ghz()[start..end] {
-            self.e_freq_sum += v * dt;
+        let sweep = ColumnSweep { acc: self, batch, start, end };
+        if scalar {
+            pulp::dispatch_scalar(sweep);
+        } else {
+            pulp::dispatch(sweep);
         }
         if end > start {
             self.temp_last = batch.temperature_c()[end - 1];
         }
         for v in &batch.p_core_reps()[start..end] {
             self.reps_sum += v;
-        }
-        for util in &batch.p_core_util()[start..end] {
-            for (sum, u) in self.p_core_util_sum.iter_mut().zip(util) {
-                *sum += u * dt;
-            }
-        }
-        for util in &batch.e_core_util()[start..end] {
-            for (sum, u) in self.e_core_util_sum.iter_mut().zip(util) {
-                *sum += u * dt;
-            }
         }
     }
 
@@ -129,6 +93,80 @@ impl Accumulator {
             p_core_util: core::array::from_fn(|i| self.p_core_util_sum[i] / t),
             e_core_util: core::array::from_fn(|i| self.e_core_util_sum[i] / t),
         }
+    }
+}
+
+/// Columnar accumulation sweep over rows `start..end` of a batch.
+///
+/// Twelve power/frequency columns are grouped into three `f64x4` quads and
+/// the per-core utilisation rows ride as natural 4-lane vectors. Each SIMD
+/// lane carries exactly one accumulator's private addition chain in row
+/// order, so the vector sweep performs the same floating-point operations
+/// (in the same order) as the twelve independent scalar column loops it
+/// replaces — the published SMC values are bit-identical on every backend.
+struct ColumnSweep<'a> {
+    acc: &'a mut Accumulator,
+    batch: &'a WindowBatch,
+    start: usize,
+    end: usize,
+}
+
+impl WithSimd for ColumnSweep<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn with_simd<S: Simd>(self) {
+        let Self { acc, batch, start, end } = self;
+        let dt = S::f64x4::splat(batch.duration_s());
+        let rails = batch.rails();
+        let est_cpu = batch.estimated_cpu_power_w();
+        let est_p = batch.estimated_p_cluster_w();
+        let est_e = batch.estimated_e_cluster_w();
+        let p_freq = batch.p_freq_ghz();
+        let e_freq = batch.e_freq_ghz();
+        let p_util = batch.p_core_util();
+        let e_util = batch.e_core_util();
+
+        let rs = acc.rails_sum;
+        let mut quad_a = S::f64x4::new(rs.p_cluster_w, rs.e_cluster_w, rs.dram_w, rs.uncore_w);
+        let mut quad_b = S::f64x4::new(rs.package_w, rs.dc_in_w, rs.system_w, acc.est_cpu_sum);
+        let mut quad_c =
+            S::f64x4::new(acc.est_p_sum, acc.est_e_sum, acc.p_freq_sum, acc.e_freq_sum);
+        let mut p_sum = S::f64x4::from_array(acc.p_core_util_sum);
+        let mut e_sum = S::f64x4::from_array(acc.e_core_util_sum);
+        for i in start..end {
+            quad_a += S::f64x4::new(
+                rails.p_cluster_w[i],
+                rails.e_cluster_w[i],
+                rails.dram_w[i],
+                rails.uncore_w[i],
+            ) * dt;
+            quad_b +=
+                S::f64x4::new(rails.package_w[i], rails.dc_in_w[i], rails.system_w[i], est_cpu[i])
+                    * dt;
+            quad_c += S::f64x4::new(est_p[i], est_e[i], p_freq[i], e_freq[i]) * dt;
+            p_sum += S::f64x4::from_array(p_util[i]) * dt;
+            e_sum += S::f64x4::from_array(e_util[i]) * dt;
+        }
+        let [pc, ec, dr, un] = quad_a.to_array();
+        let [pkg, dc, sys, cpu] = quad_b.to_array();
+        let [ep, ee, pf, ef] = quad_c.to_array();
+        acc.rails_sum = psc_soc::PowerRails {
+            p_cluster_w: pc,
+            e_cluster_w: ec,
+            dram_w: dr,
+            uncore_w: un,
+            package_w: pkg,
+            dc_in_w: dc,
+            system_w: sys,
+        };
+        acc.est_cpu_sum = cpu;
+        acc.est_p_sum = ep;
+        acc.est_e_sum = ee;
+        acc.p_freq_sum = pf;
+        acc.e_freq_sum = ef;
+        acc.p_core_util_sum = p_sum.to_array();
+        acc.e_core_util_sum = e_sum.to_array();
     }
 }
 
@@ -706,6 +744,44 @@ mod tests {
             let a = seq.read(k).unwrap().value;
             let b = batched.read(k).unwrap().value;
             assert_eq!(a.to_bits(), b.to_bits(), "key {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn column_sweep_simd_matches_scalar_bitwise() {
+        let reports: Vec<WindowReport> = (0..23)
+            .map(|i| {
+                let mut r = report(1.5 + f64::from(i) * 0.17, 2.5 + f64::from(i % 5) * 0.05);
+                r.duration_s = 0.31;
+                r
+            })
+            .collect();
+        let batch = psc_soc::WindowBatch::from_reports(&reports);
+        // Exercise sub-segment sweeps too (the session driver publishes at
+        // interval boundaries inside a batch), including an empty segment.
+        for (start, end) in [(0, reports.len()), (3, 17), (5, 5), (22, 23)] {
+            let mut simd = Accumulator::default();
+            let mut scalar = Accumulator::default();
+            simd.add_columns_impl(&batch, start, end, false);
+            scalar.add_columns_impl(&batch, start, end, true);
+            let a = simd.mean_report();
+            let b = scalar.mean_report();
+            assert_eq!(a.rails.p_cluster_w.to_bits(), b.rails.p_cluster_w.to_bits());
+            assert_eq!(a.rails.e_cluster_w.to_bits(), b.rails.e_cluster_w.to_bits());
+            assert_eq!(a.rails.dram_w.to_bits(), b.rails.dram_w.to_bits());
+            assert_eq!(a.rails.uncore_w.to_bits(), b.rails.uncore_w.to_bits());
+            assert_eq!(a.rails.package_w.to_bits(), b.rails.package_w.to_bits());
+            assert_eq!(a.rails.dc_in_w.to_bits(), b.rails.dc_in_w.to_bits());
+            assert_eq!(a.rails.system_w.to_bits(), b.rails.system_w.to_bits());
+            assert_eq!(a.estimated_cpu_power_w.to_bits(), b.estimated_cpu_power_w.to_bits());
+            assert_eq!(a.estimated_p_cluster_w.to_bits(), b.estimated_p_cluster_w.to_bits());
+            assert_eq!(a.estimated_e_cluster_w.to_bits(), b.estimated_e_cluster_w.to_bits());
+            assert_eq!(a.p_freq_ghz.to_bits(), b.p_freq_ghz.to_bits());
+            assert_eq!(a.e_freq_ghz.to_bits(), b.e_freq_ghz.to_bits());
+            for lane in 0..4 {
+                assert_eq!(a.p_core_util[lane].to_bits(), b.p_core_util[lane].to_bits());
+                assert_eq!(a.e_core_util[lane].to_bits(), b.e_core_util[lane].to_bits());
+            }
         }
     }
 

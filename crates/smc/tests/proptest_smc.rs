@@ -155,3 +155,58 @@ mod iokit_protocol_fuzz {
         }
     }
 }
+
+mod firmware_batch_props {
+    use super::report;
+    use proptest::prelude::*;
+    use psc_smc::firmware::Smc;
+    use psc_smc::sensors::SensorSet;
+    use psc_soc::{WindowBatch, WindowReport};
+
+    proptest! {
+        /// The columnar SIMD sweep behind [`Smc::observe_windows`] must
+        /// publish values bit-identical to one-at-a-time
+        /// [`Smc::observe_window`] calls (the scalar per-row path) for
+        /// arbitrary report batches, and fire the same update ticks.
+        #[test]
+        fn batched_windows_match_sequential_bitwise(
+            rows in proptest::collection::vec(
+                (0.1f64..8.0, 0.1f64..5.0, 15.0f64..95.0, 0.5f64..4.0),
+                1..20,
+            ),
+            dt in 0.05f64..1.2,
+            seed in any::<u64>(),
+        ) {
+            let reports: Vec<WindowReport> = rows
+                .iter()
+                .map(|&(p, est, temp, freq)| {
+                    let mut r = report(p, est, temp);
+                    r.duration_s = dt;
+                    r.p_freq_ghz = freq;
+                    r.e_freq_ghz = freq * 0.6;
+                    r
+                })
+                .collect();
+            let batch = WindowBatch::from_reports(&reports);
+
+            let mut seq = Smc::new(SensorSet::macbook_air_m2(), seed);
+            let mut seq_published = Vec::new();
+            for (i, r) in reports.iter().enumerate() {
+                if seq.observe_window(r) {
+                    seq_published.push(i);
+                }
+            }
+
+            let mut batched = Smc::new(SensorSet::macbook_air_m2(), seed);
+            let published = batched.observe_windows(&batch);
+
+            prop_assert_eq!(published, seq_published);
+            prop_assert_eq!(batched.update_count(), seq.update_count());
+            for &k in seq.keys() {
+                let a = seq.read(k).unwrap().value;
+                let b = batched.read(k).unwrap().value;
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "key {}: {} vs {}", k, a, b);
+            }
+        }
+    }
+}

@@ -438,6 +438,14 @@ pub struct MetricsReport {
     pub wall_s: f64,
     /// Worker count the campaign ran with.
     pub shards: usize,
+    /// SIMD backend the analysis kernels dispatched to ("avx2", "neon",
+    /// or "scalar" — see `pulp::backend_name`).
+    pub simd_backend: &'static str,
+    /// Rows per emitted block the campaign ran with (the tuned
+    /// `OBS_CHUNK`; 0 when the producer was not block-based).
+    pub obs_chunk: usize,
+    /// Bus depth in blocks the campaign ran with (the tuned capacity).
+    pub bus_capacity: usize,
     /// Merged per-shard metric snapshot.
     pub snapshot: MetricsSnapshot,
 }
@@ -490,6 +498,9 @@ impl MetricsReport {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"simd_backend\": \"{}\",\n", escape_json(self.simd_backend)));
+        out.push_str(&format!("  \"obs_chunk\": {},\n", self.obs_chunk));
+        out.push_str(&format!("  \"bus_capacity\": {},\n", self.bus_capacity));
         out.push_str(&format!("  \"observations\": {},\n", self.observations()));
         out.push_str(&format!("  \"obs_per_s\": {:.3},\n", self.obs_per_s()));
         out.push_str(&format!("  \"blocks_per_s\": {:.3},\n", self.blocks_per_s()));
@@ -790,7 +801,14 @@ mod tests {
         let h = registry.histogram(names::CONSUME_BLOCK_NS);
         h.record(1500);
         h.record(90_000);
-        let report = MetricsReport { wall_s: 2.0, shards: 2, snapshot: registry.snapshot() };
+        let report = MetricsReport {
+            wall_s: 2.0,
+            shards: 2,
+            simd_backend: pulp::backend_name(),
+            obs_chunk: 32,
+            bus_capacity: 128,
+            snapshot: registry.snapshot(),
+        };
         assert!((report.obs_per_s() - 300.0).abs() < 1e-12);
         assert!((report.blocks_per_s() - 10.0).abs() < 1e-12);
         assert!(report.drop_rate().abs() < 1e-12);
@@ -798,6 +816,8 @@ mod tests {
         validate_json(&json).expect("report JSON must parse");
         assert!(json.contains("\"bus.observations\""));
         assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("\"simd_backend\""));
+        assert!(json.contains("\"obs_chunk\": 32"));
     }
 
     #[test]

@@ -76,6 +76,19 @@ impl StreamingCpa {
         self.cpas.get(&channel)
     }
 
+    /// Set the correlation-sweep unroll width on every channel's
+    /// accumulator (see [`Cpa::set_unroll`] — throughput only, results
+    /// are bit-identical across widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is not one of [`Cpa::UNROLL_WIDTHS`].
+    pub fn set_unroll(&mut self, unroll: usize) {
+        for cpa in self.cpas.values_mut() {
+            cpa.set_unroll(unroll);
+        }
+    }
+
     /// All per-channel accumulators.
     #[must_use]
     pub fn cpas(&self) -> &BTreeMap<ChannelId, Cpa> {

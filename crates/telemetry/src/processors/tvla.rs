@@ -5,6 +5,7 @@ use crate::event::{ChannelId, Event};
 use crate::processor::Processor;
 use crate::replay::channel_for_label;
 use psc_sca::checkpoint::{self, CheckpointError, PayloadReader, PayloadWriter};
+use psc_sca::stats::MomentsQuad;
 use psc_sca::tvla::{PlaintextClass, TvlaAccumulator, TvlaMatrix, TvlaTracker};
 use std::collections::BTreeMap;
 
@@ -159,6 +160,46 @@ impl StreamingTvla {
         Ok(())
     }
 
+    /// The label-uniform columnar fast path: every window of the block
+    /// carries the same `(pass, class)`, so each channel's whole column
+    /// lands in one TVLA cell. Channels are ingested four at a time
+    /// through [`MomentsQuad`] — four independent Welford chains in SIMD
+    /// lockstep, denied reads masked per lane — with the 1–3 channel
+    /// remainder taking the scalar slice path. Bit-identical to the
+    /// per-event stream: each accumulator sees its present samples in row
+    /// order, and all-`None` columns create no accumulator entry.
+    fn ingest_uniform_block(&mut self, block: &EventBlock, pass: usize, class: PlaintextClass) {
+        let active: Vec<(usize, ChannelId)> = block
+            .channels()
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(col, _)| block.column(col).iter().any(Option::is_some))
+            .collect();
+        let ci = class.index();
+        let mut groups = active.chunks_exact(4);
+        for group in &mut groups {
+            let cols: [&[Option<f64>]; 4] = core::array::from_fn(|k| block.column(group[k].0));
+            let lanes: [_; 4] =
+                core::array::from_fn(|k| self.accs.entry(group[k].1).or_default().raw()[pass][ci]);
+            let mut quad = MomentsQuad::load(lanes);
+            quad.extend_columns(cols);
+            for (lane, &(_, channel)) in quad.store().into_iter().zip(group) {
+                let acc = self.accs.get_mut(&channel).expect("entry created above");
+                let mut raw = acc.raw();
+                raw[pass][ci] = lane;
+                *acc = TvlaAccumulator::from_raw(raw);
+            }
+        }
+        for &(col, channel) in groups.remainder() {
+            self.accs.entry(channel).or_default().extend(
+                pass,
+                class,
+                block.column(col).iter().copied().flatten(),
+            );
+        }
+    }
+
     /// Merge a shard's accumulators into this one.
     #[must_use]
     pub fn merged(mut self, other: Self) -> Self {
@@ -206,10 +247,10 @@ impl Processor for StreamingTvla {
 
     /// Columnar fast path: one accumulator resolution per channel column
     /// instead of one map lookup per sample. Chunked TVLA schedules ship
-    /// label-uniform blocks, which take the
-    /// [`TvlaAccumulator::extend`] slice-ingestion path; mixed blocks
-    /// (the adaptive trace-major rounds) fall back to per-row label
-    /// indexing. Bit-identical to the per-event stream either way.
+    /// label-uniform blocks, which take the SIMD lockstep quad path (see
+    /// `StreamingTvla::ingest_uniform_block`); mixed blocks (the
+    /// adaptive trace-major rounds) fall back to per-row label indexing.
+    /// Bit-identical to the per-event stream either way.
     fn on_block(&mut self, block: &EventBlock) {
         let windows = block.windows();
         if windows.is_empty() {
@@ -217,21 +258,16 @@ impl Processor for StreamingTvla {
         }
         let first = (windows[0].pass, windows[0].class);
         let uniform = windows.iter().all(|w| (w.pass, w.class) == first);
-        for (col, &channel) in block.channels().iter().enumerate() {
-            let column = block.column(col);
-            match (uniform, first.1) {
-                (true, Some(class)) => {
-                    if column.iter().any(Option::is_some) {
-                        self.accs.entry(channel).or_default().extend(
-                            usize::from(first.0),
-                            class,
-                            column.iter().copied().flatten(),
-                        );
-                    }
+        match (uniform, first.1) {
+            (true, Some(class)) => self.ingest_uniform_block(block, usize::from(first.0), class),
+            (true, None) => {
+                for (col, _) in block.channels().iter().enumerate() {
+                    self.orphan_samples += block.column(col).iter().flatten().count() as u64;
                 }
-                (true, None) => self.orphan_samples += column.iter().flatten().count() as u64,
-                (false, _) => {
-                    for (w, v) in windows.iter().zip(column) {
+            }
+            (false, _) => {
+                for (col, &channel) in block.channels().iter().enumerate() {
+                    for (w, v) in windows.iter().zip(block.column(col)) {
                         let Some(value) = *v else { continue };
                         match w.class {
                             Some(class) => self.accs.entry(channel).or_default().push(
@@ -244,8 +280,10 @@ impl Processor for StreamingTvla {
                     }
                 }
             }
+        }
+        for (col, &channel) in block.channels().iter().enumerate() {
             if let Some(watch) = self.watched.get_mut(&channel) {
-                for (w, v) in windows.iter().zip(column) {
+                for (w, v) in windows.iter().zip(block.column(col)) {
                     if let (Some(class), Some(value)) = (w.class, *v) {
                         match class {
                             PlaintextClass::AllZeros => watch.tracker.push_a(value),

@@ -17,6 +17,7 @@
 //! psc collect --out FILE [--traces N] [--key HEX32]
 //!                                  # record a PHPC campaign to disk
 //! psc analyze FILE [--key HEX32]   # offline CPA over a recorded campaign
+//! psc tune [--out FILE]            # calibrate SIMD/chunk constants
 //! ```
 
 use apple_power_sca::core::experiments::countermeasure::run_countermeasures;
@@ -24,9 +25,10 @@ use apple_power_sca::core::experiments::screening::{run_table1, run_table2};
 use apple_power_sca::core::experiments::success_rate::run_success_rate;
 use apple_power_sca::core::experiments::throttling::run_throttling_study;
 use apple_power_sca::core::experiments::tvla::{run_table3, run_table5};
+use apple_power_sca::core::tune;
 use apple_power_sca::core::{
     Campaign, Device, ExperimentConfig, Fleet, FleetMember, ShardReplay, StreamingCpaReport,
-    StreamingTvlaReport, VictimKind,
+    StreamingTvlaReport, TuneConfig, VictimKind,
 };
 use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
 use apple_power_sca::sca::cpa::Cpa;
@@ -57,7 +59,7 @@ COMMANDS:
              [--fleet] [--record DIR] [--kernel]
              [--mitigation none|restrict|noise[=SIGMA]|slow[=MULT]]
              [--metrics FILE] [--trace FILE] [--progress [SECS]]
-             [--monitor SECS]
+             [--monitor SECS] [--tune FILE]
              [--checkpoint DIR [--checkpoint-every N] [--halt-after K]]
                               The Campaign-builder drivers (O(1)-memory
                               online TVLA / CPA; --adaptive stops at the
@@ -91,6 +93,17 @@ COMMANDS:
                               Record a PHPC campaign to FILE (.psct)
     analyze FILE [--key HEX32] [--detrend W]
                               Offline CPA over a recorded campaign
+    tune [--out FILE]         Calibrate the SIMD/chunk-size constants on
+                              this machine (CPA unroll width, block rows,
+                              replay chunk, bus depth) and print the
+                              winning config as JSON; --out saves it for
+                              `psc campaign --tune FILE`. PSC_TUNE_REPS
+                              (1-9, default 3) trades time for stability.
+
+Campaign tuning: `--tune FILE` loads a saved `psc tune` config; the
+tuned constants change throughput only — reports stay bit-identical.
+The active SIMD backend and tuned sizes appear in the --metrics report
+(PSC_SIMD=off pins the scalar backend).
 
 Scaling env vars: PSC_TRACES, PSC_TVLA_TRACES, PSC_SHARDS, PSC_SEED.";
 
@@ -180,6 +193,42 @@ fn parse_mitigation(args: &[String]) -> Result<MitigationConfig, String> {
     }
 }
 
+/// Resolve the campaign's [`TuneConfig`]: defaults, then a saved
+/// `--tune FILE` config, then individual `--obs-chunk`-style overrides
+/// (what `psc resume` synthesizes from `campaign.cfg`).
+fn parse_tune(args: &[String]) -> Result<TuneConfig, String> {
+    let mut tuned = match parse_opt(args, "--tune") {
+        Some(path) => TuneConfig::load(&path).map_err(|e| format!("{path}: {e}"))?,
+        None => TuneConfig::default(),
+    };
+    for (flag, field) in [
+        ("--cpa-unroll", &mut tuned.cpa_unroll as &mut usize),
+        ("--obs-chunk", &mut tuned.obs_chunk),
+        ("--replay-chunk", &mut tuned.replay_chunk),
+        ("--bus-capacity", &mut tuned.bus_capacity),
+    ] {
+        if let Some(v) = parse_opt(args, flag) {
+            *field = v.parse().map_err(|e| format!("bad {flag} value {v:?}: {e}"))?;
+        }
+    }
+    tuned.validate()?;
+    Ok(tuned)
+}
+
+/// `psc tune [--out FILE]`: calibrate the SIMD/chunk-size constants on
+/// this machine and print (optionally save) the winning config.
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let reps = std::env::var("PSC_TUNE_REPS").unwrap_or_else(|_| "3".into());
+    eprintln!("[psc] calibrating (backend {}, {reps} rep(s) per candidate) ...", tune::backend());
+    let tuned = tune::calibrate();
+    println!("{}", tuned.to_json());
+    if let Some(path) = parse_opt(args, "--out") {
+        tuned.save(&path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[psc] wrote tuned config to {path} (use: psc campaign --tune {path})");
+    }
+    Ok(())
+}
+
 fn print_tvla_report(report: &StreamingTvlaReport) {
     for &k in &report.keys {
         match report.matrix(k) {
@@ -222,11 +271,15 @@ fn print_health(health: &[apple_power_sca::core::ShardHealth], io_retries: u64) 
 fn print_metrics_summary(metrics: Option<&MetricsReport>) {
     if let Some(m) = metrics {
         println!(
-            "metrics: {:.0} obs/s, {:.0} blocks/s, drop rate {:.2}%, wall {:.2}s",
+            "metrics: {:.0} obs/s, {:.0} blocks/s, drop rate {:.2}%, wall {:.2}s \
+             (simd {}, obs_chunk {}, bus {})",
             m.obs_per_s(),
             m.blocks_per_s(),
             m.drop_rate() * 100.0,
-            m.wall_s
+            m.wall_s,
+            m.simd_backend,
+            m.obs_chunk,
+            m.bus_capacity
         );
     }
 }
@@ -293,6 +346,7 @@ fn write_campaign_cfg(
     traces: usize,
     shards: usize,
     every: u64,
+    tune: TuneConfig,
 ) -> Result<(), String> {
     let key_hex: String = cfg.secret_key.iter().map(|b| format!("{b:02x}")).collect();
     let device_name = match device {
@@ -306,6 +360,13 @@ fn write_campaign_cfg(
         parse_flag(args, "--fleet"),
         cfg.seed,
     );
+    // The tuned constants are part of the campaign identity: checkpoint
+    // frames are taken at obs_chunk block boundaries, so a resume must
+    // run with the sizes the frames were recorded under.
+    text.push_str(&format!(
+        "cpa_unroll={}\nobs_chunk={}\nreplay_chunk={}\nbus_capacity={}\n",
+        tune.cpa_unroll, tune.obs_chunk, tune.replay_chunk, tune.bus_capacity
+    ));
     for (name, flag) in
         [("mitigation", "--mitigation"), ("record", "--record"), ("monitor", "--monitor")]
     {
@@ -364,9 +425,17 @@ fn cmd_resume(base: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         synth.push("--fleet".into());
     }
     synth.extend(["--traces".into(), get("traces")?, "--shards".into(), get("shards")?]);
-    for (name, flag) in
-        [("mitigation", "--mitigation"), ("record", "--record"), ("monitor", "--monitor")]
-    {
+    for (name, flag) in [
+        ("mitigation", "--mitigation"),
+        ("record", "--record"),
+        ("monitor", "--monitor"),
+        // Tuned constants recorded at campaign start: obs_chunk is part
+        // of the checkpoint fingerprint, so the resume must match it.
+        ("cpa_unroll", "--cpa-unroll"),
+        ("obs_chunk", "--obs-chunk"),
+        ("replay_chunk", "--replay-chunk"),
+        ("bus_capacity", "--bus-capacity"),
+    ] {
         if let Some(v) = map.get(name) {
             synth.extend([flag.into(), v.clone()]);
         }
@@ -416,6 +485,7 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<u64>().map_err(|e| format!("bad --halt-after value {s:?}: {e}")))
         .transpose()?;
     let resume_dir = parse_opt(args, "--resume-from");
+    let tuned = parse_tune(args)?;
 
     // Fleet campaigns fan one shard per member across both Table 1
     // devices and read the keys they share.
@@ -440,7 +510,8 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         } else {
             Campaign::live(device, kind, cfg.secret_key, cfg.seed)
         };
-        let mut campaign = campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation);
+        let mut campaign =
+            campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation).tune(tuned);
         if let Some(dir) = parse_opt(args, "--record") {
             campaign = campaign.record_to(dir);
         }
@@ -488,7 +559,7 @@ fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
         // `psc resume DIR` can reconstruct the exact campaign; a resumed
         // run keeps the file it was launched from.
         if resume_dir.is_none() {
-            write_campaign_cfg(dir, mode, args, cfg, device, traces, shards, every)?;
+            write_campaign_cfg(dir, mode, args, cfg, device, traces, shards, every, tuned)?;
         }
         eprintln!("[psc] checkpointing to {dir} every {every} block(s)");
     }
@@ -672,6 +743,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "campaign" | "stream" => cmd_campaign(&cfg, rest),
+        "tune" => cmd_tune(rest),
         "resume" => cmd_resume(&cfg, rest),
         "replay" => cmd_replay(&cfg, rest),
         "collect" => cmd_collect(&cfg, rest),

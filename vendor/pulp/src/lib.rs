@@ -1,0 +1,655 @@
+//! Offline stand-in for `pulp`: runtime-dispatched portable SIMD.
+//!
+//! The workspace's analysis kernels (CPA correlation sweeps, lockstep
+//! Welford chains, SMC columnar integration) are written once, generically
+//! over a [`Simd`] backend exposing [`f64x4`](Simd::f64x4) /
+//! [`f64x2`](Simd::f64x2) lane types, and executed through [`dispatch`]:
+//!
+//! * on `x86_64` with AVX2 (checked at runtime via
+//!   `is_x86_feature_detected!`), the kernel runs inside a
+//!   `#[target_feature(enable = "avx2")]` frame and the lane types wrap
+//!   `core::arch::x86_64` intrinsics (`__m256d` / `__m128d`);
+//! * on `aarch64`, the lane types wrap NEON intrinsics (`float64x2_t`),
+//!   which are baseline on that architecture;
+//! * everywhere else — or when `PSC_SIMD=off` pins the fallback — the
+//!   [`Scalar`] backend runs the identical lane-wise operations on plain
+//!   `[f64; N]` arrays.
+//!
+//! Every lane operation is an IEEE-754 operation applied per lane (no
+//! fused multiply-add, no reassociation), so a kernel that keeps one
+//! logical accumulator chain per lane produces **bit-identical** results
+//! under every backend. The workspace's kernels are all written in that
+//! lane-per-chain style and proptest the equivalence.
+//!
+//! This crate is the only workspace member that uses `unsafe`: the
+//! intrinsic calls are confined here, behind the runtime feature check in
+//! [`dispatch`], so every analysis crate keeps `#![forbid(unsafe_code)]`.
+
+#![allow(non_camel_case_types)]
+#![warn(missing_docs)]
+
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::OnceLock;
+
+/// Four f64 lanes with IEEE-754 lane-wise arithmetic.
+///
+/// Comparison operations return a *mask* in the same type: each lane is
+/// all-ones bits where the predicate held and all-zero bits where it did
+/// not, consumable by [`F64x4::select`].
+pub trait F64x4:
+    Copy + Add<Output = Self> + AddAssign + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+{
+    /// All four lanes set to `v`.
+    fn splat(v: f64) -> Self;
+    /// Lanes set to `(a, b, c, d)` in order.
+    fn new(a: f64, b: f64, c: f64, d: f64) -> Self;
+    /// Lanes loaded from an array in order.
+    #[inline(always)]
+    fn from_array(a: [f64; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+    /// Lanes stored to an array in order.
+    fn to_array(self) -> [f64; 4];
+    /// Lane-wise IEEE square root.
+    fn sqrt(self) -> Self;
+    /// Lane-wise `self >= other` mask.
+    fn ge(self, other: Self) -> Self;
+    /// Lane-wise `self > other` mask.
+    fn gt(self, other: Self) -> Self;
+    /// Lane-wise bitwise AND (combine masks).
+    fn and(self, other: Self) -> Self;
+    /// Per lane: `if_true` where `mask` is set, else `if_false`.
+    fn select(mask: Self, if_true: Self, if_false: Self) -> Self;
+}
+
+/// Two f64 lanes; see [`F64x4`] for the mask/select conventions.
+pub trait F64x2:
+    Copy + Add<Output = Self> + AddAssign + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+{
+    /// Both lanes set to `v`.
+    fn splat(v: f64) -> Self;
+    /// Lanes set to `(a, b)` in order.
+    fn new(a: f64, b: f64) -> Self;
+    /// Lanes stored to an array in order.
+    fn to_array(self) -> [f64; 2];
+}
+
+/// A SIMD backend: the pair of lane types a kernel instantiates with.
+pub trait Simd: Copy {
+    /// Backend label (`"avx2"`, `"neon"`, `"scalar"`).
+    const NAME: &'static str;
+    /// Four-lane f64 vector.
+    type f64x4: F64x4;
+    /// Two-lane f64 vector.
+    type f64x2: F64x2;
+}
+
+/// A kernel body, generic over the backend. Implementations should be
+/// `#[inline(always)]` so the body is compiled inside the
+/// `#[target_feature]` dispatch frame and the intrinsics inline.
+pub trait WithSimd {
+    /// The kernel's result.
+    type Output;
+    /// Run the kernel under backend `S`.
+    fn with_simd<S: Simd>(self) -> Self::Output;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar fallback: plain arrays, lane-wise loops.
+// ---------------------------------------------------------------------------
+
+/// The scalar fallback backend: identical lane semantics on `[f64; N]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scalar;
+
+impl Simd for Scalar {
+    const NAME: &'static str = "scalar";
+    type f64x4 = ScalarF64x4;
+    type f64x2 = ScalarF64x2;
+}
+
+/// Four lanes as a plain array (the [`Scalar`] backend).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarF64x4(pub [f64; 4]);
+
+/// Two lanes as a plain array (the [`Scalar`] backend).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarF64x2(pub [f64; 2]);
+
+macro_rules! scalar_lanewise {
+    ($ty:ident, $n:expr, $trait_:ident, $($op:ident => $f:tt),*) => {
+        $(impl $op for $ty {
+            type Output = Self;
+            #[inline(always)]
+            fn $f(self, rhs: Self) -> Self {
+                Self(core::array::from_fn(|i| $op::$f(self.0[i], rhs.0[i])))
+            }
+        })*
+    };
+}
+
+scalar_lanewise!(ScalarF64x4, 4, F64x4, Add => add, Sub => sub, Mul => mul, Div => div);
+scalar_lanewise!(ScalarF64x2, 2, F64x2, Add => add, Sub => sub, Mul => mul, Div => div);
+
+macro_rules! add_assign_via_add {
+    ($($ty:ty),*) => {
+        $(impl AddAssign for $ty {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        })*
+    };
+}
+pub(crate) use add_assign_via_add;
+
+add_assign_via_add!(ScalarF64x4, ScalarF64x2);
+
+const MASK_SET: f64 = f64::from_bits(u64::MAX);
+
+impl F64x4 for ScalarF64x4 {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Self([v; 4])
+    }
+    #[inline(always)]
+    fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self([a, b, c, d])
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Self(self.0.map(f64::sqrt))
+    }
+    #[inline(always)]
+    fn ge(self, other: Self) -> Self {
+        Self(core::array::from_fn(|i| if self.0[i] >= other.0[i] { MASK_SET } else { 0.0 }))
+    }
+    #[inline(always)]
+    fn gt(self, other: Self) -> Self {
+        Self(core::array::from_fn(|i| if self.0[i] > other.0[i] { MASK_SET } else { 0.0 }))
+    }
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        Self(core::array::from_fn(|i| f64::from_bits(self.0[i].to_bits() & other.0[i].to_bits())))
+    }
+    #[inline(always)]
+    fn select(mask: Self, if_true: Self, if_false: Self) -> Self {
+        Self(core::array::from_fn(|i| {
+            if mask.0[i].to_bits() != 0 {
+                if_true.0[i]
+            } else {
+                if_false.0[i]
+            }
+        }))
+    }
+}
+
+impl F64x2 for ScalarF64x2 {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Self([v; 2])
+    }
+    #[inline(always)]
+    fn new(a: f64, b: f64) -> Self {
+        Self([a, b])
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; 2] {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64: AVX2 (f64x4 on __m256d) + SSE2/SSE4.1 (f64x2 on __m128d).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Lane types over `core::arch::x86_64` intrinsics.
+    //!
+    //! Safety invariant: values of these types are only constructed and
+    //! operated on inside the `#[target_feature(enable = "avx2")]` frame
+    //! entered by [`dispatch`](super::dispatch) after
+    //! `is_x86_feature_detected!("avx2")` confirmed support, so executing
+    //! the AVX2/SSE4.1 instructions is always valid.
+    #![allow(unsafe_code)]
+
+    use super::{F64x2, F64x4, Simd};
+    use core::arch::x86_64::{
+        __m128d, __m256d, _mm256_add_pd, _mm256_and_pd, _mm256_blendv_pd, _mm256_cmp_pd,
+        _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setr_pd,
+        _mm256_sqrt_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm_add_pd, _mm_div_pd, _mm_mul_pd,
+        _mm_set1_pd, _mm_setr_pd, _mm_storeu_pd, _mm_sub_pd, _CMP_GE_OQ, _CMP_GT_OQ,
+    };
+    use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+    /// The AVX2 backend.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Avx2;
+
+    impl Simd for Avx2 {
+        const NAME: &'static str = "avx2";
+        type f64x4 = f64x4;
+        type f64x2 = f64x2;
+    }
+
+    /// Four f64 lanes in one `__m256d`.
+    #[derive(Clone, Copy)]
+    pub struct f64x4(__m256d);
+
+    /// Two f64 lanes in one `__m128d`.
+    #[derive(Clone, Copy)]
+    pub struct f64x2(__m128d);
+
+    macro_rules! binop {
+        ($ty:ident, $($op:ident => $f:ident => $intr:ident),*) => {
+            $(impl $op for $ty {
+                type Output = Self;
+                #[inline(always)]
+                fn $f(self, rhs: Self) -> Self {
+                    Self(unsafe { $intr(self.0, rhs.0) })
+                }
+            })*
+        };
+    }
+
+    binop!(f64x4,
+        Add => add => _mm256_add_pd,
+        Sub => sub => _mm256_sub_pd,
+        Mul => mul => _mm256_mul_pd,
+        Div => div => _mm256_div_pd
+    );
+    binop!(f64x2,
+        Add => add => _mm_add_pd,
+        Sub => sub => _mm_sub_pd,
+        Mul => mul => _mm_mul_pd,
+        Div => div => _mm_div_pd
+    );
+
+    crate::add_assign_via_add!(f64x4, f64x2);
+
+    impl F64x4 for f64x4 {
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Self(unsafe { _mm256_set1_pd(v) })
+        }
+        #[inline(always)]
+        fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+            Self(unsafe { _mm256_setr_pd(a, b, c, d) })
+        }
+        #[inline(always)]
+        fn from_array(a: [f64; 4]) -> Self {
+            Self(unsafe { _mm256_loadu_pd(a.as_ptr()) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f64; 4] {
+            let mut out = [0.0f64; 4];
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr(), self.0) };
+            out
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            Self(unsafe { _mm256_sqrt_pd(self.0) })
+        }
+        #[inline(always)]
+        fn ge(self, other: Self) -> Self {
+            Self(unsafe { _mm256_cmp_pd::<_CMP_GE_OQ>(self.0, other.0) })
+        }
+        #[inline(always)]
+        fn gt(self, other: Self) -> Self {
+            Self(unsafe { _mm256_cmp_pd::<_CMP_GT_OQ>(self.0, other.0) })
+        }
+        #[inline(always)]
+        fn and(self, other: Self) -> Self {
+            Self(unsafe { _mm256_and_pd(self.0, other.0) })
+        }
+        #[inline(always)]
+        fn select(mask: Self, if_true: Self, if_false: Self) -> Self {
+            Self(unsafe { _mm256_blendv_pd(if_false.0, if_true.0, mask.0) })
+        }
+    }
+
+    impl F64x2 for f64x2 {
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Self(unsafe { _mm_set1_pd(v) })
+        }
+        #[inline(always)]
+        fn new(a: f64, b: f64) -> Self {
+            Self(unsafe { _mm_setr_pd(a, b) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f64; 2] {
+            let mut out = [0.0f64; 2];
+            unsafe { _mm_storeu_pd(out.as_mut_ptr(), self.0) };
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64: NEON (baseline on that architecture).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! Lane types over `core::arch::aarch64` NEON intrinsics. NEON is part
+    //! of the aarch64 baseline, so no runtime detection is needed.
+    #![allow(unsafe_code)]
+
+    use super::{F64x2, F64x4, Simd};
+    use core::arch::aarch64::{
+        float64x2_t, vaddq_f64, vandq_u64, vbslq_f64, vcgeq_f64, vcgtq_f64, vdivq_f64, vdupq_n_f64,
+        vgetq_lane_f64, vld1q_f64, vmulq_f64, vreinterpretq_f64_u64, vreinterpretq_u64_f64,
+        vsqrtq_f64, vsubq_f64,
+    };
+    use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+    /// The NEON backend.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Neon;
+
+    impl Simd for Neon {
+        const NAME: &'static str = "neon";
+        type f64x4 = f64x4;
+        type f64x2 = f64x2;
+    }
+
+    /// Four f64 lanes as a pair of `float64x2_t`.
+    #[derive(Clone, Copy)]
+    pub struct f64x4(float64x2_t, float64x2_t);
+
+    /// Two f64 lanes in one `float64x2_t`.
+    #[derive(Clone, Copy)]
+    pub struct f64x2(float64x2_t);
+
+    macro_rules! binop4 {
+        ($($op:ident => $f:ident => $intr:ident),*) => {
+            $(impl $op for f64x4 {
+                type Output = Self;
+                #[inline(always)]
+                fn $f(self, rhs: Self) -> Self {
+                    Self(unsafe { $intr(self.0, rhs.0) }, unsafe { $intr(self.1, rhs.1) })
+                }
+            })*
+        };
+    }
+    macro_rules! binop2 {
+        ($($op:ident => $f:ident => $intr:ident),*) => {
+            $(impl $op for f64x2 {
+                type Output = Self;
+                #[inline(always)]
+                fn $f(self, rhs: Self) -> Self {
+                    Self(unsafe { $intr(self.0, rhs.0) })
+                }
+            })*
+        };
+    }
+
+    binop4!(Add => add => vaddq_f64, Sub => sub => vsubq_f64,
+            Mul => mul => vmulq_f64, Div => div => vdivq_f64);
+    binop2!(Add => add => vaddq_f64, Sub => sub => vsubq_f64,
+            Mul => mul => vmulq_f64, Div => div => vdivq_f64);
+
+    crate::add_assign_via_add!(f64x4, f64x2);
+
+    impl F64x4 for f64x4 {
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Self(unsafe { vdupq_n_f64(v) }, unsafe { vdupq_n_f64(v) })
+        }
+        #[inline(always)]
+        fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+            let lo = [a, b];
+            let hi = [c, d];
+            Self(unsafe { vld1q_f64(lo.as_ptr()) }, unsafe { vld1q_f64(hi.as_ptr()) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f64; 4] {
+            unsafe {
+                [
+                    vgetq_lane_f64::<0>(self.0),
+                    vgetq_lane_f64::<1>(self.0),
+                    vgetq_lane_f64::<0>(self.1),
+                    vgetq_lane_f64::<1>(self.1),
+                ]
+            }
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            Self(unsafe { vsqrtq_f64(self.0) }, unsafe { vsqrtq_f64(self.1) })
+        }
+        #[inline(always)]
+        fn ge(self, other: Self) -> Self {
+            Self(unsafe { vreinterpretq_f64_u64(vcgeq_f64(self.0, other.0)) }, unsafe {
+                vreinterpretq_f64_u64(vcgeq_f64(self.1, other.1))
+            })
+        }
+        #[inline(always)]
+        fn gt(self, other: Self) -> Self {
+            Self(unsafe { vreinterpretq_f64_u64(vcgtq_f64(self.0, other.0)) }, unsafe {
+                vreinterpretq_f64_u64(vcgtq_f64(self.1, other.1))
+            })
+        }
+        #[inline(always)]
+        fn and(self, other: Self) -> Self {
+            Self(
+                unsafe {
+                    vreinterpretq_f64_u64(vandq_u64(
+                        vreinterpretq_u64_f64(self.0),
+                        vreinterpretq_u64_f64(other.0),
+                    ))
+                },
+                unsafe {
+                    vreinterpretq_f64_u64(vandq_u64(
+                        vreinterpretq_u64_f64(self.1),
+                        vreinterpretq_u64_f64(other.1),
+                    ))
+                },
+            )
+        }
+        #[inline(always)]
+        fn select(mask: Self, if_true: Self, if_false: Self) -> Self {
+            Self(
+                unsafe { vbslq_f64(vreinterpretq_u64_f64(mask.0), if_true.0, if_false.0) },
+                unsafe { vbslq_f64(vreinterpretq_u64_f64(mask.1), if_true.1, if_false.1) },
+            )
+        }
+    }
+
+    impl F64x2 for f64x2 {
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Self(unsafe { vdupq_n_f64(v) })
+        }
+        #[inline(always)]
+        fn new(a: f64, b: f64) -> Self {
+            let lanes = [a, b];
+            Self(unsafe { vld1q_f64(lanes.as_ptr()) })
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f64; 2] {
+            unsafe { [vgetq_lane_f64::<0>(self.0), vgetq_lane_f64::<1>(self.0)] }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if matches!(
+            std::env::var("PSC_SIMD").as_deref(),
+            Ok("off") | Ok("0") | Ok("scalar") | Ok("none")
+        ) {
+            return Backend::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        return Backend::Neon;
+        #[allow(unreachable_code)]
+        Backend::Scalar
+    })
+}
+
+/// The backend [`dispatch`] resolved for this process: `"avx2"`, `"neon"`
+/// or `"scalar"`. Resolved once (runtime feature detection + the
+/// `PSC_SIMD` environment pin) and cached.
+#[must_use]
+pub fn backend_name() -> &'static str {
+    match backend() {
+        Backend::Scalar => Scalar::NAME,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => avx2::Avx2::NAME,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::Neon::NAME,
+    }
+}
+
+/// Whether [`dispatch`] runs kernels on a vector backend (false when the
+/// host lacks support or `PSC_SIMD=off` pinned the scalar fallback).
+#[must_use]
+pub fn simd_enabled() -> bool {
+    backend() != Backend::Scalar
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dispatch_avx2<W: WithSimd>(w: W) -> W::Output {
+    w.with_simd::<avx2::Avx2>()
+}
+
+/// Run a kernel on the best available backend (see [`backend_name`]).
+pub fn dispatch<W: WithSimd>(w: W) -> W::Output {
+    match backend() {
+        Backend::Scalar => w.with_simd::<Scalar>(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `backend()` only returns Avx2 after
+        // `is_x86_feature_detected!("avx2")` confirmed support.
+        Backend::Avx2 => unsafe { dispatch_avx2(w) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => w.with_simd::<neon::Neon>(),
+    }
+}
+
+/// Run a kernel on the [`Scalar`] fallback unconditionally — the reference
+/// side of the simd == scalar bit-identity proptests, and the `PSC_SIMD=off`
+/// baseline in benches.
+pub fn dispatch_scalar<W: WithSimd>(w: W) -> W::Output {
+    w.with_simd::<Scalar>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Axpy<'a> {
+        a: f64,
+        xs: &'a [f64],
+        ys: &'a [f64],
+    }
+
+    impl WithSimd for Axpy<'_> {
+        type Output = Vec<f64>;
+        #[inline(always)]
+        fn with_simd<S: Simd>(self) -> Vec<f64> {
+            let mut out = Vec::with_capacity(self.xs.len());
+            let a = S::f64x4::splat(self.a);
+            let mut chunks = self.xs.chunks_exact(4).zip(self.ys.chunks_exact(4));
+            for (x, y) in &mut chunks {
+                let x = S::f64x4::new(x[0], x[1], x[2], x[3]);
+                let y = S::f64x4::new(y[0], y[1], y[2], y[3]);
+                out.extend_from_slice(&(a * x + y).to_array());
+            }
+            for (x, y) in
+                self.xs.chunks_exact(4).remainder().iter().zip(self.ys.chunks_exact(4).remainder())
+            {
+                out.push(self.a * x + y);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_bitwise() {
+        let xs: Vec<f64> = (0..103).map(|i| (f64::from(i) * 0.37).sin() * 1e3).collect();
+        let ys: Vec<f64> = (0..103).map(|i| (f64::from(i) * 0.11).cos() / 3.0).collect();
+        let fast = dispatch(Axpy { a: 1.5, xs: &xs, ys: &ys });
+        let slow = dispatch_scalar(Axpy { a: 1.5, xs: &xs, ys: &ys });
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct WelchLike {
+        a: [f64; 4],
+        b: [f64; 4],
+    }
+
+    impl WithSimd for WelchLike {
+        type Output = [f64; 4];
+        #[inline(always)]
+        fn with_simd<S: Simd>(self) -> [f64; 4] {
+            let a = S::f64x4::from_array(self.a);
+            let b = S::f64x4::from_array(self.b);
+            let mask = a.ge(b).and(a.gt(S::f64x4::splat(0.0)));
+            S::f64x4::select(mask, (a - b).sqrt(), S::f64x4::splat(-1.0)).to_array()
+        }
+    }
+
+    #[test]
+    fn masks_and_select_follow_scalar_semantics() {
+        let k = WelchLike { a: [4.0, 1.0, -3.0, 9.0], b: [0.0, 2.0, -5.0, 9.0] };
+        let got = dispatch(k);
+        let want = dispatch_scalar(k);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "{got:?} vs {want:?}");
+        }
+        assert_eq!(want, [2.0, -1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn backend_name_is_stable() {
+        let name = backend_name();
+        assert!(["avx2", "neon", "scalar"].contains(&name), "{name}");
+        assert_eq!(simd_enabled(), name != "scalar");
+    }
+
+    #[test]
+    fn f64x2_roundtrip() {
+        struct Pair;
+        impl WithSimd for Pair {
+            type Output = [f64; 2];
+            #[inline(always)]
+            fn with_simd<S: Simd>(self) -> [f64; 2] {
+                (S::f64x2::new(3.0, 4.0) * S::f64x2::splat(0.5)
+                    + S::f64x2::new(1.0, -1.0) / S::f64x2::splat(2.0)
+                    - S::f64x2::splat(0.25))
+                .to_array()
+            }
+        }
+        assert_eq!(dispatch(Pair), dispatch_scalar(Pair));
+        assert_eq!(dispatch_scalar(Pair), [3.0 * 0.5 + 0.5 - 0.25, 4.0 * 0.5 - 0.5 - 0.25]);
+    }
+}
