@@ -19,7 +19,7 @@
 //! [`Campaign::checkpoint_to`]: crate::session::Campaign::checkpoint_to
 //! [`Campaign::resume_from`]: crate::session::Campaign::resume_from
 
-use crate::session::CampaignSpec;
+use crate::session::SessionSpec;
 use psc_sca::checkpoint::{
     decode_frame, encode_frame, CheckpointError, PayloadReader, PayloadWriter, Section,
 };
@@ -65,7 +65,7 @@ pub(crate) fn shard_path(dir: &Path, shard: usize) -> PathBuf {
 /// changes it. The tuned `obs_chunk` is part of the identity because
 /// checkpoint offsets are whole-block counts — a frame taken under one
 /// chunk size must never resume under another.
-pub(crate) fn fingerprint(spec: &CampaignSpec, kind: u8, source_tag: &str, shards: usize) -> u64 {
+pub(crate) fn fingerprint(spec: &SessionSpec, kind: u8, source_tag: &str, shards: usize) -> u64 {
     let canonical = format!(
         "{kind}|{source_tag}|{keys:?}|{traces}|{shards}|{mitigation:?}|{interval:016x}|{chunk}",
         keys = spec.keys,
@@ -313,13 +313,13 @@ mod tests {
 
     #[test]
     fn fingerprint_separates_campaigns() {
-        let spec = CampaignSpec::default();
+        let spec = SessionSpec::default();
         let base = fingerprint(&spec, KIND_TVLA, "live", 2);
         assert_eq!(base, fingerprint(&spec, KIND_TVLA, "live", 2), "stable");
         assert_ne!(base, fingerprint(&spec, KIND_CPA, "live", 2));
         assert_ne!(base, fingerprint(&spec, KIND_TVLA, "replay", 2));
         assert_ne!(base, fingerprint(&spec, KIND_TVLA, "live", 4));
-        let other = CampaignSpec { traces: 99, ..CampaignSpec::default() };
+        let other = SessionSpec { traces: 99, ..SessionSpec::default() };
         assert_ne!(base, fingerprint(&other, KIND_TVLA, "live", 2));
     }
 }

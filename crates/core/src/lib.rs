@@ -128,22 +128,26 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod experiments;
 pub mod pmset;
+pub mod report;
 pub mod rig;
 pub mod session;
 pub mod source;
+pub mod spec;
 pub mod tune;
 pub mod victim;
 
 pub use campaign::{TvlaCampaign, TvlaDatasets};
 pub use checkpoint::CheckpointConfig;
 pub use experiments::ExperimentConfig;
+pub use report::CampaignOutcome;
 pub use rig::{Device, Observation, Rig};
 pub use session::{
-    AdaptiveTvlaReport, Campaign, CampaignSpec, EarlyStop, Session, ShardHealth,
-    StreamingCpaReport, StreamingTvlaReport,
+    AdaptiveTvlaReport, Campaign, EarlyStop, Session, SessionSpec, ShardHealth, StreamingCpaReport,
+    StreamingTvlaReport,
 };
 pub use source::{
     Fleet, FleetMember, LiveRig, ReplayShard, RigSource, ShardLog, ShardReplay, TraceSource,
 };
+pub use spec::{AnalysisMode, CampaignSpec, MitigationSetting};
 pub use tune::TuneConfig;
 pub use victim::{AesVictim, VictimKind};

@@ -52,7 +52,7 @@ use psc_telemetry::block::EventBlock;
 use psc_telemetry::event::ChannelId;
 use psc_telemetry::faults::{FaultPlan, FaultState, RetryPolicy};
 use psc_telemetry::metrics::{
-    names, Counter, Gauge, Histogram, MetricsRegistry, MetricsReport, MetricsSnapshot,
+    names, Counter, Gauge, Histogram, MetricsHub, MetricsRegistry, MetricsReport, MetricsSnapshot,
 };
 use psc_telemetry::processor::{Processor, Pump};
 use psc_telemetry::processors::{
@@ -110,7 +110,7 @@ pub struct EarlyStop {
 /// The declarative description of one campaign (what [`Campaign`]
 /// accumulates and [`Session`] executes).
 #[derive(Debug, Clone)]
-pub struct CampaignSpec {
+pub struct SessionSpec {
     /// SMC keys to read per observation, in request order.
     pub keys: Vec<SmcKey>,
     /// Trace budget: per class per shard-sum for TVLA analyses, total
@@ -165,9 +165,20 @@ pub struct CampaignSpec {
     /// Tuned pipeline constants (block sizes, bus depth, CPA unroll);
     /// defaults to the shipped baseline. See [`crate::tune`].
     pub tune: TuneConfig,
+    /// External cooperative stop flag: producers halt at the next block
+    /// boundary once it reads `true`, the pipeline drains, and the run
+    /// returns a partial (checkpointable) report. `None` allocates a
+    /// private flag per run — the historical behavior.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// When set, every per-shard [`MetricsRegistry`] this run allocates
+    /// is also attached to the hub for its duration, so an external
+    /// observer (the `psc serve` admission controller) can live-merge
+    /// this campaign's snapshot with its neighbors'. Implies metric
+    /// collection.
+    pub metrics_hub: Option<Arc<MetricsHub>>,
 }
 
-impl Default for CampaignSpec {
+impl Default for SessionSpec {
     fn default() -> Self {
         Self {
             keys: Vec::new(),
@@ -187,6 +198,8 @@ impl Default for CampaignSpec {
             faults: None,
             retry: RetryPolicy::default(),
             tune: TuneConfig::default(),
+            stop: None,
+            metrics_hub: None,
         }
     }
 }
@@ -197,7 +210,7 @@ impl Default for CampaignSpec {
 /// [`Campaign::replay`], [`Campaign::fleet`] or [`Campaign::from_source`],
 /// chain the spec methods, then [`Campaign::session`] to run.
 pub struct Campaign<'s> {
-    spec: CampaignSpec,
+    spec: SessionSpec,
     source: Box<dyn TraceSource + 's>,
 }
 
@@ -230,7 +243,7 @@ impl<'s> Campaign<'s> {
     /// A campaign over any custom source.
     #[must_use]
     pub fn from_source(source: impl TraceSource + 's) -> Campaign<'s> {
-        Campaign { spec: CampaignSpec::default(), source: Box::new(source) }
+        Campaign { spec: SessionSpec::default(), source: Box::new(source) }
     }
 
     /// A single-shard campaign over a borrowed caller-owned rig,
@@ -424,6 +437,27 @@ impl<'s> Campaign<'s> {
         self
     }
 
+    /// Share a cooperative stop flag with the run: setting it `true`
+    /// halts producers at the next block boundary, the pipeline drains,
+    /// and the run returns a partial report (checkpointed state, if
+    /// [`Campaign::checkpoint_to`] is armed, stays resumable — the
+    /// graceful-drain half of `psc serve`'s shutdown).
+    #[must_use]
+    pub fn stop_flag(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.spec.stop = Some(stop);
+        self
+    }
+
+    /// Attach this run's per-shard metric registries to `hub` for the
+    /// campaign's duration, letting an external observer live-merge its
+    /// snapshot with other concurrent campaigns (the `psc serve`
+    /// admission signal). Implies metric collection.
+    #[must_use]
+    pub fn metrics_hub(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.spec.metrics_hub = Some(hub);
+        self
+    }
+
     /// Freeze the description into a runnable [`Session`].
     #[must_use]
     pub fn session(self) -> Session<'s> {
@@ -435,7 +469,7 @@ impl<'s> Campaign<'s> {
 /// A frozen, runnable campaign. Each `run` method consumes the session
 /// and executes the full producer/consumer fan-out for one analysis.
 pub struct Session<'s> {
-    spec: CampaignSpec,
+    spec: SessionSpec,
     source: Box<dyn TraceSource + 's>,
     shards: usize,
 }
@@ -706,6 +740,9 @@ struct Observability {
     registries: Vec<Arc<MetricsRegistry>>,
     started: Instant,
     tune: TuneConfig,
+    /// Keeps the registries attached to the spec's [`MetricsHub`] for
+    /// exactly the campaign's lifetime (detaches on drop).
+    _hub: Option<psc_telemetry::metrics::HubAttachment>,
 }
 
 impl Observability {
@@ -992,7 +1029,7 @@ impl ProgressHandle {
 impl Session<'_> {
     /// The frozen campaign description.
     #[must_use]
-    pub fn spec(&self) -> &CampaignSpec {
+    pub fn spec(&self) -> &SessionSpec {
         &self.spec
     }
 
@@ -1072,10 +1109,14 @@ impl Session<'_> {
     /// Per-shard metric registries when observability is on (`None`
     /// otherwise — the off path allocates nothing and reads no clock).
     fn observability(&self) -> Option<Observability> {
-        (self.spec.metrics || self.spec.progress_interval_s.is_some()).then(|| Observability {
-            registries: (0..self.shards).map(|_| Arc::new(MetricsRegistry::new())).collect(),
-            started: Instant::now(),
-            tune: self.spec.tune,
+        let on = self.spec.metrics
+            || self.spec.progress_interval_s.is_some()
+            || self.spec.metrics_hub.is_some();
+        on.then(|| {
+            let registries: Vec<_> =
+                (0..self.shards).map(|_| Arc::new(MetricsRegistry::new())).collect();
+            let _hub = self.spec.metrics_hub.as_ref().map(|hub| hub.attach(registries.clone()));
+            Observability { registries, started: Instant::now(), tune: self.spec.tune, _hub }
         })
     }
 
@@ -1459,7 +1500,7 @@ impl Session<'_> {
         // One TVLA trace is 2 passes × 3 classes observations.
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
         let span = self.campaign_span("campaign/tvla");
-        let stop = AtomicBool::new(false);
+        let stop = self.spec.stop.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
@@ -1521,7 +1562,7 @@ impl Session<'_> {
         // Rounds-to-stop is bounded by the budget: one round is 6 obs.
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
         let span = self.campaign_span("campaign/adaptive_tvla");
-        let stop = AtomicBool::new(false);
+        let stop = self.spec.stop.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
         // Leakage detection and a halt_after interrupt both raise `stop`,
         // but only the former is an *early stop* in the report's sense.
         let leaked = AtomicBool::new(false);
@@ -1649,7 +1690,7 @@ impl Session<'_> {
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
         let span = self.campaign_span("campaign/cpa");
-        let stop = AtomicBool::new(false);
+        let stop = self.spec.stop.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
@@ -1741,7 +1782,7 @@ impl Session<'_> {
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64);
         let span = self.campaign_span("campaign/collect");
-        let stop = AtomicBool::new(false);
+        let stop = self.spec.stop.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
         let results = self.fan_out(
             obs.as_ref(),
             &stop,
@@ -1793,7 +1834,7 @@ impl Session<'_> {
         let obs = self.observability();
         let progress = self.progress(obs.as_ref(), self.spec.traces as u64 * 6);
         let span = self.campaign_span("campaign/tvla_datasets");
-        let stop = AtomicBool::new(false);
+        let stop = self.spec.stop.clone().unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
         let results = self.fan_out(
             obs.as_ref(),
             &stop,

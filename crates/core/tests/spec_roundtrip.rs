@@ -1,0 +1,97 @@
+//! Round-trip law for the serializable campaign spec: one parser serves
+//! the CLI, `psc resume` and the `psc serve` wire protocol, so
+//! `parse(render(spec)) == spec` must hold for every representable spec.
+
+use proptest::prelude::*;
+use psc_core::spec::{AnalysisMode, CampaignSpec, MitigationSetting};
+use psc_core::{Device, TuneConfig};
+
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    mode: usize,
+    device: bool,
+    kernel: bool,
+    fleet: bool,
+    traces: usize,
+    shards: usize,
+    seed: u64,
+    key: [u8; 16],
+    every: u64,
+    mit: usize,
+    sigma: f64,
+    obs: usize,
+    unroll: usize,
+    bus: usize,
+    monitor_on: bool,
+    monitor_s: f64,
+) -> CampaignSpec {
+    // Valid tuned constants only — parse() validates them.
+    let tune = TuneConfig {
+        cpa_unroll: [2, 4, 8][unroll],
+        obs_chunk: [16, 32, 64, 128][obs],
+        replay_chunk: TuneConfig::default().replay_chunk,
+        bus_capacity: [4, 8, 16, 32][bus],
+    };
+    CampaignSpec {
+        mode: [AnalysisMode::Tvla, AnalysisMode::Cpa, AnalysisMode::Adaptive][mode],
+        device: if device { Device::MacbookAirM2 } else { Device::MacMiniM1 },
+        kernel,
+        fleet,
+        traces,
+        shards,
+        seed,
+        key,
+        every,
+        tune,
+        mitigation: match mit {
+            0 => None,
+            1 => Some(MitigationSetting::Restrict),
+            _ => Some(MitigationSetting::Noise(sigma)),
+        },
+        record: None,
+        monitor: monitor_on.then_some(monitor_s),
+    }
+}
+
+proptest! {
+    #[test]
+    fn spec_render_parse_round_trips(
+        mode in 0usize..3,
+        device in any::<bool>(),
+        kernel in any::<bool>(),
+        fleet in any::<bool>(),
+        traces in 1usize..100_000,
+        shards in 1usize..16,
+        seed in any::<u64>(),
+        key in any::<[u8; 16]>(),
+        every in 1u64..1000,
+        mit in 0usize..3,
+        sigma in 0.001f64..100.0,
+        obs in 0usize..4,
+        unroll in 0usize..3,
+        bus in 0usize..4,
+        monitor_on in any::<bool>(),
+        monitor_s in 0.01f64..600.0,
+    ) {
+        let spec = build_spec(
+            mode, device, kernel, fleet, traces, shards, seed, key, every, mit, sigma, obs,
+            unroll, bus, monitor_on, monitor_s,
+        );
+        let rendered = spec.render();
+        let back = CampaignSpec::parse(&rendered).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    // f64 fields ride through the cfg text via Display/parse; Rust's
+    // shortest-round-trip formatting makes that exact, which the
+    // PartialEq above only checks for the generated range — pin the
+    // bitwise claim explicitly for the mitigation values.
+    #[test]
+    fn mitigation_values_round_trip_bitwise(sigma in 1e-9f64..1e9) {
+        let setting = MitigationSetting::Slow(sigma);
+        match MitigationSetting::parse(&setting.render()).unwrap() {
+            MitigationSetting::Slow(back) => prop_assert_eq!(back.to_bits(), sigma.to_bits()),
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+    }
+}

@@ -104,10 +104,12 @@ impl TvlaOutcome {
 }
 
 /// The nine Welch t-scores of a 3×3 TVLA matrix in row-major order:
-/// `t[ri * 3 + ci] = welch_t(&second[ri], &first[ci])`. Two lockstep
-/// [`welch_t_x4`] evaluations cover the first eight cells; the ninth runs
-/// scalar. Bit-identical to nine [`welch_t`] calls.
-fn welch_t_matrix(second: &[RunningMoments; 3], first: &[RunningMoments; 3]) -> [f64; 9] {
+/// `t[ri * 3 + ci] = welch_t(&second[ri], &first[ci])`. Three lockstep
+/// [`welch_t_x4`] evaluations cover all nine cells (the third broadcasts the
+/// final cell across its lanes). Bit-identical to nine [`welch_t`] calls —
+/// the x4 lanes are themselves pinned bit-identical to the scalar formula,
+/// so no cell takes a different rounding path.
+pub fn welch_t_matrix(second: &[RunningMoments; 3], first: &[RunningMoments; 3]) -> [f64; 9] {
     let lanes = |idx: [usize; 4]| {
         let a = idx.map(|i| second[i / 3]);
         let b = idx.map(|i| first[i % 3]);
@@ -115,8 +117,8 @@ fn welch_t_matrix(second: &[RunningMoments; 3], first: &[RunningMoments; 3]) -> 
     };
     let lo = lanes([0, 1, 2, 3]);
     let hi = lanes([4, 5, 6, 7]);
-    let last = welch_t(&second[2], &first[2]);
-    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3], last]
+    let last = lanes([8, 8, 8, 8]);
+    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3], last[0]]
 }
 
 /// One cell of the 3×3 TVLA matrix.

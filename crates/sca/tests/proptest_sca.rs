@@ -209,6 +209,7 @@ mod simd_props {
     use psc_sca::model::Rd0Hw;
     use psc_sca::stats::{welch_t, welch_t_x4, welch_t_x4_scalar, MomentsQuad, RunningMoments};
     use psc_sca::trace::Trace;
+    use psc_sca::tvla::welch_t_matrix;
 
     proptest! {
         // Kernel 1 (CPA correlation sweep): the runtime-dispatched vector
@@ -308,6 +309,35 @@ mod simd_props {
             for lane in 0..4 {
                 prop_assert_eq!(vector[lane].to_bits(), scalar[lane].to_bits());
                 prop_assert_eq!(vector[lane].to_bits(), welch_t(&a[lane], &b[lane]).to_bits());
+            }
+        }
+
+        // Kernel 2c (3×3 matrix sweep): the fully vectorized nine-cell sweep
+        // — three x4 evaluations, the last broadcasting the ninth cell — is
+        // bit-identical to nine scalar `welch_t` calls, degenerate
+        // accumulators included.
+        #[test]
+        fn welch_t_matrix_matches_nine_scalar_calls_bitwise(
+            cells in proptest::collection::vec(
+                (0usize..6, -10.0f64..10.0, any::<bool>()),
+                6,
+            ),
+        ) {
+            let moments = |n: usize, base: f64, constant: bool| {
+                let mut m = RunningMoments::new();
+                for i in 0..n {
+                    m.push(if constant { base } else { base + i as f64 * 0.37 });
+                }
+                m
+            };
+            let second: [RunningMoments; 3] =
+                core::array::from_fn(|i| moments(cells[i].0, cells[i].1, cells[i].2));
+            let first: [RunningMoments; 3] =
+                core::array::from_fn(|i| moments(cells[i + 3].0, cells[i + 3].1, cells[i + 3].2));
+            let swept = welch_t_matrix(&second, &first);
+            for (cell, t) in swept.iter().enumerate() {
+                let scalar = welch_t(&second[cell / 3], &first[cell % 3]);
+                prop_assert_eq!(t.to_bits(), scalar.to_bits());
             }
         }
     }

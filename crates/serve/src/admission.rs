@@ -1,0 +1,216 @@
+//! Admission control: decide at submit time whether the service can
+//! take one more campaign without degrading the ones in flight.
+//!
+//! The controller sheds load with a **typed** refusal
+//! ([`RejectReason::Saturated`] / [`RejectReason::TenantBusy`]) instead
+//! of queueing unboundedly or hanging the client. It reads three kinds
+//! of signal:
+//!
+//! * **queue depth** — the worker pool's FIFO backlog against
+//!   `max_queue`;
+//! * **pipeline pressure** — the live merge of every running job's
+//!   per-shard [`MetricsSnapshot`]s (the PR-6 merge law makes that sum
+//!   meaningful): bus drop rate over `max_drop_rate` means shards are
+//!   already shedding blocks;
+//! * **dispatch latency** — the p99 of the pool's queue-wait histogram
+//!   ([`psc_telemetry::metrics::Histogram::percentile`]) against
+//!   `max_dispatch_p99_ns`: jobs waiting too long for a worker is
+//!   saturation even when the queue is technically under its cap.
+//!
+//! Per-tenant fairness is a separate cap: one tenant may hold at most
+//! `tenant_cap` queued-or-running jobs, so a burst from one client
+//! cannot starve the rest.
+
+use crate::proto::RejectReason;
+use psc_telemetry::metrics::{names, MetricsSnapshot};
+
+/// Thresholds for [`AdmissionController`]. The defaults are
+/// deliberately permissive — the service sheds only under real
+/// pressure; tighten them per deployment via `psc serve` flags.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum jobs waiting in the pool queue (running jobs excluded).
+    /// A full queue still admits while a worker sits idle (the job
+    /// dispatches immediately), so `0` means "never queue": admitted
+    /// only if a worker is free to take the job now.
+    pub max_queue: usize,
+    /// Maximum queued-or-running jobs per tenant.
+    pub tenant_cap: usize,
+    /// Maximum tolerated bus drop rate across the running jobs'
+    /// merged metrics, in `[0, 1]`.
+    pub max_drop_rate: f64,
+    /// Maximum tolerated p99 dispatch wait (queue -> worker), in
+    /// nanoseconds.
+    pub max_dispatch_p99_ns: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_queue: 16,
+            tenant_cap: 8,
+            max_drop_rate: 0.25,
+            max_dispatch_p99_ns: 60_000_000_000, // 60 s in queue is saturation
+        }
+    }
+}
+
+/// The live inputs to one admission decision, gathered by the server
+/// at submit time.
+#[derive(Debug, Clone)]
+pub struct AdmissionSignals<'a> {
+    /// Jobs currently waiting in the pool queue.
+    pub queue_depth: usize,
+    /// Workers with no job assigned right now.
+    pub idle_workers: usize,
+    /// This tenant's queued-or-running job count.
+    pub tenant_jobs: usize,
+    /// Live merge of the running jobs' per-shard metrics.
+    pub pipeline: &'a MetricsSnapshot,
+    /// p99 of the pool's dispatch-wait histogram, if any dispatches
+    /// have been observed yet.
+    pub dispatch_p99_ns: Option<u64>,
+}
+
+/// Stateless threshold evaluator — all state lives in the metrics it
+/// reads, so the decision is reproducible from a metrics snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+}
+
+/// Bus drop rate across a merged snapshot: dropped / (accepted +
+/// dropped), `0.0` before any traffic.
+#[must_use]
+pub fn drop_rate(pipeline: &MetricsSnapshot) -> f64 {
+    let accepted = pipeline.counter(names::BUS_BLOCKS);
+    let dropped = pipeline.counter(names::BUS_DROPPED);
+    let total = accepted + dropped;
+    if total == 0 {
+        0.0
+    } else {
+        dropped as f64 / total as f64
+    }
+}
+
+impl AdmissionController {
+    /// Build a controller over the given thresholds.
+    #[must_use]
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The thresholds in force.
+    #[must_use]
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Evaluate one submission. `Ok(())` admits; `Err` carries the
+    /// typed refusal to send back. Checks run cheapest-first and the
+    /// first tripped signal wins.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::Saturated`] when queue depth, drop rate or
+    /// dispatch p99 crosses its threshold;
+    /// [`RejectReason::TenantBusy`] when the tenant is at its cap.
+    pub fn admit(&self, tenant: &str, signals: &AdmissionSignals<'_>) -> Result<(), RejectReason> {
+        if signals.queue_depth >= self.cfg.max_queue && signals.idle_workers == 0 {
+            return Err(RejectReason::Saturated {
+                detail: format!("queue full ({}/{})", signals.queue_depth, self.cfg.max_queue),
+            });
+        }
+        if signals.tenant_jobs >= self.cfg.tenant_cap {
+            return Err(RejectReason::TenantBusy {
+                tenant: tenant.to_owned(),
+                cap: self.cfg.tenant_cap as u64,
+            });
+        }
+        let rate = drop_rate(signals.pipeline);
+        if rate > self.cfg.max_drop_rate {
+            return Err(RejectReason::Saturated {
+                detail: format!(
+                    "bus drop rate {:.1}% over the {:.1}% threshold",
+                    rate * 100.0,
+                    self.cfg.max_drop_rate * 100.0
+                ),
+            });
+        }
+        if let Some(p99) = signals.dispatch_p99_ns {
+            if p99 > self.cfg.max_dispatch_p99_ns {
+                return Err(RejectReason::Saturated {
+                    detail: format!(
+                        "p99 dispatch wait {p99}ns over the {}ns threshold",
+                        self.cfg.max_dispatch_p99_ns
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_telemetry::metrics::MetricsRegistry;
+
+    fn signals(pipeline: &MetricsSnapshot) -> AdmissionSignals<'_> {
+        AdmissionSignals {
+            queue_depth: 0,
+            idle_workers: 1,
+            tenant_jobs: 0,
+            pipeline,
+            dispatch_p99_ns: None,
+        }
+    }
+
+    #[test]
+    fn admits_at_rest_and_sheds_on_each_signal() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_queue: 2,
+            tenant_cap: 1,
+            max_drop_rate: 0.5,
+            max_dispatch_p99_ns: 1_000,
+        });
+        let idle = MetricsSnapshot::default();
+        assert!(ctl.admit("a", &signals(&idle)).is_ok());
+
+        let full = AdmissionSignals { queue_depth: 2, idle_workers: 0, ..signals(&idle) };
+        assert!(matches!(ctl.admit("a", &full), Err(RejectReason::Saturated { .. })));
+
+        let busy = AdmissionSignals { tenant_jobs: 1, ..signals(&idle) };
+        assert!(matches!(ctl.admit("a", &busy), Err(RejectReason::TenantBusy { cap: 1, .. })));
+
+        let slow = AdmissionSignals { dispatch_p99_ns: Some(2_000), ..signals(&idle) };
+        assert!(matches!(ctl.admit("a", &slow), Err(RejectReason::Saturated { .. })));
+    }
+
+    #[test]
+    fn drop_rate_reads_the_merged_bus_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter(names::BUS_BLOCKS).add(3);
+        reg.counter(names::BUS_DROPPED).add(1);
+        let snap = reg.snapshot();
+        assert!((drop_rate(&snap) - 0.25).abs() < 1e-12);
+
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_drop_rate: 0.2,
+            ..AdmissionConfig::default()
+        });
+        assert!(matches!(ctl.admit("a", &signals(&snap)), Err(RejectReason::Saturated { .. })));
+    }
+
+    #[test]
+    fn max_queue_zero_only_admits_while_a_worker_is_idle() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_queue: 0,
+            ..AdmissionConfig::default()
+        });
+        let idle = MetricsSnapshot::default();
+        assert!(ctl.admit("a", &signals(&idle)).is_ok());
+        let busy = AdmissionSignals { idle_workers: 0, ..signals(&idle) };
+        assert!(matches!(ctl.admit("a", &busy), Err(RejectReason::Saturated { .. })));
+    }
+}

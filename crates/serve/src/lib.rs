@@ -1,0 +1,91 @@
+//! # psc-serve — the multi-tenant campaign service
+//!
+//! `psc serve` turns the campaign driver into a long-running daemon: it
+//! accepts campaign specs over a local TCP socket (`127.0.0.1` only —
+//! the substrate is simulated and the workflow air-gap friendly, so
+//! the wire format is std-only and never leaves the loopback), runs
+//! them concurrently over a bounded worker pool, and streams
+//! incremental metrics and the final TVLA/CPA/adaptive report back to
+//! the submitting client.
+//!
+//! The load-bearing property is **determinism across the socket**: a
+//! report streamed out of the service is byte-identical to the same
+//! spec run inline with `psc campaign`, because both front ends share
+//! one spec parser ([`psc_core::spec::CampaignSpec`]) and one renderer
+//! ([`psc_core::report`]), and the wall-clock metrics line is never
+//! part of the report body.
+//!
+//! ## Service protocol
+//!
+//! ### Frame grammar
+//!
+//! Every message in either direction is one codec-v3 frame — the same
+//! CRC-checked container the campaign checkpoints use
+//! ([`psc_sca::checkpoint`]) — behind a little-endian `u32` length
+//! prefix:
+//!
+//! ```text
+//! wire     := len:u32le frame            len <= proto::MAX_FRAME_LEN
+//! frame    := "PSCT" version:u16=3 count:u16 section*
+//! section  := tag:u16 len:u32 payload crc32:u32
+//! ```
+//!
+//! The message is the first section whose tag the receiver knows
+//! (requests `1..=4`: `Submit`, `Status`, `Cancel`, `Drain`; responses
+//! `16..=22`: `Accepted`, `Rejected`, `Progress`, `Report`, `JobList`,
+//! `CancelOutcome`, `Drained`); unknown tags are skipped, so peers can
+//! gain sections without breaking older builds. Corruption handling is
+//! inherited from the checkpoint codec and pinned by the same kind of
+//! proptests: any truncation, any bit flip and any oversized length
+//! prefix is a typed error, never a misparse.
+//!
+//! ### Admission semantics
+//!
+//! `Submit` passes the [`admission::AdmissionController`] before it
+//! gets a queue slot. The controller reads the pool's FIFO backlog,
+//! the per-tenant queued-or-running count, the live merge of every
+//! running job's per-shard [`psc_telemetry::metrics::MetricsSnapshot`]
+//! (bus drop rate), and the p99 of the dispatch-wait histogram. A
+//! tripped signal sheds the job with a **typed** refusal —
+//! [`proto::RejectReason::Saturated`] or
+//! [`proto::RejectReason::TenantBusy`] — the connection is answered,
+//! never hung up on. Admitted jobs are `Accepted{job_id}`; a waiting
+//! client then receives `Progress` frames (merged metrics snapshots)
+//! at a fixed cadence until the final `Report`.
+//!
+//! ### Drain / shutdown lifecycle
+//!
+//! `Drain` flips the server into a terminal mode: new submissions are
+//! refused with `Rejected{Draining}`, everything still queued is
+//! rejected (counted in the `Drained` reply), and running jobs get
+//! their cooperative stop flag set so they wind down at the next block
+//! boundary — checkpointing through the ordinary
+//! [`psc_core::session::Campaign::checkpoint_to`] machinery when the
+//! server was started with a spool directory, so `psc resume` can
+//! finish them later. Once the table is quiet the pool is joined, the
+//! client gets `Drained{completed, rejected}`, and the accept loop
+//! exits.
+//!
+//! ## Crate layout
+//!
+//! * [`proto`] — frame grammar, request/response types, socket I/O;
+//! * [`spec` (in psc-core)](psc_core::spec) — the shared campaign.cfg
+//!   parser;
+//! * [`pool`] — the bounded FIFO worker pool;
+//! * [`admission`] — saturation signals and the admission decision;
+//! * [`server`] — accept loop, job table, drain lifecycle;
+//! * [`client`] — the blocking client the CLI subcommands use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController};
+pub use client::{submit_and_wait, Client};
+pub use proto::{ProtoError, RejectReason, Request, Response};
+pub use server::{Server, ServerConfig, DEFAULT_ADDR};

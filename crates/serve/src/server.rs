@@ -1,0 +1,552 @@
+//! The campaign server: accept loop, job table, drain lifecycle.
+//!
+//! One thread accepts connections on a local TCP socket and spawns a
+//! handler per connection; handlers parse one [`Request`] and reply
+//! (a waited-on submit streams [`Response::Progress`] frames until the
+//! final [`Response::Report`]). Campaign execution happens on the
+//! bounded FIFO [`WorkerPool`]; the [`AdmissionController`] decides at
+//! submit time whether a job gets a queue slot at all.
+//!
+//! The server instruments itself with the same
+//! [`MetricsRegistry`] the campaigns use — counters for every job
+//! transition, peak-concurrency gauges, and dispatch-wait /
+//! report-latency histograms — and serves that registry's snapshot in
+//! every [`Response::JobList`].
+
+use crate::admission::{AdmissionController, AdmissionSignals};
+use crate::pool::WorkerPool;
+use crate::proto::{
+    read_frame, write_frame, CancelResult, JobState, JobSummary, RejectReason, Request, Response,
+};
+use psc_core::report::{self, campaign_banner};
+use psc_core::session::Campaign;
+use psc_core::spec::{AnalysisMode, CampaignSpec};
+use psc_telemetry::metrics::{MetricsHub, MetricsRegistry, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default service endpoint — loopback only; the daemon is a local
+/// multiplexer, not a network service.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7145";
+
+/// Metric names for the server's own [`MetricsRegistry`] (the campaign
+/// pipeline names live in [`psc_telemetry::metrics::names`]).
+pub mod names {
+    /// Submissions received (before admission).
+    pub const SUBMITTED: &str = "serve.jobs.submitted";
+    /// Submissions admitted to the queue.
+    pub const ACCEPTED: &str = "serve.jobs.accepted";
+    /// Submissions refused (admission, drain, bad spec).
+    pub const REJECTED: &str = "serve.jobs.rejected";
+    /// Jobs that ran to completion.
+    pub const COMPLETED: &str = "serve.jobs.completed";
+    /// Jobs cancelled before or during execution.
+    pub const CANCELLED: &str = "serve.jobs.cancelled";
+    /// Jobs whose worker failed.
+    pub const FAILED: &str = "serve.jobs.failed";
+    /// Peak concurrently-running jobs.
+    pub const PEAK_RUNNING: &str = "serve.peak_running";
+    /// Peak pool queue depth.
+    pub const PEAK_QUEUE: &str = "serve.peak_queue_depth";
+    /// Queue wait per dispatched job, nanoseconds; its p99 feeds
+    /// admission.
+    pub const DISPATCH_WAIT_NS: &str = "serve.dispatch_wait_ns";
+    /// Submit-to-report latency per completed job, nanoseconds.
+    pub const REPORT_LATENCY_NS: &str = "serve.report_latency_ns";
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 for an ephemeral port in tests).
+    pub addr: String,
+    /// Worker threads executing campaigns.
+    pub workers: usize,
+    /// Admission thresholds.
+    pub admission: crate::admission::AdmissionConfig,
+    /// When set, every job checkpoints to `spool/job-NNN` at its
+    /// spec's cadence, so drained or interrupted jobs resume with
+    /// `psc resume`.
+    pub spool: Option<PathBuf>,
+    /// Cadence of [`Response::Progress`] frames to waiting clients.
+    pub progress_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: DEFAULT_ADDR.to_owned(),
+            workers: 2,
+            admission: crate::admission::AdmissionConfig::default(),
+            spool: None,
+            progress_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+struct FinishedReport {
+    mode: AnalysisMode,
+    stopped_early: bool,
+    rounds: u64,
+    text: String,
+    analysis: Vec<u8>,
+}
+
+struct Job {
+    tenant: String,
+    spec: CampaignSpec,
+    state: JobState,
+    stop: Arc<AtomicBool>,
+    hub: Arc<MetricsHub>,
+    accepted_at: Instant,
+    report: Option<Arc<FinishedReport>>,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct JobTable {
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    registry: Arc<MetricsRegistry>,
+    admission: AdmissionController,
+    pool: Mutex<Option<WorkerPool>>,
+    table: Mutex<JobTable>,
+    running: AtomicUsize,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// A running campaign service. Dropping the handle does **not** stop
+/// the daemon — send [`Request::Drain`] (or call [`Server::shutdown`])
+/// and then [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`, spawn the worker pool and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let pool = WorkerPool::new(cfg.workers, registry.histogram(names::DISPATCH_WAIT_NS));
+        let inner = Arc::new(Inner {
+            admission: AdmissionController::new(cfg.admission),
+            cfg,
+            addr,
+            registry,
+            pool: Mutex::new(Some(pool)),
+            table: Mutex::new(JobTable::default()),
+            running: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("psc-serve-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))?;
+        Ok(Self { inner, accept: Some(accept) })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The server's own metrics (job counters, peaks, latencies).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Stop without draining: refuse new connections, stop workers
+    /// after their current job. Jobs still queued are abandoned —
+    /// prefer [`Request::Drain`] for a graceful stop.
+    pub fn shutdown(&self) {
+        stop_accepting(&self.inner);
+        if let Some(pool) = self.inner.pool.lock().expect("pool lock poisoned").take() {
+            pool.join();
+        }
+    }
+
+    /// Wait for the accept loop to exit (after a drain or
+    /// [`Server::shutdown`]).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn stop_accepting(inner: &Inner) {
+    inner.shutdown.store(true, Ordering::Release);
+    // Unblock the accept() call with one throwaway connection.
+    let _ = TcpStream::connect(inner.addr);
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let conn_inner = Arc::clone(inner);
+        let _ = std::thread::Builder::new()
+            .name("psc-serve-conn".into())
+            .spawn(move || handle_connection(&conn_inner, stream));
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let request = match read_frame(&mut stream).and_then(|frame| Request::decode(&frame)) {
+        Ok(request) => request,
+        Err(e) => {
+            // A malformed frame gets a typed refusal, never a silent
+            // hangup; if even that write fails the peer is gone.
+            let reject =
+                Response::Rejected { reason: RejectReason::BadSpec { error: e.to_string() } };
+            let _ = write_frame(&mut stream, &reject.encode());
+            return;
+        }
+    };
+    match request {
+        Request::Submit { tenant, wait, spec } => {
+            handle_submit(inner, &mut stream, tenant, wait, &spec)
+        }
+        Request::Status => handle_status(inner, &mut stream),
+        Request::Cancel { job } => handle_cancel(inner, &mut stream, job),
+        Request::Drain => handle_drain(inner, &mut stream),
+    }
+}
+
+fn reply(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(stream, &response.encode()).is_ok()
+}
+
+fn reject(inner: &Inner, stream: &mut TcpStream, reason: RejectReason) {
+    inner.registry.counter(names::REJECTED).inc();
+    let _ = reply(stream, &Response::Rejected { reason });
+}
+
+/// Live merge of every running job's pipeline metrics.
+fn running_pipeline(table: &JobTable) -> MetricsSnapshot {
+    table
+        .jobs
+        .values()
+        .filter(|j| matches!(j.state, JobState::Running | JobState::Stopping))
+        .map(|j| j.hub.merged())
+        .fold(MetricsSnapshot::default(), MetricsSnapshot::merged)
+}
+
+fn handle_submit(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    tenant: String,
+    wait: bool,
+    spec: &str,
+) {
+    inner.registry.counter(names::SUBMITTED).inc();
+    let spec = match CampaignSpec::parse(spec) {
+        Ok(spec) => spec,
+        Err(error) => return reject(inner, stream, RejectReason::BadSpec { error }),
+    };
+    if inner.draining.load(Ordering::Acquire) {
+        return reject(inner, stream, RejectReason::Draining);
+    }
+    let queue_depth =
+        inner.pool.lock().expect("pool lock poisoned").as_ref().map_or(0, WorkerPool::queue_depth);
+    let running = inner.running.load(Ordering::Acquire);
+    let dispatch_p99_ns = inner.registry.histogram(names::DISPATCH_WAIT_NS).percentile(0.99);
+    let job_id = {
+        let mut table = inner.table.lock().expect("job table poisoned");
+        let tenant_jobs = table
+            .jobs
+            .values()
+            .filter(|j| {
+                j.tenant == tenant
+                    && matches!(j.state, JobState::Queued | JobState::Running | JobState::Stopping)
+            })
+            .count();
+        let signals = AdmissionSignals {
+            queue_depth,
+            idle_workers: inner.cfg.workers.saturating_sub(running),
+            tenant_jobs,
+            pipeline: &running_pipeline(&table),
+            dispatch_p99_ns,
+        };
+        if let Err(reason) = inner.admission.admit(&tenant, &signals) {
+            drop(table);
+            return reject(inner, stream, reason);
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.jobs.insert(
+            id,
+            Job {
+                tenant,
+                spec,
+                state: JobState::Queued,
+                stop: Arc::new(AtomicBool::new(false)),
+                hub: Arc::new(MetricsHub::new()),
+                accepted_at: Instant::now(),
+                report: None,
+                error: None,
+            },
+        );
+        id
+    };
+    inner.registry.counter(names::ACCEPTED).inc();
+    inner.registry.gauge(names::PEAK_QUEUE).set_max(queue_depth as u64 + 1);
+    let worker_inner = Arc::clone(inner);
+    let submitted = inner
+        .pool
+        .lock()
+        .expect("pool lock poisoned")
+        .as_ref()
+        .is_some_and(|pool| pool.submit(job_id, move || run_job(&worker_inner, job_id)));
+    if !submitted {
+        // Raced with a drain between admission and enqueue.
+        let mut table = inner.table.lock().expect("job table poisoned");
+        if let Some(job) = table.jobs.get_mut(&job_id) {
+            job.state = JobState::Cancelled;
+            job.error = Some("rejected by drain".into());
+        }
+        drop(table);
+        return reject(inner, stream, RejectReason::Draining);
+    }
+    if !reply(stream, &Response::Accepted { job: job_id }) || !wait {
+        return;
+    }
+    stream_until_done(inner, stream, job_id);
+}
+
+/// Stream [`Response::Progress`] frames to a waiting client until the
+/// job reaches a terminal state, then send the final frame.
+fn stream_until_done(inner: &Inner, stream: &mut TcpStream, job_id: u64) {
+    loop {
+        std::thread::sleep(inner.cfg.progress_interval);
+        enum Peek {
+            InFlight(MetricsSnapshot),
+            Done(Response),
+        }
+        let peek = {
+            let table = inner.table.lock().expect("job table poisoned");
+            let Some(job) = table.jobs.get(&job_id) else { return };
+            match job.state {
+                JobState::Queued | JobState::Running | JobState::Stopping => {
+                    Peek::InFlight(job.hub.merged())
+                }
+                JobState::Completed => {
+                    let report = job.report.as_ref().expect("completed job has a report");
+                    Peek::Done(Response::Report {
+                        job: job_id,
+                        mode: report.mode,
+                        stopped_early: report.stopped_early,
+                        rounds: report.rounds,
+                        text: report.text.clone(),
+                        analysis: report.analysis.clone(),
+                    })
+                }
+                JobState::Cancelled => Peek::Done(Response::Rejected {
+                    reason: RejectReason::Failed {
+                        error: job.error.clone().unwrap_or_else(|| "cancelled".into()),
+                    },
+                }),
+                JobState::Failed => Peek::Done(Response::Rejected {
+                    reason: RejectReason::Failed {
+                        error: job.error.clone().unwrap_or_else(|| "worker failed".into()),
+                    },
+                }),
+            }
+        };
+        match peek {
+            Peek::InFlight(metrics) => {
+                if !reply(stream, &Response::Progress { job: job_id, metrics }) {
+                    return; // client went away; the job keeps running
+                }
+            }
+            Peek::Done(response) => {
+                let _ = reply(stream, &response);
+                return;
+            }
+        }
+    }
+}
+
+/// Execute one admitted job on a pool worker.
+fn run_job(inner: &Arc<Inner>, job_id: u64) {
+    let (spec, stop, hub, accepted_at) = {
+        let mut table = inner.table.lock().expect("job table poisoned");
+        let Some(job) = table.jobs.get_mut(&job_id) else { return };
+        if job.state != JobState::Queued {
+            return; // cancelled while queued
+        }
+        job.state = JobState::Running;
+        let running = inner.running.fetch_add(1, Ordering::AcqRel) + 1;
+        inner.registry.gauge(names::PEAK_RUNNING).set_max(running as u64);
+        (job.spec.clone(), Arc::clone(&job.stop), Arc::clone(&job.hub), job.accepted_at)
+    };
+    let run_spec = spec.clone();
+    let spool = inner.cfg.spool.clone();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut campaign = Campaign::from_spec(&run_spec).stop_flag(stop).metrics_hub(hub);
+        if let Some(spool) = spool {
+            campaign =
+                campaign.checkpoint_to(spool.join(format!("job-{job_id:03}")), run_spec.every);
+        }
+        report::run_session(campaign.session(), &run_spec)
+    }));
+    inner.running.fetch_sub(1, Ordering::AcqRel);
+    let mut table = inner.table.lock().expect("job table poisoned");
+    let Some(job) = table.jobs.get_mut(&job_id) else { return };
+    match outcome {
+        Ok(out) => {
+            if job.state == JobState::Stopping {
+                job.state = JobState::Cancelled;
+                job.error = Some("cancelled while running".into());
+                inner.registry.counter(names::CANCELLED).inc();
+            } else {
+                job.report = Some(Arc::new(FinishedReport {
+                    mode: out.mode,
+                    stopped_early: out.stopped_early,
+                    rounds: out.rounds,
+                    text: campaign_banner(&spec) + &out.body,
+                    analysis: out.analysis,
+                }));
+                job.state = JobState::Completed;
+                inner.registry.counter(names::COMPLETED).inc();
+                let latency = u64::try_from(accepted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                inner.registry.histogram(names::REPORT_LATENCY_NS).record(latency);
+            }
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            job.state = JobState::Failed;
+            job.error = Some(message);
+            inner.registry.counter(names::FAILED).inc();
+        }
+    }
+}
+
+fn handle_status(inner: &Inner, stream: &mut TcpStream) {
+    let jobs = {
+        let table = inner.table.lock().expect("job table poisoned");
+        table
+            .jobs
+            .iter()
+            .map(|(&id, job)| JobSummary {
+                id,
+                tenant: job.tenant.clone(),
+                mode: job.spec.mode,
+                state: job.state,
+            })
+            .collect()
+    };
+    let _ = reply(stream, &Response::JobList { jobs, server: inner.registry.snapshot() });
+}
+
+fn handle_cancel(inner: &Inner, stream: &mut TcpStream, job_id: u64) {
+    let outcome = {
+        let mut table = inner.table.lock().expect("job table poisoned");
+        match table.jobs.get_mut(&job_id) {
+            None => CancelResult::NotFound,
+            Some(job) => match job.state {
+                JobState::Queued => {
+                    // The pool will skip it: run_job refuses non-Queued jobs.
+                    job.state = JobState::Cancelled;
+                    job.error = Some("cancelled while queued".into());
+                    inner.registry.counter(names::CANCELLED).inc();
+                    CancelResult::Cancelled
+                }
+                JobState::Running | JobState::Stopping => {
+                    job.state = JobState::Stopping;
+                    job.stop.store(true, Ordering::Release);
+                    CancelResult::Stopping
+                }
+                JobState::Completed | JobState::Cancelled | JobState::Failed => {
+                    CancelResult::AlreadyDone
+                }
+            },
+        }
+    };
+    let _ = reply(stream, &Response::CancelOutcome { job: job_id, outcome });
+}
+
+fn handle_drain(inner: &Arc<Inner>, stream: &mut TcpStream) {
+    let first = !inner.draining.swap(true, Ordering::AcqRel);
+    let mut rejected = 0u64;
+    if first {
+        // Reject everything still queued; stop what is running at its
+        // next block boundary (it has been checkpointing all along if
+        // a spool is configured).
+        let queued =
+            inner.pool.lock().expect("pool lock poisoned").as_ref().map_or_else(Vec::new, |p| {
+                p.shutdown();
+                p.take_queued()
+            });
+        let mut table = inner.table.lock().expect("job table poisoned");
+        for pending in queued {
+            if let Some(job) = table.jobs.get_mut(&pending.id) {
+                if job.state == JobState::Queued {
+                    job.state = JobState::Cancelled;
+                    job.error = Some("rejected by drain".into());
+                    inner.registry.counter(names::REJECTED).inc();
+                    rejected += 1;
+                }
+            }
+        }
+        for job in table.jobs.values_mut() {
+            if matches!(job.state, JobState::Running | JobState::Stopping) {
+                job.stop.store(true, Ordering::Release);
+            }
+        }
+    }
+    // Wait until nothing is in flight any more.
+    loop {
+        let busy = {
+            let table = inner.table.lock().expect("job table poisoned");
+            table.jobs.values().any(|j| {
+                matches!(j.state, JobState::Queued | JobState::Running | JobState::Stopping)
+            })
+        };
+        if !busy {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if first {
+        if let Some(pool) = inner.pool.lock().expect("pool lock poisoned").take() {
+            pool.join();
+        }
+    }
+    let completed = inner.registry.counter(names::COMPLETED).get();
+    let _ = reply(stream, &Response::Drained { completed, rejected });
+    stop_accepting(inner);
+}

@@ -1,0 +1,195 @@
+//! Adversarial wire-protocol properties — the serve protocol must
+//! reject corruption exactly as strictly as the checkpoint codec it is
+//! built on (mirroring `proptest_sca.rs`'s checkpoint coverage):
+//!
+//! * every message kind round-trips bit-exactly;
+//! * truncation at **every** byte offset is a typed error;
+//! * **any** single bit flip is a typed error (the CRC trailer covers
+//!   the whole frame, tags and lengths included);
+//! * an oversized length prefix is refused before the frame is read;
+//! * unknown section tags are skipped forward-compatibly.
+
+use proptest::prelude::*;
+use psc_core::spec::AnalysisMode;
+use psc_serve::proto::{
+    read_frame, with_extra_section, CancelResult, JobState, JobSummary, ProtoError, RejectReason,
+    Request, Response, MAX_FRAME_LEN,
+};
+use psc_telemetry::metrics::{names, MetricsRegistry, MetricsSnapshot};
+
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| char::from(b'a' + b % 26)).collect()
+}
+
+fn snapshot(obs: u64, dropped: u64, latency: u64) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter(names::BUS_OBS).add(obs);
+    reg.counter(names::BUS_DROPPED).add(dropped);
+    reg.gauge(names::BUS_HIGH_WATER).set_max(obs.min(1024));
+    reg.histogram(names::CONSUME_BLOCK_NS).record(latency);
+    reg.snapshot()
+}
+
+fn build_request(kind: usize, job: u64, name: &[u8], wait: bool, text: &[u8]) -> Request {
+    match kind % 4 {
+        0 => Request::Submit { tenant: ascii(name), wait, spec: ascii(text) },
+        1 => Request::Status,
+        2 => Request::Cancel { job },
+        _ => Request::Drain,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_response(
+    kind: usize,
+    job: u64,
+    name: &[u8],
+    text: &[u8],
+    blob: &[u8],
+    counts: (u64, u64, u64),
+    flags: (bool, usize, usize),
+) -> Response {
+    let (obs, dropped, latency) = counts;
+    let (flag, reason_kind, state_kind) = flags;
+    match kind % 7 {
+        0 => Response::Accepted { job },
+        1 => Response::Rejected {
+            reason: match reason_kind % 5 {
+                0 => RejectReason::Saturated { detail: ascii(text) },
+                1 => RejectReason::TenantBusy { tenant: ascii(name), cap: obs },
+                2 => RejectReason::Draining,
+                3 => RejectReason::BadSpec { error: ascii(text) },
+                _ => RejectReason::Failed { error: ascii(text) },
+            },
+        },
+        2 => Response::Progress { job, metrics: snapshot(obs, dropped, latency) },
+        3 => Response::Report {
+            job,
+            mode: [AnalysisMode::Tvla, AnalysisMode::Cpa, AnalysisMode::Adaptive][state_kind % 3],
+            stopped_early: flag,
+            rounds: latency,
+            text: ascii(text),
+            analysis: blob.to_vec(),
+        },
+        4 => Response::JobList {
+            jobs: vec![JobSummary {
+                id: job,
+                tenant: ascii(name),
+                mode: [AnalysisMode::Tvla, AnalysisMode::Cpa, AnalysisMode::Adaptive]
+                    [state_kind % 3],
+                state: [
+                    JobState::Queued,
+                    JobState::Running,
+                    JobState::Stopping,
+                    JobState::Completed,
+                    JobState::Cancelled,
+                    JobState::Failed,
+                ][state_kind % 6],
+            }],
+            server: snapshot(obs, dropped, latency),
+        },
+        5 => Response::CancelOutcome {
+            job,
+            outcome: [
+                CancelResult::Cancelled,
+                CancelResult::Stopping,
+                CancelResult::AlreadyDone,
+                CancelResult::NotFound,
+            ][reason_kind % 4],
+        },
+        _ => Response::Drained { completed: obs, rejected: dropped },
+    }
+}
+
+/// Truncation at every byte offset must be a typed error, never a
+/// short parse.
+fn assert_rejects_every_truncation(frame: &[u8], decodes: &dyn Fn(&[u8]) -> bool) {
+    for len in 0..frame.len() {
+        assert!(!decodes(&frame[..len]), "truncation to {len}/{} bytes parsed", frame.len());
+    }
+}
+
+/// Any single bit flip must be a typed error — the CRC trailer covers
+/// the entire frame, so even tag and length corruption is caught.
+fn assert_rejects_every_bit_flip(frame: &[u8], decodes: &dyn Fn(&[u8]) -> bool) {
+    let mut copy = frame.to_vec();
+    for byte in 0..copy.len() {
+        for bit in 0..8 {
+            copy[byte] ^= 1 << bit;
+            assert!(!decodes(&copy), "bit {bit} of byte {byte} flipped and still parsed");
+            copy[byte] ^= 1 << bit;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip_and_reject_corruption(
+        kind in 0usize..4,
+        job in any::<u64>(),
+        name in proptest::collection::vec(any::<u8>(), 3),
+        wait in any::<bool>(),
+        text in proptest::collection::vec(any::<u8>(), 12),
+    ) {
+        let request = build_request(kind, job, &name, wait, &text);
+        let frame = request.encode();
+        prop_assert_eq!(Request::decode(&frame).unwrap(), request);
+        let decodes = |bytes: &[u8]| Request::decode(bytes).is_ok();
+        assert_rejects_every_truncation(&frame, &decodes);
+        assert_rejects_every_bit_flip(&frame, &decodes);
+    }
+
+    #[test]
+    fn responses_round_trip_and_reject_corruption(
+        kind in 0usize..7,
+        job in any::<u64>(),
+        name in proptest::collection::vec(any::<u8>(), 3),
+        text in proptest::collection::vec(any::<u8>(), 10),
+        blob in proptest::collection::vec(any::<u8>(), 6),
+        obs in any::<u64>(),
+        dropped in any::<u64>(),
+        latency in any::<u64>(),
+        flag in any::<bool>(),
+        reason_kind in 0usize..5,
+        state_kind in 0usize..6,
+    ) {
+        let response = build_response(
+            kind, job, &name, &text, &blob,
+            (obs, dropped, latency),
+            (flag, reason_kind, state_kind),
+        );
+        let frame = response.encode();
+        prop_assert_eq!(Response::decode(&frame).unwrap(), response);
+        let decodes = |bytes: &[u8]| Response::decode(bytes).is_ok();
+        assert_rejects_every_truncation(&frame, &decodes);
+        assert_rejects_every_bit_flip(&frame, &decodes);
+    }
+
+    #[test]
+    fn unknown_sections_skip_on_both_message_kinds(
+        job in any::<u64>(),
+        tag in 100u16..u16::MAX,
+        extra in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let request = Request::Cancel { job };
+        let framed = with_extra_section(&request.encode(), tag, &extra);
+        prop_assert_eq!(Request::decode(&framed).unwrap(), request);
+
+        let response = Response::Accepted { job };
+        let framed = with_extra_section(&response.encode(), tag, &extra);
+        prop_assert_eq!(Response::decode(&framed).unwrap(), response);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_typed_errors(extra in 1u32..1000) {
+        let len = MAX_FRAME_LEN + extra;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        // No body at all: the cap must trip before any read of it.
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor) {
+            Err(ProtoError::Oversized(got)) => prop_assert_eq!(got, len),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other.map(|_| ())),
+        }
+    }
+}

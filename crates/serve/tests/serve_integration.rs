@@ -1,0 +1,216 @@
+//! End-to-end service tests: streamed reports must be byte-identical
+//! to inline runs of the same spec (with jobs genuinely concurrent),
+//! admission must shed with a typed rejection, and drain must settle
+//! cleanly.
+
+use psc_core::report;
+use psc_core::spec::{AnalysisMode, CampaignSpec};
+use psc_core::{Device, TuneConfig};
+use psc_serve::proto::{CancelResult, JobState, RejectReason, Response};
+use psc_serve::server::names;
+use psc_serve::{submit_and_wait, AdmissionConfig, Client, Server, ServerConfig};
+use std::time::Duration;
+
+fn spec(mode: AnalysisMode, traces: usize, shards: usize) -> CampaignSpec {
+    CampaignSpec {
+        mode,
+        device: Device::MacMiniM1,
+        kernel: false,
+        fleet: false,
+        traces,
+        shards,
+        seed: 0x00D5_C0DE,
+        key: *b"serve-integratio",
+        every: 8,
+        tune: TuneConfig::default(),
+        mitigation: None,
+        record: None,
+        monitor: None,
+    }
+}
+
+fn start_server(workers: usize, admission: AdmissionConfig) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        admission,
+        spool: None,
+        progress_interval: Duration::from_millis(10),
+    })
+    .expect("bind an ephemeral port")
+}
+
+fn expect_report(response: Response) -> (String, Vec<u8>) {
+    match response {
+        Response::Report { text, analysis, .. } => (text, analysis),
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+#[test]
+fn streamed_reports_are_bit_identical_to_inline_runs() {
+    let server = start_server(2, AdmissionConfig::default());
+    let addr = server.addr();
+    // The adaptive budget stays under the 24-traces-per-side detection
+    // minimum so the run exhausts its budget: a detected crossing stops
+    // the producers at a scheduling-dependent round, and this test pins
+    // byte-identity, not early-stop behaviour (covered in psc-core).
+    let specs = [
+        spec(AnalysisMode::Tvla, 250, 2),
+        spec(AnalysisMode::Cpa, 400, 2),
+        spec(AnalysisMode::Adaptive, 40, 2),
+    ];
+
+    // Submit all three concurrently over a 2-worker pool, so at least
+    // two campaigns must be in flight at once.
+    let streamed: Vec<(String, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let text = spec.render();
+                scope.spawn(move || {
+                    expect_report(submit_and_wait(addr, "itest", &text).expect("submit and wait"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("submitter thread")).collect()
+    });
+
+    for (spec, (text, analysis)) in specs.iter().zip(&streamed) {
+        let inline = report::run_spec(spec);
+        let expected = report::campaign_banner(spec) + &inline.body;
+        assert_eq!(text, &expected, "served {:?} report text drifted from inline", spec.mode);
+        assert_eq!(
+            analysis, &inline.analysis,
+            "served {:?} analysis state drifted from inline",
+            spec.mode
+        );
+    }
+
+    // The pool really ran campaigns concurrently.
+    let metrics = server.metrics();
+    assert!(
+        metrics.gauge(names::PEAK_RUNNING) >= 2,
+        "expected >=2 concurrent jobs, peak was {}",
+        metrics.gauge(names::PEAK_RUNNING)
+    );
+    assert_eq!(metrics.counter(names::COMPLETED), 3);
+    assert_eq!(metrics.counter(names::ACCEPTED), 3);
+
+    let mut client = Client::connect(addr).expect("connect");
+    match client.drain().expect("drain") {
+        Response::Drained { completed, rejected } => {
+            assert_eq!(completed, 3);
+            assert_eq!(rejected, 0);
+        }
+        other => panic!("expected Drained, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn saturated_server_sheds_with_a_typed_rejection() {
+    let server = start_server(
+        1,
+        AdmissionConfig { max_queue: 0, tenant_cap: 8, ..AdmissionConfig::default() },
+    );
+    let addr = server.addr();
+
+    // Occupy the only worker (no wait — the connection closes, the job runs).
+    let big = spec(AnalysisMode::Tvla, 4000, 1).render();
+    let mut client = Client::connect(addr).expect("connect");
+    let first = client.submit("hog", &big, false).expect("submit");
+    assert!(matches!(first, Response::Accepted { job: 0 }), "got {first:?}");
+
+    // Wait until it is actually running, then hit the zero-length queue.
+    loop {
+        let mut status = Client::connect(addr).expect("connect");
+        let Response::JobList { jobs, .. } = status.status().expect("status") else {
+            panic!("expected JobList")
+        };
+        if jobs.iter().any(|j| j.id == 0 && j.state == JobState::Running) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let small = spec(AnalysisMode::Tvla, 10, 1).render();
+    let mut second = Client::connect(addr).expect("connect");
+    match second.submit("hog", &small, false).expect("submit") {
+        Response::Rejected { reason: RejectReason::Saturated { detail } } => {
+            assert!(detail.contains("queue full"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Rejected(Saturated), got {other:?}"),
+    }
+
+    // The refusal is observable in the server's own metrics.
+    let metrics = server.metrics();
+    assert_eq!(metrics.counter(names::REJECTED), 1);
+    assert_eq!(metrics.counter(names::SUBMITTED), 2);
+
+    // Drain stops the running job at its next block boundary.
+    let mut drainer = Client::connect(addr).expect("connect");
+    match drainer.drain().expect("drain") {
+        Response::Drained { completed, rejected } => {
+            assert_eq!(completed, 1);
+            assert_eq!(rejected, 0);
+        }
+        other => panic!("expected Drained, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn cancel_covers_queued_running_and_finished_jobs() {
+    let server = start_server(
+        1,
+        AdmissionConfig { max_queue: 8, tenant_cap: 8, ..AdmissionConfig::default() },
+    );
+    let addr = server.addr();
+
+    let long = spec(AnalysisMode::Tvla, 4000, 1).render();
+    let queued = spec(AnalysisMode::Tvla, 10, 1).render();
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(matches!(
+        client.submit("t", &long, false).expect("submit"),
+        Response::Accepted { job: 0 }
+    ));
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(matches!(
+        client.submit("t", &queued, false).expect("submit"),
+        Response::Accepted { job: 1 }
+    ));
+
+    let mut canceller = Client::connect(addr).expect("connect");
+    // Job 1 sits behind the long job on the single worker: cancelled outright.
+    let outcome = canceller.cancel(1).expect("cancel");
+    assert!(
+        matches!(outcome, Response::CancelOutcome { job: 1, outcome: CancelResult::Cancelled }),
+        "got {outcome:?}"
+    );
+    // Job 0 is running (or about to be): stopping or cancelled, never NotFound.
+    let mut canceller = Client::connect(addr).expect("connect");
+    match canceller.cancel(0).expect("cancel") {
+        Response::CancelOutcome {
+            job: 0,
+            outcome: CancelResult::Stopping | CancelResult::Cancelled,
+        } => {}
+        other => panic!("expected a cancel on job 0, got {other:?}"),
+    }
+    // Unknown job id.
+    let mut canceller = Client::connect(addr).expect("connect");
+    assert!(matches!(
+        canceller.cancel(99).expect("cancel"),
+        Response::CancelOutcome { job: 99, outcome: CancelResult::NotFound }
+    ));
+
+    // A malformed spec is a typed refusal, not a dropped connection.
+    let mut bad = Client::connect(addr).expect("connect");
+    match bad.submit("t", "mode=nonsense\n", false).expect("submit") {
+        Response::Rejected { reason: RejectReason::BadSpec { .. } } => {}
+        other => panic!("expected BadSpec, got {other:?}"),
+    }
+
+    let mut drainer = Client::connect(addr).expect("connect");
+    assert!(matches!(drainer.drain().expect("drain"), Response::Drained { .. }));
+    server.join();
+}

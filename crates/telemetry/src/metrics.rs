@@ -39,6 +39,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use psc_sca::checkpoint::{CheckpointError, PayloadReader, PayloadWriter};
+
 /// Number of histogram buckets: bucket 0 holds zero, bucket `i`
 /// (1 ≤ i < BUCKETS-1) holds values in `[2^(i-1), 2^i)`, and the last
 /// bucket holds everything from `2^(BUCKETS-2)` up.
@@ -142,6 +144,13 @@ impl Histogram {
     #[must_use]
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The log2-bucket upper-bound estimate of the `p`-quantile
+    /// (see [`HistogramSnapshot::percentile`]). `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.snapshot().percentile(p)
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -293,6 +302,33 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The log2-bucket upper-bound estimate of the `p`-quantile: the
+    /// largest value the bucket holding the `ceil(p · count)`-th smallest
+    /// observation can contain (bucket 0 → `0`, bounded buckets →
+    /// `hi - 1`, the unbounded top bucket → `u64::MAX`). `p` is clamped
+    /// to `[0, 1]`; `None` when the histogram is empty. An upper bound —
+    /// never optimistic — which is the right polarity for a saturation
+    /// signal like p99 dispatch latency.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return Some(match bucket_bounds(index) {
+                    (_, Some(hi)) => hi - 1,
+                    (_, None) => u64::MAX,
+                });
+            }
+        }
+        unreachable!("cumulative bucket count reaches the total count")
+    }
+
     /// Bucket-wise sum — the histogram merge law. Sums wrap on overflow,
     /// matching the relaxed `fetch_add` the live histogram uses.
     #[must_use]
@@ -388,6 +424,152 @@ impl MetricsSnapshot {
             Some(MetricValue::Histogram(h)) => Some(h),
             _ => None,
         }
+    }
+
+    /// Append this snapshot to a codec-v3 payload: metric count, then per
+    /// metric a name string, a kind byte (0 counter / 1 gauge /
+    /// 2 histogram) and the kind's state. [`Self::decode`] inverts it
+    /// bit-exactly; the pair is what the `psc serve` wire protocol and
+    /// the distributed-aggregation framing ship between processes.
+    pub fn encode(&self, w: &mut PayloadWriter) {
+        w.put_u32(self.metrics.len() as u32);
+        for (name, value) in &self.metrics {
+            w.put_str(name);
+            match value {
+                MetricValue::Counter(n) => {
+                    w.put_u8(0);
+                    w.put_u64(*n);
+                }
+                MetricValue::Gauge(n) => {
+                    w.put_u8(1);
+                    w.put_u64(*n);
+                }
+                MetricValue::Histogram(h) => {
+                    w.put_u8(2);
+                    w.put_u64(h.sum);
+                    w.put_u16(h.buckets.len() as u16);
+                    for &(index, count) in &h.buckets {
+                        w.put_u8(index as u8);
+                        w.put_u64(count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode a snapshot previously written by [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] when the payload ends early and
+    /// [`CheckpointError::Corrupt`] on unknown kind bytes, out-of-range
+    /// or non-ascending histogram bucket indices, or duplicate names —
+    /// the same panic-free strictness as the checkpoint sections.
+    pub fn decode(r: &mut PayloadReader<'_>) -> Result<Self, CheckpointError> {
+        let count = r.get_u32()?;
+        let mut metrics = BTreeMap::new();
+        for _ in 0..count {
+            let name = r.get_str()?;
+            let value = match r.get_u8()? {
+                0 => MetricValue::Counter(r.get_u64()?),
+                1 => MetricValue::Gauge(r.get_u64()?),
+                2 => {
+                    let sum = r.get_u64()?;
+                    let buckets = r.get_u16()?;
+                    let mut pairs = Vec::with_capacity(buckets as usize);
+                    for _ in 0..buckets {
+                        let index = r.get_u8()? as usize;
+                        let n = r.get_u64()?;
+                        if index >= BUCKETS {
+                            return Err(CheckpointError::Corrupt("histogram bucket out of range"));
+                        }
+                        if pairs.last().is_some_and(|&(prev, _)| prev >= index) {
+                            return Err(CheckpointError::Corrupt(
+                                "histogram buckets not ascending",
+                            ));
+                        }
+                        pairs.push((index, n));
+                    }
+                    MetricValue::Histogram(HistogramSnapshot { sum, buckets: pairs })
+                }
+                _ => return Err(CheckpointError::Corrupt("unknown metric kind")),
+            };
+            if metrics.insert(name, value).is_some() {
+                return Err(CheckpointError::Corrupt("duplicate metric name"));
+            }
+        }
+        Ok(Self { metrics })
+    }
+}
+
+/// A live aggregation point for the registries of many concurrent
+/// campaigns: each running job attaches its per-shard registries, and
+/// [`MetricsHub::merged`] folds every attached registry's snapshot with
+/// the same proptested merge law the per-shard snapshots use. The
+/// `psc serve` admission controller reads this to decide whether the
+/// substrate is saturated; detaching is automatic when the returned
+/// [`HubAttachment`] guard drops (job completion, cancellation, or a
+/// worker panic unwinding).
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    attached: Mutex<BTreeMap<u64, Vec<Arc<MetricsRegistry>>>>,
+    next_id: AtomicU64,
+}
+
+impl MetricsHub {
+    /// Empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a job's registries; they contribute to [`Self::merged`]
+    /// until the guard drops.
+    #[must_use]
+    pub fn attach(self: &Arc<Self>, registries: Vec<Arc<MetricsRegistry>>) -> HubAttachment {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.attached
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, registries);
+        HubAttachment { hub: Arc::clone(self), id }
+    }
+
+    /// Number of currently attached jobs.
+    #[must_use]
+    pub fn attached_jobs(&self) -> usize {
+        self.attached.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Snapshot every attached registry and fold with
+    /// [`MetricsSnapshot::merged`] — exactly the totals one shared
+    /// registry across all jobs and shards would have produced.
+    #[must_use]
+    pub fn merged(&self) -> MetricsSnapshot {
+        let attached = self.attached.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        attached
+            .values()
+            .flatten()
+            .map(|registry| registry.snapshot())
+            .fold(MetricsSnapshot::default(), MetricsSnapshot::merged)
+    }
+}
+
+/// Guard returned by [`MetricsHub::attach`]; dropping it detaches the
+/// job's registries from the hub.
+#[derive(Debug)]
+pub struct HubAttachment {
+    hub: Arc<MetricsHub>,
+    id: u64,
+}
+
+impl Drop for HubAttachment {
+    fn drop(&mut self) {
+        self.hub
+            .attached
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.id);
     }
 }
 
@@ -818,6 +1000,97 @@ mod tests {
         assert!(json.contains("\"type\": \"histogram\""));
         assert!(json.contains("\"simd_backend\""));
         assert!(json.contains("\"obs_chunk\": 32"));
+    }
+
+    #[test]
+    fn percentile_returns_bucket_upper_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.99), None, "empty histogram has no quantiles");
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0), "bucket 0 tops out at zero");
+        for v in [5, 6, 7] {
+            h.record(v); // bucket [4, 8) → upper-bound estimate 7
+        }
+        h.record(1000); // bucket [512, 1024) → 1023
+                        // 5 observations: ranks 1..=5 are [0, 7, 7, 7, 1023].
+        assert_eq!(h.percentile(0.0), Some(0), "p=0 clamps to the first observation");
+        assert_eq!(h.percentile(0.2), Some(0));
+        assert_eq!(h.percentile(0.5), Some(7));
+        assert_eq!(h.percentile(0.8), Some(7));
+        assert_eq!(h.percentile(0.81), Some(1023));
+        assert_eq!(h.percentile(1.0), Some(1023));
+        assert_eq!(h.percentile(2.0), Some(1023), "p clamps to [0, 1]");
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(1.0), Some(u64::MAX), "top bucket is unbounded");
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_and_rejects_corruption() {
+        let registry = MetricsRegistry::new();
+        registry.counter("bus.blocks").add(42);
+        registry.gauge("bus.high_water_blocks").set_max(7);
+        let h = registry.histogram("consume.on_block_ns");
+        h.record(0);
+        h.record(1500);
+        h.record(u64::MAX);
+        let snapshot = registry.snapshot();
+        let mut w = PayloadWriter::new();
+        snapshot.encode(&mut w);
+        let payload = w.into_payload();
+        let mut r = PayloadReader::new(&payload);
+        let back = MetricsSnapshot::decode(&mut r).expect("round trip");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, snapshot);
+        // Truncation at every offset errs, never panics.
+        for cut in 0..payload.len() {
+            assert!(MetricsSnapshot::decode(&mut PayloadReader::new(&payload[..cut])).is_err());
+        }
+        // Unknown kind byte → Corrupt.
+        let mut w = PayloadWriter::new();
+        w.put_u32(1);
+        w.put_str("x");
+        w.put_u8(9);
+        let bad = w.into_payload();
+        assert!(matches!(
+            MetricsSnapshot::decode(&mut PayloadReader::new(&bad)),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Histogram bucket index past BUCKETS → Corrupt.
+        let mut w = PayloadWriter::new();
+        w.put_u32(1);
+        w.put_str("h");
+        w.put_u8(2);
+        w.put_u64(0);
+        w.put_u16(1);
+        w.put_u8(BUCKETS as u8);
+        w.put_u64(1);
+        let bad = w.into_payload();
+        assert!(matches!(
+            MetricsSnapshot::decode(&mut PayloadReader::new(&bad)),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn hub_merges_attached_jobs_and_detaches_on_drop() {
+        let hub = Arc::new(MetricsHub::new());
+        let a = Arc::new(MetricsRegistry::new());
+        let b = Arc::new(MetricsRegistry::new());
+        a.counter("n").add(10);
+        b.counter("n").add(32);
+        a.gauge("peak").set_max(4);
+        b.gauge("peak").set_max(9);
+        let guard_a = hub.attach(vec![Arc::clone(&a)]);
+        let guard_b = hub.attach(vec![Arc::clone(&b)]);
+        assert_eq!(hub.attached_jobs(), 2);
+        let merged = hub.merged();
+        assert_eq!(merged.counter("n"), 42);
+        assert_eq!(merged.gauge("peak"), 9);
+        drop(guard_b);
+        assert_eq!(hub.attached_jobs(), 1);
+        assert_eq!(hub.merged().counter("n"), 10);
+        drop(guard_a);
+        assert_eq!(hub.merged(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!                                  # record a PHPC campaign to disk
 //! psc analyze FILE [--key HEX32]   # offline CPA over a recorded campaign
 //! psc tune [--out FILE]            # calibrate SIMD/chunk constants
+//! psc serve [--workers N]          # multi-tenant campaign daemon
+//! psc submit FILE [--wait]         # send a campaign.cfg to the daemon
+//! psc jobs | cancel ID | drain     # inspect / steer the daemon
 //! ```
 
 use apple_power_sca::core::experiments::countermeasure::run_countermeasures;
@@ -25,18 +28,22 @@ use apple_power_sca::core::experiments::screening::{run_table1, run_table2};
 use apple_power_sca::core::experiments::success_rate::run_success_rate;
 use apple_power_sca::core::experiments::throttling::run_throttling_study;
 use apple_power_sca::core::experiments::tvla::{run_table3, run_table5};
-use apple_power_sca::core::tune;
+use apple_power_sca::core::spec::parse_key_hex;
+use apple_power_sca::core::{report, tune};
 use apple_power_sca::core::{
-    Campaign, Device, ExperimentConfig, Fleet, FleetMember, ShardReplay, StreamingCpaReport,
-    StreamingTvlaReport, TuneConfig, VictimKind,
+    AnalysisMode, Campaign, CampaignSpec, Device, ExperimentConfig, MitigationSetting, ShardReplay,
+    TuneConfig, VictimKind,
 };
 use apple_power_sca::sca::codec::{read_trace_set, write_trace_set};
 use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
 use apple_power_sca::sca::stats::fisher_interval;
+use apple_power_sca::serve::server::names as serve_names;
+use apple_power_sca::serve::{
+    AdmissionConfig, Client, Response, Server, ServerConfig, DEFAULT_ADDR,
+};
 use apple_power_sca::smc::key::key;
-use apple_power_sca::smc::MitigationConfig;
 use apple_power_sca::telemetry::metrics::{validate_json, MetricsReport};
 use apple_power_sca::telemetry::spans::SpanTracer;
 use std::process::ExitCode;
@@ -99,6 +106,33 @@ COMMANDS:
                               winning config as JSON; --out saves it for
                               `psc campaign --tune FILE`. PSC_TUNE_REPS
                               (1-9, default 3) trades time for stability.
+    serve [--addr HOST:PORT] [--workers N] [--max-queue N]
+          [--tenant-cap N] [--spool DIR]
+                              Run the multi-tenant campaign daemon on
+                              loopback TCP (default 127.0.0.1:7145):
+                              campaign.cfg specs submitted over the
+                              framed wire protocol run concurrently over
+                              N workers (default 2); admission sheds
+                              load with a typed `saturated` rejection
+                              when the queue, drop rate or dispatch p99
+                              crosses its threshold; jobs checkpoint to
+                              the spool (default under the temp dir) so
+                              drained jobs finish via `psc resume`.
+                              Blocks until a client sends `psc drain`.
+    submit FILE [--wait] [--tenant NAME] [--addr HOST:PORT]
+                              Send a campaign.cfg (as written by
+                              --checkpoint, or hand-rolled) to the
+                              daemon. --wait streams progress and prints
+                              the final report — byte-identical to
+                              running the same spec inline with
+                              `psc campaign`.
+    jobs [--addr HOST:PORT]   List the daemon's jobs and service metrics.
+    cancel ID [--addr HOST:PORT]
+                              Cancel a queued (immediate) or running
+                              (cooperative, next block boundary) job.
+    drain [--addr HOST:PORT]  Reject queued jobs, stop running ones at
+                              the next block boundary, and shut the
+                              daemon down once everything settles.
 
 Campaign tuning: `--tune FILE` loads a saved `psc tune` config; the
 tuned constants change throughput only — reports stay bit-identical.
@@ -113,19 +147,6 @@ fn parse_flag(args: &[String], name: &str) -> bool {
 
 fn parse_opt(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-}
-
-fn parse_key_hex(hex: &str) -> Result<[u8; 16], String> {
-    let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
-    if hex.len() != 32 {
-        return Err(format!("key must be 32 hex chars, got {}", hex.len()));
-    }
-    let mut out = [0u8; 16];
-    for (i, byte) in out.iter_mut().enumerate() {
-        *byte = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
-            .map_err(|e| format!("bad hex at byte {i}: {e}"))?;
-    }
-    Ok(out)
 }
 
 fn cmd_cpa(cfg: &ExperimentConfig, args: &[String]) {
@@ -171,31 +192,8 @@ fn parse_device(args: &[String]) -> Result<Device, String> {
     }
 }
 
-fn parse_mitigation(args: &[String]) -> Result<MitigationConfig, String> {
-    let Some(spec) = parse_opt(args, "--mitigation") else {
-        return Ok(MitigationConfig::none());
-    };
-    let (name, value) = match spec.split_once('=') {
-        Some((n, v)) => (n, Some(v)),
-        None => (spec.as_str(), None),
-    };
-    let parse_value = |default: f64| -> Result<f64, String> {
-        value.map_or(Ok(default), |v| {
-            v.parse::<f64>().map_err(|e| format!("bad --mitigation value {v:?}: {e}"))
-        })
-    };
-    match name {
-        "none" => Ok(MitigationConfig::none()),
-        "restrict" => Ok(MitigationConfig::restrict_access()),
-        "noise" => Ok(MitigationConfig::noise_blend(parse_value(0.05)?)),
-        "slow" => Ok(MitigationConfig::slow_updates(parse_value(3.0)?)),
-        other => Err(format!("unknown mitigation {other:?} (none|restrict|noise|slow)")),
-    }
-}
-
 /// Resolve the campaign's [`TuneConfig`]: defaults, then a saved
-/// `--tune FILE` config, then individual `--obs-chunk`-style overrides
-/// (what `psc resume` synthesizes from `campaign.cfg`).
+/// `--tune FILE` config, then individual `--obs-chunk`-style overrides.
 fn parse_tune(args: &[String]) -> Result<TuneConfig, String> {
     let mut tuned = match parse_opt(args, "--tune") {
         Some(path) => TuneConfig::load(&path).map_err(|e| format!("{path}: {e}"))?,
@@ -229,61 +227,6 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn print_tvla_report(report: &StreamingTvlaReport) {
-    for &k in &report.keys {
-        match report.matrix(k) {
-            Some(matrix) => println!("{}", matrix.render()),
-            None => println!("{k}: no readable samples\n"),
-        }
-    }
-    if let Some(pcpu) = report.pcpu_matrix() {
-        println!("{}", pcpu.render());
-    }
-    println!(
-        "bus: {} accepted, {} dropped; denied reads: {}",
-        report.bus.accepted,
-        report.bus.dropped,
-        report.monitor.denied_reads()
-    );
-    if report.io_errors > 0 {
-        println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
-    }
-    print_health(&report.health, report.io_retries);
-    print_metrics_summary(report.metrics.as_ref());
-}
-
-/// Degradation summary for stdout — silent on a fully healthy run so
-/// interrupt/resume output diffs stay clean (details go to stderr at
-/// merge time).
-fn print_health(health: &[apple_power_sca::core::ShardHealth], io_retries: u64) {
-    let unhealthy = health.iter().filter(|h| !h.is_ok()).count();
-    if unhealthy > 0 {
-        println!(
-            "shard health: {unhealthy}/{} shard(s) degraded or failed (details on stderr)",
-            health.len()
-        );
-    }
-    if io_retries > 0 {
-        println!("recorder retries: {io_retries} (transient, recovered)");
-    }
-}
-
-fn print_metrics_summary(metrics: Option<&MetricsReport>) {
-    if let Some(m) = metrics {
-        println!(
-            "metrics: {:.0} obs/s, {:.0} blocks/s, drop rate {:.2}%, wall {:.2}s \
-             (simd {}, obs_chunk {}, bus {})",
-            m.obs_per_s(),
-            m.blocks_per_s(),
-            m.drop_rate() * 100.0,
-            m.wall_s,
-            m.simd_backend,
-            m.obs_chunk,
-            m.bus_capacity
-        );
-    }
-}
-
 /// Write the metrics report / span trace the user asked for with
 /// `--metrics FILE` / `--trace FILE`.
 fn emit_observability(
@@ -307,83 +250,121 @@ fn emit_observability(
     Ok(())
 }
 
-fn print_cpa_report(report: &StreamingCpaReport, secret_key: &[u8; 16]) {
-    for &k in &report.keys {
-        match report.ranks(k, secret_key) {
-            Some(ranks) => {
-                let (recovered, near) = recovery_tally(&ranks);
-                println!(
-                    "{k}: GE {:.1} bits, {recovered}/16 recovered, {near}/16 nearly",
-                    guessing_entropy(&ranks)
-                );
-            }
-            None => println!("{k}: no readable samples"),
+/// Build the serializable campaign spec from `psc campaign` flags — the
+/// same [`CampaignSpec`] the checkpoint cfg, `psc resume` and the serve
+/// protocol use, so every front end agrees on what a campaign is.
+fn spec_from_args(cfg: &ExperimentConfig, args: &[String]) -> Result<CampaignSpec, String> {
+    let device = parse_device(args)?;
+    let mode = if parse_flag(args, "--cpa") {
+        AnalysisMode::Cpa
+    } else if parse_flag(args, "--adaptive") {
+        AnalysisMode::Adaptive
+    } else {
+        AnalysisMode::Tvla
+    };
+    let mut spec = CampaignSpec::new(mode, device, cfg);
+    spec.kernel = parse_flag(args, "--kernel");
+    spec.fleet = parse_flag(args, "--fleet");
+    spec.traces = parse_opt(args, "--traces")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| CampaignSpec::default_traces(mode, device, cfg));
+    if let Some(s) = parse_opt(args, "--shards") {
+        spec.shards = s.parse::<usize>().map(|n| n.max(1)).unwrap_or(spec.shards);
+    }
+    spec.tune = parse_tune(args)?;
+    spec.mitigation =
+        parse_opt(args, "--mitigation").map(|s| MitigationSetting::parse(&s)).transpose()?;
+    spec.record = parse_opt(args, "--record");
+    spec.monitor = parse_opt(args, "--monitor")
+        .map(|s| s.parse::<f64>().map_err(|e| format!("bad --monitor value {s:?}: {e}")))
+        .transpose()?;
+    if let Some(every) = parse_opt(args, "--checkpoint-every") {
+        spec.every = every
+            .parse::<u64>()
+            .map_err(|e| format!("bad --checkpoint-every value {every:?}: {e}"))?;
+        if spec.every == 0 {
+            return Err("--checkpoint-every must be positive".into());
         }
     }
-    println!(
-        "bus: {} accepted, {} dropped; denied reads: {}",
-        report.bus.accepted,
-        report.bus.dropped,
-        report.monitor.denied_reads()
-    );
-    if report.io_errors > 0 {
-        println!("recorder I/O errors: {} (recording incomplete)", report.io_errors);
-    }
-    print_health(&report.health, report.io_retries);
-    print_metrics_summary(report.metrics.as_ref());
+    Ok(spec)
 }
 
-/// Persist the campaign spec next to its checkpoint frames as simple
-/// `key=value` lines, so `psc resume DIR` can rebuild the exact campaign
-/// without the user re-typing (or misremembering) the original flags.
-#[allow(clippy::too_many_arguments)]
-fn write_campaign_cfg(
-    dir: &str,
-    mode: &str,
+/// Run a campaign spec with the runtime-only options (observability,
+/// checkpointing, resume) parsed from `args`, printing the banner, the
+/// deterministic report body, and — separately, because it carries
+/// wall-clock rates — the metrics summary line.
+fn run_campaign(
+    spec: &CampaignSpec,
     args: &[String],
-    cfg: &ExperimentConfig,
-    device: Device,
-    traces: usize,
-    shards: usize,
-    every: u64,
-    tune: TuneConfig,
+    ckpt_dir: Option<&str>,
+    resume_dir: Option<&str>,
 ) -> Result<(), String> {
-    let key_hex: String = cfg.secret_key.iter().map(|b| format!("{b:02x}")).collect();
-    let device_name = match device {
-        Device::MacbookAirM2 => "m2",
-        Device::MacMiniM1 => "m1",
-    };
-    let mut text = format!(
-        "mode={mode}\ndevice={device_name}\nkernel={}\nfleet={}\ntraces={traces}\n\
-         shards={shards}\nseed={}\nkey={key_hex}\nevery={every}\n",
-        parse_flag(args, "--kernel"),
-        parse_flag(args, "--fleet"),
-        cfg.seed,
-    );
-    // The tuned constants are part of the campaign identity: checkpoint
-    // frames are taken at obs_chunk block boundaries, so a resume must
-    // run with the sizes the frames were recorded under.
-    text.push_str(&format!(
-        "cpa_unroll={}\nobs_chunk={}\nreplay_chunk={}\nbus_capacity={}\n",
-        tune.cpa_unroll, tune.obs_chunk, tune.replay_chunk, tune.bus_capacity
-    ));
-    for (name, flag) in
-        [("mitigation", "--mitigation"), ("record", "--record"), ("monitor", "--monitor")]
-    {
-        if let Some(v) = parse_opt(args, flag) {
-            text.push_str(&format!("{name}={v}\n"));
-        }
+    let metrics_out = parse_opt(args, "--metrics");
+    let trace_out = parse_opt(args, "--trace");
+    // `--progress` alone defaults to one line per second; an optional
+    // numeric value overrides the interval.
+    let progress_s = parse_flag(args, "--progress")
+        .then(|| parse_opt(args, "--progress").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0));
+    let halt_after = parse_opt(args, "--halt-after")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --halt-after value {s:?}: {e}")))
+        .transpose()?;
+    let tracer = trace_out.is_some().then(|| Arc::new(SpanTracer::new()));
+
+    print!("{}", report::campaign_banner(spec));
+    let mut campaign = Campaign::from_spec(spec);
+    if metrics_out.is_some() {
+        campaign = campaign.metrics();
     }
-    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
-    let path = std::path::Path::new(dir).join("campaign.cfg");
-    std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))
+    if let Some(interval_s) = progress_s {
+        campaign = campaign.progress(interval_s);
+    }
+    if let Some(t) = &tracer {
+        campaign = campaign.tracer(Arc::clone(t));
+    }
+    if let Some(dir) = ckpt_dir {
+        campaign = campaign.checkpoint_to(dir, spec.every);
+    }
+    if let Some(n) = halt_after {
+        campaign = campaign.halt_after(n);
+    }
+    if let Some(dir) = resume_dir {
+        campaign = campaign.resume_from(dir);
+    }
+    let outcome = report::run_session(campaign.session(), spec);
+    print!("{}", outcome.body);
+    print!("{}", report::render_metrics_summary(outcome.metrics.as_ref()));
+    emit_observability(
+        outcome.metrics.as_ref(),
+        metrics_out.as_deref(),
+        tracer.as_deref(),
+        trace_out.as_deref(),
+    )
+}
+
+fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let spec = spec_from_args(cfg, args)?;
+    let ckpt_dir = parse_opt(args, "--checkpoint");
+    let resume_dir = parse_opt(args, "--resume-from");
+    if let Some(dir) = &ckpt_dir {
+        // A fresh checkpointed run records its spec next to the frames so
+        // `psc resume DIR` can reconstruct the exact campaign; a resumed
+        // run keeps the file it was launched from.
+        if resume_dir.is_none() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            let path = std::path::Path::new(dir).join("campaign.cfg");
+            std::fs::write(&path, spec.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        eprintln!("[psc] checkpointing to {dir} every {} block(s)", spec.every);
+    }
+    run_campaign(&spec, args, ckpt_dir.as_deref(), resume_dir.as_deref())
 }
 
 /// `psc resume DIR`: rebuild the campaign described by `DIR/campaign.cfg`
-/// and run it with `--resume-from DIR`, so the interrupted run completes
-/// bit-identically. Any extra flags pass through to the campaign (e.g.
+/// (one parser — [`CampaignSpec::parse`] — shared with the serve
+/// protocol) and run it with `--resume-from DIR`, so the interrupted run
+/// completes bit-identically. Any extra flags pass through (e.g.
 /// `--halt-after` to re-interrupt, `--metrics` to add observability).
-fn cmd_resume(base: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+fn cmd_resume(args: &[String]) -> Result<(), String> {
     let dir = args
         .first()
         .filter(|a| !a.starts_with("--"))
@@ -393,234 +374,9 @@ fn cmd_resume(base: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!("{}: {e} (was this campaign run with --checkpoint?)", path.display())
     })?;
-    let mut map = std::collections::BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (k, v) =
-            line.split_once('=').ok_or_else(|| format!("{}: bad line {line:?}", path.display()))?;
-        map.insert(k.to_string(), v.to_string());
-    }
-    let get =
-        |k: &str| map.get(k).cloned().ok_or_else(|| format!("{}: missing {k}=", path.display()));
-
-    let mut cfg = base.clone();
-    cfg.seed = get("seed")?.parse().map_err(|e| format!("{}: bad seed: {e}", path.display()))?;
-    cfg.secret_key = parse_key_hex(&get("key")?)?;
-    let mode = get("mode")?;
-    let mut synth: Vec<String> = Vec::new();
-    match mode.as_str() {
-        "cpa" => synth.push("--cpa".into()),
-        "adaptive" => synth.push("--adaptive".into()),
-        "tvla" => {}
-        other => return Err(format!("{}: unknown mode {other:?}", path.display())),
-    }
-    synth.extend(["--device".into(), get("device")?]);
-    if map.get("kernel").is_some_and(|v| v == "true") {
-        synth.push("--kernel".into());
-    }
-    if map.get("fleet").is_some_and(|v| v == "true") {
-        synth.push("--fleet".into());
-    }
-    synth.extend(["--traces".into(), get("traces")?, "--shards".into(), get("shards")?]);
-    for (name, flag) in [
-        ("mitigation", "--mitigation"),
-        ("record", "--record"),
-        ("monitor", "--monitor"),
-        // Tuned constants recorded at campaign start: obs_chunk is part
-        // of the checkpoint fingerprint, so the resume must match it.
-        ("cpa_unroll", "--cpa-unroll"),
-        ("obs_chunk", "--obs-chunk"),
-        ("replay_chunk", "--replay-chunk"),
-        ("bus_capacity", "--bus-capacity"),
-    ] {
-        if let Some(v) = map.get(name) {
-            synth.extend([flag.into(), v.clone()]);
-        }
-    }
-    synth.extend([
-        "--checkpoint".into(),
-        dir.clone(),
-        "--checkpoint-every".into(),
-        get("every")?,
-        "--resume-from".into(),
-        dir.clone(),
-    ]);
-    synth.extend(args[1..].iter().cloned());
-    eprintln!("[psc] resuming {mode} campaign from {dir}");
-    cmd_campaign(&cfg, &synth)
-}
-
-fn cmd_campaign(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
-    let device = parse_device(args)?;
-    let mitigation = parse_mitigation(args)?;
-    let shards = parse_opt(args, "--shards")
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(cfg.shards)
-        .max(1);
-    let kind =
-        if parse_flag(args, "--kernel") { VictimKind::KernelModule } else { VictimKind::UserSpace };
-    let fleet = parse_flag(args, "--fleet");
-    let metrics_out = parse_opt(args, "--metrics");
-    let trace_out = parse_opt(args, "--trace");
-    // `--progress` alone defaults to one line per second; an optional
-    // numeric value overrides the interval.
-    let progress_s = parse_flag(args, "--progress")
-        .then(|| parse_opt(args, "--progress").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0));
-    let monitor_s = parse_opt(args, "--monitor")
-        .map(|s| s.parse::<f64>().map_err(|e| format!("bad --monitor value {s:?}: {e}")))
-        .transpose()?;
-    let tracer = trace_out.is_some().then(|| Arc::new(SpanTracer::new()));
-    let ckpt_dir = parse_opt(args, "--checkpoint");
-    let every = parse_opt(args, "--checkpoint-every")
-        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --checkpoint-every value {s:?}: {e}")))
-        .transpose()?
-        .unwrap_or(8);
-    if every == 0 {
-        return Err("--checkpoint-every must be positive".into());
-    }
-    let halt_after = parse_opt(args, "--halt-after")
-        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --halt-after value {s:?}: {e}")))
-        .transpose()?;
-    let resume_dir = parse_opt(args, "--resume-from");
-    let tuned = parse_tune(args)?;
-
-    // Fleet campaigns fan one shard per member across both Table 1
-    // devices and read the keys they share.
-    let members: Vec<FleetMember> = if fleet {
-        Device::ALL.iter().map(|&device| FleetMember { device, kind }).collect()
-    } else {
-        Vec::new()
-    };
-    let keys: Vec<_> = if fleet {
-        device
-            .table2_keys()
-            .into_iter()
-            .filter(|k| members.iter().all(|m| m.device.table2_keys().contains(k)))
-            .collect()
-    } else {
-        device.table2_keys()
-    };
-    let build = |keys: &[apple_power_sca::smc::SmcKey], traces: usize| {
-        let campaign = if fleet {
-            println!("fleet: one shard per member ({} members)", members.len());
-            Campaign::fleet(Fleet::new(members.clone(), cfg.secret_key, cfg.seed))
-        } else {
-            Campaign::live(device, kind, cfg.secret_key, cfg.seed)
-        };
-        let mut campaign =
-            campaign.keys(keys).traces(traces).shards(shards).mitigation(mitigation).tune(tuned);
-        if let Some(dir) = parse_opt(args, "--record") {
-            campaign = campaign.record_to(dir);
-        }
-        if metrics_out.is_some() {
-            campaign = campaign.metrics();
-        }
-        if let Some(interval_s) = progress_s {
-            campaign = campaign.progress(interval_s);
-        }
-        if let Some(interval_s) = monitor_s {
-            campaign = campaign.monitor(interval_s);
-        }
-        if let Some(t) = &tracer {
-            campaign = campaign.tracer(Arc::clone(t));
-        }
-        if let Some(dir) = &ckpt_dir {
-            campaign = campaign.checkpoint_to(dir.as_str(), every);
-        }
-        if let Some(n) = halt_after {
-            campaign = campaign.halt_after(n);
-        }
-        if let Some(dir) = &resume_dir {
-            campaign = campaign.resume_from(dir.as_str());
-        }
-        campaign
-    };
-
-    let mode = if parse_flag(args, "--cpa") {
-        "cpa"
-    } else if parse_flag(args, "--adaptive") {
-        "adaptive"
-    } else {
-        "tvla"
-    };
-    // Per-device default CPA budgets mirror the paper's 1M-vs-350k
-    // campaign sizes (scaled down in ExperimentConfig).
-    let default_traces = match (mode, device) {
-        ("cpa", Device::MacbookAirM2) => cfg.cpa_traces_m2,
-        ("cpa", Device::MacMiniM1) => cfg.cpa_traces_m1,
-        _ => cfg.tvla_traces_per_class,
-    };
-    let traces = parse_opt(args, "--traces").and_then(|s| s.parse().ok()).unwrap_or(default_traces);
-    if let Some(dir) = &ckpt_dir {
-        // A fresh checkpointed run records its spec next to the frames so
-        // `psc resume DIR` can reconstruct the exact campaign; a resumed
-        // run keeps the file it was launched from.
-        if resume_dir.is_none() {
-            write_campaign_cfg(dir, mode, args, cfg, device, traces, shards, every, tuned)?;
-        }
-        eprintln!("[psc] checkpointing to {dir} every {every} block(s)");
-    }
-
-    if mode == "cpa" {
-        let cpa_keys: Vec<_> = keys.iter().copied().filter(|&k| k != key("PHPS")).collect();
-        println!(
-            "streaming {traces} known-plaintext traces over {shards} shard(s) on {} ...",
-            if fleet { "the fleet" } else { device.label() }
-        );
-        let report = build(&cpa_keys, traces).session().cpa(|| Box::new(Rd0Hw));
-        print_cpa_report(&report, &cfg.secret_key);
-        emit_observability(
-            report.metrics.as_ref(),
-            metrics_out.as_deref(),
-            tracer.as_deref(),
-            trace_out.as_deref(),
-        )?;
-        return Ok(());
-    }
-
-    if mode == "adaptive" {
-        let watch = key("PHPC");
-        println!(
-            "adaptive TVLA on {} ({} shard(s), watching {watch}, budget {traces}/class) ...",
-            if fleet { "the fleet" } else { device.label() },
-            shards
-        );
-        let out = build(&keys, traces).early_stop(watch).session().adaptive_tvla();
-        println!(
-            "{} after {} round(s) of the {traces}-round budget",
-            if out.stopped_early { "leakage detected" } else { "no crossing" },
-            out.rounds_collected
-        );
-        if let Some(matrix) = out.report.matrix(watch) {
-            println!("{}", matrix.render());
-        }
-        print_metrics_summary(out.report.metrics.as_ref());
-        emit_observability(
-            out.report.metrics.as_ref(),
-            metrics_out.as_deref(),
-            tracer.as_deref(),
-            trace_out.as_deref(),
-        )?;
-        return Ok(());
-    }
-
-    println!(
-        "streaming TVLA on {} ({} shard(s), {traces} traces/class) ...",
-        if fleet { "the fleet" } else { device.label() },
-        shards
-    );
-    let report = build(&keys, traces).session().tvla();
-    print_tvla_report(&report);
-    emit_observability(
-        report.metrics.as_ref(),
-        metrics_out.as_deref(),
-        tracer.as_deref(),
-        trace_out.as_deref(),
-    )?;
-    Ok(())
+    let spec = CampaignSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("[psc] resuming {} campaign from {dir}", spec.mode.token());
+    run_campaign(&spec, &args[1..], Some(&dir), Some(&dir))
 }
 
 fn cmd_replay(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
@@ -653,11 +409,13 @@ fn cmd_replay(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
             Some(hex) => parse_key_hex(&hex)?,
             None => cfg.secret_key,
         };
-        let report = Campaign::replay(replay).keys(&keys).session().cpa(|| Box::new(Rd0Hw));
-        print_cpa_report(&report, &secret);
+        let rep = Campaign::replay(replay).keys(&keys).session().cpa(report::cpa_model);
+        print!("{}", report::render_cpa_body(&rep, &secret));
+        print!("{}", report::render_metrics_summary(rep.metrics.as_ref()));
     } else {
-        let report = Campaign::replay(replay).keys(&keys).session().tvla();
-        print_tvla_report(&report);
+        let rep = Campaign::replay(replay).keys(&keys).session().tvla();
+        print!("{}", report::render_tvla_body(&rep));
+        print!("{}", report::render_metrics_summary(rep.metrics.as_ref()));
     }
     Ok(())
 }
@@ -702,6 +460,161 @@ fn cmd_analyze(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn serve_addr(args: &[String]) -> String {
+    parse_opt(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_owned())
+}
+
+fn parse_usize(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    parse_opt(args, flag)
+        .map(|s| s.parse::<usize>().map_err(|e| format!("bad {flag} value {s:?}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+/// `psc serve`: run the campaign daemon until a client drains it.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let workers = parse_usize(args, "--workers", 2)?;
+    let admission = AdmissionConfig {
+        max_queue: parse_usize(args, "--max-queue", AdmissionConfig::default().max_queue)?,
+        tenant_cap: parse_usize(args, "--tenant-cap", AdmissionConfig::default().tenant_cap)?,
+        ..AdmissionConfig::default()
+    };
+    let spool = match parse_opt(args, "--spool") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("psc-serve-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&spool).map_err(|e| format!("{}: {e}", spool.display()))?;
+    let server = Server::start(ServerConfig {
+        addr: serve_addr(args),
+        workers,
+        admission,
+        spool: Some(spool.clone()),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "[psc] serving on {} ({} worker(s), queue cap {}, spool {})",
+        server.addr(),
+        workers,
+        admission.max_queue,
+        spool.display()
+    );
+    server.join();
+    eprintln!("[psc] server drained; interrupted jobs resume from the spool with `psc resume`");
+    Ok(())
+}
+
+/// `psc submit FILE`: send a campaign.cfg to the daemon; with `--wait`,
+/// stream progress (stderr) and print the final report (stdout) —
+/// byte-identical to running the spec inline with `psc campaign`.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or("submit needs a campaign.cfg FILE argument")?;
+    let spec = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    // Parse locally first for a fast, line-numbered error instead of a
+    // round trip (the server re-parses with the same shared parser).
+    CampaignSpec::parse(&spec).map_err(|e| format!("{file}: {e}"))?;
+    let tenant = parse_opt(args, "--tenant").unwrap_or_else(|| "default".to_owned());
+    let wait = parse_flag(args, "--wait");
+    let mut client = Client::connect(serve_addr(args)).map_err(|e| e.to_string())?;
+    match client.submit(&tenant, &spec, wait).map_err(|e| e.to_string())? {
+        Response::Accepted { job } => {
+            if !wait {
+                eprintln!("[psc] job {job} accepted (psc jobs / psc cancel {job})");
+                return Ok(());
+            }
+            eprintln!("[psc] job {job} accepted; streaming ...");
+            match client.wait_for_report(|_| ()).map_err(|e| e.to_string())? {
+                Response::Report { text, .. } => {
+                    print!("{text}");
+                    Ok(())
+                }
+                Response::Rejected { reason } => Err(reason.to_string()),
+                other => Err(format!("unexpected final frame: {other:?}")),
+            }
+        }
+        Response::Rejected { reason } => Err(reason.to_string()),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// `psc jobs`: list the daemon's job table and service counters.
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    let mut client = Client::connect(serve_addr(args)).map_err(|e| e.to_string())?;
+    match client.status().map_err(|e| e.to_string())? {
+        Response::JobList { jobs, server } => {
+            println!("{:>5}  {:<12} {:<9} STATE", "JOB", "TENANT", "MODE");
+            for job in &jobs {
+                println!(
+                    "{:>5}  {:<12} {:<9} {}",
+                    job.id,
+                    job.tenant,
+                    job.mode.token(),
+                    job.state.label()
+                );
+            }
+            let p99_wait = server
+                .histogram(serve_names::DISPATCH_WAIT_NS)
+                .and_then(|h| h.percentile(0.99))
+                .unwrap_or(0);
+            println!(
+                "server: {} submitted, {} accepted, {} rejected, {} completed, {} cancelled, \
+                 {} failed; peak running {}, peak queue {}, p99 dispatch wait {p99_wait}ns",
+                server.counter(serve_names::SUBMITTED),
+                server.counter(serve_names::ACCEPTED),
+                server.counter(serve_names::REJECTED),
+                server.counter(serve_names::COMPLETED),
+                server.counter(serve_names::CANCELLED),
+                server.counter(serve_names::FAILED),
+                server.gauge(serve_names::PEAK_RUNNING),
+                server.gauge(serve_names::PEAK_QUEUE),
+            );
+            Ok(())
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// `psc cancel ID`: cancel a queued or running job.
+fn cmd_cancel(args: &[String]) -> Result<(), String> {
+    let id = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("cancel needs a job ID argument")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad job ID: {e}"))?;
+    let mut client = Client::connect(serve_addr(args)).map_err(|e| e.to_string())?;
+    match client.cancel(id).map_err(|e| e.to_string())? {
+        Response::CancelOutcome { job, outcome } => {
+            use apple_power_sca::serve::proto::CancelResult;
+            let verdict = match outcome {
+                CancelResult::Cancelled => "cancelled (was queued)",
+                CancelResult::Stopping => "stopping at the next block boundary",
+                CancelResult::AlreadyDone => "already finished",
+                CancelResult::NotFound => return Err(format!("no job {job}")),
+            };
+            println!("job {job}: {verdict}");
+            Ok(())
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// `psc drain`: gracefully stop the daemon.
+fn cmd_drain(args: &[String]) -> Result<(), String> {
+    let mut client = Client::connect(serve_addr(args)).map_err(|e| e.to_string())?;
+    match client.drain().map_err(|e| e.to_string())? {
+        Response::Drained { completed, rejected } => {
+            println!("drained: {completed} job(s) completed, {rejected} queued job(s) rejected");
+            Ok(())
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = ExperimentConfig::from_env();
@@ -744,10 +657,15 @@ fn main() -> ExitCode {
         }
         "campaign" | "stream" => cmd_campaign(&cfg, rest),
         "tune" => cmd_tune(rest),
-        "resume" => cmd_resume(&cfg, rest),
+        "resume" => cmd_resume(rest),
         "replay" => cmd_replay(&cfg, rest),
         "collect" => cmd_collect(&cfg, rest),
         "analyze" => cmd_analyze(&cfg, rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "jobs" => cmd_jobs(rest),
+        "cancel" => cmd_cancel(rest),
+        "drain" => cmd_drain(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -27,7 +27,9 @@
 //! * [`core`] — victims, the unified `Campaign` builder / `Session`
 //!   driver with pluggable trace sources (live rigs, recorded-shard
 //!   replay, heterogeneous device fleets) and the per-table/figure
-//!   experiment runners.
+//!   experiment runners;
+//! * [`serve`] — the multi-tenant campaign service behind `psc serve`:
+//!   framed wire protocol, admission control, streaming reports.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +84,7 @@ pub use psc_aes as aes;
 pub use psc_core as core;
 pub use psc_ioreport as ioreport;
 pub use psc_sca as sca;
+pub use psc_serve as serve;
 pub use psc_smc as smc;
 pub use psc_soc as soc;
 pub use psc_telemetry as telemetry;
