@@ -70,6 +70,7 @@ fn main() {
         admission: AdmissionConfig { max_queue: BURST, ..AdmissionConfig::default() },
         spool: None,
         progress_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
     })
     .expect("bind loopback");
     let addr = server.addr();

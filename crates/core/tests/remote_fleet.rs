@@ -1,0 +1,145 @@
+//! The distributed-fleet source contracts:
+//!
+//! * [`FleetShard`] — member `i` run as a standalone single-shard
+//!   campaign is bit-identical to shard `i` of the in-process
+//!   [`Fleet`] run (the worker half of distributed aggregation);
+//! * [`RemoteFleet`] — a fleet of per-member feeds merges exactly like
+//!   the in-process fleet when the feeds delegate to it, and a
+//!   panicking feed demotes only its member while the survivors merge.
+
+use psc_core::source::{ShardPlan, TraceSource};
+use psc_core::{
+    Campaign, Device, Fleet, FleetMember, FleetShard, RemoteFleet, ShardHealth, VictimKind,
+};
+use psc_smc::key::key;
+use psc_telemetry::event::ChannelId;
+use psc_telemetry::processors::StreamingTvla;
+use psc_telemetry::{split_counts, EventBlock};
+use std::sync::atomic::AtomicBool;
+
+type Sink<'s> = &'s mut dyn FnMut(&mut EventBlock);
+
+const SECRET: [u8; 16] = *b"remote-fleet-key";
+const SEED: u64 = 0x00D5_C0DE;
+
+fn members() -> Vec<FleetMember> {
+    vec![
+        FleetMember { device: Device::MacbookAirM2, kind: VictimKind::UserSpace },
+        FleetMember { device: Device::MacMiniM1, kind: VictimKind::UserSpace },
+    ]
+}
+
+fn assert_tvla_bit_identical(a: &StreamingTvla, b: &StreamingTvla, keys: &[ChannelId]) {
+    for &channel in keys {
+        let label = channel.to_string();
+        let am = a.matrix(channel, label.clone()).expect("channel in left report");
+        let bm = b.matrix(channel, label).expect("channel in right report");
+        for (ac, bc) in am.cells.iter().zip(&bm.cells) {
+            assert_eq!(
+                ac.t_score.to_bits(),
+                bc.t_score.to_bits(),
+                "{channel} cell ({:?}, {:?}): {} vs {}",
+                ac.row,
+                ac.column,
+                ac.t_score,
+                bc.t_score
+            );
+        }
+    }
+}
+
+/// Per-member `FleetShard` campaigns, merged in member order, are
+/// bit-identical to the in-process fleet run — the identity the worker
+/// protocol's partial-state streaming rests on.
+#[test]
+fn fleet_shards_merge_bit_identically_to_the_fleet() {
+    let keys = [key("PHPC")];
+    let traces = 40;
+    let baseline = Campaign::fleet(Fleet::new(members(), SECRET, SEED))
+        .keys(&keys)
+        .traces(traces)
+        .session()
+        .tvla();
+
+    let counts = split_counts(traces, members().len());
+    let mut merged = StreamingTvla::new();
+    for (member, &count) in counts.iter().enumerate() {
+        let shard =
+            Campaign::from_source(FleetShard::new(Fleet::new(members(), SECRET, SEED), member))
+                .keys(&keys)
+                .traces(count)
+                .shards(1)
+                .session()
+                .tvla();
+        assert_eq!(shard.shards, 1, "a fleet shard is a single-shard source");
+        merged = merged.merged(shard.tvla);
+    }
+    assert_tvla_bit_identical(&baseline.tvla, &merged, &[ChannelId::Smc(keys[0])]);
+}
+
+/// A `RemoteFleet` whose feeds delegate to the in-process fleet is the
+/// in-process fleet, bit for bit — the aggregator-side [`Campaign`]
+/// source contract.
+#[test]
+fn remote_fleet_with_delegating_feeds_matches_the_fleet() {
+    let keys = [key("PHPC")];
+    let traces = 40;
+    let baseline = Campaign::fleet(Fleet::new(members(), SECRET, SEED))
+        .keys(&keys)
+        .traces(traces)
+        .session()
+        .tvla();
+
+    let mut remote = RemoteFleet::new();
+    for member in 0..members().len() {
+        let fleet = Fleet::new(members(), SECRET, SEED);
+        remote = remote.member(Box::new(
+            move |plan: &ShardPlan<'_>, sink: Sink<'_>, stop: &AtomicBool| {
+                let plan = ShardPlan { shard: member, ..*plan };
+                fleet.run_shard(&plan, sink, stop)
+            },
+        ));
+    }
+    let report = Campaign::from_source(remote).keys(&keys).traces(traces).session().tvla();
+    assert_eq!(report.shards, 2, "one shard per feed");
+    assert!(report.health.iter().all(ShardHealth::is_ok), "clean feeds stay healthy");
+    assert_tvla_bit_identical(&baseline.tvla, &report.tvla, &[ChannelId::Smc(keys[0])]);
+}
+
+/// A feed that dies demotes only its member: the fleet completes with
+/// the survivor's data and a demoted health slot instead of aborting.
+/// A producer death is the *Degraded* tier (everything it accumulated
+/// — here nothing — is kept); `Failed` is reserved for consumer-side
+/// accumulator loss.
+#[test]
+fn a_panicking_feed_fails_its_member_and_survivors_merge() {
+    let keys = [key("PHPC")];
+    let traces = 40;
+    let counts = split_counts(traces, 2);
+
+    let healthy = Fleet::new(members(), SECRET, SEED);
+    let remote = RemoteFleet::new()
+        .member(Box::new(move |plan: &ShardPlan<'_>, sink: Sink<'_>, stop: &AtomicBool| {
+            healthy.run_shard(&ShardPlan { shard: 0, ..*plan }, sink, stop)
+        }))
+        .member(Box::new(|_: &ShardPlan<'_>, _: Sink<'_>, _: &AtomicBool| -> usize {
+            panic!("member 1 lost")
+        }));
+    let report = Campaign::from_source(remote).keys(&keys).traces(traces).session().tvla();
+
+    assert!(report.health[0].is_ok(), "member 0 survives: {:?}", report.health[0]);
+    assert!(
+        matches!(report.health[1], ShardHealth::Degraded { .. }),
+        "member 1 demoted: {:?}",
+        report.health[1]
+    );
+
+    // The merged result equals member 0's single-shard run alone.
+    let survivor = Campaign::from_source(FleetShard::new(Fleet::new(members(), SECRET, SEED), 0))
+        .keys(&keys)
+        .traces(counts[0])
+        .shards(1)
+        .session()
+        .tvla();
+    assert_tvla_bit_identical(&survivor.tvla, &report.tvla, &[ChannelId::Smc(keys[0])]);
+}

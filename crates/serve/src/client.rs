@@ -5,6 +5,7 @@
 //! are all built on this.
 
 use crate::proto::{read_frame, write_frame, ProtoError, Request, Response};
+use psc_telemetry::faults::RetryPolicy;
 use psc_telemetry::metrics::MetricsSnapshot;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -74,6 +75,19 @@ impl Client {
         }
     }
 
+    /// Re-attach to a job this client (or a previous connection)
+    /// already submitted: the server answers [`Response::Accepted`]
+    /// and resumes streaming progress, or [`Response::Rejected`] for
+    /// an unknown job id. Call [`Client::wait_for_report`] next.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-layer and decode failures.
+    pub fn watch(&mut self, job: u64) -> Result<Response, ProtoError> {
+        self.send(&Request::Watch { job })?;
+        self.recv()
+    }
+
     /// Ask for the job list and server metrics.
     ///
     /// # Errors
@@ -121,5 +135,54 @@ pub fn submit_and_wait(
     match client.submit(tenant, spec, true)? {
         Response::Accepted { .. } => client.wait_for_report(|_| ()),
         other => Ok(other),
+    }
+}
+
+/// Submit with `wait` and survive transient disconnects: if the wait
+/// stream drops mid-campaign, reconnect under `retry` (deterministic
+/// jittered backoff, salted by the job id) and re-subscribe to the
+/// same job with [`Request::Watch`]. The job keeps running server-side
+/// across the gap, so the final frame is identical to an undisturbed
+/// wait. Each progress snapshot is passed to `on_progress`.
+///
+/// # Errors
+///
+/// Propagates the submit-path failures verbatim; a wait-stream failure
+/// is returned only once the retry budget is exhausted.
+pub fn submit_and_wait_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+    tenant: &str,
+    spec: &str,
+    retry: &RetryPolicy,
+    mut on_progress: impl FnMut(&MetricsSnapshot),
+) -> Result<Response, ProtoError> {
+    let mut client = Client::connect(addr.clone())?;
+    let job = match client.submit(tenant, spec, true)? {
+        Response::Accepted { job } => job,
+        other => return Ok(other),
+    };
+    let mut attempt = 1u32;
+    loop {
+        match client.wait_for_report(&mut on_progress) {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                // The job survives the dropped stream; reconnect and
+                // re-subscribe by id until the retry budget runs out.
+                if !retry.should_retry(attempt) {
+                    return Err(e);
+                }
+                std::thread::sleep(retry.delay(attempt, job));
+                attempt += 1;
+                client = match Client::connect(addr.clone()) {
+                    Ok(client) => client,
+                    Err(_) => continue,
+                };
+                match client.watch(job) {
+                    Ok(Response::Accepted { .. }) => {}
+                    Ok(other) => return Ok(other),
+                    Err(_) => continue,
+                }
+            }
+        }
     }
 }

@@ -31,13 +31,15 @@
 //! ```
 //!
 //! The message is the first section whose tag the receiver knows
-//! (requests `1..=4`: `Submit`, `Status`, `Cancel`, `Drain`; responses
-//! `16..=22`: `Accepted`, `Rejected`, `Progress`, `Report`, `JobList`,
-//! `CancelOutcome`, `Drained`); unknown tags are skipped, so peers can
-//! gain sections without breaking older builds. Corruption handling is
-//! inherited from the checkpoint codec and pinned by the same kind of
-//! proptests: any truncation, any bit flip and any oversized length
-//! prefix is a typed error, never a misparse.
+//! (requests `1..=5`: `Submit`, `Status`, `Cancel`, `Drain`, `Watch`;
+//! responses `16..=22`: `Accepted`, `Rejected`, `Progress`, `Report`,
+//! `JobList`, `CancelOutcome`, `Drained`; fleet worker messages
+//! `32..=35` and aggregator replies `48..=50`, see [`fleet`]); unknown
+//! tags are skipped, so peers can gain sections without breaking older
+//! builds. Corruption handling is inherited from the checkpoint codec
+//! and pinned by the same kind of proptests: any truncation, any bit
+//! flip and any oversized length prefix is a typed error, never a
+//! misparse.
 //!
 //! ### Admission semantics
 //!
@@ -66,6 +68,48 @@
 //! client gets `Drained{completed, rejected}`, and the accept loop
 //! exits.
 //!
+//! ## Distributed operation & failure semantics
+//!
+//! The [`fleet`] module runs one fleet campaign across *processes*:
+//! `psc worker` executes a single member's shard and `psc aggregate`
+//! merges the member states with the same proptested snapshot-merge
+//! folds the in-process [`psc_core::source::Fleet`] driver uses, so a
+//! fault-free distributed run is **byte-identical** to the
+//! single-process fleet run of the same spec.
+//!
+//! * **Partial-frame grammar** — workers periodically ship their
+//!   latest per-shard checkpoint frame (the codec-v3 `shard-000.ckpt`
+//!   snapshot, verbatim) inside [`fleet::WorkerMsg::Partial`], over
+//!   the same length-prefixed wire as the service protocol. Partials
+//!   are *cumulative* snapshots, so retaining only the newest is
+//!   lossless.
+//! * **Epoch/sequence dedup rule** — every worker send carries a
+//!   strictly increasing `(epoch, seq)` stamp; the epoch bumps per
+//!   reconnect, the sequence per send. The aggregator's
+//!   [`fleet::DedupGate`] admits a stamp iff it is lexicographically
+//!   greater than the member's last admitted stamp, which makes
+//!   at-least-once delivery and reconnect re-sends merge exactly once
+//!   (pinned by proptests over arbitrary duplicate/reorder schedules).
+//! * **Heartbeat deadlines** — workers heartbeat on an interval;
+//!   the aggregator demotes members that miss the heartbeat deadline,
+//!   never connect within the join window, or straggle past the
+//!   straggler timeout after the first member finishes
+//!   ([`fleet::AggregatorConfig`]).
+//! * **Degradation semantics** — demoted members land on the final
+//!   report as [`psc_core::session::ShardHealth::Failed`] with the
+//!   demotion reason; members that completed but needed transport
+//!   reconnects surface as `Degraded`. Survivors merge to exactly the
+//!   fault-free run restricted to the same members, and the aggregator
+//!   never panics on corrupt, duplicate or stale frames — each is a
+//!   counted, typed refusal.
+//! * **Transport fault injection** — the whole matrix (frame drop,
+//!   frame delay, disconnect, bit corruption) is deterministically
+//!   injectable on the worker send path through
+//!   [`psc_telemetry::faults::FaultPlan`]'s transport budgets, and
+//!   reconnects run under the same jittered
+//!   [`psc_telemetry::faults::RetryPolicy`] the campaign recorder
+//!   uses.
+//!
 //! ## Crate layout
 //!
 //! * [`proto`] — frame grammar, request/response types, socket I/O;
@@ -74,18 +118,23 @@
 //! * [`pool`] — the bounded FIFO worker pool;
 //! * [`admission`] — saturation signals and the admission decision;
 //! * [`server`] — accept loop, job table, drain lifecycle;
-//! * [`client`] — the blocking client the CLI subcommands use.
+//! * [`client`] — the blocking client the CLI subcommands use;
+//! * [`fleet`] — distributed fleet workers and the aggregator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod client;
+pub mod fleet;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use admission::{AdmissionConfig, AdmissionController};
-pub use client::{submit_and_wait, Client};
+pub use client::{submit_and_wait, submit_and_wait_with_retry, Client};
+pub use fleet::{
+    Aggregator, AggregatorConfig, DedupGate, FleetError, FleetOutcome, MemberOutcome, WorkerConfig,
+};
 pub use proto::{ProtoError, RejectReason, Request, Response};
 pub use server::{Server, ServerConfig, DEFAULT_ADDR};

@@ -18,8 +18,9 @@
 //! A message is the **first section whose tag this build knows**;
 //! unknown tags are skipped, so a newer peer may append sections
 //! without breaking an older one (forward compatibility, pinned by the
-//! protocol proptests). Request tags live in `1..=4`, response tags in
-//! `16..=22`.
+//! protocol proptests). Request tags live in `1..=5`, response tags in
+//! `16..=22`; the distributed-fleet messages (see [`crate::fleet`])
+//! use worker tags `32..=35` and aggregator tags `48..=50`.
 
 use psc_core::spec::AnalysisMode;
 use psc_sca::checkpoint::{
@@ -45,6 +46,8 @@ pub mod tags {
     pub const CANCEL: u16 = 3;
     /// Request: drain the server.
     pub const DRAIN: u16 = 4;
+    /// Request: re-attach to a waited-on job by id after a disconnect.
+    pub const WATCH: u16 = 5;
     /// Response: job accepted with its id.
     pub const ACCEPTED: u16 = 16;
     /// Response: submission rejected, with a typed reason.
@@ -59,6 +62,21 @@ pub mod tags {
     pub const CANCEL_OUTCOME: u16 = 21;
     /// Response: drain complete.
     pub const DRAINED: u16 = 22;
+    /// Fleet worker: hello — member identity, epoch, spec fingerprint.
+    pub const WORKER_HELLO: u16 = 32;
+    /// Fleet worker: partial accumulator state (codec-v3 checkpoint
+    /// frame) stamped with an (epoch, sequence) pair.
+    pub const WORKER_PARTIAL: u16 = 33;
+    /// Fleet worker: liveness heartbeat.
+    pub const WORKER_HEARTBEAT: u16 = 34;
+    /// Fleet worker: final member state — analysis + pipeline totals.
+    pub const WORKER_DONE: u16 = 35;
+    /// Fleet aggregator: hello accepted.
+    pub const AGG_WELCOME: u16 = 48;
+    /// Fleet aggregator: cumulative acknowledgement of a partial.
+    pub const AGG_ACK: u16 = 49;
+    /// Fleet aggregator: the worker was refused, with a reason.
+    pub const AGG_REJECT: u16 = 50;
 }
 
 /// Why a submission was refused. `Saturated` is the admission
@@ -90,6 +108,12 @@ pub enum RejectReason {
         /// What went wrong.
         error: String,
     },
+    /// The connection sat idle past the server's read deadline before
+    /// delivering a complete request frame.
+    DeadlineExceeded {
+        /// The deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl core::fmt::Display for RejectReason {
@@ -102,6 +126,9 @@ impl core::fmt::Display for RejectReason {
             Self::Draining => write!(f, "server is draining"),
             Self::BadSpec { error } => write!(f, "bad spec: {error}"),
             Self::Failed { error } => write!(f, "job failed: {error}"),
+            Self::DeadlineExceeded { deadline_ms } => {
+                write!(f, "no complete request within the {deadline_ms} ms read deadline")
+            }
         }
     }
 }
@@ -127,6 +154,10 @@ impl RejectReason {
                 w.put_u8(4);
                 w.put_str(error);
             }
+            Self::DeadlineExceeded { deadline_ms } => {
+                w.put_u8(5);
+                w.put_u64(*deadline_ms);
+            }
         }
     }
 
@@ -137,6 +168,7 @@ impl RejectReason {
             2 => Self::Draining,
             3 => Self::BadSpec { error: r.get_str()? },
             4 => Self::Failed { error: r.get_str()? },
+            5 => Self::DeadlineExceeded { deadline_ms: r.get_u64()? },
             _ => return Err(CheckpointError::Corrupt("unknown reject reason")),
         })
     }
@@ -270,6 +302,15 @@ pub enum Request {
     /// Stop accepting work, stop running jobs at the next block
     /// boundary, reject everything queued, then confirm.
     Drain,
+    /// Re-attach to a job submitted with `wait` after the original
+    /// connection was lost: the server resumes streaming
+    /// [`Response::Progress`] frames (and the final frame) for `job`
+    /// on this connection. Unknown or already-reported jobs are
+    /// refused with [`RejectReason::Failed`].
+    Watch {
+        /// The job to re-attach to.
+        job: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -342,6 +383,9 @@ pub enum ProtoError {
     UnknownMessage,
     /// A length prefix exceeded [`MAX_FRAME_LEN`].
     Oversized(u32),
+    /// A configured read deadline elapsed before a frame arrived — the
+    /// peer is half-open or stalled.
+    Timeout,
     /// Socket-level I/O failure.
     Io(String),
 }
@@ -354,6 +398,7 @@ impl core::fmt::Display for ProtoError {
             Self::Oversized(len) => {
                 write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
             }
+            Self::Timeout => write!(f, "read deadline elapsed waiting for a frame"),
             Self::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -369,11 +414,16 @@ impl From<CheckpointError> for ProtoError {
 
 impl From<std::io::Error> for ProtoError {
     fn from(e: std::io::Error) -> Self {
-        Self::Io(e.to_string())
+        // A socket read timeout surfaces as `WouldBlock` or `TimedOut`
+        // depending on the platform; both mean the same thing here.
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => Self::Timeout,
+            _ => Self::Io(e.to_string()),
+        }
     }
 }
 
-fn mode_to_u8(mode: AnalysisMode) -> u8 {
+pub(crate) fn mode_to_u8(mode: AnalysisMode) -> u8 {
     match mode {
         AnalysisMode::Tvla => 0,
         AnalysisMode::Cpa => 1,
@@ -381,7 +431,7 @@ fn mode_to_u8(mode: AnalysisMode) -> u8 {
     }
 }
 
-fn mode_from_u8(v: u8) -> Result<AnalysisMode, CheckpointError> {
+pub(crate) fn mode_from_u8(v: u8) -> Result<AnalysisMode, CheckpointError> {
     Ok(match v {
         0 => AnalysisMode::Tvla,
         1 => AnalysisMode::Cpa,
@@ -392,12 +442,12 @@ fn mode_from_u8(v: u8) -> Result<AnalysisMode, CheckpointError> {
 
 /// `u32`-length blob — for payloads that can outgrow `put_str`'s `u16`
 /// length field (spec text, report text, encoded analysis state).
-fn put_blob(w: &mut PayloadWriter, bytes: &[u8]) {
+pub(crate) fn put_blob(w: &mut PayloadWriter, bytes: &[u8]) {
     w.put_u32(u32::try_from(bytes.len()).expect("blob fits in u32"));
     w.put_bytes(bytes);
 }
 
-fn get_blob(r: &mut PayloadReader<'_>) -> Result<Vec<u8>, CheckpointError> {
+pub(crate) fn get_blob(r: &mut PayloadReader<'_>) -> Result<Vec<u8>, CheckpointError> {
     let len = r.get_u32()? as usize;
     if len > r.remaining() {
         return Err(CheckpointError::Truncated);
@@ -409,7 +459,7 @@ fn get_blob(r: &mut PayloadReader<'_>) -> Result<Vec<u8>, CheckpointError> {
     Ok(out)
 }
 
-fn get_blob_str(r: &mut PayloadReader<'_>) -> Result<String, CheckpointError> {
+pub(crate) fn get_blob_str(r: &mut PayloadReader<'_>) -> Result<String, CheckpointError> {
     String::from_utf8(get_blob(r)?).map_err(|_| CheckpointError::Corrupt("blob is not UTF-8"))
 }
 
@@ -432,6 +482,10 @@ impl Request {
                 w.into_section(tags::CANCEL)
             }
             Self::Drain => w.into_section(tags::DRAIN),
+            Self::Watch { job } => {
+                w.put_u64(*job);
+                w.into_section(tags::WATCH)
+            }
         };
         encode_frame(&[section])
     }
@@ -456,6 +510,7 @@ impl Request {
                 tags::STATUS => Self::Status,
                 tags::CANCEL => Self::Cancel { job: r.get_u64()? },
                 tags::DRAIN => Self::Drain,
+                tags::WATCH => Self::Watch { job: r.get_u64()? },
                 _ => continue,
             };
             r.finish()?;
@@ -632,6 +687,7 @@ mod tests {
             Request::Status,
             Request::Cancel { job: 42 },
             Request::Drain,
+            Request::Watch { job: 42 },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -650,6 +706,7 @@ mod tests {
             },
             Response::Rejected { reason: RejectReason::Draining },
             Response::Rejected { reason: RejectReason::BadSpec { error: "mode: bad".into() } },
+            Response::Rejected { reason: RejectReason::DeadlineExceeded { deadline_ms: 10_000 } },
             Response::Report {
                 job: 7,
                 mode: AnalysisMode::Adaptive,
@@ -691,6 +748,16 @@ mod tests {
         wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
         let mut cursor = std::io::Cursor::new(wire);
         assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
+    fn read_timeouts_map_to_the_typed_timeout_error() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let e = std::io::Error::new(kind, "deadline elapsed");
+            assert!(matches!(ProtoError::from(e), ProtoError::Timeout));
+        }
+        let hard = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        assert!(matches!(ProtoError::from(hard), ProtoError::Io(_)));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 use crate::admission::{AdmissionController, AdmissionSignals};
 use crate::pool::WorkerPool;
 use crate::proto::{
-    read_frame, write_frame, CancelResult, JobState, JobSummary, RejectReason, Request, Response,
+    read_frame, write_frame, CancelResult, JobState, JobSummary, ProtoError, RejectReason, Request,
+    Response,
 };
 use psc_core::report::{self, campaign_banner};
 use psc_core::session::Campaign;
@@ -74,6 +75,11 @@ pub struct ServerConfig {
     pub spool: Option<PathBuf>,
     /// Cadence of [`Response::Progress`] frames to waiting clients.
     pub progress_interval: Duration,
+    /// How long a connection may take to deliver its complete request
+    /// frame. A stalled or half-open client is refused with the typed
+    /// [`RejectReason::DeadlineExceeded`] instead of pinning a
+    /// connection-handler thread forever.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             admission: crate::admission::AdmissionConfig::default(),
             spool: None,
             progress_interval: Duration::from_millis(100),
+            read_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -221,8 +228,18 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
 }
 
 fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    // A stalled or half-open client must not pin this handler thread:
+    // the whole request frame has to arrive within the read deadline.
+    let _ = stream.set_read_timeout(Some(inner.cfg.read_deadline));
     let request = match read_frame(&mut stream).and_then(|frame| Request::decode(&frame)) {
         Ok(request) => request,
+        Err(ProtoError::Timeout) => {
+            let deadline_ms = u64::try_from(inner.cfg.read_deadline.as_millis()).unwrap_or(0);
+            let reject =
+                Response::Rejected { reason: RejectReason::DeadlineExceeded { deadline_ms } };
+            let _ = write_frame(&mut stream, &reject.encode());
+            return;
+        }
         Err(e) => {
             // A malformed frame gets a typed refusal, never a silent
             // hangup; if even that write fails the peer is gone.
@@ -232,6 +249,9 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             return;
         }
     };
+    // Past this point the connection only writes (progress/report
+    // streaming); the deadline has done its job.
+    let _ = stream.set_read_timeout(None);
     match request {
         Request::Submit { tenant, wait, spec } => {
             handle_submit(inner, &mut stream, tenant, wait, &spec)
@@ -239,6 +259,26 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
         Request::Status => handle_status(inner, &mut stream),
         Request::Cancel { job } => handle_cancel(inner, &mut stream, job),
         Request::Drain => handle_drain(inner, &mut stream),
+        Request::Watch { job } => handle_watch(inner, &mut stream, job),
+    }
+}
+
+/// Re-attach a waiting client to a job it already submitted: verify
+/// the job exists, then stream progress until the terminal frame —
+/// the reconnect half of `psc submit --wait`'s disconnect tolerance.
+fn handle_watch(inner: &Inner, stream: &mut TcpStream, job_id: u64) {
+    let known = inner.table.lock().expect("job table poisoned").jobs.contains_key(&job_id);
+    if !known {
+        let _ = reply(
+            stream,
+            &Response::Rejected {
+                reason: RejectReason::Failed { error: format!("no such job: {job_id}") },
+            },
+        );
+        return;
+    }
+    if reply(stream, &Response::Accepted { job: job_id }) {
+        stream_until_done(inner, stream, job_id);
     }
 }
 

@@ -1,0 +1,180 @@
+//! Property tests for the distributed fleet protocol:
+//!
+//! * every worker/aggregator message round-trips bit-exactly, and any
+//!   truncation or single bit flip is a typed error (the frame CRC
+//!   covers tags and lengths too) — corrupted partials can never
+//!   misparse into a mergeable message;
+//! * the `(epoch, seq)` dedup gate admits every distinct stamp at most
+//!   once under arbitrary at-least-once delivery schedules (replays,
+//!   reorders, duplicates), and the admitted subsequence is strictly
+//!   increasing — the merge-exactly-once law.
+
+use proptest::prelude::*;
+use psc_core::session::ShardHealth;
+use psc_core::spec::AnalysisMode;
+use psc_serve::fleet::{AggregatorMsg, DedupGate, MemberFinal, WorkerMsg};
+use psc_telemetry::ring::ChannelStats;
+
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| char::from(b'a' + b % 26)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_worker_msg(
+    kind: usize,
+    member: u32,
+    epoch: u64,
+    seq: u64,
+    blob: &[u8],
+    counts: (u64, u64),
+    text: &[u8],
+    health_kind: usize,
+) -> WorkerMsg {
+    match kind % 4 {
+        0 => WorkerMsg::Hello {
+            member,
+            members: member.wrapping_add(1),
+            epoch,
+            fingerprint: seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            mode: [AnalysisMode::Tvla, AnalysisMode::Cpa, AnalysisMode::Adaptive][kind % 3],
+        },
+        1 => WorkerMsg::Partial { member, epoch, seq, frame: blob.to_vec() },
+        2 => WorkerMsg::Heartbeat { member, epoch },
+        _ => WorkerMsg::Done {
+            member,
+            epoch,
+            seq,
+            state: MemberFinal {
+                analysis: blob.to_vec(),
+                monitor: blob.iter().rev().copied().collect(),
+                bus: ChannelStats {
+                    accepted: counts.0,
+                    dropped: counts.1,
+                    delivered: counts.0,
+                    high_water: counts.1.min(1024),
+                },
+                io_errors: counts.1 % 7,
+                io_retries: counts.0 % 5,
+                health: match health_kind % 3 {
+                    0 => ShardHealth::Ok,
+                    1 => ShardHealth::Degraded { reason: ascii(text) },
+                    _ => ShardHealth::Failed { reason: ascii(text) },
+                },
+            },
+        },
+    }
+}
+
+fn assert_rejects_every_truncation(frame: &[u8], decodes: &dyn Fn(&[u8]) -> bool) {
+    for len in 0..frame.len() {
+        assert!(!decodes(&frame[..len]), "truncation to {len}/{} bytes parsed", frame.len());
+    }
+}
+
+fn assert_rejects_every_bit_flip(frame: &[u8], decodes: &dyn Fn(&[u8]) -> bool) {
+    let mut copy = frame.to_vec();
+    for byte in 0..copy.len() {
+        for bit in 0..8 {
+            copy[byte] ^= 1 << bit;
+            assert!(!decodes(&copy), "bit {bit} of byte {byte} flipped and still parsed");
+            copy[byte] ^= 1 << bit;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn worker_messages_round_trip_and_reject_corruption(
+        kind in 0usize..4,
+        member in 0u32..8,
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..24),
+        accepted in any::<u64>(),
+        dropped in any::<u64>(),
+        text in proptest::collection::vec(any::<u8>(), 8),
+        health_kind in 0usize..3,
+    ) {
+        let msg = build_worker_msg(
+            kind, member, epoch, seq, &blob, (accepted, dropped), &text, health_kind,
+        );
+        let frame = msg.encode();
+        prop_assert_eq!(WorkerMsg::decode(&frame).unwrap(), msg);
+        let decodes = |bytes: &[u8]| WorkerMsg::decode(bytes).is_ok();
+        assert_rejects_every_truncation(&frame, &decodes);
+        assert_rejects_every_bit_flip(&frame, &decodes);
+    }
+
+    #[test]
+    fn aggregator_messages_round_trip_and_reject_corruption(
+        kind in 0usize..3,
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        accepted in any::<bool>(),
+        text in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let msg = match kind {
+            0 => AggregatorMsg::Welcome,
+            1 => AggregatorMsg::Ack { epoch, seq, accepted },
+            _ => AggregatorMsg::Reject { reason: ascii(&text) },
+        };
+        let frame = msg.encode();
+        prop_assert_eq!(AggregatorMsg::decode(&frame).unwrap(), msg);
+        let decodes = |bytes: &[u8]| AggregatorMsg::decode(bytes).is_ok();
+        assert_rejects_every_truncation(&frame, &decodes);
+        assert_rejects_every_bit_flip(&frame, &decodes);
+    }
+
+    /// Merge-exactly-once: under an arbitrary at-least-once delivery
+    /// schedule (any mix of fresh stamps, duplicates and replays) the
+    /// gate admits each distinct stamp at most once, the admitted
+    /// subsequence is strictly increasing, and an exact replay of any
+    /// already-admitted stamp is always refused.
+    #[test]
+    fn dedup_gate_admits_each_stamp_at_most_once(
+        stamps in proptest::collection::vec((0u64..4, 0u64..16), 1..64),
+        replay_at in any::<u64>(),
+    ) {
+        let mut gate = DedupGate::default();
+        let mut admitted: Vec<(u64, u64)> = Vec::new();
+        for &(epoch, seq) in &stamps {
+            if gate.admit(epoch, seq) {
+                admitted.push((epoch, seq));
+            }
+            // An immediate duplicate of anything is always refused.
+            prop_assert!(
+                !gate.admit(epoch, seq),
+                "duplicate stamp ({}, {}) admitted twice in a row", epoch, seq
+            );
+        }
+        // Strictly increasing admitted subsequence.
+        for pair in admitted.windows(2) {
+            prop_assert!(pair[1] > pair[0], "admitted stamps not strictly increasing: {pair:?}");
+        }
+        // Each distinct stamp admitted at most once.
+        let mut dedup = admitted.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), admitted.len(), "a stamp was admitted twice");
+        // Replaying any previously admitted stamp is refused.
+        if !admitted.is_empty() {
+            let idx = (replay_at as usize) % admitted.len();
+            let (epoch, seq) = admitted[idx];
+            prop_assert!(!gate.admit(epoch, seq), "replay of ({epoch}, {seq}) admitted");
+        }
+        prop_assert_eq!(gate.last(), admitted.last().copied());
+    }
+
+    /// The gate's law restated pointwise: a stamp is admitted iff it is
+    /// lexicographically greater than the last admitted stamp — epoch
+    /// outranks sequence.
+    #[test]
+    fn dedup_gate_is_exactly_lexicographic(
+        first in (0u64..8, 0u64..8),
+        second in (0u64..8, 0u64..8),
+    ) {
+        let mut gate = DedupGate::default();
+        prop_assert!(gate.admit(first.0, first.1), "the first stamp is always admitted");
+        let expected = second > first;
+        prop_assert_eq!(gate.admit(second.0, second.1), expected);
+    }
+}

@@ -31,10 +31,11 @@ fn snapshot(obs: u64, dropped: u64, latency: u64) -> MetricsSnapshot {
 }
 
 fn build_request(kind: usize, job: u64, name: &[u8], wait: bool, text: &[u8]) -> Request {
-    match kind % 4 {
+    match kind % 5 {
         0 => Request::Submit { tenant: ascii(name), wait, spec: ascii(text) },
         1 => Request::Status,
         2 => Request::Cancel { job },
+        3 => Request::Watch { job },
         _ => Request::Drain,
     }
 }
@@ -54,11 +55,12 @@ fn build_response(
     match kind % 7 {
         0 => Response::Accepted { job },
         1 => Response::Rejected {
-            reason: match reason_kind % 5 {
+            reason: match reason_kind % 6 {
                 0 => RejectReason::Saturated { detail: ascii(text) },
                 1 => RejectReason::TenantBusy { tenant: ascii(name), cap: obs },
                 2 => RejectReason::Draining,
                 3 => RejectReason::BadSpec { error: ascii(text) },
+                4 => RejectReason::DeadlineExceeded { deadline_ms: obs },
                 _ => RejectReason::Failed { error: ascii(text) },
             },
         },
@@ -125,7 +127,7 @@ fn assert_rejects_every_bit_flip(frame: &[u8], decodes: &dyn Fn(&[u8]) -> bool) 
 proptest! {
     #[test]
     fn requests_round_trip_and_reject_corruption(
-        kind in 0usize..4,
+        kind in 0usize..5,
         job in any::<u64>(),
         name in proptest::collection::vec(any::<u8>(), 3),
         wait in any::<bool>(),
@@ -150,7 +152,7 @@ proptest! {
         dropped in any::<u64>(),
         latency in any::<u64>(),
         flag in any::<bool>(),
-        reason_kind in 0usize..5,
+        reason_kind in 0usize..6,
         state_kind in 0usize..6,
     ) {
         let response = build_response(

@@ -36,6 +36,7 @@ fn start_server(workers: usize, admission: AdmissionConfig) -> Server {
         admission,
         spool: None,
         progress_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
     })
     .expect("bind an ephemeral port")
 }

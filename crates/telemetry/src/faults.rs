@@ -49,6 +49,18 @@ pub struct FaultPlan {
     /// Extra wall-clock delay per source fill, microseconds — a slow
     /// producer, exercising bus back-pressure under degraded hardware.
     pub source_delay_us: u64,
+    /// Drop this many outbound transport frames (a fleet worker's
+    /// partial-state messages) before they reach the wire.
+    pub frame_drops: u32,
+    /// Extra wall-clock delay per outbound transport frame,
+    /// microseconds — a congested or throttled network path.
+    pub frame_delay_us: u64,
+    /// Sever the transport connection this many times; each firing
+    /// forces a reconnect (and, for a fleet worker, an epoch bump).
+    pub disconnects: u32,
+    /// Corrupt this many outbound transport frames by flipping one
+    /// payload byte — the receiver must reject them on decode.
+    pub frame_corrupt: u32,
 }
 
 impl FaultPlan {
@@ -59,6 +71,9 @@ impl FaultPlan {
             source_budget: AtomicU32::new(self.source_errors),
             recorder_budget: AtomicU32::new(self.recorder_errors),
             panic_fired: AtomicBool::new(false),
+            frame_drop_budget: AtomicU32::new(self.frame_drops),
+            disconnect_budget: AtomicU32::new(self.disconnects),
+            corrupt_budget: AtomicU32::new(self.frame_corrupt),
             plan: self,
         })
     }
@@ -71,6 +86,9 @@ pub struct FaultState {
     source_budget: AtomicU32,
     recorder_budget: AtomicU32,
     panic_fired: AtomicBool,
+    frame_drop_budget: AtomicU32,
+    disconnect_budget: AtomicU32,
+    corrupt_budget: AtomicU32,
 }
 
 impl FaultState {
@@ -114,6 +132,36 @@ impl FaultState {
     #[must_use]
     pub fn source_delay(&self) -> Option<Duration> {
         (self.plan.source_delay_us > 0).then(|| Duration::from_micros(self.plan.source_delay_us))
+    }
+
+    /// Should this outbound transport frame be dropped? Consumes one
+    /// unit of the frame-drop budget when it fires.
+    pub fn take_frame_drop(&self) -> bool {
+        self.frame_drop_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Should the transport connection be severed now? Consumes one
+    /// unit of the disconnect budget when it fires.
+    pub fn take_disconnect(&self) -> bool {
+        self.disconnect_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Should this outbound transport frame be corrupted? Consumes one
+    /// unit of the corruption budget when it fires.
+    pub fn take_frame_corrupt(&self) -> bool {
+        self.corrupt_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// The per-frame transport delay, if the plan slows the wire.
+    #[must_use]
+    pub fn frame_delay(&self) -> Option<Duration> {
+        (self.plan.frame_delay_us > 0).then(|| Duration::from_micros(self.plan.frame_delay_us))
     }
 }
 
@@ -249,5 +297,29 @@ mod tests {
         assert!(!state.take_recorder_error());
         assert!(!state.take_consumer_panic(0, 0));
         assert!(state.source_delay().is_none());
+        assert!(!state.take_frame_drop());
+        assert!(!state.take_disconnect());
+        assert!(!state.take_frame_corrupt());
+        assert!(state.frame_delay().is_none());
+    }
+
+    #[test]
+    fn transport_budgets_fire_exactly_n_times() {
+        let state = FaultPlan {
+            frame_drops: 2,
+            disconnects: 1,
+            frame_corrupt: 1,
+            frame_delay_us: 50,
+            ..FaultPlan::default()
+        }
+        .armed();
+        assert!(state.take_frame_drop());
+        assert!(state.take_frame_drop());
+        assert!(!state.take_frame_drop(), "drop budget exhausted");
+        assert!(state.take_disconnect());
+        assert!(!state.take_disconnect(), "disconnect budget exhausted");
+        assert!(state.take_frame_corrupt());
+        assert!(!state.take_frame_corrupt(), "corruption budget exhausted");
+        assert_eq!(state.frame_delay(), Some(Duration::from_micros(50)));
     }
 }

@@ -1,0 +1,98 @@
+//! Property-based tests for [`psc_telemetry::faults::RetryPolicy`]:
+//! bounded attempts, monotone capped backoff, and deterministic jitter
+//! for a fixed seed. The policy was previously only exercised
+//! indirectly through recorder-fault integration tests; these pin its
+//! contract directly, which the distributed fleet transport now leans
+//! on for reconnect scheduling.
+
+use proptest::prelude::*;
+use psc_telemetry::faults::RetryPolicy;
+use std::time::Duration;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..16, 1u64..2_000, 1u64..50_000).prop_map(|(max_attempts, base_us, extra_us)| {
+        let base_delay = Duration::from_micros(base_us);
+        RetryPolicy {
+            max_attempts,
+            base_delay,
+            // Ceiling at or above the base so the cap is meaningful.
+            max_delay: base_delay + Duration::from_micros(extra_us),
+        }
+    })
+}
+
+proptest! {
+    /// Attempts are bounded: exactly `max_attempts - 1` retries are
+    /// allowed, and the first disallowed attempt is `max_attempts`.
+    #[test]
+    fn attempts_are_bounded(policy in policy_strategy()) {
+        let retries = (1..=policy.max_attempts + 4)
+            .filter(|&a| policy.should_retry(a))
+            .count() as u32;
+        prop_assert_eq!(retries, policy.max_attempts - 1);
+        prop_assert!(!policy.should_retry(policy.max_attempts));
+        if policy.max_attempts > 1 {
+            prop_assert!(policy.should_retry(policy.max_attempts - 1));
+        }
+    }
+
+    /// Backoff is monotone non-decreasing in the attempt number before
+    /// the cap engages, and never exceeds 1.25 × `max_delay` (the cap
+    /// plus the maximum jitter) anywhere.
+    #[test]
+    fn backoff_is_monotone_and_capped(policy in policy_strategy(), salt in any::<u64>()) {
+        let ceiling = policy.max_delay.mul_f64(1.25);
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=24u32 {
+            let d = policy.delay(attempt, salt);
+            prop_assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            // The uncapped exponential doubles per attempt while jitter
+            // adds at most 25%, so the sequence is strictly ordered
+            // until the cap truncates it; after that, jitter may wobble
+            // within the capped band. Only assert monotonicity while
+            // the un-jittered base is still below the cap.
+            let exp = attempt.saturating_sub(1).min(20);
+            let base = policy.base_delay.saturating_mul(1u32 << exp);
+            if base < policy.max_delay {
+                prop_assert!(d >= prev, "attempt {attempt}: {d:?} < previous {prev:?}");
+                prev = d;
+            }
+            prop_assert!(d >= policy.base_delay.min(policy.max_delay));
+        }
+    }
+
+    /// Jitter is deterministic: the same (attempt, salt) pair always
+    /// produces the same delay, and the jitter stays within +25% of
+    /// the capped exponential base.
+    #[test]
+    fn jitter_is_deterministic_for_fixed_seed(
+        policy in policy_strategy(),
+        salt in any::<u64>(),
+        attempt in 1u32..24,
+    ) {
+        let d = policy.delay(attempt, salt);
+        prop_assert_eq!(d, policy.delay(attempt, salt), "same salt, same schedule");
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = policy.base_delay.saturating_mul(1u32 << exp).min(policy.max_delay);
+        prop_assert!(d >= base, "jitter only adds");
+        prop_assert!(d <= base.mul_f64(1.25), "jitter bounded at +25%");
+    }
+
+    /// Distinct salts decorrelate: across a window of salts at least
+    /// one pair of schedules differs (shards pass their shard index as
+    /// the salt precisely so their retries do not stampede in phase).
+    #[test]
+    fn salts_decorrelate_schedules(base_us in 100u64..2_000, salt in any::<u64>()) {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(base_us),
+            max_delay: Duration::from_micros(base_us * 1_000),
+        };
+        let schedule = |s: u64| -> Vec<Duration> {
+            (1..=4).map(|a| policy.delay(a, s)).collect()
+        };
+        let first = schedule(salt);
+        let any_differs = (1..=8u64).any(|off| schedule(salt.wrapping_add(off)) != first);
+        prop_assert!(any_differs, "eight neighbouring salts all collided");
+    }
+}

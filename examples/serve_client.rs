@@ -37,6 +37,7 @@ fn main() {
         admission: AdmissionConfig { max_queue: 1, ..AdmissionConfig::default() },
         spool: None,
         progress_interval: Duration::from_millis(25),
+        ..ServerConfig::default()
     })
     .expect("bind loopback");
     let addr = server.addr();
@@ -83,6 +84,23 @@ fn main() {
             Response::Accepted { job } => println!("[{tenant}] job {job} accepted"),
             other => panic!("unexpected response: {other:?}"),
         }
+    }
+    // Wait until the service is genuinely saturated — both workers
+    // running and the queue slot held — so the refusal below is
+    // deterministic (a worker may otherwise pick the queued job up
+    // between dave's ack and eve's submit).
+    loop {
+        let mut c = Client::connect(addr).expect("connect");
+        let Response::JobList { jobs, .. } = c.status().expect("status") else {
+            panic!("expected JobList")
+        };
+        use apple_power_sca::serve::proto::JobState;
+        let running = jobs.iter().filter(|j| j.state == JobState::Running).count();
+        let queued = jobs.iter().filter(|j| j.state == JobState::Queued).count();
+        if running >= 2 && queued >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
     let mut eve = Client::connect(addr).expect("connect");
     match eve.submit("eve", &spec(AnalysisMode::Tvla, 10), false).expect("submit") {

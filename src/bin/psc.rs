@@ -39,11 +39,13 @@ use apple_power_sca::sca::cpa::Cpa;
 use apple_power_sca::sca::model::Rd0Hw;
 use apple_power_sca::sca::rank::{guessing_entropy, recovery_tally};
 use apple_power_sca::sca::stats::fisher_interval;
+use apple_power_sca::serve::fleet::{run_worker, Aggregator, AggregatorConfig, WorkerConfig};
 use apple_power_sca::serve::server::names as serve_names;
 use apple_power_sca::serve::{
     AdmissionConfig, Client, Response, Server, ServerConfig, DEFAULT_ADDR,
 };
 use apple_power_sca::smc::key::key;
+use apple_power_sca::telemetry::faults::RetryPolicy;
 use apple_power_sca::telemetry::metrics::{validate_json, MetricsReport};
 use apple_power_sca::telemetry::spans::SpanTracer;
 use std::process::ExitCode;
@@ -126,6 +128,28 @@ COMMANDS:
                               the final report — byte-identical to
                               running the same spec inline with
                               `psc campaign`.
+    worker --connect HOST:PORT --spec FILE --member I [--workdir DIR]
+           [--heartbeat-ms N] [--drop-frames N] [--frame-delay-us N]
+           [--disconnects N] [--corrupt-frames N]
+                              Run one fleet member's shard of a
+                              distributed campaign: execute the shard,
+                              stream partial checkpoint frames and
+                              heartbeats to the aggregator, reconnect
+                              under the jittered retry policy, and
+                              deliver the final member state. The fault
+                              flags arm deterministic transport-fault
+                              budgets on the send path for testing.
+    aggregate --listen HOST:PORT --spec FILE [--heartbeat-timeout-ms N]
+              [--join-timeout-ms N] [--straggler-timeout-ms N]
+              [--stats FILE]
+                              Collect the fleet's workers: dedup their
+                              partials by (epoch, seq), demote members
+                              that miss their deadlines to Failed, and
+                              print the merged report — byte-identical
+                              to the in-process `psc campaign --fleet`
+                              run when every member survives cleanly.
+                              --stats writes transport/merge counters
+                              as JSON.
     jobs [--addr HOST:PORT]   List the daemon's jobs and service metrics.
     cancel ID [--addr HOST:PORT]
                               Cancel a queued (immediate) or running
@@ -527,7 +551,34 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             eprintln!("[psc] job {job} accepted; streaming ...");
-            match client.wait_for_report(|_| ()).map_err(|e| e.to_string())? {
+            // The wait stream may drop without killing the job: the
+            // server keeps running it, so reconnect under the retry
+            // policy and re-subscribe by id with Watch.
+            let retry = RetryPolicy::default();
+            let mut attempt = 1u32;
+            let finale = loop {
+                match client.wait_for_report(|_| ()) {
+                    Ok(response) => break response,
+                    Err(e) => {
+                        if !retry.should_retry(attempt) {
+                            return Err(e.to_string());
+                        }
+                        std::thread::sleep(retry.delay(attempt, job));
+                        attempt += 1;
+                        eprintln!("[psc] wait stream dropped; re-subscribing to job {job} ...");
+                        client = match Client::connect(serve_addr(args)) {
+                            Ok(client) => client,
+                            Err(_) => continue,
+                        };
+                        match client.watch(job) {
+                            Ok(Response::Accepted { .. }) => {}
+                            Ok(other) => break other,
+                            Err(_) => continue,
+                        }
+                    }
+                }
+            };
+            match finale {
                 Response::Report { text, .. } => {
                     print!("{text}");
                     Ok(())
@@ -539,6 +590,101 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         Response::Rejected { reason } => Err(reason.to_string()),
         other => Err(format!("unexpected response: {other:?}")),
     }
+}
+
+fn parse_u64_opt(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    parse_opt(args, flag)
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad {flag} value {s:?}: {e}")))
+        .transpose()
+}
+
+fn read_spec_file(args: &[String]) -> Result<CampaignSpec, String> {
+    let file = parse_opt(args, "--spec").ok_or("--spec FILE is required")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    CampaignSpec::parse(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+/// `psc worker`: run one fleet member's shard of a distributed
+/// campaign, streaming partial state to the aggregator.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let addr = parse_opt(args, "--connect").ok_or("--connect HOST:PORT is required")?;
+    let spec = read_spec_file(args)?;
+    let member = parse_u64_opt(args, "--member")?.ok_or("--member I is required")? as usize;
+    let workdir = match parse_opt(args, "--workdir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("psc-worker-{}-{member}", std::process::id())),
+    };
+    std::fs::create_dir_all(&workdir).map_err(|e| format!("{}: {e}", workdir.display()))?;
+    let mut cfg = WorkerConfig::new(member, workdir);
+    if let Some(ms) = parse_u64_opt(args, "--heartbeat-ms")? {
+        cfg.heartbeat_interval = std::time::Duration::from_millis(ms);
+    }
+    cfg.faults.frame_drops =
+        u32::try_from(parse_u64_opt(args, "--drop-frames")?.unwrap_or(0)).unwrap_or(u32::MAX);
+    cfg.faults.frame_delay_us = parse_u64_opt(args, "--frame-delay-us")?.unwrap_or(0);
+    cfg.faults.disconnects =
+        u32::try_from(parse_u64_opt(args, "--disconnects")?.unwrap_or(0)).unwrap_or(u32::MAX);
+    cfg.faults.frame_corrupt =
+        u32::try_from(parse_u64_opt(args, "--corrupt-frames")?.unwrap_or(0)).unwrap_or(u32::MAX);
+    let summary = run_worker(&addr, &spec, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "[psc] member {member} done: {} partial(s) sent, {} rejected, {} reconnect(s) \
+         ({:?} recovering), {} epoch(s)",
+        summary.partials_sent,
+        summary.rejected,
+        summary.reconnects,
+        summary.recovery,
+        summary.epochs
+    );
+    Ok(())
+}
+
+/// `psc aggregate`: collect a fleet's workers and print the merged
+/// report.
+fn cmd_aggregate(args: &[String]) -> Result<(), String> {
+    let addr = parse_opt(args, "--listen").ok_or("--listen HOST:PORT is required")?;
+    let spec = read_spec_file(args)?;
+    let mut cfg = AggregatorConfig::default();
+    if let Some(ms) = parse_u64_opt(args, "--heartbeat-timeout-ms")? {
+        cfg.heartbeat_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_u64_opt(args, "--join-timeout-ms")? {
+        cfg.join_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_u64_opt(args, "--straggler-timeout-ms")? {
+        cfg.straggler_timeout = std::time::Duration::from_millis(ms);
+    }
+    let stats_out = parse_opt(args, "--stats");
+    let aggregator = Aggregator::bind(&addr, spec, cfg).map_err(|e| e.to_string())?;
+    eprintln!("[psc] aggregating on {} ...", aggregator.local_addr().map_err(|e| e.to_string())?);
+    let outcome = aggregator.run().map_err(|e| e.to_string())?;
+    print!("{}", outcome.merged.text);
+    eprintln!(
+        "[psc] merged {} survivor(s): {} partial(s) accepted, {} rejected, {} corrupt frame(s), \
+         {} reconnect(s), merge took {} ns",
+        outcome.merged.survivors,
+        outcome.stats.partials_accepted,
+        outcome.stats.partials_rejected,
+        outcome.stats.corrupt_frames,
+        outcome.stats.reconnects,
+        outcome.merged.merge_ns
+    );
+    if let Some(path) = stats_out {
+        let json = format!(
+            "{{\n  \"survivors\": {},\n  \"partials_accepted\": {},\n  \
+             \"partials_rejected\": {},\n  \"corrupt_frames\": {},\n  \"reconnects\": {},\n  \
+             \"merge_ns\": {}\n}}\n",
+            outcome.merged.survivors,
+            outcome.stats.partials_accepted,
+            outcome.stats.partials_rejected,
+            outcome.stats.corrupt_frames,
+            outcome.stats.reconnects,
+            outcome.merged.merge_ns
+        );
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[psc] wrote aggregation stats to {path}");
+    }
+    Ok(())
 }
 
 /// `psc jobs`: list the daemon's job table and service counters.
@@ -663,6 +809,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&cfg, rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "worker" => cmd_worker(rest),
+        "aggregate" => cmd_aggregate(rest),
         "jobs" => cmd_jobs(rest),
         "cancel" => cmd_cancel(rest),
         "drain" => cmd_drain(rest),
